@@ -1,0 +1,141 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p dss-bench --release --bin repro            # everything
+//! cargo run -p dss-bench --release --bin repro -- fig8    # one experiment
+//! ```
+//!
+//! Accepted arguments: `table1`, `fig6`, `fig7`, `rates`, `fig8`, `fig9`,
+//! `fig10`, `fig11`, `fig12`, `fig13`, `all` (default). Each experiment
+//! prints the paper-shaped chart plus its PASS/FAIL shape checks.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use dss_core::{experiments, paper, report, Workbench, STUDIED_QUERIES};
+
+/// The paper scale, used by the self-contained update experiment.
+fn dss_workbenchless_scale() -> f64 {
+    dss_tpcd::PAPER_SCALE
+}
+
+fn main() {
+    let args: BTreeSet<String> = std::env::args().skip(1).collect();
+    let want = |name: &str| args.is_empty() || args.contains("all") || args.contains(name);
+
+    let start = Instant::now();
+    println!("Building the paper-scale database (TPC-D at 1/100, memory resident)...");
+    let mut wb = Workbench::paper();
+    println!(
+        "  built in {:.1?}: {} heap pages (~{} MB of data), {} shared MB mapped\n",
+        start.elapsed(),
+        wb.db.catalog.total_heap_pages(),
+        wb.db.catalog.total_heap_pages() * 8192 / 1_000_000,
+        wb.db.space.mapped_bytes() / 1_000_000
+    );
+
+    if want("table1") {
+        let rows = experiments::table1(&wb.db);
+        println!("{}", report::render_table1(&rows));
+    }
+
+    if want("fig6") || want("fig7") || want("rates") {
+        let baselines = experiments::baseline_suite(&mut wb, &STUDIED_QUERIES);
+        if want("fig6") {
+            println!("{}", report::render_fig6a(&baselines));
+            println!("{}", report::render_fig6b(&baselines));
+            println!("{}", paper::render_checks(&paper::check_fig6(&baselines)));
+        }
+        if want("fig7") {
+            for b in &baselines {
+                println!("{}", report::render_fig7(b));
+            }
+            println!("{}", paper::render_checks(&paper::check_fig7(&baselines)));
+        }
+        if want("rates") {
+            let rates: Vec<_> = baselines.iter().map(experiments::miss_rates).collect();
+            println!("{}", report::render_miss_rates(&rates));
+        }
+    }
+
+    if want("fig8") || want("fig9") {
+        for q in STUDIED_QUERIES {
+            let points = experiments::line_size_sweep(&mut wb, q);
+            if want("fig8") {
+                println!("{}", report::render_fig8(q, &points));
+                println!("{}", paper::render_checks(&paper::check_fig8(q, &points)));
+            }
+            if want("fig9") {
+                println!("{}", report::render_fig9(q, &points));
+                println!("{}", paper::render_checks(&paper::check_fig9(q, &points)));
+            }
+        }
+    }
+
+    if want("fig10") || want("fig11") {
+        for q in STUDIED_QUERIES {
+            let points = experiments::cache_size_sweep(&mut wb, q);
+            if want("fig10") {
+                println!("{}", report::render_fig10(q, &points));
+                println!("{}", paper::render_checks(&paper::check_fig10(q, &points)));
+            }
+            if want("fig11") {
+                println!("{}", report::render_fig11(q, &points));
+                println!("{}", paper::render_checks(&paper::check_fig11(q, &points)));
+            }
+        }
+    }
+
+    if want("fig12") {
+        let q3 = experiments::reuse_experiment(&mut wb, 3, 12);
+        let q12 = experiments::reuse_experiment(&mut wb, 12, 3);
+        println!("{}", report::render_fig12(&q3));
+        println!("{}", report::render_fig12(&q12));
+        println!("{}", paper::render_checks(&paper::check_fig12(&q3, &q12)));
+    }
+
+    if want("fig13") {
+        let pairs: Vec<_> = STUDIED_QUERIES
+            .iter()
+            .map(|q| experiments::prefetch_experiment(&mut wb, *q))
+            .collect();
+        println!("{}", report::render_fig13(&pairs));
+        println!("{}", paper::render_checks(&paper::check_fig13(&pairs)));
+    }
+
+    // Extension experiments (not in the paper): run with `ext` or by name.
+    if args.contains("ext") || args.contains("ext-protocol") {
+        let ablations: Vec<_> = STUDIED_QUERIES
+            .iter()
+            .map(|q| experiments::protocol_ablation(&mut wb, *q))
+            .collect();
+        println!("{}", report::render_ext_protocol(&ablations));
+    }
+    if args.contains("ext") || args.contains("ext-prefetch") {
+        for q in [6u8, 12] {
+            let points = experiments::prefetch_degree_sweep(&mut wb, q);
+            println!("{}", report::render_ext_prefetch(q, &points));
+        }
+    }
+    if args.contains("ext") || args.contains("ext-updates") {
+        let runs = experiments::update_experiment(dss_workbenchless_scale());
+        println!("{}", report::render_ext_updates(&runs));
+    }
+    if args.contains("ext") || args.contains("ext-intra") {
+        let runs = experiments::intra_query_experiment(&mut wb);
+        println!("{}", report::render_ext_intra(&runs));
+    }
+    if args.contains("ext") || args.contains("ext-streams") {
+        let baselines = experiments::baseline_suite(&mut wb, &STUDIED_QUERIES);
+        let runs = experiments::stream_experiment(&mut wb, &[3, 6, 12]);
+        println!("{}", report::render_ext_streams(&runs, &baselines));
+    }
+    if args.contains("ext") || args.contains("ext-procs") {
+        for q in STUDIED_QUERIES {
+            let points = experiments::processor_sweep(&mut wb, q);
+            println!("{}", report::render_ext_procs(q, &points));
+        }
+    }
+
+    println!("total wall time: {:.1?}", start.elapsed());
+}

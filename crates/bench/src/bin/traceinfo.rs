@@ -1,0 +1,68 @@
+//! Trace locality analysis for one query — the quantitative version of the
+//! paper's Section 3 ("Memory Access Patterns of TPC-D Queries").
+//!
+//! ```text
+//! cargo run -p dss-bench --release --bin traceinfo -- 3      # analyze Q3
+//! cargo run -p dss-bench --release --bin traceinfo -- 6 12   # several
+//! ```
+//!
+//! For each query, prints per-data-structure footprints, sequentiality
+//! (spatial locality), and reuse-distance histograms (temporal locality) at
+//! 64-byte line granularity.
+
+use dss_query::{Database, DbConfig, Session};
+use dss_tpcd::params;
+use dss_trace::{analyze, DataClass, REUSE_BUCKETS};
+
+fn main() {
+    let queries: Vec<u8> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("query number 1..17"))
+        .collect();
+    let queries = if queries.is_empty() { vec![3, 6, 12] } else { queries };
+
+    println!("building the paper-scale database...");
+    let mut db = Database::build(&DbConfig::default());
+
+    for q in queries {
+        let mut session = Session::new(0);
+        let sql = dss_query::sql_for(q, &params(q, 0));
+        db.run(&sql, &mut session).unwrap_or_else(|e| panic!("Q{q}: {e}"));
+        let trace = session.tracer.take();
+        let a = analyze(&trace, 64);
+
+        println!("\n=== Q{q}: {} events, {} distinct 64B lines ===", trace.len(), a.total_footprint_lines());
+        println!(
+            "{:>10} {:>10} {:>10} {:>6}  {:>24}  cold%",
+            "struct", "refs", "lines", "seq%", "reuse ≤0/16/256/4k/64k"
+        );
+        for class in DataClass::ALL {
+            let c = a.class(class);
+            if c.refs == 0 {
+                continue;
+            }
+            let hist: Vec<String> = (0..REUSE_BUCKETS.len())
+                .map(|i| format!("{:.0}", 100.0 * c.reuse.counts[i] as f64 / c.reuse.total().max(1) as f64))
+                .collect();
+            println!(
+                "{:>10} {:>10} {:>10} {:>5.1}%  {:>24}  {:>4.0}%",
+                class.label(),
+                c.refs,
+                c.footprint_lines,
+                100.0 * c.sequentiality(),
+                hist.join("/"),
+                100.0 * c.reuse.cold_fraction(),
+            );
+        }
+    }
+
+    println!(
+        "\nReading guide: the paper's claims appear directly — Sequential\n\
+         queries show near-total sequentiality and cold reuse on Data; Index\n\
+         queries show reused index lines (small reuse distances from the\n\
+         b-tree's top levels); private data reuses the same slots constantly.\n\
+         The reuse columns double as a working-set curve: a cache of N lines\n\
+         captures exactly the reuse at distances <= N (the paper's 'very\n\
+         large caches might be needed to capture the whole reuse')."
+    );
+}

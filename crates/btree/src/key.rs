@@ -1,0 +1,141 @@
+//! Order-preserving 128-bit index keys.
+
+/// A fixed-width, order-preserving b-tree key.
+///
+/// Postgres95 index tuples carry variable-width attribute values; our b-tree
+/// instead encodes every key into two big-endian-comparable words, which
+/// preserves the paper-relevant behavior (comparisons read key bytes from the
+/// index page) while keeping node layout fixed. Encodings:
+///
+/// * integers and dates — order-preserving bias into the high word,
+/// * strings — first eight bytes into the high word (TPC-D's categorical
+///   attributes are distinct within eight bytes; equality is re-checked on
+///   the heap tuple by the executor, so collisions would only cost extra
+///   fetches, never wrong results),
+/// * composites — second component in the low word.
+///
+/// # Example
+///
+/// ```
+/// use dss_btree::Key;
+///
+/// assert!(Key::int(-5) < Key::int(3));
+/// assert!(Key::str8("AIR") < Key::str8("TRUCK"));
+/// assert!(Key::int_pair(7, 1) < Key::int_pair(7, 2));
+/// assert_eq!(Key::int(42).min_in_group(), Key::int_pair(42, i64::MIN));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Key {
+    /// Primary comparison word.
+    pub hi: u64,
+    /// Secondary comparison word.
+    pub lo: u64,
+}
+
+/// Order-preserving map from `i64` to `u64`.
+fn bias(v: i64) -> u64 {
+    (v as u64) ^ (1 << 63)
+}
+
+impl Key {
+    /// The smallest possible key.
+    pub const MIN: Key = Key { hi: 0, lo: 0 };
+    /// The largest possible key.
+    pub const MAX: Key = Key { hi: u64::MAX, lo: u64::MAX };
+
+    /// Builds a key from raw words.
+    pub fn from_words(hi: u64, lo: u64) -> Key {
+        Key { hi, lo }
+    }
+
+    /// Encodes a single integer (or date day-number, or decimal hundredths).
+    pub fn int(v: i64) -> Key {
+        Key { hi: bias(v), lo: 0 }
+    }
+
+    /// Encodes an integer pair, ordered by `a` then `b`.
+    pub fn int_pair(a: i64, b: i64) -> Key {
+        Key { hi: bias(a), lo: bias(b) }
+    }
+
+    /// Encodes the first eight bytes of a string (shorter strings are
+    /// zero-padded, longer ones truncated).
+    pub fn str8(s: &str) -> Key {
+        let mut buf = [0u8; 8];
+        let bytes = s.as_bytes();
+        let n = bytes.len().min(8);
+        buf[..n].copy_from_slice(&bytes[..n]);
+        Key { hi: u64::from_be_bytes(buf), lo: 0 }
+    }
+
+    /// Encodes a string prefix plus an integer, ordered by string then value.
+    pub fn str8_int(s: &str, v: i64) -> Key {
+        Key { hi: Key::str8(s).hi, lo: bias(v) }
+    }
+
+    /// Smallest key sharing this key's high word: the lower bound of a range
+    /// scan over a group (all entries with the same leading attribute).
+    pub fn min_in_group(self) -> Key {
+        Key { hi: self.hi, lo: 0 }
+    }
+
+    /// Largest key sharing this key's high word: the upper bound of a group
+    /// range scan.
+    pub fn max_in_group(self) -> Key {
+        Key { hi: self.hi, lo: u64::MAX }
+    }
+}
+
+impl std::fmt::Display for Key {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:#018x},{:#018x})", self.hi, self.lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_encoding_preserves_order() {
+        let vals = [i64::MIN, -100, -1, 0, 1, 7, i64::MAX];
+        for w in vals.windows(2) {
+            assert!(Key::int(w[0]) < Key::int(w[1]), "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn pair_encoding_orders_lexicographically() {
+        assert!(Key::int_pair(1, 100) < Key::int_pair(2, -100));
+        assert!(Key::int_pair(1, -1) < Key::int_pair(1, 0));
+    }
+
+    #[test]
+    fn str_encoding_orders_like_strings() {
+        let words = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"];
+        for w in words.windows(2) {
+            assert!(Key::str8(w[0]) < Key::str8(w[1]), "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn group_bounds_bracket_members() {
+        let probe = Key::str8_int("AUTOMOBILE", 55);
+        let lo = Key::str8("AUTOMOBILE").min_in_group();
+        let hi = Key::str8("AUTOMOBILE").max_in_group();
+        assert!(lo <= probe && probe <= hi);
+        assert!(hi < Key::str8("BUILDING").min_in_group());
+    }
+
+    #[test]
+    fn min_max_are_extreme() {
+        assert!(Key::MIN <= Key::int(i64::MIN));
+        assert!(Key::MAX >= Key::str8_int("\u{10FFFF}", i64::MAX));
+    }
+
+    #[test]
+    fn long_strings_truncate_consistently() {
+        // Both longer than 8 bytes with equal prefixes: equal keys.
+        assert_eq!(Key::str8("DELIVER IN PERSON"), Key::str8("DELIVER IS"));
+    }
+}

@@ -1,0 +1,193 @@
+//! On-page node layout.
+//!
+//! Each b-tree node occupies one 8 KB buffer block:
+//!
+//! ```text
+//! offset 0   u32 kind (0 = leaf, 1 = internal)
+//! offset 4   u32 nkeys
+//! offset 8   u32 right-sibling block (u32::MAX = none)
+//! offset 12  u32 level (0 at leaves)
+//! offset 32  entries, 24 bytes each: key.hi, key.lo, payload
+//! ```
+//!
+//! The payload is a packed [`TupleId`] in leaves and a child block number in
+//! internal nodes.
+
+use dss_bufcache::{BufId, BufferPool, BLOCK_SIZE};
+
+use crate::Key;
+
+/// Node header size in bytes.
+pub const HEADER_SIZE: usize = 32;
+/// Entry size in bytes (16-byte key + 8-byte payload).
+pub const ENTRY_SIZE: usize = 24;
+/// Maximum entries per node.
+pub const CAPACITY: usize = (BLOCK_SIZE as usize - HEADER_SIZE) / ENTRY_SIZE;
+/// Sentinel for "no right sibling".
+pub const NO_BLOCK: u32 = u32::MAX;
+
+const KIND_OFF: usize = 0;
+const NKEYS_OFF: usize = 4;
+const RIGHT_OFF: usize = 8;
+const LEVEL_OFF: usize = 12;
+
+/// Heap tuple locator stored in leaf entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TupleId {
+    /// Heap block number within the indexed relation.
+    pub block: u32,
+    /// Slot within the heap page.
+    pub slot: u32,
+}
+
+impl TupleId {
+    /// Creates a tuple id.
+    pub fn new(block: u32, slot: u32) -> Self {
+        TupleId { block, slot }
+    }
+
+    /// Packs into a 8-byte payload word.
+    pub fn pack(self) -> u64 {
+        (self.block as u64) << 32 | self.slot as u64
+    }
+
+    /// Unpacks from a payload word.
+    pub fn unpack(word: u64) -> Self {
+        TupleId { block: (word >> 32) as u32, slot: word as u32 }
+    }
+}
+
+/// Node kind discriminant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Leaf node: payloads are heap tuple ids.
+    Leaf,
+    /// Internal node: payloads are child block numbers.
+    Internal,
+}
+
+pub(crate) fn init_node(pool: &mut BufferPool, buf: BufId, kind: NodeKind, level: u32) {
+    pool.put_u32(buf, KIND_OFF, matches!(kind, NodeKind::Internal) as u32);
+    pool.put_u32(buf, NKEYS_OFF, 0);
+    pool.put_u32(buf, RIGHT_OFF, NO_BLOCK);
+    pool.put_u32(buf, LEVEL_OFF, level);
+}
+
+pub(crate) fn kind(pool: &BufferPool, buf: BufId) -> NodeKind {
+    if pool.get_u32(buf, KIND_OFF) == 0 {
+        NodeKind::Leaf
+    } else {
+        NodeKind::Internal
+    }
+}
+
+pub(crate) fn nkeys(pool: &BufferPool, buf: BufId) -> usize {
+    pool.get_u32(buf, NKEYS_OFF) as usize
+}
+
+pub(crate) fn set_nkeys(pool: &mut BufferPool, buf: BufId, n: usize) {
+    pool.put_u32(buf, NKEYS_OFF, n as u32);
+}
+
+pub(crate) fn right(pool: &BufferPool, buf: BufId) -> u32 {
+    pool.get_u32(buf, RIGHT_OFF)
+}
+
+pub(crate) fn set_right(pool: &mut BufferPool, buf: BufId, block: u32) {
+    pool.put_u32(buf, RIGHT_OFF, block);
+}
+
+pub(crate) fn entry_off(i: usize) -> usize {
+    HEADER_SIZE + i * ENTRY_SIZE
+}
+
+pub(crate) fn entry_key(pool: &BufferPool, buf: BufId, i: usize) -> Key {
+    let off = entry_off(i);
+    Key::from_words(pool.get_u64(buf, off), pool.get_u64(buf, off + 8))
+}
+
+pub(crate) fn entry_payload(pool: &BufferPool, buf: BufId, i: usize) -> u64 {
+    pool.get_u64(buf, entry_off(i) + 16)
+}
+
+pub(crate) fn write_entry(pool: &mut BufferPool, buf: BufId, i: usize, key: Key, payload: u64) {
+    let off = entry_off(i);
+    pool.put_u64(buf, off, key.hi);
+    pool.put_u64(buf, off + 8, key.lo);
+    pool.put_u64(buf, off + 16, payload);
+}
+
+/// Shifts entries `[i, nkeys)` right by one and writes the new entry at `i`.
+pub(crate) fn insert_entry_at(
+    pool: &mut BufferPool,
+    buf: BufId,
+    i: usize,
+    key: Key,
+    payload: u64,
+) {
+    let n = nkeys(pool, buf);
+    assert!(n < CAPACITY, "node overflow");
+    let mut j = n;
+    while j > i {
+        let k = entry_key(pool, buf, j - 1);
+        let p = entry_payload(pool, buf, j - 1);
+        write_entry(pool, buf, j, k, p);
+        j -= 1;
+    }
+    write_entry(pool, buf, i, key, payload);
+    set_nkeys(pool, buf, n + 1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_shmem::AddressSpace;
+
+    #[test]
+    fn tuple_id_roundtrips() {
+        for (b, s) in [(0u32, 0u32), (1, 2), (u32::MAX - 1, 65_535), (1234, 56)] {
+            let tid = TupleId::new(b, s);
+            assert_eq!(TupleId::unpack(tid.pack()), tid);
+        }
+    }
+
+    #[test]
+    fn capacity_is_large() {
+        // 8 KB pages hold a few hundred 24-byte entries.
+        assert_eq!(CAPACITY, (8192 - 32) / 24);
+        const _: () = assert!(CAPACITY >= 300);
+    }
+
+    #[test]
+    fn header_and_entries_roundtrip() {
+        let mut space = AddressSpace::new();
+        let mut pool = BufferPool::new(&mut space, 4);
+        let page = pool.alloc_page(1);
+        let buf = pool.lookup(page).unwrap();
+        init_node(&mut pool, buf, NodeKind::Leaf, 0);
+        assert_eq!(kind(&pool, buf), NodeKind::Leaf);
+        assert_eq!(nkeys(&pool, buf), 0);
+        assert_eq!(right(&pool, buf), NO_BLOCK);
+
+        write_entry(&mut pool, buf, 0, Key::int(5), TupleId::new(3, 4).pack());
+        set_nkeys(&mut pool, buf, 1);
+        assert_eq!(entry_key(&pool, buf, 0), Key::int(5));
+        assert_eq!(TupleId::unpack(entry_payload(&pool, buf, 0)), TupleId::new(3, 4));
+    }
+
+    #[test]
+    fn insert_entry_shifts_suffix() {
+        let mut space = AddressSpace::new();
+        let mut pool = BufferPool::new(&mut space, 4);
+        let page = pool.alloc_page(1);
+        let buf = pool.lookup(page).unwrap();
+        init_node(&mut pool, buf, NodeKind::Leaf, 0);
+        for (i, v) in [10i64, 30, 40].iter().enumerate() {
+            insert_entry_at(&mut pool, buf, i, Key::int(*v), *v as u64);
+        }
+        insert_entry_at(&mut pool, buf, 1, Key::int(20), 20);
+        let keys: Vec<Key> = (0..nkeys(&pool, buf)).map(|i| entry_key(&pool, buf, i)).collect();
+        assert_eq!(keys, vec![Key::int(10), Key::int(20), Key::int(30), Key::int(40)]);
+        assert_eq!(entry_payload(&pool, buf, 1), 20);
+    }
+}

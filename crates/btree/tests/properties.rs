@@ -1,0 +1,86 @@
+//! Property tests: the traced b-tree agrees with `std::collections::BTreeMap`.
+
+use std::collections::BTreeMap;
+
+use dss_btree::{BTree, Key, TupleId};
+use dss_bufcache::BufferPool;
+use dss_shmem::AddressSpace;
+use dss_trace::Tracer;
+use proptest::prelude::*;
+
+fn pool(nbuffers: u32) -> BufferPool {
+    BufferPool::new(&mut AddressSpace::new(), nbuffers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A bulk-built tree answers arbitrary range queries exactly like a
+    /// reference ordered map.
+    #[test]
+    fn bulk_build_range_queries_match_btreemap(
+        keys in proptest::collection::btree_set(-10_000i64..10_000, 0..800),
+        ranges in proptest::collection::vec((-10_000i64..10_000, -10_000i64..10_000), 1..10),
+    ) {
+        let reference: BTreeMap<i64, u32> =
+            keys.iter().enumerate().map(|(i, k)| (*k, i as u32)).collect();
+        let entries: Vec<(Key, TupleId)> =
+            reference.iter().map(|(k, v)| (Key::int(*k), TupleId::new(0, *v))).collect();
+        let mut pool = pool(256);
+        let tree = BTree::bulk_build(&mut pool, 1, &entries);
+        let t = Tracer::disabled();
+        for (a, b) in ranges {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let got: Vec<u32> = tree
+                .lookup_range(&mut pool, &t, Key::int(lo), Key::int(hi))
+                .into_iter()
+                .map(|(_, tid)| tid.slot)
+                .collect();
+            let want: Vec<u32> = reference.range(lo..=hi).map(|(_, v)| *v).collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Incremental inserts (with splits) agree with the reference map,
+    /// including duplicate keys.
+    #[test]
+    fn inserts_match_reference(
+        ops in proptest::collection::vec((-500i64..500, 0u32..4), 1..600),
+    ) {
+        let mut pool = pool(512);
+        let t = Tracer::disabled();
+        let mut tree = BTree::create(&mut pool, 1);
+        let mut reference: Vec<(i64, u32)> = Vec::new();
+        for (i, (k, dup)) in ops.iter().enumerate() {
+            tree.insert(&mut pool, &t, Key::int(*k), TupleId::new(*dup, i as u32));
+            reference.push((*k, i as u32));
+        }
+        let mut got: Vec<(i64, u32)> = tree
+            .lookup_range(&mut pool, &t, Key::MIN, Key::MAX)
+            .into_iter()
+            .map(|(k, tid)| ((k.hi ^ (1 << 63)) as i64, tid.slot))
+            .collect();
+        reference.sort();
+        got.sort();
+        prop_assert_eq!(got, reference);
+    }
+
+    /// Scans never leave pages pinned, whatever the bounds.
+    #[test]
+    fn scans_release_all_pins(
+        n in 1usize..2000,
+        lo in -3000i64..3000,
+        span in 0i64..2000,
+    ) {
+        let mut pool = pool(256);
+        let entries: Vec<(Key, TupleId)> =
+            (0..n).map(|i| (Key::int(i as i64), TupleId::new(0, i as u32))).collect();
+        let tree = BTree::bulk_build(&mut pool, 1, &entries);
+        let t = Tracer::disabled();
+        let _ = tree.lookup_range(&mut pool, &t, Key::int(lo), Key::int(lo + span));
+        for block in 0..pool.rel_len(1) {
+            let buf = pool.lookup(dss_bufcache::PageId::new(1, block)).unwrap();
+            prop_assert_eq!(pool.refcount(buf), 0);
+        }
+    }
+}

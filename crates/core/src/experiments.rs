@@ -1,0 +1,424 @@
+//! Runners for every table and figure in the paper's evaluation.
+//!
+//! Each function takes a [`Workbench`], generates (or reuses) the traces it
+//! needs, and runs the memory-hierarchy simulator at the appropriate
+//! configuration. The returned structs carry raw [`SimStats`]; rendering to
+//! the paper's chart shapes lives in [`crate::report`].
+
+use dss_memsim::{Machine, MachineConfig, SimStats};
+use dss_query::{Database, PlanFeatures};
+use dss_tpcd::params;
+
+use crate::workload::Workbench;
+
+/// L2 line sizes swept by Figures 8 and 9 (L1 lines are half).
+pub const LINE_SIZES: [u64; 5] = [16, 32, 64, 128, 256];
+
+/// `(L1 KB, L2 KB)` cache sizes swept by Figures 10 and 11, from the
+/// baseline "4-Kbyte primary and 128-Kbyte secondary caches to 256-Kbyte
+/// primary and 8-Mbyte secondary caches".
+pub const CACHE_SIZES_KB: [(u64, u64); 4] = [(4, 128), (16, 512), (64, 2048), (256, 8192)];
+
+/// The very large caches of the inter-query reuse experiment (Figure 12):
+/// "a 1-Mbyte primary cache and a 32-Mbyte secondary cache … to identify the
+/// upper bound on the data reuse".
+pub const REUSE_CACHES_KB: (u64, u64) = (1024, 32 * 1024);
+
+/// The prefetch degree of Section 6: four primary-cache lines.
+pub const PREFETCH_LINES: u32 = 4;
+
+/// Baseline simulation of one query type (Figures 6 and 7, and the quoted
+/// miss rates).
+#[derive(Clone, Debug)]
+pub struct QueryBaseline {
+    /// The query (3, 6, or 12).
+    pub query: u8,
+    /// Simulation results at the baseline machine.
+    pub stats: SimStats,
+}
+
+/// Runs the baseline architecture for one query.
+pub fn baseline_run(wb: &mut Workbench, query: u8) -> QueryBaseline {
+    let traces = wb.traces(query, 0);
+    let stats = Machine::new(MachineConfig::baseline()).run(&traces);
+    QueryBaseline { query, stats }
+}
+
+/// Runs the baseline for a set of queries (default: the three studied ones).
+pub fn baseline_suite(wb: &mut Workbench, queries: &[u8]) -> Vec<QueryBaseline> {
+    queries.iter().map(|q| baseline_run(wb, *q)).collect()
+}
+
+/// One point of the line-size sweep.
+#[derive(Clone, Debug)]
+pub struct LinePoint {
+    /// Secondary-cache line size in bytes.
+    pub l2_line: u64,
+    /// Results.
+    pub stats: SimStats,
+}
+
+/// Figures 8 and 9: sweep the cache line size for one query.
+pub fn line_size_sweep(wb: &mut Workbench, query: u8) -> Vec<LinePoint> {
+    let traces = wb.traces(query, 0);
+    LINE_SIZES
+        .iter()
+        .map(|&l2_line| {
+            let cfg = MachineConfig::baseline().with_line_size(l2_line);
+            LinePoint { l2_line, stats: Machine::new(cfg).run(&traces) }
+        })
+        .collect()
+}
+
+/// One point of the cache-size sweep.
+#[derive(Clone, Debug)]
+pub struct CachePoint {
+    /// Primary cache size in KB.
+    pub l1_kb: u64,
+    /// Secondary cache size in KB.
+    pub l2_kb: u64,
+    /// Results.
+    pub stats: SimStats,
+}
+
+/// Figures 10 and 11: sweep the cache sizes for one query (64-byte L2 lines,
+/// as the paper uses for its temporal-locality studies).
+pub fn cache_size_sweep(wb: &mut Workbench, query: u8) -> Vec<CachePoint> {
+    let traces = wb.traces(query, 0);
+    CACHE_SIZES_KB
+        .iter()
+        .map(|&(l1_kb, l2_kb)| {
+            let cfg = MachineConfig::baseline().with_cache_sizes(l1_kb * 1024, l2_kb * 1024);
+            CachePoint { l1_kb, l2_kb, stats: Machine::new(cfg).run(&traces) }
+        })
+        .collect()
+}
+
+/// Figure 12 results for one measured query: cold caches, caches warmed by
+/// another instance of the same query (different parameters), and caches
+/// warmed by the other query type.
+#[derive(Clone, Debug)]
+pub struct ReuseSet {
+    /// The measured query.
+    pub query: u8,
+    /// The other query type used for the third warm-up.
+    pub other: u8,
+    /// Cold-start run.
+    pub cold: SimStats,
+    /// Run after warming with the same query type, different parameters.
+    pub warm_same: SimStats,
+    /// Run after warming with `other`.
+    pub warm_other: SimStats,
+}
+
+/// Figure 12: inter-query temporal locality with very large caches.
+pub fn reuse_experiment(wb: &mut Workbench, query: u8, other: u8) -> ReuseSet {
+    let (l1_kb, l2_kb) = REUSE_CACHES_KB;
+    let cfg = MachineConfig::baseline().with_cache_sizes(l1_kb * 1024, l2_kb * 1024);
+    let measured = wb.traces(query, 0);
+
+    let cold = Machine::new(cfg.clone()).run(&measured);
+
+    let warm_same = {
+        let warm = wb.traces(query, 1000);
+        let mut m = Machine::new(cfg.clone());
+        m.run(&warm);
+        drop(warm);
+        let measured = wb.traces(query, 0);
+        m.run(&measured)
+    };
+
+    let warm_other = {
+        let warm = wb.traces(other, 1000);
+        let mut m = Machine::new(cfg);
+        m.run(&warm);
+        drop(warm);
+        let measured = wb.traces(query, 0);
+        m.run(&measured)
+    };
+
+    ReuseSet { query, other, cold, warm_same, warm_other }
+}
+
+/// Figure 13 results for one query: baseline vs. baseline plus the simple
+/// sequential prefetcher for database data.
+#[derive(Clone, Debug)]
+pub struct PrefetchPair {
+    /// The query.
+    pub query: u8,
+    /// Baseline run.
+    pub base: SimStats,
+    /// Run with 4-line data prefetching.
+    pub opt: SimStats,
+}
+
+impl PrefetchPair {
+    /// Relative execution-time change of the optimized run (negative =
+    /// speedup).
+    pub fn delta(&self) -> f64 {
+        self.opt.exec_cycles() as f64 / self.base.exec_cycles() as f64 - 1.0
+    }
+}
+
+/// Figure 13: the Section 6 prefetching experiment.
+pub fn prefetch_experiment(wb: &mut Workbench, query: u8) -> PrefetchPair {
+    let traces = wb.traces(query, 0);
+    let base = Machine::new(MachineConfig::baseline()).run(&traces);
+    let opt =
+        Machine::new(MachineConfig::baseline().with_data_prefetch(PREFETCH_LINES)).run(&traces);
+    PrefetchPair { query, base, opt }
+}
+
+/// Table 1: the operator matrix of all seventeen read-only queries.
+pub fn table1(db: &Database) -> Vec<(u8, PlanFeatures)> {
+    (1..=17u8)
+        .map(|q| {
+            let sql = dss_query::sql_for(q, &params(q, 1));
+            let plan = db.plan_sql(&sql).unwrap_or_else(|e| panic!("Q{q} failed to plan: {e}"));
+            (q, plan.features())
+        })
+        .collect()
+}
+
+/// The paper's quoted absolute miss rates: per query, the primary-cache read
+/// miss rate and the "global" secondary-cache read miss rate.
+#[derive(Clone, Copy, Debug)]
+pub struct MissRates {
+    /// The query.
+    pub query: u8,
+    /// L1 read miss rate (fraction).
+    pub l1: f64,
+    /// L2 misses over all processor loads (fraction).
+    pub l2_global: f64,
+}
+
+/// Computes miss rates from a baseline run.
+pub fn miss_rates(baseline: &QueryBaseline) -> MissRates {
+    MissRates {
+        query: baseline.query,
+        l1: baseline.stats.l1.read_miss_rate(),
+        l2_global: baseline.stats.l2_global_read_miss_rate(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Extension experiments beyond the paper's figures: ablations of the design
+// choices its architecture section fixes, and the processor-scaling question
+// its future-work section raises.
+// ---------------------------------------------------------------------------
+
+/// Coherence-protocol ablation for one query: the paper's MSI baseline
+/// against a MESI variant whose exclusive-clean state absorbs first writes.
+#[derive(Clone, Debug)]
+pub struct ProtocolAblation {
+    /// The query.
+    pub query: u8,
+    /// The paper's protocol.
+    pub msi: SimStats,
+    /// The MESI variant.
+    pub mesi: SimStats,
+}
+
+/// Runs the MSI-vs-MESI ablation.
+pub fn protocol_ablation(wb: &mut Workbench, query: u8) -> ProtocolAblation {
+    let traces = wb.traces(query, 0);
+    let msi = Machine::new(MachineConfig::baseline()).run(&traces);
+    let mesi = Machine::new(
+        MachineConfig::baseline().with_protocol(dss_memsim::Protocol::Mesi),
+    )
+    .run(&traces);
+    ProtocolAblation { query, msi, mesi }
+}
+
+/// Prefetch degrees swept by the prefetch-depth ablation.
+pub const PREFETCH_DEGREES: [u32; 5] = [0, 1, 2, 4, 8];
+
+/// Sweeps the sequential-prefetch degree (the paper fixes it at 4).
+pub fn prefetch_degree_sweep(wb: &mut Workbench, query: u8) -> Vec<(u32, SimStats)> {
+    let traces = wb.traces(query, 0);
+    PREFETCH_DEGREES
+        .iter()
+        .map(|&d| {
+            let cfg = MachineConfig::baseline().with_data_prefetch(d);
+            (d, Machine::new(cfg).run(&traces))
+        })
+        .collect()
+}
+
+/// Processor counts swept by the scaling experiment.
+pub const PROC_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Scales the machine from one to four processors, running one query
+/// instance per processor (the paper's inter-query parallelism model).
+/// Each point reports how metalock spinning and coherence misses grow.
+pub fn processor_sweep(wb: &mut Workbench, query: u8) -> Vec<(usize, SimStats)> {
+    let traces = wb.traces(query, 0);
+    PROC_COUNTS
+        .iter()
+        .map(|&n| {
+            let mut cfg = MachineConfig::baseline();
+            cfg.nprocs = n;
+            let subset: Vec<_> = traces.iter().take(n).cloned().collect();
+            (n, Machine::new(cfg).run(&subset))
+        })
+        .collect()
+}
+
+/// Results of the update-workload extension: four processors each running a
+/// UF1 (insert new orders) followed by a UF2 (delete old ones).
+#[derive(Clone, Debug)]
+pub struct UpdateRuns {
+    /// Baseline simulation of the four update streams.
+    pub stats: SimStats,
+    /// Orders + lineitems inserted across all processors.
+    pub inserted: u64,
+    /// Tuples deleted across all processors.
+    pub deleted: u64,
+}
+
+/// The update-workload extension: the paper declines to trace TPC-D's update
+/// functions (Postgres95's relation-level locking would serialize them);
+/// here each processor's UF1/UF2 pair touches a disjoint key range, exposing
+/// the *memory-system* cost of writes — ownership misses on data pages,
+/// write-buffer pressure, and index-maintenance traffic.
+///
+/// Builds its own database so the workbench's image stays pristine.
+pub fn update_experiment(scale: f64) -> UpdateRuns {
+    use dss_query::{insert_lineitems_sql, insert_orders_sql, uf2_sql, Database, DbConfig, Session};
+    use dss_tpcd::Generator;
+
+    let config = DbConfig { scale, ..DbConfig::default() };
+    let mut db = Database::build(&config);
+    let generator = Generator::new(config.scale, config.seed);
+    let norders = db.catalog.table("orders").expect("orders").heap.ntuples() as i64;
+    // UF1/UF2 touch 0.1% of orders each, the spec's refresh fraction.
+    let per_proc = ((norders / 1000) as usize).max(4);
+
+    let mut traces = Vec::new();
+    let mut inserted = 0;
+    let mut deleted = 0;
+    for p in 0..4usize {
+        let mut session = Session::new(p);
+        // UF1: fresh orders in a per-processor key range above the population.
+        let base = 10_000_000 + (p as i64) * 1_000_000;
+        let (orders, lineitems) = generator.uf1_rows(p as u64, per_proc, base);
+        inserted += db
+            .execute(&insert_orders_sql(&orders), &mut session)
+            .expect("UF1 orders")
+            .affected()
+            .expect("write");
+        inserted += db
+            .execute(&insert_lineitems_sql(&lineitems), &mut session)
+            .expect("UF1 lineitems")
+            .affected()
+            .expect("write");
+        // UF2: delete a disjoint slice of the original population.
+        let lo = 1 + (p as i64) * per_proc as i64;
+        let hi = lo + per_proc as i64 - 1;
+        for sql in uf2_sql(lo, hi) {
+            deleted += db
+                .execute(&sql, &mut session)
+                .expect("UF2")
+                .affected()
+                .expect("write");
+        }
+        traces.push(session.tracer.take());
+    }
+    let stats = Machine::new(MachineConfig::baseline()).run(&traces);
+    UpdateRuns { stats, inserted, deleted }
+}
+
+/// Results of the intra-query-parallelism extension: Q6 executed by one
+/// processor vs. partitioned across four (each scanning a quarter of
+/// `lineitem` and computing a partial aggregate).
+#[derive(Clone, Debug)]
+pub struct IntraQueryRuns {
+    /// Single-processor full scan.
+    pub single: SimStats,
+    /// Four processors scanning disjoint quarters concurrently.
+    pub partitioned: SimStats,
+    /// The partial aggregates, summed (for a correctness cross-check).
+    pub partial_sum: i64,
+    /// The single-processor aggregate.
+    pub full_sum: i64,
+}
+
+/// The intra-query-parallelism extension (the paper's closing future-work
+/// item): partition Q6's sequential scan across the processors by heap block
+/// range — each node aggregates its fragment; a real system would combine
+/// the partials for free.
+pub fn intra_query_experiment(wb: &mut Workbench) -> IntraQueryRuns {
+    use dss_query::Session;
+    use dss_tpcd::params;
+
+    let p = params(6, 0);
+    let sql = dss_query::sql_for(6, &p);
+
+    // Single-processor baseline: the ordinary Q6 plan on processor 0.
+    let (single, full_sum) = {
+        let mut session = Session::new(0);
+        let out = wb.db.run(&sql, &mut session).expect("Q6 runs");
+        let sum = out.rows[0][0].dec();
+        let trace = session.tracer.take();
+        (Machine::new(MachineConfig::baseline()).run(&[trace]), sum)
+    };
+
+    // Partitioned: rewrite the plan's SeqScan with a block range per node.
+    let plan = wb.db.plan_sql(&sql).expect("Q6 plans");
+    let npages = wb.db.catalog.table("lineitem").expect("lineitem").heap.npages();
+    let mut traces = Vec::new();
+    let mut partial_sum = 0;
+    for node in 0..4u32 {
+        let lo = npages * node / 4;
+        let hi = npages * (node + 1) / 4;
+        let mut partitioned_plan = plan.clone();
+        restrict_scan(&mut partitioned_plan, lo, hi);
+        let mut session = Session::new(node as usize);
+        let out = wb.db.run_plan(&partitioned_plan, &mut session);
+        partial_sum += out.rows[0][0].dec();
+        traces.push(session.tracer.take());
+    }
+    let partitioned = Machine::new(MachineConfig::baseline()).run(&traces);
+    IntraQueryRuns { single, partitioned, partial_sum, full_sum }
+}
+
+fn restrict_scan(plan: &mut dss_query::Plan, lo: u32, hi: u32) {
+    use dss_query::Plan;
+    match plan {
+        Plan::SeqScan { block_range, .. } => *block_range = Some((lo, hi)),
+        Plan::NestLoop { outer, inner, .. }
+        | Plan::MergeJoin { outer, inner, .. }
+        | Plan::HashJoin { outer, inner, .. } => {
+            restrict_scan(outer, lo, hi);
+            restrict_scan(inner, lo, hi);
+        }
+        Plan::Filter { input, .. }
+        | Plan::Sort { input, .. }
+        | Plan::Group { input, .. }
+        | Plan::Aggregate { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::Limit { input, .. } => restrict_scan(input, lo, hi),
+        Plan::IndexScan { .. } => {}
+    }
+}
+
+/// Results of the query-stream extension: each processor runs a mixed
+/// stream of queries back to back, as a DSS system would between users.
+#[derive(Clone, Debug)]
+pub struct StreamRuns {
+    /// The stream each processor executed.
+    pub queries: Vec<u8>,
+    /// One baseline simulation of the four streams.
+    pub stats: SimStats,
+}
+
+/// The query-stream extension: runs `queries` consecutively on every
+/// processor (different parameters per instance). Inter-query locality —
+/// indices and, for Sequential queries, whole tables — is captured within
+/// each stream, quantifying the paper's Figure 12 upper bound under a
+/// realistic mixed workload and ordinary cache sizes.
+pub fn stream_experiment(wb: &mut Workbench, queries: &[u8]) -> StreamRuns {
+    let traces = wb.stream_traces(queries, 0);
+    let stats = Machine::new(MachineConfig::baseline()).run(&traces);
+    StreamRuns { queries: queries.to_vec(), stats }
+}

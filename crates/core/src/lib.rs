@@ -1,0 +1,34 @@
+//! Experiment harness for the HPCA'97 DSS memory-performance reproduction.
+//!
+//! This crate ties the substrates together into the paper's methodology
+//! (its Section 4): build a memory-resident, 100×-scaled TPC-D database in
+//! the emulated Postgres95, run one parameterized query per simulated
+//! processor to produce classified reference traces, and feed those traces
+//! into the CC-NUMA memory-hierarchy simulator under each experiment's
+//! machine configuration.
+//!
+//! * [`Workbench`] — database + trace cache (one trace set drives a whole
+//!   parameter sweep, since traces are machine-independent).
+//! * [`experiments`] — one runner per table/figure of the evaluation.
+//! * [`report`] — ASCII renderings in the paper's chart shapes.
+//! * [`paper`] — the paper's claims as executable shape checks.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dss_core::{experiments, report, Workbench};
+//!
+//! let mut wb = Workbench::paper();
+//! let baselines = experiments::baseline_suite(&mut wb, &[3, 6, 12]);
+//! println!("{}", report::render_fig6a(&baselines));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod paper;
+pub mod report;
+mod workload;
+
+pub use workload::{query_label, Workbench, STUDIED_QUERIES};

@@ -1,0 +1,484 @@
+//! ASCII rendering of every table and figure, in the paper's shapes.
+
+use dss_memsim::{MissKind, SimStats};
+use dss_query::PlanFeatures;
+use dss_trace::{DataClass, DataGroup};
+
+use crate::experiments::{
+    CachePoint, LinePoint, MissRates, PrefetchPair, QueryBaseline, ReuseSet,
+};
+use crate::workload::query_label;
+
+const GROUPS: [DataGroup; 4] = DataGroup::ALL;
+
+fn bar(frac: f64, width: usize) -> String {
+    let n = (frac.clamp(0.0, 1.2) * width as f64).round() as usize;
+    "#".repeat(n.min(width + 10))
+}
+
+/// Renders Table 1: the operator matrix for Q1–Q17.
+pub fn render_table1(rows: &[(u8, PlanFeatures)]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 1: operations in the read-only TPC-D queries\n");
+    out.push_str("          SS IS NL M  H  Sort Group Aggr\n");
+    for (q, f) in rows {
+        let m = |b: bool| if b { "x " } else { ". " };
+        out.push_str(&format!(
+            "  {:4}    {} {} {} {} {} {}   {}    {}\n",
+            query_label(*q),
+            m(f.seq_scan),
+            m(f.index_scan),
+            m(f.nest_loop),
+            m(f.merge_join),
+            m(f.hash_join),
+            m(f.sort),
+            m(f.group),
+            m(f.aggregate),
+        ));
+    }
+    out
+}
+
+/// Renders Figure 6(a): normalized execution-time breakdown.
+pub fn render_fig6a(baselines: &[QueryBaseline]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6(a): execution time breakdown (fractions of total cycles)\n");
+    out.push_str("         Busy   Mem    MSync\n");
+    for b in baselines {
+        let t = b.stats.time_breakdown();
+        out.push_str(&format!(
+            "  {:4}   {:5.2}  {:5.2}  {:5.2}   |{}\n",
+            query_label(b.query),
+            t.busy,
+            t.mem,
+            t.msync,
+            bar(t.busy, 30)
+        ));
+    }
+    out
+}
+
+/// Renders Figure 6(b): memory stall decomposed by data structure.
+pub fn render_fig6b(baselines: &[QueryBaseline]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 6(b): memory stall time by data structure (fractions of Mem)\n");
+    out.push_str("         Priv   Data   Index  Metadata\n");
+    for b in baselines {
+        let total = b.stats.total(|p| p.mem_stall).max(1) as f64;
+        let f: Vec<f64> = GROUPS
+            .iter()
+            .map(|g| b.stats.total(|p| p.stall_of_group(*g)) as f64 / total)
+            .collect();
+        out.push_str(&format!(
+            "  {:4}   {:5.2}  {:5.2}  {:5.2}  {:5.2}\n",
+            query_label(b.query),
+            f[0],
+            f[1],
+            f[2],
+            f[3]
+        ));
+    }
+    out
+}
+
+/// Renders Figure 7 for one query: read misses per data structure and kind,
+/// normalized so each chart sums to 100 (as in the paper).
+pub fn render_fig7(b: &QueryBaseline) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 7 ({}): read misses by structure (normalized, cold/conflict/coherence)\n",
+        query_label(b.query)
+    ));
+    for (level, matrix) in [("L1", &b.stats.l1.read_misses), ("L2", &b.stats.l2.read_misses)] {
+        let total = matrix.total().max(1) as f64;
+        out.push_str(&format!("  {level} (total {} misses):\n", matrix.total()));
+        out.push_str("    struct      cold   conf   cohe   total\n");
+        for class in DataClass::ALL {
+            let t = matrix.by_class(class);
+            if t == 0 {
+                continue;
+            }
+            let f = |k: MissKind| 100.0 * matrix.get(class, k) as f64 / total;
+            out.push_str(&format!(
+                "    {:10} {:6.1} {:6.1} {:6.1}  {:6.1}\n",
+                class.label(),
+                f(MissKind::Cold),
+                f(MissKind::Conflict),
+                f(MissKind::Coherence),
+                100.0 * t as f64 / total
+            ));
+        }
+    }
+    out
+}
+
+/// Renders the quoted absolute miss rates.
+pub fn render_miss_rates(rates: &[MissRates]) -> String {
+    let mut out = String::new();
+    out.push_str("Absolute read miss rates (paper quotes L1 5.5/3.4/4.8%, L2 global 0.8/0.6/0.5%)\n");
+    for r in rates {
+        out.push_str(&format!(
+            "  {:4}  L1 {:5.2}%   L2 global {:5.2}%\n",
+            query_label(r.query),
+            100.0 * r.l1,
+            100.0 * r.l2_global
+        ));
+    }
+    out
+}
+
+/// Renders Figure 8 for one query: misses per group across line sizes,
+/// normalized to the baseline point (64-byte L2 lines = 100).
+pub fn render_fig8(query: u8, points: &[LinePoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 8 ({}): read misses vs line size (baseline 64B = 100 per level)\n",
+        query_label(query)
+    ));
+    let base = points.iter().find(|p| p.l2_line == 64).expect("baseline point");
+    for (level, get) in [
+        ("L1", (|s: &SimStats, g: DataGroup| s.l1.read_misses.by_group(g)) as fn(&SimStats, DataGroup) -> u64),
+        ("L2", |s: &SimStats, g: DataGroup| s.l2.read_misses.by_group(g)),
+    ] {
+        let base_total: u64 = GROUPS.iter().map(|g| get(&base.stats, *g)).sum::<u64>().max(1);
+        out.push_str(&format!("  {level}:  line   Priv   Data  Index   Meta  total\n"));
+        for p in points {
+            let vals: Vec<f64> = GROUPS
+                .iter()
+                .map(|g| 100.0 * get(&p.stats, *g) as f64 / base_total as f64)
+                .collect();
+            out.push_str(&format!(
+                "       {:4}  {:6.1} {:6.1} {:6.1} {:6.1} {:6.1}\n",
+                p.l2_line,
+                vals[0],
+                vals[1],
+                vals[2],
+                vals[3],
+                vals.iter().sum::<f64>()
+            ));
+        }
+    }
+    out
+}
+
+/// Renders Figure 9 (or 11): execution time split Busy/MSync/SMem/PMem,
+/// normalized to a baseline run (= 100).
+fn render_time_sweep(
+    title: &str,
+    labels: &[String],
+    runs: &[&SimStats],
+    baseline_idx: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push_str("\n         Busy  MSync   SMem   PMem  total\n");
+    let base_cycles = runs[baseline_idx].total(|p| p.cycles).max(1) as f64;
+    for (label, s) in labels.iter().zip(runs) {
+        let busy = 100.0 * s.total(|p| p.busy) as f64 / base_cycles;
+        let msync = 100.0 * s.total(|p| p.msync) as f64 / base_cycles;
+        let smem = 100.0 * s.total(|p| p.smem()) as f64 / base_cycles;
+        let pmem = 100.0 * s.total(|p| p.pmem()) as f64 / base_cycles;
+        out.push_str(&format!(
+            "  {:6} {:5.1} {:6.1} {:6.1} {:6.1} {:6.1}\n",
+            label,
+            busy,
+            msync,
+            smem,
+            pmem,
+            busy + msync + smem + pmem
+        ));
+    }
+    out
+}
+
+/// Renders Figure 9: execution time vs line size.
+pub fn render_fig9(query: u8, points: &[LinePoint]) -> String {
+    let labels: Vec<String> = points.iter().map(|p| format!("{}B", p.l2_line)).collect();
+    let runs: Vec<&SimStats> = points.iter().map(|p| &p.stats).collect();
+    let baseline = points.iter().position(|p| p.l2_line == 64).expect("baseline");
+    render_time_sweep(
+        &format!(
+            "Figure 9 ({}): execution time vs line size (64B baseline = 100)",
+            query_label(query)
+        ),
+        &labels,
+        &runs,
+        baseline,
+    )
+}
+
+/// Renders Figure 10 for one query: misses per group across cache sizes,
+/// normalized to the smallest (baseline) configuration.
+pub fn render_fig10(query: u8, points: &[CachePoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 10 ({}): read misses vs cache size (4K/128K baseline = 100 per level)\n",
+        query_label(query)
+    ));
+    for (level, get) in [
+        ("L1", (|s: &SimStats, g: DataGroup| s.l1.read_misses.by_group(g)) as fn(&SimStats, DataGroup) -> u64),
+        ("L2", |s: &SimStats, g: DataGroup| s.l2.read_misses.by_group(g)),
+    ] {
+        let base = &points[0];
+        let base_total: u64 = GROUPS.iter().map(|g| get(&base.stats, *g)).sum::<u64>().max(1);
+        out.push_str(&format!("  {level}:  caches        Priv   Data  Index   Meta\n"));
+        for p in points {
+            let vals: Vec<f64> = GROUPS
+                .iter()
+                .map(|g| 100.0 * get(&p.stats, *g) as f64 / base_total as f64)
+                .collect();
+            out.push_str(&format!(
+                "       {:>4}K/{:>5}K {:6.1} {:6.1} {:6.1} {:6.1}\n",
+                p.l1_kb, p.l2_kb, vals[0], vals[1], vals[2], vals[3]
+            ));
+        }
+    }
+    out
+}
+
+/// Renders Figure 11: execution time vs cache size.
+pub fn render_fig11(query: u8, points: &[CachePoint]) -> String {
+    let labels: Vec<String> =
+        points.iter().map(|p| format!("{}K", p.l1_kb)).collect();
+    let runs: Vec<&SimStats> = points.iter().map(|p| &p.stats).collect();
+    render_time_sweep(
+        &format!(
+            "Figure 11 ({}): execution time vs cache size (4K/128K baseline = 100)",
+            query_label(query)
+        ),
+        &labels,
+        &runs,
+        0,
+    )
+}
+
+/// Renders Figure 12 for one measured query: L2 misses per group for the
+/// cold run and the two warmed runs, normalized to cold = 100.
+pub fn render_fig12(set: &ReuseSet) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Figure 12 ({}): L2 read misses with warmed caches (cold = 100)\n",
+        query_label(set.query)
+    ));
+    out.push_str("               Priv   Data  Index   Meta\n");
+    let base_total: u64 = GROUPS
+        .iter()
+        .map(|g| set.cold.l2.read_misses.by_group(*g))
+        .sum::<u64>()
+        .max(1);
+    let mut render_row = |label: &str, s: &SimStats| {
+        let vals: Vec<f64> = GROUPS
+            .iter()
+            .map(|g| 100.0 * s.l2.read_misses.by_group(*g) as f64 / base_total as f64)
+            .collect();
+        out.push_str(&format!(
+            "  {:11} {:6.1} {:6.1} {:6.1} {:6.1}\n",
+            label, vals[0], vals[1], vals[2], vals[3]
+        ));
+    };
+    render_row("cold", &set.cold);
+    render_row(&format!("after {}", query_label(set.query)), &set.warm_same);
+    render_row(&format!("after {}", query_label(set.other)), &set.warm_other);
+    out
+}
+
+/// Renders Figure 13: execution time with and without data prefetching.
+pub fn render_fig13(pairs: &[PrefetchPair]) -> String {
+    let mut out = String::new();
+    out.push_str("Figure 13: impact of 4-line sequential prefetching of database data\n");
+    out.push_str("         base=100  with prefetch  delta\n");
+    for p in pairs {
+        let rel = 100.0 * p.opt.exec_cycles() as f64 / p.base.exec_cycles() as f64;
+        out.push_str(&format!(
+            "  {:4}   100.0     {:6.1}        {:+5.1}%\n",
+            query_label(p.query),
+            rel,
+            100.0 * p.delta()
+        ));
+    }
+    out
+}
+
+/// Renders the MSI-vs-MESI protocol ablation.
+pub fn render_ext_protocol(ablations: &[crate::experiments::ProtocolAblation]) -> String {
+    let mut out = String::new();
+    out.push_str("Extension: coherence-protocol ablation (paper baseline = MSI)\n");
+    out.push_str("         MSI cycles      MESI cycles    delta   L2 write txns MSI/MESI\n");
+    for a in ablations {
+        out.push_str(&format!(
+            "  {:4}   {:>13}  {:>13}  {:+5.1}%   {} / {}\n",
+            query_label(a.query),
+            a.msi.exec_cycles(),
+            a.mesi.exec_cycles(),
+            100.0 * (a.mesi.exec_cycles() as f64 / a.msi.exec_cycles().max(1) as f64 - 1.0),
+            a.msi.l2.write_accesses,
+            a.mesi.l2.write_accesses,
+        ));
+    }
+    out
+}
+
+/// Renders the prefetch-degree sweep.
+pub fn render_ext_prefetch(query: u8, points: &[(u32, SimStats)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Extension ({}): prefetch-degree sweep (paper fixes the degree at 4)\n",
+        query_label(query)
+    ));
+    out.push_str("  degree   cycles        vs off   prefetches filled\n");
+    let base = points.iter().find(|(d, _)| *d == 0).map(|(_, s)| s.exec_cycles()).unwrap_or(1);
+    for (d, s) in points {
+        out.push_str(&format!(
+            "  {:6}   {:>12}  {:+6.1}%   {}\n",
+            d,
+            s.exec_cycles(),
+            100.0 * (s.exec_cycles() as f64 / base as f64 - 1.0),
+            s.prefetches_filled,
+        ));
+    }
+    out
+}
+
+/// Renders the processor-scaling experiment.
+pub fn render_ext_procs(query: u8, points: &[(usize, SimStats)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Extension ({}): processor scaling under inter-query parallelism\n",
+        query_label(query)
+    ));
+    out.push_str("  procs   exec cycles    msync/proc   metadata coherence misses\n");
+    for (n, s) in points {
+        let msync = s.total(|p| p.msync) / (*n as u64).max(1);
+        let cohe = s
+            .l2
+            .read_misses
+            .by_group_kind(DataGroup::Metadata, MissKind::Coherence);
+        out.push_str(&format!(
+            "  {:5}   {:>12}   {:>10}   {:>10}\n",
+            n,
+            s.exec_cycles(),
+            msync,
+            cohe
+        ));
+    }
+    out
+}
+
+/// Renders the update-workload extension.
+pub fn render_ext_updates(runs: &crate::experiments::UpdateRuns) -> String {
+    let s = &runs.stats;
+    let t = s.time_breakdown();
+    let total_stall = s.total(|p| p.mem_stall).max(1) as f64;
+    let data_frac = s.total(|p| p.stall_of_group(DataGroup::Data)) as f64 / total_stall;
+    let mut out = String::new();
+    out.push_str("Extension: TPC-D update functions UF1/UF2 (4 processors, disjoint keys)\n");
+    out.push_str(&format!(
+        "  inserted {} tuples, deleted {} tuples\n",
+        runs.inserted, runs.deleted
+    ));
+    out.push_str(&format!(
+        "  breakdown: busy {:.2}  mem {:.2}  msync {:.2}; data share of Mem {:.2}\n",
+        t.busy, t.mem, t.msync, data_frac
+    ));
+    out.push_str(&format!(
+        "  write traffic: {} L1 write misses, {} L2 write transactions ({} write misses)\n",
+        s.l1.write_misses, s.l2.write_accesses, s.l2.write_misses
+    ));
+    out.push_str(&format!(
+        "  read misses: L1 {} / L2 {} (deleting scans read the tables they purge)\n",
+        s.l1.read_misses.total(),
+        s.l2.read_misses.total()
+    ));
+    out
+}
+
+/// Renders the intra-query-parallelism extension.
+pub fn render_ext_intra(runs: &crate::experiments::IntraQueryRuns) -> String {
+    let speedup =
+        runs.single.exec_cycles() as f64 / runs.partitioned.exec_cycles().max(1) as f64;
+    let mut out = String::new();
+    out.push_str("Extension: intra-query parallelism (Q6 partitioned across 4 processors)\n");
+    out.push_str(&format!(
+        "  1 processor:  {:>12} cycles\n  4 processors: {:>12} cycles  (speedup {:.2}x)\n",
+        runs.single.exec_cycles(),
+        runs.partitioned.exec_cycles(),
+        speedup
+    ));
+    out.push_str(&format!(
+        "  partial aggregates sum to the single-processor answer: {} == {}\n",
+        runs.partial_sum, runs.full_sum
+    ));
+    let t1 = runs.single.time_breakdown();
+    let t4 = runs.partitioned.time_breakdown();
+    out.push_str(&format!(
+        "  breakdown 1p: busy {:.2} mem {:.2} | 4p: busy {:.2} mem {:.2} (remote misses rise)\n",
+        t1.busy, t1.mem, t4.busy, t4.mem
+    ));
+    out
+}
+
+/// Renders the query-stream extension next to per-query baselines.
+pub fn render_ext_streams(
+    runs: &crate::experiments::StreamRuns,
+    baselines: &[QueryBaseline],
+) -> String {
+    let labels: Vec<String> =
+        runs.queries.iter().map(|q| query_label(*q)).collect();
+    let sum_baseline: u64 = baselines.iter().map(|b| b.stats.exec_cycles()).sum();
+    let t = runs.stats.time_breakdown();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Extension: query streams ({} per processor, ordinary caches)\n",
+        labels.join(";")
+    ));
+    out.push_str(&format!(
+        "  stream: {} cycles vs {} for the queries run cold separately ({:+.1}%)\n",
+        runs.stats.exec_cycles(),
+        sum_baseline,
+        100.0 * (runs.stats.exec_cycles() as f64 / sum_baseline.max(1) as f64 - 1.0)
+    ));
+    out.push_str(&format!(
+        "  breakdown: busy {:.2} mem {:.2} msync {:.2}; L2 read misses {}\n",
+        t.busy,
+        t.mem,
+        t.msync,
+        runs.stats.l2.read_misses.total()
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(0.5, 10), "#####");
+        assert_eq!(bar(-1.0, 10), "");
+        assert_eq!(bar(5.0, 10), "############"); // clamped to 1.2
+    }
+
+    #[test]
+    fn table1_renders_all_rows() {
+        let rows: Vec<(u8, PlanFeatures)> =
+            (1..=17).map(|q| (q, PlanFeatures::default())).collect();
+        let text = render_table1(&rows);
+        assert!(text.contains("Q1 "));
+        assert!(text.contains("Q17"));
+        assert_eq!(text.lines().count(), 19);
+    }
+
+    #[test]
+    fn fig13_shows_delta_sign() {
+        let mk = |cycles: u64| {
+            let mut s = SimStats::default();
+            let mut p = dss_memsim::ProcStats::default();
+            p.cycles = cycles;
+            s.procs = vec![p];
+            s
+        };
+        let pairs = vec![PrefetchPair { query: 6, base: mk(100), opt: mk(94) }];
+        let text = render_fig13(&pairs);
+        assert!(text.contains("-6.0%"), "{text}");
+    }
+}

@@ -1,0 +1,175 @@
+//! The workbench: a built database plus cached per-processor traces.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use dss_query::{Database, DbConfig, Session};
+use dss_tpcd::params;
+use dss_trace::Trace;
+
+/// The three queries the paper studies in detail: Q3 (*Index*), Q6
+/// (*Sequential*), and Q12 (*Sequential* with an index-scanned second table).
+pub const STUDIED_QUERIES: [u8; 3] = [3, 6, 12];
+
+/// Maximum trace sets kept in memory (a measured set plus a warm-up set).
+const TRACE_CACHE_SLOTS: usize = 2;
+
+/// Label of a query ("Q3").
+pub fn query_label(q: u8) -> String {
+    format!("Q{q}")
+}
+
+/// A built database plus a small cache of generated trace sets.
+///
+/// Trace generation follows the paper's methodology: one query of the given
+/// type per processor, each with different TPC-D substitution parameters,
+/// statistics recorded from start to finish with no warm-up discarded.
+/// Traces depend only on the query and parameter seeds — never on the
+/// simulated machine — so one set drives every sweep point.
+///
+/// # Example
+///
+/// ```no_run
+/// use dss_core::Workbench;
+/// use dss_memsim::{Machine, MachineConfig};
+///
+/// let mut wb = Workbench::paper();
+/// let traces = wb.traces(6, 0);
+/// let stats = Machine::new(MachineConfig::baseline()).run(&traces);
+/// assert!(stats.exec_cycles() > 0);
+/// ```
+pub struct Workbench {
+    /// The shared database image.
+    pub db: Database,
+    nprocs: usize,
+    cache: HashMap<(u8, u64), Rc<Vec<Trace>>>,
+    /// Insertion order for simple FIFO eviction.
+    order: Vec<(u8, u64)>,
+}
+
+impl Workbench {
+    /// Builds a workbench over `config` with `nprocs` simulated processors.
+    pub fn new(config: &DbConfig, nprocs: usize) -> Self {
+        Workbench { db: Database::build(config), nprocs, cache: HashMap::new(), order: Vec::new() }
+    }
+
+    /// The paper's setup: scale 0.01, four processors.
+    pub fn paper() -> Self {
+        Workbench::new(&DbConfig::default(), 4)
+    }
+
+    /// A reduced setup for fast tests (small database, four processors).
+    pub fn small() -> Self {
+        Workbench::new(&DbConfig { scale: 0.003, nbuffers: 2048, ..DbConfig::default() }, 4)
+    }
+
+    /// Number of simulated processors.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Returns (generating and caching on demand) the per-processor traces
+    /// for `query`, with parameter seeds starting at `seed_base`.
+    ///
+    /// Different `seed_base` values give independent instances of the same
+    /// query type — the warm-up runs of the inter-query reuse experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query fails to plan or execute (a bug, since all
+    /// seventeen templates are tested).
+    pub fn traces(&mut self, query: u8, seed_base: u64) -> Rc<Vec<Trace>> {
+        let key = (query, seed_base);
+        if let Some(t) = self.cache.get(&key) {
+            return Rc::clone(t);
+        }
+        // Bound memory: traces are large, keep only a couple of sets.
+        while self.order.len() >= TRACE_CACHE_SLOTS {
+            let evict = self.order.remove(0);
+            self.cache.remove(&evict);
+        }
+        let sql_seeds: Vec<u64> = (0..self.nprocs as u64).map(|p| seed_base + p).collect();
+        let mut traces = Vec::with_capacity(self.nprocs);
+        for (p, seed) in sql_seeds.into_iter().enumerate() {
+            let mut session = Session::new(p);
+            let sql = dss_query::sql_for(query, &params(query, seed));
+            self.db
+                .run(&sql, &mut session)
+                .unwrap_or_else(|e| panic!("Q{query} (seed {seed}) failed: {e}"));
+            traces.push(session.tracer.take());
+        }
+        let rc = Rc::new(traces);
+        self.cache.insert(key, Rc::clone(&rc));
+        self.order.push(key);
+        rc
+    }
+
+    /// Drops all cached traces (frees memory between experiment suites).
+    pub fn clear_traces(&mut self) {
+        self.cache.clear();
+        self.order.clear();
+    }
+
+    /// Generates per-processor traces where each processor runs a *stream*
+    /// of queries back to back in one session (uncached: streams are used
+    /// once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query fails.
+    pub fn stream_traces(&mut self, queries: &[u8], seed_base: u64) -> Vec<Trace> {
+        let mut traces = Vec::with_capacity(self.nprocs);
+        for p in 0..self.nprocs {
+            let mut session = Session::new(p);
+            for (i, q) in queries.iter().enumerate() {
+                let seed = seed_base + (p + i * self.nprocs) as u64;
+                let sql = dss_query::sql_for(*q, &params(*q, seed));
+                self.db
+                    .run(&sql, &mut session)
+                    .unwrap_or_else(|e| panic!("Q{q} (seed {seed}) failed: {e}"));
+            }
+            traces.push(session.tracer.take());
+        }
+        traces
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_cached_and_bounded() {
+        let mut wb = Workbench::new(
+            &DbConfig { scale: 0.001, nbuffers: 1024, ..DbConfig::default() },
+            2,
+        );
+        let a = wb.traces(6, 0);
+        let b = wb.traces(6, 0);
+        assert!(Rc::ptr_eq(&a, &b), "second request served from cache");
+        let _c = wb.traces(6, 100);
+        let _d = wb.traces(3, 0); // evicts the oldest
+        assert!(wb.cache.len() <= TRACE_CACHE_SLOTS);
+    }
+
+    #[test]
+    fn each_processor_gets_its_own_parameters() {
+        let mut wb = Workbench::new(
+            &DbConfig { scale: 0.001, nbuffers: 1024, ..DbConfig::default() },
+            2,
+        );
+        let traces = wb.traces(6, 0);
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].proc_id, 0);
+        assert_eq!(traces[1].proc_id, 1);
+        // Different parameters make different traces.
+        assert_ne!(traces[0].events.len(), 0);
+        assert_ne!(traces[0].events, traces[1].events);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(query_label(3), "Q3");
+        assert_eq!(STUDIED_QUERIES, [3, 6, 12]);
+    }
+}

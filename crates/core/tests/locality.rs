@@ -1,0 +1,79 @@
+//! Section 3 of the paper, as executable claims: the locality patterns it
+//! derives by inspecting traces, verified on our traces with exact
+//! reuse-distance analysis.
+
+use dss_core::Workbench;
+use dss_trace::{analyze, DataClass, TraceAnalysis};
+
+fn analyzed(query: u8) -> TraceAnalysis {
+    let mut wb = Workbench::paper();
+    let traces = wb.traces(query, 0);
+    analyze(&traces[0], 64)
+}
+
+#[test]
+fn q6_sequential_scan_locality() {
+    let a = analyzed(6);
+    let data = a.class(DataClass::Data);
+    // "There is abundant spatial locality in these accesses … it reads
+    // consecutive tuples."
+    assert!(data.sequentiality() > 0.8, "sequentiality {}", data.sequentiality());
+    // "There is, however, no reuse of a tuple within a query": every reuse
+    // is either the immediate re-read ("occurs immediately … cannot be
+    // affected by the cache size") or a first touch.
+    let immediate = data.reuse.counts[0] as f64 / data.reuse.total() as f64;
+    assert!(
+        immediate + data.reuse.cold_fraction() > 0.85,
+        "immediate {immediate} + cold {}",
+        data.reuse.cold_fraction()
+    );
+    // Nothing comes back at cache-relevant distances.
+    assert!(data.reuse.reused_within(65536) - data.reuse.reused_within(0) < 0.15);
+
+    // "the same private storage is reused for all the selected tuples."
+    let priv_data = a.class(DataClass::PrivHeap);
+    assert!(priv_data.cold_fraction_ok(), "{:?}", priv_data.reuse);
+}
+
+trait ColdFraction {
+    fn cold_fraction_ok(&self) -> bool;
+}
+impl ColdFraction for dss_trace::ClassLocality {
+    fn cold_fraction_ok(&self) -> bool {
+        self.reuse.cold_fraction() < 0.05
+    }
+}
+
+#[test]
+fn q3_index_query_locality() {
+    let a = analyzed(3);
+    let index = a.class(DataClass::Index);
+    // "Accesses to the index data structures have both temporal and spatial
+    // locality": consecutive b-tree locations read sequentially…
+    assert!(index.sequentiality() > 0.5, "sequentiality {}", index.sequentiality());
+    // …and the top levels re-read every probe: substantial reuse at small
+    // distances (within a few hundred lines).
+    let small_reuse = index.reuse.reused_within(256);
+    assert!(small_reuse > 0.3, "small-distance index reuse {small_reuse}");
+    // Data tuples, by contrast, show (almost) no temporal locality beyond
+    // the immediate re-read.
+    let data = a.class(DataClass::Data);
+    assert!(
+        data.reuse.reused_within(65536) - data.reuse.reused_within(16) < 0.15,
+        "tuples are not revisited"
+    );
+    // Lock hash structures have a tiny footprint ("these data structures
+    // have a tiny footprint").
+    assert!(a.class(DataClass::LockHash).footprint_lines < 64);
+    assert!(a.class(DataClass::XidHash).footprint_lines < 64);
+}
+
+#[test]
+fn q12_combines_both_patterns() {
+    let a = analyzed(12);
+    // Sequential side: lineitem scanned like Q6.
+    let data = a.class(DataClass::Data);
+    assert!(data.sequentiality() > 0.6);
+    // Index side present (orders probed through its index).
+    assert!(a.class(DataClass::Index).refs > 0);
+}

@@ -1,0 +1,108 @@
+//! Property tests: the lock manager agrees with a straightforward reference
+//! model of multi-mode relation locking.
+
+use std::collections::BTreeMap;
+
+use dss_lockmgr::{LockMgr, LockMode, LockResult, Xid};
+use dss_shmem::AddressSpace;
+use dss_trace::Tracer;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Acquire { xid: u32, rel: u32, write: bool },
+    ReleaseAll { xid: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0u32..4, 0u32..6, any::<bool>())
+            .prop_map(|(xid, rel, write)| Op::Acquire { xid, rel, write }),
+        1 => (0u32..4).prop_map(|xid| Op::ReleaseAll { xid }),
+    ]
+}
+
+/// Reference model: per (xid, rel), counts of (read, write) holds.
+#[derive(Default)]
+struct Model {
+    holds: BTreeMap<(u32, u32), [u32; 2]>,
+}
+
+impl Model {
+    fn acquire(&mut self, xid: u32, rel: u32, mode: LockMode) -> LockResult {
+        let own = self.holds.get(&(xid, rel)).copied().unwrap_or([0, 0]);
+        let mut other = [0u32; 2];
+        for ((x, r), h) in &self.holds {
+            if *r == rel && *x != xid {
+                other[0] += h[0];
+                other[1] += h[1];
+            }
+        }
+        let conflict = match mode {
+            LockMode::Read => other[1] > 0,
+            LockMode::Write => other[0] + other[1] > 0,
+        };
+        if conflict && own == [0, 0] {
+            return LockResult::WouldBlock;
+        }
+        let e = self.holds.entry((xid, rel)).or_insert([0, 0]);
+        match mode {
+            LockMode::Read => e[0] += 1,
+            LockMode::Write => e[1] += 1,
+        }
+        LockResult::Granted
+    }
+
+    fn release_all(&mut self, xid: u32) {
+        self.holds.retain(|(x, _), _| *x != xid);
+    }
+
+    fn granted(&self, rel: u32) -> [u32; 2] {
+        let mut total = [0u32; 2];
+        for ((_, r), h) in &self.holds {
+            if *r == rel {
+                total[0] += h[0];
+                total[1] += h[1];
+            }
+        }
+        total
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every grant/deny decision and every per-relation hold count matches
+    /// the reference model through arbitrary operation sequences.
+    #[test]
+    fn matches_reference_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut space = AddressSpace::new();
+        let mut mgr = LockMgr::new(&mut space, 256);
+        let mut model = Model::default();
+        let t = Tracer::disabled();
+        for op in ops {
+            match op {
+                Op::Acquire { xid, rel, write } => {
+                    let mode = if write { LockMode::Write } else { LockMode::Read };
+                    let got = mgr.acquire(Xid(xid), rel, mode, &t);
+                    let want = model.acquire(xid, rel, mode);
+                    prop_assert_eq!(got, want, "acquire x{} r{} {:?}", xid, rel, mode);
+                }
+                Op::ReleaseAll { xid } => {
+                    mgr.release_all(Xid(xid), &t);
+                    model.release_all(xid);
+                }
+            }
+            for rel in 0..6 {
+                prop_assert_eq!(mgr.granted(rel), model.granted(rel), "rel {}", rel);
+            }
+        }
+        // Cleanup: releasing everyone leaves the manager empty.
+        for xid in 0..4 {
+            mgr.release_all(Xid(xid), &t);
+        }
+        for rel in 0..6 {
+            prop_assert_eq!(mgr.granted(rel), [0, 0]);
+        }
+    }
+}

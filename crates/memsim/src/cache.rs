@@ -1,0 +1,339 @@
+//! A set-associative cache with LRU replacement, MSI line states, and the
+//! bookkeeping needed to classify misses as cold, conflict, or coherence.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::config::CacheConfig;
+
+/// MSI coherence state of a resident line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineState {
+    /// Shared (clean, possibly in other caches).
+    Shared,
+    /// Exclusive (clean, sole copy — MESI only).
+    Exclusive,
+    /// Modified (exclusive dirty).
+    Modified,
+}
+
+impl LineState {
+    /// Whether a local write can proceed without a coherence transaction.
+    pub fn writable(self) -> bool {
+        matches!(self, LineState::Exclusive | LineState::Modified)
+    }
+
+    /// Whether the line holds the only up-to-date copy that must be written
+    /// back or supplied on a remote request.
+    pub fn dirty(self) -> bool {
+        matches!(self, LineState::Modified)
+    }
+}
+
+/// Why a line most recently left the cache, for miss classification: a line
+/// lost to a directory invalidation makes the next miss a coherence miss; a
+/// line lost to replacement makes it a conflict miss (the paper folds
+/// capacity into conflict).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RemovalCause {
+    /// Evicted to make room.
+    Replaced,
+    /// Invalidated by coherence activity.
+    Invalidated,
+}
+
+/// Classification of a miss.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MissKind {
+    /// First access to the line by this cache.
+    Cold,
+    /// Line was previously evicted by replacement.
+    Conflict,
+    /// Line was previously removed by an invalidation.
+    Coherence,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Way {
+    tag: u64,
+    state: LineState,
+    /// LRU timestamp (bigger = more recent).
+    lru: u64,
+    valid: bool,
+}
+
+/// One processor's cache at one level.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: u64,
+    ways: Vec<Way>,
+    tick: u64,
+    ever_seen: HashSet<u64>,
+    removal_cause: HashMap<u64, RemovalCause>,
+}
+
+impl Cache {
+    /// Builds an empty cache.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache {
+            cfg,
+            sets,
+            ways: vec![Way { tag: 0, state: LineState::Shared, lru: 0, valid: false }; (sets * cfg.assoc as u64) as usize],
+            tick: 0,
+            ever_seen: HashSet::new(),
+            removal_cause: HashMap::new(),
+        }
+    }
+
+    /// The line address containing `addr`.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.cfg.line - 1)
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> u64 {
+        self.cfg.line
+    }
+
+    fn set_of(&self, line: u64) -> u64 {
+        (line / self.cfg.line) % self.sets
+    }
+
+    fn ways_of(&mut self, set: u64) -> &mut [Way] {
+        let start = (set * self.cfg.assoc as u64) as usize;
+        &mut self.ways[start..start + self.cfg.assoc as usize]
+    }
+
+    /// Looks up the line containing `addr`; on a hit, refreshes LRU and
+    /// returns its state.
+    pub fn lookup(&mut self, addr: u64) -> Option<LineState> {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        self.tick += 1;
+        let tick = self.tick;
+        for w in self.ways_of(set) {
+            if w.valid && w.tag == line {
+                w.lru = tick;
+                return Some(w.state);
+            }
+        }
+        None
+    }
+
+    /// Classifies a miss on `addr` (call before [`Cache::insert`]).
+    pub fn classify_miss(&self, addr: u64) -> MissKind {
+        let line = self.line_of(addr);
+        if !self.ever_seen.contains(&line) {
+            MissKind::Cold
+        } else {
+            match self.removal_cause.get(&line) {
+                Some(RemovalCause::Invalidated) => MissKind::Coherence,
+                _ => MissKind::Conflict,
+            }
+        }
+    }
+
+    /// Inserts the line containing `addr` in `state`, returning the evicted
+    /// line (address, was-dirty) if a valid victim was replaced.
+    pub fn insert(&mut self, addr: u64, state: LineState) -> Option<(u64, bool)> {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        self.tick += 1;
+        let tick = self.tick;
+        self.ever_seen.insert(line);
+        self.removal_cause.remove(&line);
+        // Already present: update state.
+        for w in self.ways_of(set) {
+            if w.valid && w.tag == line {
+                w.state = state;
+                w.lru = tick;
+                return None;
+            }
+        }
+        // Choose an invalid way or the LRU victim.
+        let victim = {
+            let ways = self.ways_of(set);
+            let mut victim = 0;
+            for (i, w) in ways.iter().enumerate() {
+                if !w.valid {
+                    victim = i;
+                    break;
+                }
+                if w.lru < ways[victim].lru {
+                    victim = i;
+                }
+            }
+            victim
+        };
+        let ways = self.ways_of(set);
+        let evicted = if ways[victim].valid {
+            Some((ways[victim].tag, ways[victim].state == LineState::Modified))
+        } else {
+            None
+        };
+        ways[victim] = Way { tag: line, state, lru: tick, valid: true };
+        if let Some((tag, _)) = evicted {
+            self.removal_cause.insert(tag, RemovalCause::Replaced);
+        }
+        evicted
+    }
+
+    /// Upgrades a resident line to Modified (no-op if absent).
+    pub fn set_state(&mut self, addr: u64, state: LineState) {
+        let line = self.line_of(addr);
+        let set = self.set_of(line);
+        for w in self.ways_of(set) {
+            if w.valid && w.tag == line {
+                w.state = state;
+                return;
+            }
+        }
+    }
+
+    /// Removes a line due to coherence activity; returns whether it was
+    /// present (and dirty).
+    pub fn invalidate(&mut self, line: u64) -> Option<bool> {
+        let set = self.set_of(line);
+        for w in self.ways_of(set) {
+            if w.valid && w.tag == line {
+                w.valid = false;
+                let dirty = w.state == LineState::Modified;
+                self.removal_cause.insert(line, RemovalCause::Invalidated);
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Removes a line due to an inclusion victim in the other level;
+    /// classified as replacement.
+    pub fn evict_for_inclusion(&mut self, line: u64) {
+        let set = self.set_of(line);
+        for w in self.ways_of(set) {
+            if w.valid && w.tag == line {
+                w.valid = false;
+                self.removal_cause.insert(line, RemovalCause::Replaced);
+                return;
+            }
+        }
+    }
+
+    /// Downgrades a Modified line to Shared (no-op if absent or clean).
+    pub fn downgrade(&mut self, line: u64) {
+        self.set_state(line, LineState::Shared);
+    }
+
+    /// Every resident line with its state (for invariant checks).
+    pub fn resident_lines(&self) -> Vec<(u64, LineState)> {
+        self.ways.iter().filter(|w| w.valid).map(|w| (w.tag, w.state)).collect()
+    }
+
+    /// State of the line containing `addr`, without touching LRU.
+    pub fn peek_state(&self, addr: u64) -> Option<LineState> {
+        let line = addr & !(self.cfg.line - 1);
+        let set = (line / self.cfg.line) % self.sets;
+        let start = (set * self.cfg.assoc as u64) as usize;
+        self.ways[start..start + self.cfg.assoc as usize]
+            .iter()
+            .find(|w| w.valid && w.tag == line)
+            .map(|w| w.state)
+    }
+
+    /// Whether the line containing `addr` is resident (no LRU update).
+    pub fn contains(&self, addr: u64) -> bool {
+        let line = addr & !(self.cfg.line - 1);
+        let set = (line / self.cfg.line) % self.sets;
+        let start = (set * self.cfg.assoc as u64) as usize;
+        self.ways[start..start + self.cfg.assoc as usize]
+            .iter()
+            .any(|w| w.valid && w.tag == line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets x 2 ways x 32-byte lines = 256 bytes.
+        Cache::new(CacheConfig { size: 256, line: 32, assoc: 2 })
+    }
+
+    #[test]
+    fn hit_after_insert() {
+        let mut c = tiny();
+        assert_eq!(c.lookup(0x1000), None);
+        assert_eq!(c.classify_miss(0x1000), MissKind::Cold);
+        c.insert(0x1000, LineState::Shared);
+        assert_eq!(c.lookup(0x1010), Some(LineState::Shared), "same line");
+        assert_eq!(c.lookup(0x1020), None, "next line");
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (line addr multiples of 4*32=128).
+        c.insert(0x0000, LineState::Shared);
+        c.insert(0x0080, LineState::Shared);
+        c.lookup(0x0000); // refresh
+        let evicted = c.insert(0x0100, LineState::Shared);
+        assert_eq!(evicted, Some((0x0080, false)), "LRU way evicted");
+        assert!(c.contains(0x0000));
+        assert!(!c.contains(0x0080));
+    }
+
+    #[test]
+    fn conflict_miss_after_replacement() {
+        let mut c = tiny();
+        c.insert(0x0000, LineState::Shared);
+        c.insert(0x0080, LineState::Shared);
+        c.insert(0x0100, LineState::Shared); // evicts 0x0000
+        assert_eq!(c.classify_miss(0x0000), MissKind::Conflict);
+    }
+
+    #[test]
+    fn coherence_miss_after_invalidation() {
+        let mut c = tiny();
+        c.insert(0x0000, LineState::Modified);
+        assert_eq!(c.invalidate(0x0000), Some(true));
+        assert_eq!(c.classify_miss(0x0000), MissKind::Coherence);
+        // After re-insertion the next removal decides again.
+        c.insert(0x0000, LineState::Shared);
+        assert_eq!(c.lookup(0x0000), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn eviction_reports_dirtiness() {
+        let mut c = tiny();
+        c.insert(0x0000, LineState::Modified);
+        c.insert(0x0080, LineState::Shared);
+        let evicted = c.insert(0x0100, LineState::Shared);
+        assert_eq!(evicted, Some((0x0000, true)));
+    }
+
+    #[test]
+    fn state_transitions() {
+        let mut c = tiny();
+        c.insert(0x40, LineState::Shared);
+        c.set_state(0x40, LineState::Modified);
+        assert_eq!(c.lookup(0x40), Some(LineState::Modified));
+        c.downgrade(0x40);
+        assert_eq!(c.lookup(0x40), Some(LineState::Shared));
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(CacheConfig { size: 128, line: 32, assoc: 1 });
+        c.insert(0x0000, LineState::Shared);
+        c.insert(0x0080, LineState::Shared); // same set, 4 sets
+        assert!(!c.contains(0x0000));
+        assert_eq!(c.classify_miss(0x0000), MissKind::Conflict);
+    }
+
+    #[test]
+    fn invalidate_absent_line_is_none() {
+        let mut c = tiny();
+        assert_eq!(c.invalidate(0x0000), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! The full-map directory and NUMA home assignment.
+
+use std::collections::HashMap;
+
+use dss_shmem::{segment_of, Segment};
+
+/// Directory entry for one (L2-granularity) memory line.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Bitmask of sharers.
+    pub sharers: u32,
+    /// Node holding the line Modified, if any.
+    pub owner: Option<usize>,
+}
+
+/// A full-map directory over the lines actually touched.
+#[derive(Clone, Debug, Default)]
+pub struct Directory {
+    entries: HashMap<u64, DirEntry>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// The entry for `line` (default: uncached).
+    pub fn entry(&self, line: u64) -> DirEntry {
+        self.entries.get(&line).copied().unwrap_or_default()
+    }
+
+    /// Records a read by `node`: adds it to the sharers and clears a dirty
+    /// owner (who is downgraded to sharer by the caller).
+    pub fn record_read(&mut self, line: u64, node: usize) {
+        let e = self.entries.entry(line).or_default();
+        if let Some(owner) = e.owner.take() {
+            e.sharers |= 1 << owner;
+        }
+        e.sharers |= 1 << node;
+    }
+
+    /// Records a write by `node`: returns the nodes whose copies must be
+    /// invalidated; the entry becomes exclusively owned.
+    pub fn record_write(&mut self, line: u64, node: usize) -> Vec<usize> {
+        let e = self.entries.entry(line).or_default();
+        let mut to_invalidate = Vec::new();
+        if let Some(owner) = e.owner {
+            if owner != node {
+                to_invalidate.push(owner);
+            }
+        }
+        let sharers = e.sharers;
+        for n in 0..32 {
+            if sharers & (1 << n) != 0 && n as usize != node {
+                to_invalidate.push(n as usize);
+            }
+        }
+        e.sharers = 0;
+        e.owner = Some(node);
+        to_invalidate
+    }
+
+    /// Records an exclusive-clean installation by `node` (MESI): the node
+    /// becomes owner without any invalidations (the caller has verified the
+    /// line was uncached).
+    pub fn record_exclusive(&mut self, line: u64, node: usize) {
+        let e = self.entries.entry(line).or_default();
+        debug_assert_eq!((e.sharers, e.owner), (0, None), "exclusive grant to a cached line");
+        e.owner = Some(node);
+    }
+
+    /// Records that `node` dropped the line (eviction or invalidation).
+    pub fn record_drop(&mut self, line: u64, node: usize) {
+        if let Some(e) = self.entries.get_mut(&line) {
+            e.sharers &= !(1 << node);
+            if e.owner == Some(node) {
+                e.owner = None;
+            }
+        }
+    }
+
+    /// Number of lines with directory state.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the directory tracks no lines.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// NUMA home node of an address: shared pages are distributed round-robin by
+/// 8 KB page; private segments live on their owner's node.
+pub fn home_of(addr: u64, nprocs: usize) -> usize {
+    match segment_of(addr) {
+        Some(Segment::Private(owner)) => owner % nprocs,
+        _ => ((addr >> 13) % nprocs as u64) as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_then_write_invalidates_sharers() {
+        let mut d = Directory::new();
+        d.record_read(0x100, 0);
+        d.record_read(0x100, 1);
+        d.record_read(0x100, 2);
+        let mut inv = d.record_write(0x100, 1);
+        inv.sort();
+        assert_eq!(inv, vec![0, 2]);
+        assert_eq!(d.entry(0x100), DirEntry { sharers: 0, owner: Some(1) });
+    }
+
+    #[test]
+    fn write_then_read_downgrades_owner() {
+        let mut d = Directory::new();
+        assert!(d.record_write(0x100, 3).is_empty());
+        d.record_read(0x100, 0);
+        let e = d.entry(0x100);
+        assert_eq!(e.owner, None);
+        assert_eq!(e.sharers, (1 << 3) | (1 << 0));
+    }
+
+    #[test]
+    fn write_by_owner_invalidates_nobody() {
+        let mut d = Directory::new();
+        d.record_write(0x100, 2);
+        assert!(d.record_write(0x100, 2).is_empty());
+    }
+
+    #[test]
+    fn drop_clears_state() {
+        let mut d = Directory::new();
+        d.record_write(0x100, 1);
+        d.record_drop(0x100, 1);
+        assert_eq!(d.entry(0x100), DirEntry::default());
+        d.record_read(0x200, 0);
+        d.record_drop(0x200, 0);
+        assert_eq!(d.entry(0x200).sharers, 0);
+    }
+
+    #[test]
+    fn homes_distribute_shared_pages() {
+        let a = dss_shmem::SHARED_BASE;
+        let homes: Vec<usize> = (0..8).map(|i| home_of(a + i * 8192, 4)).collect();
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        // Within a page, the home is constant.
+        assert_eq!(home_of(a + 100, 4), home_of(a + 8000, 4));
+    }
+
+    #[test]
+    fn private_addresses_live_with_their_owner() {
+        for p in 0..4 {
+            assert_eq!(home_of(dss_shmem::private_base(p) + 64, 4), p);
+        }
+    }
+}

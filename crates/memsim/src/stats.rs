@@ -1,0 +1,288 @@
+//! Simulation statistics: everything the paper's figures report.
+
+use std::collections::BTreeMap;
+
+use dss_trace::{DataClass, DataGroup};
+
+use crate::cache::MissKind;
+
+/// Index of a [`DataClass`] into fixed-size counter arrays.
+pub(crate) fn class_index(c: DataClass) -> usize {
+    match c {
+        DataClass::PrivHeap => 0,
+        DataClass::Data => 1,
+        DataClass::Index => 2,
+        DataClass::BufDesc => 3,
+        DataClass::BufLookup => 4,
+        DataClass::LockHash => 5,
+        DataClass::XidHash => 6,
+        DataClass::LockMgrLock => 7,
+        DataClass::BufMgrLock => 8,
+        DataClass::SharedMisc => 9,
+    }
+}
+
+/// Number of data classes.
+pub(crate) const NCLASSES: usize = 10;
+
+fn kind_index(k: MissKind) -> usize {
+    match k {
+        MissKind::Cold => 0,
+        MissKind::Conflict => 1,
+        MissKind::Coherence => 2,
+    }
+}
+
+/// Per-class, per-kind miss counters for one cache level.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MissMatrix {
+    counts: Vec<[u64; 3]>,
+}
+
+impl MissMatrix {
+    pub(crate) fn new() -> Self {
+        MissMatrix { counts: vec![[0; 3]; NCLASSES] }
+    }
+
+    pub(crate) fn add(&mut self, class: DataClass, kind: MissKind) {
+        self.counts[class_index(class)][kind_index(kind)] += 1;
+    }
+
+    /// Misses of `class` and `kind`.
+    pub fn get(&self, class: DataClass, kind: MissKind) -> u64 {
+        self.counts[class_index(class)][kind_index(kind)]
+    }
+
+    /// All misses of `class`.
+    pub fn by_class(&self, class: DataClass) -> u64 {
+        self.counts[class_index(class)].iter().sum()
+    }
+
+    /// All misses of classes in `group`.
+    pub fn by_group(&self, group: DataGroup) -> u64 {
+        DataClass::ALL
+            .iter()
+            .filter(|c| c.group() == group)
+            .map(|c| self.by_class(*c))
+            .sum()
+    }
+
+    /// Misses of `group` and `kind`.
+    pub fn by_group_kind(&self, group: DataGroup, kind: MissKind) -> u64 {
+        DataClass::ALL
+            .iter()
+            .filter(|c| c.group() == group)
+            .map(|c| self.get(*c, kind))
+            .sum()
+    }
+
+    /// Total misses.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Adds another matrix's counts into this one.
+    pub fn merge(&mut self, other: &MissMatrix) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+        }
+    }
+}
+
+/// Counters for one cache level, aggregated across processors.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LevelStats {
+    /// Load references reaching this level.
+    pub read_accesses: u64,
+    /// Store references reaching this level.
+    pub write_accesses: u64,
+    /// Load misses, classified.
+    pub read_misses: MissMatrix,
+    /// Store misses (unclassified; the paper's Figure 7 reports read misses).
+    pub write_misses: u64,
+}
+
+impl LevelStats {
+    /// Read miss rate at this level (misses over accesses at this level).
+    pub fn read_miss_rate(&self) -> f64 {
+        if self.read_accesses == 0 {
+            0.0
+        } else {
+            self.read_misses.total() as f64 / self.read_accesses as f64
+        }
+    }
+
+    /// Adds another level's counters into this one.
+    pub fn merge(&mut self, other: &LevelStats) {
+        self.read_accesses += other.read_accesses;
+        self.write_accesses += other.write_accesses;
+        self.read_misses.merge(&other.read_misses);
+        self.write_misses += other.write_misses;
+    }
+}
+
+/// Per-processor timing, with memory stall attributed per data class (the
+/// paper's Figure 6(b) decomposition).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Final clock value.
+    pub cycles: u64,
+    /// Cycles doing non-stalled work (the paper's Busy).
+    pub busy: u64,
+    /// Cycles stalled on memory (the paper's Mem), including write-buffer
+    /// overflow.
+    pub mem_stall: u64,
+    /// Cycles spinning on metalocks (the paper's MSync).
+    pub msync: u64,
+    /// Memory stall per data class.
+    pub(crate) stall_by_class: [u64; NCLASSES],
+}
+
+impl ProcStats {
+    /// Memory stall attributed to `class`.
+    pub fn stall_of(&self, class: DataClass) -> u64 {
+        self.stall_by_class[class_index(class)]
+    }
+
+    /// Memory stall attributed to `group`.
+    pub fn stall_of_group(&self, group: DataGroup) -> u64 {
+        DataClass::ALL
+            .iter()
+            .filter(|c| c.group() == group)
+            .map(|c| self.stall_of(*c))
+            .sum()
+    }
+
+    /// Stall on private data (the paper's PMem).
+    pub fn pmem(&self) -> u64 {
+        self.stall_of_group(DataGroup::Priv)
+    }
+
+    /// Stall on shared data (the paper's SMem).
+    pub fn smem(&self) -> u64 {
+        self.mem_stall - self.pmem()
+    }
+}
+
+/// Full results of one simulation run.
+#[derive(Clone, Debug, Default)]
+pub struct SimStats {
+    /// Per-processor timing.
+    pub procs: Vec<ProcStats>,
+    /// Primary-cache counters (all processors).
+    pub l1: LevelStats,
+    /// Secondary-cache counters (all processors).
+    pub l2: LevelStats,
+    /// Prefetches issued (when prefetching is enabled).
+    pub prefetches_issued: u64,
+    /// Prefetched lines that were actually filled.
+    pub prefetches_filled: u64,
+}
+
+impl SimStats {
+    /// Execution time: the slowest processor's cycle count.
+    pub fn exec_cycles(&self) -> u64 {
+        self.procs.iter().map(|p| p.cycles).max().unwrap_or(0)
+    }
+
+    /// Sum of a per-processor field across processors.
+    pub fn total<F: Fn(&ProcStats) -> u64>(&self, f: F) -> u64 {
+        self.procs.iter().map(f).sum()
+    }
+
+    /// Aggregate busy / mem / msync fractions of total processor cycles.
+    pub fn time_breakdown(&self) -> TimeBreakdown {
+        let cycles = self.total(|p| p.cycles).max(1);
+        TimeBreakdown {
+            busy: self.total(|p| p.busy) as f64 / cycles as f64,
+            mem: self.total(|p| p.mem_stall) as f64 / cycles as f64,
+            msync: self.total(|p| p.msync) as f64 / cycles as f64,
+        }
+    }
+
+    /// Aggregate memory-stall cycles per class across processors.
+    pub fn stall_by_class(&self) -> BTreeMap<DataClass, u64> {
+        DataClass::ALL
+            .iter()
+            .map(|c| (*c, self.total(|p| p.stall_of(*c))))
+            .collect()
+    }
+
+    /// The paper's "global" L2 read miss rate: L2 read misses over all load
+    /// references issued by the processors.
+    pub fn l2_global_read_miss_rate(&self) -> f64 {
+        if self.l1.read_accesses == 0 {
+            0.0
+        } else {
+            self.l2.read_misses.total() as f64 / self.l1.read_accesses as f64
+        }
+    }
+}
+
+/// Fractions of total processor time (sums to ~1.0).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TimeBreakdown {
+    /// Busy fraction.
+    pub busy: f64,
+    /// Memory-stall fraction.
+    pub mem: f64,
+    /// Metalock-synchronization fraction.
+    pub msync: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_matrix_accumulates_and_groups() {
+        let mut m = MissMatrix::new();
+        m.add(DataClass::Data, MissKind::Cold);
+        m.add(DataClass::Data, MissKind::Cold);
+        m.add(DataClass::LockMgrLock, MissKind::Coherence);
+        m.add(DataClass::BufDesc, MissKind::Conflict);
+        assert_eq!(m.get(DataClass::Data, MissKind::Cold), 2);
+        assert_eq!(m.by_class(DataClass::Data), 2);
+        assert_eq!(m.by_group(DataGroup::Metadata), 2);
+        assert_eq!(m.by_group_kind(DataGroup::Metadata, MissKind::Coherence), 1);
+        assert_eq!(m.total(), 4);
+    }
+
+    #[test]
+    fn proc_stats_split_pmem_smem() {
+        let mut p = ProcStats::default();
+        p.stall_by_class[class_index(DataClass::PrivHeap)] = 30;
+        p.stall_by_class[class_index(DataClass::Data)] = 50;
+        p.stall_by_class[class_index(DataClass::Index)] = 20;
+        p.mem_stall = 100;
+        assert_eq!(p.pmem(), 30);
+        assert_eq!(p.smem(), 70);
+        assert_eq!(p.stall_of_group(DataGroup::Data), 50);
+    }
+
+    #[test]
+    fn breakdown_fractions() {
+        let stats = SimStats {
+            procs: vec![
+                ProcStats { cycles: 100, busy: 60, mem_stall: 30, msync: 10, ..Default::default() },
+                ProcStats { cycles: 100, busy: 50, mem_stall: 40, msync: 10, ..Default::default() },
+            ],
+            ..Default::default()
+        };
+        let b = stats.time_breakdown();
+        assert!((b.busy - 0.55).abs() < 1e-9);
+        assert!((b.mem - 0.35).abs() < 1e-9);
+        assert!((b.msync - 0.10).abs() < 1e-9);
+        assert_eq!(stats.exec_cycles(), 100);
+    }
+
+    #[test]
+    fn miss_rates_guard_against_zero() {
+        let l = LevelStats::default();
+        assert_eq!(l.read_miss_rate(), 0.0);
+        let s = SimStats::default();
+        assert_eq!(s.l2_global_read_miss_rate(), 0.0);
+    }
+}

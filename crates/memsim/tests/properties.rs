@@ -1,0 +1,197 @@
+//! Property tests: the simulator's structural invariants and accounting
+//! identities hold for arbitrary (well-formed) traces.
+
+use dss_memsim::{Machine, MachineConfig, Protocol};
+use dss_shmem::{private_base, SHARED_BASE};
+use dss_trace::{DataClass, LockClass, LockToken, Trace, Tracer};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Read { shared: bool, slot: u16 },
+    Write { shared: bool, slot: u16 },
+    Busy(u16),
+    Critical { lock: bool, slot: u16 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<bool>(), any::<u16>()).prop_map(|(shared, slot)| Op::Read { shared, slot }),
+        (any::<bool>(), any::<u16>()).prop_map(|(shared, slot)| Op::Write { shared, slot }),
+        (1u16..200).prop_map(Op::Busy),
+        (any::<bool>(), any::<u16>()).prop_map(|(lock, slot)| Op::Critical { lock, slot }),
+    ]
+}
+
+/// Builds a well-formed trace (balanced lock pairs) from an op list.
+fn build_trace(proc: usize, ops: &[Op]) -> Trace {
+    let t = Tracer::new(proc);
+    let classes = [DataClass::Data, DataClass::Index, DataClass::BufDesc, DataClass::LockHash];
+    for op in ops {
+        match op {
+            Op::Read { shared, slot } => {
+                let (addr, class) = addr_of(proc, *shared, *slot);
+                t.read(addr, 8, class);
+            }
+            Op::Write { shared, slot } => {
+                let (addr, class) = addr_of(proc, *shared, *slot);
+                t.write(addr, 8, class);
+            }
+            Op::Busy(n) => t.busy(*n as u32),
+            Op::Critical { lock, slot } => {
+                let class = if *lock { LockClass::LockMgr } else { LockClass::BufMgr };
+                let token = LockToken::new(SHARED_BASE + 64 * (1 + (*slot % 4) as u64), class);
+                t.lock_acquire(token);
+                t.read(SHARED_BASE + 4096 + (*slot as u64 % 128) * 8, 8, classes[*slot as usize % 4]);
+                t.lock_release(token);
+            }
+        }
+    }
+    t.take()
+}
+
+fn addr_of(proc: usize, shared: bool, slot: u16) -> (u64, DataClass) {
+    if shared {
+        (SHARED_BASE + 1_000_000 + (slot as u64) * 24, DataClass::Data)
+    } else {
+        (private_base(proc) + (slot as u64) * 24, DataClass::PrivHeap)
+    }
+}
+
+fn traces_from(per_proc: &[Vec<Op>]) -> Vec<Trace> {
+    per_proc.iter().enumerate().map(|(p, ops)| build_trace(p, ops)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Inclusion and cache/directory agreement hold after any run, under
+    /// both protocols.
+    #[test]
+    fn structural_invariants_hold(
+        per_proc in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 0..300), 1..4),
+        mesi in any::<bool>(),
+    ) {
+        let mut cfg = MachineConfig::baseline();
+        cfg.nprocs = per_proc.len();
+        if mesi {
+            cfg = cfg.with_protocol(Protocol::Mesi);
+        }
+        let mut machine = Machine::new(cfg);
+        machine.run(&traces_from(&per_proc));
+        machine.check_invariants();
+    }
+
+    /// Accounting identities: attributed time never exceeds the clock, the
+    /// L2 sees exactly the L1's read misses, and misses never exceed
+    /// accesses.
+    #[test]
+    fn accounting_identities_hold(
+        per_proc in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 0..300), 1..4),
+    ) {
+        let mut cfg = MachineConfig::baseline();
+        cfg.nprocs = per_proc.len();
+        let stats = Machine::new(cfg).run(&traces_from(&per_proc));
+        for p in &stats.procs {
+            prop_assert!(p.busy + p.mem_stall + p.msync <= p.cycles,
+                "over-attributed: busy={} mem={} msync={} cycles={}",
+                p.busy, p.mem_stall, p.msync, p.cycles);
+            prop_assert_eq!(p.mem_stall, dss_trace::DataClass::ALL.iter()
+                .map(|c| p.stall_of(*c)).sum::<u64>(), "per-class stall sums to total");
+        }
+        prop_assert_eq!(stats.l2.read_accesses, stats.l1.read_misses.total());
+        prop_assert!(stats.l1.read_misses.total() <= stats.l1.read_accesses);
+        prop_assert!(stats.l2.read_misses.total() <= stats.l2.read_accesses);
+        prop_assert!(stats.l2.write_misses <= stats.l2.write_accesses);
+    }
+
+    /// Warm reruns of the same trace never miss more than the cold run.
+    #[test]
+    fn warm_rerun_is_no_worse(
+        ops in proptest::collection::vec(op_strategy(), 1..300),
+    ) {
+        let mut machine = Machine::new(MachineConfig::baseline());
+        let trace = vec![build_trace(0, &ops)];
+        let cold = machine.run(&trace);
+        let warm = machine.run(&trace);
+        prop_assert!(warm.l2.read_misses.total() <= cold.l2.read_misses.total());
+        prop_assert!(warm.exec_cycles() <= cold.exec_cycles());
+    }
+
+    /// The simulation is a pure function of (config, traces).
+    #[test]
+    fn runs_are_deterministic(
+        per_proc in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 0..200), 1..4),
+    ) {
+        let mut cfg = MachineConfig::baseline();
+        cfg.nprocs = per_proc.len();
+        let a = Machine::new(cfg.clone()).run(&traces_from(&per_proc));
+        let b = Machine::new(cfg).run(&traces_from(&per_proc));
+        prop_assert_eq!(a.exec_cycles(), b.exec_cycles());
+        prop_assert_eq!(a.total(|p| p.msync), b.total(|p| p.msync));
+        prop_assert_eq!(&a.l1.read_misses, &b.l1.read_misses);
+        prop_assert_eq!(&a.l2.read_misses, &b.l2.read_misses);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any sane cache geometry simulates any trace without panicking, and
+    /// the invariants still hold.
+    #[test]
+    fn arbitrary_geometries_are_safe(
+        l1_sets_log in 2u32..8,
+        l1_line_log in 3u32..8,
+        l2_extra_log in 1u32..5,
+        l2_assoc in 1u32..5,
+        ops in proptest::collection::vec(op_strategy(), 0..200),
+    ) {
+        let l1_line = 1u64 << l1_line_log;
+        let l2_line = l1_line * 2;
+        let mut cfg = MachineConfig::baseline();
+        cfg.l1 = dss_memsim::CacheConfig {
+            size: (1 << l1_sets_log) * l1_line,
+            line: l1_line,
+            assoc: 1,
+        };
+        // L2 must be a power-of-two set count: size = sets * line * assoc.
+        let l2_sets = 1u64 << (l1_sets_log + l2_extra_log);
+        let l2_assoc = 1u32 << (l2_assoc - 1).min(2);
+        cfg.l2 = dss_memsim::CacheConfig {
+            size: l2_sets * l2_line * l2_assoc as u64,
+            line: l2_line,
+            assoc: l2_assoc,
+        };
+        cfg.nprocs = 2;
+        cfg.validate();
+        let traces = traces_from(&[ops.clone(), ops]);
+        let mut machine = Machine::new(cfg);
+        let stats = machine.run(&traces);
+        machine.check_invariants();
+        prop_assert!(stats.l1.read_misses.total() <= stats.l1.read_accesses);
+    }
+
+    /// Prefetching never changes results-bearing counters (accesses) and
+    /// never increases L1 *data* misses on a sequential stream.
+    #[test]
+    fn prefetch_preserves_access_counts(degree in 0u32..8, n in 1u64..400) {
+        let make = || {
+            let t = Tracer::new(0);
+            for i in 0..n {
+                t.read(SHARED_BASE + i * 32, 8, DataClass::Data);
+            }
+            t.take()
+        };
+        let base = Machine::new(MachineConfig::baseline()).run(&[make()]);
+        let pf = Machine::new(MachineConfig::baseline().with_data_prefetch(degree)).run(&[make()]);
+        prop_assert_eq!(base.l1.read_accesses, pf.l1.read_accesses);
+        prop_assert!(
+            pf.l1.read_misses.by_class(DataClass::Data)
+                <= base.l1.read_misses.by_class(DataClass::Data)
+        );
+    }
+}

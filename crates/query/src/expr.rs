@@ -1,0 +1,379 @@
+//! Bound (executable) scalar expressions.
+
+use dss_sql::{BinOp, Expr};
+use dss_trace::{CostModel, Tracer};
+use dss_tpcd::Date;
+
+use crate::datum::like_match;
+use crate::{Datum, PlanError};
+
+/// Supplies slot values during evaluation, emitting the appropriate
+/// references: heap attributes emit `Data` loads, materialized rows emit
+/// `Priv` loads.
+pub trait SlotSource {
+    /// Loads slot `i`, emitting its traced references.
+    fn load(&mut self, i: usize, t: &Tracer) -> Datum;
+}
+
+/// A bound scalar expression whose column references have been resolved to
+/// slot numbers of some [`SlotSource`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Scalar {
+    /// Input slot `i`.
+    Slot(usize),
+    /// Literal.
+    Const(Datum),
+    /// Arithmetic, comparison, or logical operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Scalar>,
+        /// Right operand.
+        rhs: Box<Scalar>,
+    },
+    /// Logical negation.
+    Not(Box<Scalar>),
+    /// `expr [not] between lo and hi` (bounds are literals in TPC-D).
+    Between {
+        /// Tested expression.
+        expr: Box<Scalar>,
+        /// Inclusive lower bound.
+        lo: Box<Scalar>,
+        /// Inclusive upper bound.
+        hi: Box<Scalar>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `expr [not] in (…)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Scalar>,
+        /// Candidates.
+        list: Vec<Scalar>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `expr [not] like 'pattern'`.
+    Like {
+        /// Tested expression.
+        expr: Box<Scalar>,
+        /// Pattern with `%`/`_` wildcards.
+        pattern: String,
+        /// Negated form.
+        negated: bool,
+    },
+}
+
+impl Scalar {
+    /// Evaluates a value-producing expression.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression is boolean-valued (planner bug).
+    pub fn eval_value(&self, src: &mut dyn SlotSource, t: &Tracer, cost: &CostModel) -> Datum {
+        match self {
+            Scalar::Slot(i) => src.load(*i, t),
+            Scalar::Const(d) => d.clone(),
+            Scalar::Binary { op, lhs, rhs } => {
+                let a = lhs.eval_value(src, t, cost);
+                let b = rhs.eval_value(src, t, cost);
+                t.busy(cost.arithmetic);
+                arith(*op, &a, &b)
+            }
+            other => panic!("boolean expression {other:?} used as a value"),
+        }
+    }
+
+    /// Evaluates a predicate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression is value-typed at the top level.
+    pub fn eval_bool(&self, src: &mut dyn SlotSource, t: &Tracer, cost: &CostModel) -> bool {
+        match self {
+            Scalar::Binary { op, lhs, rhs } if op.is_comparison() => {
+                let a = lhs.eval_value(src, t, cost);
+                let b = rhs.eval_value(src, t, cost);
+                t.busy(cost.predicate_eval);
+                let ord = a.compare(&b);
+                match op {
+                    BinOp::Eq => ord.is_eq(),
+                    BinOp::Ne => ord.is_ne(),
+                    BinOp::Lt => ord.is_lt(),
+                    BinOp::Le => ord.is_le(),
+                    BinOp::Gt => ord.is_gt(),
+                    BinOp::Ge => ord.is_ge(),
+                    _ => unreachable!(),
+                }
+            }
+            Scalar::Binary { op: BinOp::And, lhs, rhs } => {
+                lhs.eval_bool(src, t, cost) && rhs.eval_bool(src, t, cost)
+            }
+            Scalar::Binary { op: BinOp::Or, lhs, rhs } => {
+                lhs.eval_bool(src, t, cost) || rhs.eval_bool(src, t, cost)
+            }
+            Scalar::Not(e) => !e.eval_bool(src, t, cost),
+            Scalar::Between { expr, lo, hi, negated } => {
+                let v = expr.eval_value(src, t, cost);
+                let lo = lo.eval_value(src, t, cost);
+                let hi = hi.eval_value(src, t, cost);
+                t.busy(2 * cost.predicate_eval);
+                let inside = v.compare(&lo).is_ge() && v.compare(&hi).is_le();
+                inside != *negated
+            }
+            Scalar::InList { expr, list, negated } => {
+                let v = expr.eval_value(src, t, cost);
+                let mut found = false;
+                for cand in list {
+                    let c = cand.eval_value(src, t, cost);
+                    t.busy(cost.predicate_eval);
+                    if v.compare(&c).is_eq() {
+                        found = true;
+                        break;
+                    }
+                }
+                found != *negated
+            }
+            Scalar::Like { expr, pattern, negated } => {
+                let v = expr.eval_value(src, t, cost);
+                t.busy(cost.predicate_eval + pattern.len() as u32);
+                like_match(v.str(), pattern) != *negated
+            }
+            other => panic!("value expression {other:?} used as a predicate"),
+        }
+    }
+
+    /// Slots this expression reads.
+    pub fn slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.walk_slots(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn walk_slots(&self, out: &mut Vec<usize>) {
+        match self {
+            Scalar::Slot(i) => out.push(*i),
+            Scalar::Const(_) => {}
+            Scalar::Binary { lhs, rhs, .. } => {
+                lhs.walk_slots(out);
+                rhs.walk_slots(out);
+            }
+            Scalar::Not(e) => e.walk_slots(out),
+            Scalar::Between { expr, lo, hi, .. } => {
+                expr.walk_slots(out);
+                lo.walk_slots(out);
+                hi.walk_slots(out);
+            }
+            Scalar::InList { expr, list, .. } => {
+                expr.walk_slots(out);
+                for e in list {
+                    e.walk_slots(out);
+                }
+            }
+            Scalar::Like { expr, .. } => expr.walk_slots(out),
+        }
+    }
+}
+
+fn arith(op: BinOp, a: &Datum, b: &Datum) -> Datum {
+    if let (Datum::Int(x), Datum::Int(y)) = (a, b) {
+        return Datum::Int(match op {
+            BinOp::Add => x + y,
+            BinOp::Sub => x - y,
+            BinOp::Mul => x * y,
+            BinOp::Div => x / y,
+            other => panic!("operator {other:?} in arithmetic"),
+        });
+    }
+    let (x, y) = (a.as_hundredths(), b.as_hundredths());
+    Datum::Dec(match op {
+        BinOp::Add => x + y,
+        BinOp::Sub => x - y,
+        BinOp::Mul => x * y / 100,
+        BinOp::Div => x * 100 / y,
+        other => panic!("operator {other:?} in arithmetic"),
+    })
+}
+
+/// Binds an AST expression against a column scope.
+///
+/// `scope` maps `(table qualifier, column name)` to a slot number.
+/// Aggregate calls are rejected — the planner extracts them before binding.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] for unresolvable columns or embedded aggregates.
+pub fn bind(
+    expr: &Expr,
+    scope: &dyn Fn(Option<&str>, &str) -> Option<usize>,
+) -> Result<Scalar, PlanError> {
+    Ok(match expr {
+        Expr::Column { table, name } => {
+            let slot = scope(table.as_deref(), name).ok_or_else(|| {
+                PlanError::new(format!("unknown column {}{name}", match table {
+                    Some(t) => format!("{t}."),
+                    None => String::new(),
+                }))
+            })?;
+            Scalar::Slot(slot)
+        }
+        Expr::Int(v) => Scalar::Const(Datum::Int(*v)),
+        Expr::Dec(v) => Scalar::Const(Datum::Dec(*v)),
+        Expr::Str(s) => Scalar::Const(Datum::Str(s.clone())),
+        Expr::DateLit { year, month, day } => {
+            Scalar::Const(Datum::Date(Date::from_ymd(*year, *month, *day)))
+        }
+        Expr::Binary { op, lhs, rhs } => Scalar::Binary {
+            op: *op,
+            lhs: Box::new(bind(lhs, scope)?),
+            rhs: Box::new(bind(rhs, scope)?),
+        },
+        Expr::Not(e) => Scalar::Not(Box::new(bind(e, scope)?)),
+        Expr::Between { expr, lo, hi, negated } => Scalar::Between {
+            expr: Box::new(bind(expr, scope)?),
+            lo: Box::new(bind(lo, scope)?),
+            hi: Box::new(bind(hi, scope)?),
+            negated: *negated,
+        },
+        Expr::InList { expr, list, negated } => Scalar::InList {
+            expr: Box::new(bind(expr, scope)?),
+            list: list.iter().map(|e| bind(e, scope)).collect::<Result<_, _>>()?,
+            negated: *negated,
+        },
+        Expr::Like { expr, pattern, negated } => Scalar::Like {
+            expr: Box::new(bind(expr, scope)?),
+            pattern: pattern.clone(),
+            negated: *negated,
+        },
+        Expr::Agg { .. } => {
+            return Err(PlanError::new("aggregate in a non-aggregate context".to_owned()))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Vals(Vec<Datum>);
+    impl SlotSource for Vals {
+        fn load(&mut self, i: usize, _t: &Tracer) -> Datum {
+            self.0[i].clone()
+        }
+    }
+
+    fn free() -> CostModel {
+        CostModel::free()
+    }
+
+    fn scope_none(_: Option<&str>, _: &str) -> Option<usize> {
+        None
+    }
+
+    #[test]
+    fn arithmetic_over_decimals() {
+        // l_extendedprice * (1 - l_discount): 100.00 * (1 - 0.05) = 95.00
+        let e = Scalar::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Scalar::Slot(0)),
+            rhs: Box::new(Scalar::Binary {
+                op: BinOp::Sub,
+                lhs: Box::new(Scalar::Const(Datum::Int(1))),
+                rhs: Box::new(Scalar::Slot(1)),
+            }),
+        };
+        let mut src = Vals(vec![Datum::Dec(10_000), Datum::Dec(5)]);
+        let t = Tracer::disabled();
+        assert_eq!(e.eval_value(&mut src, &t, &free()), Datum::Dec(9_500));
+    }
+
+    #[test]
+    fn integer_arithmetic_stays_integer() {
+        let e = Scalar::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Scalar::Const(Datum::Int(2))),
+            rhs: Box::new(Scalar::Const(Datum::Int(3))),
+        };
+        let t = Tracer::disabled();
+        assert_eq!(e.eval_value(&mut Vals(vec![]), &t, &free()), Datum::Int(5));
+    }
+
+    #[test]
+    fn comparisons_and_connectives() {
+        let lt = Scalar::Binary {
+            op: BinOp::Lt,
+            lhs: Box::new(Scalar::Slot(0)),
+            rhs: Box::new(Scalar::Const(Datum::Int(10))),
+        };
+        let t = Tracer::disabled();
+        assert!(lt.eval_bool(&mut Vals(vec![Datum::Int(5)]), &t, &free()));
+        assert!(!lt.eval_bool(&mut Vals(vec![Datum::Int(15)]), &t, &free()));
+        let not = Scalar::Not(Box::new(lt.clone()));
+        assert!(not.eval_bool(&mut Vals(vec![Datum::Int(15)]), &t, &free()));
+        let or = Scalar::Binary {
+            op: BinOp::Or,
+            lhs: Box::new(lt.clone()),
+            rhs: Box::new(Scalar::Not(Box::new(lt))),
+        };
+        assert!(or.eval_bool(&mut Vals(vec![Datum::Int(7)]), &t, &free()));
+    }
+
+    #[test]
+    fn between_in_like() {
+        let t = Tracer::disabled();
+        let between = Scalar::Between {
+            expr: Box::new(Scalar::Slot(0)),
+            lo: Box::new(Scalar::Const(Datum::Dec(4))),
+            hi: Box::new(Scalar::Const(Datum::Dec(6))),
+            negated: false,
+        };
+        assert!(between.eval_bool(&mut Vals(vec![Datum::Dec(5)]), &t, &free()));
+        assert!(!between.eval_bool(&mut Vals(vec![Datum::Dec(7)]), &t, &free()));
+
+        let inlist = Scalar::InList {
+            expr: Box::new(Scalar::Slot(0)),
+            list: vec![
+                Scalar::Const(Datum::Str("MAIL".into())),
+                Scalar::Const(Datum::Str("SHIP".into())),
+            ],
+            negated: false,
+        };
+        assert!(inlist.eval_bool(&mut Vals(vec![Datum::Str("SHIP".into())]), &t, &free()));
+        assert!(!inlist.eval_bool(&mut Vals(vec![Datum::Str("AIR".into())]), &t, &free()));
+
+        let like = Scalar::Like {
+            expr: Box::new(Scalar::Slot(0)),
+            pattern: "PROMO%".into(),
+            negated: true,
+        };
+        assert!(like.eval_bool(&mut Vals(vec![Datum::Str("STANDARD TIN".into())]), &t, &free()));
+    }
+
+    #[test]
+    fn binding_resolves_columns() {
+        let ast = dss_sql::parse("select 1 from t where l_quantity < 24").unwrap();
+        let scope = |_: Option<&str>, name: &str| (name == "l_quantity").then_some(4);
+        let bound = bind(ast.where_clause.as_ref().unwrap(), &scope).unwrap();
+        assert_eq!(bound.slots(), vec![4]);
+    }
+
+    #[test]
+    fn binding_unknown_column_errors() {
+        let ast = dss_sql::parse("select 1 from t where mystery < 24").unwrap();
+        let err = bind(ast.where_clause.as_ref().unwrap(), &scope_none).unwrap_err();
+        assert!(err.to_string().contains("mystery"));
+    }
+
+    #[test]
+    fn date_literals_bind_to_dates() {
+        let ast = dss_sql::parse("select 1 from t where a >= date '1994-01-01'").unwrap();
+        let scope = |_: Option<&str>, _: &str| Some(0);
+        let bound = bind(ast.where_clause.as_ref().unwrap(), &scope).unwrap();
+        let t = Tracer::disabled();
+        let mut src = Vals(vec![Datum::Date(Date::from_ymd(1995, 6, 1))]);
+        assert!(bound.eval_bool(&mut src, &t, &free()));
+    }
+}

@@ -1,0 +1,427 @@
+//! Physical query plans.
+//!
+//! The optimizer produces left-deep trees of these nodes, mirroring
+//! Postgres95's executor repertoire: sequential and index scan selects,
+//! nested-loop / merge / hash joins, sort, group, and aggregate (the paper's
+//! Section 2.1.1).
+
+use dss_sql::AggFunc;
+use dss_tpcd::ColType;
+
+use crate::catalog::Catalog;
+use crate::expr::Scalar;
+use crate::row::RowShape;
+use crate::Datum;
+
+/// One aggregate computed by a [`Plan::Group`] or [`Plan::Aggregate`] node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggSpec {
+    /// The function.
+    pub func: AggFunc,
+    /// Bound argument over the input row (`None` only for `count(*)`).
+    pub arg: Option<Scalar>,
+    /// `distinct` qualifier.
+    pub distinct: bool,
+}
+
+/// A physical plan node.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Plan {
+    /// Sequential scan select: visit every tuple, apply conjuncts in order,
+    /// project the surviving tuples' attributes into private slots.
+    SeqScan {
+        /// Table name.
+        table: String,
+        /// Conjunctive predicates over table attributes (slot = attribute).
+        preds: Vec<Scalar>,
+        /// Attribute indices projected, in output order.
+        project: Vec<usize>,
+        /// Heap blocks `[lo, hi)` to scan; `None` scans the whole table.
+        /// Used by the intra-query-parallelism extension to partition a scan
+        /// across processors (the paper's future work).
+        block_range: Option<(u32, u32)>,
+    },
+    /// Index scan select: probe/range-scan a b-tree, fetch matching heap
+    /// tuples, re-check conjuncts, project.
+    IndexScan {
+        /// Table name.
+        table: String,
+        /// Indexed attribute (must have an index in the catalog).
+        index_column: usize,
+        /// Static lower bound on the key column (inclusive), if any.
+        lo: Option<Datum>,
+        /// Static upper bound on the key column (inclusive), if any.
+        hi: Option<Datum>,
+        /// `true` when this scan is the inner of a nested-loop join and its
+        /// equality bound arrives at rescan time from the outer row.
+        parameterized: bool,
+        /// Conjunctive predicates re-checked on the heap tuple.
+        preds: Vec<Scalar>,
+        /// Attribute indices projected, in output order.
+        project: Vec<usize>,
+    },
+    /// Nested-loop join: for each outer row, rescan the parameterized inner
+    /// index scan with the outer join key.
+    NestLoop {
+        /// Outer (left) input.
+        outer: Box<Plan>,
+        /// Inner input: a `parameterized` [`Plan::IndexScan`].
+        inner: Box<Plan>,
+        /// Output column of the outer feeding the inner's key.
+        outer_key: usize,
+    },
+    /// Merge join of two inputs ordered on their join keys.
+    MergeJoin {
+        /// Outer (left) input, sorted on `outer_key`.
+        outer: Box<Plan>,
+        /// Outer join-key column.
+        outer_key: usize,
+        /// Inner input, sorted on `inner_key` (e.g. a full-range index scan).
+        inner: Box<Plan>,
+        /// Inner join-key column.
+        inner_key: usize,
+    },
+    /// Hash join: build a private hash table on the inner, probe with outer.
+    HashJoin {
+        /// Probe (left) input.
+        outer: Box<Plan>,
+        /// Probe join-key column.
+        outer_key: usize,
+        /// Build (right) input.
+        inner: Box<Plan>,
+        /// Build join-key column.
+        inner_key: usize,
+    },
+    /// Filter rows by a residual predicate.
+    Filter {
+        /// Input.
+        input: Box<Plan>,
+        /// Conjuncts over the input row.
+        preds: Vec<Scalar>,
+    },
+    /// Sort by output columns.
+    Sort {
+        /// Input.
+        input: Box<Plan>,
+        /// `(column, descending)` sort keys, major first.
+        keys: Vec<(usize, bool)>,
+    },
+    /// Grouped aggregation over an input sorted on the group keys
+    /// (Postgres95's Group + Aggregate pair).
+    Group {
+        /// Input, sorted by `keys`.
+        input: Box<Plan>,
+        /// Group-key columns; they prefix the output row.
+        keys: Vec<usize>,
+        /// Aggregates appended after the keys.
+        aggs: Vec<AggSpec>,
+    },
+    /// Ungrouped (scalar) aggregation producing exactly one row.
+    Aggregate {
+        /// Input.
+        input: Box<Plan>,
+        /// Aggregates computed.
+        aggs: Vec<AggSpec>,
+    },
+    /// Compute output expressions over the input row.
+    Project {
+        /// Input.
+        input: Box<Plan>,
+        /// One expression per output column.
+        exprs: Vec<Scalar>,
+    },
+    /// Stop after `n` rows.
+    Limit {
+        /// Input.
+        input: Box<Plan>,
+        /// Maximum rows produced.
+        n: u64,
+    },
+}
+
+/// Which operator families a plan uses — one row of the paper's Table 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlanFeatures {
+    /// Sequential-scan select present.
+    pub seq_scan: bool,
+    /// Index-scan select present.
+    pub index_scan: bool,
+    /// Nested-loop join present.
+    pub nest_loop: bool,
+    /// Merge join present.
+    pub merge_join: bool,
+    /// Hash join present.
+    pub hash_join: bool,
+    /// Sort present.
+    pub sort: bool,
+    /// Group present.
+    pub group: bool,
+    /// Aggregate present.
+    pub aggregate: bool,
+}
+
+impl PlanFeatures {
+    /// Renders the Table 1 row: `SS IS NL M H Sort Group Aggr` checkmarks.
+    pub fn row(&self) -> String {
+        let mark = |b: bool| if b { "x" } else { "." };
+        format!(
+            "{} {} {} {} {} {} {} {}",
+            mark(self.seq_scan),
+            mark(self.index_scan),
+            mark(self.nest_loop),
+            mark(self.merge_join),
+            mark(self.hash_join),
+            mark(self.sort),
+            mark(self.group),
+            mark(self.aggregate),
+        )
+    }
+}
+
+impl Plan {
+    /// The output row layout of this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan references tables or columns missing from the
+    /// catalog (the planner guarantees well-formedness).
+    pub fn shape(&self, cat: &Catalog) -> RowShape {
+        match self {
+            Plan::SeqScan { table, project, .. }
+            | Plan::IndexScan { table, project, .. } => {
+                let def = cat.table(table).expect("planned table exists").heap.def().clone();
+                RowShape::new(project.iter().map(|&a| def.columns[a].ty).collect())
+            }
+            Plan::NestLoop { outer, inner, .. }
+            | Plan::MergeJoin { outer, inner, .. }
+            | Plan::HashJoin { outer, inner, .. } => {
+                outer.shape(cat).concat(&inner.shape(cat))
+            }
+            Plan::Filter { input, .. } | Plan::Sort { input, .. } | Plan::Limit { input, .. } => {
+                input.shape(cat)
+            }
+            Plan::Group { input, keys, aggs } => {
+                let inner = input.shape(cat);
+                let mut types: Vec<ColType> = keys.iter().map(|&k| inner.types[k]).collect();
+                types.extend(aggs.iter().map(|a| agg_type(a, &inner)));
+                RowShape::new(types)
+            }
+            Plan::Aggregate { input, aggs } => {
+                let inner = input.shape(cat);
+                RowShape::new(aggs.iter().map(|a| agg_type(a, &inner)).collect())
+            }
+            Plan::Project { input, exprs } => {
+                let inner = input.shape(cat);
+                RowShape::new(exprs.iter().map(|e| infer_type(e, &inner)).collect())
+            }
+        }
+    }
+
+    /// Collects the operator families used (one Table 1 row).
+    pub fn features(&self) -> PlanFeatures {
+        let mut f = PlanFeatures::default();
+        self.walk(&mut |node| match node {
+            Plan::SeqScan { .. } => f.seq_scan = true,
+            Plan::IndexScan { .. } => f.index_scan = true,
+            Plan::NestLoop { .. } => f.nest_loop = true,
+            Plan::MergeJoin { .. } => f.merge_join = true,
+            Plan::HashJoin { .. } => f.hash_join = true,
+            Plan::Sort { .. } => f.sort = true,
+            Plan::Group { aggs, .. } => {
+                f.group = true;
+                if !aggs.is_empty() {
+                    f.aggregate = true;
+                }
+            }
+            Plan::Aggregate { .. } => f.aggregate = true,
+            Plan::Filter { .. } | Plan::Project { .. } | Plan::Limit { .. } => {}
+        });
+        f
+    }
+
+    /// Visits every node, parents before children.
+    pub fn walk(&self, f: &mut dyn FnMut(&Plan)) {
+        f(self);
+        match self {
+            Plan::NestLoop { outer, inner, .. }
+            | Plan::MergeJoin { outer, inner, .. }
+            | Plan::HashJoin { outer, inner, .. } => {
+                outer.walk(f);
+                inner.walk(f);
+            }
+            Plan::Filter { input, .. }
+            | Plan::Sort { input, .. }
+            | Plan::Group { input, .. }
+            | Plan::Aggregate { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Limit { input, .. } => input.walk(f),
+            Plan::SeqScan { .. } | Plan::IndexScan { .. } => {}
+        }
+    }
+
+    /// Renders an `EXPLAIN`-style tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::SeqScan { table, preds, project, block_range } => {
+                let part = match block_range {
+                    Some((lo, hi)) => format!(", blocks {lo}..{hi}"),
+                    None => String::new(),
+                };
+                out.push_str(&format!(
+                    "{pad}Seq Scan on {table} ({} preds, {} cols{part})\n",
+                    preds.len(),
+                    project.len()
+                ));
+            }
+            Plan::IndexScan { table, index_column, parameterized, preds, .. } => {
+                let param = if *parameterized { ", parameterized" } else { "" };
+                out.push_str(&format!(
+                    "{pad}Index Scan on {table} (key col {index_column}{param}, {} preds)\n",
+                    preds.len()
+                ));
+            }
+            Plan::NestLoop { outer, inner, outer_key } => {
+                out.push_str(&format!("{pad}Nested Loop Join (outer key {outer_key})\n"));
+                outer.explain_into(out, depth + 1);
+                inner.explain_into(out, depth + 1);
+            }
+            Plan::MergeJoin { outer, inner, outer_key, inner_key } => {
+                out.push_str(&format!("{pad}Merge Join (keys {outer_key} = {inner_key})\n"));
+                outer.explain_into(out, depth + 1);
+                inner.explain_into(out, depth + 1);
+            }
+            Plan::HashJoin { outer, inner, outer_key, inner_key } => {
+                out.push_str(&format!("{pad}Hash Join (keys {outer_key} = {inner_key})\n"));
+                outer.explain_into(out, depth + 1);
+                inner.explain_into(out, depth + 1);
+            }
+            Plan::Filter { input, preds } => {
+                out.push_str(&format!("{pad}Filter ({} preds)\n", preds.len()));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Sort { input, keys } => {
+                out.push_str(&format!("{pad}Sort ({} keys)\n", keys.len()));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Group { input, keys, aggs } => {
+                out.push_str(&format!("{pad}Group ({} keys, {} aggs)\n", keys.len(), aggs.len()));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Aggregate { input, aggs } => {
+                out.push_str(&format!("{pad}Aggregate ({} aggs)\n", aggs.len()));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, exprs } => {
+                out.push_str(&format!("{pad}Project ({} cols)\n", exprs.len()));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Limit { input, n } => {
+                out.push_str(&format!("{pad}Limit ({n} rows)\n"));
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+/// Result type of an aggregate.
+fn agg_type(spec: &AggSpec, input: &RowShape) -> ColType {
+    match spec.func {
+        AggFunc::Count => ColType::Int,
+        AggFunc::Avg => ColType::Dec,
+        AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+            spec.arg.as_ref().map(|a| infer_type(a, input)).unwrap_or(ColType::Int)
+        }
+    }
+}
+
+/// Static type of a bound scalar over `input`.
+pub(crate) fn infer_type(e: &Scalar, input: &RowShape) -> ColType {
+    match e {
+        Scalar::Slot(i) => input.types[*i],
+        Scalar::Const(Datum::Int(_)) => ColType::Int,
+        Scalar::Const(Datum::Dec(_)) => ColType::Dec,
+        Scalar::Const(Datum::Date(_)) => ColType::Date,
+        Scalar::Const(Datum::Str(s)) => ColType::Str(s.len() as u16),
+        Scalar::Binary { lhs, rhs, .. } => {
+            match (infer_type(lhs, input), infer_type(rhs, input)) {
+                (ColType::Int, ColType::Int) => ColType::Int,
+                _ => ColType::Dec,
+            }
+        }
+        // Predicates never appear in projections; any width works.
+        _ => ColType::Int,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(table: &str) -> Plan {
+        Plan::SeqScan { table: table.into(), preds: vec![], project: vec![0, 1], block_range: None }
+    }
+
+    #[test]
+    fn features_collect_across_tree() {
+        let plan = Plan::Sort {
+            input: Box::new(Plan::Group {
+                input: Box::new(Plan::NestLoop {
+                    outer: Box::new(scan("customer")),
+                    inner: Box::new(Plan::IndexScan {
+                        table: "orders".into(),
+                        index_column: 1,
+                        lo: None,
+                        hi: None,
+                        parameterized: true,
+                        preds: vec![],
+                        project: vec![0],
+                    }),
+                    outer_key: 0,
+                }),
+                keys: vec![0],
+                aggs: vec![AggSpec { func: AggFunc::Sum, arg: Some(Scalar::Slot(1)), distinct: false }],
+            }),
+            keys: vec![(1, true)],
+        };
+        let f = plan.features();
+        assert!(f.seq_scan && f.index_scan && f.nest_loop && f.sort && f.group && f.aggregate);
+        assert!(!f.merge_join && !f.hash_join);
+        assert_eq!(f.row(), "x x x . . x x x");
+    }
+
+    #[test]
+    fn explain_renders_tree() {
+        let plan = Plan::Aggregate {
+            input: Box::new(scan("lineitem")),
+            aggs: vec![AggSpec { func: AggFunc::Count, arg: None, distinct: false }],
+        };
+        let text = plan.explain();
+        assert!(text.contains("Aggregate"));
+        assert!(text.contains("Seq Scan on lineitem"));
+        assert!(text.find("Aggregate").unwrap() < text.find("Seq Scan").unwrap());
+    }
+
+    #[test]
+    fn infer_types_for_expressions() {
+        let shape = RowShape::new(vec![ColType::Dec, ColType::Int]);
+        let mul = Scalar::Binary {
+            op: dss_sql::BinOp::Mul,
+            lhs: Box::new(Scalar::Slot(0)),
+            rhs: Box::new(Scalar::Slot(1)),
+        };
+        assert_eq!(infer_type(&mul, &shape), ColType::Dec);
+        let int_add = Scalar::Binary {
+            op: dss_sql::BinOp::Add,
+            lhs: Box::new(Scalar::Slot(1)),
+            rhs: Box::new(Scalar::Const(Datum::Int(1))),
+        };
+        assert_eq!(infer_type(&int_add, &shape), ColType::Int);
+    }
+}

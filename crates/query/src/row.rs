@@ -1,0 +1,94 @@
+//! Materialized rows in private memory.
+
+use dss_tpcd::ColType;
+
+use crate::Datum;
+
+/// Physical layout of a materialized row: one fixed-width field per column.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowShape {
+    /// Column types.
+    pub types: Vec<ColType>,
+    /// Byte offset of each field.
+    pub offsets: Vec<u64>,
+    /// Total row width in bytes.
+    pub width: u64,
+}
+
+impl RowShape {
+    /// Computes the layout for the given column types.
+    pub fn new(types: Vec<ColType>) -> Self {
+        let mut offsets = Vec::with_capacity(types.len());
+        let mut off = 0;
+        for t in &types {
+            offsets.push(off);
+            off += t.width() as u64;
+        }
+        RowShape { types, offsets, width: off }
+    }
+
+    /// Concatenates two shapes (join output: outer columns then inner).
+    pub fn concat(&self, other: &RowShape) -> RowShape {
+        let mut types = self.types.clone();
+        types.extend(other.types.iter().copied());
+        RowShape::new(types)
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Width of field `i` in bytes.
+    pub fn field_width(&self, i: usize) -> u64 {
+        self.types[i].width() as u64
+    }
+}
+
+/// A materialized row: decoded values plus the private-memory address where
+/// its bytes live (the source of `Priv` references).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Row {
+    /// Base address of the row's private slot.
+    pub addr: u64,
+    /// Decoded field values.
+    pub vals: Vec<Datum>,
+}
+
+impl Row {
+    /// Creates a row at `addr` with the given values.
+    pub fn new(addr: u64, vals: Vec<Datum>) -> Self {
+        Row { addr, vals }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offsets_are_prefix_sums() {
+        let s = RowShape::new(vec![ColType::Int, ColType::Date, ColType::Str(10), ColType::Dec]);
+        assert_eq!(s.offsets, vec![0, 8, 12, 22]);
+        assert_eq!(s.width, 30);
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.field_width(2), 10);
+    }
+
+    #[test]
+    fn concat_appends_columns() {
+        let a = RowShape::new(vec![ColType::Int]);
+        let b = RowShape::new(vec![ColType::Date, ColType::Dec]);
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.offsets, vec![0, 8, 12]);
+        assert_eq!(c.width, 20);
+    }
+
+    #[test]
+    fn empty_shape_is_zero_width() {
+        let s = RowShape::new(vec![]);
+        assert_eq!(s.width, 0);
+        assert_eq!(s.arity(), 0);
+    }
+}

@@ -1,0 +1,426 @@
+//! End-to-end correctness: engine answers equal straight-Rust reference
+//! computations over the generated population.
+
+use std::collections::BTreeMap;
+
+use dss_query::{Database, Datum, DbConfig, Session, sql_for};
+use dss_tpcd::{params, Date, DbData, Generator};
+
+struct Fixture {
+    db: Database,
+    data: DbData,
+}
+
+fn fixture() -> Fixture {
+    let config = DbConfig { scale: 0.004, seed: 11, nbuffers: 2048, ..DbConfig::default() };
+    let data = Generator::new(config.scale, config.seed).generate();
+    let db = Database::build_from(&config, &data);
+    Fixture { db, data }
+}
+
+fn run(db: &mut Database, sql: &str) -> Vec<Vec<Datum>> {
+    let mut session = Session::untraced(0);
+    db.run(sql, &mut session).unwrap_or_else(|e| panic!("{e}\n{sql}")).rows
+}
+
+#[test]
+fn counts_match_generator() {
+    let Fixture { mut db, data } = fixture();
+    let rows = run(&mut db, "select count(*) from lineitem");
+    assert_eq!(rows, vec![vec![Datum::Int(data.lineitems.len() as i64)]]);
+    let rows = run(&mut db, "select count(*) from orders");
+    assert_eq!(rows, vec![vec![Datum::Int(data.orders.len() as i64)]]);
+}
+
+#[test]
+fn q6_revenue_matches_reference() {
+    let Fixture { mut db, data } = fixture();
+    for seed in 0..4 {
+        let p = params(6, seed);
+        let date = p["date"].as_date().unwrap();
+        let end = date.add_months(12);
+        let disc = p["discount"].as_dec().unwrap();
+        let qty = p["quantity"].as_dec().unwrap();
+        let expected: i64 = data
+            .lineitems
+            .iter()
+            .filter(|l| {
+                l.shipdate >= date
+                    && l.shipdate < end
+                    && l.discount >= disc - 1
+                    && l.discount <= disc + 1
+                    && l.quantity < qty
+            })
+            .map(|l| l.extendedprice * l.discount / 100)
+            .sum();
+        let rows = run(&mut db, &sql_for(6, &p));
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Datum::Dec(expected), "Q6 seed {seed}");
+    }
+}
+
+#[test]
+fn q3_result_matches_reference() {
+    let Fixture { mut db, data } = fixture();
+    let p = params(3, 5);
+    let segment = p["segment"].as_str().unwrap().to_owned();
+    let date = p["date"].as_date().unwrap();
+
+    // Reference: group revenue by (orderkey, orderdate, shippriority).
+    let mut expected: BTreeMap<i64, (i64, Date, i64)> = BTreeMap::new();
+    for o in &data.orders {
+        let c = &data.customers[(o.custkey - 1) as usize];
+        if c.mktsegment != segment || o.orderdate >= date {
+            continue;
+        }
+        for l in data.lineitems.iter().filter(|l| l.orderkey == o.orderkey) {
+            if l.shipdate > date {
+                let e = expected.entry(o.orderkey).or_insert((0, o.orderdate, o.shippriority));
+                e.0 += l.extendedprice * (100 - l.discount) / 100;
+            }
+        }
+    }
+
+    let rows = run(&mut db, &sql_for(3, &p));
+    assert_eq!(rows.len(), expected.len(), "Q3 group count");
+    // Spot-check contents and global ordering (revenue desc, then date asc).
+    for row in &rows {
+        let orderkey = row[0].clone();
+        let revenue = row[1].clone();
+        let (exp_rev, exp_date, exp_prio) = expected[&orderkey.int()];
+        assert_eq!(revenue, Datum::Dec(exp_rev), "revenue of order {orderkey}");
+        assert_eq!(row[2], Datum::Date(exp_date));
+        assert_eq!(row[3], Datum::Int(exp_prio));
+    }
+    for w in rows.windows(2) {
+        let (r1, r2) = (w[0][1].dec(), w[1][1].dec());
+        assert!(
+            r1 > r2 || (r1 == r2 && w[0][2].date() <= w[1][2].date()),
+            "order-by violated: {w:?}"
+        );
+    }
+}
+
+#[test]
+fn q12_counts_match_reference() {
+    let Fixture { mut db, data } = fixture();
+    let p = params(12, 9);
+    let m1 = p["shipmode1"].as_str().unwrap().to_owned();
+    let m2 = p["shipmode2"].as_str().unwrap().to_owned();
+    let date = p["date"].as_date().unwrap();
+    let end = date.add_months(12);
+
+    let mut expected: BTreeMap<&str, i64> = BTreeMap::new();
+    for l in &data.lineitems {
+        if (l.shipmode == m1 || l.shipmode == m2)
+            && l.commitdate < l.receiptdate
+            && l.receiptdate >= date
+            && l.receiptdate < end
+        {
+            // Every lineitem's orderkey exists in orders (FK integrity), so
+            // the join keeps all of them.
+            *expected.entry(l.shipmode).or_insert(0) += 1;
+        }
+    }
+
+    let rows = run(&mut db, &sql_for(12, &p));
+    let got: BTreeMap<String, i64> = rows
+        .iter()
+        .map(|r| (r[0].str().to_owned(), r[1].int()))
+        .collect();
+    assert_eq!(got.len(), expected.len());
+    for (mode, count) in expected {
+        assert_eq!(got.get(mode), Some(&count), "count for {mode}");
+    }
+}
+
+#[test]
+fn q1_grouped_aggregates_match_reference() {
+    let Fixture { mut db, data } = fixture();
+    let p = params(1, 2);
+    let date = p["date"].as_date().unwrap();
+
+    let mut expected: BTreeMap<(char, char), (i64, i64, i64, i64)> = BTreeMap::new();
+    for l in data.lineitems.iter().filter(|l| l.shipdate <= date) {
+        let e = expected.entry((l.returnflag, l.linestatus)).or_insert((0, 0, 0, 0));
+        e.0 += l.quantity;
+        e.1 += l.extendedprice;
+        e.2 += l.extendedprice * (100 - l.discount) / 100;
+        e.3 += 1;
+    }
+
+    let rows = run(&mut db, &sql_for(1, &p));
+    assert_eq!(rows.len(), expected.len());
+    for row in &rows {
+        let key = (
+            row[0].str().chars().next().unwrap(),
+            row[1].str().chars().next().unwrap(),
+        );
+        let (qty, base, disc, n) = expected[&key];
+        assert_eq!(row[2], Datum::Dec(qty), "sum_qty for {key:?}");
+        assert_eq!(row[3], Datum::Dec(base), "sum_base for {key:?}");
+        assert_eq!(row[4], Datum::Dec(disc), "sum_disc for {key:?}");
+        assert_eq!(row[7], Datum::Int(n), "count for {key:?}");
+        // Averages derive from sum/count.
+        assert_eq!(row[5], Datum::Dec(qty / n), "avg_qty for {key:?}");
+    }
+    // Sorted by the two group keys.
+    for w in rows.windows(2) {
+        assert!(
+            (w[0][0].str(), w[0][1].str()) <= (w[1][0].str(), w[1][1].str()),
+            "group ordering"
+        );
+    }
+}
+
+#[test]
+fn hash_join_query_matches_reference() {
+    // Q16 uses the hash join path: count distinct suppliers per part group.
+    let Fixture { mut db, data } = fixture();
+    let p = params(16, 3);
+    let brand = p["brand"].as_str().unwrap().to_owned();
+    let ty = p["type"].as_str().unwrap().to_owned();
+    let sizes = [1i64, 14, 23, 45];
+
+    let mut expected: BTreeMap<(String, String, i64), std::collections::BTreeSet<i64>> =
+        BTreeMap::new();
+    for ps in &data.partsupps {
+        let part = &data.parts[(ps.partkey - 1) as usize];
+        if part.brand != brand && !part.ty.starts_with(&ty) && sizes.contains(&part.size) {
+            expected
+                .entry((part.brand.clone(), part.ty.clone(), part.size))
+                .or_default()
+                .insert(ps.suppkey);
+        }
+    }
+
+    let rows = run(&mut db, &sql_for(16, &p));
+    assert_eq!(rows.len(), expected.len(), "Q16 group count");
+    for row in &rows {
+        let key = (row[0].str().to_owned(), row[1].str().to_owned(), row[2].int());
+        let suppliers = &expected[&key];
+        assert_eq!(row[3], Datum::Int(suppliers.len() as i64), "distinct count for {key:?}");
+    }
+}
+
+#[test]
+fn every_query_executes_without_panicking() {
+    let Fixture { mut db, .. } = fixture();
+    for q in 1..=17u8 {
+        let sql = sql_for(q, &params(q, 1));
+        let rows = run(&mut db, &sql);
+        // Aggregate-only queries always emit one row; others may be empty at
+        // tiny scale, which is fine — this is a smoke test.
+        if matches!(q, 1 | 6 | 14 | 17) {
+            assert!(!rows.is_empty(), "Q{q} produced no rows");
+        }
+    }
+}
+
+#[test]
+fn order_by_desc_is_respected() {
+    let Fixture { mut db, .. } = fixture();
+    let rows = run(
+        &mut db,
+        "select s_acctbal, s_name from supplier where s_acctbal > 0.00 order by s_acctbal desc",
+    );
+    assert!(!rows.is_empty());
+    for w in rows.windows(2) {
+        assert!(w[0][0].dec() >= w[1][0].dec());
+    }
+}
+
+#[test]
+fn locks_are_released_after_each_query() {
+    let Fixture { mut db, .. } = fixture();
+    let mut session = Session::untraced(0);
+    db.run(&sql_for(3, &params(3, 0)), &mut session).unwrap();
+    db.run(&sql_for(6, &params(6, 0)), &mut session).unwrap();
+    // All relations unlocked once queries complete.
+    for rel in 1..30 {
+        assert_eq!(db.lockmgr.granted(rel), [0, 0], "relation {rel} still locked");
+    }
+}
+
+#[test]
+fn all_pins_released_after_each_query() {
+    let Fixture { mut db, .. } = fixture();
+    let mut session = Session::untraced(0);
+    for q in [3u8, 6, 12, 16] {
+        db.run(&sql_for(q, &params(q, 0)), &mut session).unwrap();
+    }
+    for (name, meta) in db.catalog.iter() {
+        for block in 0..meta.heap.npages() {
+            let buf = db.pool.lookup(meta.heap.page(block)).unwrap();
+            assert_eq!(db.pool.refcount(buf), 0, "{name} block {block} still pinned");
+        }
+    }
+}
+
+#[test]
+fn private_memory_is_reused_across_queries() {
+    // The paper: "the same private storage is reused for all the selected
+    // tuples" and across queries. After a query completes, its private
+    // allocations return to the free lists, so a second identical query must
+    // not grow the heap footprint.
+    let Fixture { mut db, .. } = fixture();
+    let mut session = Session::untraced(0);
+    db.run(&sql_for(6, &params(6, 0)), &mut session).unwrap();
+    let after_first = session.mem.footprint();
+    db.run(&sql_for(6, &params(6, 1)), &mut session).unwrap();
+    assert_eq!(session.mem.footprint(), after_first, "private heap grew on re-run");
+    assert_eq!(session.mem.live_bytes(), 0, "leaked private allocations");
+}
+
+#[test]
+fn select_star_expands_all_columns() {
+    let Fixture { mut db, data } = fixture();
+    let rows = run(&mut db, "select * from region order by r_regionkey");
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows[0].len(), 3, "all region columns");
+    assert_eq!(rows[0][1], Datum::Str(data.regions[0].name.into()));
+}
+
+#[test]
+fn having_filters_groups() {
+    let Fixture { mut db, data } = fixture();
+    let rows = run(
+        &mut db,
+        "select c_nationkey, count(*) as n from customer \
+         group by c_nationkey having count(*) >= 10 order by c_nationkey",
+    );
+    let mut expected: BTreeMap<i64, i64> = BTreeMap::new();
+    for c in &data.customers {
+        *expected.entry(c.nationkey).or_insert(0) += 1;
+    }
+    expected.retain(|_, n| *n >= 10);
+    assert_eq!(rows.len(), expected.len());
+    for row in &rows {
+        assert_eq!(expected.get(&row[0].int()), Some(&row[1].int()));
+        assert!(row[1].int() >= 10);
+    }
+}
+
+#[test]
+fn limit_truncates_after_order() {
+    let Fixture { mut db, .. } = fixture();
+    let all = run(&mut db, "select o_orderkey from orders order by o_orderkey");
+    let limited = run(&mut db, "select o_orderkey from orders order by o_orderkey limit 7");
+    assert_eq!(limited.len(), 7);
+    assert_eq!(&all[..7], &limited[..]);
+    // Limit larger than the result is harmless.
+    let generous =
+        run(&mut db, "select r_regionkey from region order by r_regionkey limit 1000");
+    assert_eq!(generous.len(), 5);
+    // Limit zero yields nothing.
+    assert!(run(&mut db, "select r_regionkey from region limit 0").is_empty());
+}
+
+#[test]
+fn having_over_scalar_aggregate_is_legal_but_requires_aggregation() {
+    let Fixture { mut db, .. } = fixture();
+    // HAVING without GROUP BY filters the single aggregate row (legal SQL).
+    let rows = run(&mut db, "select count(*) from orders having count(*) > 1");
+    assert_eq!(rows.len(), 1);
+    let rows = run(&mut db, "select count(*) from orders having count(*) < 0");
+    assert!(rows.is_empty());
+    // But HAVING on a plain (non-aggregate) query is rejected.
+    assert!(db.plan_sql("select o_orderkey from orders having o_orderkey > 1").is_err());
+}
+
+#[test]
+fn run_partitioned_partials_combine_to_the_full_answer() {
+    use dss_tpcd::params;
+    let Fixture { mut db, .. } = fixture();
+    let sql = sql_for(6, &params(6, 1));
+    let full = run(&mut db, &sql)[0][0].dec();
+
+    let mut s0 = Session::untraced(0);
+    let mut s1 = Session::untraced(1);
+    let mut s2 = Session::untraced(2);
+    let mut s3 = Session::untraced(3);
+    let mut sessions: Vec<&mut Session> = vec![&mut s0, &mut s1, &mut s2, &mut s3];
+    let outputs = db.run_partitioned(&sql, &mut sessions).expect("partitions run");
+    assert_eq!(outputs.len(), 4);
+    let partial_sum: i64 = outputs.iter().map(|o| o.rows[0][0].dec()).sum();
+    assert_eq!(partial_sum, full, "distributive aggregate combines exactly");
+}
+
+#[test]
+fn run_partitioned_covers_every_block_exactly_once() {
+    let Fixture { mut db, data } = fixture();
+    let sql = "select count(*) from lineitem";
+    let mut s0 = Session::untraced(0);
+    let mut s1 = Session::untraced(1);
+    let mut s2 = Session::untraced(2);
+    let mut sessions: Vec<&mut Session> = vec![&mut s0, &mut s1, &mut s2];
+    let outputs = db.run_partitioned(sql, &mut sessions).expect("partitions run");
+    let total: i64 = outputs.iter().map(|o| o.rows[0][0].int()).sum();
+    assert_eq!(total, data.lineitems.len() as i64);
+}
+
+#[test]
+fn partition_counts_are_invariant_in_k() {
+    // Property: for k = 1..=5 partitions, partial counts always sum to the
+    // full table count.
+    let Fixture { mut db, data } = fixture();
+    let sql = "select count(*) from lineitem";
+    for k in 1..=5usize {
+        let mut owned: Vec<Session> = (0..k).map(Session::untraced).collect();
+        let mut sessions: Vec<&mut Session> = owned.iter_mut().collect();
+        let outputs = db.run_partitioned(sql, &mut sessions).expect("partitions run");
+        let total: i64 = outputs.iter().map(|o| o.rows[0][0].int()).sum();
+        assert_eq!(total, data.lineitems.len() as i64, "k={k}");
+    }
+}
+
+#[test]
+fn min_max_aggregates_match_reference() {
+    let Fixture { mut db, data } = fixture();
+    let rows = run(
+        &mut db,
+        "select min(o_totalprice), max(o_totalprice), min(o_orderdate), max(o_orderdate) \
+         from orders",
+    );
+    let min_price = data.orders.iter().map(|o| o.totalprice).min().unwrap();
+    let max_price = data.orders.iter().map(|o| o.totalprice).max().unwrap();
+    let min_date = data.orders.iter().map(|o| o.orderdate).min().unwrap();
+    let max_date = data.orders.iter().map(|o| o.orderdate).max().unwrap();
+    assert_eq!(rows[0][0], Datum::Dec(min_price));
+    assert_eq!(rows[0][1], Datum::Dec(max_price));
+    assert_eq!(rows[0][2], Datum::Date(min_date));
+    assert_eq!(rows[0][3], Datum::Date(max_date));
+}
+
+#[test]
+fn multi_key_order_by_with_mixed_directions() {
+    let Fixture { mut db, data } = fixture();
+    let rows = run(
+        &mut db,
+        "select c_nationkey, c_acctbal from customer \
+         order by c_nationkey asc, c_acctbal desc limit 500",
+    );
+    // Verify against a reference sort.
+    let mut expected: Vec<(i64, i64)> =
+        data.customers.iter().map(|c| (c.nationkey, c.acctbal)).collect();
+    expected.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+    expected.truncate(500);
+    let got: Vec<(i64, i64)> = rows.iter().map(|r| (r[0].int(), r[1].dec())).collect();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn not_and_in_predicates_match_reference() {
+    let Fixture { mut db, data } = fixture();
+    let rows = run(
+        &mut db,
+        "select count(*) from lineitem \
+         where l_shipmode not in ('AIR', 'MAIL') and not l_quantity < 25.00",
+    );
+    let expected = data
+        .lineitems
+        .iter()
+        .filter(|l| l.shipmode != "AIR" && l.shipmode != "MAIL" && l.quantity >= 2500)
+        .count();
+    assert_eq!(rows[0][0], Datum::Int(expected as i64));
+}

@@ -1,0 +1,167 @@
+//! Differential tests: the three join algorithms (nested loop, merge, hash)
+//! must produce identical result multisets for the same logical join,
+//! whatever the planner would have picked.
+
+use std::collections::BTreeMap;
+
+use dss_query::{Database, Datum, DbConfig, Plan, Scalar, Session};
+use dss_sql::BinOp;
+
+fn db() -> Database {
+    Database::build(&DbConfig { scale: 0.002, seed: 21, nbuffers: 2048, ..DbConfig::default() })
+}
+
+/// orders ⋈ customer on custkey, with a date filter on orders, projecting
+/// (o_orderkey, c_name). Column indices: orders(o_orderkey=0, o_custkey=1,
+/// o_orderdate=4), customer(c_custkey=0, c_name=1).
+fn orders_scan(preds: Vec<Scalar>) -> Plan {
+    Plan::SeqScan { table: "orders".into(), preds, project: vec![0, 1, 4], block_range: None }
+}
+
+fn date_pred(cutoff_days: i32) -> Scalar {
+    Scalar::Binary {
+        op: BinOp::Lt,
+        lhs: Box::new(Scalar::Slot(4)), // o_orderdate
+        rhs: Box::new(Scalar::Const(Datum::Date(dss_tpcd::Date::from_day_number(cutoff_days)))),
+    }
+}
+
+fn nl_plan(cutoff: i32) -> Plan {
+    Plan::NestLoop {
+        outer: Box::new(orders_scan(vec![date_pred(cutoff)])),
+        inner: Box::new(Plan::IndexScan {
+            table: "customer".into(),
+            index_column: 0,
+            lo: None,
+            hi: None,
+            parameterized: true,
+            preds: vec![],
+            project: vec![0, 1],
+        }),
+        outer_key: 1, // o_custkey in the scan's output
+    }
+}
+
+fn merge_plan(cutoff: i32) -> Plan {
+    Plan::MergeJoin {
+        outer: Box::new(Plan::Sort {
+            input: Box::new(orders_scan(vec![date_pred(cutoff)])),
+            keys: vec![(1, false)],
+        }),
+        outer_key: 1,
+        inner: Box::new(Plan::IndexScan {
+            table: "customer".into(),
+            index_column: 0,
+            lo: None,
+            hi: None,
+            parameterized: false,
+            preds: vec![],
+            project: vec![0, 1],
+        }),
+        inner_key: 0,
+    }
+}
+
+fn hash_plan(cutoff: i32) -> Plan {
+    Plan::HashJoin {
+        outer: Box::new(orders_scan(vec![date_pred(cutoff)])),
+        outer_key: 1,
+        inner: Box::new(Plan::SeqScan {
+            table: "customer".into(),
+            preds: vec![],
+            project: vec![0, 1],
+            block_range: None,
+        }),
+        inner_key: 0,
+    }
+}
+
+/// Result rows as a multiset of (orderkey, custkey, name).
+fn multiset(rows: Vec<Vec<Datum>>) -> BTreeMap<(i64, i64, String), usize> {
+    let mut m = BTreeMap::new();
+    for r in rows {
+        // Join output: orders cols (0,1,2) then customer cols (3,4).
+        let key = (r[0].int(), r[3].int(), r[4].str().to_owned());
+        *m.entry(key).or_insert(0) += 1;
+    }
+    m
+}
+
+#[test]
+fn all_three_join_algorithms_agree() {
+    let mut database = db();
+    for cutoff in [400, 1200, 2600] {
+        let mut results = Vec::new();
+        for plan in [nl_plan(cutoff), merge_plan(cutoff), hash_plan(cutoff)] {
+            let mut session = Session::untraced(0);
+            let out = database.run_plan(&plan, &mut session);
+            results.push(multiset(out.rows));
+        }
+        assert!(!results[0].is_empty(), "cutoff {cutoff} joined nothing");
+        assert_eq!(results[0], results[1], "NL vs merge at cutoff {cutoff}");
+        assert_eq!(results[0], results[2], "NL vs hash at cutoff {cutoff}");
+    }
+}
+
+#[test]
+fn joins_agree_with_a_straight_reference() {
+    let mut database = db();
+    let data = dss_tpcd::Generator::new(0.002, 21).generate();
+    let cutoff = 1200;
+    let expected: usize = data
+        .orders
+        .iter()
+        .filter(|o| o.orderdate.day_number() < cutoff)
+        .count(); // every order has exactly one customer
+    let mut session = Session::untraced(0);
+    let out = database.run_plan(&hash_plan(cutoff), &mut session);
+    assert_eq!(out.rows.len(), expected);
+    // Join key equality holds on every output row.
+    for r in &out.rows {
+        assert_eq!(r[1], r[3], "o_custkey == c_custkey");
+    }
+}
+
+#[test]
+fn empty_outer_produces_empty_join() {
+    let mut database = db();
+    // A cutoff before the population start matches nothing.
+    for plan in [nl_plan(-10), merge_plan(-10), hash_plan(-10)] {
+        let mut session = Session::untraced(0);
+        let out = database.run_plan(&plan, &mut session);
+        assert!(out.rows.is_empty());
+    }
+}
+
+#[test]
+fn duplicate_outer_keys_multiply_matches() {
+    // lineitem ⋈ orders on orderkey: each of an order's lineitems matches
+    // exactly once, so the join count equals the lineitem count.
+    let mut database = db();
+    let data = dss_tpcd::Generator::new(0.002, 21).generate();
+    let plan = Plan::MergeJoin {
+        outer: Box::new(Plan::Sort {
+            input: Box::new(Plan::SeqScan {
+                table: "lineitem".into(),
+                preds: vec![],
+                project: vec![0],
+                block_range: None,
+            }),
+            keys: vec![(0, false)],
+        }),
+        outer_key: 0,
+        inner: Box::new(Plan::IndexScan {
+            table: "orders".into(),
+            index_column: 0,
+            lo: None,
+            hi: None,
+            parameterized: false,
+            preds: vec![],
+            project: vec![0],
+        }),
+        inner_key: 0,
+    };
+    let mut session = Session::untraced(0);
+    let out = database.run_plan(&plan, &mut session);
+    assert_eq!(out.rows.len(), data.lineitems.len());
+}

@@ -1,0 +1,227 @@
+//! Plan-shape tests: the operator matrix of the paper's Table 1 and the
+//! query plan trees of its Figures 1–3.
+
+use dss_query::{Database, DbConfig, Plan, sql_for};
+use dss_tpcd::params;
+
+fn paper_db() -> Database {
+    Database::build(&DbConfig::default())
+}
+
+/// The paper's Table 1, transcribed: columns are
+/// `SS IS NL M H Sort Group Aggr`.
+///
+/// Two documented deltas from the printed table: our Q12 also reports `Aggr`
+/// (it computes a count per group), and Q7/Q9 report the sort/group/aggregate
+/// operators of the full queries (the printed row legibly marks only the
+/// select and join columns).
+const EXPECTED: [(u8, &str); 17] = [
+    (1, "x . . . . x x x"),
+    (2, ". x x . . x . ."),
+    (3, ". x x . . x x x"),
+    (4, "x . . . . x x x"),
+    (5, ". x x . . x x x"),
+    (6, "x . . . . . . x"),
+    (7, "x x x . x x x x"),
+    (8, ". x x . . . . ."),
+    (9, "x x x . x x x x"),
+    (10, ". x x . . x x x"),
+    (11, ". x x . . x x x"),
+    (12, "x x . x . x x x"),
+    (13, "x x x . . x x x"),
+    (14, "x x x . . . . x"),
+    (15, "x . . . . x x ."),
+    (16, "x . . . x x x x"),
+    (17, "x x x . . . . x"),
+];
+
+#[test]
+fn table1_operator_matrix_matches_paper() {
+    let db = paper_db();
+    for (q, expected) in EXPECTED {
+        let plan = db.plan_sql(&sql_for(q, &params(q, 1))).unwrap_or_else(|e| {
+            panic!("Q{q} failed to plan: {e}");
+        });
+        assert_eq!(plan.features().row(), expected, "Q{q} operator row");
+    }
+}
+
+#[test]
+fn plans_are_stable_across_parameter_seeds() {
+    // The paper runs the same query type with different parameters on each
+    // processor; the plan shape must not flip between them.
+    let db = paper_db();
+    for q in [3u8, 6, 12] {
+        let baseline = db.plan_sql(&sql_for(q, &params(q, 0))).unwrap().features();
+        for seed in 1..8 {
+            let f = db.plan_sql(&sql_for(q, &params(q, seed))).unwrap().features();
+            assert_eq!(f, baseline, "Q{q} plan changed at seed {seed}");
+        }
+    }
+}
+
+/// Figure 1: Q3 is index scans on customer/orders/lineitem combined by two
+/// nested-loop joins, then sort, group, aggregate, sort.
+#[test]
+fn q3_plan_matches_figure_1() {
+    let db = paper_db();
+    let plan = db.plan_sql(&sql_for(3, &params(3, 1))).unwrap();
+
+    // Top of the tree: the final order-by sort.
+    assert!(matches!(plan, Plan::Sort { .. }), "Q3 root must be the order-by sort");
+
+    let mut index_scans = Vec::new();
+    let mut nest_loops = 0;
+    let mut seq_scans = 0;
+    plan.walk(&mut |node| match node {
+        Plan::IndexScan { table, parameterized, .. } => {
+            index_scans.push((table.clone(), *parameterized))
+        }
+        Plan::NestLoop { .. } => nest_loops += 1,
+        Plan::SeqScan { .. } => seq_scans += 1,
+        _ => {}
+    });
+    assert_eq!(nest_loops, 2, "two nested-loop joins");
+    assert_eq!(seq_scans, 0, "Q3 accesses all data via indices");
+    assert_eq!(index_scans.len(), 3);
+    // The driving scan on customer is static; orders and lineitem are
+    // parameterized inners probed per outer tuple.
+    assert_eq!(index_scans[0], ("customer".to_owned(), false));
+    assert!(index_scans.contains(&("orders".to_owned(), true)));
+    assert!(index_scans.contains(&("lineitem".to_owned(), true)));
+}
+
+/// Figure 2: Q6 is a lone sequential scan under an aggregate.
+#[test]
+fn q6_plan_matches_figure_2() {
+    let db = paper_db();
+    let plan = db.plan_sql(&sql_for(6, &params(6, 1))).unwrap();
+    let mut kinds = Vec::new();
+    plan.walk(&mut |node| {
+        kinds.push(match node {
+            Plan::SeqScan { table, preds, .. } => {
+                assert_eq!(table, "lineitem");
+                assert_eq!(preds.len(), 4, "two date bounds, between, quantity");
+                "seqscan"
+            }
+            Plan::Aggregate { .. } => "aggregate",
+            Plan::Project { .. } => "project",
+            other => panic!("unexpected node in Q6 plan: {other:?}"),
+        });
+    });
+    assert!(kinds.contains(&"seqscan"));
+    assert!(kinds.contains(&"aggregate"));
+}
+
+/// Figure 3: Q12 sequentially scans lineitem, sorts it on the join key, and
+/// merge-joins an ordered index scan of orders.
+#[test]
+fn q12_plan_matches_figure_3() {
+    let db = paper_db();
+    let plan = db.plan_sql(&sql_for(12, &params(12, 1))).unwrap();
+    let mut found_merge = false;
+    plan.walk(&mut |node| {
+        if let Plan::MergeJoin { outer, inner, .. } = node {
+            found_merge = true;
+            // Outer: Sort over the filtered sequential scan of lineitem.
+            match outer.as_ref() {
+                Plan::Sort { input, .. } => match input.as_ref() {
+                    Plan::SeqScan { table, preds, .. } => {
+                        assert_eq!(table, "lineitem");
+                        assert!(!preds.is_empty());
+                    }
+                    other => panic!("merge outer must sort a seq scan, got {other:?}"),
+                },
+                other => panic!("merge outer must be a sort, got {other:?}"),
+            }
+            // Inner: full-range (unparameterized) ordered index scan of orders.
+            match inner.as_ref() {
+                Plan::IndexScan { table, parameterized, lo, hi, .. } => {
+                    assert_eq!(table, "orders");
+                    assert!(!parameterized);
+                    assert!(lo.is_none() && hi.is_none(), "full-range ordered scan");
+                }
+                other => panic!("merge inner must be an index scan, got {other:?}"),
+            }
+        }
+    });
+    assert!(found_merge, "Q12 must use a merge join");
+}
+
+#[test]
+fn explain_mentions_each_table() {
+    let db = paper_db();
+    let plan = db.plan_sql(&sql_for(3, &params(3, 1))).unwrap();
+    let text = plan.explain();
+    for table in ["customer", "orders", "lineitem"] {
+        assert!(text.contains(table), "explain lacks {table}:\n{text}");
+    }
+}
+
+#[test]
+fn cross_product_is_rejected() {
+    let db = paper_db();
+    let err = db.plan_sql("select r_name, n_name from region, nation").unwrap_err();
+    assert!(err.to_string().contains("join predicate"));
+}
+
+#[test]
+fn unknown_table_is_rejected() {
+    let db = paper_db();
+    assert!(db.plan_sql("select x from missing").is_err());
+}
+
+#[test]
+fn equality_on_indexed_key_becomes_a_bounded_index_scan() {
+    let db = paper_db();
+    let plan = db.plan_sql("select c_name from customer where c_custkey = 77").unwrap();
+    let mut found = false;
+    plan.walk(&mut |node| {
+        if let Plan::IndexScan { table, lo, hi, parameterized, .. } = node {
+            found = true;
+            assert_eq!(table, "customer");
+            assert!(!parameterized);
+            assert_eq!(lo.as_ref(), hi.as_ref(), "equality gives a point range");
+            assert!(lo.is_some());
+        }
+    });
+    assert!(found, "expected an index scan: {}", plan.explain());
+}
+
+#[test]
+fn unselective_predicates_stay_sequential() {
+    let db = paper_db();
+    // A ≥ bound keeping most of the key space must not use the index.
+    let plan = db.plan_sql("select count(*) from customer where c_custkey >= 10").unwrap();
+    let mut seq = false;
+    plan.walk(&mut |node| {
+        if matches!(node, Plan::SeqScan { .. }) {
+            seq = true;
+        }
+    });
+    assert!(seq, "expected a sequential scan: {}", plan.explain());
+}
+
+#[test]
+fn tight_range_on_indexed_key_uses_bounds() {
+    let db = paper_db();
+    let plan = db
+        .plan_sql("select count(*) from orders where o_orderkey between 100 and 120")
+        .unwrap();
+    let mut bounded = false;
+    plan.walk(&mut |node| {
+        if let Plan::IndexScan { lo: Some(_), hi: Some(_), .. } = node {
+            bounded = true;
+        }
+    });
+    assert!(bounded, "expected a bounded index scan: {}", plan.explain());
+}
+
+#[test]
+fn limit_node_sits_on_top() {
+    let db = paper_db();
+    let plan = db
+        .plan_sql("select o_orderkey from orders order by o_orderkey limit 5")
+        .unwrap();
+    assert!(matches!(plan, Plan::Limit { n: 5, .. }), "{}", plan.explain());
+}

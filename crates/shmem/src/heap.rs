@@ -1,0 +1,193 @@
+//! Per-process private heaps with `palloc`-style chunk reuse.
+
+use std::collections::BTreeMap;
+
+use crate::{private_base, PRIVATE_STRIDE};
+
+/// Allocation granularity; every chunk is a multiple of this.
+const CHUNK_ALIGN: u64 = 16;
+
+/// A simulated private heap for one process.
+///
+/// Postgres95 allocates tuple slots, sort workspaces and hash tables with
+/// `palloc`, which reuses freed chunks. That reuse is what gives private data
+/// its temporal locality in the paper, so the heap keeps size-classed free
+/// lists (LIFO, so the most recently freed — and hence cache-warmest — chunk
+/// is handed out first).
+///
+/// # Example
+///
+/// ```
+/// use dss_shmem::PrivateHeap;
+///
+/// let mut heap = PrivateHeap::new(1);
+/// let a = heap.alloc(64);
+/// let b = heap.alloc(64);
+/// assert_ne!(a, b);
+/// heap.free(b, 64);
+/// assert_eq!(heap.alloc(64), b);
+/// ```
+#[derive(Clone, Debug)]
+pub struct PrivateHeap {
+    proc_id: usize,
+    base: u64,
+    next: u64,
+    limit: u64,
+    free_lists: BTreeMap<u64, Vec<u64>>,
+    live_bytes: u64,
+    high_water: u64,
+}
+
+impl PrivateHeap {
+    /// Creates the heap for simulated process `proc_id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc_id` exceeds [`crate::MAX_PROCS`].
+    pub fn new(proc_id: usize) -> Self {
+        let base = private_base(proc_id);
+        PrivateHeap {
+            proc_id,
+            base,
+            next: base,
+            limit: base + PRIVATE_STRIDE,
+            free_lists: BTreeMap::new(),
+            live_bytes: 0,
+            high_water: 0,
+        }
+    }
+
+    /// The owning process.
+    pub fn proc_id(&self) -> usize {
+        self.proc_id
+    }
+
+    /// Allocates `size` bytes (rounded up to 16) and returns the chunk's
+    /// address, reusing a freed chunk of the same size class when available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the private segment is exhausted (never happens for the
+    /// paper's workloads) or `size` is zero.
+    pub fn alloc(&mut self, size: u64) -> u64 {
+        assert!(size > 0, "cannot allocate zero bytes");
+        let class = size_class(size);
+        self.live_bytes += class;
+        self.high_water = self.high_water.max(self.live_bytes);
+        if let Some(list) = self.free_lists.get_mut(&class) {
+            if let Some(addr) = list.pop() {
+                return addr;
+            }
+        }
+        let addr = self.next;
+        assert!(addr + class <= self.limit, "private heap exhausted for proc {}", self.proc_id);
+        self.next += class;
+        addr
+    }
+
+    /// Returns a chunk to its size-class free list.
+    ///
+    /// `size` must be the size passed to the matching [`PrivateHeap::alloc`].
+    pub fn free(&mut self, addr: u64, size: u64) {
+        let class = size_class(size);
+        debug_assert!(addr >= self.base && addr + class <= self.next, "freeing foreign chunk");
+        self.live_bytes = self.live_bytes.saturating_sub(class);
+        self.free_lists.entry(class).or_default().push(addr);
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Peak bytes ever allocated.
+    pub fn high_water(&self) -> u64 {
+        self.high_water
+    }
+
+    /// Total bytes of address space consumed (live + free-listed).
+    pub fn footprint(&self) -> u64 {
+        self.next - self.base
+    }
+}
+
+fn size_class(size: u64) -> u64 {
+    // Round small chunks to 16-byte granules and larger ones to powers of two,
+    // like palloc's allocation sets; keeps the free lists short while
+    // preserving address reuse.
+    let granule = size.div_ceil(CHUNK_ALIGN) * CHUNK_ALIGN;
+    if granule <= 256 {
+        granule
+    } else {
+        granule.next_power_of_two()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_allocs_are_disjoint() {
+        let mut h = PrivateHeap::new(0);
+        let a = h.alloc(40);
+        let b = h.alloc(40);
+        assert!(b >= a + 48, "chunks must not overlap");
+    }
+
+    #[test]
+    fn free_then_alloc_reuses_lifo() {
+        let mut h = PrivateHeap::new(0);
+        let a = h.alloc(100);
+        let b = h.alloc(100);
+        h.free(a, 100);
+        h.free(b, 100);
+        assert_eq!(h.alloc(100), b, "most recently freed chunk first");
+        assert_eq!(h.alloc(100), a);
+    }
+
+    #[test]
+    fn different_size_classes_do_not_mix() {
+        let mut h = PrivateHeap::new(0);
+        let a = h.alloc(16);
+        h.free(a, 16);
+        let b = h.alloc(160);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn accounting_tracks_live_and_peak() {
+        let mut h = PrivateHeap::new(0);
+        let a = h.alloc(64);
+        let _b = h.alloc(64);
+        assert_eq!(h.live_bytes(), 128);
+        h.free(a, 64);
+        assert_eq!(h.live_bytes(), 64);
+        assert_eq!(h.high_water(), 128);
+        assert_eq!(h.footprint(), 128);
+    }
+
+    #[test]
+    fn heaps_of_distinct_procs_are_disjoint() {
+        let mut h0 = PrivateHeap::new(0);
+        let mut h1 = PrivateHeap::new(1);
+        let a = h0.alloc(64);
+        let b = h1.alloc(64);
+        assert_eq!(crate::private_owner(a), Some(0));
+        assert_eq!(crate::private_owner(b), Some(1));
+    }
+
+    #[test]
+    fn large_sizes_round_to_power_of_two() {
+        assert_eq!(size_class(300), 512);
+        assert_eq!(size_class(16), 16);
+        assert_eq!(size_class(17), 32);
+        assert_eq!(size_class(1), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bytes")]
+    fn zero_alloc_rejected() {
+        PrivateHeap::new(0).alloc(0);
+    }
+}

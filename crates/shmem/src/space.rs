@@ -1,0 +1,191 @@
+//! The shared-segment region table.
+
+use dss_trace::DataClass;
+
+use crate::SHARED_BASE;
+
+/// One mapped region of the shared segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Vma {
+    /// Human-readable name ("buffer blocks", "lock hash", …).
+    pub name: String,
+    /// Data-structure class of everything inside the region.
+    pub class: DataClass,
+    /// First address of the region.
+    pub base: u64,
+    /// Length in bytes.
+    pub len: u64,
+}
+
+impl Vma {
+    /// Whether `addr` falls inside this region.
+    pub fn contains(&self, addr: u64) -> bool {
+        (self.base..self.base + self.len).contains(&addr)
+    }
+}
+
+/// The emulated shared segment: an append-only table of classified regions.
+///
+/// Components map their regions once at startup (descriptor arrays, hash
+/// tables, the buffer block pool) and then compute element addresses
+/// themselves (`base + index * element_size`). The table answers the reverse
+/// question — which data structure does an address belong to — used by
+/// validation tests and debugging tools.
+#[derive(Clone, Debug, Default)]
+pub struct AddressSpace {
+    vmas: Vec<Vma>,
+    next: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty shared segment starting at [`SHARED_BASE`].
+    pub fn new() -> Self {
+        AddressSpace { vmas: Vec::new(), next: SHARED_BASE }
+    }
+
+    /// Maps a new region of `len` bytes aligned to `align` and returns its
+    /// base address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two or `len` is zero.
+    pub fn map_region(&mut self, name: &str, class: DataClass, len: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        assert!(len > 0, "cannot map an empty region");
+        let base = round_up(self.next, align);
+        self.next = base + len;
+        self.vmas.push(Vma { name: name.to_owned(), class, base, len });
+        base
+    }
+
+    /// Returns the class of the region containing `addr`, if mapped.
+    pub fn classify(&self, addr: u64) -> Option<DataClass> {
+        self.vma_at(addr).map(|v| v.class)
+    }
+
+    /// Returns the region containing `addr`, if mapped.
+    pub fn vma_at(&self, addr: u64) -> Option<&Vma> {
+        // Regions are mapped in increasing address order; binary search on base.
+        let idx = self.vmas.partition_point(|v| v.base <= addr);
+        idx.checked_sub(1)
+            .map(|i| &self.vmas[i])
+            .filter(|v| v.contains(addr))
+    }
+
+    /// Iterates over the mapped regions in address order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Vma> {
+        self.vmas.iter()
+    }
+
+    /// Total bytes mapped (excluding alignment gaps).
+    pub fn mapped_bytes(&self) -> u64 {
+        self.vmas.iter().map(|v| v.len).sum()
+    }
+
+    /// One past the highest mapped address.
+    pub fn end(&self) -> u64 {
+        self.next
+    }
+}
+
+impl<'a> IntoIterator for &'a AddressSpace {
+    type Item = &'a Vma;
+    type IntoIter = std::slice::Iter<'a, Vma>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.vmas.iter()
+    }
+}
+
+fn round_up(v: u64, align: u64) -> u64 {
+    (v + align - 1) & !(align - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        let mut s = AddressSpace::new();
+        let a = s.map_region("a", DataClass::BufDesc, 100, 64);
+        let b = s.map_region("b", DataClass::BufLookup, 100, 64);
+        let c = s.map_region("c", DataClass::Data, 8192, 8192);
+        assert!(a < b && b < c);
+        assert!(a + 100 <= b);
+        assert_eq!(c % 8192, 0);
+    }
+
+    #[test]
+    fn classify_resolves_interior_addresses() {
+        let mut s = AddressSpace::new();
+        let a = s.map_region("locks", DataClass::LockMgrLock, 64, 64);
+        let b = s.map_region("blocks", DataClass::Data, 3 * 8192, 8192);
+        assert_eq!(s.classify(a), Some(DataClass::LockMgrLock));
+        assert_eq!(s.classify(a + 63), Some(DataClass::LockMgrLock));
+        assert_eq!(s.classify(b + 2 * 8192), Some(DataClass::Data));
+        assert_eq!(s.classify(b + 3 * 8192), None);
+        assert_eq!(s.classify(0), None);
+    }
+
+    #[test]
+    fn alignment_gaps_are_unmapped() {
+        let mut s = AddressSpace::new();
+        let a = s.map_region("small", DataClass::BufDesc, 10, 64);
+        let b = s.map_region("aligned", DataClass::Data, 8192, 8192);
+        // The gap between a+10 and b must classify as unmapped.
+        if a + 10 < b {
+            assert_eq!(s.classify(a + 10), None);
+            assert_eq!(s.classify(b - 1), None);
+        }
+    }
+
+    #[test]
+    fn mapped_bytes_sums_regions() {
+        let mut s = AddressSpace::new();
+        s.map_region("a", DataClass::Data, 100, 8);
+        s.map_region("b", DataClass::Index, 200, 8);
+        assert_eq!(s.mapped_bytes(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_bad_alignment() {
+        AddressSpace::new().map_region("x", DataClass::Data, 8, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty region")]
+    fn rejects_empty_region() {
+        AddressSpace::new().map_region("x", DataClass::Data, 0, 8);
+    }
+}
+
+#[cfg(test)]
+mod iter_tests {
+    use super::*;
+
+    #[test]
+    fn iteration_is_in_address_order_with_names() {
+        let mut s = AddressSpace::new();
+        s.map_region("first", DataClass::BufDesc, 64, 64);
+        s.map_region("second", DataClass::Data, 8192, 8192);
+        let names: Vec<&str> = s.iter().map(|v| v.name.as_str()).collect();
+        assert_eq!(names, vec!["first", "second"]);
+        let mut last = 0;
+        for vma in &s {
+            assert!(vma.base >= last);
+            last = vma.base + vma.len;
+        }
+        assert_eq!(s.end(), last);
+    }
+
+    #[test]
+    fn vma_at_returns_the_region_metadata() {
+        let mut s = AddressSpace::new();
+        let base = s.map_region("locks", DataClass::LockMgrLock, 64, 64);
+        let vma = s.vma_at(base + 10).expect("mapped");
+        assert_eq!(vma.name, "locks");
+        assert!(vma.contains(base));
+        assert!(!vma.contains(base + 64));
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for the emulated address spaces.
+
+use dss_shmem::{private_owner, AddressSpace, PrivateHeap};
+use dss_trace::DataClass;
+use proptest::prelude::*;
+
+proptest! {
+    /// Any sequence of region mappings yields pairwise-disjoint regions, and
+    /// every interior address classifies back to the region's class.
+    #[test]
+    fn mapped_regions_are_disjoint(sizes in proptest::collection::vec(1u64..100_000, 1..20)) {
+        let mut space = AddressSpace::new();
+        let classes = [DataClass::Data, DataClass::Index, DataClass::BufDesc, DataClass::LockHash];
+        let mut mapped = Vec::new();
+        for (i, len) in sizes.iter().enumerate() {
+            let class = classes[i % classes.len()];
+            let align = 1u64 << (i % 8);
+            let base = space.map_region(&format!("r{i}"), class, *len, align);
+            mapped.push((base, *len, class));
+        }
+        for (i, (base, len, class)) in mapped.iter().enumerate() {
+            prop_assert_eq!(space.classify(*base), Some(*class));
+            prop_assert_eq!(space.classify(base + len - 1), Some(*class));
+            for (j, (b2, l2, _)) in mapped.iter().enumerate() {
+                if i != j {
+                    prop_assert!(base + len <= *b2 || b2 + l2 <= *base, "regions {i} and {j} overlap");
+                }
+            }
+        }
+    }
+
+    /// Live chunks handed out by a private heap never overlap, regardless of
+    /// the interleaving of allocs and frees.
+    #[test]
+    fn heap_live_chunks_disjoint(ops in proptest::collection::vec((1u64..1000, any::<bool>()), 1..200)) {
+        let mut heap = PrivateHeap::new(0);
+        let mut live: Vec<(u64, u64)> = Vec::new();
+        for (size, is_free) in ops {
+            if is_free && !live.is_empty() {
+                let (addr, sz) = live.swap_remove(size as usize % live.len());
+                heap.free(addr, sz);
+            } else {
+                let addr = heap.alloc(size);
+                // Conservative bound: the chunk spans at least `size` bytes.
+                for (a, s) in &live {
+                    let other_end = a + s;
+                    prop_assert!(addr + size <= *a || other_end <= addr,
+                        "chunk {addr:#x}+{size} overlaps live {a:#x}+{s}");
+                }
+                live.push((addr, size));
+            }
+        }
+    }
+
+    /// Every address a private heap returns belongs to its owner's segment.
+    #[test]
+    fn heap_addresses_belong_to_owner(proc_id in 0usize..8, sizes in proptest::collection::vec(1u64..5000, 1..50)) {
+        let mut heap = PrivateHeap::new(proc_id);
+        for size in sizes {
+            let addr = heap.alloc(size);
+            prop_assert_eq!(private_owner(addr), Some(proc_id));
+        }
+    }
+}

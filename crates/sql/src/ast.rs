@@ -1,0 +1,373 @@
+//! The abstract syntax tree of the dialect.
+
+use std::fmt;
+
+/// A binary operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+impl BinOp {
+    /// Whether this operator compares values (yields a boolean).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+
+    /// Whether this operator is a boolean connective.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// An aggregate function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `sum(expr)`
+    Sum,
+    /// `count(*)` or `count(expr)`
+    Count,
+    /// `avg(expr)`
+    Avg,
+    /// `min(expr)`
+    Min,
+    /// `max(expr)`
+    Max,
+}
+
+/// An expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// A column reference, optionally qualified with a table name.
+    Column {
+        /// Qualifying table, if written.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Decimal literal in hundredths.
+    Dec(i64),
+    /// String literal.
+    Str(String),
+    /// `date 'YYYY-MM-DD'` literal.
+    DateLit {
+        /// Year.
+        year: i32,
+        /// Month (1–12).
+        month: u32,
+        /// Day (1–31).
+        day: u32,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `not expr`.
+    Not(Box<Expr>),
+    /// Aggregate call; `arg` is `None` for `count(*)`.
+    Agg {
+        /// The function.
+        func: AggFunc,
+        /// Argument (`None` only for `count(*)`).
+        arg: Option<Box<Expr>>,
+        /// `distinct` qualifier.
+        distinct: bool,
+    },
+    /// `expr [not] between lo and hi`.
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound (inclusive).
+        lo: Box<Expr>,
+        /// Upper bound (inclusive).
+        hi: Box<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `expr [not] in (e1, e2, …)`.
+    InList {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Candidate list.
+        list: Vec<Expr>,
+        /// Negated form.
+        negated: bool,
+    },
+    /// `expr [not] like 'pattern'` with `%`/`_` wildcards.
+    Like {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Pattern.
+        pattern: String,
+        /// Negated form.
+        negated: bool,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a bare column.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { table: None, name: name.to_owned() }
+    }
+
+    /// Convenience constructor for a qualified column.
+    pub fn qcol(table: &str, name: &str) -> Expr {
+        Expr::Column { table: Some(table.to_owned()), name: name.to_owned() }
+    }
+
+    /// Splits a conjunction into its top-level conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary { op: BinOp::And, lhs, rhs } => {
+                let mut v = lhs.conjuncts();
+                v.extend(rhs.conjuncts());
+                v
+            }
+            other => vec![other],
+        }
+    }
+
+    /// Whether any aggregate call appears in this expression.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } => true,
+            Expr::Binary { lhs, rhs, .. } => lhs.contains_aggregate() || rhs.contains_aggregate(),
+            Expr::Not(e) => e.contains_aggregate(),
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.contains_aggregate() || lo.contains_aggregate() || hi.contains_aggregate()
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(Expr::contains_aggregate)
+            }
+            Expr::Like { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        }
+    }
+
+    /// Collects every column referenced in this expression.
+    pub fn columns(&self) -> Vec<(&Option<String>, &str)> {
+        let mut out = Vec::new();
+        self.walk_columns(&mut out);
+        out
+    }
+
+    fn walk_columns<'a>(&'a self, out: &mut Vec<(&'a Option<String>, &'a str)>) {
+        match self {
+            Expr::Column { table, name } => out.push((table, name)),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.walk_columns(out);
+                rhs.walk_columns(out);
+            }
+            Expr::Not(e) => e.walk_columns(out),
+            Expr::Agg { arg: Some(a), .. } => a.walk_columns(out),
+            Expr::Agg { arg: None, .. } => {}
+            Expr::Between { expr, lo, hi, .. } => {
+                expr.walk_columns(out);
+                lo.walk_columns(out);
+                hi.walk_columns(out);
+            }
+            Expr::InList { expr, list, .. } => {
+                expr.walk_columns(out);
+                for e in list {
+                    e.walk_columns(out);
+                }
+            }
+            Expr::Like { expr, .. } => expr.walk_columns(out),
+            _ => {}
+        }
+    }
+}
+
+/// One `select` output item.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectItem {
+    /// The projected expression.
+    pub expr: Expr,
+    /// Optional `as alias`.
+    pub alias: Option<String>,
+}
+
+/// One `order by` key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderKey {
+    /// The sort expression.
+    pub expr: Expr,
+    /// `true` for descending order.
+    pub desc: bool,
+}
+
+/// A parsed `select` statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Query {
+    /// Projected items (empty when `star` is set).
+    pub items: Vec<SelectItem>,
+    /// `select *`.
+    pub star: bool,
+    /// Tables in the `from` list, in written order.
+    pub from: Vec<String>,
+    /// The `where` conjunction, if any.
+    pub where_clause: Option<Expr>,
+    /// `group by` expressions.
+    pub group_by: Vec<Expr>,
+    /// The `having` predicate (evaluated over the grouped output).
+    pub having: Option<Expr>,
+    /// `order by` keys.
+    pub order_by: Vec<OrderKey>,
+    /// `limit` row count.
+    pub limit: Option<u64>,
+}
+
+impl Query {
+    /// Whether the query computes any aggregate.
+    pub fn has_aggregates(&self) -> bool {
+        self.items.iter().any(|i| i.expr.contains_aggregate())
+    }
+}
+
+/// A top-level SQL statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Statement {
+    /// A `select` query.
+    Select(Query),
+    /// An `insert into <table> values (…), (…)` statement (literal rows).
+    Insert {
+        /// Target table.
+        table: String,
+        /// Literal rows, one `Vec<Expr>` per row in schema column order.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// A `delete from <table> [where …]` statement.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Optional predicate; `None` empties the table.
+        where_clause: Option<Expr>,
+    },
+}
+
+/// A parse failure, with the byte offset where it was detected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    offset: Option<usize>,
+    message: String,
+}
+
+impl ParseError {
+    /// Creates an error at a byte offset.
+    pub fn at(offset: usize, message: String) -> Self {
+        ParseError { offset: Some(offset), message }
+    }
+
+    /// Creates an error without a position.
+    pub fn new(message: String) -> Self {
+        ParseError { offset: None, message }
+    }
+
+    /// Byte offset of the failure, if known.
+    pub fn offset(&self) -> Option<usize> {
+        self.offset
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.offset {
+            Some(off) => write!(f, "parse error at byte {off}: {}", self.message),
+            None => write!(f, "parse error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjuncts_flatten_nested_ands() {
+        let e = Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(Expr::col("a")),
+                rhs: Box::new(Expr::col("b")),
+            }),
+            rhs: Box::new(Expr::col("c")),
+        };
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 3);
+    }
+
+    #[test]
+    fn or_is_a_single_conjunct() {
+        let e = Expr::Binary {
+            op: BinOp::Or,
+            lhs: Box::new(Expr::col("a")),
+            rhs: Box::new(Expr::col("b")),
+        };
+        assert_eq!(e.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn aggregate_detection_descends() {
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("x"))), distinct: false }),
+            rhs: Box::new(Expr::Int(2)),
+        };
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("x").contains_aggregate());
+    }
+
+    #[test]
+    fn columns_are_collected() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::qcol("lineitem", "l_discount")),
+            lo: Box::new(Expr::Dec(4)),
+            hi: Box::new(Expr::Dec(6)),
+            negated: false,
+        };
+        let cols = e.columns();
+        assert_eq!(cols.len(), 1);
+        assert_eq!(cols[0].1, "l_discount");
+    }
+
+    #[test]
+    fn comparison_and_logical_classification() {
+        assert!(BinOp::Le.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::Eq.is_logical());
+    }
+}

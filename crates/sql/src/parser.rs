@@ -1,0 +1,651 @@
+//! Recursive-descent parser for the dialect.
+
+use crate::ast::{AggFunc, BinOp, Expr, OrderKey, ParseError, Query, SelectItem, Statement};
+use crate::token::{tokenize, Keyword, Spanned, Token};
+
+/// Parses one `select` statement.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first token that does not fit the
+/// grammar, with its byte offset.
+///
+/// # Example
+///
+/// ```
+/// use dss_sql::parse;
+///
+/// let q = parse(
+///     "select sum(l_extendedprice * l_discount) as revenue \
+///      from lineitem \
+///      where l_shipdate >= date '1994-01-01' \
+///        and l_discount between 0.05 and 0.07",
+/// )?;
+/// assert_eq!(q.from, ["lineitem"]);
+/// assert!(q.has_aggregates());
+/// # Ok::<(), dss_sql::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    p.expect(Token::Eof)?;
+    Ok(q)
+}
+
+/// Parses one statement: `select`, `insert into … values …`, or
+/// `delete from … [where …]`.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] for anything outside the dialect.
+///
+/// # Example
+///
+/// ```
+/// use dss_sql::{parse_statement, Statement};
+///
+/// let stmt = parse_statement("delete from orders where o_orderkey = 99")?;
+/// assert!(matches!(stmt, Statement::Delete { .. }));
+/// # Ok::<(), dss_sql::ParseError>(())
+/// ```
+pub fn parse_statement(input: &str) -> Result<Statement, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = match p.peek() {
+        Token::Keyword(Keyword::Select) => Statement::Select(p.query()?),
+        Token::Keyword(Keyword::Insert) => p.insert()?,
+        Token::Keyword(Keyword::Delete) => p.delete()?,
+        other => return Err(p.err(format!("expected a statement, found {other}"))),
+    };
+    p.expect(Token::Eof)?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos].token
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens[self.pos].offset
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.pos].token.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == t {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, k: Keyword) -> bool {
+        self.eat(&Token::Keyword(k))
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        if self.peek() == &t {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {t}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_kw(&mut self, k: Keyword) -> Result<(), ParseError> {
+        self.expect(Token::Keyword(k))
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError::at(self.offset(), message)
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            Token::Ident(s) => {
+                self.advance();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.expect_kw(Keyword::Select)?;
+        let mut items = Vec::new();
+        let star = self.eat(&Token::Star);
+        if !star {
+            items.push(self.select_item()?);
+            while self.eat(&Token::Comma) {
+                items.push(self.select_item()?);
+            }
+        }
+        self.expect_kw(Keyword::From)?;
+        let mut from = vec![self.ident()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.ident()?);
+        }
+        let where_clause =
+            if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw(Keyword::Group) {
+            self.expect_kw(Keyword::By)?;
+            group_by.push(self.expr()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.expr()?);
+            }
+        }
+        let having = if self.eat_kw(Keyword::Having) { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.eat_kw(Keyword::Order) {
+            self.expect_kw(Keyword::By)?;
+            loop {
+                let expr = self.expr()?;
+                let desc = if self.eat_kw(Keyword::Desc) {
+                    true
+                } else {
+                    self.eat_kw(Keyword::Asc);
+                    false
+                };
+                order_by.push(OrderKey { expr, desc });
+                if !self.eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        let limit = if self.eat_kw(Keyword::Limit) {
+            match self.advance() {
+                Token::Int(n) if n >= 0 => Some(n as u64),
+                other => return Err(self.err(format!("expected row count, found {other}"))),
+            }
+        } else {
+            None
+        };
+        Ok(Query { items, star, from, where_clause, group_by, having, order_by, limit })
+    }
+
+    fn insert(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::Insert)?;
+        self.expect_kw(Keyword::Into)?;
+        let table = self.ident()?;
+        self.expect_kw(Keyword::Values)?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(Token::LParen)?;
+            let mut row = vec![self.add_expr()?];
+            while self.eat(&Token::Comma) {
+                row.push(self.add_expr()?);
+            }
+            self.expect(Token::RParen)?;
+            rows.push(row);
+            if !self.eat(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn delete(&mut self) -> Result<Statement, ParseError> {
+        self.expect_kw(Keyword::Delete)?;
+        self.expect_kw(Keyword::From)?;
+        let table = self.ident()?;
+        let where_clause =
+            if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        Ok(Statement::Delete { table, where_clause })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        let expr = self.expr()?;
+        let alias = if self.eat_kw(Keyword::As) { Some(self.ident()?) } else { None };
+        Ok(SelectItem { expr, alias })
+    }
+
+    /// Precedence climbing: or < and < not < predicate < add < mul < unary.
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw(Keyword::Or) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw(Keyword::And) {
+            let rhs = self.not_expr()?;
+            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat_kw(Keyword::Not) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    /// Comparisons, `between`, `in`, `like` — all at one level, non-associative.
+    fn predicate(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        let negated = if self.peek() == &Token::Keyword(Keyword::Not) {
+            // Lookahead: `not` here must introduce between/in/like.
+            matches!(
+                self.tokens.get(self.pos + 1).map(|s| &s.token),
+                Some(Token::Keyword(Keyword::Between))
+                    | Some(Token::Keyword(Keyword::In))
+                    | Some(Token::Keyword(Keyword::Like))
+            ) && {
+                self.advance();
+                true
+            }
+        } else {
+            false
+        };
+        if self.eat_kw(Keyword::Between) {
+            let lo = self.add_expr()?;
+            self.expect_kw(Keyword::And)?;
+            let hi = self.add_expr()?;
+            return Ok(Expr::Between {
+                expr: Box::new(lhs),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                negated,
+            });
+        }
+        if self.eat_kw(Keyword::In) {
+            self.expect(Token::LParen)?;
+            let mut list = vec![self.add_expr()?];
+            while self.eat(&Token::Comma) {
+                list.push(self.add_expr()?);
+            }
+            self.expect(Token::RParen)?;
+            return Ok(Expr::InList { expr: Box::new(lhs), list, negated });
+        }
+        if self.eat_kw(Keyword::Like) {
+            match self.advance() {
+                Token::Str(pattern) => {
+                    return Ok(Expr::Like { expr: Box::new(lhs), pattern, negated })
+                }
+                other => return Err(self.err(format!("expected pattern string, found {other}"))),
+            }
+        }
+        if negated {
+            return Err(self.err("expected between/in/like after not".to_owned()));
+        }
+        let op = match self.peek() {
+            Token::Eq => BinOp::Eq,
+            Token::Ne => BinOp::Ne,
+            Token::Lt => BinOp::Lt,
+            Token::Le => BinOp::Le,
+            Token::Gt => BinOp::Gt,
+            Token::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Plus => BinOp::Add,
+                Token::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Token::Star => BinOp::Mul,
+                Token::Slash => BinOp::Div,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Minus) {
+            let inner = self.unary_expr()?;
+            return Ok(match inner {
+                Expr::Int(v) => Expr::Int(-v),
+                Expr::Dec(v) => Expr::Dec(-v),
+                other => Expr::Binary {
+                    op: BinOp::Sub,
+                    lhs: Box::new(Expr::Int(0)),
+                    rhs: Box::new(other),
+                },
+            });
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Token::Int(v) => {
+                self.advance();
+                Ok(Expr::Int(v))
+            }
+            Token::Dec(v) => {
+                self.advance();
+                Ok(Expr::Dec(v))
+            }
+            Token::Str(s) => {
+                self.advance();
+                Ok(Expr::Str(s))
+            }
+            Token::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(Token::RParen)?;
+                Ok(e)
+            }
+            Token::Keyword(Keyword::Date) => {
+                self.advance();
+                match self.advance() {
+                    Token::Str(s) => self.date_literal(&s),
+                    other => Err(self.err(format!("expected date string, found {other}"))),
+                }
+            }
+            Token::Keyword(k @ (Keyword::Sum | Keyword::Count | Keyword::Avg | Keyword::Min | Keyword::Max)) => {
+                self.advance();
+                let func = match k {
+                    Keyword::Sum => AggFunc::Sum,
+                    Keyword::Count => AggFunc::Count,
+                    Keyword::Avg => AggFunc::Avg,
+                    Keyword::Min => AggFunc::Min,
+                    Keyword::Max => AggFunc::Max,
+                    _ => unreachable!(),
+                };
+                self.expect(Token::LParen)?;
+                let distinct = self.eat_kw(Keyword::Distinct);
+                let arg = if self.eat(&Token::Star) {
+                    if func != AggFunc::Count {
+                        return Err(self.err("`*` argument is only valid for count".to_owned()));
+                    }
+                    None
+                } else {
+                    Some(Box::new(self.expr()?))
+                };
+                self.expect(Token::RParen)?;
+                Ok(Expr::Agg { func, arg, distinct })
+            }
+            Token::Ident(first) => {
+                self.advance();
+                if self.eat(&Token::Dot) {
+                    let name = self.ident()?;
+                    Ok(Expr::Column { table: Some(first), name })
+                } else {
+                    Ok(Expr::Column { table: None, name: first })
+                }
+            }
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+
+    fn date_literal(&mut self, s: &str) -> Result<Expr, ParseError> {
+        let parts: Vec<&str> = s.split('-').collect();
+        let fail = || ParseError::new(format!("malformed date literal '{s}'"));
+        if parts.len() != 3 {
+            return Err(fail());
+        }
+        let year: i32 = parts[0].parse().map_err(|_| fail())?;
+        let month: u32 = parts[1].parse().map_err(|_| fail())?;
+        let day: u32 = parts[2].parse().map_err(|_| fail())?;
+        if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return Err(fail());
+        }
+        Ok(Expr::DateLit { year, month, day })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q6_shape() {
+        let q = parse(
+            "select sum(l_extendedprice * l_discount) as revenue
+             from lineitem
+             where l_shipdate >= date '1994-01-01'
+               and l_shipdate < date '1995-01-01'
+               and l_discount between 0.05 and 0.07
+               and l_quantity < 24",
+        )
+        .unwrap();
+        assert_eq!(q.from, ["lineitem"]);
+        assert_eq!(q.items.len(), 1);
+        assert_eq!(q.items[0].alias.as_deref(), Some("revenue"));
+        let conjuncts = q.where_clause.as_ref().unwrap().conjuncts().len();
+        assert_eq!(conjuncts, 4);
+        assert!(q.group_by.is_empty());
+        assert!(q.order_by.is_empty());
+    }
+
+    #[test]
+    fn parses_q3_shape() {
+        let q = parse(
+            "select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue,
+                    o_orderdate, o_shippriority
+             from customer, orders, lineitem
+             where c_mktsegment = 'BUILDING'
+               and c_custkey = o_custkey
+               and l_orderkey = o_orderkey
+               and o_orderdate < date '1995-03-15'
+               and l_shipdate > date '1995-03-15'
+             group by l_orderkey, o_orderdate, o_shippriority
+             order by revenue desc, o_orderdate",
+        )
+        .unwrap();
+        assert_eq!(q.from, ["customer", "orders", "lineitem"]);
+        assert_eq!(q.group_by.len(), 3);
+        assert_eq!(q.order_by.len(), 2);
+        assert!(q.order_by[0].desc);
+        assert!(!q.order_by[1].desc);
+        assert!(q.has_aggregates());
+    }
+
+    #[test]
+    fn parses_in_list_and_or() {
+        let q = parse(
+            "select count(*) from lineitem
+             where l_shipmode in ('MAIL', 'SHIP') or l_shipmode = 'AIR'",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        assert!(matches!(w, Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn parses_not_like_and_not_in() {
+        let q = parse(
+            "select count(*) from part
+             where p_type not like 'MEDIUM%' and p_size not in (1, 2, 3) and not p_size = 9",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        let parts = w.conjuncts();
+        assert!(matches!(parts[0], Expr::Like { negated: true, .. }));
+        assert!(matches!(parts[1], Expr::InList { negated: true, .. }));
+        assert!(matches!(parts[2], Expr::Not(_)));
+    }
+
+    #[test]
+    fn operator_precedence_mul_before_add_before_compare() {
+        let q = parse("select 1 from t where a + b * 2 < c").unwrap();
+        match q.where_clause.unwrap() {
+            Expr::Binary { op: BinOp::Lt, lhs, .. } => match *lhs {
+                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("expected add, got {other:?}"),
+            },
+            other => panic!("expected comparison, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let q = parse("select 1 from t where a = 1 or b = 2 and c = 3").unwrap();
+        assert!(matches!(q.where_clause.unwrap(), Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn parenthesized_or_groups() {
+        let q = parse("select 1 from t where (a = 1 or b = 2) and c = 3").unwrap();
+        let w = q.where_clause.unwrap();
+        let parts = w.conjuncts();
+        assert_eq!(parts.len(), 2);
+        assert!(matches!(parts[0], Expr::Binary { op: BinOp::Or, .. }));
+    }
+
+    #[test]
+    fn count_star_and_distinct() {
+        let q = parse("select count(*), count(distinct c_custkey) from customer").unwrap();
+        assert!(matches!(
+            q.items[0].expr,
+            Expr::Agg { func: AggFunc::Count, arg: None, distinct: false }
+        ));
+        assert!(matches!(
+            q.items[1].expr,
+            Expr::Agg { func: AggFunc::Count, arg: Some(_), distinct: true }
+        ));
+    }
+
+    #[test]
+    fn qualified_columns_parse() {
+        let q = parse("select customer.c_name from customer where customer.c_custkey = 7").unwrap();
+        assert_eq!(q.items[0].expr, Expr::qcol("customer", "c_name"));
+    }
+
+    #[test]
+    fn negative_literals_fold() {
+        let q = parse("select -5, -0.07 from t").unwrap();
+        assert_eq!(q.items[0].expr, Expr::Int(-5));
+        assert_eq!(q.items[1].expr, Expr::Dec(-7));
+    }
+
+    #[test]
+    fn bad_date_rejected() {
+        assert!(parse("select 1 from t where a = date '1995-13-01'").is_err());
+        assert!(parse("select 1 from t where a = date 'notadate'").is_err());
+    }
+
+    #[test]
+    fn star_only_for_count() {
+        assert!(parse("select sum(*) from t").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("select 1 from t where a = 1 order by a asc garbage").is_err());
+    }
+
+    #[test]
+    fn missing_from_rejected_with_offset() {
+        let err = parse("select 1").unwrap_err();
+        assert!(err.to_string().contains("expected"));
+    }
+}
+
+#[cfg(test)]
+mod statement_tests {
+    use super::*;
+    use crate::Statement;
+
+    #[test]
+    fn insert_parses_multi_row_values() {
+        let stmt = parse_statement(
+            "insert into region values (5, 'A', 'x'), (6, 'B', date '1995-01-01')",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "region");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].len(), 3);
+                assert!(matches!(rows[1][2], Expr::DateLit { .. }));
+            }
+            other => panic!("expected insert, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_with_and_without_where() {
+        assert!(matches!(
+            parse_statement("delete from orders").unwrap(),
+            Statement::Delete { where_clause: None, .. }
+        ));
+        assert!(matches!(
+            parse_statement("delete from orders where o_orderkey = 3").unwrap(),
+            Statement::Delete { where_clause: Some(_), .. }
+        ));
+    }
+
+    #[test]
+    fn select_star_having_limit() {
+        let q = parse("select * from region limit 3").unwrap();
+        assert!(q.star);
+        assert!(q.items.is_empty());
+        assert_eq!(q.limit, Some(3));
+
+        let q = parse(
+            "select c_nationkey, count(*) from customer \
+             group by c_nationkey having count(*) > 5 order by c_nationkey limit 10",
+        )
+        .unwrap();
+        assert!(q.having.is_some());
+        assert_eq!(q.limit, Some(10));
+        assert_eq!(q.group_by.len(), 1);
+    }
+
+    #[test]
+    fn statement_entrypoint_accepts_select() {
+        assert!(matches!(
+            parse_statement("select 1 from region").unwrap(),
+            Statement::Select(_)
+        ));
+    }
+
+    #[test]
+    fn bad_limit_rejected() {
+        assert!(parse("select 1 from t limit banana").is_err());
+    }
+
+    #[test]
+    fn update_keyword_is_not_a_statement() {
+        assert!(parse_statement("update region").is_err());
+    }
+}

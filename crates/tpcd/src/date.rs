@@ -1,0 +1,213 @@
+//! Civil dates for the TPC-D workload.
+//!
+//! TPC-D's data population spans 1992-01-01 through 1998-12-31 with a fixed
+//! "current date" of 1995-06-17. Dates are stored as a day count since
+//! 1992-01-01 so they order and subtract cheaply, exactly like the 4-byte
+//! date columns of the paper's database.
+
+use std::fmt;
+
+/// A calendar date, stored as days since 1992-01-01.
+///
+/// # Example
+///
+/// ```
+/// use dss_tpcd::Date;
+///
+/// let d = Date::from_ymd(1995, 3, 15);
+/// assert_eq!(d.ymd(), (1995, 3, 15));
+/// assert_eq!(d.add_days(17), Date::from_ymd(1995, 4, 1));
+/// assert!(d < Date::CURRENT);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date(i32);
+
+/// Day number (since civil epoch 1970-01-01) of 1992-01-01.
+const TPCD_EPOCH_CIVIL: i64 = 8035;
+
+impl Date {
+    /// First date populated by dbgen (1992-01-01).
+    pub const START: Date = Date(0);
+    /// TPC-D's fixed current date, 1995-06-17.
+    pub const CURRENT: Date = Date(1263);
+    /// Last date populated by dbgen (1998-12-31).
+    pub const END: Date = Date(2556);
+
+    /// Builds a date from a calendar year, month (1–12) and day (1–31).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the month or day is out of range for the given year.
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Date {
+        assert!((1..=12).contains(&month), "month {month} out of range");
+        assert!(day >= 1 && day <= days_in_month(year, month), "day {day} invalid for {year}-{month}");
+        Date((days_from_civil(year, month, day) - TPCD_EPOCH_CIVIL) as i32)
+    }
+
+    /// Builds a date directly from a day count since 1992-01-01.
+    pub fn from_day_number(days: i32) -> Date {
+        Date(days)
+    }
+
+    /// The day count since 1992-01-01 (may be negative for earlier dates).
+    pub fn day_number(self) -> i32 {
+        self.0
+    }
+
+    /// Decomposes into `(year, month, day)`.
+    pub fn ymd(self) -> (i32, u32, u32) {
+        civil_from_days(self.0 as i64 + TPCD_EPOCH_CIVIL)
+    }
+
+    /// This date plus `days` (which may be negative).
+    pub fn add_days(self, days: i32) -> Date {
+        Date(self.0 + days)
+    }
+
+    /// This date plus `months`, clamping the day to the target month's length
+    /// (so Jan 31 + 1 month = Feb 28/29), as the TPC-D parameter rules do.
+    pub fn add_months(self, months: i32) -> Date {
+        let (y, m, d) = self.ymd();
+        let total = y * 12 + (m as i32 - 1) + months;
+        let ny = total.div_euclid(12);
+        let nm = (total.rem_euclid(12) + 1) as u32;
+        let nd = d.min(days_in_month(ny, nm));
+        Date::from_ymd(ny, nm, nd)
+    }
+
+    /// Days elapsed from `other` to `self`.
+    pub fn days_since(self, other: Date) -> i32 {
+        self.0 - other.0
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (y, m, d) = self.ymd();
+        write!(f, "{y:04}-{m:02}-{d:02}")
+    }
+}
+
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if is_leap(year) {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("month validated by callers"),
+    }
+}
+
+/// Days since 1970-01-01 for a civil date (Howard Hinnant's algorithm).
+fn days_from_civil(y: i32, m: u32, d: u32) -> i64 {
+    let y = y as i64 - if m <= 2 { 1 } else { 0 };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = y - era * 400;
+    let mp = (m as i64 + 9) % 12;
+    let doy = (153 * mp + 2) / 5 + d as i64 - 1;
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+    era * 146_097 + doe - 719_468
+}
+
+/// Civil date for days since 1970-01-01 (inverse of `days_from_civil`).
+fn civil_from_days(z: i64) -> (i32, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    ((y + if m <= 2 { 1 } else { 0 }) as i32, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_constants_are_correct() {
+        assert_eq!(Date::START.ymd(), (1992, 1, 1));
+        assert_eq!(Date::CURRENT.ymd(), (1995, 6, 17));
+        assert_eq!(Date::END.ymd(), (1998, 12, 31));
+        assert_eq!(Date::from_ymd(1992, 1, 1).day_number(), 0);
+    }
+
+    #[test]
+    fn roundtrip_across_range() {
+        for days in (-365..4000).step_by(13) {
+            let d = Date::from_day_number(days);
+            let (y, m, dd) = d.ymd();
+            assert_eq!(Date::from_ymd(y, m, dd), d);
+        }
+    }
+
+    #[test]
+    fn leap_years_handled() {
+        assert_eq!(
+            Date::from_ymd(1992, 2, 29).add_days(1),
+            Date::from_ymd(1992, 3, 1)
+        );
+        assert_eq!(
+            Date::from_ymd(1993, 2, 28).add_days(1),
+            Date::from_ymd(1993, 3, 1)
+        );
+        // 2000 is a leap year (divisible by 400), 1900 was not.
+        assert!(is_leap(2000));
+        assert!(!is_leap(1900));
+    }
+
+    #[test]
+    fn add_months_clamps_day() {
+        assert_eq!(
+            Date::from_ymd(1995, 1, 31).add_months(1),
+            Date::from_ymd(1995, 2, 28)
+        );
+        assert_eq!(
+            Date::from_ymd(1995, 3, 1).add_months(12),
+            Date::from_ymd(1996, 3, 1)
+        );
+        assert_eq!(
+            Date::from_ymd(1995, 3, 1).add_months(-3),
+            Date::from_ymd(1994, 12, 1)
+        );
+    }
+
+    #[test]
+    fn ordering_follows_calendar() {
+        assert!(Date::from_ymd(1994, 2, 3) < Date::from_ymd(1995, 2, 3));
+        assert!(Date::from_ymd(1995, 2, 3) < Date::from_ymd(1995, 2, 4));
+        assert_eq!(
+            Date::from_ymd(1995, 2, 4).days_since(Date::from_ymd(1995, 2, 1)),
+            3
+        );
+    }
+
+    #[test]
+    fn display_is_iso() {
+        assert_eq!(Date::from_ymd(1995, 6, 17).to_string(), "1995-06-17");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_month_rejected() {
+        Date::from_ymd(1995, 13, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn bad_day_rejected() {
+        Date::from_ymd(1995, 2, 29);
+    }
+}

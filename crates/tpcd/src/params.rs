@@ -1,0 +1,216 @@
+//! Query substitution parameters (TPC-D clause 2.4).
+//!
+//! Every TPC-D query template has named substitution parameters drawn from
+//! spec-defined distributions. The paper runs "one query of the same type on
+//! each node … each of them has different parameters, chosen according to the
+//! TPC-D specifications"; [`params`] with a per-processor seed reproduces
+//! that.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::schema::Value;
+use crate::text;
+use crate::Date;
+
+/// A set of named substitution parameters for one query instance.
+pub type ParamSet = BTreeMap<String, Value>;
+
+/// Draws the substitution parameters for read-only query `query` (1–17)
+/// from the spec's distributions, using `seed` as the RNG seed.
+///
+/// # Panics
+///
+/// Panics if `query` is not in `1..=17`.
+pub fn params(query: u8, seed: u64) -> ParamSet {
+    assert!((1..=17).contains(&query), "TPC-D read-only queries are Q1..Q17");
+    let mut rng = StdRng::seed_from_u64(seed ^ (query as u64) << 32);
+    let mut p = ParamSet::new();
+    let mut set = |k: &str, v: Value| {
+        p.insert(k.to_owned(), v);
+    };
+    match query {
+        1 => {
+            // DELTA days before end-of-population.
+            let delta = rng.gen_range(60..=120);
+            set("date", Value::Date(Date::END.add_days(-delta)));
+        }
+        2 => {
+            set("size", Value::Int(rng.gen_range(1..=50)));
+            set("type", Value::from(text::pick(&mut rng, &text::TYPE_SYL3)));
+            set("region", Value::from(text::pick(&mut rng, &text::REGIONS)));
+        }
+        3 => {
+            set("segment", Value::from(text::pick(&mut rng, &text::SEGMENTS)));
+            let date = Date::from_ymd(1995, 3, rng.gen_range(1..=31));
+            set("date", Value::Date(date));
+        }
+        4 => {
+            let months = rng.gen_range(0..=57); // 1993-01 .. 1997-10
+            set("date", Value::Date(Date::from_ymd(1993, 1, 1).add_months(months)));
+        }
+        5 => {
+            set("region", Value::from(text::pick(&mut rng, &text::REGIONS)));
+            set("date", Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 1, 1)));
+        }
+        6 => {
+            set("date", Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 1, 1)));
+            set("discount", Value::Dec(rng.gen_range(2..=9)));
+            set("quantity", Value::Dec(rng.gen_range(24..=25) * 100));
+        }
+        7 => {
+            let (a, b) = two_distinct_nations(&mut rng);
+            set("nation1", Value::from(a));
+            set("nation2", Value::from(b));
+        }
+        8 => {
+            let nation = text::NATIONS[rng.gen_range(0..25)];
+            set("nation", Value::from(nation.0));
+            set("region", Value::from(text::REGIONS[nation.1]));
+            set(
+                "type",
+                Value::Str(format!(
+                    "{} {} {}",
+                    text::pick(&mut rng, &text::TYPE_SYL1),
+                    text::pick(&mut rng, &text::TYPE_SYL2),
+                    text::pick(&mut rng, &text::TYPE_SYL3)
+                )),
+            );
+        }
+        9 => {
+            set("color", Value::from(text::pick(&mut rng, &text::PART_NAME_WORDS)));
+        }
+        10 => {
+            let months = rng.gen_range(0..=23); // 1993-02 .. 1995-01
+            set("date", Value::Date(Date::from_ymd(1993, 2, 1).add_months(months)));
+        }
+        11 => {
+            set("nation", Value::from(text::NATIONS[rng.gen_range(0..25)].0));
+            set("fraction", Value::Dec(1)); // 0.0001 scaled by SF in the template
+        }
+        12 => {
+            let m1 = rng.gen_range(0..text::SHIP_MODES.len());
+            let mut m2 = rng.gen_range(0..text::SHIP_MODES.len() - 1);
+            if m2 >= m1 {
+                m2 += 1;
+            }
+            set("shipmode1", Value::from(text::SHIP_MODES[m1]));
+            set("shipmode2", Value::from(text::SHIP_MODES[m2]));
+            set("date", Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 1, 1)));
+        }
+        13 => {
+            set("date", Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 6, 1)));
+            set("priority", Value::from(text::pick(&mut rng, &text::ORDER_PRIORITIES)));
+        }
+        14 => {
+            let months = rng.gen_range(0..=59); // 1993-01 .. 1997-12
+            set("date", Value::Date(Date::from_ymd(1993, 1, 1).add_months(months)));
+        }
+        15 => {
+            let months = rng.gen_range(0..=57);
+            set("date", Value::Date(Date::from_ymd(1993, 1, 1).add_months(months)));
+        }
+        16 => {
+            let mfgr = rng.gen_range(1..=5);
+            set("brand", Value::Str(format!("Brand#{}", mfgr * 10 + rng.gen_range(1..=5))));
+            set(
+                "type",
+                Value::Str(format!(
+                    "{} {}",
+                    text::pick(&mut rng, &text::TYPE_SYL1),
+                    text::pick(&mut rng, &text::TYPE_SYL2)
+                )),
+            );
+            set("size", Value::Int(rng.gen_range(1..=50)));
+        }
+        17 => {
+            let mfgr = rng.gen_range(1..=5);
+            set("brand", Value::Str(format!("Brand#{}", mfgr * 10 + rng.gen_range(1..=5))));
+            set(
+                "container",
+                Value::Str(format!(
+                    "{} {}",
+                    text::pick(&mut rng, &text::CONTAINER_SYL1),
+                    text::pick(&mut rng, &text::CONTAINER_SYL2)
+                )),
+            );
+        }
+        _ => unreachable!("validated above"),
+    }
+    p
+}
+
+fn two_distinct_nations<R: Rng>(rng: &mut R) -> (&'static str, &'static str) {
+    let a = rng.gen_range(0..25);
+    let mut b = rng.gen_range(0..24);
+    if b >= a {
+        b += 1;
+    }
+    (text::NATIONS[a].0, text::NATIONS[b].0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q3_params_within_spec_window() {
+        for seed in 0..32 {
+            let p = params(3, seed);
+            let date = p["date"].as_date().unwrap();
+            assert!(date >= Date::from_ymd(1995, 3, 1));
+            assert!(date <= Date::from_ymd(1995, 3, 31));
+            assert!(text::SEGMENTS.contains(&p["segment"].as_str().unwrap()));
+        }
+    }
+
+    #[test]
+    fn q6_params_within_spec_window() {
+        for seed in 0..32 {
+            let p = params(6, seed);
+            let (y, m, d) = p["date"].as_date().unwrap().ymd();
+            assert!((1993..=1997).contains(&y));
+            assert_eq!((m, d), (1, 1));
+            let disc = p["discount"].as_dec().unwrap();
+            assert!((2..=9).contains(&disc));
+            let qty = p["quantity"].as_dec().unwrap();
+            assert!(qty == 2400 || qty == 2500);
+        }
+    }
+
+    #[test]
+    fn q12_ship_modes_are_distinct() {
+        for seed in 0..64 {
+            let p = params(12, seed);
+            assert_ne!(p["shipmode1"], p["shipmode2"]);
+        }
+    }
+
+    #[test]
+    fn params_are_deterministic_per_seed() {
+        assert_eq!(params(3, 9), params(3, 9));
+        assert_ne!(params(3, 9), params(3, 10));
+    }
+
+    #[test]
+    fn every_query_has_params() {
+        for q in 1..=17 {
+            // Must not panic, and must produce at least one parameter.
+            assert!(!params(q, 0).is_empty(), "Q{q} generated no parameters");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Q1..Q17")]
+    fn query_zero_rejected() {
+        params(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q1..Q17")]
+    fn query_eighteen_rejected() {
+        params(18, 0);
+    }
+}

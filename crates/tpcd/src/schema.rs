@@ -1,0 +1,334 @@
+//! Logical schema of the eight TPC-D tables and the generic value type used
+//! to hand rows to a storage engine.
+
+use crate::Date;
+
+/// Column type in the TPC-D schema.
+///
+/// All `DECIMAL(x,2)` columns are represented as integer hundredths
+/// ([`Value::Dec`]), and dates as day counts ([`Value::Date`]), matching the
+/// fixed-width attribute layout the paper's database uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ColType {
+    /// 8-byte signed integer.
+    Int,
+    /// 8-byte decimal, stored as hundredths.
+    Dec,
+    /// 4-byte date (days since 1992-01-01).
+    Date,
+    /// Fixed-width character string of the given byte width.
+    Str(u16),
+}
+
+impl ColType {
+    /// On-page width in bytes of a value of this type.
+    pub fn width(self) -> u16 {
+        match self {
+            ColType::Int | ColType::Dec => 8,
+            ColType::Date => 4,
+            ColType::Str(n) => n,
+        }
+    }
+}
+
+/// One column of a table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name with its TPC-D prefix (`l_shipdate`, `c_mktsegment`, …).
+    pub name: &'static str,
+    /// Column type.
+    pub ty: ColType,
+}
+
+/// One TPC-D table definition.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableDef {
+    /// Table name (`lineitem`, `orders`, …).
+    pub name: &'static str,
+    /// Columns in declaration order.
+    pub columns: Vec<ColumnDef>,
+    /// Base cardinality at scale factor 1.0 (0 for derived tables).
+    pub base_cardinality: u64,
+}
+
+impl TableDef {
+    /// Index of the column called `name`, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// The column called `name`, if present.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// Total fixed row payload width in bytes (excluding tuple header).
+    pub fn row_width(&self) -> u64 {
+        self.columns.iter().map(|c| c.ty.width() as u64).sum()
+    }
+}
+
+/// A single column value.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Decimal in hundredths (`12.34` is `Dec(1234)`).
+    Dec(i64),
+    /// Calendar date.
+    Date(Date),
+    /// Character string (stored fixed-width, space padded, on page).
+    Str(String),
+}
+
+impl Value {
+    /// The integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The decimal payload in hundredths, if this is a [`Value::Dec`].
+    pub fn as_dec(&self) -> Option<i64> {
+        match self {
+            Value::Dec(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The date payload, if this is a [`Value::Date`].
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            Value::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<Date> for Value {
+    fn from(d: Date) -> Self {
+        Value::Date(d)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+macro_rules! columns {
+    ($(($name:literal, $ty:expr)),+ $(,)?) => {
+        vec![$(ColumnDef { name: $name, ty: $ty }),+]
+    };
+}
+
+/// The eight TPC-D table definitions, in population order.
+pub fn tpcd_schema() -> Vec<TableDef> {
+    use ColType::*;
+    vec![
+        TableDef {
+            name: "region",
+            base_cardinality: 5,
+            columns: columns![
+                ("r_regionkey", Int),
+                ("r_name", Str(25)),
+                ("r_comment", Str(30)),
+            ],
+        },
+        TableDef {
+            name: "nation",
+            base_cardinality: 25,
+            columns: columns![
+                ("n_nationkey", Int),
+                ("n_name", Str(25)),
+                ("n_regionkey", Int),
+                ("n_comment", Str(30)),
+            ],
+        },
+        TableDef {
+            name: "supplier",
+            base_cardinality: 10_000,
+            columns: columns![
+                ("s_suppkey", Int),
+                ("s_name", Str(25)),
+                ("s_address", Str(40)),
+                ("s_nationkey", Int),
+                ("s_phone", Str(15)),
+                ("s_acctbal", Dec),
+                ("s_comment", Str(25)),
+            ],
+        },
+        TableDef {
+            name: "customer",
+            base_cardinality: 150_000,
+            columns: columns![
+                ("c_custkey", Int),
+                ("c_name", Str(25)),
+                ("c_address", Str(40)),
+                ("c_nationkey", Int),
+                ("c_phone", Str(15)),
+                ("c_acctbal", Dec),
+                ("c_mktsegment", Str(10)),
+                ("c_comment", Str(60)),
+            ],
+        },
+        TableDef {
+            name: "part",
+            base_cardinality: 200_000,
+            columns: columns![
+                ("p_partkey", Int),
+                ("p_name", Str(55)),
+                ("p_mfgr", Str(25)),
+                ("p_brand", Str(10)),
+                ("p_type", Str(25)),
+                ("p_size", Int),
+                ("p_container", Str(10)),
+                ("p_retailprice", Dec),
+                ("p_comment", Str(14)),
+            ],
+        },
+        TableDef {
+            name: "partsupp",
+            base_cardinality: 800_000,
+            columns: columns![
+                ("ps_partkey", Int),
+                ("ps_suppkey", Int),
+                ("ps_availqty", Int),
+                ("ps_supplycost", Dec),
+                ("ps_comment", Str(50)),
+            ],
+        },
+        TableDef {
+            name: "orders",
+            base_cardinality: 1_500_000,
+            columns: columns![
+                ("o_orderkey", Int),
+                ("o_custkey", Int),
+                ("o_orderstatus", Str(1)),
+                ("o_totalprice", Dec),
+                ("o_orderdate", Date),
+                ("o_orderpriority", Str(15)),
+                ("o_clerk", Str(15)),
+                ("o_shippriority", Int),
+                ("o_comment", Str(30)),
+            ],
+        },
+        TableDef {
+            name: "lineitem",
+            // Derived: roughly four lineitems per order.
+            base_cardinality: 6_000_000,
+            columns: columns![
+                ("l_orderkey", Int),
+                ("l_partkey", Int),
+                ("l_suppkey", Int),
+                ("l_linenumber", Int),
+                ("l_quantity", Dec),
+                ("l_extendedprice", Dec),
+                ("l_discount", Dec),
+                ("l_tax", Dec),
+                ("l_returnflag", Str(1)),
+                ("l_linestatus", Str(1)),
+                ("l_shipdate", Date),
+                ("l_commitdate", Date),
+                ("l_receiptdate", Date),
+                ("l_shipinstruct", Str(25)),
+                ("l_shipmode", Str(10)),
+                ("l_comment", Str(27)),
+            ],
+        },
+    ]
+}
+
+/// Looks up a table definition by name in [`tpcd_schema`].
+pub fn table_def(name: &str) -> Option<TableDef> {
+    tpcd_schema().into_iter().find(|t| t.name == name)
+}
+
+/// Rounds a base cardinality by the scale factor, with a floor of one row.
+pub fn scaled_cardinality(base: u64, scale: f64) -> u64 {
+    ((base as f64 * scale).round() as u64).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_has_eight_tables() {
+        let schema = tpcd_schema();
+        assert_eq!(schema.len(), 8);
+        let names: Vec<_> = schema.iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
+        );
+    }
+
+    #[test]
+    fn lineitem_has_sixteen_columns() {
+        let li = table_def("lineitem").unwrap();
+        assert_eq!(li.columns.len(), 16);
+        assert_eq!(li.column_index("l_shipdate"), Some(10));
+        assert_eq!(li.column("l_comment").unwrap().ty, ColType::Str(27));
+    }
+
+    #[test]
+    fn row_width_matches_hand_sum() {
+        let li = table_def("lineitem").unwrap();
+        // 8 ints/decs * 8 + 2 flags + 3 dates * 4 + 25 + 10 + 27.
+        assert_eq!(li.row_width(), 8 * 8 + 2 + 12 + 25 + 10 + 27);
+    }
+
+    #[test]
+    fn scaled_cardinality_rounds_and_floors() {
+        assert_eq!(scaled_cardinality(150_000, 0.01), 1500);
+        assert_eq!(scaled_cardinality(5, 0.01), 1);
+        assert_eq!(scaled_cardinality(1_500_000, 0.01), 15_000);
+    }
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(4).as_int(), Some(4));
+        assert_eq!(Value::Dec(1234).as_dec(), Some(1234));
+        assert_eq!(Value::Int(4).as_dec(), None);
+        assert_eq!(Value::from("AIR").as_str(), Some("AIR"));
+        let d = Date::from_ymd(1995, 3, 15);
+        assert_eq!(Value::from(d).as_date(), Some(d));
+    }
+
+    #[test]
+    fn width_of_types() {
+        assert_eq!(ColType::Int.width(), 8);
+        assert_eq!(ColType::Dec.width(), 8);
+        assert_eq!(ColType::Date.width(), 4);
+        assert_eq!(ColType::Str(25).width(), 25);
+    }
+
+    #[test]
+    fn unknown_table_is_none() {
+        assert!(table_def("nope").is_none());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property tests for dates, the generator, and parameter draws.
+
+use dss_tpcd::{params, Date, Generator};
+use proptest::prelude::*;
+
+proptest! {
+    /// Date day-number and calendar representations roundtrip for the whole
+    /// simulation-relevant range (and a wide margin around it).
+    #[test]
+    fn date_roundtrip(days in -20_000i32..20_000) {
+        let d = Date::from_day_number(days);
+        let (y, m, dd) = d.ymd();
+        prop_assert_eq!(Date::from_ymd(y, m, dd), d);
+        prop_assert_eq!(d.day_number(), days);
+    }
+
+    /// Adding days is additive and consistent with ordering.
+    #[test]
+    fn add_days_is_additive(base in -5_000i32..5_000, a in -400i32..400, b in -400i32..400) {
+        let d = Date::from_day_number(base);
+        prop_assert_eq!(d.add_days(a).add_days(b), d.add_days(a + b));
+        prop_assert_eq!(d.add_days(a).days_since(d), a);
+        if a > 0 {
+            prop_assert!(d.add_days(a) > d);
+        }
+    }
+
+    /// Adding months lands in the expected month with a valid day.
+    #[test]
+    fn add_months_lands_in_month(y in 1992i32..1999, m in 1u32..13, day in 1u32..29, months in -36i32..36) {
+        let d = Date::from_ymd(y, m, day);
+        let r = d.add_months(months);
+        let (ry, rm, rd) = r.ymd();
+        let total = y * 12 + (m as i32 - 1) + months;
+        prop_assert_eq!(ry, total.div_euclid(12));
+        prop_assert_eq!(rm as i32, total.rem_euclid(12) + 1);
+        prop_assert!(rd >= 1 && rd <= day, "day clamps downward only");
+    }
+
+    /// Foreign-key integrity and date ordering hold for any small scale and
+    /// seed.
+    #[test]
+    fn generator_invariants(seed in 0u64..1000, scale_millis in 1u64..4) {
+        let scale = scale_millis as f64 / 1000.0;
+        let db = Generator::new(scale, seed).generate();
+        for o in &db.orders {
+            prop_assert!(o.custkey >= 1 && o.custkey <= db.customers.len() as i64);
+            prop_assert!(o.orderdate >= Date::START && o.orderdate <= Date::END);
+        }
+        for l in &db.lineitems {
+            prop_assert!(l.orderkey >= 1 && l.orderkey <= db.orders.len() as i64);
+            prop_assert!(l.shipdate < l.receiptdate);
+            prop_assert!(l.receiptdate <= Date::END);
+            prop_assert!((100..=5000).contains(&l.quantity));
+            prop_assert!((0..=10).contains(&l.discount));
+        }
+    }
+
+    /// Every query's parameters are generated for every seed without panics,
+    /// and the headline parameters stay in their spec windows.
+    #[test]
+    fn params_within_spec(seed in 0u64..10_000) {
+        for q in 1u8..=17 {
+            let p = params(q, seed);
+            prop_assert!(!p.is_empty());
+        }
+        let q3 = params(3, seed);
+        let date = q3["date"].as_date().unwrap();
+        prop_assert!(date >= Date::from_ymd(1995, 3, 1) && date <= Date::from_ymd(1995, 3, 31));
+        let q6 = params(6, seed);
+        let disc = q6["discount"].as_dec().unwrap();
+        prop_assert!((2..=9).contains(&disc));
+    }
+
+    /// UF1 rows use the requested key range and preserve lineitem clustering.
+    #[test]
+    fn uf1_rows_are_well_formed(seed in 0u64..500, count in 1usize..20, base in 1i64..1_000_000) {
+        let generator = Generator::new(0.001, 3);
+        let (orders, lineitems) = generator.uf1_rows(seed, count, base);
+        prop_assert_eq!(orders.len(), count);
+        for (i, o) in orders.iter().enumerate() {
+            prop_assert_eq!(o.orderkey, base + i as i64);
+        }
+        let keys: Vec<i64> = lineitems.iter().map(|l| l.orderkey).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        prop_assert_eq!(keys, sorted, "lineitems clustered by order");
+        for l in &lineitems {
+            prop_assert!(l.orderkey >= base && l.orderkey < base + count as i64);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Busy-cycle cost model.
+//!
+//! The paper traces a real Postgres95 binary, so the cycles *between* memory
+//! references come from actual instructions. Our engine instead charges a
+//! fixed number of busy cycles per logical operation. The constants below are
+//! calibrated so that the baseline execution-time breakdown matches the
+//! paper's Figure 6(a): Busy ≈ 50–70 % and Mem ≈ 30–35 % of execution time
+//! for queries Q3, Q6 and Q12.
+
+/// Per-operation busy-cycle charges used by the engine while generating
+/// traces.
+///
+/// All costs are in cycles of the simulated 500 MHz processor. The defaults
+/// are the calibrated values used for every experiment; tests may construct
+/// cheaper models.
+///
+/// # Example
+///
+/// ```
+/// use dss_trace::CostModel;
+///
+/// let cost = CostModel::default();
+/// assert!(cost.tuple_overhead > 0);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct CostModel {
+    /// Executor node dispatch per tuple produced or consumed (Volcano
+    /// `next()` call overhead: function calls, slot bookkeeping).
+    pub tuple_overhead: u32,
+    /// Evaluating one predicate clause against an attribute (decode, branch).
+    pub predicate_eval: u32,
+    /// One arithmetic operation in an aggregate or projection.
+    pub arithmetic: u32,
+    /// One comparison inside a sort.
+    pub sort_compare: u32,
+    /// Hashing one key (hash join build/probe, hash table step).
+    pub hash_step: u32,
+    /// Binary-search step inside a b-tree node.
+    pub btree_step: u32,
+    /// Fixed overhead of a buffer-manager call (pin or unpin), excluding the
+    /// memory references it issues.
+    pub buffer_call: u32,
+    /// Fixed overhead of a lock-manager call, excluding memory references.
+    pub lock_call: u32,
+    /// Per-byte cost of formatting/copying a tuple beyond the word copies the
+    /// tracer already emits (length checks, null bitmap handling).
+    pub copy_per_word: u32,
+    /// Per-page overhead of a sequential scan advancing to the next page.
+    pub page_advance: u32,
+    /// Overhead of starting (or restarting) a scan: executor node
+    /// initialization, scan-key setup, relation open.
+    pub scan_start: u32,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Calibrated against Figure 6(a); see crate docs. The intent is that
+        // a tuple examined by a scan costs a few tens of busy cycles against
+        // a handful of memory references.
+        CostModel {
+            tuple_overhead: 600,
+            predicate_eval: 80,
+            arithmetic: 25,
+            sort_compare: 60,
+            hash_step: 60,
+            btree_step: 200,
+            buffer_call: 60,
+            lock_call: 300,
+            copy_per_word: 8,
+            page_advance: 120,
+            scan_start: 8000,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model that charges zero busy cycles everywhere, useful for tests
+    /// that want traces containing only memory references.
+    pub fn free() -> Self {
+        CostModel {
+            tuple_overhead: 0,
+            predicate_eval: 0,
+            arithmetic: 0,
+            sort_compare: 0,
+            hash_step: 0,
+            btree_step: 0,
+            buffer_call: 0,
+            lock_call: 0,
+            copy_per_word: 0,
+            page_advance: 0,
+            scan_start: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_charges_are_positive() {
+        let c = CostModel::default();
+        for v in [
+            c.tuple_overhead,
+            c.predicate_eval,
+            c.arithmetic,
+            c.sort_compare,
+            c.hash_step,
+            c.btree_step,
+            c.buffer_call,
+            c.lock_call,
+            c.copy_per_word,
+            c.page_advance,
+            c.scan_start,
+        ] {
+            assert!(v > 0);
+        }
+    }
+
+    #[test]
+    fn free_charges_nothing() {
+        let c = CostModel::free();
+        assert_eq!(c.tuple_overhead, 0);
+        assert_eq!(c.lock_call, 0);
+    }
+}

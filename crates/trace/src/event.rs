@@ -1,0 +1,121 @@
+//! Trace events: classified memory references, busy cycles, and spinlock
+//! operations.
+
+use crate::DataClass;
+
+/// A single classified memory reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct MemRef {
+    /// Simulated virtual address.
+    pub addr: u64,
+    /// Access width in bytes (1..=8; wider accesses are split by the tracer).
+    pub size: u16,
+    /// `true` for a store, `false` for a load.
+    pub write: bool,
+    /// The data structure the reference touches.
+    pub class: DataClass,
+}
+
+impl MemRef {
+    /// Creates a load reference.
+    pub fn load(addr: u64, size: u16, class: DataClass) -> Self {
+        MemRef { addr, size, write: false, class }
+    }
+
+    /// Creates a store reference.
+    pub fn store(addr: u64, size: u16, class: DataClass) -> Self {
+        MemRef { addr, size, write: true, class }
+    }
+}
+
+/// Which spinlock a [`LockToken`] names.
+///
+/// The simulator needs the lock word's address (to generate the spin reads and
+/// the acquiring read-modify-write) and its [`DataClass`] (to attribute the
+/// resulting misses).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum LockClass {
+    /// The lock manager's `LockMgrLock` ("LockSLock" in the paper).
+    LockMgr,
+    /// The buffer manager's `BufMgrLock`.
+    BufMgr,
+    /// Any other metalock (shared-memory headers, …).
+    Other,
+}
+
+impl LockClass {
+    /// The data class of references to this lock's word.
+    pub fn data_class(self) -> DataClass {
+        match self {
+            LockClass::LockMgr => DataClass::LockMgrLock,
+            LockClass::BufMgr => DataClass::BufMgrLock,
+            LockClass::Other => DataClass::SharedMisc,
+        }
+    }
+}
+
+/// A spinlock identity carried by acquire/release events.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LockToken {
+    /// Address of the lock word in the simulated shared address space.
+    pub addr: u64,
+    /// Which lock this is, for miss attribution.
+    pub class: LockClass,
+}
+
+impl LockToken {
+    /// Creates a token for the lock word at `addr`.
+    pub fn new(addr: u64, class: LockClass) -> Self {
+        LockToken { addr, class }
+    }
+}
+
+/// One entry of a processor's reference trace.
+///
+/// Spinlock acquisition is represented as an event rather than as raw
+/// references because the *number* of spin reads depends on contention, which
+/// is only known at simulation time when the four processors' clocks are
+/// interleaved.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Event {
+    /// A classified memory reference.
+    Ref(MemRef),
+    /// Non-memory work: the processor advances this many cycles.
+    Busy(u32),
+    /// Acquire a metalock, spinning (and re-reading the lock word) while held
+    /// by another processor. Time spent spinning is the paper's *MSync*.
+    LockAcquire(LockToken),
+    /// Release a previously acquired metalock.
+    LockRelease(LockToken),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_and_store_set_direction() {
+        let l = MemRef::load(0x10, 8, DataClass::Data);
+        assert!(!l.write);
+        let s = MemRef::store(0x10, 8, DataClass::Data);
+        assert!(s.write);
+        assert_eq!(l.addr, s.addr);
+    }
+
+    #[test]
+    fn lock_class_maps_to_data_class() {
+        assert_eq!(LockClass::LockMgr.data_class(), DataClass::LockMgrLock);
+        assert_eq!(LockClass::BufMgr.data_class(), DataClass::BufMgrLock);
+        assert_eq!(LockClass::Other.data_class(), DataClass::SharedMisc);
+    }
+
+    #[test]
+    fn event_is_compact() {
+        // Traces hold millions of events; keep the representation small.
+        assert!(std::mem::size_of::<Event>() <= 24);
+    }
+}

@@ -1,0 +1,197 @@
+//! Compact binary serialization of traces.
+//!
+//! Traces run to millions of events; this fixed-width little-endian format
+//! lets a workload be traced once and re-simulated elsewhere (the same
+//! workflow as saving an execution-driven simulator's address trace). No
+//! external dependencies: the format is nine bytes of header plus 16 bytes
+//! per event.
+
+use std::io::{self, Read, Write};
+
+use crate::{DataClass, Event, LockClass, LockToken, MemRef, Trace};
+
+const MAGIC: &[u8; 8] = b"DSSTRC01";
+
+/// Writes `trace` in the binary format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(trace.proc_id as u64).to_le_bytes())?;
+    w.write_all(&(trace.events.len() as u64).to_le_bytes())?;
+    for event in &trace.events {
+        let (tag, a, b): (u8, u64, u64) = match event {
+            Event::Busy(n) => (0, *n as u64, 0),
+            Event::Ref(r) => {
+                let meta = (r.size as u64) << 8 | (r.write as u64) << 7 | class_code(r.class) as u64;
+                (1, r.addr, meta)
+            }
+            Event::LockAcquire(tok) => (2, tok.addr, lock_code(tok.class) as u64),
+            Event::LockRelease(tok) => (3, tok.addr, lock_code(tok.class) as u64),
+        };
+        w.write_all(&[tag])?;
+        w.write_all(&a.to_le_bytes())?;
+        w.write_all(&b.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads a trace written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns `InvalidData` for a bad magic number or malformed events, and
+/// propagates I/O errors from `r`.
+pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DSS trace file"));
+    }
+    let proc_id = read_u64(&mut r)? as usize;
+    let n = read_u64(&mut r)? as usize;
+    let mut events = Vec::with_capacity(n.min(1 << 24));
+    for _ in 0..n {
+        let mut tag = [0u8; 1];
+        r.read_exact(&mut tag)?;
+        let a = read_u64(&mut r)?;
+        let b = read_u64(&mut r)?;
+        let event = match tag[0] {
+            0 => Event::Busy(a as u32),
+            1 => {
+                let class = class_from(b as u8 & 0x7f)?;
+                Event::Ref(MemRef {
+                    addr: a,
+                    size: (b >> 8) as u16,
+                    write: b & 0x80 != 0,
+                    class,
+                })
+            }
+            2 => Event::LockAcquire(LockToken::new(a, lock_from(b as u8)?)),
+            3 => Event::LockRelease(LockToken::new(a, lock_from(b as u8)?)),
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown event tag {other}"),
+                ))
+            }
+        };
+        events.push(event);
+    }
+    Ok(Trace { proc_id, events })
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn class_code(c: DataClass) -> u8 {
+    DataClass::ALL.iter().position(|x| *x == c).expect("listed") as u8
+}
+
+fn class_from(code: u8) -> io::Result<DataClass> {
+    DataClass::ALL
+        .get(code as usize)
+        .copied()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad class {code}")))
+}
+
+fn lock_code(c: LockClass) -> u8 {
+    match c {
+        LockClass::LockMgr => 0,
+        LockClass::BufMgr => 1,
+        LockClass::Other => 2,
+    }
+}
+
+fn lock_from(code: u8) -> io::Result<LockClass> {
+    Ok(match code {
+        0 => LockClass::LockMgr,
+        1 => LockClass::BufMgr,
+        2 => LockClass::Other,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad lock class {other}"),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    fn sample() -> Trace {
+        let t = Tracer::new(3);
+        t.busy(1234);
+        t.read(0x1_0000_0040, 8, DataClass::Data);
+        t.write(0x100_0000_0010, 4, DataClass::PrivHeap);
+        t.lock_acquire(LockToken::new(0x40, LockClass::LockMgr));
+        t.read(0x1_0000_2000, 16, DataClass::Index);
+        t.lock_release(LockToken::new(0x40, LockClass::LockMgr));
+        t.busy(u32::MAX);
+        t.take()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("in-memory write");
+        let back = read_trace(buf.as_slice()).expect("read back");
+        assert_eq!(back, trace);
+        assert_eq!(back.proc_id, 3);
+    }
+
+    #[test]
+    fn every_class_roundtrips() {
+        let t = Tracer::new(0);
+        for (i, class) in DataClass::ALL.iter().enumerate() {
+            t.read(0x1000 + i as u64 * 8, 8, *class);
+        }
+        let trace = t.take();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        assert_eq!(read_trace(buf.as_slice()).unwrap(), trace);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_trace(&b"NOTATRCE"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn bad_event_tag_is_rejected() {
+        let mut buf = Vec::new();
+        write_trace(&Trace::new(0), &mut buf).unwrap();
+        // Claim one event, then write garbage.
+        buf[16..24].copy_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&[9u8]);
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(read_trace(buf.as_slice()).is_err());
+    }
+
+    #[test]
+    fn format_is_compact() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        assert_eq!(buf.len(), 8 + 16 + trace.events.len() * 17);
+    }
+}

@@ -1,0 +1,54 @@
+//! Memory-reference trace model for the DSS workload study.
+//!
+//! This crate defines the vocabulary shared by the database engine (which
+//! *produces* memory references) and the multiprocessor memory-hierarchy
+//! simulator (which *consumes* them):
+//!
+//! * [`DataClass`] — the data structure a reference touches, mirroring the
+//!   categories of the HPCA'97 paper (database `Data`, `Index`, the buffer- and
+//!   lock-manager metadata structures, and private heap data).
+//! * [`MemRef`] / [`Event`] — a single classified memory reference, plus the
+//!   busy-cycle and spinlock events interleaved with references.
+//! * [`Tracer`] — a cheaply clonable recording handle threaded through the
+//!   engine; one per simulated processor.
+//! * [`CostModel`] — the per-operation busy-cycle charges that stand in for
+//!   the instructions Mint would have executed between references.
+//! * [`TraceStats`] — summary statistics over a recorded trace.
+//!
+//! The paper's methodology applies one correction we reproduce here by
+//! construction: accesses to private *stack and static* data are assumed to
+//! always hit and are therefore never emitted; only private *heap* references
+//! (class [`DataClass::PrivHeap`]) appear in traces.
+//!
+//! # Example
+//!
+//! ```
+//! use dss_trace::{DataClass, Event, Tracer};
+//!
+//! let tracer = Tracer::new(0);
+//! tracer.busy(12);
+//! tracer.read(0x1000_0040, 8, DataClass::Data);
+//! tracer.write(0x4000_0000, 8, DataClass::PrivHeap);
+//! let trace = tracer.take();
+//! assert_eq!(trace.events.len(), 3);
+//! assert!(matches!(trace.events[0], Event::Busy(12)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod analyze;
+mod class;
+mod cost;
+mod event;
+mod io;
+mod stats;
+mod tracer;
+
+pub use analyze::{analyze, ClassLocality, ReuseHistogram, TraceAnalysis, REUSE_BUCKETS};
+pub use class::{DataClass, DataGroup};
+pub use cost::CostModel;
+pub use event::{Event, LockClass, LockToken, MemRef};
+pub use io::{read_trace, write_trace};
+pub use stats::TraceStats;
+pub use tracer::{Trace, Tracer};

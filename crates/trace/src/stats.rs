@@ -1,0 +1,170 @@
+//! Summary statistics over recorded traces.
+
+use std::collections::BTreeMap;
+
+use crate::{DataClass, Event, Trace};
+
+/// Counters summarizing one trace: reference counts by class and direction,
+/// busy cycles, and lock activity.
+///
+/// Used by calibration tests — e.g. the paper observes about five times more
+/// private than shared references, which [`TraceStats::priv_to_shared_ratio`]
+/// checks directly.
+///
+/// # Example
+///
+/// ```
+/// use dss_trace::{DataClass, Tracer, TraceStats};
+///
+/// let t = Tracer::new(0);
+/// t.read(0x100, 8, DataClass::Data);
+/// t.write(0x900, 8, DataClass::PrivHeap);
+/// let stats = TraceStats::from_trace(&t.take());
+/// assert_eq!(stats.total_refs(), 2);
+/// assert_eq!(stats.reads(DataClass::Data), 1);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    reads: BTreeMap<DataClass, u64>,
+    writes: BTreeMap<DataClass, u64>,
+    /// Total busy cycles charged in the trace.
+    pub busy_cycles: u64,
+    /// Number of lock acquisitions.
+    pub lock_acquires: u64,
+    /// Number of lock releases.
+    pub lock_releases: u64,
+}
+
+impl TraceStats {
+    /// Computes statistics over `trace`.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut s = TraceStats::default();
+        for event in trace {
+            match event {
+                Event::Ref(r) => {
+                    let map = if r.write { &mut s.writes } else { &mut s.reads };
+                    *map.entry(r.class).or_insert(0) += 1;
+                }
+                Event::Busy(c) => s.busy_cycles += *c as u64,
+                Event::LockAcquire(_) => s.lock_acquires += 1,
+                Event::LockRelease(_) => s.lock_releases += 1,
+            }
+        }
+        s
+    }
+
+    /// Computes combined statistics over several traces.
+    pub fn from_traces<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Self {
+        let mut total = TraceStats::default();
+        for t in traces {
+            total.merge(&Self::from_trace(t));
+        }
+        total
+    }
+
+    /// Adds another set of counters into this one.
+    pub fn merge(&mut self, other: &TraceStats) {
+        for (class, n) in &other.reads {
+            *self.reads.entry(*class).or_insert(0) += n;
+        }
+        for (class, n) in &other.writes {
+            *self.writes.entry(*class).or_insert(0) += n;
+        }
+        self.busy_cycles += other.busy_cycles;
+        self.lock_acquires += other.lock_acquires;
+        self.lock_releases += other.lock_releases;
+    }
+
+    /// Load references of `class`.
+    pub fn reads(&self, class: DataClass) -> u64 {
+        self.reads.get(&class).copied().unwrap_or(0)
+    }
+
+    /// Store references of `class`.
+    pub fn writes(&self, class: DataClass) -> u64 {
+        self.writes.get(&class).copied().unwrap_or(0)
+    }
+
+    /// All references (loads + stores) of `class`.
+    pub fn refs(&self, class: DataClass) -> u64 {
+        self.reads(class) + self.writes(class)
+    }
+
+    /// All references in the trace.
+    pub fn total_refs(&self) -> u64 {
+        DataClass::ALL.iter().map(|c| self.refs(*c)).sum()
+    }
+
+    /// References to private data.
+    pub fn private_refs(&self) -> u64 {
+        self.refs(DataClass::PrivHeap)
+    }
+
+    /// References to shared data (everything that is not private heap).
+    pub fn shared_refs(&self) -> u64 {
+        self.total_refs() - self.private_refs()
+    }
+
+    /// Ratio of private to shared references; the paper reports roughly 5.
+    ///
+    /// Returns `None` if the trace has no shared references.
+    pub fn priv_to_shared_ratio(&self) -> Option<f64> {
+        let shared = self.shared_refs();
+        (shared > 0).then(|| self.private_refs() as f64 / shared as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LockClass, LockToken, Tracer};
+
+    fn sample_trace() -> Trace {
+        let t = Tracer::new(0);
+        t.busy(100);
+        t.read(0x1000, 8, DataClass::Data);
+        t.read(0x2000, 8, DataClass::Index);
+        t.write(0x9000, 16, DataClass::PrivHeap); // splits into two stores
+        t.lock_acquire(LockToken::new(0x40, LockClass::LockMgr));
+        t.lock_release(LockToken::new(0x40, LockClass::LockMgr));
+        t.take()
+    }
+
+    #[test]
+    fn counts_by_class_and_direction() {
+        let s = TraceStats::from_trace(&sample_trace());
+        assert_eq!(s.reads(DataClass::Data), 1);
+        assert_eq!(s.reads(DataClass::Index), 1);
+        assert_eq!(s.writes(DataClass::PrivHeap), 2);
+        assert_eq!(s.total_refs(), 4);
+        assert_eq!(s.busy_cycles, 100);
+        assert_eq!(s.lock_acquires, 1);
+        assert_eq!(s.lock_releases, 1);
+    }
+
+    #[test]
+    fn shared_and_private_partition_total() {
+        let s = TraceStats::from_trace(&sample_trace());
+        assert_eq!(s.private_refs() + s.shared_refs(), s.total_refs());
+        assert_eq!(s.private_refs(), 2);
+        assert_eq!(s.shared_refs(), 2);
+        assert_eq!(s.priv_to_shared_ratio(), Some(1.0));
+    }
+
+    #[test]
+    fn ratio_none_without_shared_refs() {
+        let t = Tracer::new(0);
+        t.write(0x9000, 8, DataClass::PrivHeap);
+        let s = TraceStats::from_trace(&t.take());
+        assert_eq!(s.priv_to_shared_ratio(), None);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let a = sample_trace();
+        let b = sample_trace();
+        let merged = TraceStats::from_traces([&a, &b]);
+        assert_eq!(merged.total_refs(), 8);
+        assert_eq!(merged.busy_cycles, 200);
+    }
+}

@@ -1,0 +1,315 @@
+//! The recording handle threaded through the database engine.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::{DataClass, Event, LockToken, MemRef};
+
+/// Maximum width of a single emitted reference; wider accesses are split.
+const MAX_REF_BYTES: u64 = 8;
+
+/// A recorded per-processor reference trace.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The simulated processor that produced this trace.
+    pub proc_id: usize,
+    /// The events, in program order.
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    /// Creates an empty trace for `proc_id`.
+    pub fn new(proc_id: usize) -> Self {
+        Trace { proc_id, events: Vec::new() }
+    }
+
+    /// Number of events in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over the events in program order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+#[derive(Debug, Default)]
+struct TraceBuffer {
+    events: Vec<Event>,
+    /// Busy cycles accumulated since the last non-busy event, coalesced to
+    /// keep traces compact.
+    pending_busy: u64,
+    enabled: bool,
+}
+
+impl TraceBuffer {
+    fn flush_busy(&mut self) {
+        while self.pending_busy > 0 {
+            let chunk = self.pending_busy.min(u32::MAX as u64) as u32;
+            self.events.push(Event::Busy(chunk));
+            self.pending_busy -= chunk as u64;
+        }
+    }
+}
+
+/// A cheaply clonable recording handle for one simulated processor.
+///
+/// The engine's layers (buffer cache, lock manager, b-tree, executor) all
+/// receive a `Tracer` and emit classified references through it. Cloning
+/// shares the underlying buffer, so a single processor's components append to
+/// one program-ordered stream.
+///
+/// Recording can be disabled (see [`Tracer::set_enabled`]) to build the
+/// database image or run cache warm-up work without recording it.
+///
+/// # Example
+///
+/// ```
+/// use dss_trace::{DataClass, Tracer};
+///
+/// let t = Tracer::new(0);
+/// t.copy(0x1000, DataClass::Data, 0x9000, DataClass::PrivHeap, 24);
+/// // 24 bytes copied in 8-byte strides: 3 loads + 3 stores.
+/// assert_eq!(t.take().events.len(), 6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tracer {
+    proc_id: usize,
+    buf: Rc<RefCell<TraceBuffer>>,
+}
+
+impl Tracer {
+    /// Creates an enabled tracer for simulated processor `proc_id`.
+    pub fn new(proc_id: usize) -> Self {
+        Tracer {
+            proc_id,
+            buf: Rc::new(RefCell::new(TraceBuffer {
+                events: Vec::new(),
+                pending_busy: 0,
+                enabled: true,
+            })),
+        }
+    }
+
+    /// Creates a tracer that discards everything (for untraced setup work).
+    pub fn disabled() -> Self {
+        let t = Tracer::new(usize::MAX);
+        t.set_enabled(false);
+        t
+    }
+
+    /// The simulated processor this tracer records for.
+    pub fn proc_id(&self) -> usize {
+        self.proc_id
+    }
+
+    /// Enables or disables recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.buf.borrow_mut().enabled = enabled;
+    }
+
+    /// Whether recording is currently enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.buf.borrow().enabled
+    }
+
+    /// Number of events recorded so far (excluding coalesced pending busy).
+    pub fn len(&self) -> usize {
+        self.buf.borrow().events.len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0 && self.buf.borrow().pending_busy == 0
+    }
+
+    /// Records a load of `size` bytes at `addr`, split into at most 8-byte
+    /// references.
+    pub fn read(&self, addr: u64, size: u64, class: DataClass) {
+        self.access(addr, size, false, class);
+    }
+
+    /// Records a store of `size` bytes at `addr`, split into at most 8-byte
+    /// references.
+    pub fn write(&self, addr: u64, size: u64, class: DataClass) {
+        self.access(addr, size, true, class);
+    }
+
+    /// Records a memory-to-memory copy: paired loads from `src` and stores to
+    /// `dst` in 8-byte strides, as a word-copy loop would issue them.
+    pub fn copy(&self, src: u64, src_class: DataClass, dst: u64, dst_class: DataClass, len: u64) {
+        let mut off = 0;
+        while off < len {
+            let chunk = (len - off).min(MAX_REF_BYTES);
+            self.access(src + off, chunk, false, src_class);
+            self.access(dst + off, chunk, true, dst_class);
+            off += chunk;
+        }
+    }
+
+    /// Records `cycles` of non-memory work. Consecutive busy charges are
+    /// coalesced into a single event.
+    pub fn busy(&self, cycles: u32) {
+        let mut buf = self.buf.borrow_mut();
+        if buf.enabled {
+            buf.pending_busy += cycles as u64;
+        }
+    }
+
+    /// Records a metalock acquisition.
+    pub fn lock_acquire(&self, token: LockToken) {
+        let mut buf = self.buf.borrow_mut();
+        if buf.enabled {
+            buf.flush_busy();
+            buf.events.push(Event::LockAcquire(token));
+        }
+    }
+
+    /// Records a metalock release.
+    pub fn lock_release(&self, token: LockToken) {
+        let mut buf = self.buf.borrow_mut();
+        if buf.enabled {
+            buf.flush_busy();
+            buf.events.push(Event::LockRelease(token));
+        }
+    }
+
+    /// Drains the recorded events into a [`Trace`], leaving the tracer empty
+    /// (and still usable).
+    pub fn take(&self) -> Trace {
+        let mut buf = self.buf.borrow_mut();
+        buf.flush_busy();
+        Trace { proc_id: self.proc_id, events: std::mem::take(&mut buf.events) }
+    }
+
+    fn access(&self, addr: u64, size: u64, write: bool, class: DataClass) {
+        let mut buf = self.buf.borrow_mut();
+        if !buf.enabled {
+            return;
+        }
+        buf.flush_busy();
+        let mut off = 0;
+        while off < size {
+            let chunk = (size - off).min(MAX_REF_BYTES);
+            buf.events.push(Event::Ref(MemRef {
+                addr: addr + off,
+                size: chunk as u16,
+                write,
+                class,
+            }));
+            off += chunk;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LockClass;
+
+    #[test]
+    fn busy_cycles_coalesce() {
+        let t = Tracer::new(0);
+        t.busy(10);
+        t.busy(5);
+        t.read(0x100, 4, DataClass::Data);
+        t.busy(3);
+        let trace = t.take();
+        assert_eq!(
+            trace.events,
+            vec![
+                Event::Busy(15),
+                Event::Ref(MemRef::load(0x100, 4, DataClass::Data)),
+                Event::Busy(3),
+            ]
+        );
+    }
+
+    #[test]
+    fn wide_accesses_split_into_words() {
+        let t = Tracer::new(0);
+        t.read(0x100, 20, DataClass::Index);
+        let trace = t.take();
+        assert_eq!(trace.events.len(), 3);
+        assert_eq!(trace.events[0], Event::Ref(MemRef::load(0x100, 8, DataClass::Index)));
+        assert_eq!(trace.events[1], Event::Ref(MemRef::load(0x108, 8, DataClass::Index)));
+        assert_eq!(trace.events[2], Event::Ref(MemRef::load(0x110, 4, DataClass::Index)));
+    }
+
+    #[test]
+    fn copy_interleaves_loads_and_stores() {
+        let t = Tracer::new(1);
+        t.copy(0x100, DataClass::Data, 0x900, DataClass::PrivHeap, 16);
+        let trace = t.take();
+        assert_eq!(trace.proc_id, 1);
+        assert_eq!(trace.events.len(), 4);
+        assert!(matches!(trace.events[0], Event::Ref(MemRef { write: false, .. })));
+        assert!(matches!(trace.events[1], Event::Ref(MemRef { write: true, class: DataClass::PrivHeap, .. })));
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let t = Tracer::disabled();
+        t.busy(100);
+        t.read(0x100, 8, DataClass::Data);
+        t.lock_acquire(LockToken::new(0x10, LockClass::LockMgr));
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn enable_toggle_resumes_recording() {
+        let t = Tracer::new(0);
+        t.set_enabled(false);
+        t.read(0x100, 8, DataClass::Data);
+        t.set_enabled(true);
+        t.read(0x200, 8, DataClass::Data);
+        let trace = t.take();
+        assert_eq!(trace.events.len(), 1);
+        assert_eq!(trace.events[0], Event::Ref(MemRef::load(0x200, 8, DataClass::Data)));
+    }
+
+    #[test]
+    fn take_leaves_tracer_reusable() {
+        let t = Tracer::new(0);
+        t.read(0x100, 8, DataClass::Data);
+        assert_eq!(t.take().len(), 1);
+        assert!(t.is_empty());
+        t.read(0x200, 8, DataClass::Data);
+        assert_eq!(t.take().len(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_buffer() {
+        let t = Tracer::new(0);
+        let t2 = t.clone();
+        t.read(0x100, 8, DataClass::Data);
+        t2.read(0x200, 8, DataClass::Index);
+        let trace = t.take();
+        assert_eq!(trace.events.len(), 2);
+    }
+
+    #[test]
+    fn lock_events_flush_pending_busy() {
+        let t = Tracer::new(0);
+        t.busy(7);
+        t.lock_acquire(LockToken::new(0x40, LockClass::BufMgr));
+        t.lock_release(LockToken::new(0x40, LockClass::BufMgr));
+        let trace = t.take();
+        assert_eq!(trace.events.len(), 3);
+        assert_eq!(trace.events[0], Event::Busy(7));
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: build a memory-resident TPC-D database, run a query, inspect
+//! its plan and memory trace, and simulate it on the paper's baseline
+//! multiprocessor.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dss_workbench::memsim::{Machine, MachineConfig};
+use dss_workbench::query::{Database, DbConfig, Session};
+use dss_workbench::trace::TraceStats;
+
+fn main() {
+    // 1. Build a small database (the paper's setup uses scale 0.01; this
+    //    example uses 1/500 so it runs in a blink).
+    let config = DbConfig { scale: 0.002, nbuffers: 2048, ..DbConfig::default() };
+    let mut db = Database::build(&config);
+    println!(
+        "database built: {} heap pages across {} tables\n",
+        db.catalog.total_heap_pages(),
+        db.catalog.iter().count()
+    );
+
+    // 2. Plan a query and show the left-deep tree.
+    let sql = "select o_orderpriority, count(*) as n \
+               from orders \
+               where o_orderdate >= date '1994-01-01' and o_orderdate < date '1995-01-01' \
+               group by o_orderpriority \
+               order by o_orderpriority";
+    let plan = db.plan_sql(sql).expect("valid query");
+    println!("plan:\n{}", plan.explain());
+
+    // 3. Execute it in a traced session (one session = one simulated CPU).
+    let mut session = Session::new(0);
+    let out = db.run(sql, &mut session).expect("runs");
+    println!("results:");
+    for row in &out.rows {
+        println!("  {} orders at priority {}", row[1], row[0]);
+    }
+
+    // 4. The session recorded every classified memory reference.
+    let trace = session.tracer.take();
+    let stats = TraceStats::from_trace(&trace);
+    println!(
+        "\ntrace: {} events, {} refs ({} private, {} shared)",
+        trace.len(),
+        stats.total_refs(),
+        stats.private_refs(),
+        stats.shared_refs()
+    );
+
+    // 5. Feed the trace to the CC-NUMA memory-hierarchy simulator.
+    let sim = Machine::new(MachineConfig::baseline()).run(&[trace]);
+    let t = sim.time_breakdown();
+    println!(
+        "simulated on the paper's baseline: {} cycles (busy {:.0}%, mem {:.0}%, msync {:.0}%)",
+        sim.exec_cycles(),
+        100.0 * t.busy,
+        100.0 * t.mem,
+        100.0 * t.msync
+    );
+    println!(
+        "L1 read miss rate {:.1}%, L2 global {:.2}%",
+        100.0 * sim.l1.read_miss_rate(),
+        100.0 * sim.l2_global_read_miss_rate()
+    );
+}

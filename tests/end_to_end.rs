@@ -1,0 +1,107 @@
+//! Workspace-level integration tests: the whole pipeline through the facade
+//! crate — generator → engine → traces → simulator — on a small database.
+
+use dss_workbench::memsim::{Machine, MachineConfig};
+use dss_workbench::query::{Database, Datum, DbConfig, Session};
+use dss_workbench::tpcd::params;
+use dss_workbench::trace::{DataClass, DataGroup, TraceStats};
+
+fn small_db() -> Database {
+    Database::build(&DbConfig { scale: 0.002, seed: 5, nbuffers: 2048, ..DbConfig::default() })
+}
+
+#[test]
+fn facade_quickstart_pipeline() {
+    let mut db = small_db();
+    let mut session = Session::new(0);
+    let out = db
+        .run("select count(*) from customer where c_mktsegment = 'BUILDING'", &mut session)
+        .expect("valid query");
+    let n = out.rows[0][0].int();
+    assert!(n > 0, "some BUILDING customers exist");
+
+    let trace = session.tracer.take();
+    let sim = Machine::new(MachineConfig::baseline()).run(&[trace]);
+    assert!(sim.exec_cycles() > 0);
+    assert!(sim.l1.read_misses.total() > 0);
+}
+
+#[test]
+fn all_seventeen_queries_trace_and_simulate() {
+    let mut db = small_db();
+    for q in 1..=17u8 {
+        let mut session = Session::new(0);
+        let sql = dss_workbench::query::sql_for(q, &params(q, 3));
+        db.run(&sql, &mut session).unwrap_or_else(|e| panic!("Q{q}: {e}"));
+        let trace = session.tracer.take();
+        assert!(!trace.is_empty(), "Q{q} produced no references");
+        let sim = Machine::new(MachineConfig::baseline()).run(&[trace]);
+        let t = sim.time_breakdown();
+        assert!(t.busy > 0.0 && t.busy < 1.0, "Q{q} breakdown sane: {t:?}");
+    }
+}
+
+#[test]
+fn four_processor_run_produces_coherence_traffic() {
+    let mut db = small_db();
+    let traces: Vec<_> = (0..4)
+        .map(|p| {
+            let mut session = Session::new(p);
+            let sql = dss_workbench::query::sql_for(3, &params(3, p as u64));
+            db.run(&sql, &mut session).expect("Q3 runs");
+            session.tracer.take()
+        })
+        .collect();
+    let sim = Machine::new(MachineConfig::baseline()).run(&traces);
+    // Four processors pinning the same pages must invalidate each other's
+    // descriptor and lock lines.
+    let coherence = sim
+        .l2
+        .read_misses
+        .by_group_kind(DataGroup::Metadata, dss_workbench::memsim::MissKind::Coherence);
+    assert!(coherence > 0, "expected coherence misses on metadata");
+    // And everybody spun at least occasionally on a metalock or had it free.
+    assert!(sim.total(|p| p.cycles) > 0);
+}
+
+#[test]
+fn traces_classify_every_shared_structure() {
+    let mut db = small_db();
+    let mut session = Session::new(0);
+    let sql = dss_workbench::query::sql_for(3, &params(3, 1));
+    db.run(&sql, &mut session).expect("Q3 runs");
+    let stats = TraceStats::from_trace(&session.tracer.take());
+    for class in [
+        DataClass::Data,
+        DataClass::Index,
+        DataClass::BufDesc,
+        DataClass::BufLookup,
+        DataClass::LockHash,
+        DataClass::XidHash,
+        DataClass::PrivHeap,
+    ] {
+        assert!(stats.refs(class) > 0, "Q3 should touch {class}");
+    }
+}
+
+#[test]
+fn engine_results_are_reproducible_across_builds() {
+    let mut a = small_db();
+    let mut b = small_db();
+    let sql = dss_workbench::query::sql_for(6, &params(6, 2));
+    let ra = a.run(&sql, &mut Session::untraced(0)).expect("runs").rows;
+    let rb = b.run(&sql, &mut Session::untraced(0)).expect("runs").rows;
+    assert_eq!(ra, rb);
+    assert!(matches!(ra[0][0], Datum::Dec(_)));
+}
+
+#[test]
+fn address_space_classification_is_consistent() {
+    let db = small_db();
+    // Every mapped shared region classifies to the class its name implies.
+    for vma in &db.space {
+        let mid = vma.base + vma.len / 2;
+        assert_eq!(db.space.classify(mid), Some(vma.class), "region {}", vma.name);
+    }
+    assert!(db.space.mapped_bytes() > 8 * 1024 * 1024, "pool + metadata mapped");
+}
