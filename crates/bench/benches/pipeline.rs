@@ -11,7 +11,13 @@ fn bench_build(c: &mut Criterion) {
     let mut g = c.benchmark_group("pipeline");
     g.sample_size(10);
     g.bench_function("database-build-scale-0.002", |b| {
-        b.iter(|| Database::build(&DbConfig { scale: 0.002, nbuffers: 2048, ..DbConfig::default() }))
+        b.iter(|| {
+            Database::build(&DbConfig {
+                scale: 0.002,
+                nbuffers: 2048,
+                ..DbConfig::default()
+            })
+        })
     });
     g.finish();
 }
@@ -55,5 +61,10 @@ fn bench_simulation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_build, bench_trace_generation, bench_simulation);
+criterion_group!(
+    benches,
+    bench_build,
+    bench_trace_generation,
+    bench_simulation
+);
 criterion_main!(benches);

@@ -24,8 +24,9 @@ fn bench_dbgen(c: &mut Criterion) {
 fn bench_btree(c: &mut Criterion) {
     let mut space = AddressSpace::new();
     let mut pool = BufferPool::new(&mut space, 1024);
-    let entries: Vec<(Key, TupleId)> =
-        (0..200_000).map(|i| (Key::int(i), TupleId::new((i / 64) as u32, (i % 64) as u32))).collect();
+    let entries: Vec<(Key, TupleId)> = (0..200_000)
+        .map(|i| (Key::int(i), TupleId::new((i / 64) as u32, (i % 64) as u32)))
+        .collect();
     let tree = BTree::bulk_build(&mut pool, 1, &entries);
     let t = Tracer::disabled();
 
@@ -53,8 +54,9 @@ fn bench_btree(c: &mut Criterion) {
 }
 
 fn bench_sql(c: &mut Criterion) {
-    let texts: Vec<String> =
-        (1..=17u8).map(|q| dss_query::sql_for(q, &params(q, 1))).collect();
+    let texts: Vec<String> = (1..=17u8)
+        .map(|q| dss_query::sql_for(q, &params(q, 1)))
+        .collect();
     let mut g = c.benchmark_group("sql");
     g.throughput(Throughput::Elements(texts.len() as u64));
     g.bench_function("parse-all-17-queries", |b| {
@@ -139,7 +141,11 @@ fn bench_analyze(c: &mut Criterion) {
     let t = Tracer::new(0);
     for i in 0..100_000u64 {
         t.read(dss_shmem::SHARED_BASE + i * 48, 8, DataClass::Data);
-        t.read(dss_shmem::private_base(0) + (i * 136) % 4096, 8, DataClass::PrivHeap);
+        t.read(
+            dss_shmem::private_base(0) + (i * 136) % 4096,
+            8,
+            DataClass::PrivHeap,
+        );
     }
     let trace = t.take();
     let mut g = c.benchmark_group("trace");

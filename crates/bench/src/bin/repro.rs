@@ -1,46 +1,88 @@
 //! Regenerates every table and figure of the paper's evaluation.
 //!
 //! ```text
-//! cargo run -p dss-bench --release --bin repro            # everything
-//! cargo run -p dss-bench --release --bin repro -- fig8    # one experiment
+//! cargo run -p dss-bench --release --bin repro                 # everything
+//! cargo run -p dss-bench --release --bin repro -- fig8         # one experiment
+//! cargo run -p dss-bench --release --bin repro -- all --jobs 4 # four workers
 //! ```
 //!
 //! Accepted arguments: `table1`, `fig6`, `fig7`, `rates`, `fig8`, `fig9`,
-//! `fig10`, `fig11`, `fig12`, `fig13`, `all` (default). Each experiment
-//! prints the paper-shaped chart plus its PASS/FAIL shape checks.
+//! `fig10`, `fig11`, `fig12`, `fig13`, `all` (default), the extensions
+//! (`ext`, or `ext-protocol`, `ext-prefetch`, `ext-updates`, `ext-intra`,
+//! `ext-streams`, `ext-procs`), and `--jobs N` to set the number of worker
+//! threads the sweeps fan out over (default: available parallelism). Each
+//! experiment prints the paper-shaped chart plus its PASS/FAIL shape checks.
+//!
+//! Tables and checks go to stdout; progress and timing go to stderr, so
+//! stdout is byte-identical at every `--jobs` value and safe to diff.
 
 use std::collections::BTreeSet;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dss_core::{experiments, paper, report, Workbench, STUDIED_QUERIES};
 
-/// The paper scale, used by the self-contained update experiment.
-fn dss_workbenchless_scale() -> f64 {
-    dss_tpcd::PAPER_SCALE
+/// Prints one experiment's wall-clock and, when it simulated anything, the
+/// aggregate single-thread compute it fanned out (their ratio is the
+/// parallel speedup). Stderr, to keep stdout diffable.
+fn timing(label: &str, wall: Duration, compute: Duration) {
+    if compute.is_zero() {
+        eprintln!("  [{label}] wall {wall:.1?}");
+    } else {
+        let speedup = compute.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+        eprintln!("  [{label}] wall {wall:.1?}, sim compute {compute:.1?}, speedup {speedup:.2}x");
+    }
 }
 
 fn main() {
-    let args: BTreeSet<String> = std::env::args().skip(1).collect();
+    let mut jobs: Option<usize> = None;
+    let mut names = BTreeSet::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        let value = if arg == "--jobs" {
+            argv.next()
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            Some(v.to_string())
+        } else {
+            names.insert(arg);
+            continue;
+        };
+        match value.as_deref().map(str::parse) {
+            Some(Ok(n)) => jobs = Some(n),
+            _ => {
+                eprintln!("error: --jobs needs a number (e.g. --jobs 4)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let args = names;
     let want = |name: &str| args.is_empty() || args.contains("all") || args.contains(name);
+    let want_ext = |name: &str| args.contains("ext") || args.contains(name);
 
     let start = Instant::now();
-    println!("Building the paper-scale database (TPC-D at 1/100, memory resident)...");
+    eprintln!("Building the paper-scale database (TPC-D at 1/100, memory resident)...");
     let mut wb = Workbench::paper();
-    println!(
-        "  built in {:.1?}: {} heap pages (~{} MB of data), {} shared MB mapped\n",
+    if let Some(n) = jobs {
+        wb.set_jobs(n);
+    }
+    eprintln!(
+        "  built in {:.1?}: {} heap pages (~{} MB of data), {} shared MB mapped; {} simulation worker(s)\n",
         start.elapsed(),
         wb.db.catalog.total_heap_pages(),
         wb.db.catalog.total_heap_pages() * 8192 / 1_000_000,
-        wb.db.space.mapped_bytes() / 1_000_000
+        wb.db.space.mapped_bytes() / 1_000_000,
+        wb.jobs()
     );
 
     if want("table1") {
+        let t = Instant::now();
         let rows = experiments::table1(&wb.db);
         println!("{}", report::render_table1(&rows));
+        timing("table1", t.elapsed(), wb.take_sim_compute());
     }
 
     if want("fig6") || want("fig7") || want("rates") {
-        let baselines = experiments::baseline_suite(&mut wb, &STUDIED_QUERIES);
+        let t = Instant::now();
+        let baselines = wb.baseline_suite(&STUDIED_QUERIES);
         if want("fig6") {
             println!("{}", report::render_fig6a(&baselines));
             println!("{}", report::render_fig6b(&baselines));
@@ -56,11 +98,13 @@ fn main() {
             let rates: Vec<_> = baselines.iter().map(experiments::miss_rates).collect();
             println!("{}", report::render_miss_rates(&rates));
         }
+        timing("fig6/fig7/rates", t.elapsed(), wb.take_sim_compute());
     }
 
     if want("fig8") || want("fig9") {
+        let t = Instant::now();
         for q in STUDIED_QUERIES {
-            let points = experiments::line_size_sweep(&mut wb, q);
+            let points = wb.line_size_sweep(q);
             if want("fig8") {
                 println!("{}", report::render_fig8(q, &points));
                 println!("{}", paper::render_checks(&paper::check_fig8(q, &points)));
@@ -70,11 +114,13 @@ fn main() {
                 println!("{}", paper::render_checks(&paper::check_fig9(q, &points)));
             }
         }
+        timing("fig8/fig9", t.elapsed(), wb.take_sim_compute());
     }
 
     if want("fig10") || want("fig11") {
+        let t = Instant::now();
         for q in STUDIED_QUERIES {
-            let points = experiments::cache_size_sweep(&mut wb, q);
+            let points = wb.cache_size_sweep(q);
             if want("fig10") {
                 println!("{}", report::render_fig10(q, &points));
                 println!("{}", paper::render_checks(&paper::check_fig10(q, &points)));
@@ -84,58 +130,75 @@ fn main() {
                 println!("{}", paper::render_checks(&paper::check_fig11(q, &points)));
             }
         }
+        timing("fig10/fig11", t.elapsed(), wb.take_sim_compute());
     }
 
     if want("fig12") {
-        let q3 = experiments::reuse_experiment(&mut wb, 3, 12);
-        let q12 = experiments::reuse_experiment(&mut wb, 12, 3);
+        let t = Instant::now();
+        let q3 = wb.reuse_experiment(3, 12);
+        let q12 = wb.reuse_experiment(12, 3);
         println!("{}", report::render_fig12(&q3));
         println!("{}", report::render_fig12(&q12));
         println!("{}", paper::render_checks(&paper::check_fig12(&q3, &q12)));
+        timing("fig12", t.elapsed(), wb.take_sim_compute());
     }
 
     if want("fig13") {
+        let t = Instant::now();
         let pairs: Vec<_> = STUDIED_QUERIES
             .iter()
-            .map(|q| experiments::prefetch_experiment(&mut wb, *q))
+            .map(|q| wb.prefetch_experiment(*q))
             .collect();
         println!("{}", report::render_fig13(&pairs));
         println!("{}", paper::render_checks(&paper::check_fig13(&pairs)));
+        timing("fig13", t.elapsed(), wb.take_sim_compute());
     }
 
     // Extension experiments (not in the paper): run with `ext` or by name.
-    if args.contains("ext") || args.contains("ext-protocol") {
+    if want_ext("ext-protocol") {
+        let t = Instant::now();
         let ablations: Vec<_> = STUDIED_QUERIES
             .iter()
-            .map(|q| experiments::protocol_ablation(&mut wb, *q))
+            .map(|q| wb.protocol_ablation(*q))
             .collect();
         println!("{}", report::render_ext_protocol(&ablations));
+        timing("ext-protocol", t.elapsed(), wb.take_sim_compute());
     }
-    if args.contains("ext") || args.contains("ext-prefetch") {
+    if want_ext("ext-prefetch") {
+        let t = Instant::now();
         for q in [6u8, 12] {
-            let points = experiments::prefetch_degree_sweep(&mut wb, q);
+            let points = wb.prefetch_degree_sweep(q);
             println!("{}", report::render_ext_prefetch(q, &points));
         }
+        timing("ext-prefetch", t.elapsed(), wb.take_sim_compute());
     }
-    if args.contains("ext") || args.contains("ext-updates") {
-        let runs = experiments::update_experiment(dss_workbenchless_scale());
+    if want_ext("ext-updates") {
+        let t = Instant::now();
+        let runs = experiments::update_experiment(dss_tpcd::PAPER_SCALE);
         println!("{}", report::render_ext_updates(&runs));
+        timing("ext-updates", t.elapsed(), wb.take_sim_compute());
     }
-    if args.contains("ext") || args.contains("ext-intra") {
+    if want_ext("ext-intra") {
+        let t = Instant::now();
         let runs = experiments::intra_query_experiment(&mut wb);
         println!("{}", report::render_ext_intra(&runs));
+        timing("ext-intra", t.elapsed(), wb.take_sim_compute());
     }
-    if args.contains("ext") || args.contains("ext-streams") {
-        let baselines = experiments::baseline_suite(&mut wb, &STUDIED_QUERIES);
+    if want_ext("ext-streams") {
+        let t = Instant::now();
+        let baselines = wb.baseline_suite(&STUDIED_QUERIES);
         let runs = experiments::stream_experiment(&mut wb, &[3, 6, 12]);
         println!("{}", report::render_ext_streams(&runs, &baselines));
+        timing("ext-streams", t.elapsed(), wb.take_sim_compute());
     }
-    if args.contains("ext") || args.contains("ext-procs") {
+    if want_ext("ext-procs") {
+        let t = Instant::now();
         for q in STUDIED_QUERIES {
-            let points = experiments::processor_sweep(&mut wb, q);
+            let points = wb.processor_sweep(q);
             println!("{}", report::render_ext_procs(q, &points));
         }
+        timing("ext-procs", t.elapsed(), wb.take_sim_compute());
     }
 
-    println!("total wall time: {:.1?}", start.elapsed());
+    eprintln!("total wall time: {:.1?}", start.elapsed());
 }

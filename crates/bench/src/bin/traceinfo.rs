@@ -19,7 +19,11 @@ fn main() {
         .skip(1)
         .map(|a| a.parse().expect("query number 1..17"))
         .collect();
-    let queries = if queries.is_empty() { vec![3, 6, 12] } else { queries };
+    let queries = if queries.is_empty() {
+        vec![3, 6, 12]
+    } else {
+        queries
+    };
 
     println!("building the paper-scale database...");
     let mut db = Database::build(&DbConfig::default());
@@ -27,11 +31,16 @@ fn main() {
     for q in queries {
         let mut session = Session::new(0);
         let sql = dss_query::sql_for(q, &params(q, 0));
-        db.run(&sql, &mut session).unwrap_or_else(|e| panic!("Q{q}: {e}"));
+        db.run(&sql, &mut session)
+            .unwrap_or_else(|e| panic!("Q{q}: {e}"));
         let trace = session.tracer.take();
         let a = analyze(&trace, 64);
 
-        println!("\n=== Q{q}: {} events, {} distinct 64B lines ===", trace.len(), a.total_footprint_lines());
+        println!(
+            "\n=== Q{q}: {} events, {} distinct 64B lines ===",
+            trace.len(),
+            a.total_footprint_lines()
+        );
         println!(
             "{:>10} {:>10} {:>10} {:>6}  {:>24}  cold%",
             "struct", "refs", "lines", "seq%", "reuse ≤0/16/256/4k/64k"
@@ -42,7 +51,12 @@ fn main() {
                 continue;
             }
             let hist: Vec<String> = (0..REUSE_BUCKETS.len())
-                .map(|i| format!("{:.0}", 100.0 * c.reuse.counts[i] as f64 / c.reuse.total().max(1) as f64))
+                .map(|i| {
+                    format!(
+                        "{:.0}",
+                        100.0 * c.reuse.counts[i] as f64 / c.reuse.total().max(1) as f64
+                    )
+                })
                 .collect();
             println!(
                 "{:>10} {:>10} {:>10} {:>5.1}%  {:>24}  {:>4.0}%",

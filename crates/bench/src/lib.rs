@@ -20,7 +20,11 @@ use dss_trace::Trace;
 
 /// Builds a small database suitable for microbenchmarks (scale 1/500).
 pub fn bench_database() -> Database {
-    Database::build(&DbConfig { scale: 0.002, nbuffers: 2048, ..DbConfig::default() })
+    Database::build(&DbConfig {
+        scale: 0.002,
+        nbuffers: 2048,
+        ..DbConfig::default()
+    })
 }
 
 /// Traces one query instance on one simulated processor.

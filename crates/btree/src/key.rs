@@ -41,7 +41,10 @@ impl Key {
     /// The smallest possible key.
     pub const MIN: Key = Key { hi: 0, lo: 0 };
     /// The largest possible key.
-    pub const MAX: Key = Key { hi: u64::MAX, lo: u64::MAX };
+    pub const MAX: Key = Key {
+        hi: u64::MAX,
+        lo: u64::MAX,
+    };
 
     /// Builds a key from raw words.
     pub fn from_words(hi: u64, lo: u64) -> Key {
@@ -55,7 +58,10 @@ impl Key {
 
     /// Encodes an integer pair, ordered by `a` then `b`.
     pub fn int_pair(a: i64, b: i64) -> Key {
-        Key { hi: bias(a), lo: bias(b) }
+        Key {
+            hi: bias(a),
+            lo: bias(b),
+        }
     }
 
     /// Encodes the first eight bytes of a string (shorter strings are
@@ -65,12 +71,18 @@ impl Key {
         let bytes = s.as_bytes();
         let n = bytes.len().min(8);
         buf[..n].copy_from_slice(&bytes[..n]);
-        Key { hi: u64::from_be_bytes(buf), lo: 0 }
+        Key {
+            hi: u64::from_be_bytes(buf),
+            lo: 0,
+        }
     }
 
     /// Encodes a string prefix plus an integer, ordered by string then value.
     pub fn str8_int(s: &str, v: i64) -> Key {
-        Key { hi: Key::str8(s).hi, lo: bias(v) }
+        Key {
+            hi: Key::str8(s).hi,
+            lo: bias(v),
+        }
     }
 
     /// Smallest key sharing this key's high word: the lower bound of a range
@@ -82,7 +94,10 @@ impl Key {
     /// Largest key sharing this key's high word: the upper bound of a group
     /// range scan.
     pub fn max_in_group(self) -> Key {
-        Key { hi: self.hi, lo: u64::MAX }
+        Key {
+            hi: self.hi,
+            lo: u64::MAX,
+        }
     }
 }
 

@@ -53,7 +53,10 @@ impl TupleId {
 
     /// Unpacks from a payload word.
     pub fn unpack(word: u64) -> Self {
-        TupleId { block: (word >> 32) as u32, slot: word as u32 }
+        TupleId {
+            block: (word >> 32) as u32,
+            slot: word as u32,
+        }
     }
 }
 
@@ -118,13 +121,7 @@ pub(crate) fn write_entry(pool: &mut BufferPool, buf: BufId, i: usize, key: Key,
 }
 
 /// Shifts entries `[i, nkeys)` right by one and writes the new entry at `i`.
-pub(crate) fn insert_entry_at(
-    pool: &mut BufferPool,
-    buf: BufId,
-    i: usize,
-    key: Key,
-    payload: u64,
-) {
+pub(crate) fn insert_entry_at(pool: &mut BufferPool, buf: BufId, i: usize, key: Key, payload: u64) {
     let n = nkeys(pool, buf);
     assert!(n < CAPACITY, "node overflow");
     let mut j = n;
@@ -172,7 +169,10 @@ mod tests {
         write_entry(&mut pool, buf, 0, Key::int(5), TupleId::new(3, 4).pack());
         set_nkeys(&mut pool, buf, 1);
         assert_eq!(entry_key(&pool, buf, 0), Key::int(5));
-        assert_eq!(TupleId::unpack(entry_payload(&pool, buf, 0)), TupleId::new(3, 4));
+        assert_eq!(
+            TupleId::unpack(entry_payload(&pool, buf, 0)),
+            TupleId::new(3, 4)
+        );
     }
 
     #[test]
@@ -186,8 +186,13 @@ mod tests {
             insert_entry_at(&mut pool, buf, i, Key::int(*v), *v as u64);
         }
         insert_entry_at(&mut pool, buf, 1, Key::int(20), 20);
-        let keys: Vec<Key> = (0..nkeys(&pool, buf)).map(|i| entry_key(&pool, buf, i)).collect();
-        assert_eq!(keys, vec![Key::int(10), Key::int(20), Key::int(30), Key::int(40)]);
+        let keys: Vec<Key> = (0..nkeys(&pool, buf))
+            .map(|i| entry_key(&pool, buf, i))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![Key::int(10), Key::int(20), Key::int(30), Key::int(40)]
+        );
         assert_eq!(entry_payload(&pool, buf, 1), 20);
     }
 }

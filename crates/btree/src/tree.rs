@@ -4,8 +4,8 @@ use dss_bufcache::{BufId, BufferPool, PageId};
 use dss_trace::{CostModel, DataClass, Tracer};
 
 use crate::node::{
-    entry_key, entry_off, entry_payload, init_node, insert_entry_at, kind, nkeys, right,
-    set_nkeys, set_right, write_entry, NodeKind, CAPACITY, NO_BLOCK,
+    entry_key, entry_off, entry_payload, init_node, insert_entry_at, kind, nkeys, right, set_nkeys,
+    set_right, write_entry, NodeKind, CAPACITY, NO_BLOCK,
 };
 use crate::{Key, TupleId};
 
@@ -57,7 +57,12 @@ impl BTree {
         let page = pool.alloc_page(rel);
         let buf = pool.lookup(page).expect("just allocated");
         init_node(pool, buf, NodeKind::Leaf, 0);
-        BTree { rel, root: page.block, height: 1, len: 0 }
+        BTree {
+            rel,
+            root: page.block,
+            height: 1,
+            len: 0,
+        }
     }
 
     /// Bulk-builds a tree from entries sorted by key (duplicates allowed),
@@ -108,7 +113,12 @@ impl BTree {
             }
             level = next_level;
         }
-        BTree { rel, root: level[0].1, height, len: entries.len() as u64 }
+        BTree {
+            rel,
+            root: level[0].1,
+            height,
+            len: entries.len() as u64,
+        }
     }
 
     /// The relation id owning this tree's pages.
@@ -291,7 +301,11 @@ impl BTree {
         init_node(
             pool,
             new_buf,
-            if leaf { NodeKind::Leaf } else { NodeKind::Internal },
+            if leaf {
+                NodeKind::Leaf
+            } else {
+                NodeKind::Internal
+            },
             0,
         );
         // Move the upper half.
@@ -308,8 +322,11 @@ impl BTree {
         }
         let sep = entry_key(pool, new_buf, 0);
         // Insert the pending entry into the proper half.
-        let (target_buf, target_block) =
-            if key < sep { (buf, block) } else { (new_buf, new_page.block) };
+        let (target_buf, target_block) = if key < sep {
+            (buf, block)
+        } else {
+            (new_buf, new_page.block)
+        };
         let idx = self.search_node(pool, target_buf, key, t, &CostModel::default());
         insert_entry_at(pool, target_buf, idx, key, payload);
         let addr = pool.page_addr(target_buf, entry_off(idx) as u64);
@@ -447,15 +464,24 @@ mod tests {
     #[test]
     fn bulk_build_finds_every_key() {
         let (mut pool, _t) = setup(64);
-        let entries: Vec<(Key, TupleId)> =
-            (0..5000).map(|i| (Key::int(i), TupleId::new((i / 100) as u32, (i % 100) as u32))).collect();
+        let entries: Vec<(Key, TupleId)> = (0..5000)
+            .map(|i| {
+                (
+                    Key::int(i),
+                    TupleId::new((i / 100) as u32, (i % 100) as u32),
+                )
+            })
+            .collect();
         let tree = BTree::bulk_build(&mut pool, 1, &entries);
         assert_eq!(tree.len(), 5000);
         assert!(tree.height() >= 2);
         for probe in [0i64, 1, 499, 2500, 4999] {
             let hits = collect(&tree, &mut pool, Key::int(probe), Key::int(probe));
             assert_eq!(hits.len(), 1, "probe {probe}");
-            assert_eq!(hits[0].1, TupleId::new((probe / 100) as u32, (probe % 100) as u32));
+            assert_eq!(
+                hits[0].1,
+                TupleId::new((probe / 100) as u32, (probe % 100) as u32)
+            );
         }
         assert!(collect(&tree, &mut pool, Key::int(5000), Key::int(9000)).is_empty());
     }
@@ -463,8 +489,9 @@ mod tests {
     #[test]
     fn range_scan_is_sorted_and_complete() {
         let (mut pool, _t) = setup(64);
-        let entries: Vec<(Key, TupleId)> =
-            (0..3000).map(|i| (Key::int(i * 2), TupleId::new(0, i as u32))).collect();
+        let entries: Vec<(Key, TupleId)> = (0..3000)
+            .map(|i| (Key::int(i * 2), TupleId::new(0, i as u32)))
+            .collect();
         let tree = BTree::bulk_build(&mut pool, 1, &entries);
         let hits = collect(&tree, &mut pool, Key::int(100), Key::int(200));
         assert_eq!(hits.len(), 51); // 100,102..200
@@ -493,8 +520,9 @@ mod tests {
     #[test]
     fn insert_matches_bulk_build() {
         let (mut pool, t) = setup(128);
-        let entries: Vec<(Key, TupleId)> =
-            (0..2000).map(|i| (Key::int((i * 37) % 2000), TupleId::new(0, i as u32))).collect();
+        let entries: Vec<(Key, TupleId)> = (0..2000)
+            .map(|i| (Key::int((i * 37) % 2000), TupleId::new(0, i as u32)))
+            .collect();
         let mut sorted = entries.clone();
         sorted.sort();
         let bulk = BTree::bulk_build(&mut pool, 1, &sorted);
@@ -515,15 +543,20 @@ mod tests {
     #[test]
     fn scan_emits_index_class_refs() {
         let (mut pool, _) = setup(64);
-        let entries: Vec<(Key, TupleId)> =
-            (0..5000).map(|i| (Key::int(i), TupleId::new(0, i as u32))).collect();
+        let entries: Vec<(Key, TupleId)> = (0..5000)
+            .map(|i| (Key::int(i), TupleId::new(0, i as u32)))
+            .collect();
         let tree = BTree::bulk_build(&mut pool, 1, &entries);
         let t = Tracer::new(0);
         let hits = tree.lookup_range(&mut pool, &t, Key::int(1000), Key::int(1100));
         assert_eq!(hits.len(), 101);
         let stats = TraceStats::from_trace(&t.take());
         assert!(stats.reads(DataClass::Index) > 101, "probes + entries");
-        assert_eq!(stats.writes(DataClass::Index), 0, "scans never write the index");
+        assert_eq!(
+            stats.writes(DataClass::Index),
+            0,
+            "scans never write the index"
+        );
         // Pinning traffic flows through the buffer manager.
         assert!(stats.reads(DataClass::BufDesc) >= tree.height() as u64);
         assert!(stats.lock_acquires >= tree.height() as u64);
@@ -532,8 +565,9 @@ mod tests {
     #[test]
     fn cursor_close_is_idempotent_and_unpins() {
         let (mut pool, t) = setup(64);
-        let entries: Vec<(Key, TupleId)> =
-            (0..100).map(|i| (Key::int(i), TupleId::new(0, i as u32))).collect();
+        let entries: Vec<(Key, TupleId)> = (0..100)
+            .map(|i| (Key::int(i), TupleId::new(0, i as u32)))
+            .collect();
         let tree = BTree::bulk_build(&mut pool, 1, &entries);
         let mut cursor = tree.scan_range(&mut pool, &t, Key::int(0), Key::int(99));
         assert!(cursor.next(&mut pool, &t).is_some());
@@ -546,8 +580,9 @@ mod tests {
     #[test]
     fn exhausted_cursor_leaves_no_pins() {
         let (mut pool, t) = setup(64);
-        let entries: Vec<(Key, TupleId)> =
-            (0..1000).map(|i| (Key::int(i), TupleId::new(0, i as u32))).collect();
+        let entries: Vec<(Key, TupleId)> = (0..1000)
+            .map(|i| (Key::int(i), TupleId::new(0, i as u32)))
+            .collect();
         let tree = BTree::bulk_build(&mut pool, 1, &entries);
         let mut cursor = tree.scan_range(&mut pool, &t, Key::MIN, Key::MAX);
         let mut n = 0;
@@ -565,7 +600,13 @@ mod tests {
     #[test]
     fn string_group_scan() {
         let (mut pool, t) = setup(64);
-        let segs = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+        let segs = [
+            "AUTOMOBILE",
+            "BUILDING",
+            "FURNITURE",
+            "HOUSEHOLD",
+            "MACHINERY",
+        ];
         let mut entries: Vec<(Key, TupleId)> = Vec::new();
         for i in 0..500u32 {
             let seg = segs[i as usize % 5];

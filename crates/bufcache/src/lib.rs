@@ -131,10 +131,18 @@ impl BufferPool {
         assert!(nbuffers > 0, "pool must have at least one buffer");
         let nbuckets = (2 * nbuffers as u64).next_power_of_two();
         let lock_addr = space.map_region("BufMgrLock", DataClass::BufMgrLock, 64, 64);
-        let desc_base =
-            space.map_region("buffer descriptors", DataClass::BufDesc, nbuffers as u64 * DESC_SIZE, 64);
-        let buckets_base =
-            space.map_region("buffer lookup buckets", DataClass::BufLookup, nbuckets * 8, 64);
+        let desc_base = space.map_region(
+            "buffer descriptors",
+            DataClass::BufDesc,
+            nbuffers as u64 * DESC_SIZE,
+            64,
+        );
+        let buckets_base = space.map_region(
+            "buffer lookup buckets",
+            DataClass::BufLookup,
+            nbuckets * 8,
+            64,
+        );
         let entries_base = space.map_region(
             "buffer lookup entries",
             DataClass::BufLookup,
@@ -156,9 +164,14 @@ impl BufferPool {
             entries_base,
             lock: LockToken::new(lock_addr, LockClass::BufMgr),
             cost: CostModel::default(),
-            blocks: (0..nbuffers).map(|_| vec![0u8; BLOCK_SIZE as usize].into_boxed_slice()).collect(),
+            blocks: (0..nbuffers)
+                .map(|_| vec![0u8; BLOCK_SIZE as usize].into_boxed_slice())
+                .collect(),
             descs: (0..nbuffers)
-                .map(|_| BufferDesc { tag: PageId::new(u32::MAX, u32::MAX), refcount: 0 })
+                .map(|_| BufferDesc {
+                    tag: PageId::new(u32::MAX, u32::MAX),
+                    refcount: 0,
+                })
                 .collect(),
             buckets: vec![Vec::new(); nbuckets as usize],
             map: HashMap::new(),
@@ -195,13 +208,19 @@ impl BufferPool {
     /// Panics if the pool is full — the study's database is memory-resident,
     /// so the pool must be sized to hold it entirely.
     pub fn alloc_page(&mut self, rel: u32) -> PageId {
-        assert!(self.next_free < self.nbuffers, "buffer pool exhausted: size it to hold the whole database");
+        assert!(
+            self.next_free < self.nbuffers,
+            "buffer pool exhausted: size it to hold the whole database"
+        );
         let block = self.rel_next_block.entry(rel).or_insert(0);
         let page = PageId::new(rel, *block);
         *block += 1;
         let buf = self.next_free;
         self.next_free += 1;
-        self.descs[buf as usize] = BufferDesc { tag: page, refcount: 0 };
+        self.descs[buf as usize] = BufferDesc {
+            tag: page,
+            refcount: 0,
+        };
         let bucket = self.bucket_of(page);
         self.buckets[bucket].push(buf);
         self.map.insert(page, buf);
@@ -220,11 +239,19 @@ impl BufferPool {
         t.lock_acquire(self.lock);
         t.busy(self.cost.buffer_call);
         let bucket = self.bucket_of(page);
-        t.read(self.buckets_base + bucket as u64 * 8, 8, DataClass::BufLookup);
+        t.read(
+            self.buckets_base + bucket as u64 * 8,
+            8,
+            DataClass::BufLookup,
+        );
         let mut found = None;
         for &buf in &self.buckets[bucket] {
             // Read the chain entry's tag (and implicitly its next pointer).
-            t.read(self.entries_base + buf as u64 * HASH_ENTRY_SIZE, 16, DataClass::BufLookup);
+            t.read(
+                self.entries_base + buf as u64 * HASH_ENTRY_SIZE,
+                16,
+                DataClass::BufLookup,
+            );
             if self.descs[buf as usize].tag == page {
                 found = Some(buf);
                 break;
@@ -349,7 +376,10 @@ mod tests {
         let stats = TraceStats::from_trace(&trace);
         assert_eq!(stats.lock_acquires, 1);
         assert_eq!(stats.lock_releases, 1);
-        assert!(stats.reads(DataClass::BufLookup) >= 2, "bucket + chain entry");
+        assert!(
+            stats.reads(DataClass::BufLookup) >= 2,
+            "bucket + chain entry"
+        );
         assert_eq!(stats.reads(DataClass::BufDesc), 1);
         assert_eq!(stats.writes(DataClass::BufDesc), 1);
         // Lock ordering: acquire first, release last.
@@ -423,8 +453,14 @@ mod tests {
         let mut pool = BufferPool::new(&mut space, 16);
         let page = pool.alloc_page(1);
         let buf = pool.lookup(page).unwrap();
-        assert_eq!(space.classify(pool.page_addr(buf, 0)), Some(DataClass::Data));
-        assert_eq!(space.classify(pool.lock_token().addr), Some(DataClass::BufMgrLock));
+        assert_eq!(
+            space.classify(pool.page_addr(buf, 0)),
+            Some(DataClass::Data)
+        );
+        assert_eq!(
+            space.classify(pool.lock_token().addr),
+            Some(DataClass::BufMgrLock)
+        );
     }
 
     #[test]

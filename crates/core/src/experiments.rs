@@ -1,15 +1,22 @@
 //! Runners for every table and figure in the paper's evaluation.
 //!
-//! Each function takes a [`Workbench`], generates (or reuses) the traces it
-//! needs, and runs the memory-hierarchy simulator at the appropriate
-//! configuration. The returned structs carry raw [`SimStats`]; rendering to
-//! the paper's chart shapes lives in [`crate::report`].
+//! The experiment API lives on [`Workbench`]: each method generates (or
+//! reuses) the traces it needs and runs the memory-hierarchy simulator at the
+//! appropriate configurations, fanning independent sweep points across up to
+//! [`Workbench::jobs`] worker threads through [`crate::sim_points`] — with
+//! results bit-identical to a serial run at any job count. The returned
+//! structs carry raw [`SimStats`]; rendering to the paper's chart shapes
+//! lives in [`crate::report`].
+//!
+//! The original free functions (`line_size_sweep(&mut wb, q)` and friends)
+//! remain as thin deprecated wrappers for one release.
 
 use dss_memsim::{Machine, MachineConfig, SimStats};
 use dss_query::{Database, PlanFeatures};
 use dss_tpcd::params;
 
-use crate::workload::Workbench;
+use crate::sim::run_tasks;
+use crate::workload::{TraceSet, Workbench};
 
 /// L2 line sizes swept by Figures 8 and 9 (L1 lines are half).
 pub const LINE_SIZES: [u64; 5] = [16, 32, 64, 128, 256];
@@ -27,6 +34,12 @@ pub const REUSE_CACHES_KB: (u64, u64) = (1024, 32 * 1024);
 /// The prefetch degree of Section 6: four primary-cache lines.
 pub const PREFETCH_LINES: u32 = 4;
 
+/// Prefetch degrees swept by the prefetch-depth ablation.
+pub const PREFETCH_DEGREES: [u32; 5] = [0, 1, 2, 4, 8];
+
+/// Processor counts swept by the scaling experiment.
+pub const PROC_COUNTS: [usize; 3] = [1, 2, 4];
+
 /// Baseline simulation of one query type (Figures 6 and 7, and the quoted
 /// miss rates).
 #[derive(Clone, Debug)]
@@ -35,18 +48,6 @@ pub struct QueryBaseline {
     pub query: u8,
     /// Simulation results at the baseline machine.
     pub stats: SimStats,
-}
-
-/// Runs the baseline architecture for one query.
-pub fn baseline_run(wb: &mut Workbench, query: u8) -> QueryBaseline {
-    let traces = wb.traces(query, 0);
-    let stats = Machine::new(MachineConfig::baseline()).run(&traces);
-    QueryBaseline { query, stats }
-}
-
-/// Runs the baseline for a set of queries (default: the three studied ones).
-pub fn baseline_suite(wb: &mut Workbench, queries: &[u8]) -> Vec<QueryBaseline> {
-    queries.iter().map(|q| baseline_run(wb, *q)).collect()
 }
 
 /// One point of the line-size sweep.
@@ -58,18 +59,6 @@ pub struct LinePoint {
     pub stats: SimStats,
 }
 
-/// Figures 8 and 9: sweep the cache line size for one query.
-pub fn line_size_sweep(wb: &mut Workbench, query: u8) -> Vec<LinePoint> {
-    let traces = wb.traces(query, 0);
-    LINE_SIZES
-        .iter()
-        .map(|&l2_line| {
-            let cfg = MachineConfig::baseline().with_line_size(l2_line);
-            LinePoint { l2_line, stats: Machine::new(cfg).run(&traces) }
-        })
-        .collect()
-}
-
 /// One point of the cache-size sweep.
 #[derive(Clone, Debug)]
 pub struct CachePoint {
@@ -79,19 +68,6 @@ pub struct CachePoint {
     pub l2_kb: u64,
     /// Results.
     pub stats: SimStats,
-}
-
-/// Figures 10 and 11: sweep the cache sizes for one query (64-byte L2 lines,
-/// as the paper uses for its temporal-locality studies).
-pub fn cache_size_sweep(wb: &mut Workbench, query: u8) -> Vec<CachePoint> {
-    let traces = wb.traces(query, 0);
-    CACHE_SIZES_KB
-        .iter()
-        .map(|&(l1_kb, l2_kb)| {
-            let cfg = MachineConfig::baseline().with_cache_sizes(l1_kb * 1024, l2_kb * 1024);
-            CachePoint { l1_kb, l2_kb, stats: Machine::new(cfg).run(&traces) }
-        })
-        .collect()
 }
 
 /// Figure 12 results for one measured query: cold caches, caches warmed by
@@ -109,35 +85,6 @@ pub struct ReuseSet {
     pub warm_same: SimStats,
     /// Run after warming with `other`.
     pub warm_other: SimStats,
-}
-
-/// Figure 12: inter-query temporal locality with very large caches.
-pub fn reuse_experiment(wb: &mut Workbench, query: u8, other: u8) -> ReuseSet {
-    let (l1_kb, l2_kb) = REUSE_CACHES_KB;
-    let cfg = MachineConfig::baseline().with_cache_sizes(l1_kb * 1024, l2_kb * 1024);
-    let measured = wb.traces(query, 0);
-
-    let cold = Machine::new(cfg.clone()).run(&measured);
-
-    let warm_same = {
-        let warm = wb.traces(query, 1000);
-        let mut m = Machine::new(cfg.clone());
-        m.run(&warm);
-        drop(warm);
-        let measured = wb.traces(query, 0);
-        m.run(&measured)
-    };
-
-    let warm_other = {
-        let warm = wb.traces(other, 1000);
-        let mut m = Machine::new(cfg);
-        m.run(&warm);
-        drop(warm);
-        let measured = wb.traces(query, 0);
-        m.run(&measured)
-    };
-
-    ReuseSet { query, other, cold, warm_same, warm_other }
 }
 
 /// Figure 13 results for one query: baseline vs. baseline plus the simple
@@ -160,13 +107,234 @@ impl PrefetchPair {
     }
 }
 
+/// Coherence-protocol ablation for one query: the paper's MSI baseline
+/// against a MESI variant whose exclusive-clean state absorbs first writes.
+#[derive(Clone, Debug)]
+pub struct ProtocolAblation {
+    /// The query.
+    pub query: u8,
+    /// The paper's protocol.
+    pub msi: SimStats,
+    /// The MESI variant.
+    pub mesi: SimStats,
+}
+
+impl Workbench {
+    /// Fans `configs` over `traces` on this workbench's worker threads (see
+    /// [`Workbench::jobs`]), recording compute time for
+    /// [`Workbench::take_sim_compute`].
+    fn fan_out(&self, traces: &TraceSet, configs: &[MachineConfig]) -> Vec<SimStats> {
+        let tasks: Vec<(MachineConfig, TraceSet)> = configs
+            .iter()
+            .map(|c| (c.clone(), traces.clone()))
+            .collect();
+        run_tasks(self.jobs(), &tasks, &self.sim_nanos)
+    }
+
+    /// Fans fully independent `(config, trace set)` pairs — experiments whose
+    /// points differ in workload, not just machine.
+    fn fan_out_tasks(&self, tasks: &[(MachineConfig, TraceSet)]) -> Vec<SimStats> {
+        run_tasks(self.jobs(), tasks, &self.sim_nanos)
+    }
+
+    /// Runs the baseline architecture for one query.
+    pub fn baseline_run(&mut self, query: u8) -> QueryBaseline {
+        self.baseline_suite(&[query]).remove(0)
+    }
+
+    /// Runs the baseline for a set of queries (default: the three studied
+    /// ones), one sweep point per query.
+    pub fn baseline_suite(&mut self, queries: &[u8]) -> Vec<QueryBaseline> {
+        let tasks: Vec<(MachineConfig, TraceSet)> = queries
+            .iter()
+            .map(|&q| (MachineConfig::baseline(), self.traces(q, 0)))
+            .collect();
+        let stats = self.fan_out_tasks(&tasks);
+        queries
+            .iter()
+            .zip(stats)
+            .map(|(&query, stats)| QueryBaseline { query, stats })
+            .collect()
+    }
+
+    /// Figures 8 and 9: sweep the cache line size for one query.
+    pub fn line_size_sweep(&mut self, query: u8) -> Vec<LinePoint> {
+        let traces = self.traces(query, 0);
+        let configs: Vec<MachineConfig> = LINE_SIZES
+            .iter()
+            .map(|&l| MachineConfig::baseline().with_line_size(l))
+            .collect();
+        let stats = self.fan_out(&traces, &configs);
+        LINE_SIZES
+            .iter()
+            .zip(stats)
+            .map(|(&l2_line, stats)| LinePoint { l2_line, stats })
+            .collect()
+    }
+
+    /// Figures 10 and 11: sweep the cache sizes for one query (64-byte L2
+    /// lines, as the paper uses for its temporal-locality studies).
+    pub fn cache_size_sweep(&mut self, query: u8) -> Vec<CachePoint> {
+        let traces = self.traces(query, 0);
+        let configs: Vec<MachineConfig> = CACHE_SIZES_KB
+            .iter()
+            .map(|&(l1, l2)| MachineConfig::baseline().with_cache_sizes(l1 * 1024, l2 * 1024))
+            .collect();
+        let stats = self.fan_out(&traces, &configs);
+        CACHE_SIZES_KB
+            .iter()
+            .zip(stats)
+            .map(|(&(l1_kb, l2_kb), stats)| CachePoint {
+                l1_kb,
+                l2_kb,
+                stats,
+            })
+            .collect()
+    }
+
+    /// Figure 13: the Section 6 prefetching experiment.
+    pub fn prefetch_experiment(&mut self, query: u8) -> PrefetchPair {
+        let traces = self.traces(query, 0);
+        let configs = [
+            MachineConfig::baseline(),
+            MachineConfig::baseline().with_data_prefetch(PREFETCH_LINES),
+        ];
+        let mut stats = self.fan_out(&traces, &configs);
+        let opt = stats.pop().expect("two points");
+        let base = stats.pop().expect("two points");
+        PrefetchPair { query, base, opt }
+    }
+
+    /// Sweeps the sequential-prefetch degree (the paper fixes it at 4).
+    pub fn prefetch_degree_sweep(&mut self, query: u8) -> Vec<(u32, SimStats)> {
+        let traces = self.traces(query, 0);
+        let configs: Vec<MachineConfig> = PREFETCH_DEGREES
+            .iter()
+            .map(|&d| MachineConfig::baseline().with_data_prefetch(d))
+            .collect();
+        let stats = self.fan_out(&traces, &configs);
+        PREFETCH_DEGREES.iter().copied().zip(stats).collect()
+    }
+
+    /// Runs the MSI-vs-MESI ablation.
+    pub fn protocol_ablation(&mut self, query: u8) -> ProtocolAblation {
+        let traces = self.traces(query, 0);
+        let configs = [
+            MachineConfig::baseline(),
+            MachineConfig::baseline().with_protocol(dss_memsim::Protocol::Mesi),
+        ];
+        let mut stats = self.fan_out(&traces, &configs);
+        let mesi = stats.pop().expect("two points");
+        let msi = stats.pop().expect("two points");
+        ProtocolAblation { query, msi, mesi }
+    }
+
+    /// Scales the machine from one to four processors, running one query
+    /// instance per processor (the paper's inter-query parallelism model).
+    /// Each point reports how metalock spinning and coherence misses grow.
+    pub fn processor_sweep(&mut self, query: u8) -> Vec<(usize, SimStats)> {
+        let traces = self.traces(query, 0);
+        let configs: Vec<MachineConfig> = PROC_COUNTS
+            .iter()
+            .map(|&n| MachineConfig::baseline().with_processors(n))
+            .collect();
+        // sim_points runs each config over the leading `nprocs` traces, which
+        // is exactly the scaling subset.
+        let stats = self.fan_out(&traces, &configs);
+        PROC_COUNTS.iter().copied().zip(stats).collect()
+    }
+
+    /// Figure 12: inter-query temporal locality with very large caches.
+    ///
+    /// Inherently serial — the warm runs reuse one machine's cache contents —
+    /// so it runs on the calling thread at any job count.
+    pub fn reuse_experiment(&mut self, query: u8, other: u8) -> ReuseSet {
+        let (l1_kb, l2_kb) = REUSE_CACHES_KB;
+        let cfg = MachineConfig::baseline().with_cache_sizes(l1_kb * 1024, l2_kb * 1024);
+        let measured = self.traces(query, 0);
+
+        let cold = Machine::new(cfg.clone()).run(&measured);
+
+        let warm_same = {
+            let warm = self.traces(query, 1000);
+            let mut m = Machine::new(cfg.clone());
+            m.run(&warm);
+            drop(warm);
+            let measured = self.traces(query, 0);
+            m.run(&measured)
+        };
+
+        let warm_other = {
+            let warm = self.traces(other, 1000);
+            let mut m = Machine::new(cfg);
+            m.run(&warm);
+            drop(warm);
+            let measured = self.traces(query, 0);
+            m.run(&measured)
+        };
+
+        ReuseSet {
+            query,
+            other,
+            cold,
+            warm_same,
+            warm_other,
+        }
+    }
+}
+
+/// Runs the baseline architecture for one query.
+#[deprecated(since = "0.2.0", note = "use `wb.baseline_run(query)`")]
+pub fn baseline_run(wb: &mut Workbench, query: u8) -> QueryBaseline {
+    wb.baseline_run(query)
+}
+
+/// Runs the baseline for a set of queries (default: the three studied ones).
+#[deprecated(since = "0.2.0", note = "use `wb.baseline_suite(queries)`")]
+pub fn baseline_suite(wb: &mut Workbench, queries: &[u8]) -> Vec<QueryBaseline> {
+    wb.baseline_suite(queries)
+}
+
+/// Figures 8 and 9: sweep the cache line size for one query.
+#[deprecated(since = "0.2.0", note = "use `wb.line_size_sweep(query)`")]
+pub fn line_size_sweep(wb: &mut Workbench, query: u8) -> Vec<LinePoint> {
+    wb.line_size_sweep(query)
+}
+
+/// Figures 10 and 11: sweep the cache sizes for one query.
+#[deprecated(since = "0.2.0", note = "use `wb.cache_size_sweep(query)`")]
+pub fn cache_size_sweep(wb: &mut Workbench, query: u8) -> Vec<CachePoint> {
+    wb.cache_size_sweep(query)
+}
+
+/// Figure 12: inter-query temporal locality with very large caches.
+#[deprecated(since = "0.2.0", note = "use `wb.reuse_experiment(query, other)`")]
+pub fn reuse_experiment(wb: &mut Workbench, query: u8, other: u8) -> ReuseSet {
+    wb.reuse_experiment(query, other)
+}
+
 /// Figure 13: the Section 6 prefetching experiment.
+#[deprecated(since = "0.2.0", note = "use `wb.prefetch_experiment(query)`")]
 pub fn prefetch_experiment(wb: &mut Workbench, query: u8) -> PrefetchPair {
-    let traces = wb.traces(query, 0);
-    let base = Machine::new(MachineConfig::baseline()).run(&traces);
-    let opt =
-        Machine::new(MachineConfig::baseline().with_data_prefetch(PREFETCH_LINES)).run(&traces);
-    PrefetchPair { query, base, opt }
+    wb.prefetch_experiment(query)
+}
+
+/// Sweeps the sequential-prefetch degree (the paper fixes it at 4).
+#[deprecated(since = "0.2.0", note = "use `wb.prefetch_degree_sweep(query)`")]
+pub fn prefetch_degree_sweep(wb: &mut Workbench, query: u8) -> Vec<(u32, SimStats)> {
+    wb.prefetch_degree_sweep(query)
+}
+
+/// Runs the MSI-vs-MESI ablation.
+#[deprecated(since = "0.2.0", note = "use `wb.protocol_ablation(query)`")]
+pub fn protocol_ablation(wb: &mut Workbench, query: u8) -> ProtocolAblation {
+    wb.protocol_ablation(query)
+}
+
+/// Scales the machine from one to four processors.
+#[deprecated(since = "0.2.0", note = "use `wb.processor_sweep(query)`")]
+pub fn processor_sweep(wb: &mut Workbench, query: u8) -> Vec<(usize, SimStats)> {
+    wb.processor_sweep(query)
 }
 
 /// Table 1: the operator matrix of all seventeen read-only queries.
@@ -174,7 +342,9 @@ pub fn table1(db: &Database) -> Vec<(u8, PlanFeatures)> {
     (1..=17u8)
         .map(|q| {
             let sql = dss_query::sql_for(q, &params(q, 1));
-            let plan = db.plan_sql(&sql).unwrap_or_else(|e| panic!("Q{q} failed to plan: {e}"));
+            let plan = db
+                .plan_sql(&sql)
+                .unwrap_or_else(|e| panic!("Q{q} failed to plan: {e}"));
             (q, plan.features())
         })
         .collect()
@@ -204,65 +374,9 @@ pub fn miss_rates(baseline: &QueryBaseline) -> MissRates {
 // ---------------------------------------------------------------------------
 // Extension experiments beyond the paper's figures: ablations of the design
 // choices its architecture section fixes, and the processor-scaling question
-// its future-work section raises.
+// its future-work section raises. These trace *while* executing updates or
+// rewritten plans, so they stay free functions over the workbench.
 // ---------------------------------------------------------------------------
-
-/// Coherence-protocol ablation for one query: the paper's MSI baseline
-/// against a MESI variant whose exclusive-clean state absorbs first writes.
-#[derive(Clone, Debug)]
-pub struct ProtocolAblation {
-    /// The query.
-    pub query: u8,
-    /// The paper's protocol.
-    pub msi: SimStats,
-    /// The MESI variant.
-    pub mesi: SimStats,
-}
-
-/// Runs the MSI-vs-MESI ablation.
-pub fn protocol_ablation(wb: &mut Workbench, query: u8) -> ProtocolAblation {
-    let traces = wb.traces(query, 0);
-    let msi = Machine::new(MachineConfig::baseline()).run(&traces);
-    let mesi = Machine::new(
-        MachineConfig::baseline().with_protocol(dss_memsim::Protocol::Mesi),
-    )
-    .run(&traces);
-    ProtocolAblation { query, msi, mesi }
-}
-
-/// Prefetch degrees swept by the prefetch-depth ablation.
-pub const PREFETCH_DEGREES: [u32; 5] = [0, 1, 2, 4, 8];
-
-/// Sweeps the sequential-prefetch degree (the paper fixes it at 4).
-pub fn prefetch_degree_sweep(wb: &mut Workbench, query: u8) -> Vec<(u32, SimStats)> {
-    let traces = wb.traces(query, 0);
-    PREFETCH_DEGREES
-        .iter()
-        .map(|&d| {
-            let cfg = MachineConfig::baseline().with_data_prefetch(d);
-            (d, Machine::new(cfg).run(&traces))
-        })
-        .collect()
-}
-
-/// Processor counts swept by the scaling experiment.
-pub const PROC_COUNTS: [usize; 3] = [1, 2, 4];
-
-/// Scales the machine from one to four processors, running one query
-/// instance per processor (the paper's inter-query parallelism model).
-/// Each point reports how metalock spinning and coherence misses grow.
-pub fn processor_sweep(wb: &mut Workbench, query: u8) -> Vec<(usize, SimStats)> {
-    let traces = wb.traces(query, 0);
-    PROC_COUNTS
-        .iter()
-        .map(|&n| {
-            let mut cfg = MachineConfig::baseline();
-            cfg.nprocs = n;
-            let subset: Vec<_> = traces.iter().take(n).cloned().collect();
-            (n, Machine::new(cfg).run(&subset))
-        })
-        .collect()
-}
 
 /// Results of the update-workload extension: four processors each running a
 /// UF1 (insert new orders) followed by a UF2 (delete old ones).
@@ -284,10 +398,15 @@ pub struct UpdateRuns {
 ///
 /// Builds its own database so the workbench's image stays pristine.
 pub fn update_experiment(scale: f64) -> UpdateRuns {
-    use dss_query::{insert_lineitems_sql, insert_orders_sql, uf2_sql, Database, DbConfig, Session};
+    use dss_query::{
+        insert_lineitems_sql, insert_orders_sql, uf2_sql, Database, DbConfig, Session,
+    };
     use dss_tpcd::Generator;
 
-    let config = DbConfig { scale, ..DbConfig::default() };
+    let config = DbConfig {
+        scale,
+        ..DbConfig::default()
+    };
     let mut db = Database::build(&config);
     let generator = Generator::new(config.scale, config.seed);
     let norders = db.catalog.table("orders").expect("orders").heap.ntuples() as i64;
@@ -325,7 +444,11 @@ pub fn update_experiment(scale: f64) -> UpdateRuns {
         traces.push(session.tracer.take());
     }
     let stats = Machine::new(MachineConfig::baseline()).run(&traces);
-    UpdateRuns { stats, inserted, deleted }
+    UpdateRuns {
+        stats,
+        inserted,
+        deleted,
+    }
 }
 
 /// Results of the intra-query-parallelism extension: Q6 executed by one
@@ -365,7 +488,13 @@ pub fn intra_query_experiment(wb: &mut Workbench) -> IntraQueryRuns {
 
     // Partitioned: rewrite the plan's SeqScan with a block range per node.
     let plan = wb.db.plan_sql(&sql).expect("Q6 plans");
-    let npages = wb.db.catalog.table("lineitem").expect("lineitem").heap.npages();
+    let npages = wb
+        .db
+        .catalog
+        .table("lineitem")
+        .expect("lineitem")
+        .heap
+        .npages();
     let mut traces = Vec::new();
     let mut partial_sum = 0;
     for node in 0..4u32 {
@@ -379,7 +508,12 @@ pub fn intra_query_experiment(wb: &mut Workbench) -> IntraQueryRuns {
         traces.push(session.tracer.take());
     }
     let partitioned = Machine::new(MachineConfig::baseline()).run(&traces);
-    IntraQueryRuns { single, partitioned, partial_sum, full_sum }
+    IntraQueryRuns {
+        single,
+        partitioned,
+        partial_sum,
+        full_sum,
+    }
 }
 
 fn restrict_scan(plan: &mut dss_query::Plan, lo: u32, hi: u32) {
@@ -420,5 +554,8 @@ pub struct StreamRuns {
 pub fn stream_experiment(wb: &mut Workbench, queries: &[u8]) -> StreamRuns {
     let traces = wb.stream_traces(queries, 0);
     let stats = Machine::new(MachineConfig::baseline()).run(&traces);
-    StreamRuns { queries: queries.to_vec(), stats }
+    StreamRuns {
+        queries: queries.to_vec(),
+        stats,
+    }
 }

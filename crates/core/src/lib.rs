@@ -7,19 +7,23 @@
 //! into the CC-NUMA memory-hierarchy simulator under each experiment's
 //! machine configuration.
 //!
-//! * [`Workbench`] — database + trace cache (one trace set drives a whole
-//!   parameter sweep, since traces are machine-independent).
-//! * [`experiments`] — one runner per table/figure of the evaluation.
+//! * [`Workbench`] — database + trace cache (one [`TraceSet`] drives a whole
+//!   parameter sweep, since traces are machine-independent) and the
+//!   experiment methods, one per table/figure of the evaluation.
+//! * [`sim_points`] — the parallel harness: fan sweep points across worker
+//!   threads with results bit-identical to a serial run.
+//! * [`experiments`] — the experiments' result types (and deprecated
+//!   free-function forms of the [`Workbench`] methods).
 //! * [`report`] — ASCII renderings in the paper's chart shapes.
 //! * [`paper`] — the paper's claims as executable shape checks.
 //!
 //! # Example
 //!
 //! ```no_run
-//! use dss_core::{experiments, report, Workbench};
+//! use dss_core::{report, Workbench};
 //!
 //! let mut wb = Workbench::paper();
-//! let baselines = experiments::baseline_suite(&mut wb, &[3, 6, 12]);
+//! let baselines = wb.baseline_suite(&[3, 6, 12]);
 //! println!("{}", report::render_fig6a(&baselines));
 //! ```
 
@@ -29,6 +33,8 @@
 pub mod experiments;
 pub mod paper;
 pub mod report;
+mod sim;
 mod workload;
 
-pub use workload::{query_label, Workbench, STUDIED_QUERIES};
+pub use sim::sim_points;
+pub use workload::{query_label, TraceSet, Workbench, STUDIED_QUERIES};

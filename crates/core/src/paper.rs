@@ -34,7 +34,11 @@ pub struct ShapeCheck {
 
 impl ShapeCheck {
     fn new(name: impl Into<String>, ok: bool, detail: String) -> Self {
-        ShapeCheck { name: name.into(), ok, detail }
+        ShapeCheck {
+            name: name.into(),
+            ok,
+            detail,
+        }
     }
 }
 
@@ -63,11 +67,19 @@ fn mem_group_frac(b: &QueryBaseline, group: DataGroup) -> f64 {
 /// database data.
 pub fn check_fig6(baselines: &[QueryBaseline]) -> Vec<ShapeCheck> {
     let mut out = Vec::new();
-    let get = |q: u8| baselines.iter().find(|b| b.query == q).expect("studied query");
+    let get = |q: u8| {
+        baselines
+            .iter()
+            .find(|b| b.query == q)
+            .expect("studied query")
+    };
     for b in baselines {
         let t = b.stats.time_breakdown();
         out.push(ShapeCheck::new(
-            format!("{}: Busy is the largest component (paper: 50-70%)", query_label(b.query)),
+            format!(
+                "{}: Busy is the largest component (paper: 50-70%)",
+                query_label(b.query)
+            ),
             t.busy >= 0.45 && t.busy > t.mem,
             format!("busy={:.2} mem={:.2} msync={:.2}", t.busy, t.mem, t.msync),
         ));
@@ -82,12 +94,18 @@ pub fn check_fig6(baselines: &[QueryBaseline]) -> Vec<ShapeCheck> {
     out.push(ShapeCheck::new(
         "Q3: shared-data stall dominated by metadata and indices",
         meta_index > 0.5 && meta_index > mem_group_frac(q3, DataGroup::Data),
-        format!("metadata+index={meta_index:.2} data={:.2}", mem_group_frac(q3, DataGroup::Data)),
+        format!(
+            "metadata+index={meta_index:.2} data={:.2}",
+            mem_group_frac(q3, DataGroup::Data)
+        ),
     ));
     for q in [6u8, 12] {
         let b = get(q);
         out.push(ShapeCheck::new(
-            format!("{}: shared-data stall dominated by database data", query_label(q)),
+            format!(
+                "{}: shared-data stall dominated by database data",
+                query_label(q)
+            ),
             mem_group_frac(b, DataGroup::Data) > 0.5,
             format!("data={:.2}", mem_group_frac(b, DataGroup::Data)),
         ));
@@ -108,7 +126,12 @@ pub fn check_fig6(baselines: &[QueryBaseline]) -> Vec<ShapeCheck> {
 pub fn check_fig7(baselines: &[QueryBaseline]) -> Vec<ShapeCheck> {
     use dss_memsim::MissKind;
     let mut out = Vec::new();
-    let get = |q: u8| baselines.iter().find(|b| b.query == q).expect("studied query");
+    let get = |q: u8| {
+        baselines
+            .iter()
+            .find(|b| b.query == q)
+            .expect("studied query")
+    };
     for b in baselines {
         let l1 = &b.stats.l1.read_misses;
         let priv_misses = l1.by_group(DataGroup::Priv);
@@ -118,12 +141,18 @@ pub fn check_fig7(baselines: &[QueryBaseline]) -> Vec<ShapeCheck> {
             .max()
             .unwrap_or(0);
         out.push(ShapeCheck::new(
-            format!("{}: most L1 misses are on private data", query_label(b.query)),
+            format!(
+                "{}: most L1 misses are on private data",
+                query_label(b.query)
+            ),
             priv_misses > max_other,
             format!("priv={priv_misses} max-other={max_other}"),
         ));
         out.push(ShapeCheck::new(
-            format!("{}: private L1 misses mostly conflict", query_label(b.query)),
+            format!(
+                "{}: private L1 misses mostly conflict",
+                query_label(b.query)
+            ),
             l1.by_group_kind(DataGroup::Priv, MissKind::Conflict)
                 > l1.by_group(DataGroup::Priv) / 2,
             format!(
@@ -138,7 +167,10 @@ pub fn check_fig7(baselines: &[QueryBaseline]) -> Vec<ShapeCheck> {
             // misses matter — the Index query, whose lock and buffer
             // structures ping-pong between processors.
             out.push(ShapeCheck::new(
-                format!("{}: metadata L2 misses mostly coherence", query_label(b.query)),
+                format!(
+                    "{}: metadata L2 misses mostly coherence",
+                    query_label(b.query)
+                ),
                 l2.by_group_kind(DataGroup::Metadata, MissKind::Coherence)
                     > l2.by_group(DataGroup::Metadata) / 2,
                 format!(
@@ -149,13 +181,23 @@ pub fn check_fig7(baselines: &[QueryBaseline]) -> Vec<ShapeCheck> {
             ));
         } else {
             out.push(ShapeCheck::new(
-                format!("{}: metadata is a minor share of L2 misses", query_label(b.query)),
+                format!(
+                    "{}: metadata is a minor share of L2 misses",
+                    query_label(b.query)
+                ),
                 l2.by_group(DataGroup::Metadata) * 6 < l2.total(),
-                format!("metadata={} total={}", l2.by_group(DataGroup::Metadata), l2.total()),
+                format!(
+                    "metadata={} total={}",
+                    l2.by_group(DataGroup::Metadata),
+                    l2.total()
+                ),
             ));
         }
         out.push(ShapeCheck::new(
-            format!("{}: database-data L2 misses mostly cold", query_label(b.query)),
+            format!(
+                "{}: database-data L2 misses mostly cold",
+                query_label(b.query)
+            ),
             l2.by_group_kind(DataGroup::Data, MissKind::Cold) > l2.by_group(DataGroup::Data) / 2,
             format!(
                 "cold={} of {}",
@@ -176,11 +218,17 @@ pub fn check_fig7(baselines: &[QueryBaseline]) -> Vec<ShapeCheck> {
     out.push(ShapeCheck::new(
         "Q3: LockMgrLock (LockSLock) suffers significant L2 misses",
         q3l2.by_class(DataClass::LockMgrLock) > q3l2.total() / 50,
-        format!("LockSLock={} total={}", q3l2.by_class(DataClass::LockMgrLock), q3l2.total()),
+        format!(
+            "LockSLock={} total={}",
+            q3l2.by_class(DataClass::LockMgrLock),
+            q3l2.total()
+        ),
     ));
     out.push(ShapeCheck::new(
         "Q3: L2 misses are a mix (no single group above 60%)",
-        DataGroup::ALL.iter().all(|g| q3l2.by_group(*g) * 5 < q3l2.total() * 3),
+        DataGroup::ALL
+            .iter()
+            .all(|g| q3l2.by_group(*g) * 5 < q3l2.total() * 3),
         format!(
             "priv={} data={} index={} meta={}",
             q3l2.by_group(DataGroup::Priv),
@@ -197,11 +245,19 @@ pub fn check_fig7(baselines: &[QueryBaseline]) -> Vec<ShapeCheck> {
 /// beyond small lines.
 pub fn check_fig8(query: u8, points: &[LinePoint]) -> Vec<ShapeCheck> {
     let mut out = Vec::new();
-    let at = |line: u64| points.iter().find(|p| p.l2_line == line).expect("swept point");
+    let at = |line: u64| {
+        points
+            .iter()
+            .find(|p| p.l2_line == line)
+            .expect("swept point")
+    };
     let (p16, p64, p256) = (at(16), at(64), at(256));
     let data = |p: &LinePoint| p.stats.l2.read_misses.by_group(DataGroup::Data).max(1);
     out.push(ShapeCheck::new(
-        format!("{}: data L2 misses fall sharply with line size", query_label(query)),
+        format!(
+            "{}: data L2 misses fall sharply with line size",
+            query_label(query)
+        ),
         data(p16) > 2 * data(p256) && data(p16) > data(p64),
         format!("16B={} 64B={} 256B={}", data(p16), data(p64), data(p256)),
     ));
@@ -215,9 +271,17 @@ pub fn check_fig8(query: u8, points: &[LinePoint]) -> Vec<ShapeCheck> {
     }
     let priv_l1 = |p: &LinePoint| p.stats.l1.read_misses.by_group(DataGroup::Priv);
     out.push(ShapeCheck::new(
-        format!("{}: private L1 misses grow with long lines", query_label(query)),
+        format!(
+            "{}: private L1 misses grow with long lines",
+            query_label(query)
+        ),
         priv_l1(p256) > priv_l1(p64) || priv_l1(p256) > priv_l1(p16),
-        format!("16B={} 64B={} 256B={}", priv_l1(p16), priv_l1(p64), priv_l1(p256)),
+        format!(
+            "16B={} 64B={} 256B={}",
+            priv_l1(p16),
+            priv_l1(p64),
+            priv_l1(p256)
+        ),
     ));
     out
 }
@@ -226,7 +290,12 @@ pub fn check_fig8(query: u8, points: &[LinePoint]) -> Vec<ShapeCheck> {
 /// 64-byte lines perform well (within a few percent of the sweep's best).
 pub fn check_fig9(query: u8, points: &[LinePoint]) -> Vec<ShapeCheck> {
     let mut out = Vec::new();
-    let at = |line: u64| points.iter().find(|p| p.l2_line == line).expect("swept point");
+    let at = |line: u64| {
+        points
+            .iter()
+            .find(|p| p.l2_line == line)
+            .expect("swept point")
+    };
     let (p16, p64, p256) = (at(16), at(64), at(256));
     let smem = |p: &LinePoint| p.stats.total(|x| x.smem());
     let pmem = |p: &LinePoint| p.stats.total(|x| x.pmem());
@@ -240,14 +309,21 @@ pub fn check_fig9(query: u8, points: &[LinePoint]) -> Vec<ShapeCheck> {
         pmem(p256) > pmem(p16),
         format!("16B={} 256B={}", pmem(p16), pmem(p256)),
     ));
-    let best = points.iter().map(|p| p.stats.exec_cycles()).min().unwrap_or(1);
+    let best = points
+        .iter()
+        .map(|p| p.stats.exec_cycles())
+        .min()
+        .unwrap_or(1);
     let at64 = p64.stats.exec_cycles();
     // The paper's overall optimum is 64 B; our Sequential queries read a
     // smaller fraction of each tuple than Postgres95, shifting their optimum
     // slightly toward longer lines (see EXPERIMENTS.md), so "performs well"
     // is checked at a 12% tolerance.
     out.push(ShapeCheck::new(
-        format!("{}: 64-byte lines perform well (within 12% of best)", query_label(query)),
+        format!(
+            "{}: 64-byte lines perform well (within 12% of best)",
+            query_label(query)
+        ),
         at64 as f64 <= best as f64 * 1.12,
         format!("64B={at64} best={best}"),
     ));
@@ -262,14 +338,20 @@ pub fn check_fig10(query: u8, points: &[CachePoint]) -> Vec<ShapeCheck> {
     let (small, large) = (&points[0], points.last().expect("points"));
     let priv_l1 = |p: &CachePoint| p.stats.l1.read_misses.by_group(DataGroup::Priv).max(1);
     out.push(ShapeCheck::new(
-        format!("{}: private L1 misses shrink sharply with cache size", query_label(query)),
+        format!(
+            "{}: private L1 misses shrink sharply with cache size",
+            query_label(query)
+        ),
         priv_l1(small) > 5 * priv_l1(large),
         format!("4K={} 256K={}", priv_l1(small), priv_l1(large)),
     ));
     let data_l2 = |p: &CachePoint| p.stats.l2.read_misses.by_group(DataGroup::Data).max(1);
     let flat = data_l2(large) as f64 / data_l2(small) as f64;
     out.push(ShapeCheck::new(
-        format!("{}: data L2 misses flat across cache sizes (no reuse)", query_label(query)),
+        format!(
+            "{}: data L2 misses flat across cache sizes (no reuse)",
+            query_label(query)
+        ),
         flat > 0.9,
         format!("ratio large/small = {flat:.2}"),
     ));
@@ -290,14 +372,25 @@ pub fn check_fig11(query: u8, points: &[CachePoint]) -> Vec<ShapeCheck> {
     let mut out = Vec::new();
     let (small, large) = (&points[0], points.last().expect("points"));
     out.push(ShapeCheck::new(
-        format!("{}: bigger caches reduce execution time", query_label(query)),
+        format!(
+            "{}: bigger caches reduce execution time",
+            query_label(query)
+        ),
         large.stats.exec_cycles() < small.stats.exec_cycles(),
-        format!("small={} large={}", small.stats.exec_cycles(), large.stats.exec_cycles()),
+        format!(
+            "small={} large={}",
+            small.stats.exec_cycles(),
+            large.stats.exec_cycles()
+        ),
     ));
-    let pmem_gain =
-        small.stats.total(|p| p.pmem()).saturating_sub(large.stats.total(|p| p.pmem()));
-    let smem_gain =
-        small.stats.total(|p| p.smem()).saturating_sub(large.stats.total(|p| p.smem()));
+    let pmem_gain = small
+        .stats
+        .total(|p| p.pmem())
+        .saturating_sub(large.stats.total(|p| p.pmem()));
+    let smem_gain = small
+        .stats
+        .total(|p| p.smem())
+        .saturating_sub(large.stats.total(|p| p.smem()));
     let expected = if query == 3 {
         // For the Index query, index/metadata locality also contributes.
         pmem_gain + smem_gain > 0
@@ -305,7 +398,10 @@ pub fn check_fig11(query: u8, points: &[CachePoint]) -> Vec<ShapeCheck> {
         pmem_gain >= smem_gain
     };
     out.push(ShapeCheck::new(
-        format!("{}: most of the speedup comes from PMem", query_label(query)),
+        format!(
+            "{}: most of the speedup comes from PMem",
+            query_label(query)
+        ),
         expected,
         format!("pmem_gain={pmem_gain} smem_gain={smem_gain}"),
     ));
@@ -317,10 +413,8 @@ pub fn check_fig11(query: u8, points: &[CachePoint]) -> Vec<ShapeCheck> {
 /// for a Sequential one only slightly; indices are reused across Index
 /// queries.
 pub fn check_fig12(q3: &ReuseSet, q12: &ReuseSet) -> Vec<ShapeCheck> {
-    let data =
-        |s: &dss_memsim::SimStats| s.l2.read_misses.by_group(DataGroup::Data).max(1);
-    let index =
-        |s: &dss_memsim::SimStats| s.l2.read_misses.by_group(DataGroup::Index).max(1);
+    let data = |s: &dss_memsim::SimStats| s.l2.read_misses.by_group(DataGroup::Data).max(1);
+    let index = |s: &dss_memsim::SimStats| s.l2.read_misses.by_group(DataGroup::Index).max(1);
     vec![
         ShapeCheck::new(
             "Q12 after Q12: most data misses disappear (table reused)",
@@ -330,7 +424,11 @@ pub fn check_fig12(q3: &ReuseSet, q12: &ReuseSet) -> Vec<ShapeCheck> {
         ShapeCheck::new(
             "Q12 after Q3: only a few data misses disappear",
             data(&q12.warm_other) * 4 > data(&q12.cold) * 3,
-            format!("cold={} after-Q3={}", data(&q12.cold), data(&q12.warm_other)),
+            format!(
+                "cold={} after-Q3={}",
+                data(&q12.cold),
+                data(&q12.warm_other)
+            ),
         ),
         ShapeCheck::new(
             "Q3 after Q3: index misses shrink (indices reused across queries)",
@@ -353,7 +451,10 @@ pub fn check_fig13(pairs: &[PrefetchPair]) -> Vec<ShapeCheck> {
     for q in [6u8, 12] {
         let d = get(q).delta();
         out.push(ShapeCheck::new(
-            format!("{}: prefetching speeds the Sequential query up", query_label(q)),
+            format!(
+                "{}: prefetching speeds the Sequential query up",
+                query_label(q)
+            ),
             d < -0.02,
             format!("delta={:+.1}%", 100.0 * d),
         ));

@@ -4,9 +4,7 @@ use dss_memsim::{MissKind, SimStats};
 use dss_query::PlanFeatures;
 use dss_trace::{DataClass, DataGroup};
 
-use crate::experiments::{
-    CachePoint, LinePoint, MissRates, PrefetchPair, QueryBaseline, ReuseSet,
-};
+use crate::experiments::{CachePoint, LinePoint, MissRates, PrefetchPair, QueryBaseline, ReuseSet};
 use crate::workload::query_label;
 
 const GROUPS: [DataGroup; 4] = DataGroup::ALL;
@@ -89,7 +87,10 @@ pub fn render_fig7(b: &QueryBaseline) -> String {
         "Figure 7 ({}): read misses by structure (normalized, cold/conflict/coherence)\n",
         query_label(b.query)
     ));
-    for (level, matrix) in [("L1", &b.stats.l1.read_misses), ("L2", &b.stats.l2.read_misses)] {
+    for (level, matrix) in [
+        ("L1", &b.stats.l1.read_misses),
+        ("L2", &b.stats.l2.read_misses),
+    ] {
         let total = matrix.total().max(1) as f64;
         out.push_str(&format!("  {level} (total {} misses):\n", matrix.total()));
         out.push_str("    struct      cold   conf   cohe   total\n");
@@ -115,7 +116,9 @@ pub fn render_fig7(b: &QueryBaseline) -> String {
 /// Renders the quoted absolute miss rates.
 pub fn render_miss_rates(rates: &[MissRates]) -> String {
     let mut out = String::new();
-    out.push_str("Absolute read miss rates (paper quotes L1 5.5/3.4/4.8%, L2 global 0.8/0.6/0.5%)\n");
+    out.push_str(
+        "Absolute read miss rates (paper quotes L1 5.5/3.4/4.8%, L2 global 0.8/0.6/0.5%)\n",
+    );
     for r in rates {
         out.push_str(&format!(
             "  {:4}  L1 {:5.2}%   L2 global {:5.2}%\n",
@@ -135,13 +138,28 @@ pub fn render_fig8(query: u8, points: &[LinePoint]) -> String {
         "Figure 8 ({}): read misses vs line size (baseline 64B = 100 per level)\n",
         query_label(query)
     ));
-    let base = points.iter().find(|p| p.l2_line == 64).expect("baseline point");
+    let base = points
+        .iter()
+        .find(|p| p.l2_line == 64)
+        .expect("baseline point");
     for (level, get) in [
-        ("L1", (|s: &SimStats, g: DataGroup| s.l1.read_misses.by_group(g)) as fn(&SimStats, DataGroup) -> u64),
-        ("L2", |s: &SimStats, g: DataGroup| s.l2.read_misses.by_group(g)),
+        (
+            "L1",
+            (|s: &SimStats, g: DataGroup| s.l1.read_misses.by_group(g))
+                as fn(&SimStats, DataGroup) -> u64,
+        ),
+        ("L2", |s: &SimStats, g: DataGroup| {
+            s.l2.read_misses.by_group(g)
+        }),
     ] {
-        let base_total: u64 = GROUPS.iter().map(|g| get(&base.stats, *g)).sum::<u64>().max(1);
-        out.push_str(&format!("  {level}:  line   Priv   Data  Index   Meta  total\n"));
+        let base_total: u64 = GROUPS
+            .iter()
+            .map(|g| get(&base.stats, *g))
+            .sum::<u64>()
+            .max(1);
+        out.push_str(&format!(
+            "  {level}:  line   Priv   Data  Index   Meta  total\n"
+        ));
         for p in points {
             let vals: Vec<f64> = GROUPS
                 .iter()
@@ -195,7 +213,10 @@ fn render_time_sweep(
 pub fn render_fig9(query: u8, points: &[LinePoint]) -> String {
     let labels: Vec<String> = points.iter().map(|p| format!("{}B", p.l2_line)).collect();
     let runs: Vec<&SimStats> = points.iter().map(|p| &p.stats).collect();
-    let baseline = points.iter().position(|p| p.l2_line == 64).expect("baseline");
+    let baseline = points
+        .iter()
+        .position(|p| p.l2_line == 64)
+        .expect("baseline");
     render_time_sweep(
         &format!(
             "Figure 9 ({}): execution time vs line size (64B baseline = 100)",
@@ -216,12 +237,24 @@ pub fn render_fig10(query: u8, points: &[CachePoint]) -> String {
         query_label(query)
     ));
     for (level, get) in [
-        ("L1", (|s: &SimStats, g: DataGroup| s.l1.read_misses.by_group(g)) as fn(&SimStats, DataGroup) -> u64),
-        ("L2", |s: &SimStats, g: DataGroup| s.l2.read_misses.by_group(g)),
+        (
+            "L1",
+            (|s: &SimStats, g: DataGroup| s.l1.read_misses.by_group(g))
+                as fn(&SimStats, DataGroup) -> u64,
+        ),
+        ("L2", |s: &SimStats, g: DataGroup| {
+            s.l2.read_misses.by_group(g)
+        }),
     ] {
         let base = &points[0];
-        let base_total: u64 = GROUPS.iter().map(|g| get(&base.stats, *g)).sum::<u64>().max(1);
-        out.push_str(&format!("  {level}:  caches        Priv   Data  Index   Meta\n"));
+        let base_total: u64 = GROUPS
+            .iter()
+            .map(|g| get(&base.stats, *g))
+            .sum::<u64>()
+            .max(1);
+        out.push_str(&format!(
+            "  {level}:  caches        Priv   Data  Index   Meta\n"
+        ));
         for p in points {
             let vals: Vec<f64> = GROUPS
                 .iter()
@@ -238,8 +271,7 @@ pub fn render_fig10(query: u8, points: &[CachePoint]) -> String {
 
 /// Renders Figure 11: execution time vs cache size.
 pub fn render_fig11(query: u8, points: &[CachePoint]) -> String {
-    let labels: Vec<String> =
-        points.iter().map(|p| format!("{}K", p.l1_kb)).collect();
+    let labels: Vec<String> = points.iter().map(|p| format!("{}K", p.l1_kb)).collect();
     let runs: Vec<&SimStats> = points.iter().map(|p| &p.stats).collect();
     render_time_sweep(
         &format!(
@@ -278,7 +310,10 @@ pub fn render_fig12(set: &ReuseSet) -> String {
     };
     render_row("cold", &set.cold);
     render_row(&format!("after {}", query_label(set.query)), &set.warm_same);
-    render_row(&format!("after {}", query_label(set.other)), &set.warm_other);
+    render_row(
+        &format!("after {}", query_label(set.other)),
+        &set.warm_other,
+    );
     out
 }
 
@@ -326,7 +361,11 @@ pub fn render_ext_prefetch(query: u8, points: &[(u32, SimStats)]) -> String {
         query_label(query)
     ));
     out.push_str("  degree   cycles        vs off   prefetches filled\n");
-    let base = points.iter().find(|(d, _)| *d == 0).map(|(_, s)| s.exec_cycles()).unwrap_or(1);
+    let base = points
+        .iter()
+        .find(|(d, _)| *d == 0)
+        .map(|(_, s)| s.exec_cycles())
+        .unwrap_or(1);
     for (d, s) in points {
         out.push_str(&format!(
             "  {:6}   {:>12}  {:+6.1}%   {}\n",
@@ -349,10 +388,9 @@ pub fn render_ext_procs(query: u8, points: &[(usize, SimStats)]) -> String {
     out.push_str("  procs   exec cycles    msync/proc   metadata coherence misses\n");
     for (n, s) in points {
         let msync = s.total(|p| p.msync) / (*n as u64).max(1);
-        let cohe = s
-            .l2
-            .read_misses
-            .by_group_kind(DataGroup::Metadata, MissKind::Coherence);
+        let cohe =
+            s.l2.read_misses
+                .by_group_kind(DataGroup::Metadata, MissKind::Coherence);
         out.push_str(&format!(
             "  {:5}   {:>12}   {:>10}   {:>10}\n",
             n,
@@ -394,8 +432,7 @@ pub fn render_ext_updates(runs: &crate::experiments::UpdateRuns) -> String {
 
 /// Renders the intra-query-parallelism extension.
 pub fn render_ext_intra(runs: &crate::experiments::IntraQueryRuns) -> String {
-    let speedup =
-        runs.single.exec_cycles() as f64 / runs.partitioned.exec_cycles().max(1) as f64;
+    let speedup = runs.single.exec_cycles() as f64 / runs.partitioned.exec_cycles().max(1) as f64;
     let mut out = String::new();
     out.push_str("Extension: intra-query parallelism (Q6 partitioned across 4 processors)\n");
     out.push_str(&format!(
@@ -422,8 +459,7 @@ pub fn render_ext_streams(
     runs: &crate::experiments::StreamRuns,
     baselines: &[QueryBaseline],
 ) -> String {
-    let labels: Vec<String> =
-        runs.queries.iter().map(|q| query_label(*q)).collect();
+    let labels: Vec<String> = runs.queries.iter().map(|q| query_label(*q)).collect();
     let sum_baseline: u64 = baselines.iter().map(|b| b.stats.exec_cycles()).sum();
     let t = runs.stats.time_breakdown();
     let mut out = String::new();
@@ -477,7 +513,11 @@ mod tests {
             s.procs = vec![p];
             s
         };
-        let pairs = vec![PrefetchPair { query: 6, base: mk(100), opt: mk(94) }];
+        let pairs = vec![PrefetchPair {
+            query: 6,
+            base: mk(100),
+            opt: mk(94),
+        }];
         let text = render_fig13(&pairs);
         assert!(text.contains("-6.0%"), "{text}");
     }

@@ -1,0 +1,170 @@
+//! The parallel simulation harness: fan independent sweep points across
+//! scoped worker threads.
+//!
+//! Every sweep in [`crate::experiments`] has the same shape: one immutable
+//! [`TraceSet`] replayed through many [`Machine`]s, one per
+//! [`MachineConfig`]. The points share no mutable state — each gets a fresh
+//! machine with cold caches — so they can run on any number of threads with
+//! bit-identical results to a serial run; only wall-clock changes. The paper
+//! itself never needed this (its evaluation ran once); re-parameterized
+//! replay studies do, and [`sim_points`] makes them embarrassingly parallel
+//! with no dependencies beyond `std::thread::scope`.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use dss_memsim::{Machine, MachineConfig, SimStats};
+use dss_trace::Trace;
+
+use crate::workload::TraceSet;
+
+/// Runs one simulation per config over a shared trace set, on up to `jobs`
+/// worker threads, returning results in config order.
+///
+/// Each point simulates a *fresh* machine (cold caches) over the leading
+/// `config.nprocs` traces of the set — so a config with fewer processors than
+/// the set has traces runs the processor-scaling subset, exactly as the
+/// serial harness did. `jobs <= 1` runs everything on the calling thread;
+/// any job count produces identical [`SimStats`].
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (the simulation itself panicking, e.g.
+/// on an invalid config).
+pub fn sim_points(traces: &TraceSet, configs: &[MachineConfig], jobs: usize) -> Vec<SimStats> {
+    let tasks: Vec<(MachineConfig, TraceSet)> = configs
+        .iter()
+        .map(|c| (c.clone(), traces.clone()))
+        .collect();
+    run_tasks(jobs, &tasks, &AtomicU64::new(0))
+}
+
+/// One simulation point: a fresh machine over the leading `nprocs` traces.
+fn run_point(cfg: &MachineConfig, traces: &[Trace]) -> SimStats {
+    let take = cfg.nprocs.min(traces.len());
+    Machine::new(cfg.clone()).run(&traces[..take])
+}
+
+/// Runs `(config, trace set)` tasks on up to `jobs` threads, preserving task
+/// order in the results and adding each point's compute time to `clock`
+/// (nanoseconds) so callers can report speedup over a serial run.
+pub(crate) fn run_tasks(
+    jobs: usize,
+    tasks: &[(MachineConfig, TraceSet)],
+    clock: &AtomicU64,
+) -> Vec<SimStats> {
+    let timed = |cfg: &MachineConfig, traces: &[Trace]| {
+        let start = Instant::now();
+        let stats = run_point(cfg, traces);
+        clock.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        stats
+    };
+    if jobs <= 1 || tasks.len() <= 1 {
+        return tasks
+            .iter()
+            .map(|(cfg, traces)| timed(cfg, traces))
+            .collect();
+    }
+    // Work-stealing by atomic ticket: threads claim the next unstarted point,
+    // so an expensive point (say, the 16-byte-line sweep entry) never strands
+    // the remaining work behind it. Results land in their task's slot, which
+    // keeps the output order — and therefore every rendered table —
+    // independent of the interleaving.
+    let next = AtomicUsize::new(0);
+    let results = Mutex::new(vec![None; tasks.len()]);
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(tasks.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((cfg, traces)) = tasks.get(i) else {
+                    break;
+                };
+                let stats = timed(cfg, traces);
+                results.lock().expect("no poisoned workers")[i] = Some(stats);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every point simulated"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_shmem::SHARED_BASE;
+    use dss_trace::{DataClass, Tracer};
+
+    fn synthetic_set(nprocs: usize) -> TraceSet {
+        (0..nprocs)
+            .map(|p| {
+                let t = Tracer::new(p);
+                for i in 0..2000u64 {
+                    t.read(
+                        SHARED_BASE + (i * 61 + p as u64 * 13) % 65_536,
+                        8,
+                        DataClass::Data,
+                    );
+                    t.busy((i % 5) as u32);
+                    t.write(dss_shmem::private_base(p) + i * 24, 8, DataClass::PrivHeap);
+                }
+                t.take()
+            })
+            .collect::<Vec<_>>()
+            .into()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let traces = synthetic_set(4);
+        let configs: Vec<MachineConfig> = [16u64, 32, 64, 128]
+            .iter()
+            .map(|&l| MachineConfig::baseline().with_line_size(l))
+            .collect();
+        let serial = sim_points(&traces, &configs, 1);
+        for jobs in [2, 4, 9] {
+            let parallel = sim_points(&traces, &configs, jobs);
+            assert_eq!(serial, parallel, "jobs={jobs} must not change results");
+        }
+    }
+
+    #[test]
+    fn config_order_is_preserved() {
+        let traces = synthetic_set(4);
+        let configs: Vec<MachineConfig> = (1..=4)
+            .map(|n| MachineConfig::baseline().with_processors(n))
+            .collect();
+        let stats = sim_points(&traces, &configs, 4);
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(
+                s.procs.len(),
+                i + 1,
+                "point {i} ran the {}-processor config",
+                i + 1
+            );
+        }
+    }
+
+    #[test]
+    fn compute_clock_accumulates() {
+        let traces = synthetic_set(2);
+        let tasks = vec![(MachineConfig::baseline(), traces.clone()); 3];
+        let clock = AtomicU64::new(0);
+        let stats = run_tasks(2, &tasks, &clock);
+        assert_eq!(stats.len(), 3);
+        assert!(
+            clock.load(Ordering::Relaxed) > 0,
+            "per-point compute time recorded"
+        );
+    }
+
+    #[test]
+    fn empty_config_list_is_fine() {
+        let traces = synthetic_set(1);
+        assert!(sim_points(&traces, &[], 4).is_empty());
+    }
+}

@@ -1,11 +1,22 @@
 //! The workbench: a built database plus cached per-processor traces.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 use dss_query::{Database, DbConfig, Session};
 use dss_tpcd::params;
 use dss_trace::Trace;
+
+/// A shared, immutable set of per-processor traces.
+///
+/// Trace *generation* needs `&mut` access to the database (buffer-cache and
+/// lock-manager state move); trace *consumption* does not: once generated, a
+/// trace set is frozen and [`Send`]` + `[`Sync`], so any number of simulated
+/// machines — on any number of worker threads — can replay it concurrently.
+/// [`Workbench::traces`] hands out cheap clones of one allocation.
+pub type TraceSet = Arc<[Trace]>;
 
 /// The three queries the paper studies in detail: Q3 (*Index*), Q6
 /// (*Sequential*), and Q12 (*Sequential* with an index-scanned second table).
@@ -25,7 +36,11 @@ pub fn query_label(q: u8) -> String {
 /// type per processor, each with different TPC-D substitution parameters,
 /// statistics recorded from start to finish with no warm-up discarded.
 /// Traces depend only on the query and parameter seeds — never on the
-/// simulated machine — so one set drives every sweep point.
+/// simulated machine — so one set drives every sweep point, and the sweep
+/// points themselves are independent: the experiment methods
+/// ([`Workbench::line_size_sweep`] and friends, see [`crate::experiments`])
+/// fan them out across up to [`Workbench::jobs`] worker threads with
+/// bit-identical results to a serial run.
 ///
 /// # Example
 ///
@@ -34,23 +49,45 @@ pub fn query_label(q: u8) -> String {
 /// use dss_memsim::{Machine, MachineConfig};
 ///
 /// let mut wb = Workbench::paper();
-/// let traces = wb.traces(6, 0);
+/// let traces = wb.traces(6, 0); // TraceSet: shared, immutable, Send + Sync
 /// let stats = Machine::new(MachineConfig::baseline()).run(&traces);
 /// assert!(stats.exec_cycles() > 0);
+///
+/// // Sweep experiments fan out across threads (same results at any job count).
+/// let points = wb.line_size_sweep(6);
+/// assert_eq!(points.len(), 5);
 /// ```
 pub struct Workbench {
     /// The shared database image.
     pub db: Database,
     nprocs: usize,
-    cache: HashMap<(u8, u64), Rc<Vec<Trace>>>,
+    jobs: usize,
+    cache: HashMap<(u8, u64), TraceSet>,
     /// Insertion order for simple FIFO eviction.
     order: Vec<(u8, u64)>,
+    /// Cumulative per-point simulation compute time (nanoseconds), summed
+    /// across worker threads; lets callers report parallel speedup.
+    pub(crate) sim_nanos: Arc<AtomicU64>,
 }
 
 impl Workbench {
     /// Builds a workbench over `config` with `nprocs` simulated processors.
+    ///
+    /// Experiments run their sweep points on up to
+    /// [`available_parallelism`](std::thread::available_parallelism) worker
+    /// threads by default; tune with [`Workbench::set_jobs`].
     pub fn new(config: &DbConfig, nprocs: usize) -> Self {
-        Workbench { db: Database::build(config), nprocs, cache: HashMap::new(), order: Vec::new() }
+        let jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Workbench {
+            db: Database::build(config),
+            nprocs,
+            jobs,
+            cache: HashMap::new(),
+            order: Vec::new(),
+            sim_nanos: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// The paper's setup: scale 0.01, four processors.
@@ -60,12 +97,51 @@ impl Workbench {
 
     /// A reduced setup for fast tests (small database, four processors).
     pub fn small() -> Self {
-        Workbench::new(&DbConfig { scale: 0.003, nbuffers: 2048, ..DbConfig::default() }, 4)
+        Workbench::new(
+            &DbConfig {
+                scale: 0.003,
+                nbuffers: 2048,
+                ..DbConfig::default()
+            },
+            4,
+        )
     }
 
     /// Number of simulated processors.
     pub fn nprocs(&self) -> usize {
         self.nprocs
+    }
+
+    /// Number of worker threads experiment sweeps may use.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Sets the number of worker threads for experiment sweeps (clamped to at
+    /// least 1). `1` reproduces the fully serial harness.
+    pub fn set_jobs(&mut self, jobs: usize) {
+        self.jobs = jobs.max(1);
+    }
+
+    /// Chainable form of [`Workbench::set_jobs`].
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.set_jobs(jobs);
+        self
+    }
+
+    /// Number of trace sets currently cached (bounded by the cache's slot
+    /// count regardless of how many sets were requested).
+    pub fn cached_trace_sets(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Drains the cumulative simulation compute time recorded by the
+    /// experiment sweeps since the last call: the wall-clock a serial harness
+    /// would have spent simulating. Comparing it against observed wall-clock
+    /// gives the parallel speedup.
+    pub fn take_sim_compute(&self) -> Duration {
+        Duration::from_nanos(self.sim_nanos.swap(0, Ordering::Relaxed))
     }
 
     /// Returns (generating and caching on demand) the per-processor traces
@@ -74,14 +150,18 @@ impl Workbench {
     /// Different `seed_base` values give independent instances of the same
     /// query type — the warm-up runs of the inter-query reuse experiment.
     ///
+    /// The returned [`TraceSet`] is immutable and `Send + Sync`: cloning it is
+    /// an `Arc` bump, and clones stay valid (and share one allocation) even
+    /// after the cache evicts the entry.
+    ///
     /// # Panics
     ///
     /// Panics if the query fails to plan or execute (a bug, since all
     /// seventeen templates are tested).
-    pub fn traces(&mut self, query: u8, seed_base: u64) -> Rc<Vec<Trace>> {
+    pub fn traces(&mut self, query: u8, seed_base: u64) -> TraceSet {
         let key = (query, seed_base);
         if let Some(t) = self.cache.get(&key) {
-            return Rc::clone(t);
+            return Arc::clone(t);
         }
         // Bound memory: traces are large, keep only a couple of sets.
         while self.order.len() >= TRACE_CACHE_SLOTS {
@@ -98,10 +178,10 @@ impl Workbench {
                 .unwrap_or_else(|e| panic!("Q{query} (seed {seed}) failed: {e}"));
             traces.push(session.tracer.take());
         }
-        let rc = Rc::new(traces);
-        self.cache.insert(key, Rc::clone(&rc));
+        let set: TraceSet = traces.into();
+        self.cache.insert(key, Arc::clone(&set));
         self.order.push(key);
-        rc
+        set
     }
 
     /// Drops all cached traces (frees memory between experiment suites).
@@ -141,21 +221,52 @@ mod tests {
     #[test]
     fn traces_are_cached_and_bounded() {
         let mut wb = Workbench::new(
-            &DbConfig { scale: 0.001, nbuffers: 1024, ..DbConfig::default() },
+            &DbConfig {
+                scale: 0.001,
+                nbuffers: 1024,
+                ..DbConfig::default()
+            },
             2,
         );
         let a = wb.traces(6, 0);
         let b = wb.traces(6, 0);
-        assert!(Rc::ptr_eq(&a, &b), "second request served from cache");
+        assert!(Arc::ptr_eq(&a, &b), "second request served from cache");
         let _c = wb.traces(6, 100);
         let _d = wb.traces(3, 0); // evicts the oldest
         assert!(wb.cache.len() <= TRACE_CACHE_SLOTS);
     }
 
     #[test]
+    fn trace_sets_outlive_eviction_and_cross_threads() {
+        let mut wb = Workbench::new(
+            &DbConfig {
+                scale: 0.001,
+                nbuffers: 1024,
+                ..DbConfig::default()
+            },
+            2,
+        );
+        let a = wb.traces(6, 0);
+        wb.clear_traces();
+        // The evicted set is still alive through our clone, and usable from
+        // another thread (TraceSet: Send + Sync).
+        let events = std::thread::scope(|s| {
+            let a = &a;
+            s.spawn(move || a.iter().map(|t| t.events.len()).sum::<usize>())
+                .join()
+                .unwrap()
+        });
+        assert!(events > 0);
+    }
+
+    #[test]
     fn each_processor_gets_its_own_parameters() {
         let mut wb = Workbench::new(
-            &DbConfig { scale: 0.001, nbuffers: 1024, ..DbConfig::default() },
+            &DbConfig {
+                scale: 0.001,
+                nbuffers: 1024,
+                ..DbConfig::default()
+            },
             2,
         );
         let traces = wb.traces(6, 0);
@@ -165,6 +276,23 @@ mod tests {
         // Different parameters make different traces.
         assert_ne!(traces[0].events.len(), 0);
         assert_ne!(traces[0].events, traces[1].events);
+    }
+
+    #[test]
+    fn jobs_default_and_clamp() {
+        let mut wb = Workbench::new(
+            &DbConfig {
+                scale: 0.001,
+                nbuffers: 1024,
+                ..DbConfig::default()
+            },
+            2,
+        );
+        assert!(wb.jobs() >= 1);
+        wb.set_jobs(0);
+        assert_eq!(wb.jobs(), 1, "jobs clamps to at least one worker");
+        let wb = wb.with_jobs(3);
+        assert_eq!(wb.jobs(), 3);
     }
 
     #[test]

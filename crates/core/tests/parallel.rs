@@ -1,0 +1,65 @@
+//! Determinism regression tests for the parallel experiment harness: any
+//! `--jobs` value must reproduce the serial results bit for bit, and the
+//! shared-trace cache must stay bounded while handles circulate.
+
+use dss_core::{sim_points, Workbench};
+use dss_memsim::MachineConfig;
+
+#[test]
+fn q6_line_size_sweep_is_job_count_invariant() {
+    let mut wb = Workbench::small();
+
+    wb.set_jobs(1);
+    let serial = wb.line_size_sweep(6);
+
+    wb.set_jobs(4);
+    let parallel = wb.line_size_sweep(6);
+
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.l2_line, p.l2_line);
+        assert_eq!(s.stats, p.stats, "jobs=4 diverged at l2_line={}", s.l2_line);
+    }
+}
+
+#[test]
+fn sim_points_is_job_count_invariant_on_real_traces() {
+    let mut wb = Workbench::small();
+    let traces = wb.traces(6, 0);
+    let configs: Vec<MachineConfig> = [(4u64, 128u64), (16, 512), (64, 2048)]
+        .iter()
+        .map(|&(l1, l2)| MachineConfig::baseline().with_cache_sizes(l1 * 1024, l2 * 1024))
+        .collect();
+    let serial = sim_points(&traces, &configs, 1);
+    for jobs in [2, 4, 7] {
+        assert_eq!(serial, sim_points(&traces, &configs, jobs), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn trace_cache_stays_bounded_under_method_sweeps() {
+    let mut wb = Workbench::small();
+    // Hold live handles across evictions: the Arc keeps each set alive for
+    // its user while the workbench's cache stays within its slot budget.
+    let held = [wb.traces(3, 0), wb.traces(6, 0), wb.traces(12, 0)];
+    let _ = wb.line_size_sweep(6);
+    let _ = wb.baseline_suite(&[3, 12]);
+    assert!(
+        wb.cached_trace_sets() <= 2,
+        "cache kept {} sets",
+        wb.cached_trace_sets()
+    );
+    for t in &held {
+        assert!(!t.is_empty(), "evicted sets stay usable through their Arc");
+    }
+}
+
+#[test]
+fn parallel_sweeps_record_compute_time() {
+    let mut wb = Workbench::small().with_jobs(2);
+    let _ = wb.take_sim_compute();
+    let _ = wb.line_size_sweep(6);
+    assert!(wb.take_sim_compute().as_nanos() > 0);
+    // Taking the clock resets it.
+    assert_eq!(wb.take_sim_compute().as_nanos(), 0);
+}

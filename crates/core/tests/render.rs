@@ -10,7 +10,7 @@ fn small() -> Workbench {
 #[test]
 fn fig6_and_fig7_render() {
     let mut wb = small();
-    let baselines = experiments::baseline_suite(&mut wb, &[3, 6]);
+    let baselines = wb.baseline_suite(&[3, 6]);
     let a = report::render_fig6a(&baselines);
     assert!(a.contains("Busy") && a.contains("Q3") && a.contains("Q6"));
     let b = report::render_fig6b(&baselines);
@@ -29,18 +29,24 @@ fn fig6_and_fig7_render() {
 #[test]
 fn sweep_renders_have_all_points() {
     let mut wb = small();
-    let points = experiments::line_size_sweep(&mut wb, 6);
+    let points = wb.line_size_sweep(6);
     let f8 = report::render_fig8(6, &points);
     for line in experiments::LINE_SIZES {
-        assert!(f8.contains(&format!("{line}")), "missing {line}B row:\n{f8}");
+        assert!(
+            f8.contains(&format!("{line}")),
+            "missing {line}B row:\n{f8}"
+        );
     }
     let f9 = report::render_fig9(6, &points);
     assert!(f9.contains("SMem") && f9.contains("PMem"));
     // The baseline row is normalized to 100.
-    let base_row = f9.lines().find(|l| l.trim_start().starts_with("64B")).unwrap();
+    let base_row = f9
+        .lines()
+        .find(|l| l.trim_start().starts_with("64B"))
+        .unwrap();
     assert!(base_row.trim_end().ends_with("100.0"), "{base_row}");
 
-    let cache_points = experiments::cache_size_sweep(&mut wb, 6);
+    let cache_points = wb.cache_size_sweep(6);
     let f10 = report::render_fig10(6, &cache_points);
     assert!(f10.contains("4K/"));
     assert!(f10.contains("8192K"));
@@ -51,13 +57,13 @@ fn sweep_renders_have_all_points() {
 #[test]
 fn reuse_and_prefetch_render() {
     let mut wb = small();
-    let reuse = experiments::reuse_experiment(&mut wb, 12, 3);
+    let reuse = wb.reuse_experiment(12, 3);
     let f12 = report::render_fig12(&reuse);
     assert!(f12.contains("cold"));
     assert!(f12.contains("after Q12"));
     assert!(f12.contains("after Q3"));
 
-    let pair = experiments::prefetch_experiment(&mut wb, 6);
+    let pair = wb.prefetch_experiment(6);
     let f13 = report::render_fig13(std::slice::from_ref(&pair));
     assert!(f13.contains("prefetch"));
     assert!(f13.contains('%'));
@@ -66,23 +72,26 @@ fn reuse_and_prefetch_render() {
 #[test]
 fn extension_renders() {
     let mut wb = small();
-    let ab = experiments::protocol_ablation(&mut wb, 6);
+    let ab = wb.protocol_ablation(6);
     assert!(report::render_ext_protocol(std::slice::from_ref(&ab)).contains("MESI"));
 
-    let degrees = experiments::prefetch_degree_sweep(&mut wb, 6);
+    let degrees = wb.prefetch_degree_sweep(6);
     let text = report::render_ext_prefetch(6, &degrees);
     for (d, _) in &degrees {
-        assert!(text.contains(&format!("\n  {d:6} ")) || text.contains(&format!("{d}")), "{text}");
+        assert!(
+            text.contains(&format!("\n  {d:6} ")) || text.contains(&format!("{d}")),
+            "{text}"
+        );
     }
 
-    let sweep = experiments::processor_sweep(&mut wb, 6);
+    let sweep = wb.processor_sweep(6);
     assert!(report::render_ext_procs(6, &sweep).contains("procs"));
 
     let intra = experiments::intra_query_experiment(&mut wb);
     let text = report::render_ext_intra(&intra);
     assert!(text.contains("speedup"));
 
-    let baselines = experiments::baseline_suite(&mut wb, &[6]);
+    let baselines = wb.baseline_suite(&[6]);
     let streams = experiments::stream_experiment(&mut wb, &[6]);
     assert!(report::render_ext_streams(&streams, &baselines).contains("stream"));
 }

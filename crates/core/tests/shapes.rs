@@ -37,7 +37,7 @@ fn assert_all(checks: &[paper::ShapeCheck]) {
 #[test]
 fn fig6_time_breakdown_shapes() {
     with_workbench(|wb| {
-        let baselines = experiments::baseline_suite(wb, &[3, 6, 12]);
+        let baselines = wb.baseline_suite(&[3, 6, 12]);
         assert_all(&paper::check_fig6(&baselines));
     });
 }
@@ -45,7 +45,7 @@ fn fig6_time_breakdown_shapes() {
 #[test]
 fn fig7_miss_classification_shapes() {
     with_workbench(|wb| {
-        let baselines = experiments::baseline_suite(wb, &[3, 6, 12]);
+        let baselines = wb.baseline_suite(&[3, 6, 12]);
         assert_all(&paper::check_fig7(&baselines));
         // The ordering of absolute miss rates matches the paper: the Index
         // query misses most in L1; the plain Sequential query least.
@@ -62,7 +62,7 @@ fn fig7_miss_classification_shapes() {
 fn fig8_and_fig9_line_size_shapes() {
     with_workbench(|wb| {
         for q in [3u8, 6, 12] {
-            let points = experiments::line_size_sweep(wb, q);
+            let points = wb.line_size_sweep(q);
             assert_all(&paper::check_fig8(q, &points));
             assert_all(&paper::check_fig9(q, &points));
         }
@@ -73,7 +73,7 @@ fn fig8_and_fig9_line_size_shapes() {
 fn fig10_and_fig11_cache_size_shapes() {
     with_workbench(|wb| {
         for q in [3u8, 6, 12] {
-            let points = experiments::cache_size_sweep(wb, q);
+            let points = wb.cache_size_sweep(q);
             assert_all(&paper::check_fig10(q, &points));
             assert_all(&paper::check_fig11(q, &points));
         }
@@ -83,8 +83,8 @@ fn fig10_and_fig11_cache_size_shapes() {
 #[test]
 fn fig12_inter_query_reuse_shapes() {
     with_workbench(|wb| {
-        let q3 = experiments::reuse_experiment(wb, 3, 12);
-        let q12 = experiments::reuse_experiment(wb, 12, 3);
+        let q3 = wb.reuse_experiment(3, 12);
+        let q12 = wb.reuse_experiment(12, 3);
         assert_all(&paper::check_fig12(&q3, &q12));
     });
 }
@@ -92,8 +92,10 @@ fn fig12_inter_query_reuse_shapes() {
 #[test]
 fn fig13_prefetch_shapes() {
     with_workbench(|wb| {
-        let pairs: Vec<_> =
-            [3u8, 6, 12].iter().map(|q| experiments::prefetch_experiment(wb, *q)).collect();
+        let pairs: Vec<_> = [3u8, 6, 12]
+            .iter()
+            .map(|q| wb.prefetch_experiment(*q))
+            .collect();
         assert_all(&paper::check_fig13(&pairs));
     });
 }
@@ -101,8 +103,8 @@ fn fig13_prefetch_shapes() {
 #[test]
 fn simulation_is_deterministic() {
     with_workbench(|wb| {
-        let a = experiments::baseline_run(wb, 6);
-        let b = experiments::baseline_run(wb, 6);
+        let a = wb.baseline_run(6);
+        let b = wb.baseline_run(6);
         assert_eq!(a.stats.exec_cycles(), b.stats.exec_cycles());
         assert_eq!(a.stats.l1.read_misses, b.stats.l1.read_misses);
         assert_eq!(a.stats.l2.read_misses, b.stats.l2.read_misses);
@@ -123,27 +125,44 @@ fn table1_renders_17_rows() {
 fn extension_experiments_are_sane() {
     with_workbench(|wb| {
         // Protocol ablation: MESI never increases L2 write transactions.
-        let ab = experiments::protocol_ablation(wb, 6);
+        let ab = wb.protocol_ablation(6);
         assert!(ab.mesi.l2.write_accesses <= ab.msi.l2.write_accesses);
 
         // Prefetch-degree sweep: deeper prefetching never slows the
         // streaming query down in this range.
-        let points = experiments::prefetch_degree_sweep(wb, 6);
-        let off = points.iter().find(|(d, _)| *d == 0).unwrap().1.exec_cycles();
-        let four = points.iter().find(|(d, _)| *d == 4).unwrap().1.exec_cycles();
+        let points = wb.prefetch_degree_sweep(6);
+        let off = points
+            .iter()
+            .find(|(d, _)| *d == 0)
+            .unwrap()
+            .1
+            .exec_cycles();
+        let four = points
+            .iter()
+            .find(|(d, _)| *d == 4)
+            .unwrap()
+            .1
+            .exec_cycles();
         assert!(four < off, "degree-4 prefetching helps Q6");
 
         // Processor sweep: metadata coherence misses grow with processors
         // for the Index query.
-        let sweep = experiments::processor_sweep(wb, 3);
+        let sweep = wb.processor_sweep(3);
         let cohe = |s: &dss_memsim::SimStats| {
             s.l2.read_misses.by_group_kind(
                 dss_trace::DataGroup::Metadata,
                 dss_memsim::MissKind::Coherence,
             )
         };
-        assert_eq!(cohe(&sweep[0].1), 0, "one processor cannot have coherence misses");
-        assert!(cohe(&sweep[2].1) > cohe(&sweep[1].1), "coherence grows with processors");
+        assert_eq!(
+            cohe(&sweep[0].1),
+            0,
+            "one processor cannot have coherence misses"
+        );
+        assert!(
+            cohe(&sweep[2].1) > cohe(&sweep[1].1),
+            "coherence grows with processors"
+        );
 
         // Intra-query parallelism: partitioned Q6 is substantially faster
         // and exactly correct.

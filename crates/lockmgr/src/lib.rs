@@ -234,7 +234,11 @@ impl LockMgr {
         if fresh {
             // Initialize tag + counters.
             t.write(entry_addr, 24, DataClass::LockHash);
-            t.write(self.lock_buckets_base + (self.bucket_of_tag(tag) as u64) * 8, 8, DataClass::LockHash);
+            t.write(
+                self.lock_buckets_base + (self.bucket_of_tag(tag) as u64) * 8,
+                8,
+                DataClass::LockHash,
+            );
         } else {
             t.write(entry_addr + 8, 8, DataClass::LockHash);
         }
@@ -253,7 +257,11 @@ impl LockMgr {
                 self.xids.insert((xid, tag), XidEntry { held, slot });
                 let addr = self.xid_entries_base + slot as u64 * XID_ENTRY_SIZE;
                 t.write(addr, 24, DataClass::XidHash);
-                t.write(self.xid_buckets_base + (self.bucket_of_xid(xid, tag) as u64) * 8, 8, DataClass::XidHash);
+                t.write(
+                    self.xid_buckets_base + (self.bucket_of_xid(xid, tag) as u64) * 8,
+                    8,
+                    DataClass::XidHash,
+                );
             }
         }
         t.lock_release(self.lock);
@@ -271,7 +279,10 @@ impl LockMgr {
         t.busy(self.cost.lock_call);
         self.probe_lock_bucket(tag, t);
         self.probe_xid_bucket(xid, tag, t);
-        let xe = self.xids.get_mut(&(xid, tag)).expect("release of unheld lock");
+        let xe = self
+            .xids
+            .get_mut(&(xid, tag))
+            .expect("release of unheld lock");
         assert!(xe.held[mode.index()] > 0, "release of unheld mode");
         xe.held[mode.index()] -= 1;
         let xe_addr = self.xid_entries_base + xe.slot as u64 * XID_ENTRY_SIZE;
@@ -291,7 +302,11 @@ impl LockMgr {
         if le_empty {
             self.locks.remove(&tag);
             self.lock_slot_free.push(le_slot);
-            t.write(self.lock_buckets_base + (self.bucket_of_tag(tag) as u64) * 8, 8, DataClass::LockHash);
+            t.write(
+                self.lock_buckets_base + (self.bucket_of_tag(tag) as u64) * 8,
+                8,
+                DataClass::LockHash,
+            );
         }
         t.lock_release(self.lock);
     }
@@ -320,7 +335,10 @@ impl LockMgr {
 
     /// Number of modes currently granted on `rel` (for tests).
     pub fn granted(&self, rel: u32) -> [u32; 2] {
-        self.locks.get(&LockTag { rel }).map(|e| e.granted).unwrap_or([0, 0])
+        self.locks
+            .get(&LockTag { rel })
+            .map(|e| e.granted)
+            .unwrap_or([0, 0])
     }
 
     /// Whether `xid` currently holds any lock.
@@ -345,17 +363,33 @@ impl LockMgr {
 
     fn probe_lock_bucket(&self, tag: LockTag, t: &Tracer) {
         let bucket = self.bucket_of_tag(tag);
-        t.read(self.lock_buckets_base + bucket as u64 * 8, 8, DataClass::LockHash);
+        t.read(
+            self.lock_buckets_base + bucket as u64 * 8,
+            8,
+            DataClass::LockHash,
+        );
         if let Some(e) = self.locks.get(&tag) {
-            t.read(self.lock_entries_base + e.slot as u64 * LOCK_ENTRY_SIZE, 16, DataClass::LockHash);
+            t.read(
+                self.lock_entries_base + e.slot as u64 * LOCK_ENTRY_SIZE,
+                16,
+                DataClass::LockHash,
+            );
         }
     }
 
     fn probe_xid_bucket(&self, xid: Xid, tag: LockTag, t: &Tracer) {
         let bucket = self.bucket_of_xid(xid, tag);
-        t.read(self.xid_buckets_base + bucket as u64 * 8, 8, DataClass::XidHash);
+        t.read(
+            self.xid_buckets_base + bucket as u64 * 8,
+            8,
+            DataClass::XidHash,
+        );
         if let Some(e) = self.xids.get(&(xid, tag)) {
-            t.read(self.xid_entries_base + e.slot as u64 * XID_ENTRY_SIZE, 16, DataClass::XidHash);
+            t.read(
+                self.xid_entries_base + e.slot as u64 * XID_ENTRY_SIZE,
+                16,
+                DataClass::XidHash,
+            );
         }
     }
 
@@ -392,8 +426,14 @@ mod tests {
     fn shared_readers_coexist() {
         let mut m = mgr();
         let t = Tracer::disabled();
-        assert_eq!(m.acquire(Xid(1), 5, LockMode::Read, &t), LockResult::Granted);
-        assert_eq!(m.acquire(Xid(2), 5, LockMode::Read, &t), LockResult::Granted);
+        assert_eq!(
+            m.acquire(Xid(1), 5, LockMode::Read, &t),
+            LockResult::Granted
+        );
+        assert_eq!(
+            m.acquire(Xid(2), 5, LockMode::Read, &t),
+            LockResult::Granted
+        );
         assert_eq!(m.granted(5), [2, 0]);
     }
 
@@ -402,18 +442,33 @@ mod tests {
         let mut m = mgr();
         let t = Tracer::disabled();
         m.acquire(Xid(1), 5, LockMode::Read, &t);
-        assert_eq!(m.acquire(Xid(2), 5, LockMode::Write, &t), LockResult::WouldBlock);
+        assert_eq!(
+            m.acquire(Xid(2), 5, LockMode::Write, &t),
+            LockResult::WouldBlock
+        );
         m.release_all(Xid(1), &t);
-        assert_eq!(m.acquire(Xid(2), 5, LockMode::Write, &t), LockResult::Granted);
-        assert_eq!(m.acquire(Xid(3), 5, LockMode::Read, &t), LockResult::WouldBlock);
+        assert_eq!(
+            m.acquire(Xid(2), 5, LockMode::Write, &t),
+            LockResult::Granted
+        );
+        assert_eq!(
+            m.acquire(Xid(3), 5, LockMode::Read, &t),
+            LockResult::WouldBlock
+        );
     }
 
     #[test]
     fn reacquisition_by_holder_is_granted() {
         let mut m = mgr();
         let t = Tracer::disabled();
-        assert_eq!(m.acquire(Xid(1), 5, LockMode::Write, &t), LockResult::Granted);
-        assert_eq!(m.acquire(Xid(1), 5, LockMode::Write, &t), LockResult::Granted);
+        assert_eq!(
+            m.acquire(Xid(1), 5, LockMode::Write, &t),
+            LockResult::Granted
+        );
+        assert_eq!(
+            m.acquire(Xid(1), 5, LockMode::Write, &t),
+            LockResult::Granted
+        );
         assert_eq!(m.granted(5), [0, 2]);
         m.release(Xid(1), 5, LockMode::Write, &t);
         assert_eq!(m.granted(5), [0, 1]);
@@ -451,7 +506,10 @@ mod tests {
         let setup = Tracer::disabled();
         m.acquire(Xid(1), 5, LockMode::Write, &setup);
         let t = Tracer::new(0);
-        assert_eq!(m.acquire(Xid(2), 5, LockMode::Read, &t), LockResult::WouldBlock);
+        assert_eq!(
+            m.acquire(Xid(2), 5, LockMode::Read, &t),
+            LockResult::WouldBlock
+        );
         let stats = TraceStats::from_trace(&t.take());
         assert_eq!(stats.lock_acquires, 1);
         assert_eq!(stats.lock_releases, 1);
@@ -483,6 +541,9 @@ mod tests {
         let mut m = mgr();
         let t = Tracer::disabled();
         m.acquire(Xid(1), 5, LockMode::Write, &t);
-        assert_eq!(m.acquire(Xid(2), 6, LockMode::Write, &t), LockResult::Granted);
+        assert_eq!(
+            m.acquire(Xid(2), 6, LockMode::Write, &t),
+            LockResult::Granted
+        );
     }
 }

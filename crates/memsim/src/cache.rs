@@ -79,7 +79,15 @@ impl Cache {
         Cache {
             cfg,
             sets,
-            ways: vec![Way { tag: 0, state: LineState::Shared, lru: 0, valid: false }; (sets * cfg.assoc as u64) as usize],
+            ways: vec![
+                Way {
+                    tag: 0,
+                    state: LineState::Shared,
+                    lru: 0,
+                    valid: false
+                };
+                (sets * cfg.assoc as u64) as usize
+            ],
             tick: 0,
             ever_seen: HashSet::new(),
             removal_cause: HashMap::new(),
@@ -172,7 +180,12 @@ impl Cache {
         } else {
             None
         };
-        ways[victim] = Way { tag: line, state, lru: tick, valid: true };
+        ways[victim] = Way {
+            tag: line,
+            state,
+            lru: tick,
+            valid: true,
+        };
         if let Some((tag, _)) = evicted {
             self.removal_cause.insert(tag, RemovalCause::Replaced);
         }
@@ -226,7 +239,11 @@ impl Cache {
 
     /// Every resident line with its state (for invariant checks).
     pub fn resident_lines(&self) -> Vec<(u64, LineState)> {
-        self.ways.iter().filter(|w| w.valid).map(|w| (w.tag, w.state)).collect()
+        self.ways
+            .iter()
+            .filter(|w| w.valid)
+            .map(|w| (w.tag, w.state))
+            .collect()
     }
 
     /// State of the line containing `addr`, without touching LRU.
@@ -257,7 +274,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 32-byte lines = 256 bytes.
-        Cache::new(CacheConfig { size: 256, line: 32, assoc: 2 })
+        Cache::new(CacheConfig {
+            size: 256,
+            line: 32,
+            assoc: 2,
+        })
     }
 
     #[test]
@@ -324,7 +345,11 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflicts() {
-        let mut c = Cache::new(CacheConfig { size: 128, line: 32, assoc: 1 });
+        let mut c = Cache::new(CacheConfig {
+            size: 128,
+            line: 32,
+            assoc: 1,
+        });
         c.insert(0x0000, LineState::Shared);
         c.insert(0x0080, LineState::Shared); // same set, 4 sets
         assert!(!c.contains(0x0000));

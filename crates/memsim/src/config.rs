@@ -31,8 +31,14 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (size not divisible into
     /// `assoc` ways of `line`-byte lines, or non-power-of-two values).
     pub fn sets(&self) -> u64 {
-        assert!(self.line.is_power_of_two(), "line size must be a power of two");
-        assert!(self.size.is_multiple_of(self.line * self.assoc as u64), "inconsistent cache geometry");
+        assert!(
+            self.line.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            self.size.is_multiple_of(self.line * self.assoc as u64),
+            "inconsistent cache geometry"
+        );
         let sets = self.size / (self.line * self.assoc as u64);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
@@ -57,7 +63,12 @@ pub struct Latencies {
 
 impl Default for Latencies {
     fn default() -> Self {
-        Latencies { l2: 16, local: 80, remote2: 249, remote3: 351 }
+        Latencies {
+            l2: 16,
+            local: 80,
+            remote2: 249,
+            remote3: 351,
+        }
     }
 }
 
@@ -81,6 +92,22 @@ impl Latencies {
 /// paper's 4-processor CC-NUMA: 4 KB direct-mapped L1 with 32-byte lines,
 /// 128 KB 2-way L2 with 64-byte lines, a 16-entry write buffer, and the
 /// latencies above.
+///
+/// Configurations are built by starting from [`MachineConfig::baseline`] and
+/// chaining `with_*` deviations — the single construction surface every
+/// experiment uses:
+///
+/// ```
+/// use dss_memsim::{MachineConfig, Protocol};
+///
+/// let cfg = MachineConfig::baseline()
+///     .with_line_size(128)
+///     .with_cache_sizes(16 * 1024, 512 * 1024)
+///     .with_processors(2)
+///     .with_data_prefetch(4)
+///     .with_protocol(Protocol::Mesi);
+/// cfg.validate();
+/// ```
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MachineConfig {
     /// Number of processors (nodes).
@@ -108,8 +135,16 @@ impl MachineConfig {
     pub fn baseline() -> Self {
         MachineConfig {
             nprocs: 4,
-            l1: CacheConfig { size: 4 * 1024, line: 32, assoc: 1 },
-            l2: CacheConfig { size: 128 * 1024, line: 64, assoc: 2 },
+            l1: CacheConfig {
+                size: 4 * 1024,
+                line: 32,
+                assoc: 1,
+            },
+            l2: CacheConfig {
+                size: 128 * 1024,
+                line: 64,
+                assoc: 2,
+            },
             write_buffer: 16,
             lat: Latencies::default(),
             spin_interval: 20,
@@ -127,7 +162,10 @@ impl MachineConfig {
     ///
     /// Panics if `l2_line` is smaller than 16 bytes.
     pub fn with_line_size(mut self, l2_line: u64) -> Self {
-        assert!(l2_line >= 16, "L2 lines below 16 bytes are not meaningful here");
+        assert!(
+            l2_line >= 16,
+            "L2 lines below 16 bytes are not meaningful here"
+        );
         self.l2.line = l2_line;
         self.l1.line = l2_line / 2;
         self.lat = Latencies::default().for_line_size(l2_line);
@@ -138,6 +176,18 @@ impl MachineConfig {
     pub fn with_cache_sizes(mut self, l1_size: u64, l2_size: u64) -> Self {
         self.l1.size = l1_size;
         self.l2.size = l2_size;
+        self
+    }
+
+    /// The baseline with a different node count (the processor-scaling
+    /// extension; the paper fixes four).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nprocs` is zero.
+    pub fn with_processors(mut self, nprocs: usize) -> Self {
+        assert!(nprocs >= 1, "a machine needs at least one processor");
+        self.nprocs = nprocs;
         self
     }
 
@@ -160,7 +210,10 @@ impl MachineConfig {
     /// Panics on inconsistent geometry (also checked lazily by `sets`).
     pub fn validate(&self) {
         assert!(self.nprocs >= 1);
-        assert!(self.l1.line <= self.l2.line, "L1 lines must not exceed L2 lines");
+        assert!(
+            self.l1.line <= self.l2.line,
+            "L1 lines must not exceed L2 lines"
+        );
         let _ = self.l1.sets();
         let _ = self.l2.sets();
     }
@@ -177,7 +230,15 @@ mod tests {
         assert_eq!(c.nprocs, 4);
         assert_eq!(c.l1.sets(), 128); // 4 KB / 32 B direct mapped
         assert_eq!(c.l2.sets(), 1024); // 128 KB / 64 B / 2-way
-        assert_eq!(c.lat, Latencies { l2: 16, local: 80, remote2: 249, remote3: 351 });
+        assert_eq!(
+            c.lat,
+            Latencies {
+                l2: 16,
+                local: 80,
+                remote2: 249,
+                remote3: 351
+            }
+        );
         assert_eq!(c.write_buffer, 16);
     }
 
@@ -201,7 +262,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "inconsistent cache geometry")]
     fn bad_geometry_rejected() {
-        CacheConfig { size: 1000, line: 32, assoc: 1 }.sets();
+        CacheConfig {
+            size: 1000,
+            line: 32,
+            assoc: 1,
+        }
+        .sets();
     }
 
     #[test]

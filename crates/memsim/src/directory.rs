@@ -66,7 +66,11 @@ impl Directory {
     /// line was uncached).
     pub fn record_exclusive(&mut self, line: u64, node: usize) {
         let e = self.entries.entry(line).or_default();
-        debug_assert_eq!((e.sharers, e.owner), (0, None), "exclusive grant to a cached line");
+        debug_assert_eq!(
+            (e.sharers, e.owner),
+            (0, None),
+            "exclusive grant to a cached line"
+        );
         e.owner = Some(node);
     }
 
@@ -113,7 +117,13 @@ mod tests {
         let mut inv = d.record_write(0x100, 1);
         inv.sort();
         assert_eq!(inv, vec![0, 2]);
-        assert_eq!(d.entry(0x100), DirEntry { sharers: 0, owner: Some(1) });
+        assert_eq!(
+            d.entry(0x100),
+            DirEntry {
+                sharers: 0,
+                owner: Some(1)
+            }
+        );
     }
 
     #[test]

@@ -17,7 +17,12 @@
 //! stall cycles per data structure (Figure 6(b)), and optionally applies the
 //! paper's Section 6 sequential prefetcher for database data.
 //!
-//! See [`Machine`] for an end-to-end example.
+//! Configurations are built from [`MachineConfig::baseline`] plus chained
+//! `with_*` deviations (see [`MachineConfig`]); [`Machine`] shows an
+//! end-to-end example. [`Machine`], [`MachineConfig`], and [`SimStats`] are
+//! all `Send`, so a parallel experiment harness can run one simulation per
+//! thread — each point is a fresh machine, and results are deterministic
+//! regardless of scheduling.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,3 +38,12 @@ pub use config::{CacheConfig, Latencies, MachineConfig, Protocol};
 pub use directory::{home_of, DirEntry, Directory};
 pub use machine::Machine;
 pub use stats::{LevelStats, MissMatrix, ProcStats, SimStats, TimeBreakdown};
+
+// The parallel harness in `dss-core` moves machines and results across
+// threads; keep that guaranteed at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Machine>();
+    assert_send_sync::<MachineConfig>();
+    assert_send_sync::<SimStats>();
+};

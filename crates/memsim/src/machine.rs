@@ -93,7 +93,10 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Self {
         cfg.validate();
         let nodes = (0..cfg.nprocs)
-            .map(|_| Node { l1: Cache::new(cfg.l1), l2: Cache::new(cfg.l2) })
+            .map(|_| Node {
+                l1: Cache::new(cfg.l1),
+                l2: Cache::new(cfg.l2),
+            })
             .collect();
         Machine {
             cfg,
@@ -120,13 +123,21 @@ impl Machine {
     /// Panics if more traces than processors are supplied, or if a lock
     /// release does not match its holder.
     pub fn run(&mut self, traces: &[Trace]) -> SimStats {
-        assert!(traces.len() <= self.cfg.nprocs, "more traces than processors");
+        assert!(
+            traces.len() <= self.cfg.nprocs,
+            "more traces than processors"
+        );
         self.locks.clear();
         let mut seen = vec![false; self.cfg.nprocs];
         let mut procs: Vec<RunProc<'_>> = traces
             .iter()
             .map(|t| {
-                assert!(t.proc_id < self.cfg.nprocs, "trace for processor {} on a {}-processor machine", t.proc_id, self.cfg.nprocs);
+                assert!(
+                    t.proc_id < self.cfg.nprocs,
+                    "trace for processor {} on a {}-processor machine",
+                    t.proc_id,
+                    self.cfg.nprocs
+                );
                 assert!(!seen[t.proc_id], "two traces for processor {}", t.proc_id);
                 seen[t.proc_id] = true;
                 RunProc {
@@ -139,8 +150,14 @@ impl Machine {
                 }
             })
             .collect();
-        let mut l1s = LevelStats { read_misses: crate::stats::MissMatrix::new(), ..Default::default() };
-        let mut l2s = LevelStats { read_misses: crate::stats::MissMatrix::new(), ..Default::default() };
+        let mut l1s = LevelStats {
+            read_misses: crate::stats::MissMatrix::new(),
+            ..Default::default()
+        };
+        let mut l2s = LevelStats {
+            read_misses: crate::stats::MissMatrix::new(),
+            ..Default::default()
+        };
 
         loop {
             // Deterministic interleave: the unfinished processor with the
@@ -285,8 +302,10 @@ impl Machine {
     /// A read must wait for a pending write-buffer entry to the same line.
     fn wait_for_pending_write(&self, p: usize, rp: &mut RunProc<'_>, addr: u64, class: DataClass) {
         let line = self.nodes[p].l2.line_of(addr);
-        if let Some(&(_, complete)) =
-            rp.wb.iter().find(|(l, complete)| *l == line && *complete > rp.clock)
+        if let Some(&(_, complete)) = rp
+            .wb
+            .iter()
+            .find(|(l, complete)| *l == line && *complete > rp.clock)
         {
             let wait = complete - rp.clock;
             rp.clock = complete;
@@ -307,7 +326,12 @@ impl Machine {
             rp.retire_wb();
         }
         let line = self.nodes[p].l2.line_of(addr);
-        let start = rp.wb.back().map(|&(_, c)| c).unwrap_or(rp.clock).max(rp.clock);
+        let start = rp
+            .wb
+            .back()
+            .map(|&(_, c)| c)
+            .unwrap_or(rp.clock)
+            .max(rp.clock);
         rp.wb.push_back((line, start + service));
     }
 
@@ -377,10 +401,7 @@ impl Machine {
                 }
             }
         };
-        if self.cfg.protocol == Protocol::Mesi
-            && entry.owner.is_none()
-            && entry.sharers == 0
-        {
+        if self.cfg.protocol == Protocol::Mesi && entry.owner.is_none() && entry.sharers == 0 {
             self.dir.record_exclusive(line, p);
             (lat, LineState::Exclusive)
         } else {
@@ -598,7 +619,10 @@ mod tests {
         t1.write(addr, 8, DataClass::LockHash);
         let stats = machine().run(&[t0.take(), t1.take()]);
         assert_eq!(
-            stats.l2.read_misses.get(DataClass::LockHash, MissKind::Coherence),
+            stats
+                .l2
+                .read_misses
+                .get(DataClass::LockHash, MissKind::Coherence),
             1,
             "reread after invalidation is a coherence miss"
         );
@@ -614,7 +638,10 @@ mod tests {
             t.read(SHARED_BASE + 4096, 8, DataClass::PrivHeap);
         }
         let stats = machine().run(&[t.take()]);
-        let conf = stats.l1.read_misses.get(DataClass::PrivHeap, MissKind::Conflict);
+        let conf = stats
+            .l1
+            .read_misses
+            .get(DataClass::PrivHeap, MissKind::Conflict);
         assert_eq!(conf, 6, "all but the two cold misses conflict");
         assert_eq!(stats.l2.read_misses.total(), 2, "L2 holds both");
     }
@@ -765,10 +792,8 @@ mod tests {
             t.take()
         };
         let msi = Machine::new(MachineConfig::baseline()).run(&[make()]);
-        let mesi = Machine::new(
-            MachineConfig::baseline().with_protocol(crate::Protocol::Mesi),
-        )
-        .run(&[make()]);
+        let mesi = Machine::new(MachineConfig::baseline().with_protocol(crate::Protocol::Mesi))
+            .run(&[make()]);
         // Under MSI the write upgrades through the directory; under MESI the
         // Exclusive line absorbs it without any L2 transaction.
         assert_eq!(msi.l2.write_accesses, 1);
@@ -784,10 +809,8 @@ mod tests {
         let t1 = Tracer::new(1);
         t1.busy(10_000);
         t1.read(addr, 8, DataClass::Data);
-        let stats = Machine::new(
-            MachineConfig::baseline().with_protocol(crate::Protocol::Mesi),
-        )
-        .run(&[t0.take(), t1.take()]);
+        let stats = Machine::new(MachineConfig::baseline().with_protocol(crate::Protocol::Mesi))
+            .run(&[t0.take(), t1.take()]);
         // The copy was Exclusive but clean: a 2-hop transfer, not 3-hop.
         assert_eq!(stats.procs[1].mem_stall, 249);
     }
@@ -802,12 +825,13 @@ mod tests {
         let t1 = Tracer::new(1);
         t1.busy(50_000);
         t1.write(addr, 8, DataClass::Data);
-        let stats = Machine::new(
-            MachineConfig::baseline().with_protocol(crate::Protocol::Mesi),
-        )
-        .run(&[t0.take(), t1.take()]);
+        let stats = Machine::new(MachineConfig::baseline().with_protocol(crate::Protocol::Mesi))
+            .run(&[t0.take(), t1.take()]);
         assert_eq!(
-            stats.l2.read_misses.get(DataClass::Data, crate::MissKind::Coherence),
+            stats
+                .l2
+                .read_misses
+                .get(DataClass::Data, crate::MissKind::Coherence),
             1,
             "proc 0's exclusive copy must be invalidated by proc 1's write"
         );
@@ -820,7 +844,11 @@ mod tests {
             for p in 0..4 {
                 let t = Tracer::new(p);
                 for i in 0..200 {
-                    t.read(SHARED_BASE + ((i * 37 + p as u64 * 11) % 4096) * 8, 8, DataClass::Data);
+                    t.read(
+                        SHARED_BASE + ((i * 37 + p as u64 * 11) % 4096) * 8,
+                        8,
+                        DataClass::Data,
+                    );
                     t.busy((i % 7) as u32);
                     t.write(dss_shmem::private_base(p) + i * 16, 8, DataClass::PrivHeap);
                 }

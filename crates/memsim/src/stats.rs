@@ -41,7 +41,9 @@ pub struct MissMatrix {
 
 impl MissMatrix {
     pub(crate) fn new() -> Self {
-        MissMatrix { counts: vec![[0; 3]; NCLASSES] }
+        MissMatrix {
+            counts: vec![[0; 3]; NCLASSES],
+        }
     }
 
     pub(crate) fn add(&mut self, class: DataClass, kind: MissKind) {
@@ -167,7 +169,10 @@ impl ProcStats {
 }
 
 /// Full results of one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// Equality is exact and field-by-field, so tests can assert that a parallel
+/// experiment harness reproduces its serial results bit for bit.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Per-processor timing.
     pub procs: Vec<ProcStats>,
@@ -266,8 +271,20 @@ mod tests {
     fn breakdown_fractions() {
         let stats = SimStats {
             procs: vec![
-                ProcStats { cycles: 100, busy: 60, mem_stall: 30, msync: 10, ..Default::default() },
-                ProcStats { cycles: 100, busy: 50, mem_stall: 40, msync: 10, ..Default::default() },
+                ProcStats {
+                    cycles: 100,
+                    busy: 60,
+                    mem_stall: 30,
+                    msync: 10,
+                    ..Default::default()
+                },
+                ProcStats {
+                    cycles: 100,
+                    busy: 50,
+                    mem_stall: 40,
+                    msync: 10,
+                    ..Default::default()
+                },
             ],
             ..Default::default()
         };

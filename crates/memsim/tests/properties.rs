@@ -26,7 +26,12 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 /// Builds a well-formed trace (balanced lock pairs) from an op list.
 fn build_trace(proc: usize, ops: &[Op]) -> Trace {
     let t = Tracer::new(proc);
-    let classes = [DataClass::Data, DataClass::Index, DataClass::BufDesc, DataClass::LockHash];
+    let classes = [
+        DataClass::Data,
+        DataClass::Index,
+        DataClass::BufDesc,
+        DataClass::LockHash,
+    ];
     for op in ops {
         match op {
             Op::Read { shared, slot } => {
@@ -39,10 +44,18 @@ fn build_trace(proc: usize, ops: &[Op]) -> Trace {
             }
             Op::Busy(n) => t.busy(*n as u32),
             Op::Critical { lock, slot } => {
-                let class = if *lock { LockClass::LockMgr } else { LockClass::BufMgr };
+                let class = if *lock {
+                    LockClass::LockMgr
+                } else {
+                    LockClass::BufMgr
+                };
                 let token = LockToken::new(SHARED_BASE + 64 * (1 + (*slot % 4) as u64), class);
                 t.lock_acquire(token);
-                t.read(SHARED_BASE + 4096 + (*slot as u64 % 128) * 8, 8, classes[*slot as usize % 4]);
+                t.read(
+                    SHARED_BASE + 4096 + (*slot as u64 % 128) * 8,
+                    8,
+                    classes[*slot as usize % 4],
+                );
                 t.lock_release(token);
             }
         }
@@ -52,14 +65,21 @@ fn build_trace(proc: usize, ops: &[Op]) -> Trace {
 
 fn addr_of(proc: usize, shared: bool, slot: u16) -> (u64, DataClass) {
     if shared {
-        (SHARED_BASE + 1_000_000 + (slot as u64) * 24, DataClass::Data)
+        (
+            SHARED_BASE + 1_000_000 + (slot as u64) * 24,
+            DataClass::Data,
+        )
     } else {
         (private_base(proc) + (slot as u64) * 24, DataClass::PrivHeap)
     }
 }
 
 fn traces_from(per_proc: &[Vec<Op>]) -> Vec<Trace> {
-    per_proc.iter().enumerate().map(|(p, ops)| build_trace(p, ops)).collect()
+    per_proc
+        .iter()
+        .enumerate()
+        .map(|(p, ops)| build_trace(p, ops))
+        .collect()
 }
 
 proptest! {

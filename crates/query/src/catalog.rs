@@ -110,7 +110,10 @@ impl Catalog {
     /// Panics if an index names an unknown table or column, or if the pool is
     /// too small to hold the database.
     pub fn load(pool: &mut BufferPool, data: &DbData, index_set: &[(&str, &str)]) -> Self {
-        let mut cat = Catalog { tables: BTreeMap::new(), next_rel: 1 };
+        let mut cat = Catalog {
+            tables: BTreeMap::new(),
+            next_rel: 1,
+        };
         for def in tpcd_schema() {
             let rel = cat.next_rel;
             cat.next_rel += 1;
@@ -123,7 +126,11 @@ impl Catalog {
             let stats = column_stats(&rows, def.columns.len());
             cat.tables.insert(
                 def.name.to_owned(),
-                TableMeta { heap, indexes: Vec::new(), stats },
+                TableMeta {
+                    heap,
+                    indexes: Vec::new(),
+                    stats,
+                },
             );
             // Indexes for this table.
             for (tname, cname) in index_set.iter().filter(|(t, _)| *t == def.name) {
@@ -139,11 +146,15 @@ impl Catalog {
                 let index_rel = cat.next_rel;
                 cat.next_rel += 1;
                 let tree = BTree::bulk_build(pool, index_rel, &entries);
-                cat.tables.get_mut(def.name).expect("just inserted").indexes.push(IndexMeta {
-                    name: format!("{tname}_{cname}_idx"),
-                    column,
-                    tree,
-                });
+                cat.tables
+                    .get_mut(def.name)
+                    .expect("just inserted")
+                    .indexes
+                    .push(IndexMeta {
+                        name: format!("{tname}_{cname}_idx"),
+                        column,
+                        tree,
+                    });
             }
         }
         cat
@@ -217,7 +228,11 @@ fn column_stats(rows: &[Vec<Value>], ncols: usize) -> Vec<ColumnStats> {
                     _ => {}
                 }
             }
-            ColumnStats { min, max, ndistinct: distinct.len() as u64 }
+            ColumnStats {
+                min,
+                max,
+                ndistinct: distinct.len() as u64,
+            }
         })
         .collect()
 }
@@ -264,11 +279,16 @@ mod tests {
         let col = orders.heap.def().column_index("o_orderkey").unwrap();
         let idx = orders.index_on(col).unwrap();
         let t = dss_trace::Tracer::disabled();
-        let hits = idx.tree.lookup_range(&mut pool, &t, Key::int(700), Key::int(700));
+        let hits = idx
+            .tree
+            .lookup_range(&mut pool, &t, Key::int(700), Key::int(700));
         assert_eq!(hits.len(), 1);
         let (_, tid) = hits[0];
         let buf = pool.lookup(orders.heap.page(tid.block)).unwrap();
-        assert_eq!(orders.heap.attr_value(&pool, buf, tid.slot, col), Datum::Int(700));
+        assert_eq!(
+            orders.heap.attr_value(&pool, buf, tid.slot, col),
+            Datum::Int(700)
+        );
     }
 
     #[test]
@@ -303,7 +323,9 @@ mod tests {
         let idx = customer.index_on(seg_col).unwrap();
         let t = dss_trace::Tracer::disabled();
         let probe = index_key(&Datum::Str("BUILDING".into()));
-        let hits = idx.tree.lookup_range(&mut pool, &t, probe.min_in_group(), probe.max_in_group());
+        let hits = idx
+            .tree
+            .lookup_range(&mut pool, &t, probe.min_in_group(), probe.max_in_group());
         assert!(!hits.is_empty());
         // Every hit really is a BUILDING customer.
         for (_, tid) in hits {

@@ -175,7 +175,10 @@ mod tests {
     #[test]
     fn compare_same_kinds() {
         assert_eq!(Datum::Int(1).compare(&Datum::Int(2)), Ordering::Less);
-        assert_eq!(Datum::Str("AIR".into()).compare(&Datum::Str("AIR".into())), Ordering::Equal);
+        assert_eq!(
+            Datum::Str("AIR".into()).compare(&Datum::Str("AIR".into())),
+            Ordering::Equal
+        );
         let a = Datum::Date(Date::from_ymd(1995, 1, 1));
         let b = Datum::Date(Date::from_ymd(1995, 1, 2));
         assert_eq!(a.compare(&b), Ordering::Less);
@@ -223,6 +226,9 @@ mod tests {
     fn hash_is_deterministic_and_spreads() {
         assert_eq!(Datum::Int(5).hash64(), Datum::Int(5).hash64());
         assert_ne!(Datum::Int(5).hash64(), Datum::Int(6).hash64());
-        assert_ne!(Datum::Str("AIR".into()).hash64(), Datum::Str("RAIL".into()).hash64());
+        assert_ne!(
+            Datum::Str("AIR".into()).hash64(),
+            Datum::Str("RAIL".into()).hash64()
+        );
     }
 }

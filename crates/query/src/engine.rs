@@ -5,8 +5,8 @@ use std::fmt;
 use dss_bufcache::BufferPool;
 use dss_lockmgr::{LockMgr, LockMode, LockResult, Xid};
 use dss_shmem::{AddressSpace, PrivateHeap};
-use dss_trace::{CostModel, Tracer};
 use dss_tpcd::{DbData, Generator};
+use dss_trace::{CostModel, Tracer};
 
 use crate::catalog::{index_key, paper_index_set, Catalog};
 use crate::exec::{build, run_to_completion, ExecCtx};
@@ -44,7 +44,12 @@ impl Default for DbConfig {
 impl DbConfig {
     /// A small configuration for tests (scale 1/1000).
     pub fn tiny() -> Self {
-        DbConfig { scale: 0.001, seed: 42, nbuffers: 1024, indexes: paper_index_set() }
+        DbConfig {
+            scale: 0.001,
+            seed: 42,
+            nbuffers: 1024,
+            indexes: paper_index_set(),
+        }
     }
 }
 
@@ -88,7 +93,12 @@ impl Database {
         // Pre-size the lock manager's structures (no-op placeholder for
         // symmetric construction order).
         let _ = &mut lockmgr;
-        Database { space, pool, lockmgr, catalog }
+        Database {
+            space,
+            pool,
+            lockmgr,
+            catalog,
+        }
     }
 
     /// Parses and executes any statement: `select` returns rows, `insert`
@@ -130,10 +140,13 @@ impl Database {
                 let plan = plan_query(&self.catalog, &ast)?;
                 Ok(StatementOutput::Rows(self.run_plan(&plan, session)))
             }
-            dss_sql::Statement::Insert { table, rows } => {
-                self.insert_rows(&table, &rows, session).map(StatementOutput::Affected)
-            }
-            dss_sql::Statement::Delete { table, where_clause } => self
+            dss_sql::Statement::Insert { table, rows } => self
+                .insert_rows(&table, &rows, session)
+                .map(StatementOutput::Affected),
+            dss_sql::Statement::Delete {
+                table,
+                where_clause,
+            } => self
                 .delete_where(&table, where_clause.as_ref(), session)
                 .map(StatementOutput::Affected),
         }
@@ -147,7 +160,12 @@ impl Database {
     ) -> Result<u64, EngineError> {
         let t = session.tracer.clone();
         let cost = session.cost;
-        let Database { pool, lockmgr, catalog, .. } = self;
+        let Database {
+            pool,
+            lockmgr,
+            catalog,
+            ..
+        } = self;
         let meta = catalog
             .table_mut(table)
             .ok_or_else(|| PlanError::new(format!("unknown table {table}")))?;
@@ -209,7 +227,12 @@ impl Database {
     ) -> Result<u64, EngineError> {
         let t = session.tracer.clone();
         let cost = session.cost;
-        let Database { pool, lockmgr, catalog, .. } = self;
+        let Database {
+            pool,
+            lockmgr,
+            catalog,
+            ..
+        } = self;
         let meta = catalog
             .table_mut(table)
             .ok_or_else(|| PlanError::new(format!("unknown table {table}")))?;
@@ -243,7 +266,13 @@ impl Database {
                 }
                 let matches = match &bound {
                     Some(p) => {
-                        let mut src = DeleteSrc { heap: &meta.heap, pool, buf, slot, deformed: 0 };
+                        let mut src = DeleteSrc {
+                            heap: &meta.heap,
+                            pool,
+                            buf,
+                            slot,
+                            deformed: 0,
+                        };
                         p.eval_bool(&mut src, &t, &cost)
                     }
                     None => true,
@@ -392,7 +421,10 @@ impl Database {
         };
         // Transaction end: release every lock (Postgres95's LockReleaseAll).
         self.lockmgr.release_all(xid, &session.tracer);
-        QueryOutput { rows, plan: plan.clone() }
+        QueryOutput {
+            rows,
+            plan: plan.clone(),
+        }
     }
 }
 
@@ -458,7 +490,9 @@ impl StatementOutput {
 /// Rewrites every sequential scan in `plan` to cover partition `i` of `k`.
 fn partition_scans(plan: &mut Plan, i: u32, k: u32, catalog: &Catalog) {
     match plan {
-        Plan::SeqScan { table, block_range, .. } => {
+        Plan::SeqScan {
+            table, block_range, ..
+        } => {
             let npages = catalog.table(table).expect("planned table").heap.npages();
             let lo = npages * i / k;
             let hi = npages * (i + 1) / k;
@@ -491,7 +525,8 @@ struct DeleteSrc<'a> {
 
 impl SlotSource for DeleteSrc<'_> {
     fn load(&mut self, i: usize, t: &Tracer) -> Datum {
-        self.heap.read_attr_walking(self.pool, self.buf, self.slot, i, &mut self.deformed, t)
+        self.heap
+            .read_attr_walking(self.pool, self.buf, self.slot, i, &mut self.deformed, t)
     }
 }
 
@@ -519,7 +554,9 @@ fn literal_value(e: &dss_sql::Expr, ty: dss_tpcd::ColType) -> Result<dss_tpcd::V
             Value::Date(dss_tpcd::Date::from_ymd(*year, *month, *day))
         }
         (e, ty) => {
-            return Err(PlanError::new(format!("literal {e:?} does not fit column type {ty:?}")))
+            return Err(PlanError::new(format!(
+                "literal {e:?} does not fit column type {ty:?}"
+            )))
         }
     })
 }

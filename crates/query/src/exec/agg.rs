@@ -137,11 +137,16 @@ impl AggCore {
     }
 
     fn finish(&self) -> Vec<Datum> {
-        self.specs.iter().zip(&self.states).map(|(s, st)| st.finish(s)).collect()
+        self.specs
+            .iter()
+            .zip(&self.states)
+            .map(|(s, st)| st.finish(s))
+            .collect()
     }
 
     fn free(self, ctx: &mut ExecCtx<'_>) {
-        ctx.mem.free(self.acc_addr, self.specs.len().max(1) as u64 * 8);
+        ctx.mem
+            .free(self.acc_addr, self.specs.len().max(1) as u64 * 8);
     }
 }
 
@@ -229,18 +234,22 @@ impl ExecNode for GroupExec {
                     };
                     self.arena.as_mut().expect("opened").touch(&ctx.t, 4);
                     match &self.cur_keys {
-                        Some(cur) if cur
-                            .iter()
-                            .zip(&row_keys)
-                            .all(|(a, b)| a.compare(b).is_eq()) =>
+                        Some(cur)
+                            if cur.iter().zip(&row_keys).all(|(a, b)| a.compare(b).is_eq()) =>
                         {
-                            self.core.as_mut().expect("opened").update(ctx, &r, &input_shape);
+                            self.core
+                                .as_mut()
+                                .expect("opened")
+                                .update(ctx, &r, &input_shape);
                         }
                         Some(_) => {
                             // Boundary: emit the finished group, start anew.
                             let finished = self.cur_keys.replace(row_keys).expect("checked");
                             let out = self.emit(ctx, finished);
-                            self.core.as_mut().expect("opened").update(ctx, &r, &input_shape);
+                            self.core
+                                .as_mut()
+                                .expect("opened")
+                                .update(ctx, &r, &input_shape);
                             self.lookahead = None;
                             let _ = &out;
                             // The consumed row already updated the new group.
@@ -248,7 +257,10 @@ impl ExecNode for GroupExec {
                         }
                         None => {
                             self.cur_keys = Some(row_keys);
-                            self.core.as_mut().expect("opened").update(ctx, &r, &input_shape);
+                            self.core
+                                .as_mut()
+                                .expect("opened")
+                                .update(ctx, &r, &input_shape);
                         }
                     }
                 }
@@ -290,7 +302,15 @@ pub struct AggregateExec {
 
 impl AggregateExec {
     pub(crate) fn new(input: Box<dyn ExecNode>, specs: Vec<AggSpec>, shape: RowShape) -> Self {
-        AggregateExec { input, specs, shape, arena: None, slot_addr: 0, core: None, done: false }
+        AggregateExec {
+            input,
+            specs,
+            shape,
+            arena: None,
+            slot_addr: 0,
+            core: None,
+            done: false,
+        }
     }
 }
 
@@ -309,7 +329,10 @@ impl ExecNode for AggregateExec {
         let input_shape = self.input.shape().clone();
         while let Some(r) = self.input.next(ctx) {
             self.arena.as_mut().expect("opened").touch(&ctx.t, 4);
-            self.core.as_mut().expect("opened").update(ctx, &r, &input_shape);
+            self.core
+                .as_mut()
+                .expect("opened")
+                .update(ctx, &r, &input_shape);
         }
         self.done = true;
         let vals = self.core.as_ref().expect("opened").finish();
@@ -347,7 +370,12 @@ pub struct FilterExec {
 impl FilterExec {
     pub(crate) fn new(input: Box<dyn ExecNode>, preds: Vec<crate::expr::Scalar>) -> Self {
         let shape = input.shape().clone();
-        FilterExec { input, preds, shape, arena: None }
+        FilterExec {
+            input,
+            preds,
+            shape,
+            arena: None,
+        }
     }
 }
 
@@ -394,7 +422,13 @@ impl ProjectExec {
         exprs: Vec<crate::expr::Scalar>,
         shape: RowShape,
     ) -> Self {
-        ProjectExec { input, exprs, shape, arena: None, slot_addr: 0 }
+        ProjectExec {
+            input,
+            exprs,
+            shape,
+            arena: None,
+            slot_addr: 0,
+        }
     }
 }
 
@@ -416,7 +450,11 @@ impl ExecNode for ProjectExec {
                 e.eval_value(&mut src, &ctx.t, &ctx.cost)
             };
             let w = self.shape.field_width(i).clamp(1, 8);
-            ctx.t.write(self.slot_addr + self.shape.offsets[i], w, DataClass::PrivHeap);
+            ctx.t.write(
+                self.slot_addr + self.shape.offsets[i],
+                w,
+                DataClass::PrivHeap,
+            );
             vals.push(v);
         }
         Some(Row::new(self.slot_addr, vals))
@@ -446,7 +484,12 @@ pub struct LimitExec {
 impl LimitExec {
     pub(crate) fn new(input: Box<dyn ExecNode>, n: u64) -> Self {
         let shape = input.shape().clone();
-        LimitExec { input, n, produced: 0, shape }
+        LimitExec {
+            input,
+            n,
+            produced: 0,
+            shape,
+        }
     }
 }
 

@@ -20,7 +20,13 @@ fn combine(
 ) -> Row {
     ctx.t.busy(ctx.cost.tuple_overhead);
     if outer_shape.width > 0 {
-        ctx.t.copy(outer.addr, DataClass::PrivHeap, slot_addr, DataClass::PrivHeap, outer_shape.width);
+        ctx.t.copy(
+            outer.addr,
+            DataClass::PrivHeap,
+            slot_addr,
+            DataClass::PrivHeap,
+            outer_shape.width,
+        );
     }
     if inner_shape.width > 0 {
         ctx.t.copy(
@@ -49,9 +55,21 @@ pub struct NestLoopExec {
 }
 
 impl NestLoopExec {
-    pub(crate) fn new(outer: Box<dyn ExecNode>, inner: Box<dyn ExecNode>, outer_key: usize) -> Self {
+    pub(crate) fn new(
+        outer: Box<dyn ExecNode>,
+        inner: Box<dyn ExecNode>,
+        outer_key: usize,
+    ) -> Self {
         let shape = outer.shape().concat(inner.shape());
-        NestLoopExec { outer, inner, outer_key, shape, arena: None, slot_addr: 0, cur_outer: None }
+        NestLoopExec {
+            outer,
+            inner,
+            outer_key,
+            shape,
+            arena: None,
+            slot_addr: 0,
+            cur_outer: None,
+        }
     }
 }
 
@@ -77,7 +95,14 @@ impl ExecNode for NestLoopExec {
                 Some(inner_row) => {
                     let outer_row = self.cur_outer.as_ref().expect("set above").clone();
                     let (os, is) = (self.outer.shape().clone(), self.inner.shape().clone());
-                    return Some(combine(ctx, self.slot_addr, &outer_row, &os, &inner_row, &is));
+                    return Some(combine(
+                        ctx,
+                        self.slot_addr,
+                        &outer_row,
+                        &os,
+                        &inner_row,
+                        &is,
+                    ));
                 }
                 None => self.cur_outer = None,
             }
@@ -175,7 +200,14 @@ impl ExecNode for MergeJoinExec {
                     self.group_idx += 1;
                     let outer_row = self.cur_outer.as_ref().expect("set").clone();
                     let (os, is) = (self.outer.shape().clone(), self.inner.shape().clone());
-                    return Some(combine(ctx, self.slot_addr, &outer_row, &os, &inner_row, &is));
+                    return Some(combine(
+                        ctx,
+                        self.slot_addr,
+                        &outer_row,
+                        &os,
+                        &inner_row,
+                        &is,
+                    ));
                 }
                 self.cur_outer = None;
                 continue;
@@ -317,7 +349,8 @@ impl HashJoinExec {
         for (addr, key, row) in rows {
             let b = (key.hash64() % self.nbuckets) as usize;
             // Link into the bucket: write the bucket head and entry header.
-            ctx.t.write(self.buckets_addr + b as u64 * 8, 8, DataClass::PrivHeap);
+            ctx.t
+                .write(self.buckets_addr + b as u64 * 8, 8, DataClass::PrivHeap);
             ctx.t.write(addr, 8, DataClass::PrivHeap);
             self.table[b].push((addr, key, row));
         }
@@ -342,7 +375,8 @@ impl ExecNode for HashJoinExec {
                 ctx.t.busy(ctx.cost.hash_step);
                 self.arena.as_mut().expect("opened").touch(&ctx.t, 6);
                 let b = (row.vals[self.outer_key].hash64() % self.nbuckets) as usize;
-                ctx.t.read(self.buckets_addr + b as u64 * 8, 8, DataClass::PrivHeap);
+                ctx.t
+                    .read(self.buckets_addr + b as u64 * 8, 8, DataClass::PrivHeap);
                 self.cur_outer = Some(row);
                 self.chain_idx = 0;
             }
@@ -365,7 +399,14 @@ impl ExecNode for HashJoinExec {
             match matched {
                 Some(inner_row) => {
                     let (os, is) = (self.outer.shape().clone(), self.inner.shape().clone());
-                    return Some(combine(ctx, self.slot_addr, &outer_row, &os, &inner_row, &is));
+                    return Some(combine(
+                        ctx,
+                        self.slot_addr,
+                        &outer_row,
+                        &os,
+                        &inner_row,
+                        &is,
+                    ));
                 }
                 None => self.cur_outer = None,
             }

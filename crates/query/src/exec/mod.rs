@@ -77,7 +77,11 @@ const ARENA_HOT_STRIDE: u64 = 136;
 impl Arena {
     /// Allocates an arena from the private heap.
     pub fn new(mem: &mut PrivateHeap, size: u64) -> Self {
-        Arena { base: mem.alloc(size), size, cursor: 0 }
+        Arena {
+            base: mem.alloc(size),
+            size,
+            cursor: 0,
+        }
     }
 
     /// Emits `n` machinery references (mostly reads, some writes). Touches
@@ -131,7 +135,11 @@ impl<'a> RowSrc<'a> {
 impl SlotSource for RowSrc<'_> {
     fn load(&mut self, i: usize, t: &Tracer) -> Datum {
         let width = self.shape.field_width(i).clamp(1, 8);
-        t.read(self.row.addr + self.shape.offsets[i], width, DataClass::PrivHeap);
+        t.read(
+            self.row.addr + self.shape.offsets[i],
+            width,
+            DataClass::PrivHeap,
+        );
         self.row.vals[i].clone()
     }
 }
@@ -140,7 +148,13 @@ impl SlotSource for RowSrc<'_> {
 /// word copies, and returns the new row at the destination.
 pub fn copy_row_to(t: &Tracer, row: &Row, shape: &RowShape, dst: u64) -> Row {
     if shape.width > 0 {
-        t.copy(row.addr, DataClass::PrivHeap, dst, DataClass::PrivHeap, shape.width);
+        t.copy(
+            row.addr,
+            DataClass::PrivHeap,
+            dst,
+            DataClass::PrivHeap,
+            shape.width,
+        );
     }
     Row::new(dst, row.vals.clone())
 }
@@ -168,47 +182,79 @@ pub trait ExecNode {
 /// Instantiates the executor tree for a plan.
 pub fn build(plan: &Plan, cat: &Catalog) -> Box<dyn ExecNode> {
     match plan {
-        Plan::SeqScan { table, preds, project, block_range } => Box::new(SeqScanExec::new(
+        Plan::SeqScan {
+            table,
+            preds,
+            project,
+            block_range,
+        } => Box::new(SeqScanExec::new(
             cat,
             table,
             preds.clone(),
             project.clone(),
             *block_range,
         )),
-        Plan::IndexScan { table, index_column, lo, hi, parameterized, preds, project } => {
-            Box::new(IndexScanExec::new(
-                cat,
-                table,
-                *index_column,
-                lo.clone(),
-                hi.clone(),
-                *parameterized,
-                preds.clone(),
-                project.clone(),
-            ))
+        Plan::IndexScan {
+            table,
+            index_column,
+            lo,
+            hi,
+            parameterized,
+            preds,
+            project,
+        } => Box::new(IndexScanExec::new(
+            cat,
+            table,
+            *index_column,
+            lo.clone(),
+            hi.clone(),
+            *parameterized,
+            preds.clone(),
+            project.clone(),
+        )),
+        Plan::NestLoop {
+            outer,
+            inner,
+            outer_key,
+        } => Box::new(NestLoopExec::new(
+            build(outer, cat),
+            build(inner, cat),
+            *outer_key,
+        )),
+        Plan::MergeJoin {
+            outer,
+            outer_key,
+            inner,
+            inner_key,
+        } => Box::new(MergeJoinExec::new(
+            build(outer, cat),
+            *outer_key,
+            build(inner, cat),
+            *inner_key,
+        )),
+        Plan::HashJoin {
+            outer,
+            outer_key,
+            inner,
+            inner_key,
+        } => Box::new(HashJoinExec::new(
+            build(outer, cat),
+            *outer_key,
+            build(inner, cat),
+            *inner_key,
+        )),
+        Plan::Filter { input, preds } => {
+            Box::new(FilterExec::new(build(input, cat), preds.clone()))
         }
-        Plan::NestLoop { outer, inner, outer_key } => Box::new(NestLoopExec::new(
-            build(outer, cat),
-            build(inner, cat),
-            *outer_key,
-        )),
-        Plan::MergeJoin { outer, outer_key, inner, inner_key } => Box::new(MergeJoinExec::new(
-            build(outer, cat),
-            *outer_key,
-            build(inner, cat),
-            *inner_key,
-        )),
-        Plan::HashJoin { outer, outer_key, inner, inner_key } => Box::new(HashJoinExec::new(
-            build(outer, cat),
-            *outer_key,
-            build(inner, cat),
-            *inner_key,
-        )),
-        Plan::Filter { input, preds } => Box::new(FilterExec::new(build(input, cat), preds.clone())),
         Plan::Sort { input, keys } => Box::new(SortExec::new(build(input, cat), keys.clone())),
         Plan::Group { input, keys, aggs } => {
             let shape = plan.shape(cat);
-            Box::new(GroupExec::new(build(input, cat), keys.clone(), aggs.clone(), shape))
+            Box::new(GroupExec::new(
+                build(input, cat),
+                keys.clone(),
+                aggs.clone(),
+                shape,
+            ))
         }
         Plan::Aggregate { input, aggs } => {
             let shape = plan.shape(cat);

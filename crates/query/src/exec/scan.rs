@@ -26,7 +26,13 @@ struct HeapSrc<'a> {
 
 impl<'a> HeapSrc<'a> {
     fn new(heap: &'a Heap, pool: &'a dss_bufcache::BufferPool, buf: BufId, slot: u32) -> Self {
-        HeapSrc { heap, pool, buf, slot, deformed_to: 0 }
+        HeapSrc {
+            heap,
+            pool,
+            buf,
+            slot,
+            deformed_to: 0,
+        }
     }
 }
 
@@ -55,7 +61,13 @@ fn project_tuple(
     for (k, &attr) in project.iter().enumerate() {
         let src = heap.attr_addr(pool, buf, slot, attr);
         let width = heap.attr_width(attr);
-        t.copy(src, DataClass::Data, slot_addr + shape.offsets[k], DataClass::PrivHeap, width);
+        t.copy(
+            src,
+            DataClass::Data,
+            slot_addr + shape.offsets[k],
+            DataClass::PrivHeap,
+            width,
+        );
         vals.push(heap.attr_value(pool, buf, slot, attr));
     }
     Row::new(slot_addr, vals)
@@ -110,8 +122,14 @@ impl SeqScanExec {
 
 impl ExecNode for SeqScanExec {
     fn open(&mut self, ctx: &mut ExecCtx<'_>) {
-        let granted = ctx.lockmgr.acquire(ctx.xid, self.heap.rel(), LockMode::Read, &ctx.t);
-        assert_eq!(granted, LockResult::Granted, "read locks never conflict here");
+        let granted = ctx
+            .lockmgr
+            .acquire(ctx.xid, self.heap.rel(), LockMode::Read, &ctx.t);
+        assert_eq!(
+            granted,
+            LockResult::Granted,
+            "read locks never conflict here"
+        );
         ctx.t.busy(ctx.cost.scan_start);
         self.arena = Some(Arena::new(ctx.mem, ARENA_SIZE));
         self.slot_addr = ctx.mem.alloc(self.shape.width.max(8));
@@ -228,7 +246,11 @@ impl IndexScanExec {
     ) -> Self {
         let meta = cat.table(table).expect("planned table");
         let heap = meta.heap.clone();
-        let tree = meta.index_on(index_column).expect("planned index").tree.clone();
+        let tree = meta
+            .index_on(index_column)
+            .expect("planned index")
+            .tree
+            .clone();
         let def = heap.def();
         let shape = RowShape::new(project.iter().map(|&a| def.columns[a].ty).collect());
         IndexScanExec {
@@ -276,10 +298,22 @@ impl IndexScanExec {
     /// relation (the paper's continuously accessed `LockMgrLock`) followed by
     /// the index descent.
     fn start_scan(&mut self, ctx: &mut ExecCtx<'_>) {
-        let granted = ctx.lockmgr.acquire(ctx.xid, self.heap.rel(), LockMode::Read, &ctx.t);
-        assert_eq!(granted, LockResult::Granted, "read locks never conflict here");
-        let granted = ctx.lockmgr.acquire(ctx.xid, self.tree.rel(), LockMode::Read, &ctx.t);
-        assert_eq!(granted, LockResult::Granted, "index read locks never conflict");
+        let granted = ctx
+            .lockmgr
+            .acquire(ctx.xid, self.heap.rel(), LockMode::Read, &ctx.t);
+        assert_eq!(
+            granted,
+            LockResult::Granted,
+            "read locks never conflict here"
+        );
+        let granted = ctx
+            .lockmgr
+            .acquire(ctx.xid, self.tree.rel(), LockMode::Read, &ctx.t);
+        assert_eq!(
+            granted,
+            LockResult::Granted,
+            "index read locks never conflict"
+        );
         ctx.t.busy(ctx.cost.scan_start);
         let (lo_key, hi_key) = match (&self.param, &self.lo, &self.hi) {
             (Some(p), _, _) => {
@@ -319,7 +353,6 @@ impl ExecNode for IndexScanExec {
         self.param = Some(key.clone());
         self.start_scan(ctx);
     }
-
 
     fn next(&mut self, ctx: &mut ExecCtx<'_>) -> Option<Row> {
         loop {

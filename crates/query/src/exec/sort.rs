@@ -57,8 +57,16 @@ impl SortExec {
             let rb = &stored[b].1;
             for (k, desc) in keys {
                 let w = shape.field_width(*k).clamp(1, 8);
-                t.read(ra.addr + shape.offsets[*k], w, dss_trace::DataClass::PrivHeap);
-                t.read(rb.addr + shape.offsets[*k], w, dss_trace::DataClass::PrivHeap);
+                t.read(
+                    ra.addr + shape.offsets[*k],
+                    w,
+                    dss_trace::DataClass::PrivHeap,
+                );
+                t.read(
+                    rb.addr + shape.offsets[*k],
+                    w,
+                    dss_trace::DataClass::PrivHeap,
+                );
                 let ord = ra.vals[*k].compare(&rb.vals[*k]);
                 let ord = if *desc { ord.reverse() } else { ord };
                 if !ord.is_eq() {

@@ -1,8 +1,8 @@
 //! Bound (executable) scalar expressions.
 
 use dss_sql::{BinOp, Expr};
-use dss_trace::{CostModel, Tracer};
 use dss_tpcd::Date;
+use dss_trace::{CostModel, Tracer};
 
 use crate::datum::like_match;
 use crate::{Datum, PlanError};
@@ -107,14 +107,23 @@ impl Scalar {
                     _ => unreachable!(),
                 }
             }
-            Scalar::Binary { op: BinOp::And, lhs, rhs } => {
-                lhs.eval_bool(src, t, cost) && rhs.eval_bool(src, t, cost)
-            }
-            Scalar::Binary { op: BinOp::Or, lhs, rhs } => {
-                lhs.eval_bool(src, t, cost) || rhs.eval_bool(src, t, cost)
-            }
+            Scalar::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => lhs.eval_bool(src, t, cost) && rhs.eval_bool(src, t, cost),
+            Scalar::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } => lhs.eval_bool(src, t, cost) || rhs.eval_bool(src, t, cost),
             Scalar::Not(e) => !e.eval_bool(src, t, cost),
-            Scalar::Between { expr, lo, hi, negated } => {
+            Scalar::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
                 let v = expr.eval_value(src, t, cost);
                 let lo = lo.eval_value(src, t, cost);
                 let hi = hi.eval_value(src, t, cost);
@@ -122,7 +131,11 @@ impl Scalar {
                 let inside = v.compare(&lo).is_ge() && v.compare(&hi).is_le();
                 inside != *negated
             }
-            Scalar::InList { expr, list, negated } => {
+            Scalar::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let v = expr.eval_value(src, t, cost);
                 let mut found = false;
                 for cand in list {
@@ -135,7 +148,11 @@ impl Scalar {
                 }
                 found != *negated
             }
-            Scalar::Like { expr, pattern, negated } => {
+            Scalar::Like {
+                expr,
+                pattern,
+                negated,
+            } => {
                 let v = expr.eval_value(src, t, cost);
                 t.busy(cost.predicate_eval + pattern.len() as u32);
                 like_match(v.str(), pattern) != *negated
@@ -213,10 +230,13 @@ pub fn bind(
     Ok(match expr {
         Expr::Column { table, name } => {
             let slot = scope(table.as_deref(), name).ok_or_else(|| {
-                PlanError::new(format!("unknown column {}{name}", match table {
-                    Some(t) => format!("{t}."),
-                    None => String::new(),
-                }))
+                PlanError::new(format!(
+                    "unknown column {}{name}",
+                    match table {
+                        Some(t) => format!("{t}."),
+                        None => String::new(),
+                    }
+                ))
             })?;
             Scalar::Slot(slot)
         }
@@ -232,24 +252,42 @@ pub fn bind(
             rhs: Box::new(bind(rhs, scope)?),
         },
         Expr::Not(e) => Scalar::Not(Box::new(bind(e, scope)?)),
-        Expr::Between { expr, lo, hi, negated } => Scalar::Between {
+        Expr::Between {
+            expr,
+            lo,
+            hi,
+            negated,
+        } => Scalar::Between {
             expr: Box::new(bind(expr, scope)?),
             lo: Box::new(bind(lo, scope)?),
             hi: Box::new(bind(hi, scope)?),
             negated: *negated,
         },
-        Expr::InList { expr, list, negated } => Scalar::InList {
+        Expr::InList {
+            expr,
+            list,
+            negated,
+        } => Scalar::InList {
             expr: Box::new(bind(expr, scope)?),
-            list: list.iter().map(|e| bind(e, scope)).collect::<Result<_, _>>()?,
+            list: list
+                .iter()
+                .map(|e| bind(e, scope))
+                .collect::<Result<_, _>>()?,
             negated: *negated,
         },
-        Expr::Like { expr, pattern, negated } => Scalar::Like {
+        Expr::Like {
+            expr,
+            pattern,
+            negated,
+        } => Scalar::Like {
             expr: Box::new(bind(expr, scope)?),
             pattern: pattern.clone(),
             negated: *negated,
         },
         Expr::Agg { .. } => {
-            return Err(PlanError::new("aggregate in a non-aggregate context".to_owned()))
+            return Err(PlanError::new(
+                "aggregate in a non-aggregate context".to_owned(),
+            ))
         }
     })
 }
@@ -349,7 +387,11 @@ mod tests {
             pattern: "PROMO%".into(),
             negated: true,
         };
-        assert!(like.eval_bool(&mut Vals(vec![Datum::Str("STANDARD TIN".into())]), &t, &free()));
+        assert!(like.eval_bool(
+            &mut Vals(vec![Datum::Str("STANDARD TIN".into())]),
+            &t,
+            &free()
+        ));
     }
 
     #[test]

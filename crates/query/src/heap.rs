@@ -2,8 +2,8 @@
 
 use dss_btree::TupleId;
 use dss_bufcache::{BufId, BufferPool, PageId, BLOCK_SIZE};
-use dss_trace::{DataClass, Tracer};
 use dss_tpcd::{ColType, Date, TableDef, Value};
+use dss_trace::{DataClass, Tracer};
 
 use crate::Datum;
 
@@ -57,7 +57,15 @@ impl Heap {
         let slot = TUPLE_HEADER + off;
         let tuples_per_page = ((BLOCK_SIZE - PAGE_HEADER) / slot) as u32;
         assert!(tuples_per_page > 0, "tuple wider than a page");
-        Heap { rel, def, attr_offsets, row_width: off, tuples_per_page, ntuples: 0, ndead: 0 }
+        Heap {
+            rel,
+            def,
+            attr_offsets,
+            row_width: off,
+            tuples_per_page,
+            ntuples: 0,
+            ndead: 0,
+        }
     }
 
     /// The heap's relation id.
@@ -163,7 +171,10 @@ impl Heap {
 
     /// Emulated address of attribute `attr` of the tuple in `slot`.
     pub fn attr_addr(&self, pool: &BufferPool, buf: BufId, slot: u32, attr: usize) -> u64 {
-        pool.page_addr(buf, self.slot_off(slot) + TUPLE_HEADER + self.attr_offsets[attr])
+        pool.page_addr(
+            buf,
+            self.slot_off(slot) + TUPLE_HEADER + self.attr_offsets[attr],
+        )
     }
 
     /// On-page width of attribute `attr`.
@@ -190,9 +201,20 @@ impl Heap {
     /// Reads attribute `attr` for a predicate check: decodes the value and
     /// emits a [`DataClass::Data`] load at its address (string reads capped
     /// at 16 bytes — a comparison resolves within the first words).
-    pub fn read_attr(&self, pool: &BufferPool, buf: BufId, slot: u32, attr: usize, t: &Tracer) -> Datum {
+    pub fn read_attr(
+        &self,
+        pool: &BufferPool,
+        buf: BufId,
+        slot: u32,
+        attr: usize,
+        t: &Tracer,
+    ) -> Datum {
         let width = self.attr_width(attr).min(STRING_PROBE_BYTES);
-        t.read(self.attr_addr(pool, buf, slot, attr), width, DataClass::Data);
+        t.read(
+            self.attr_addr(pool, buf, slot, attr),
+            width,
+            DataClass::Data,
+        );
         self.attr_value(pool, buf, slot, attr)
     }
 
@@ -221,7 +243,11 @@ impl Heap {
         let from = (*deformed_to).max(CACHED_OFFSET_ATTRS);
         let start = self.attr_offsets[from];
         let end = self.attr_offsets[attr] + self.attr_width(attr).min(STRING_PROBE_BYTES);
-        t.read(self.attr_addr(pool, buf, slot, from), end - start, DataClass::Data);
+        t.read(
+            self.attr_addr(pool, buf, slot, from),
+            end - start,
+            DataClass::Data,
+        );
         *deformed_to = attr + 1;
         self.attr_value(pool, buf, slot, attr)
     }
@@ -297,8 +323,8 @@ impl Heap {
 mod tests {
     use super::*;
     use dss_shmem::AddressSpace;
-    use dss_trace::TraceStats;
     use dss_tpcd::table_def;
+    use dss_trace::TraceStats;
 
     fn region_heap() -> (BufferPool, Heap) {
         let mut space = AddressSpace::new();
@@ -312,12 +338,19 @@ mod tests {
         let (mut pool, mut heap) = region_heap();
         let tid = heap.append(
             &mut pool,
-            &[Value::Int(0), Value::Str("AFRICA".into()), Value::Str("vast".into())],
+            &[
+                Value::Int(0),
+                Value::Str("AFRICA".into()),
+                Value::Str("vast".into()),
+            ],
         );
         assert_eq!(tid, TupleId::new(0, 0));
         let buf = pool.lookup(heap.page(0)).unwrap();
         assert_eq!(heap.attr_value(&pool, buf, 0, 0), Datum::Int(0));
-        assert_eq!(heap.attr_value(&pool, buf, 0, 1), Datum::Str("AFRICA".into()));
+        assert_eq!(
+            heap.attr_value(&pool, buf, 0, 1),
+            Datum::Str("AFRICA".into())
+        );
         assert_eq!(heap.attr_value(&pool, buf, 0, 2), Datum::Str("vast".into()));
         assert_eq!(heap.ntuples(), 1);
     }
@@ -329,7 +362,11 @@ mod tests {
         for i in 0..per_page + 3 {
             heap.append(
                 &mut pool,
-                &[Value::Int(i as i64), Value::Str(format!("R{i}")), Value::Str("c".into())],
+                &[
+                    Value::Int(i as i64),
+                    Value::Str(format!("R{i}")),
+                    Value::Str("c".into()),
+                ],
             );
         }
         assert_eq!(heap.npages(), 2);
@@ -338,7 +375,10 @@ mod tests {
         let t = Tracer::disabled();
         assert_eq!(heap.tuples_on_page(&pool, buf0, &t), per_page as u32);
         assert_eq!(heap.tuples_on_page(&pool, buf1, &t), 3);
-        assert_eq!(heap.attr_value(&pool, buf1, 0, 0), Datum::Int(per_page as i64));
+        assert_eq!(
+            heap.attr_value(&pool, buf1, 0, 0),
+            Datum::Int(per_page as i64)
+        );
     }
 
     #[test]
@@ -354,7 +394,14 @@ mod tests {
     #[test]
     fn read_attr_emits_data_refs_at_the_right_address() {
         let (mut pool, mut heap) = region_heap();
-        heap.append(&mut pool, &[Value::Int(4), Value::Str("ASIA".into()), Value::Str("c".into())]);
+        heap.append(
+            &mut pool,
+            &[
+                Value::Int(4),
+                Value::Str("ASIA".into()),
+                Value::Str("c".into()),
+            ],
+        );
         let buf = pool.lookup(heap.page(0)).unwrap();
         let t = Tracer::new(0);
         let v = heap.read_attr(&pool, buf, 0, 0, &t);
@@ -374,7 +421,14 @@ mod tests {
     #[test]
     fn string_probe_reads_are_capped() {
         let (mut pool, mut heap) = region_heap();
-        heap.append(&mut pool, &[Value::Int(0), Value::Str("AMERICA".into()), Value::Str("c".into())]);
+        heap.append(
+            &mut pool,
+            &[
+                Value::Int(0),
+                Value::Str("AMERICA".into()),
+                Value::Str("c".into()),
+            ],
+        );
         let buf = pool.lookup(heap.page(0)).unwrap();
         let t = Tracer::new(0);
         // r_name is CHAR(25) but a probe reads at most 16 bytes (2 refs).
@@ -385,10 +439,20 @@ mod tests {
     #[test]
     fn strings_are_space_padded_and_trimmed() {
         let (mut pool, mut heap) = region_heap();
-        heap.append(&mut pool, &[Value::Int(0), Value::Str("EUROPE".into()), Value::Str("x".into())]);
+        heap.append(
+            &mut pool,
+            &[
+                Value::Int(0),
+                Value::Str("EUROPE".into()),
+                Value::Str("x".into()),
+            ],
+        );
         let buf = pool.lookup(heap.page(0)).unwrap();
         // On page, padded to 25 chars; decoded, trimmed back.
-        assert_eq!(heap.attr_value(&pool, buf, 0, 1), Datum::Str("EUROPE".into()));
+        assert_eq!(
+            heap.attr_value(&pool, buf, 0, 1),
+            Datum::Str("EUROPE".into())
+        );
     }
 
     #[test]

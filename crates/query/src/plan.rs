@@ -187,16 +187,18 @@ impl Plan {
     /// catalog (the planner guarantees well-formedness).
     pub fn shape(&self, cat: &Catalog) -> RowShape {
         match self {
-            Plan::SeqScan { table, project, .. }
-            | Plan::IndexScan { table, project, .. } => {
-                let def = cat.table(table).expect("planned table exists").heap.def().clone();
+            Plan::SeqScan { table, project, .. } | Plan::IndexScan { table, project, .. } => {
+                let def = cat
+                    .table(table)
+                    .expect("planned table exists")
+                    .heap
+                    .def()
+                    .clone();
                 RowShape::new(project.iter().map(|&a| def.columns[a].ty).collect())
             }
             Plan::NestLoop { outer, inner, .. }
             | Plan::MergeJoin { outer, inner, .. }
-            | Plan::HashJoin { outer, inner, .. } => {
-                outer.shape(cat).concat(&inner.shape(cat))
-            }
+            | Plan::HashJoin { outer, inner, .. } => outer.shape(cat).concat(&inner.shape(cat)),
             Plan::Filter { input, .. } | Plan::Sort { input, .. } | Plan::Limit { input, .. } => {
                 input.shape(cat)
             }
@@ -269,7 +271,12 @@ impl Plan {
     fn explain_into(&self, out: &mut String, depth: usize) {
         let pad = "  ".repeat(depth);
         match self {
-            Plan::SeqScan { table, preds, project, block_range } => {
+            Plan::SeqScan {
+                table,
+                preds,
+                project,
+                block_range,
+            } => {
                 let part = match block_range {
                     Some((lo, hi)) => format!(", blocks {lo}..{hi}"),
                     None => String::new(),
@@ -280,25 +287,53 @@ impl Plan {
                     project.len()
                 ));
             }
-            Plan::IndexScan { table, index_column, parameterized, preds, .. } => {
-                let param = if *parameterized { ", parameterized" } else { "" };
+            Plan::IndexScan {
+                table,
+                index_column,
+                parameterized,
+                preds,
+                ..
+            } => {
+                let param = if *parameterized {
+                    ", parameterized"
+                } else {
+                    ""
+                };
                 out.push_str(&format!(
                     "{pad}Index Scan on {table} (key col {index_column}{param}, {} preds)\n",
                     preds.len()
                 ));
             }
-            Plan::NestLoop { outer, inner, outer_key } => {
+            Plan::NestLoop {
+                outer,
+                inner,
+                outer_key,
+            } => {
                 out.push_str(&format!("{pad}Nested Loop Join (outer key {outer_key})\n"));
                 outer.explain_into(out, depth + 1);
                 inner.explain_into(out, depth + 1);
             }
-            Plan::MergeJoin { outer, inner, outer_key, inner_key } => {
-                out.push_str(&format!("{pad}Merge Join (keys {outer_key} = {inner_key})\n"));
+            Plan::MergeJoin {
+                outer,
+                inner,
+                outer_key,
+                inner_key,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Merge Join (keys {outer_key} = {inner_key})\n"
+                ));
                 outer.explain_into(out, depth + 1);
                 inner.explain_into(out, depth + 1);
             }
-            Plan::HashJoin { outer, inner, outer_key, inner_key } => {
-                out.push_str(&format!("{pad}Hash Join (keys {outer_key} = {inner_key})\n"));
+            Plan::HashJoin {
+                outer,
+                inner,
+                outer_key,
+                inner_key,
+            } => {
+                out.push_str(&format!(
+                    "{pad}Hash Join (keys {outer_key} = {inner_key})\n"
+                ));
                 outer.explain_into(out, depth + 1);
                 inner.explain_into(out, depth + 1);
             }
@@ -311,7 +346,11 @@ impl Plan {
                 input.explain_into(out, depth + 1);
             }
             Plan::Group { input, keys, aggs } => {
-                out.push_str(&format!("{pad}Group ({} keys, {} aggs)\n", keys.len(), aggs.len()));
+                out.push_str(&format!(
+                    "{pad}Group ({} keys, {} aggs)\n",
+                    keys.len(),
+                    aggs.len()
+                ));
                 input.explain_into(out, depth + 1);
             }
             Plan::Aggregate { input, aggs } => {
@@ -335,9 +374,11 @@ fn agg_type(spec: &AggSpec, input: &RowShape) -> ColType {
     match spec.func {
         AggFunc::Count => ColType::Int,
         AggFunc::Avg => ColType::Dec,
-        AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
-            spec.arg.as_ref().map(|a| infer_type(a, input)).unwrap_or(ColType::Int)
-        }
+        AggFunc::Sum | AggFunc::Min | AggFunc::Max => spec
+            .arg
+            .as_ref()
+            .map(|a| infer_type(a, input))
+            .unwrap_or(ColType::Int),
     }
 }
 
@@ -349,12 +390,10 @@ pub(crate) fn infer_type(e: &Scalar, input: &RowShape) -> ColType {
         Scalar::Const(Datum::Dec(_)) => ColType::Dec,
         Scalar::Const(Datum::Date(_)) => ColType::Date,
         Scalar::Const(Datum::Str(s)) => ColType::Str(s.len() as u16),
-        Scalar::Binary { lhs, rhs, .. } => {
-            match (infer_type(lhs, input), infer_type(rhs, input)) {
-                (ColType::Int, ColType::Int) => ColType::Int,
-                _ => ColType::Dec,
-            }
-        }
+        Scalar::Binary { lhs, rhs, .. } => match (infer_type(lhs, input), infer_type(rhs, input)) {
+            (ColType::Int, ColType::Int) => ColType::Int,
+            _ => ColType::Dec,
+        },
         // Predicates never appear in projections; any width works.
         _ => ColType::Int,
     }
@@ -365,7 +404,12 @@ mod tests {
     use super::*;
 
     fn scan(table: &str) -> Plan {
-        Plan::SeqScan { table: table.into(), preds: vec![], project: vec![0, 1], block_range: None }
+        Plan::SeqScan {
+            table: table.into(),
+            preds: vec![],
+            project: vec![0, 1],
+            block_range: None,
+        }
     }
 
     #[test]
@@ -386,7 +430,11 @@ mod tests {
                     outer_key: 0,
                 }),
                 keys: vec![0],
-                aggs: vec![AggSpec { func: AggFunc::Sum, arg: Some(Scalar::Slot(1)), distinct: false }],
+                aggs: vec![AggSpec {
+                    func: AggFunc::Sum,
+                    arg: Some(Scalar::Slot(1)),
+                    distinct: false,
+                }],
             }),
             keys: vec![(1, true)],
         };
@@ -400,7 +448,11 @@ mod tests {
     fn explain_renders_tree() {
         let plan = Plan::Aggregate {
             input: Box::new(scan("lineitem")),
-            aggs: vec![AggSpec { func: AggFunc::Count, arg: None, distinct: false }],
+            aggs: vec![AggSpec {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false,
+            }],
         };
         let text = plan.explain();
         assert!(text.contains("Aggregate"));

@@ -89,15 +89,22 @@ impl<'a> Planner<'a> {
                     });
                 }
             }
-            expanded = Query { items, star: false, ..q.clone() };
+            expanded = Query {
+                items,
+                star: false,
+                ..q.clone()
+            };
             &expanded
         } else {
             q
         };
 
         // Partition the WHERE conjuncts.
-        let conjuncts: Vec<&Expr> =
-            q.where_clause.as_ref().map(|w| w.conjuncts()).unwrap_or_default();
+        let conjuncts: Vec<&Expr> = q
+            .where_clause
+            .as_ref()
+            .map(|w| w.conjuncts())
+            .unwrap_or_default();
         let mut single: Vec<Vec<&Expr>> = vec![Vec::new(); q.from.len()];
         let mut joins: Vec<JoinPred> = Vec::new();
         let mut residual: Vec<&Expr> = Vec::new();
@@ -129,7 +136,9 @@ impl<'a> Planner<'a> {
                         || (jp.right_table == ti && joined.contains(&jp.left_table))
                 })
                 .ok_or_else(|| {
-                    PlanError::new(format!("no join predicate connects {table} (cross products unsupported)"))
+                    PlanError::new(format!(
+                        "no join predicate connects {table} (cross products unsupported)"
+                    ))
                 })?;
             let jp = joins_left.remove(jp_pos);
             // Orient: outer side is the already-joined plan.
@@ -138,8 +147,9 @@ impl<'a> Planner<'a> {
             } else {
                 (&jp.right_col, &q.from[jp.right_table], &jp.left_col)
             };
-            let outer_key = resolve(&scope, Some(outer_qual), outer_col_name)
-                .ok_or_else(|| PlanError::new(format!("join key {outer_col_name} not projected")))?;
+            let outer_key = resolve(&scope, Some(outer_qual), outer_col_name).ok_or_else(|| {
+                PlanError::new(format!("join key {outer_col_name} not projected"))
+            })?;
 
             let meta = self.cat.table(table).expect("validated");
             let inner_col = meta
@@ -175,11 +185,21 @@ impl<'a> Planner<'a> {
                     inner_scope,
                 )
             } else if use_merge {
-                let (inner_plan, inner_scope) =
-                    self.index_scan(table, inner_col, &single[ti], &needed[ti], None, None, false)?;
+                let (inner_plan, inner_scope) = self.index_scan(
+                    table,
+                    inner_col,
+                    &single[ti],
+                    &needed[ti],
+                    None,
+                    None,
+                    false,
+                )?;
                 let inner_key =
                     resolve(&inner_scope, Some(table.as_str()), inner_col_name).expect("projected");
-                let sorted_outer = Plan::Sort { input: Box::new(plan), keys: vec![(outer_key, false)] };
+                let sorted_outer = Plan::Sort {
+                    input: Box::new(plan),
+                    keys: vec![(outer_key, false)],
+                };
                 (
                     Plan::MergeJoin {
                         outer: Box::new(sorted_outer),
@@ -191,17 +211,14 @@ impl<'a> Planner<'a> {
                 )
             } else {
                 // Nested loop with a parameterized inner index scan.
-                let (inner_plan, inner_scope) = self.index_scan(
-                    table,
-                    inner_col,
-                    &single[ti],
-                    &needed[ti],
-                    None,
-                    None,
-                    true,
-                )?;
+                let (inner_plan, inner_scope) =
+                    self.index_scan(table, inner_col, &single[ti], &needed[ti], None, None, true)?;
                 (
-                    Plan::NestLoop { outer: Box::new(plan), inner: Box::new(inner_plan), outer_key },
+                    Plan::NestLoop {
+                        outer: Box::new(plan),
+                        inner: Box::new(inner_plan),
+                        outer_key,
+                    },
                     inner_scope,
                 )
             };
@@ -227,17 +244,23 @@ impl<'a> Planner<'a> {
                 .map(|e| bind(e, &|q2, n| resolve(scope_ref, q2, n)))
                 .collect::<Result<Vec<_>, _>>()?;
             for jp in &joins_left {
-                let l = resolve(scope_ref, Some(&q.from[jp.left_table]), &jp.left_col)
-                    .ok_or_else(|| PlanError::new(format!("join column {} not projected", jp.left_col)))?;
+                let l = resolve(scope_ref, Some(&q.from[jp.left_table]), &jp.left_col).ok_or_else(
+                    || PlanError::new(format!("join column {} not projected", jp.left_col)),
+                )?;
                 let r = resolve(scope_ref, Some(&q.from[jp.right_table]), &jp.right_col)
-                    .ok_or_else(|| PlanError::new(format!("join column {} not projected", jp.right_col)))?;
+                    .ok_or_else(|| {
+                        PlanError::new(format!("join column {} not projected", jp.right_col))
+                    })?;
                 preds.push(Scalar::Binary {
                     op: BinOp::Eq,
                     lhs: Box::new(Scalar::Slot(l)),
                     rhs: Box::new(Scalar::Slot(r)),
                 });
             }
-            plan = Plan::Filter { input: Box::new(plan), preds };
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                preds,
+            };
         }
 
         // Grouping and aggregation.
@@ -250,10 +273,8 @@ impl<'a> Planner<'a> {
                 .group_by
                 .iter()
                 .map(|g| match g {
-                    Expr::Column { table, name } => {
-                        resolve(scope_ref, table.as_deref(), name)
-                            .ok_or_else(|| PlanError::new(format!("unknown group column {name}")))
-                    }
+                    Expr::Column { table, name } => resolve(scope_ref, table.as_deref(), name)
+                        .ok_or_else(|| PlanError::new(format!("unknown group column {name}"))),
                     _ => Err(PlanError::new("group by requires plain columns".to_owned())),
                 })
                 .collect::<Result<_, _>>()?;
@@ -267,9 +288,16 @@ impl<'a> Planner<'a> {
                     input: Box::new(plan),
                     keys: key_slots.iter().map(|&k| (k, false)).collect(),
                 };
-                plan = Plan::Group { input: Box::new(plan), keys: key_slots.clone(), aggs: specs };
+                plan = Plan::Group {
+                    input: Box::new(plan),
+                    keys: key_slots.clone(),
+                    aggs: specs,
+                };
             } else {
-                plan = Plan::Aggregate { input: Box::new(plan), aggs: specs };
+                plan = Plan::Aggregate {
+                    input: Box::new(plan),
+                    aggs: specs,
+                };
             }
             agg_scope = Some((key_slots, q.group_by.len()));
         }
@@ -279,10 +307,16 @@ impl<'a> Planner<'a> {
             let (key_slots, _) = agg_scope
                 .as_ref()
                 .ok_or_else(|| PlanError::new("having requires group by".to_owned()))?;
-            let pred = rewrite_post_agg(h, &q.group_by, key_slots, &aggs_in_items).map_err(|_| PlanError::new(
+            let pred =
+                rewrite_post_agg(h, &q.group_by, key_slots, &aggs_in_items).map_err(|_| {
+                    PlanError::new(
                         "having must reference group keys or selected aggregates".to_owned(),
-                    ))?;
-            plan = Plan::Filter { input: Box::new(plan), preds: vec![pred] };
+                    )
+                })?;
+            plan = Plan::Filter {
+                input: Box::new(plan),
+                preds: vec![pred],
+            };
         }
 
         // Final projection to the SELECT item list.
@@ -315,7 +349,10 @@ impl<'a> Planner<'a> {
                 current_arity != q.items.len()
             };
         if needs_project {
-            plan = Plan::Project { input: Box::new(plan), exprs: items };
+            plan = Plan::Project {
+                input: Box::new(plan),
+                exprs: items,
+            };
         }
 
         // ORDER BY over the final item list.
@@ -328,10 +365,16 @@ impl<'a> Planner<'a> {
                     Ok((idx, k.desc))
                 })
                 .collect::<Result<Vec<_>, PlanError>>()?;
-            plan = Plan::Sort { input: Box::new(plan), keys };
+            plan = Plan::Sort {
+                input: Box::new(plan),
+                keys,
+            };
         }
         if let Some(n) = q.limit {
-            plan = Plan::Limit { input: Box::new(plan), n };
+            plan = Plan::Limit {
+                input: Box::new(plan),
+                n,
+            };
         }
         Ok(plan)
     }
@@ -365,9 +408,13 @@ impl<'a> Planner<'a> {
                 let def = meta.heap.def();
                 let bound = preds
                     .iter()
-                    .map(|e| bind(e, &|q2, n| {
-                        (q2.is_none_or(|q2| q2 == table)).then(|| def.column_index(n)).flatten()
-                    }))
+                    .map(|e| {
+                        bind(e, &|q2, n| {
+                            (q2.is_none_or(|q2| q2 == table))
+                                .then(|| def.column_index(n))
+                                .flatten()
+                        })
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok((
                     Plan::SeqScan {
@@ -402,9 +449,13 @@ impl<'a> Planner<'a> {
         let def = meta.heap.def();
         let bound = preds
             .iter()
-            .map(|e| bind(e, &|q2, n| {
-                (q2.is_none_or(|q2| q2 == table)).then(|| def.column_index(n)).flatten()
-            }))
+            .map(|e| {
+                bind(e, &|q2, n| {
+                    (q2.is_none_or(|q2| q2 == table))
+                        .then(|| def.column_index(n))
+                        .flatten()
+                })
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok((
             Plan::IndexScan {
@@ -424,7 +475,10 @@ impl<'a> Planner<'a> {
         let def = self.cat.table(table).expect("validated").heap.def().clone();
         needed
             .iter()
-            .map(|&a| OutCol { table: table.to_owned(), name: def.columns[a].name.to_owned() })
+            .map(|&a| OutCol {
+                table: table.to_owned(),
+                name: def.columns[a].name.to_owned(),
+            })
             .collect()
     }
 
@@ -447,7 +501,9 @@ impl<'a> Planner<'a> {
                 }
                 Ok(())
             } else {
-                Err(PlanError::new(format!("column {name} belongs to {table}, not in FROM")))
+                Err(PlanError::new(format!(
+                    "column {name} belongs to {table}, not in FROM"
+                )))
             }
         };
         let mut exprs: Vec<&Expr> = Vec::new();
@@ -485,9 +541,22 @@ impl<'a> Planner<'a> {
     fn classify(&self, q: &Query, e: &Expr) -> Result<Classified, PlanError> {
         // Equality between two columns of two different FROM tables is a join
         // predicate.
-        if let Expr::Binary { op: BinOp::Eq, lhs, rhs } = e {
-            if let (Expr::Column { table: t1, name: n1 }, Expr::Column { table: t2, name: n2 }) =
-                (lhs.as_ref(), rhs.as_ref())
+        if let Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        } = e
+        {
+            if let (
+                Expr::Column {
+                    table: t1,
+                    name: n1,
+                },
+                Expr::Column {
+                    table: t2,
+                    name: n2,
+                },
+            ) = (lhs.as_ref(), rhs.as_ref())
             {
                 let (tbl1, _) = self
                     .cat
@@ -536,7 +605,11 @@ impl<'a> Planner<'a> {
 
     fn bind_agg(&self, agg: &Expr, scope: &Scope) -> Result<AggSpec, PlanError> {
         match agg {
-            Expr::Agg { func, arg, distinct } => Ok(AggSpec {
+            Expr::Agg {
+                func,
+                arg,
+                distinct,
+            } => Ok(AggSpec {
                 func: *func,
                 arg: arg
                     .as_ref()
@@ -544,7 +617,9 @@ impl<'a> Planner<'a> {
                     .transpose()?,
                 distinct: *distinct,
             }),
-            other => Err(PlanError::new(format!("expected aggregate, found {other:?}"))),
+            other => Err(PlanError::new(format!(
+                "expected aggregate, found {other:?}"
+            ))),
         }
     }
 
@@ -584,7 +659,12 @@ impl<'a> Planner<'a> {
                     _ => false,
                 }
             }
-            Expr::Between { expr, lo, hi, negated: false } => match expr.as_ref() {
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated: false,
+            } => match expr.as_ref() {
                 Expr::Column { name, .. } => {
                     literal_datum(lo).is_some()
                         && literal_datum(hi).is_some()
@@ -619,7 +699,12 @@ impl<'a> Planner<'a> {
                     None => 0.33,
                 }
             }
-            Expr::Between { expr, lo, hi, negated } => {
+            Expr::Between {
+                expr,
+                lo,
+                hi,
+                negated,
+            } => {
                 let inside = match expr.as_ref() {
                     Expr::Column { name, .. } => def
                         .column_index(name)
@@ -639,7 +724,11 @@ impl<'a> Planner<'a> {
                     inside
                 }
             }
-            Expr::InList { expr, list, negated } => {
+            Expr::InList {
+                expr,
+                list,
+                negated,
+            } => {
                 let base = match expr.as_ref() {
                     Expr::Column { name, .. } => def
                         .column_index(name)
@@ -661,10 +750,16 @@ impl<'a> Planner<'a> {
                 }
             }
             Expr::Not(inner) => 1.0 - self.selectivity(table, inner),
-            Expr::Binary { op: BinOp::And, lhs, rhs } => {
-                self.selectivity(table, lhs) * self.selectivity(table, rhs)
-            }
-            Expr::Binary { op: BinOp::Or, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => self.selectivity(table, lhs) * self.selectivity(table, rhs),
+            Expr::Binary {
+                op: BinOp::Or,
+                lhs,
+                rhs,
+            } => {
                 let a = self.selectivity(table, lhs);
                 let b = self.selectivity(table, rhs);
                 (a + b - a * b).min(1.0)
@@ -769,7 +864,12 @@ impl<'a> Planner<'a> {
                         _ => {}
                     }
                 }
-                Expr::Between { expr, lo: l, hi: h, negated: false } => {
+                Expr::Between {
+                    expr,
+                    lo: l,
+                    hi: h,
+                    negated: false,
+                } => {
                     if let Expr::Column { name, .. } = expr.as_ref() {
                         if name == col_name {
                             if let (Some(l), Some(h)) = (literal_datum(l), literal_datum(h)) {
@@ -870,7 +970,9 @@ fn rewrite_post_agg(
         Expr::Column { name, .. } => Err(PlanError::new(format!(
             "column {name} must appear in group by"
         ))),
-        other => Err(PlanError::new(format!("unsupported post-aggregate expression {other:?}"))),
+        other => Err(PlanError::new(format!(
+            "unsupported post-aggregate expression {other:?}"
+        ))),
     }
 }
 
@@ -878,7 +980,11 @@ fn rewrite_post_agg(
 /// expression, or bare column matching an item).
 fn find_order_target(q: &Query, e: &Expr) -> Result<usize, PlanError> {
     if let Expr::Column { table: None, name } = e {
-        if let Some(i) = q.items.iter().position(|it| it.alias.as_deref() == Some(name.as_str())) {
+        if let Some(i) = q
+            .items
+            .iter()
+            .position(|it| it.alias.as_deref() == Some(name.as_str()))
+        {
             return Ok(i);
         }
     }
@@ -887,12 +993,15 @@ fn find_order_target(q: &Query, e: &Expr) -> Result<usize, PlanError> {
     }
     // A bare column that appears inside exactly one item.
     if let Expr::Column { name, .. } = e {
-        if let Some(i) = q.items.iter().position(|it| {
-            matches!(&it.expr, Expr::Column { name: n, .. } if n == name)
-        }) {
+        if let Some(i) = q
+            .items
+            .iter()
+            .position(|it| matches!(&it.expr, Expr::Column { name: n, .. } if n == name))
+        {
             return Ok(i);
         }
     }
-    Err(PlanError::new(format!("order by target {e:?} is not in the select list")))
+    Err(PlanError::new(format!(
+        "order by target {e:?} is not in the select list"
+    )))
 }
-

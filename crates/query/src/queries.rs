@@ -262,7 +262,8 @@ fn insert_sql(table: &str, rows: impl Iterator<Item = Vec<Value>>) -> String {
 }
 
 fn get<'a>(p: &'a ParamSet, k: &str) -> &'a Value {
-    p.get(k).unwrap_or_else(|| panic!("missing query parameter {k}"))
+    p.get(k)
+        .unwrap_or_else(|| panic!("missing query parameter {k}"))
 }
 
 fn fmt_date(p: &ParamSet, k: &str) -> String {
@@ -271,7 +272,10 @@ fn fmt_date(p: &ParamSet, k: &str) -> String {
 }
 
 fn fmt_date_plus_months(p: &ParamSet, k: &str, months: i32) -> String {
-    let d = get(p, k).as_date().expect("date parameter").add_months(months);
+    let d = get(p, k)
+        .as_date()
+        .expect("date parameter")
+        .add_months(months);
     format!("date '{d}'")
 }
 
@@ -314,7 +318,11 @@ mod tests {
         for q in 1..=17 {
             let text = sql_for(q, &params(q, 7));
             let parsed = dss_sql::parse(&text);
-            assert!(parsed.is_ok(), "Q{q} failed to parse: {:?}\n{text}", parsed.err());
+            assert!(
+                parsed.is_ok(),
+                "Q{q} failed to parse: {:?}\n{text}",
+                parsed.err()
+            );
         }
     }
 

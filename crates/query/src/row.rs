@@ -24,7 +24,11 @@ impl RowShape {
             offsets.push(off);
             off += t.width() as u64;
         }
-        RowShape { types, offsets, width: off }
+        RowShape {
+            types,
+            offsets,
+            width: off,
+        }
     }
 
     /// Concatenates two shapes (join output: outer columns then inner).
@@ -68,7 +72,12 @@ mod tests {
 
     #[test]
     fn offsets_are_prefix_sums() {
-        let s = RowShape::new(vec![ColType::Int, ColType::Date, ColType::Str(10), ColType::Dec]);
+        let s = RowShape::new(vec![
+            ColType::Int,
+            ColType::Date,
+            ColType::Str(10),
+            ColType::Dec,
+        ]);
         assert_eq!(s.offsets, vec![0, 8, 12, 22]);
         assert_eq!(s.width, 30);
         assert_eq!(s.arity(), 4);

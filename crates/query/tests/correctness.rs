@@ -3,7 +3,7 @@
 
 use std::collections::BTreeMap;
 
-use dss_query::{Database, Datum, DbConfig, Session, sql_for};
+use dss_query::{sql_for, Database, Datum, DbConfig, Session};
 use dss_tpcd::{params, Date, DbData, Generator};
 
 struct Fixture {
@@ -12,7 +12,12 @@ struct Fixture {
 }
 
 fn fixture() -> Fixture {
-    let config = DbConfig { scale: 0.004, seed: 11, nbuffers: 2048, ..DbConfig::default() };
+    let config = DbConfig {
+        scale: 0.004,
+        seed: 11,
+        nbuffers: 2048,
+        ..DbConfig::default()
+    };
     let data = Generator::new(config.scale, config.seed).generate();
     let db = Database::build_from(&config, &data);
     Fixture { db, data }
@@ -20,7 +25,9 @@ fn fixture() -> Fixture {
 
 fn run(db: &mut Database, sql: &str) -> Vec<Vec<Datum>> {
     let mut session = Session::untraced(0);
-    db.run(sql, &mut session).unwrap_or_else(|e| panic!("{e}\n{sql}")).rows
+    db.run(sql, &mut session)
+        .unwrap_or_else(|e| panic!("{e}\n{sql}"))
+        .rows
 }
 
 #[test]
@@ -75,7 +82,9 @@ fn q3_result_matches_reference() {
         }
         for l in data.lineitems.iter().filter(|l| l.orderkey == o.orderkey) {
             if l.shipdate > date {
-                let e = expected.entry(o.orderkey).or_insert((0, o.orderdate, o.shippriority));
+                let e = expected
+                    .entry(o.orderkey)
+                    .or_insert((0, o.orderdate, o.shippriority));
                 e.0 += l.extendedprice * (100 - l.discount) / 100;
             }
         }
@@ -142,7 +151,9 @@ fn q1_grouped_aggregates_match_reference() {
 
     let mut expected: BTreeMap<(char, char), (i64, i64, i64, i64)> = BTreeMap::new();
     for l in data.lineitems.iter().filter(|l| l.shipdate <= date) {
-        let e = expected.entry((l.returnflag, l.linestatus)).or_insert((0, 0, 0, 0));
+        let e = expected
+            .entry((l.returnflag, l.linestatus))
+            .or_insert((0, 0, 0, 0));
         e.0 += l.quantity;
         e.1 += l.extendedprice;
         e.2 += l.extendedprice * (100 - l.discount) / 100;
@@ -197,9 +208,17 @@ fn hash_join_query_matches_reference() {
     let rows = run(&mut db, &sql_for(16, &p));
     assert_eq!(rows.len(), expected.len(), "Q16 group count");
     for row in &rows {
-        let key = (row[0].str().to_owned(), row[1].str().to_owned(), row[2].int());
+        let key = (
+            row[0].str().to_owned(),
+            row[1].str().to_owned(),
+            row[2].int(),
+        );
         let suppliers = &expected[&key];
-        assert_eq!(row[3], Datum::Int(suppliers.len() as i64), "distinct count for {key:?}");
+        assert_eq!(
+            row[3],
+            Datum::Int(suppliers.len() as i64),
+            "distinct count for {key:?}"
+        );
     }
 }
 
@@ -238,7 +257,11 @@ fn locks_are_released_after_each_query() {
     db.run(&sql_for(6, &params(6, 0)), &mut session).unwrap();
     // All relations unlocked once queries complete.
     for rel in 1..30 {
-        assert_eq!(db.lockmgr.granted(rel), [0, 0], "relation {rel} still locked");
+        assert_eq!(
+            db.lockmgr.granted(rel),
+            [0, 0],
+            "relation {rel} still locked"
+        );
     }
 }
 
@@ -252,7 +275,11 @@ fn all_pins_released_after_each_query() {
     for (name, meta) in db.catalog.iter() {
         for block in 0..meta.heap.npages() {
             let buf = db.pool.lookup(meta.heap.page(block)).unwrap();
-            assert_eq!(db.pool.refcount(buf), 0, "{name} block {block} still pinned");
+            assert_eq!(
+                db.pool.refcount(buf),
+                0,
+                "{name} block {block} still pinned"
+            );
         }
     }
 }
@@ -268,7 +295,11 @@ fn private_memory_is_reused_across_queries() {
     db.run(&sql_for(6, &params(6, 0)), &mut session).unwrap();
     let after_first = session.mem.footprint();
     db.run(&sql_for(6, &params(6, 1)), &mut session).unwrap();
-    assert_eq!(session.mem.footprint(), after_first, "private heap grew on re-run");
+    assert_eq!(
+        session.mem.footprint(),
+        after_first,
+        "private heap grew on re-run"
+    );
     assert_eq!(session.mem.live_bytes(), 0, "leaked private allocations");
 }
 
@@ -305,12 +336,17 @@ fn having_filters_groups() {
 fn limit_truncates_after_order() {
     let Fixture { mut db, .. } = fixture();
     let all = run(&mut db, "select o_orderkey from orders order by o_orderkey");
-    let limited = run(&mut db, "select o_orderkey from orders order by o_orderkey limit 7");
+    let limited = run(
+        &mut db,
+        "select o_orderkey from orders order by o_orderkey limit 7",
+    );
     assert_eq!(limited.len(), 7);
     assert_eq!(&all[..7], &limited[..]);
     // Limit larger than the result is harmless.
-    let generous =
-        run(&mut db, "select r_regionkey from region order by r_regionkey limit 1000");
+    let generous = run(
+        &mut db,
+        "select r_regionkey from region order by r_regionkey limit 1000",
+    );
     assert_eq!(generous.len(), 5);
     // Limit zero yields nothing.
     assert!(run(&mut db, "select r_regionkey from region limit 0").is_empty());
@@ -325,7 +361,9 @@ fn having_over_scalar_aggregate_is_legal_but_requires_aggregation() {
     let rows = run(&mut db, "select count(*) from orders having count(*) < 0");
     assert!(rows.is_empty());
     // But HAVING on a plain (non-aggregate) query is rejected.
-    assert!(db.plan_sql("select o_orderkey from orders having o_orderkey > 1").is_err());
+    assert!(db
+        .plan_sql("select o_orderkey from orders having o_orderkey > 1")
+        .is_err());
 }
 
 #[test]
@@ -340,7 +378,9 @@ fn run_partitioned_partials_combine_to_the_full_answer() {
     let mut s2 = Session::untraced(2);
     let mut s3 = Session::untraced(3);
     let mut sessions: Vec<&mut Session> = vec![&mut s0, &mut s1, &mut s2, &mut s3];
-    let outputs = db.run_partitioned(&sql, &mut sessions).expect("partitions run");
+    let outputs = db
+        .run_partitioned(&sql, &mut sessions)
+        .expect("partitions run");
     assert_eq!(outputs.len(), 4);
     let partial_sum: i64 = outputs.iter().map(|o| o.rows[0][0].dec()).sum();
     assert_eq!(partial_sum, full, "distributive aggregate combines exactly");
@@ -354,7 +394,9 @@ fn run_partitioned_covers_every_block_exactly_once() {
     let mut s1 = Session::untraced(1);
     let mut s2 = Session::untraced(2);
     let mut sessions: Vec<&mut Session> = vec![&mut s0, &mut s1, &mut s2];
-    let outputs = db.run_partitioned(sql, &mut sessions).expect("partitions run");
+    let outputs = db
+        .run_partitioned(sql, &mut sessions)
+        .expect("partitions run");
     let total: i64 = outputs.iter().map(|o| o.rows[0][0].int()).sum();
     assert_eq!(total, data.lineitems.len() as i64);
 }
@@ -368,7 +410,9 @@ fn partition_counts_are_invariant_in_k() {
     for k in 1..=5usize {
         let mut owned: Vec<Session> = (0..k).map(Session::untraced).collect();
         let mut sessions: Vec<&mut Session> = owned.iter_mut().collect();
-        let outputs = db.run_partitioned(sql, &mut sessions).expect("partitions run");
+        let outputs = db
+            .run_partitioned(sql, &mut sessions)
+            .expect("partitions run");
         let total: i64 = outputs.iter().map(|o| o.rows[0][0].int()).sum();
         assert_eq!(total, data.lineitems.len() as i64, "k={k}");
     }
@@ -401,8 +445,11 @@ fn multi_key_order_by_with_mixed_directions() {
          order by c_nationkey asc, c_acctbal desc limit 500",
     );
     // Verify against a reference sort.
-    let mut expected: Vec<(i64, i64)> =
-        data.customers.iter().map(|c| (c.nationkey, c.acctbal)).collect();
+    let mut expected: Vec<(i64, i64)> = data
+        .customers
+        .iter()
+        .map(|c| (c.nationkey, c.acctbal))
+        .collect();
     expected.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
     expected.truncate(500);
     let got: Vec<(i64, i64)> = rows.iter().map(|r| (r[0].int(), r[1].dec())).collect();

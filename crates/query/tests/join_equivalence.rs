@@ -8,21 +8,33 @@ use dss_query::{Database, Datum, DbConfig, Plan, Scalar, Session};
 use dss_sql::BinOp;
 
 fn db() -> Database {
-    Database::build(&DbConfig { scale: 0.002, seed: 21, nbuffers: 2048, ..DbConfig::default() })
+    Database::build(&DbConfig {
+        scale: 0.002,
+        seed: 21,
+        nbuffers: 2048,
+        ..DbConfig::default()
+    })
 }
 
 /// orders ⋈ customer on custkey, with a date filter on orders, projecting
 /// (o_orderkey, c_name). Column indices: orders(o_orderkey=0, o_custkey=1,
 /// o_orderdate=4), customer(c_custkey=0, c_name=1).
 fn orders_scan(preds: Vec<Scalar>) -> Plan {
-    Plan::SeqScan { table: "orders".into(), preds, project: vec![0, 1, 4], block_range: None }
+    Plan::SeqScan {
+        table: "orders".into(),
+        preds,
+        project: vec![0, 1, 4],
+        block_range: None,
+    }
 }
 
 fn date_pred(cutoff_days: i32) -> Scalar {
     Scalar::Binary {
         op: BinOp::Lt,
         lhs: Box::new(Scalar::Slot(4)), // o_orderdate
-        rhs: Box::new(Scalar::Const(Datum::Date(dss_tpcd::Date::from_day_number(cutoff_days)))),
+        rhs: Box::new(Scalar::Const(Datum::Date(dss_tpcd::Date::from_day_number(
+            cutoff_days,
+        )))),
     }
 }
 

@@ -1,7 +1,7 @@
 //! Plan-shape tests: the operator matrix of the paper's Table 1 and the
 //! query plan trees of its Figures 1–3.
 
-use dss_query::{Database, DbConfig, Plan, sql_for};
+use dss_query::{sql_for, Database, DbConfig, Plan};
 use dss_tpcd::params;
 
 fn paper_db() -> Database {
@@ -54,7 +54,10 @@ fn plans_are_stable_across_parameter_seeds() {
     for q in [3u8, 6, 12] {
         let baseline = db.plan_sql(&sql_for(q, &params(q, 0))).unwrap().features();
         for seed in 1..8 {
-            let f = db.plan_sql(&sql_for(q, &params(q, seed))).unwrap().features();
+            let f = db
+                .plan_sql(&sql_for(q, &params(q, seed)))
+                .unwrap()
+                .features();
             assert_eq!(f, baseline, "Q{q} plan changed at seed {seed}");
         }
     }
@@ -68,15 +71,20 @@ fn q3_plan_matches_figure_1() {
     let plan = db.plan_sql(&sql_for(3, &params(3, 1))).unwrap();
 
     // Top of the tree: the final order-by sort.
-    assert!(matches!(plan, Plan::Sort { .. }), "Q3 root must be the order-by sort");
+    assert!(
+        matches!(plan, Plan::Sort { .. }),
+        "Q3 root must be the order-by sort"
+    );
 
     let mut index_scans = Vec::new();
     let mut nest_loops = 0;
     let mut seq_scans = 0;
     plan.walk(&mut |node| match node {
-        Plan::IndexScan { table, parameterized, .. } => {
-            index_scans.push((table.clone(), *parameterized))
-        }
+        Plan::IndexScan {
+            table,
+            parameterized,
+            ..
+        } => index_scans.push((table.clone(), *parameterized)),
         Plan::NestLoop { .. } => nest_loops += 1,
         Plan::SeqScan { .. } => seq_scans += 1,
         _ => {}
@@ -136,7 +144,13 @@ fn q12_plan_matches_figure_3() {
             }
             // Inner: full-range (unparameterized) ordered index scan of orders.
             match inner.as_ref() {
-                Plan::IndexScan { table, parameterized, lo, hi, .. } => {
+                Plan::IndexScan {
+                    table,
+                    parameterized,
+                    lo,
+                    hi,
+                    ..
+                } => {
                     assert_eq!(table, "orders");
                     assert!(!parameterized);
                     assert!(lo.is_none() && hi.is_none(), "full-range ordered scan");
@@ -161,7 +175,9 @@ fn explain_mentions_each_table() {
 #[test]
 fn cross_product_is_rejected() {
     let db = paper_db();
-    let err = db.plan_sql("select r_name, n_name from region, nation").unwrap_err();
+    let err = db
+        .plan_sql("select r_name, n_name from region, nation")
+        .unwrap_err();
     assert!(err.to_string().contains("join predicate"));
 }
 
@@ -174,10 +190,19 @@ fn unknown_table_is_rejected() {
 #[test]
 fn equality_on_indexed_key_becomes_a_bounded_index_scan() {
     let db = paper_db();
-    let plan = db.plan_sql("select c_name from customer where c_custkey = 77").unwrap();
+    let plan = db
+        .plan_sql("select c_name from customer where c_custkey = 77")
+        .unwrap();
     let mut found = false;
     plan.walk(&mut |node| {
-        if let Plan::IndexScan { table, lo, hi, parameterized, .. } = node {
+        if let Plan::IndexScan {
+            table,
+            lo,
+            hi,
+            parameterized,
+            ..
+        } = node
+        {
             found = true;
             assert_eq!(table, "customer");
             assert!(!parameterized);
@@ -192,7 +217,9 @@ fn equality_on_indexed_key_becomes_a_bounded_index_scan() {
 fn unselective_predicates_stay_sequential() {
     let db = paper_db();
     // A ≥ bound keeping most of the key space must not use the index.
-    let plan = db.plan_sql("select count(*) from customer where c_custkey >= 10").unwrap();
+    let plan = db
+        .plan_sql("select count(*) from customer where c_custkey >= 10")
+        .unwrap();
     let mut seq = false;
     plan.walk(&mut |node| {
         if matches!(node, Plan::SeqScan { .. }) {
@@ -210,7 +237,12 @@ fn tight_range_on_indexed_key_uses_bounds() {
         .unwrap();
     let mut bounded = false;
     plan.walk(&mut |node| {
-        if let Plan::IndexScan { lo: Some(_), hi: Some(_), .. } = node {
+        if let Plan::IndexScan {
+            lo: Some(_),
+            hi: Some(_),
+            ..
+        } = node
+        {
             bounded = true;
         }
     });
@@ -223,5 +255,9 @@ fn limit_node_sits_on_top() {
     let plan = db
         .plan_sql("select o_orderkey from orders order by o_orderkey limit 5")
         .unwrap();
-    assert!(matches!(plan, Plan::Limit { n: 5, .. }), "{}", plan.explain());
+    assert!(
+        matches!(plan, Plan::Limit { n: 5, .. }),
+        "{}",
+        plan.explain()
+    );
 }

@@ -5,7 +5,12 @@ use dss_query::{Database, Datum, DbConfig, Session, StatementOutput};
 use dss_tpcd::Generator;
 
 fn db() -> Database {
-    Database::build(&DbConfig { scale: 0.002, seed: 9, nbuffers: 2048, ..DbConfig::default() })
+    Database::build(&DbConfig {
+        scale: 0.002,
+        seed: 9,
+        nbuffers: 2048,
+        ..DbConfig::default()
+    })
 }
 
 fn count(db: &mut Database, sql: &str) -> i64 {
@@ -25,7 +30,10 @@ fn affected(db: &mut Database, sql: &str) -> u64 {
 fn insert_then_select_finds_row() {
     let mut db = db();
     let before = count(&mut db, "select count(*) from region");
-    let n = affected(&mut db, "insert into region values (5, 'ATLANTIS', 'sunken')");
+    let n = affected(
+        &mut db,
+        "insert into region values (5, 'ATLANTIS', 'sunken')",
+    );
     assert_eq!(n, 1);
     assert_eq!(count(&mut db, "select count(*) from region"), before + 1);
     let mut s = Session::untraced(0);
@@ -69,7 +77,10 @@ fn inserted_rows_are_visible_through_indexes() {
     // o_orderkey is indexed; an index-scan plan must find the new tuple.
     let mut s = Session::untraced(0);
     let out = db
-        .run("select count(*) from orders where o_orderkey = 900010", &mut s)
+        .run(
+            "select count(*) from orders where o_orderkey = 900010",
+            &mut s,
+        )
         .expect("select");
     assert!(matches!(
         out.plan,
@@ -82,24 +93,45 @@ fn inserted_rows_are_visible_through_indexes() {
 fn delete_hides_rows_from_seq_and_index_scans() {
     let mut db = db();
     let total = count(&mut db, "select count(*) from orders");
-    let sel = count(&mut db, "select count(*) from orders where o_orderkey <= 10");
+    let sel = count(
+        &mut db,
+        "select count(*) from orders where o_orderkey <= 10",
+    );
     assert!(sel > 0);
     let n = affected(&mut db, "delete from orders where o_orderkey <= 10");
     assert_eq!(n as i64, sel);
     assert_eq!(count(&mut db, "select count(*) from orders"), total - sel);
     // Index probes (dangling entries) must skip the tombstones.
-    assert_eq!(count(&mut db, "select count(*) from orders where o_orderkey = 5"), 0);
+    assert_eq!(
+        count(&mut db, "select count(*) from orders where o_orderkey = 5"),
+        0
+    );
 }
 
 #[test]
 fn delete_affects_only_matching_rows_and_is_idempotent() {
     let mut db = db();
-    let n1 = affected(&mut db, "delete from customer where c_mktsegment = 'BUILDING'");
+    let n1 = affected(
+        &mut db,
+        "delete from customer where c_mktsegment = 'BUILDING'",
+    );
     assert!(n1 > 0);
-    let n2 = affected(&mut db, "delete from customer where c_mktsegment = 'BUILDING'");
+    let n2 = affected(
+        &mut db,
+        "delete from customer where c_mktsegment = 'BUILDING'",
+    );
     assert_eq!(n2, 0, "already deleted");
-    assert_eq!(count(&mut db, "select count(*) from customer where c_mktsegment = 'BUILDING'"), 0);
-    assert!(count(&mut db, "select count(*) from customer") > 0, "other segments remain");
+    assert_eq!(
+        count(
+            &mut db,
+            "select count(*) from customer where c_mktsegment = 'BUILDING'"
+        ),
+        0
+    );
+    assert!(
+        count(&mut db, "select count(*) from customer") > 0,
+        "other segments remain"
+    );
 }
 
 #[test]
@@ -114,9 +146,14 @@ fn uf1_and_uf2_roundtrip() {
     let (orders, lineitems) = generator.uf1_rows(7, 5, base_key);
     assert_eq!(orders.len(), 5);
     let mut s = Session::untraced(0);
-    db.execute(&dss_query::insert_orders_sql(&orders), &mut s).expect("UF1 orders");
-    db.execute(&dss_query::insert_lineitems_sql(&lineitems), &mut s).expect("UF1 lineitems");
-    assert_eq!(count(&mut db, "select count(*) from orders"), before_orders + 5);
+    db.execute(&dss_query::insert_orders_sql(&orders), &mut s)
+        .expect("UF1 orders");
+    db.execute(&dss_query::insert_lineitems_sql(&lineitems), &mut s)
+        .expect("UF1 lineitems");
+    assert_eq!(
+        count(&mut db, "select count(*) from orders"),
+        before_orders + 5
+    );
     assert_eq!(
         count(&mut db, "select count(*) from lineitem"),
         before_items + lineitems.len() as i64
@@ -129,7 +166,10 @@ fn uf1_and_uf2_roundtrip() {
     assert_eq!(removed_orders, 5);
     assert_eq!(removed_items as usize, lineitems.len());
     assert_eq!(count(&mut db, "select count(*) from orders"), before_orders);
-    assert_eq!(count(&mut db, "select count(*) from lineitem"), before_items);
+    assert_eq!(
+        count(&mut db, "select count(*) from lineitem"),
+        before_items
+    );
 }
 
 #[test]
@@ -159,8 +199,13 @@ fn type_mismatch_is_rejected() {
         .execute("insert into region values ('oops', 'NAME', 'c')", &mut s)
         .unwrap_err();
     assert!(err.to_string().contains("does not fit"), "{err}");
-    let err = db.execute("insert into region values (1)", &mut s).unwrap_err();
-    assert!(err.to_string().contains("arity") || err.to_string().contains("fit"), "{err}");
+    let err = db
+        .execute("insert into region values (1)", &mut s)
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("arity") || err.to_string().contains("fit"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -174,7 +219,10 @@ fn delete_from_unknown_table_is_rejected() {
 fn select_through_execute_returns_rows() {
     let mut db = db();
     let mut s = Session::untraced(0);
-    match db.execute("select count(*) from nation", &mut s).expect("select") {
+    match db
+        .execute("select count(*) from nation", &mut s)
+        .expect("select")
+    {
         StatementOutput::Rows(out) => assert_eq!(out.rows[0][0], Datum::Int(25)),
         StatementOutput::Affected(_) => panic!("expected rows"),
     }
@@ -188,9 +236,12 @@ fn vacuum_compacts_and_preserves_results() {
     assert!(deleted > 0);
     let live_rows = {
         let mut s = Session::untraced(0);
-        db.run("select o_orderkey, o_totalprice from orders order by o_orderkey", &mut s)
-            .unwrap()
-            .rows
+        db.run(
+            "select o_orderkey, o_totalprice from orders order by o_orderkey",
+            &mut s,
+        )
+        .unwrap()
+        .rows
     };
 
     let removed = db.vacuum("orders").expect("vacuum runs");
@@ -205,13 +256,25 @@ fn vacuum_compacts_and_preserves_results() {
     // Same answers afterwards, through both scan kinds.
     let after_rows = {
         let mut s = Session::untraced(0);
-        db.run("select o_orderkey, o_totalprice from orders order by o_orderkey", &mut s)
-            .unwrap()
-            .rows
+        db.run(
+            "select o_orderkey, o_totalprice from orders order by o_orderkey",
+            &mut s,
+        )
+        .unwrap()
+        .rows
     };
     assert_eq!(live_rows, after_rows);
-    assert_eq!(count(&mut db, "select count(*) from orders where o_orderkey = 101"), 1);
-    assert_eq!(count(&mut db, "select count(*) from orders where o_orderkey = 50"), 0);
+    assert_eq!(
+        count(
+            &mut db,
+            "select count(*) from orders where o_orderkey = 101"
+        ),
+        1
+    );
+    assert_eq!(
+        count(&mut db, "select count(*) from orders where o_orderkey = 50"),
+        0
+    );
 
     // Idempotent when nothing is dead.
     assert_eq!(db.vacuum("orders").unwrap(), 0);

@@ -80,7 +80,11 @@ impl PrivateHeap {
             }
         }
         let addr = self.next;
-        assert!(addr + class <= self.limit, "private heap exhausted for proc {}", self.proc_id);
+        assert!(
+            addr + class <= self.limit,
+            "private heap exhausted for proc {}",
+            self.proc_id
+        );
         self.next += class;
         addr
     }
@@ -90,7 +94,10 @@ impl PrivateHeap {
     /// `size` must be the size passed to the matching [`PrivateHeap::alloc`].
     pub fn free(&mut self, addr: u64, size: u64) {
         let class = size_class(size);
-        debug_assert!(addr >= self.base && addr + class <= self.next, "freeing foreign chunk");
+        debug_assert!(
+            addr >= self.base && addr + class <= self.next,
+            "freeing foreign chunk"
+        );
         self.live_bytes = self.live_bytes.saturating_sub(class);
         self.free_lists.entry(class).or_default().push(addr);
     }

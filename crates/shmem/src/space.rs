@@ -40,7 +40,10 @@ pub struct AddressSpace {
 impl AddressSpace {
     /// Creates an empty shared segment starting at [`SHARED_BASE`].
     pub fn new() -> Self {
-        AddressSpace { vmas: Vec::new(), next: SHARED_BASE }
+        AddressSpace {
+            vmas: Vec::new(),
+            next: SHARED_BASE,
+        }
     }
 
     /// Maps a new region of `len` bytes aligned to `align` and returns its
@@ -54,7 +57,12 @@ impl AddressSpace {
         assert!(len > 0, "cannot map an empty region");
         let base = round_up(self.next, align);
         self.next = base + len;
-        self.vmas.push(Vma { name: name.to_owned(), class, base, len });
+        self.vmas.push(Vma {
+            name: name.to_owned(),
+            class,
+            base,
+            len,
+        });
         base
     }
 

@@ -34,7 +34,10 @@ pub enum BinOp {
 impl BinOp {
     /// Whether this operator compares values (yields a boolean).
     pub fn is_comparison(self) -> bool {
-        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
     }
 
     /// Whether this operator is a boolean connective.
@@ -137,18 +140,28 @@ pub enum Expr {
 impl Expr {
     /// Convenience constructor for a bare column.
     pub fn col(name: &str) -> Expr {
-        Expr::Column { table: None, name: name.to_owned() }
+        Expr::Column {
+            table: None,
+            name: name.to_owned(),
+        }
     }
 
     /// Convenience constructor for a qualified column.
     pub fn qcol(table: &str, name: &str) -> Expr {
-        Expr::Column { table: Some(table.to_owned()), name: name.to_owned() }
+        Expr::Column {
+            table: Some(table.to_owned()),
+            name: name.to_owned(),
+        }
     }
 
     /// Splits a conjunction into its top-level conjuncts.
     pub fn conjuncts(&self) -> Vec<&Expr> {
         match self {
-            Expr::Binary { op: BinOp::And, lhs, rhs } => {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                rhs,
+            } => {
                 let mut v = lhs.conjuncts();
                 v.extend(rhs.conjuncts());
                 v
@@ -285,12 +298,18 @@ pub struct ParseError {
 impl ParseError {
     /// Creates an error at a byte offset.
     pub fn at(offset: usize, message: String) -> Self {
-        ParseError { offset: Some(offset), message }
+        ParseError {
+            offset: Some(offset),
+            message,
+        }
     }
 
     /// Creates an error without a position.
     pub fn new(message: String) -> Self {
-        ParseError { offset: None, message }
+        ParseError {
+            offset: None,
+            message,
+        }
     }
 
     /// Byte offset of the failure, if known.
@@ -343,7 +362,11 @@ mod tests {
     fn aggregate_detection_descends() {
         let e = Expr::Binary {
             op: BinOp::Mul,
-            lhs: Box::new(Expr::Agg { func: AggFunc::Sum, arg: Some(Box::new(Expr::col("x"))), distinct: false }),
+            lhs: Box::new(Expr::Agg {
+                func: AggFunc::Sum,
+                arg: Some(Box::new(Expr::col("x"))),
+                distinct: false,
+            }),
             rhs: Box::new(Expr::Int(2)),
         };
         assert!(e.contains_aggregate());

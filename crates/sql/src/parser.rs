@@ -139,8 +139,11 @@ impl Parser {
         while self.eat(&Token::Comma) {
             from.push(self.ident()?);
         }
-        let where_clause =
-            if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw(Keyword::Group) {
             self.expect_kw(Keyword::By)?;
@@ -149,7 +152,11 @@ impl Parser {
                 group_by.push(self.expr()?);
             }
         }
-        let having = if self.eat_kw(Keyword::Having) { Some(self.expr()?) } else { None };
+        let having = if self.eat_kw(Keyword::Having) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.eat_kw(Keyword::Order) {
             self.expect_kw(Keyword::By)?;
@@ -175,7 +182,16 @@ impl Parser {
         } else {
             None
         };
-        Ok(Query { items, star, from, where_clause, group_by, having, order_by, limit })
+        Ok(Query {
+            items,
+            star,
+            from,
+            where_clause,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     fn insert(&mut self) -> Result<Statement, ParseError> {
@@ -203,14 +219,24 @@ impl Parser {
         self.expect_kw(Keyword::Delete)?;
         self.expect_kw(Keyword::From)?;
         let table = self.ident()?;
-        let where_clause =
-            if self.eat_kw(Keyword::Where) { Some(self.expr()?) } else { None };
-        Ok(Statement::Delete { table, where_clause })
+        let where_clause = if self.eat_kw(Keyword::Where) {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete {
+            table,
+            where_clause,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem, ParseError> {
         let expr = self.expr()?;
-        let alias = if self.eat_kw(Keyword::As) { Some(self.ident()?) } else { None };
+        let alias = if self.eat_kw(Keyword::As) {
+            Some(self.ident()?)
+        } else {
+            None
+        };
         Ok(SelectItem { expr, alias })
     }
 
@@ -223,7 +249,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat_kw(Keyword::Or) {
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -232,7 +262,11 @@ impl Parser {
         let mut lhs = self.not_expr()?;
         while self.eat_kw(Keyword::And) {
             let rhs = self.not_expr()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -280,12 +314,20 @@ impl Parser {
                 list.push(self.add_expr()?);
             }
             self.expect(Token::RParen)?;
-            return Ok(Expr::InList { expr: Box::new(lhs), list, negated });
+            return Ok(Expr::InList {
+                expr: Box::new(lhs),
+                list,
+                negated,
+            });
         }
         if self.eat_kw(Keyword::Like) {
             match self.advance() {
                 Token::Str(pattern) => {
-                    return Ok(Expr::Like { expr: Box::new(lhs), pattern, negated })
+                    return Ok(Expr::Like {
+                        expr: Box::new(lhs),
+                        pattern,
+                        negated,
+                    })
                 }
                 other => return Err(self.err(format!("expected pattern string, found {other}"))),
             }
@@ -304,7 +346,11 @@ impl Parser {
         };
         self.advance();
         let rhs = self.add_expr()?;
-        Ok(Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        Ok(Expr::Binary {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
     }
 
     fn add_expr(&mut self) -> Result<Expr, ParseError> {
@@ -317,7 +363,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -331,7 +381,11 @@ impl Parser {
             };
             self.advance();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -378,7 +432,9 @@ impl Parser {
                     other => Err(self.err(format!("expected date string, found {other}"))),
                 }
             }
-            Token::Keyword(k @ (Keyword::Sum | Keyword::Count | Keyword::Avg | Keyword::Min | Keyword::Max)) => {
+            Token::Keyword(
+                k @ (Keyword::Sum | Keyword::Count | Keyword::Avg | Keyword::Min | Keyword::Max),
+            ) => {
                 self.advance();
                 let func = match k {
                     Keyword::Sum => AggFunc::Sum,
@@ -399,15 +455,25 @@ impl Parser {
                     Some(Box::new(self.expr()?))
                 };
                 self.expect(Token::RParen)?;
-                Ok(Expr::Agg { func, arg, distinct })
+                Ok(Expr::Agg {
+                    func,
+                    arg,
+                    distinct,
+                })
             }
             Token::Ident(first) => {
                 self.advance();
                 if self.eat(&Token::Dot) {
                     let name = self.ident()?;
-                    Ok(Expr::Column { table: Some(first), name })
+                    Ok(Expr::Column {
+                        table: Some(first),
+                        name,
+                    })
                 } else {
-                    Ok(Expr::Column { table: None, name: first })
+                    Ok(Expr::Column {
+                        table: None,
+                        name: first,
+                    })
                 }
             }
             other => Err(self.err(format!("expected expression, found {other}"))),
@@ -506,8 +572,14 @@ mod tests {
     fn operator_precedence_mul_before_add_before_compare() {
         let q = parse("select 1 from t where a + b * 2 < c").unwrap();
         match q.where_clause.unwrap() {
-            Expr::Binary { op: BinOp::Lt, lhs, .. } => match *lhs {
-                Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Lt, lhs, ..
+            } => match *lhs {
+                Expr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("expected add, got {other:?}"),
@@ -519,7 +591,10 @@ mod tests {
     #[test]
     fn and_binds_tighter_than_or() {
         let q = parse("select 1 from t where a = 1 or b = 2 and c = 3").unwrap();
-        assert!(matches!(q.where_clause.unwrap(), Expr::Binary { op: BinOp::Or, .. }));
+        assert!(matches!(
+            q.where_clause.unwrap(),
+            Expr::Binary { op: BinOp::Or, .. }
+        ));
     }
 
     #[test]
@@ -536,11 +611,19 @@ mod tests {
         let q = parse("select count(*), count(distinct c_custkey) from customer").unwrap();
         assert!(matches!(
             q.items[0].expr,
-            Expr::Agg { func: AggFunc::Count, arg: None, distinct: false }
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: None,
+                distinct: false
+            }
         ));
         assert!(matches!(
             q.items[1].expr,
-            Expr::Agg { func: AggFunc::Count, arg: Some(_), distinct: true }
+            Expr::Agg {
+                func: AggFunc::Count,
+                arg: Some(_),
+                distinct: true
+            }
         ));
     }
 
@@ -587,10 +670,9 @@ mod statement_tests {
 
     #[test]
     fn insert_parses_multi_row_values() {
-        let stmt = parse_statement(
-            "insert into region values (5, 'A', 'x'), (6, 'B', date '1995-01-01')",
-        )
-        .unwrap();
+        let stmt =
+            parse_statement("insert into region values (5, 'A', 'x'), (6, 'B', date '1995-01-01')")
+                .unwrap();
         match stmt {
             Statement::Insert { table, rows } => {
                 assert_eq!(table, "region");
@@ -606,11 +688,17 @@ mod statement_tests {
     fn delete_with_and_without_where() {
         assert!(matches!(
             parse_statement("delete from orders").unwrap(),
-            Statement::Delete { where_clause: None, .. }
+            Statement::Delete {
+                where_clause: None,
+                ..
+            }
         ));
         assert!(matches!(
             parse_statement("delete from orders where o_orderkey = 3").unwrap(),
-            Statement::Delete { where_clause: Some(_), .. }
+            Statement::Delete {
+                where_clause: Some(_),
+                ..
+            }
         ));
     }
 

@@ -190,7 +190,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             '=' => push(&mut out, Token::Eq, start, &mut i),
             '!' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { token: Token::Ne, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::at(start, "unexpected `!`".to_owned()));
@@ -198,10 +201,16 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             '<' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { token: Token::Le, offset: start });
+                    out.push(Spanned {
+                        token: Token::Le,
+                        offset: start,
+                    });
                     i += 2;
                 } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
-                    out.push(Spanned { token: Token::Ne, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ne,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push(&mut out, Token::Lt, start, &mut i);
@@ -209,7 +218,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             '>' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
-                    out.push(Spanned { token: Token::Ge, offset: start });
+                    out.push(Spanned {
+                        token: Token::Ge,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
                     push(&mut out, Token::Gt, start, &mut i);
@@ -220,7 +232,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 let mut s = String::new();
                 loop {
                     if i >= bytes.len() {
-                        return Err(ParseError::at(start, "unterminated string literal".to_owned()));
+                        return Err(ParseError::at(
+                            start,
+                            "unterminated string literal".to_owned(),
+                        ));
                     }
                     if bytes[i] == b'\'' {
                         // Doubled quote is an escaped quote.
@@ -235,7 +250,10 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     s.push(bytes[i] as char);
                     i += 1;
                 }
-                out.push(Spanned { token: Token::Str(s), offset: start });
+                out.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
             }
             '0'..='9' => {
                 let mut whole = 0i64;
@@ -243,10 +261,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     whole = whole
                         .checked_mul(10)
                         .and_then(|w| w.checked_add((bytes[i] - b'0') as i64))
-                        .ok_or_else(|| ParseError::at(start, "numeric literal overflows".to_owned()))?;
+                        .ok_or_else(|| {
+                            ParseError::at(start, "numeric literal overflows".to_owned())
+                        })?;
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && i + 1 < bytes.len()
+                    && bytes[i + 1].is_ascii_digit()
                 {
                     i += 1;
                     let mut frac = 0i64;
@@ -261,9 +284,15 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     if digits == 1 {
                         frac *= 10;
                     }
-                    out.push(Spanned { token: Token::Dec(whole * 100 + frac), offset: start });
+                    out.push(Spanned {
+                        token: Token::Dec(whole * 100 + frac),
+                        offset: start,
+                    });
                 } else {
-                    out.push(Spanned { token: Token::Int(whole), offset: start });
+                    out.push(Spanned {
+                        token: Token::Int(whole),
+                        offset: start,
+                    });
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -275,21 +304,36 @@ pub fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     i += 1;
                 }
                 match keyword_of(&word) {
-                    Some(k) => out.push(Spanned { token: Token::Keyword(k), offset: start }),
-                    None => out.push(Spanned { token: Token::Ident(word), offset: start }),
+                    Some(k) => out.push(Spanned {
+                        token: Token::Keyword(k),
+                        offset: start,
+                    }),
+                    None => out.push(Spanned {
+                        token: Token::Ident(word),
+                        offset: start,
+                    }),
                 }
             }
             other => {
-                return Err(ParseError::at(start, format!("unexpected character `{other}`")));
+                return Err(ParseError::at(
+                    start,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         }
     }
-    out.push(Spanned { token: Token::Eof, offset: input.len() });
+    out.push(Spanned {
+        token: Token::Eof,
+        offset: input.len(),
+    });
     Ok(out)
 }
 
 fn push(out: &mut Vec<Spanned>, token: Token, start: usize, i: &mut usize) {
-    out.push(Spanned { token, offset: start });
+    out.push(Spanned {
+        token,
+        offset: start,
+    });
     *i += 1;
 }
 
@@ -325,7 +369,10 @@ mod tests {
     #[test]
     fn strings_support_escaped_quotes() {
         assert_eq!(toks("'a''b'"), vec![Token::Str("a'b".into()), Token::Eof]);
-        assert_eq!(toks("'REG AIR'"), vec![Token::Str("REG AIR".into()), Token::Eof]);
+        assert_eq!(
+            toks("'REG AIR'"),
+            vec![Token::Str("REG AIR".into()), Token::Eof]
+        );
     }
 
     #[test]
@@ -347,11 +394,10 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(toks("select -- comment\n 1"), vec![
-            Token::Keyword(Keyword::Select),
-            Token::Int(1),
-            Token::Eof
-        ]);
+        assert_eq!(
+            toks("select -- comment\n 1"),
+            vec![Token::Keyword(Keyword::Select), Token::Int(1), Token::Eof]
+        );
     }
 
     #[test]
@@ -397,13 +443,19 @@ mod edge_tests {
 
     #[test]
     fn adjacent_operators_do_not_merge_wrongly() {
-        assert_eq!(toks2("a<=b"), vec![
-            Token::Ident("a".into()),
-            Token::Le,
-            Token::Ident("b".into()),
-            Token::Eof
-        ]);
-        assert_eq!(toks2("1-2"), vec![Token::Int(1), Token::Minus, Token::Int(2), Token::Eof]);
+        assert_eq!(
+            toks2("a<=b"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Eof
+            ]
+        );
+        assert_eq!(
+            toks2("1-2"),
+            vec![Token::Int(1), Token::Minus, Token::Int(2), Token::Eof]
+        );
     }
 
     #[test]

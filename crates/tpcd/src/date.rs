@@ -40,7 +40,10 @@ impl Date {
     /// Panics if the month or day is out of range for the given year.
     pub fn from_ymd(year: i32, month: u32, day: u32) -> Date {
         assert!((1..=12).contains(&month), "month {month} out of range");
-        assert!(day >= 1 && day <= days_in_month(year, month), "day {day} invalid for {year}-{month}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day {day} invalid for {year}-{month}"
+        );
         Date((days_from_civil(year, month, day) - TPCD_EPOCH_CIVIL) as i32)
     }
 

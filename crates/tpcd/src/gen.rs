@@ -242,7 +242,12 @@ fn region_values(r: &Region) -> Vec<Value> {
 }
 
 fn nation_values(n: &Nation) -> Vec<Value> {
-    vec![n.nationkey.into(), n.name.into(), n.regionkey.into(), n.comment.clone().into()]
+    vec![
+        n.nationkey.into(),
+        n.name.into(),
+        n.regionkey.into(),
+        n.comment.clone().into(),
+    ]
 }
 
 fn supplier_values(s: &Supplier) -> Vec<Value> {
@@ -392,7 +397,10 @@ impl Generator {
     }
 
     fn cardinality_of(&self, table: &str) -> u64 {
-        let def = tpcd_schema().into_iter().find(|t| t.name == table).expect("known table");
+        let def = tpcd_schema()
+            .into_iter()
+            .find(|t| t.name == table)
+            .expect("known table");
         match table {
             // Fixed-size tables do not scale.
             "region" | "nation" => def.base_cardinality,

@@ -25,7 +25,10 @@ pub type ParamSet = BTreeMap<String, Value>;
 ///
 /// Panics if `query` is not in `1..=17`.
 pub fn params(query: u8, seed: u64) -> ParamSet {
-    assert!((1..=17).contains(&query), "TPC-D read-only queries are Q1..Q17");
+    assert!(
+        (1..=17).contains(&query),
+        "TPC-D read-only queries are Q1..Q17"
+    );
     let mut rng = StdRng::seed_from_u64(seed ^ (query as u64) << 32);
     let mut p = ParamSet::new();
     let mut set = |k: &str, v: Value| {
@@ -43,20 +46,32 @@ pub fn params(query: u8, seed: u64) -> ParamSet {
             set("region", Value::from(text::pick(&mut rng, &text::REGIONS)));
         }
         3 => {
-            set("segment", Value::from(text::pick(&mut rng, &text::SEGMENTS)));
+            set(
+                "segment",
+                Value::from(text::pick(&mut rng, &text::SEGMENTS)),
+            );
             let date = Date::from_ymd(1995, 3, rng.gen_range(1..=31));
             set("date", Value::Date(date));
         }
         4 => {
             let months = rng.gen_range(0..=57); // 1993-01 .. 1997-10
-            set("date", Value::Date(Date::from_ymd(1993, 1, 1).add_months(months)));
+            set(
+                "date",
+                Value::Date(Date::from_ymd(1993, 1, 1).add_months(months)),
+            );
         }
         5 => {
             set("region", Value::from(text::pick(&mut rng, &text::REGIONS)));
-            set("date", Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 1, 1)));
+            set(
+                "date",
+                Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 1, 1)),
+            );
         }
         6 => {
-            set("date", Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 1, 1)));
+            set(
+                "date",
+                Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 1, 1)),
+            );
             set("discount", Value::Dec(rng.gen_range(2..=9)));
             set("quantity", Value::Dec(rng.gen_range(24..=25) * 100));
         }
@@ -80,11 +95,17 @@ pub fn params(query: u8, seed: u64) -> ParamSet {
             );
         }
         9 => {
-            set("color", Value::from(text::pick(&mut rng, &text::PART_NAME_WORDS)));
+            set(
+                "color",
+                Value::from(text::pick(&mut rng, &text::PART_NAME_WORDS)),
+            );
         }
         10 => {
             let months = rng.gen_range(0..=23); // 1993-02 .. 1995-01
-            set("date", Value::Date(Date::from_ymd(1993, 2, 1).add_months(months)));
+            set(
+                "date",
+                Value::Date(Date::from_ymd(1993, 2, 1).add_months(months)),
+            );
         }
         11 => {
             set("nation", Value::from(text::NATIONS[rng.gen_range(0..25)].0));
@@ -98,23 +119,41 @@ pub fn params(query: u8, seed: u64) -> ParamSet {
             }
             set("shipmode1", Value::from(text::SHIP_MODES[m1]));
             set("shipmode2", Value::from(text::SHIP_MODES[m2]));
-            set("date", Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 1, 1)));
+            set(
+                "date",
+                Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 1, 1)),
+            );
         }
         13 => {
-            set("date", Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 6, 1)));
-            set("priority", Value::from(text::pick(&mut rng, &text::ORDER_PRIORITIES)));
+            set(
+                "date",
+                Value::Date(Date::from_ymd(rng.gen_range(1993..=1997), 6, 1)),
+            );
+            set(
+                "priority",
+                Value::from(text::pick(&mut rng, &text::ORDER_PRIORITIES)),
+            );
         }
         14 => {
             let months = rng.gen_range(0..=59); // 1993-01 .. 1997-12
-            set("date", Value::Date(Date::from_ymd(1993, 1, 1).add_months(months)));
+            set(
+                "date",
+                Value::Date(Date::from_ymd(1993, 1, 1).add_months(months)),
+            );
         }
         15 => {
             let months = rng.gen_range(0..=57);
-            set("date", Value::Date(Date::from_ymd(1993, 1, 1).add_months(months)));
+            set(
+                "date",
+                Value::Date(Date::from_ymd(1993, 1, 1).add_months(months)),
+            );
         }
         16 => {
             let mfgr = rng.gen_range(1..=5);
-            set("brand", Value::Str(format!("Brand#{}", mfgr * 10 + rng.gen_range(1..=5))));
+            set(
+                "brand",
+                Value::Str(format!("Brand#{}", mfgr * 10 + rng.gen_range(1..=5))),
+            );
             set(
                 "type",
                 Value::Str(format!(
@@ -127,7 +166,10 @@ pub fn params(query: u8, seed: u64) -> ParamSet {
         }
         17 => {
             let mfgr = rng.gen_range(1..=5);
-            set("brand", Value::Str(format!("Brand#{}", mfgr * 10 + rng.gen_range(1..=5))));
+            set(
+                "brand",
+                Value::Str(format!("Brand#{}", mfgr * 10 + rng.gen_range(1..=5))),
+            );
             set(
                 "container",
                 Value::Str(format!(

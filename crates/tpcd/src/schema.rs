@@ -283,7 +283,10 @@ mod tests {
         let names: Vec<_> = schema.iter().map(|t| t.name).collect();
         assert_eq!(
             names,
-            ["region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem"]
+            [
+                "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
+                "lineitem"
+            ]
         );
     }
 

@@ -58,7 +58,11 @@ pub fn from_tbl(def: &TableDef, text: &str) -> Result<Vec<Vec<Value>>, TblError>
             return Err(TblError::new(
                 def.name,
                 lineno + 1,
-                format!("expected {} fields, found {}", def.columns.len(), fields.len()),
+                format!(
+                    "expected {} fields, found {}",
+                    def.columns.len(),
+                    fields.len()
+                ),
             ));
         }
         let mut row = Vec::with_capacity(fields.len());
@@ -85,8 +89,9 @@ fn parse_field(field: &str, ty: ColType) -> Result<Value, String> {
                 None => (field, "0"),
             };
             let sign = if whole.starts_with('-') { -1 } else { 1 };
-            let whole: i64 =
-                whole.parse().map_err(|_| format!("bad decimal {field:?}"))?;
+            let whole: i64 = whole
+                .parse()
+                .map_err(|_| format!("bad decimal {field:?}"))?;
             let mut frac = frac.to_owned();
             frac.truncate(2);
             while frac.len() < 2 {
@@ -100,8 +105,7 @@ fn parse_field(field: &str, ty: ColType) -> Result<Value, String> {
             if parts.len() != 3 {
                 return Err(format!("bad date {field:?}"));
             }
-            let parse =
-                |s: &str| s.parse::<i64>().map_err(|_| format!("bad date {field:?}"));
+            let parse = |s: &str| s.parse::<i64>().map_err(|_| format!("bad date {field:?}"));
             let (y, m, d) = (parse(parts[0])?, parse(parts[1])?, parse(parts[2])?);
             if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
                 return Err(format!("bad date {field:?}"));
@@ -138,7 +142,11 @@ pub struct TblError {
 
 impl TblError {
     fn new(table: &'static str, line: usize, message: String) -> Self {
-        TblError { table, line, message }
+        TblError {
+            table,
+            line,
+            message,
+        }
     }
 }
 

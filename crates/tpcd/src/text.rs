@@ -3,14 +3,24 @@
 use rand::Rng;
 
 /// The five market segments (`c_mktsegment`).
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// The seven ship modes (`l_shipmode`).
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 /// The four ship instructions (`l_shipinstruct`).
-pub const SHIP_INSTRUCTS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+pub const SHIP_INSTRUCTS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// The five order priorities (`o_orderpriority`).
 pub const ORDER_PRIORITIES: [&str; 5] =
@@ -30,10 +40,36 @@ pub const CONTAINER_SYL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK
 
 /// Part-name noise words (`p_name` is five of these).
 pub const PART_NAME_WORDS: [&str; 30] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral",
-    "forest", "frosted", "gainsboro",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
 ];
 
 /// The 25 nations with their region assignment (index into [`REGIONS`]).
@@ -70,11 +106,46 @@ pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE E
 
 /// Word pool for comment filler text.
 const COMMENT_WORDS: [&str; 40] = [
-    "blithely", "carefully", "express", "final", "furiously", "ironic", "pending", "quickly",
-    "regular", "slyly", "special", "unusual", "accounts", "deposits", "foxes", "ideas",
-    "instructions", "packages", "pinto", "beans", "platelets", "requests", "theodolites",
-    "dependencies", "excuses", "sauternes", "asymptotes", "courts", "dolphins", "multipliers",
-    "sentiments", "daring", "even", "bold", "silent", "sleep", "wake", "nag", "haggle", "detect",
+    "blithely",
+    "carefully",
+    "express",
+    "final",
+    "furiously",
+    "ironic",
+    "pending",
+    "quickly",
+    "regular",
+    "slyly",
+    "special",
+    "unusual",
+    "accounts",
+    "deposits",
+    "foxes",
+    "ideas",
+    "instructions",
+    "packages",
+    "pinto",
+    "beans",
+    "platelets",
+    "requests",
+    "theodolites",
+    "dependencies",
+    "excuses",
+    "sauternes",
+    "asymptotes",
+    "courts",
+    "dolphins",
+    "multipliers",
+    "sentiments",
+    "daring",
+    "even",
+    "bold",
+    "silent",
+    "sleep",
+    "wake",
+    "nag",
+    "haggle",
+    "detect",
 ];
 
 /// Produces comment filler of exactly `len` bytes from the TPC-D word pool.

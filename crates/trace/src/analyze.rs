@@ -132,18 +132,21 @@ impl TraceAnalysis {
 /// assert_eq!(data.reuse.cold_fraction(), 1.0 / 3.0);
 /// ```
 pub fn analyze(trace: &Trace, line_size: u64) -> TraceAnalysis {
-    assert!(line_size.is_power_of_two(), "line size must be a power of two");
+    assert!(
+        line_size.is_power_of_two(),
+        "line size must be a power of two"
+    );
     let mask = !(line_size - 1);
 
     // Pass 1: count line-granularity references to size the Fenwick tree.
-    let nrefs = trace
-        .iter()
-        .filter(|e| matches!(e, Event::Ref(_)))
-        .count();
+    let nrefs = trace.iter().filter(|e| matches!(e, Event::Ref(_))).count();
     let mut fenwick = Fenwick::new(nrefs + 1);
     let mut last_access: HashMap<u64, usize> = HashMap::new();
     let mut last_line_by_class: HashMap<DataClass, u64> = HashMap::new();
-    let mut analysis = TraceAnalysis { line_size, classes: BTreeMap::new() };
+    let mut analysis = TraceAnalysis {
+        line_size,
+        classes: BTreeMap::new(),
+    };
 
     let mut t = 0usize;
     for event in trace {
@@ -191,7 +194,11 @@ pub fn analyze(trace: &Trace, line_size: u64) -> TraceAnalysis {
         let Event::Ref(r) = event else { continue };
         let line = r.addr & mask;
         if seen.insert((r.class, line), ()).is_none() {
-            analysis.classes.get_mut(&r.class).expect("counted above").footprint_lines += 1;
+            analysis
+                .classes
+                .get_mut(&r.class)
+                .expect("counted above")
+                .footprint_lines += 1;
         }
     }
     analysis
@@ -204,7 +211,9 @@ struct Fenwick {
 
 impl Fenwick {
     fn new(n: usize) -> Self {
-        Fenwick { tree: vec![0; n + 1] }
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
     }
 
     fn add(&mut self, mut i: usize, delta: i64) {
@@ -250,8 +259,8 @@ mod tests {
         let a = analyze(
             &trace_of(&[
                 (0x100, DataClass::Data),
-                (0x108, DataClass::Data), // same line
-                (0x140, DataClass::Data), // next line
+                (0x108, DataClass::Data),  // same line
+                (0x140, DataClass::Data),  // next line
                 (0x100, DataClass::Index), // same address, other class
             ]),
             64,
@@ -264,15 +273,17 @@ mod tests {
     #[test]
     fn sequentiality_detects_streams() {
         // A pure stream: every ref on the next line.
-        let stream: Vec<(u64, DataClass)> =
-            (0..50).map(|i| (0x1000 + i * 64, DataClass::Data)).collect();
+        let stream: Vec<(u64, DataClass)> = (0..50)
+            .map(|i| (0x1000 + i * 64, DataClass::Data))
+            .collect();
         let a = analyze(&trace_of(&stream), 64);
         let c = a.class(DataClass::Data);
         assert!(c.sequentiality() > 0.95, "{}", c.sequentiality());
 
         // A scatter: strides far beyond a line.
-        let scatter: Vec<(u64, DataClass)> =
-            (0..50).map(|i| (0x1000 + i * 4096, DataClass::PrivHeap)).collect();
+        let scatter: Vec<(u64, DataClass)> = (0..50)
+            .map(|i| (0x1000 + i * 4096, DataClass::PrivHeap))
+            .collect();
         let a = analyze(&trace_of(&scatter), 64);
         assert_eq!(a.class(DataClass::PrivHeap).sequentiality(), 0.0);
     }
@@ -298,7 +309,11 @@ mod tests {
     #[test]
     fn immediate_reuse_is_distance_zero() {
         let a = analyze(
-            &trace_of(&[(0x0, DataClass::Data), (0x8, DataClass::Data), (0x0, DataClass::Data)]),
+            &trace_of(&[
+                (0x0, DataClass::Data),
+                (0x8, DataClass::Data),
+                (0x0, DataClass::Data),
+            ]),
             64,
         );
         let reuse = &a.class(DataClass::Data).reuse;
@@ -321,8 +336,7 @@ mod tests {
 
     #[test]
     fn no_reuse_in_a_pure_scan() {
-        let scan: Vec<(u64, DataClass)> =
-            (0..100).map(|i| (i * 64, DataClass::Data)).collect();
+        let scan: Vec<(u64, DataClass)> = (0..100).map(|i| (i * 64, DataClass::Data)).collect();
         let a = analyze(&trace_of(&scan), 64);
         assert_eq!(a.class(DataClass::Data).reuse.cold_fraction(), 1.0);
     }

@@ -10,7 +10,6 @@
 /// distinguish the `BufMgrLock` spinlock and a catch-all for other shared
 /// metadata; both fold into the paper's *Metadata* group.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DataClass {
     /// Private heap data: tuple slots, sort and hash workspaces, temporaries.
     PrivHeap,
@@ -36,7 +35,6 @@ pub enum DataClass {
 
 /// Coarse grouping of [`DataClass`] used by the paper's Figures 6(b), 8 and 10.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DataGroup {
     /// Private data structures (`Priv` in the paper).
     Priv,

@@ -23,7 +23,6 @@
 /// assert!(cost.tuple_overhead > 0);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct CostModel {
     /// Executor node dispatch per tuple produced or consumed (Volcano
     /// `next()` call overhead: function calls, slot bookkeeping).

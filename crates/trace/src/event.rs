@@ -5,7 +5,6 @@ use crate::DataClass;
 
 /// A single classified memory reference.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct MemRef {
     /// Simulated virtual address.
     pub addr: u64,
@@ -20,12 +19,22 @@ pub struct MemRef {
 impl MemRef {
     /// Creates a load reference.
     pub fn load(addr: u64, size: u16, class: DataClass) -> Self {
-        MemRef { addr, size, write: false, class }
+        MemRef {
+            addr,
+            size,
+            write: false,
+            class,
+        }
     }
 
     /// Creates a store reference.
     pub fn store(addr: u64, size: u16, class: DataClass) -> Self {
-        MemRef { addr, size, write: true, class }
+        MemRef {
+            addr,
+            size,
+            write: true,
+            class,
+        }
     }
 }
 
@@ -35,7 +44,6 @@ impl MemRef {
 /// the acquiring read-modify-write) and its [`DataClass`] (to attribute the
 /// resulting misses).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum LockClass {
     /// The lock manager's `LockMgrLock` ("LockSLock" in the paper).
     LockMgr,
@@ -58,7 +66,6 @@ impl LockClass {
 
 /// A spinlock identity carried by acquire/release events.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct LockToken {
     /// Address of the lock word in the simulated shared address space.
     pub addr: u64,
@@ -80,7 +87,6 @@ impl LockToken {
 /// is only known at simulation time when the four processors' clocks are
 /// interleaved.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Event {
     /// A classified memory reference.
     Ref(MemRef),

@@ -25,7 +25,8 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
         let (tag, a, b): (u8, u64, u64) = match event {
             Event::Busy(n) => (0, *n as u64, 0),
             Event::Ref(r) => {
-                let meta = (r.size as u64) << 8 | (r.write as u64) << 7 | class_code(r.class) as u64;
+                let meta =
+                    (r.size as u64) << 8 | (r.write as u64) << 7 | class_code(r.class) as u64;
                 (1, r.addr, meta)
             }
             Event::LockAcquire(tok) => (2, tok.addr, lock_code(tok.class) as u64),
@@ -48,7 +49,10 @@ pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DSS trace file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a DSS trace file",
+        ));
     }
     let proc_id = read_u64(&mut r)? as usize;
     let n = read_u64(&mut r)? as usize;

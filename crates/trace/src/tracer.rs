@@ -20,7 +20,10 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace for `proc_id`.
     pub fn new(proc_id: usize) -> Self {
-        Trace { proc_id, events: Vec::new() }
+        Trace {
+            proc_id,
+            events: Vec::new(),
+        }
     }
 
     /// Number of events in the trace.
@@ -193,7 +196,10 @@ impl Tracer {
     pub fn take(&self) -> Trace {
         let mut buf = self.buf.borrow_mut();
         buf.flush_busy();
-        Trace { proc_id: self.proc_id, events: std::mem::take(&mut buf.events) }
+        Trace {
+            proc_id: self.proc_id,
+            events: std::mem::take(&mut buf.events),
+        }
     }
 
     fn access(&self, addr: u64, size: u64, write: bool, class: DataClass) {
@@ -245,9 +251,18 @@ mod tests {
         t.read(0x100, 20, DataClass::Index);
         let trace = t.take();
         assert_eq!(trace.events.len(), 3);
-        assert_eq!(trace.events[0], Event::Ref(MemRef::load(0x100, 8, DataClass::Index)));
-        assert_eq!(trace.events[1], Event::Ref(MemRef::load(0x108, 8, DataClass::Index)));
-        assert_eq!(trace.events[2], Event::Ref(MemRef::load(0x110, 4, DataClass::Index)));
+        assert_eq!(
+            trace.events[0],
+            Event::Ref(MemRef::load(0x100, 8, DataClass::Index))
+        );
+        assert_eq!(
+            trace.events[1],
+            Event::Ref(MemRef::load(0x108, 8, DataClass::Index))
+        );
+        assert_eq!(
+            trace.events[2],
+            Event::Ref(MemRef::load(0x110, 4, DataClass::Index))
+        );
     }
 
     #[test]
@@ -257,8 +272,18 @@ mod tests {
         let trace = t.take();
         assert_eq!(trace.proc_id, 1);
         assert_eq!(trace.events.len(), 4);
-        assert!(matches!(trace.events[0], Event::Ref(MemRef { write: false, .. })));
-        assert!(matches!(trace.events[1], Event::Ref(MemRef { write: true, class: DataClass::PrivHeap, .. })));
+        assert!(matches!(
+            trace.events[0],
+            Event::Ref(MemRef { write: false, .. })
+        ));
+        assert!(matches!(
+            trace.events[1],
+            Event::Ref(MemRef {
+                write: true,
+                class: DataClass::PrivHeap,
+                ..
+            })
+        ));
     }
 
     #[test]
@@ -279,7 +304,10 @@ mod tests {
         t.read(0x200, 8, DataClass::Data);
         let trace = t.take();
         assert_eq!(trace.events.len(), 1);
-        assert_eq!(trace.events[0], Event::Ref(MemRef::load(0x200, 8, DataClass::Data)));
+        assert_eq!(
+            trace.events[0],
+            Event::Ref(MemRef::load(0x200, 8, DataClass::Data))
+        );
     }
 
     #[test]

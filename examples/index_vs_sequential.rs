@@ -35,7 +35,12 @@ fn main() {
         println!("memory stall by data structure:");
         for group in DataGroup::ALL {
             let frac = stats.total(|p| p.stall_of_group(group)) as f64 / total_stall;
-            println!("  {:9} {:5.1}%  |{}", group.label(), 100.0 * frac, "#".repeat((frac * 40.0) as usize));
+            println!(
+                "  {:9} {:5.1}%  |{}",
+                group.label(),
+                100.0 * frac,
+                "#".repeat((frac * 40.0) as usize)
+            );
         }
 
         // The paper's signature structures for Index queries.

@@ -6,7 +6,7 @@
 //! cargo run --release --example line_size_study
 //! ```
 
-use dss_workbench::core::{experiments, report, Workbench};
+use dss_workbench::core::{report, Workbench};
 
 fn main() {
     println!("building the paper-scale database...");
@@ -15,17 +15,33 @@ fn main() {
     // Q12 combines a sequential scan, a sort, and a merge join — the richest
     // mix for a locality study.
     let query = 12;
-    let points = experiments::line_size_sweep(&mut wb, query);
+    let points = wb.line_size_sweep(query);
 
     println!("\n{}", report::render_fig8(query, &points));
     println!("{}", report::render_fig9(query, &points));
 
     // Summarize the trade-off the paper calls out.
     let at = |line: u64| points.iter().find(|p| p.l2_line == line).expect("swept");
-    let d16 = at(16).stats.l2.read_misses.by_group(dss_workbench::trace::DataGroup::Data);
-    let d256 = at(256).stats.l2.read_misses.by_group(dss_workbench::trace::DataGroup::Data);
-    let p16 = at(16).stats.l1.read_misses.by_group(dss_workbench::trace::DataGroup::Priv);
-    let p256 = at(256).stats.l1.read_misses.by_group(dss_workbench::trace::DataGroup::Priv);
+    let d16 = at(16)
+        .stats
+        .l2
+        .read_misses
+        .by_group(dss_workbench::trace::DataGroup::Data);
+    let d256 = at(256)
+        .stats
+        .l2
+        .read_misses
+        .by_group(dss_workbench::trace::DataGroup::Data);
+    let p16 = at(16)
+        .stats
+        .l1
+        .read_misses
+        .by_group(dss_workbench::trace::DataGroup::Priv);
+    let p256 = at(256)
+        .stats
+        .l1
+        .read_misses
+        .by_group(dss_workbench::trace::DataGroup::Priv);
     println!(
         "going from 16-byte to 256-byte lines: database-data L2 misses fall {:.1}x\n\
          while private-data L1 misses rise {:.1}x — hence the paper's conclusion\n\

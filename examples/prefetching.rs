@@ -12,7 +12,10 @@ fn main() {
     println!("building the paper-scale database...");
     let mut wb = Workbench::paper();
 
-    println!("\n{:5} {:>14} {:>14} {:>8} {:>12}", "query", "base cycles", "prefetched", "delta", "pf issued");
+    println!(
+        "\n{:5} {:>14} {:>14} {:>8} {:>12}",
+        "query", "base cycles", "prefetched", "delta", "pf issued"
+    );
     for q in STUDIED_QUERIES {
         let traces = wb.traces(q, 0);
         let base = Machine::new(MachineConfig::baseline()).run(&traces);

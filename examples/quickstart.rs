@@ -13,7 +13,11 @@ use dss_workbench::trace::TraceStats;
 fn main() {
     // 1. Build a small database (the paper's setup uses scale 0.01; this
     //    example uses 1/500 so it runs in a blink).
-    let config = DbConfig { scale: 0.002, nbuffers: 2048, ..DbConfig::default() };
+    let config = DbConfig {
+        scale: 0.002,
+        nbuffers: 2048,
+        ..DbConfig::default()
+    };
     let mut db = Database::build(&config);
     println!(
         "database built: {} heap pages across {} tables\n",

@@ -10,7 +10,11 @@ use dss_workbench::tpcd::params;
 use dss_workbench::trace::{analyze, read_trace, write_trace, DataClass};
 
 fn main() {
-    let mut db = Database::build(&DbConfig { scale: 0.004, nbuffers: 2048, ..DbConfig::default() });
+    let mut db = Database::build(&DbConfig {
+        scale: 0.004,
+        nbuffers: 2048,
+        ..DbConfig::default()
+    });
 
     // Trace one Q6 instance.
     let mut session = Session::new(0);

@@ -21,15 +21,30 @@ fn main() {
     println!("{}", dss_workbench::core::report::render_ext_updates(&runs));
 
     // And the engine-level view: a single refresh pair, step by step.
-    let mut db = Database::build(&DbConfig { scale: 0.002, nbuffers: 2048, ..DbConfig::default() });
+    let mut db = Database::build(&DbConfig {
+        scale: 0.002,
+        nbuffers: 2048,
+        ..DbConfig::default()
+    });
     let mut session = Session::untraced(0);
     let generator = dss_workbench::tpcd::Generator::new(0.002, 42);
 
     let (orders, lineitems) = generator.uf1_rows(1, 3, 5_000_000);
-    db.execute(&dss_workbench::query::insert_orders_sql(&orders), &mut session).unwrap();
-    db.execute(&dss_workbench::query::insert_lineitems_sql(&lineitems), &mut session).unwrap();
+    db.execute(
+        &dss_workbench::query::insert_orders_sql(&orders),
+        &mut session,
+    )
+    .unwrap();
+    db.execute(
+        &dss_workbench::query::insert_lineitems_sql(&lineitems),
+        &mut session,
+    )
+    .unwrap();
     let count = db
-        .run("select count(*) from orders where o_orderkey >= 5000000", &mut session)
+        .run(
+            "select count(*) from orders where o_orderkey >= 5000000",
+            &mut session,
+        )
         .unwrap()
         .rows[0][0]
         .clone();

@@ -80,13 +80,15 @@ fn main() {
 /// Handles a backslash command; returns `false` to quit.
 fn meta_command(line: &str, db: &mut Database, session: &mut Session, tracing: &mut bool) -> bool {
     let mut parts = line.splitn(2, ' ');
-    match (parts.next().unwrap_or(""), parts.next().unwrap_or("").trim()) {
+    match (
+        parts.next().unwrap_or(""),
+        parts.next().unwrap_or("").trim(),
+    ) {
         ("\\q", _) => return false,
         ("\\tables", _) => {
             println!("{:<10} {:>9} {:>7}  indexes", "table", "rows", "pages");
             for (name, meta) in db.catalog.iter() {
-                let idx: Vec<&str> =
-                    meta.indexes.iter().map(|i| i.name.as_str()).collect();
+                let idx: Vec<&str> = meta.indexes.iter().map(|i| i.name.as_str()).collect();
                 println!(
                     "{:<10} {:>9} {:>7}  {}",
                     name,
@@ -120,9 +122,9 @@ fn meta_command(line: &str, db: &mut Database, session: &mut Session, tracing: &
             session.tracer.set_enabled(*tracing);
             println!("tracing {}", if *tracing { "on" } else { "off" });
         }
-        (cmd, _) => println!(
-            "unknown command {cmd} (try \\tables, \\d, \\explain, \\trace, \\vacuum, \\q)"
-        ),
+        (cmd, _) => {
+            println!("unknown command {cmd} (try \\tables, \\d, \\explain, \\trace, \\vacuum, \\q)")
+        }
     }
     true
 }

@@ -40,18 +40,22 @@
 //! assert!(stats.exec_cycles() > 0);
 //! ```
 //!
-//! To regenerate every table and figure of the paper:
+//! To regenerate every table and figure of the paper (`--jobs N` fans the
+//! sweep points across N threads with bit-identical output):
 //!
 //! ```text
-//! cargo run -p dss-bench --release --bin repro
+//! cargo run -p dss-bench --release --bin repro -- all --jobs 4
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub use dss_btree as btree;
+// The shared-trace handle, re-exported at the top level so downstream users
+// can name it without reaching into `core`.
 pub use dss_bufcache as bufcache;
 pub use dss_core as core;
+pub use dss_core::TraceSet;
 pub use dss_lockmgr as lockmgr;
 pub use dss_memsim as memsim;
 pub use dss_query as query;

@@ -7,7 +7,12 @@ use dss_workbench::tpcd::params;
 use dss_workbench::trace::{DataClass, DataGroup, TraceStats};
 
 fn small_db() -> Database {
-    Database::build(&DbConfig { scale: 0.002, seed: 5, nbuffers: 2048, ..DbConfig::default() })
+    Database::build(&DbConfig {
+        scale: 0.002,
+        seed: 5,
+        nbuffers: 2048,
+        ..DbConfig::default()
+    })
 }
 
 #[test]
@@ -15,7 +20,10 @@ fn facade_quickstart_pipeline() {
     let mut db = small_db();
     let mut session = Session::new(0);
     let out = db
-        .run("select count(*) from customer where c_mktsegment = 'BUILDING'", &mut session)
+        .run(
+            "select count(*) from customer where c_mktsegment = 'BUILDING'",
+            &mut session,
+        )
         .expect("valid query");
     let n = out.rows[0][0].int();
     assert!(n > 0, "some BUILDING customers exist");
@@ -32,7 +40,8 @@ fn all_seventeen_queries_trace_and_simulate() {
     for q in 1..=17u8 {
         let mut session = Session::new(0);
         let sql = dss_workbench::query::sql_for(q, &params(q, 3));
-        db.run(&sql, &mut session).unwrap_or_else(|e| panic!("Q{q}: {e}"));
+        db.run(&sql, &mut session)
+            .unwrap_or_else(|e| panic!("Q{q}: {e}"));
         let trace = session.tracer.take();
         assert!(!trace.is_empty(), "Q{q} produced no references");
         let sim = Machine::new(MachineConfig::baseline()).run(&[trace]);
@@ -55,10 +64,10 @@ fn four_processor_run_produces_coherence_traffic() {
     let sim = Machine::new(MachineConfig::baseline()).run(&traces);
     // Four processors pinning the same pages must invalidate each other's
     // descriptor and lock lines.
-    let coherence = sim
-        .l2
-        .read_misses
-        .by_group_kind(DataGroup::Metadata, dss_workbench::memsim::MissKind::Coherence);
+    let coherence = sim.l2.read_misses.by_group_kind(
+        DataGroup::Metadata,
+        dss_workbench::memsim::MissKind::Coherence,
+    );
     assert!(coherence > 0, "expected coherence misses on metadata");
     // And everybody spun at least occasionally on a metalock or had it free.
     assert!(sim.total(|p| p.cycles) > 0);
@@ -101,7 +110,15 @@ fn address_space_classification_is_consistent() {
     // Every mapped shared region classifies to the class its name implies.
     for vma in &db.space {
         let mid = vma.base + vma.len / 2;
-        assert_eq!(db.space.classify(mid), Some(vma.class), "region {}", vma.name);
+        assert_eq!(
+            db.space.classify(mid),
+            Some(vma.class),
+            "region {}",
+            vma.name
+        );
     }
-    assert!(db.space.mapped_bytes() > 8 * 1024 * 1024, "pool + metadata mapped");
+    assert!(
+        db.space.mapped_bytes() > 8 * 1024 * 1024,
+        "pool + metadata mapped"
+    );
 }

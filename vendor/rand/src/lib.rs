@@ -1,0 +1,231 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crate registry, so this vendored
+//! crate provides exactly the deterministic subset of the `rand 0.8` API the
+//! workspace uses: [`rngs::StdRng`] seeded via [`SeedableRng::seed_from_u64`],
+//! and [`Rng::gen_range`] / [`Rng::gen_bool`] over integer ranges.
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — not bit-compatible
+//! with upstream `rand`'s ChaCha-based `StdRng`, but a high-quality,
+//! platform-independent stream that keeps every database build, parameter
+//! draw, and trace fully deterministic for a given seed, which is all the
+//! TPC-D generator requires.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Low-level uniform word generation.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support (the subset the workspace uses).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, expanded with SplitMix64 as
+    /// upstream `rand` does.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// High-level sampling helpers, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from `range` (`a..b` or `a..=b` over the integer
+    /// types), bias-free via rejection sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: distributions::SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range: {p}"
+        );
+        // 53 uniform mantissa bits, the same construction upstream uses.
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Uniform range sampling.
+pub mod distributions {
+    use super::RngCore;
+
+    /// A range that can produce uniform samples of `T`.
+    pub trait SampleRange<T> {
+        /// Draws one uniform sample.
+        fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+    }
+
+    /// Uniform `u64` in `[0, span)` by rejection (no modulo bias).
+    pub(crate) fn uniform_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        if span.is_power_of_two() {
+            return rng.next_u64() & (span - 1);
+        }
+        let zone = u64::MAX - (u64::MAX % span + 1) % span;
+        loop {
+            let v = rng.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+
+    /// Integer types uniform ranges can sample (conversion through `i128`
+    /// keeps the arithmetic overflow-free for every 64-bit-or-smaller type).
+    pub trait SampleUniform: Copy + PartialOrd {
+        /// Lossless widening.
+        fn to_i128(self) -> i128;
+        /// Narrowing back into the type's domain (the caller guarantees fit).
+        fn from_i128(v: i128) -> Self;
+    }
+
+    macro_rules! impl_sample_uniform {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn to_i128(self) -> i128 {
+                    self as i128
+                }
+                fn from_i128(v: i128) -> Self {
+                    v as $t
+                }
+            }
+        )*};
+    }
+
+    impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+        fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "cannot sample from empty range");
+            let (lo, hi) = (self.start.to_i128(), self.end.to_i128());
+            let off = uniform_below(rng, (hi - lo) as u64);
+            T::from_i128(lo + off as i128)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+        fn sample_from<R: RngCore>(self, rng: &mut R) -> T {
+            let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+            assert!(lo <= hi, "cannot sample from empty range");
+            let span = (hi - lo) as u128 + 1;
+            if span > u64::MAX as u128 {
+                // Whole-domain range: every word is a valid sample.
+                return T::from_i128(lo + rng.next_u64() as i128);
+            }
+            let off = uniform_below(rng, span as u64);
+            T::from_i128(lo + off as i128)
+        }
+    }
+}
+
+/// The generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++,
+    /// seeded via SplitMix64.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..=u64::MAX), b.gen_range(0u64..=u64::MAX));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen_range(0..1_000_000), c.gen_range(0..1_000_000));
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-99_999i64..=999_999);
+            assert!((-99_999..=999_999).contains(&v));
+            let w = rng.gen_range(1usize..8);
+            assert!((1..8).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_frequency_tracks_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "≈25%, got {hits}");
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}
