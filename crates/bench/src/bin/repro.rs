@@ -9,9 +9,11 @@
 //! Accepted arguments: `table1`, `fig6`, `fig7`, `rates`, `fig8`, `fig9`,
 //! `fig10`, `fig11`, `fig12`, `fig13`, `all` (default), the extensions
 //! (`ext`, or `ext-protocol`, `ext-prefetch`, `ext-updates`, `ext-intra`,
-//! `ext-streams`, `ext-procs`), and `--jobs N` to set the number of worker
-//! threads the sweeps fan out over (default: available parallelism). Each
-//! experiment prints the paper-shaped chart plus its PASS/FAIL shape checks.
+//! `ext-streams`, `ext-procs`), `--jobs N` to set the number of worker
+//! threads the sweeps fan out over (default: available parallelism), and
+//! `--bench-json PATH` to write the per-experiment wall/compute timings as a
+//! machine-readable JSON file (the CI benchmark artifact). Each experiment
+//! prints the paper-shaped chart plus its PASS/FAIL shape checks.
 //!
 //! Tables and checks go to stdout; progress and timing go to stderr, so
 //! stdout is byte-identical at every `--jobs` value and safe to diff.
@@ -21,23 +23,74 @@ use std::time::{Duration, Instant};
 
 use dss_core::{experiments, paper, report, Workbench, STUDIED_QUERIES};
 
-/// Prints one experiment's wall-clock and, when it simulated anything, the
-/// aggregate single-thread compute it fanned out (their ratio is the
-/// parallel speedup). Stderr, to keep stdout diffable.
-fn timing(label: &str, wall: Duration, compute: Duration) {
-    if compute.is_zero() {
-        eprintln!("  [{label}] wall {wall:.1?}");
-    } else {
-        let speedup = compute.as_secs_f64() / wall.as_secs_f64().max(1e-9);
-        eprintln!("  [{label}] wall {wall:.1?}, sim compute {compute:.1?}, speedup {speedup:.2}x");
+/// Per-experiment timings, printed to stderr as they happen and optionally
+/// dumped as JSON at exit (`--bench-json`).
+#[derive(Default)]
+struct BenchLog {
+    entries: Vec<(String, Duration, Duration)>,
+}
+
+impl BenchLog {
+    /// Records one experiment's wall-clock and, when it simulated anything,
+    /// the aggregate single-thread compute it fanned out (their ratio is the
+    /// parallel speedup). Stderr, to keep stdout diffable.
+    fn record(&mut self, label: &str, wall: Duration, compute: Duration) {
+        if compute.is_zero() {
+            eprintln!("  [{label}] wall {wall:.1?}");
+        } else {
+            let speedup = compute.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+            eprintln!(
+                "  [{label}] wall {wall:.1?}, sim compute {compute:.1?}, speedup {speedup:.2}x"
+            );
+        }
+        self.entries.push((label.to_string(), wall, compute));
+    }
+
+    /// The recorded timings as a self-describing JSON document. Labels are
+    /// experiment names from this binary (no escaping needed).
+    fn to_json(&self, jobs: usize, total_wall: Duration) -> String {
+        let experiments: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(name, wall, compute)| {
+                format!(
+                    "    {{\"name\": \"{}\", \"wall_ns\": {}, \"sim_compute_ns\": {}}}",
+                    name,
+                    wall.as_nanos(),
+                    compute.as_nanos()
+                )
+            })
+            .collect();
+        format!(
+            "{{\n  \"schema\": \"dss-bench-repro/v1\",\n  \"jobs\": {},\n  \
+             \"total_wall_ns\": {},\n  \"experiments\": [\n{}\n  ]\n}}\n",
+            jobs,
+            total_wall.as_nanos(),
+            experiments.join(",\n")
+        )
     }
 }
 
 fn main() {
     let mut jobs: Option<usize> = None;
+    let mut bench_json: Option<String> = None;
     let mut names = BTreeSet::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
+        if arg == "--bench-json" {
+            match argv.next() {
+                Some(path) => bench_json = Some(path),
+                None => {
+                    eprintln!("error: --bench-json needs a path");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
+        if let Some(path) = arg.strip_prefix("--bench-json=") {
+            bench_json = Some(path.to_string());
+            continue;
+        }
         let value = if arg == "--jobs" {
             argv.next()
         } else if let Some(v) = arg.strip_prefix("--jobs=") {
@@ -55,6 +108,7 @@ fn main() {
         }
     }
     let args = names;
+    let mut log = BenchLog::default();
     let want = |name: &str| args.is_empty() || args.contains("all") || args.contains(name);
     let want_ext = |name: &str| args.contains("ext") || args.contains(name);
 
@@ -77,7 +131,7 @@ fn main() {
         let t = Instant::now();
         let rows = experiments::table1(&wb.db);
         println!("{}", report::render_table1(&rows));
-        timing("table1", t.elapsed(), wb.take_sim_compute());
+        log.record("table1", t.elapsed(), wb.take_sim_compute());
     }
 
     if want("fig6") || want("fig7") || want("rates") {
@@ -98,7 +152,7 @@ fn main() {
             let rates: Vec<_> = baselines.iter().map(experiments::miss_rates).collect();
             println!("{}", report::render_miss_rates(&rates));
         }
-        timing("fig6/fig7/rates", t.elapsed(), wb.take_sim_compute());
+        log.record("fig6/fig7/rates", t.elapsed(), wb.take_sim_compute());
     }
 
     if want("fig8") || want("fig9") {
@@ -114,7 +168,7 @@ fn main() {
                 println!("{}", paper::render_checks(&paper::check_fig9(q, &points)));
             }
         }
-        timing("fig8/fig9", t.elapsed(), wb.take_sim_compute());
+        log.record("fig8/fig9", t.elapsed(), wb.take_sim_compute());
     }
 
     if want("fig10") || want("fig11") {
@@ -130,7 +184,7 @@ fn main() {
                 println!("{}", paper::render_checks(&paper::check_fig11(q, &points)));
             }
         }
-        timing("fig10/fig11", t.elapsed(), wb.take_sim_compute());
+        log.record("fig10/fig11", t.elapsed(), wb.take_sim_compute());
     }
 
     if want("fig12") {
@@ -140,7 +194,7 @@ fn main() {
         println!("{}", report::render_fig12(&q3));
         println!("{}", report::render_fig12(&q12));
         println!("{}", paper::render_checks(&paper::check_fig12(&q3, &q12)));
-        timing("fig12", t.elapsed(), wb.take_sim_compute());
+        log.record("fig12", t.elapsed(), wb.take_sim_compute());
     }
 
     if want("fig13") {
@@ -151,7 +205,7 @@ fn main() {
             .collect();
         println!("{}", report::render_fig13(&pairs));
         println!("{}", paper::render_checks(&paper::check_fig13(&pairs)));
-        timing("fig13", t.elapsed(), wb.take_sim_compute());
+        log.record("fig13", t.elapsed(), wb.take_sim_compute());
     }
 
     // Extension experiments (not in the paper): run with `ext` or by name.
@@ -162,7 +216,7 @@ fn main() {
             .map(|q| wb.protocol_ablation(*q))
             .collect();
         println!("{}", report::render_ext_protocol(&ablations));
-        timing("ext-protocol", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-protocol", t.elapsed(), wb.take_sim_compute());
     }
     if want_ext("ext-prefetch") {
         let t = Instant::now();
@@ -170,26 +224,26 @@ fn main() {
             let points = wb.prefetch_degree_sweep(q);
             println!("{}", report::render_ext_prefetch(q, &points));
         }
-        timing("ext-prefetch", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-prefetch", t.elapsed(), wb.take_sim_compute());
     }
     if want_ext("ext-updates") {
         let t = Instant::now();
         let runs = experiments::update_experiment(dss_tpcd::PAPER_SCALE);
         println!("{}", report::render_ext_updates(&runs));
-        timing("ext-updates", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-updates", t.elapsed(), wb.take_sim_compute());
     }
     if want_ext("ext-intra") {
         let t = Instant::now();
         let runs = experiments::intra_query_experiment(&mut wb);
         println!("{}", report::render_ext_intra(&runs));
-        timing("ext-intra", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-intra", t.elapsed(), wb.take_sim_compute());
     }
     if want_ext("ext-streams") {
         let t = Instant::now();
         let baselines = wb.baseline_suite(&STUDIED_QUERIES);
         let runs = experiments::stream_experiment(&mut wb, &[3, 6, 12]);
         println!("{}", report::render_ext_streams(&runs, &baselines));
-        timing("ext-streams", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-streams", t.elapsed(), wb.take_sim_compute());
     }
     if want_ext("ext-procs") {
         let t = Instant::now();
@@ -197,8 +251,17 @@ fn main() {
             let points = wb.processor_sweep(q);
             println!("{}", report::render_ext_procs(q, &points));
         }
-        timing("ext-procs", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-procs", t.elapsed(), wb.take_sim_compute());
     }
 
-    eprintln!("total wall time: {:.1?}", start.elapsed());
+    let total = start.elapsed();
+    eprintln!("total wall time: {total:.1?}");
+    if let Some(path) = bench_json {
+        let json = log.to_json(wb.jobs(), total);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("error: could not write {path}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("benchmark timings written to {path}");
+    }
 }

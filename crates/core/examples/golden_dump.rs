@@ -1,0 +1,54 @@
+//! Regenerates the snapshot literals embedded in `crates/core/tests/golden.rs`.
+//!
+//! ```text
+//! cargo run -p dss-core --release --example golden_dump
+//! ```
+//!
+//! Run it on a known-good build, then paste the output over the `SNAPSHOTS`
+//! table in the golden test. The numbers are fully deterministic (seeded
+//! database build, seeded query parameters, deterministic simulator), so any
+//! divergence on a later build is a real behavior change, not noise.
+
+use dss_core::Workbench;
+use dss_memsim::MissKind;
+use dss_trace::DataClass;
+
+const KINDS: [MissKind; 3] = [MissKind::Cold, MissKind::Conflict, MissKind::Coherence];
+
+fn matrix(m: &dss_memsim::MissMatrix) -> String {
+    let rows: Vec<String> = DataClass::ALL
+        .iter()
+        .map(|c| {
+            let cells: Vec<String> = KINDS.iter().map(|k| m.get(*c, *k).to_string()).collect();
+            format!("[{}]", cells.join(", "))
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+fn main() {
+    let mut wb = Workbench::small().with_jobs(1);
+    for b in wb.baseline_suite(&dss_core::STUDIED_QUERIES) {
+        let s = &b.stats;
+        let stalls: Vec<String> = DataClass::ALL
+            .iter()
+            .map(|c| s.total(|p| p.stall_of(*c)).to_string())
+            .collect();
+        println!("QuerySnapshot {{");
+        println!("    query: {},", b.query);
+        println!("    exec_cycles: {},", s.exec_cycles());
+        println!("    busy: {},", s.total(|p| p.busy));
+        println!("    mem_stall: {},", s.total(|p| p.mem_stall));
+        println!("    msync: {},", s.total(|p| p.msync));
+        println!("    l1_read_accesses: {},", s.l1.read_accesses);
+        println!("    l1_write_accesses: {},", s.l1.write_accesses);
+        println!("    l1_write_misses: {},", s.l1.write_misses);
+        println!("    l2_read_accesses: {},", s.l2.read_accesses);
+        println!("    l2_write_accesses: {},", s.l2.write_accesses);
+        println!("    l2_write_misses: {},", s.l2.write_misses);
+        println!("    l1_read_misses: {},", matrix(&s.l1.read_misses));
+        println!("    l2_read_misses: {},", matrix(&s.l2.read_misses));
+        println!("    stall_by_class: [{}],", stalls.join(", "));
+        println!("}},");
+    }
+}

@@ -1,9 +1,15 @@
 //! A set-associative cache with LRU replacement, MSI line states, and the
 //! bookkeeping needed to classify misses as cold, conflict, or coherence.
-
-use std::collections::{HashMap, HashSet};
+//!
+//! The geometry math is pure shift/mask — [`CacheConfig::validate`] rejects
+//! non-power-of-two line sizes and set counts at construction, so `line_of`
+//! and `set_of` never divide. Classification state is a per-line history code
+//! in a paged flat table ([`crate::paged::PagedMap`]) rather than a
+//! `HashSet`/`HashMap` pair: a miss costs one indexed probe
+//! ([`Cache::record_miss`]) instead of up to three hash lookups.
 
 use crate::config::CacheConfig;
+use crate::paged::PagedMap;
 
 /// MSI coherence state of a resident line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -52,6 +58,24 @@ pub enum MissKind {
     Coherence,
 }
 
+/// Per-line classification history, one code per line the cache ever held.
+/// The four values encode exactly the old `ever_seen`/`removal_cause` pair:
+/// never seen, seen (resident or no recorded removal), removed by
+/// replacement, removed by invalidation.
+const HIST_NEVER: u8 = 0;
+const HIST_SEEN: u8 = 1;
+const HIST_REPLACED: u8 = 2;
+const HIST_INVALIDATED: u8 = 3;
+
+#[inline]
+fn classify_code(code: u8) -> MissKind {
+    match code {
+        HIST_NEVER => MissKind::Cold,
+        HIST_INVALIDATED => MissKind::Coherence,
+        _ => MissKind::Conflict,
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Way {
     tag: u64,
@@ -65,20 +89,33 @@ struct Way {
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: u64,
+    /// log2 of the line size.
+    line_shift: u32,
+    /// `!(line - 1)`: ANDing yields the line address.
+    line_mask: u64,
+    /// `sets - 1`: ANDing the shifted line yields the set index.
+    set_mask: u64,
+    assoc: usize,
     ways: Vec<Way>,
     tick: u64,
-    ever_seen: HashSet<u64>,
-    removal_cause: HashMap<u64, RemovalCause>,
+    history: PagedMap<u8>,
 }
 
 impl Cache {
     /// Builds an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::validate`]).
     pub fn new(cfg: CacheConfig) -> Self {
+        cfg.validate();
         let sets = cfg.sets();
         Cache {
             cfg,
-            sets,
+            line_shift: cfg.line.trailing_zeros(),
+            line_mask: !(cfg.line - 1),
+            set_mask: sets - 1,
+            assoc: cfg.assoc as usize,
             ways: vec![
                 Way {
                     tag: 0,
@@ -89,14 +126,14 @@ impl Cache {
                 (sets * cfg.assoc as u64) as usize
             ],
             tick: 0,
-            ever_seen: HashSet::new(),
-            removal_cause: HashMap::new(),
+            history: PagedMap::new(cfg.line.trailing_zeros()),
         }
     }
 
     /// The line address containing `addr`.
+    #[inline]
     pub fn line_of(&self, addr: u64) -> u64 {
-        addr & !(self.cfg.line - 1)
+        addr & self.line_mask
     }
 
     /// Line size in bytes.
@@ -104,13 +141,22 @@ impl Cache {
         self.cfg.line
     }
 
+    /// The set index of a line address.
+    #[inline]
     fn set_of(&self, line: u64) -> u64 {
-        (line / self.cfg.line) % self.sets
+        (line >> self.line_shift) & self.set_mask
     }
 
+    #[inline]
+    fn ways_at(&self, set: u64) -> &[Way] {
+        let start = set as usize * self.assoc;
+        &self.ways[start..start + self.assoc]
+    }
+
+    #[inline]
     fn ways_of(&mut self, set: u64) -> &mut [Way] {
-        let start = (set * self.cfg.assoc as u64) as usize;
-        &mut self.ways[start..start + self.cfg.assoc as usize]
+        let start = set as usize * self.assoc;
+        &mut self.ways[start..start + self.assoc]
     }
 
     /// Looks up the line containing `addr`; on a hit, refreshes LRU and
@@ -129,17 +175,23 @@ impl Cache {
         None
     }
 
-    /// Classifies a miss on `addr` (call before [`Cache::insert`]).
+    /// Classifies a miss on `addr` without recording anything (pure query;
+    /// the simulator's hot path uses [`Cache::record_miss`] instead).
     pub fn classify_miss(&self, addr: u64) -> MissKind {
-        let line = self.line_of(addr);
-        if !self.ever_seen.contains(&line) {
-            MissKind::Cold
-        } else {
-            match self.removal_cause.get(&line) {
-                Some(RemovalCause::Invalidated) => MissKind::Coherence,
-                _ => MissKind::Conflict,
-            }
-        }
+        classify_code(self.history.get(addr))
+    }
+
+    /// Classifies a miss on `addr` and marks the line as referenced — the
+    /// merged hot-path form of [`Cache::classify_miss`] plus the history half
+    /// of [`Cache::insert`], costing a single table probe. Call it exactly
+    /// when a lookup missed and the line is about to be filled; the fill
+    /// itself ([`Cache::insert`]) is then free to skip no bookkeeping, since
+    /// re-marking a seen line is idempotent.
+    pub fn record_miss(&mut self, addr: u64) -> MissKind {
+        let slot = self.history.get_mut(addr);
+        let kind = classify_code(*slot);
+        *slot = HIST_SEEN;
+        kind
     }
 
     /// Inserts the line containing `addr` in `state`, returning the evicted
@@ -149,8 +201,7 @@ impl Cache {
         let set = self.set_of(line);
         self.tick += 1;
         let tick = self.tick;
-        self.ever_seen.insert(line);
-        self.removal_cause.remove(&line);
+        self.history.set(line, HIST_SEEN);
         // Already present: update state.
         for w in self.ways_of(set) {
             if w.valid && w.tag == line {
@@ -187,7 +238,7 @@ impl Cache {
             valid: true,
         };
         if let Some((tag, _)) = evicted {
-            self.removal_cause.insert(tag, RemovalCause::Replaced);
+            self.history.set(tag, HIST_REPLACED);
         }
         evicted
     }
@@ -212,7 +263,7 @@ impl Cache {
             if w.valid && w.tag == line {
                 w.valid = false;
                 let dirty = w.state == LineState::Modified;
-                self.removal_cause.insert(line, RemovalCause::Invalidated);
+                self.history.set(line, HIST_INVALIDATED);
                 return Some(dirty);
             }
         }
@@ -226,7 +277,7 @@ impl Cache {
         for w in self.ways_of(set) {
             if w.valid && w.tag == line {
                 w.valid = false;
-                self.removal_cause.insert(line, RemovalCause::Replaced);
+                self.history.set(line, HIST_REPLACED);
                 return;
             }
         }
@@ -248,10 +299,8 @@ impl Cache {
 
     /// State of the line containing `addr`, without touching LRU.
     pub fn peek_state(&self, addr: u64) -> Option<LineState> {
-        let line = addr & !(self.cfg.line - 1);
-        let set = (line / self.cfg.line) % self.sets;
-        let start = (set * self.cfg.assoc as u64) as usize;
-        self.ways[start..start + self.cfg.assoc as usize]
+        let line = self.line_of(addr);
+        self.ways_at(self.set_of(line))
             .iter()
             .find(|w| w.valid && w.tag == line)
             .map(|w| w.state)
@@ -259,10 +308,8 @@ impl Cache {
 
     /// Whether the line containing `addr` is resident (no LRU update).
     pub fn contains(&self, addr: u64) -> bool {
-        let line = addr & !(self.cfg.line - 1);
-        let set = (line / self.cfg.line) % self.sets;
-        let start = (set * self.cfg.assoc as u64) as usize;
-        self.ways[start..start + self.cfg.assoc as usize]
+        let line = self.line_of(addr);
+        self.ways_at(self.set_of(line))
             .iter()
             .any(|w| w.valid && w.tag == line)
     }
@@ -325,6 +372,20 @@ mod tests {
     }
 
     #[test]
+    fn record_miss_matches_classify_then_marks_seen() {
+        let mut c = tiny();
+        assert_eq!(c.classify_miss(0x0000), MissKind::Cold);
+        assert_eq!(c.record_miss(0x0000), MissKind::Cold);
+        // The merged probe marked the line referenced: a re-classification
+        // before the fill now reads Seen (= Conflict), exactly as the old
+        // `ever_seen.insert` at fill time would have produced after insert.
+        assert_eq!(c.classify_miss(0x0000), MissKind::Conflict);
+        c.insert(0x0000, LineState::Modified);
+        c.invalidate(0x0000);
+        assert_eq!(c.record_miss(0x0000), MissKind::Coherence);
+    }
+
+    #[test]
     fn eviction_reports_dirtiness() {
         let mut c = tiny();
         c.insert(0x0000, LineState::Modified);
@@ -360,5 +421,26 @@ mod tests {
     fn invalidate_absent_line_is_none() {
         let mut c = tiny();
         assert_eq!(c.invalidate(0x0000), None);
+    }
+
+    #[test]
+    fn classification_spans_shared_and_private_segments() {
+        use dss_shmem::{private_base, SHARED_BASE};
+        let mut c = tiny();
+        c.insert(SHARED_BASE, LineState::Shared);
+        c.insert(private_base(1) + 0x40, LineState::Modified);
+        assert_eq!(c.classify_miss(SHARED_BASE + 8), MissKind::Conflict);
+        assert_eq!(c.classify_miss(private_base(1) + 0x48), MissKind::Conflict);
+        assert_eq!(c.classify_miss(private_base(1)), MissKind::Cold);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_line_rejected() {
+        Cache::new(CacheConfig {
+            size: 192,
+            line: 48,
+            assoc: 1,
+        });
     }
 }

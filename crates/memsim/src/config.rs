@@ -31,6 +31,7 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (size not divisible into
     /// `assoc` ways of `line`-byte lines, or non-power-of-two values).
     pub fn sets(&self) -> u64 {
+        assert!(self.assoc >= 1, "associativity must be at least 1");
         assert!(
             self.line.is_power_of_two(),
             "line size must be a power of two"
@@ -42,6 +43,17 @@ impl CacheConfig {
         let sets = self.size / (self.line * self.assoc as u64);
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
+    }
+
+    /// Validates the geometry: `line` and the resulting set count must be
+    /// powers of two (the cache indexes by shift and mask), and the size must
+    /// divide evenly into `assoc` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any violation, with a message naming the offending field.
+    pub fn validate(&self) {
+        let _ = self.sets();
     }
 }
 
@@ -207,15 +219,17 @@ impl MachineConfig {
     ///
     /// # Panics
     ///
-    /// Panics on inconsistent geometry (also checked lazily by `sets`).
+    /// Panics on inconsistent geometry (also checked lazily by `sets`):
+    /// non-power-of-two line sizes or set counts, zero associativity, or L1
+    /// lines longer than L2 lines.
     pub fn validate(&self) {
         assert!(self.nprocs >= 1);
         assert!(
             self.l1.line <= self.l2.line,
             "L1 lines must not exceed L2 lines"
         );
-        let _ = self.l1.sets();
-        let _ = self.l2.sets();
+        self.l1.validate();
+        self.l2.validate();
     }
 }
 
@@ -268,6 +282,36 @@ mod tests {
             assoc: 1,
         }
         .sets();
+    }
+
+    #[test]
+    #[should_panic(expected = "line size must be a power of two")]
+    fn non_power_of_two_line_rejected() {
+        let mut c = MachineConfig::baseline();
+        c.l1.line = 48;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "set count must be a power of two")]
+    fn non_power_of_two_sets_rejected() {
+        CacheConfig {
+            size: 96 * 1024,
+            line: 64,
+            assoc: 2,
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "associativity must be at least 1")]
+    fn zero_associativity_rejected() {
+        CacheConfig {
+            size: 4 * 1024,
+            line: 32,
+            assoc: 0,
+        }
+        .validate();
     }
 
     #[test]

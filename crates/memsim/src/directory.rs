@@ -1,97 +1,154 @@
 //! The full-map directory and NUMA home assignment.
-
-use std::collections::HashMap;
+//!
+//! Directory state lives in a paged flat store indexed by line offset from
+//! the emulated segment bases ([`crate::paged::PagedMap`]), not a
+//! `HashMap<u64, DirEntry>`: every transaction on the simulator's miss path
+//! is one indexed load or store. Invalidation targets are returned as a node
+//! bitmask rather than an allocated `Vec`, keeping the coherence path
+//! allocation-free.
 
 use dss_shmem::{segment_of, Segment};
+
+use crate::paged::PagedMap;
 
 /// Directory entry for one (L2-granularity) memory line.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct DirEntry {
     /// Bitmask of sharers.
-    pub sharers: u32,
+    pub sharers: u64,
     /// Node holding the line Modified, if any.
     pub owner: Option<usize>,
 }
 
+/// Packed stored form of one entry. `owner_plus1` avoids an `Option`
+/// discriminant; `touched` keeps [`Directory::len`]'s "lines ever recorded"
+/// count exact even after a [`Directory::record_drop`] returns an entry to
+/// its default value.
+#[derive(Clone, Copy, Debug, Default)]
+struct DirSlot {
+    sharers: u64,
+    owner_plus1: u8,
+    touched: bool,
+}
+
+impl DirSlot {
+    #[inline]
+    fn owner(&self) -> Option<usize> {
+        self.owner_plus1.checked_sub(1).map(usize::from)
+    }
+}
+
 /// A full-map directory over the lines actually touched.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Directory {
-    entries: HashMap<u64, DirEntry>,
+    slots: PagedMap<DirSlot>,
+    touched: u64,
+}
+
+impl Default for Directory {
+    fn default() -> Self {
+        Directory::new()
+    }
 }
 
 impl Directory {
-    /// Creates an empty directory.
+    /// Creates an empty directory at the finest meaningful granularity
+    /// (16-byte lines — every valid configuration's lines are multiples).
     pub fn new() -> Self {
-        Directory::default()
+        Directory::with_line_size(16)
+    }
+
+    /// Creates an empty directory whose lines are `line` bytes, so entries
+    /// pack densely for that line size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is not a power of two.
+    pub fn with_line_size(line: u64) -> Self {
+        assert!(line.is_power_of_two(), "line size must be a power of two");
+        Directory {
+            slots: PagedMap::new(line.trailing_zeros()),
+            touched: 0,
+        }
+    }
+
+    /// The slot for `line`, created (and counted) on first touch.
+    #[inline]
+    fn slot_mut(&mut self, line: u64) -> &mut DirSlot {
+        let s = self.slots.get_mut(line);
+        if !s.touched {
+            s.touched = true;
+            self.touched += 1;
+        }
+        s
     }
 
     /// The entry for `line` (default: uncached).
+    #[inline]
     pub fn entry(&self, line: u64) -> DirEntry {
-        self.entries.get(&line).copied().unwrap_or_default()
+        let s = self.slots.get(line);
+        DirEntry {
+            sharers: s.sharers,
+            owner: s.owner(),
+        }
     }
 
     /// Records a read by `node`: adds it to the sharers and clears a dirty
     /// owner (who is downgraded to sharer by the caller).
     pub fn record_read(&mut self, line: u64, node: usize) {
-        let e = self.entries.entry(line).or_default();
-        if let Some(owner) = e.owner.take() {
+        let e = self.slot_mut(line);
+        if let Some(owner) = e.owner() {
             e.sharers |= 1 << owner;
+            e.owner_plus1 = 0;
         }
         e.sharers |= 1 << node;
     }
 
-    /// Records a write by `node`: returns the nodes whose copies must be
-    /// invalidated; the entry becomes exclusively owned.
-    pub fn record_write(&mut self, line: u64, node: usize) -> Vec<usize> {
-        let e = self.entries.entry(line).or_default();
-        let mut to_invalidate = Vec::new();
-        if let Some(owner) = e.owner {
-            if owner != node {
-                to_invalidate.push(owner);
-            }
+    /// Records a write by `node`: returns the bitmask of nodes whose copies
+    /// must be invalidated; the entry becomes exclusively owned.
+    pub fn record_write(&mut self, line: u64, node: usize) -> u64 {
+        let e = self.slot_mut(line);
+        let mut invalidate = e.sharers;
+        if let Some(owner) = e.owner() {
+            invalidate |= 1 << owner;
         }
-        let sharers = e.sharers;
-        for n in 0..32 {
-            if sharers & (1 << n) != 0 && n as usize != node {
-                to_invalidate.push(n as usize);
-            }
-        }
+        invalidate &= !(1u64 << node);
         e.sharers = 0;
-        e.owner = Some(node);
-        to_invalidate
+        e.owner_plus1 = node as u8 + 1;
+        invalidate
     }
 
     /// Records an exclusive-clean installation by `node` (MESI): the node
     /// becomes owner without any invalidations (the caller has verified the
     /// line was uncached).
     pub fn record_exclusive(&mut self, line: u64, node: usize) {
-        let e = self.entries.entry(line).or_default();
+        let e = self.slot_mut(line);
         debug_assert_eq!(
-            (e.sharers, e.owner),
+            (e.sharers, e.owner()),
             (0, None),
             "exclusive grant to a cached line"
         );
-        e.owner = Some(node);
+        e.owner_plus1 = node as u8 + 1;
     }
 
     /// Records that `node` dropped the line (eviction or invalidation).
     pub fn record_drop(&mut self, line: u64, node: usize) {
-        if let Some(e) = self.entries.get_mut(&line) {
-            e.sharers &= !(1 << node);
-            if e.owner == Some(node) {
-                e.owner = None;
+        if let Some(e) = self.slots.peek_mut(line) {
+            e.sharers &= !(1u64 << node);
+            if e.owner() == Some(node) {
+                e.owner_plus1 = 0;
             }
         }
     }
 
-    /// Number of lines with directory state.
+    /// Number of lines that have ever held directory state.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.touched as usize
     }
 
-    /// Whether the directory tracks no lines.
+    /// Whether the directory has never tracked a line.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.touched == 0
     }
 }
 
@@ -108,15 +165,19 @@ pub fn home_of(addr: u64, nprocs: usize) -> usize {
 mod tests {
     use super::*;
 
+    /// Unpacks an invalidation mask into ascending node ids.
+    fn nodes(mask: u64) -> Vec<usize> {
+        (0..64).filter(|n| mask & (1 << n) != 0).collect()
+    }
+
     #[test]
     fn read_then_write_invalidates_sharers() {
         let mut d = Directory::new();
         d.record_read(0x100, 0);
         d.record_read(0x100, 1);
         d.record_read(0x100, 2);
-        let mut inv = d.record_write(0x100, 1);
-        inv.sort();
-        assert_eq!(inv, vec![0, 2]);
+        let inv = d.record_write(0x100, 1);
+        assert_eq!(nodes(inv), vec![0, 2]);
         assert_eq!(
             d.entry(0x100),
             DirEntry {
@@ -129,7 +190,7 @@ mod tests {
     #[test]
     fn write_then_read_downgrades_owner() {
         let mut d = Directory::new();
-        assert!(d.record_write(0x100, 3).is_empty());
+        assert_eq!(d.record_write(0x100, 3), 0);
         d.record_read(0x100, 0);
         let e = d.entry(0x100);
         assert_eq!(e.owner, None);
@@ -140,7 +201,7 @@ mod tests {
     fn write_by_owner_invalidates_nobody() {
         let mut d = Directory::new();
         d.record_write(0x100, 2);
-        assert!(d.record_write(0x100, 2).is_empty());
+        assert_eq!(d.record_write(0x100, 2), 0);
     }
 
     #[test]
@@ -152,6 +213,33 @@ mod tests {
         d.record_read(0x200, 0);
         d.record_drop(0x200, 0);
         assert_eq!(d.entry(0x200).sharers, 0);
+    }
+
+    #[test]
+    fn len_counts_lines_ever_recorded() {
+        let mut d = Directory::new();
+        assert!(d.is_empty());
+        d.record_drop(0x100, 0); // drop of an unknown line records nothing
+        assert_eq!(d.len(), 0);
+        d.record_read(0x100, 0);
+        d.record_write(0x200, 1);
+        assert_eq!(d.len(), 2);
+        d.record_read(0x100, 2); // existing line: no growth
+        assert_eq!(d.len(), 2);
+        d.record_drop(0x100, 0);
+        d.record_drop(0x100, 2);
+        assert_eq!(d.len(), 2, "dropped lines stay counted, as before");
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn line_granularity_keeps_lines_distinct() {
+        let mut d = Directory::with_line_size(64);
+        d.record_read(0x1000, 0);
+        d.record_read(0x1040, 1);
+        assert_eq!(d.entry(0x1000).sharers, 1 << 0);
+        assert_eq!(d.entry(0x1040).sharers, 1 << 1);
+        assert_eq!(d.len(), 2);
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod cache;
 mod config;
 mod directory;
 mod machine;
+mod paged;
 mod stats;
 
 pub use cache::{Cache, LineState, MissKind, RemovalCause};

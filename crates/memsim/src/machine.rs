@@ -8,8 +8,15 @@
 //! coherence at L2-line granularity with inclusive L1s. Cache and directory
 //! state changes are applied when a reference is issued, which keeps the
 //! interleaving deterministic.
+//!
+//! The hot loop is hash-free and allocation-free: the next processor to step
+//! comes from a binary heap keyed on `(clock, proc_id)` rather than a scan,
+//! miss classification is one paged-table probe inside
+//! [`Cache::record_miss`], and invalidation targets arrive as a node bitmask
+//! from the directory.
 
-use std::collections::{HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 
 use dss_trace::{DataClass, Event, Trace};
 
@@ -47,6 +54,10 @@ pub struct Machine {
     nodes: Vec<Node>,
     dir: Directory,
     locks: HashMap<u64, usize>,
+    // Geometry hoisted out of the per-event paths.
+    l1_line: u64,
+    l2_line: u64,
+    l2_line_mask: u64,
     prefetches_issued: u64,
     prefetches_filled: u64,
 }
@@ -99,12 +110,15 @@ impl Machine {
             })
             .collect();
         Machine {
-            cfg,
             nodes,
-            dir: Directory::new(),
+            dir: Directory::with_line_size(cfg.l2.line),
             locks: HashMap::new(),
+            l1_line: cfg.l1.line,
+            l2_line: cfg.l2.line,
+            l2_line_mask: !(cfg.l2.line - 1),
             prefetches_issued: 0,
             prefetches_filled: 0,
+            cfg,
         }
     }
 
@@ -159,18 +173,30 @@ impl Machine {
             ..Default::default()
         };
 
-        loop {
-            // Deterministic interleave: the unfinished processor with the
-            // smallest clock (ties by id) executes its next event.
-            let next = procs
+        // Deterministic interleave: the unfinished processor with the
+        // smallest clock (ties by position) executes its next event. Each
+        // live processor has exactly one heap entry, re-keyed after its step,
+        // so pop order reproduces the former full scan exactly. A lone trace
+        // needs no arbitration at all.
+        if let [rp] = &mut procs[..] {
+            let node = rp.node;
+            while !rp.done() {
+                self.step(node, rp, &mut l1s, &mut l2s);
+            }
+        } else {
+            let mut ready: BinaryHeap<Reverse<(u64, usize)>> = procs
                 .iter()
                 .enumerate()
                 .filter(|(_, rp)| !rp.done())
-                .min_by_key(|(i, rp)| (rp.clock, *i))
-                .map(|(i, _)| i);
-            let Some(i) = next else { break };
-            let node = procs[i].node;
-            self.step(node, &mut procs[i], &mut l1s, &mut l2s);
+                .map(|(i, rp)| Reverse((rp.clock, i)))
+                .collect();
+            while let Some(Reverse((_, i))) = ready.pop() {
+                let node = procs[i].node;
+                self.step(node, &mut procs[i], &mut l1s, &mut l2s);
+                if !procs[i].done() {
+                    ready.push(Reverse((procs[i].clock, i)));
+                }
+            }
         }
 
         let mut proc_stats = vec![ProcStats::default(); self.cfg.nprocs];
@@ -219,7 +245,7 @@ impl Machine {
                     }
                     LineState::Shared => {
                         assert!(
-                            entry.sharers & (1 << node_id) != 0 || entry.owner == Some(node_id),
+                            entry.sharers & (1u64 << node_id) != 0 || entry.owner == Some(node_id),
                             "node {node_id} holds {l2_line:#x} shared but directory says {entry:?}"
                         );
                     }
@@ -237,7 +263,7 @@ impl Machine {
                 rp.pos += 1;
             }
             Event::Ref(r) if !r.write => {
-                self.wait_for_pending_write(p, rp, r.addr, r.class);
+                self.wait_for_pending_write(rp, r.addr, r.class);
                 let stall = self.read_access(p, r.addr, r.class, l1s, l2s);
                 rp.clock += 1 + stall;
                 rp.stats.busy += 1;
@@ -250,7 +276,7 @@ impl Machine {
             Event::Ref(r) => {
                 let service = self.write_service(p, r.addr, r.class, l1s, l2s);
                 if service > 0 {
-                    self.push_wb(p, rp, r.addr, service, r.class);
+                    self.push_wb(rp, r.addr, service, r.class);
                 }
                 rp.clock += 1;
                 rp.stats.busy += 1;
@@ -290,7 +316,7 @@ impl Machine {
                 assert_eq!(holder, Some(p), "lock released by non-holder");
                 let service = self.write_service(p, tok.addr, class, l1s, l2s);
                 if service > 0 {
-                    self.push_wb(p, rp, tok.addr, service, class);
+                    self.push_wb(rp, tok.addr, service, class);
                 }
                 rp.clock += 1;
                 rp.stats.busy += 1;
@@ -300,8 +326,8 @@ impl Machine {
     }
 
     /// A read must wait for a pending write-buffer entry to the same line.
-    fn wait_for_pending_write(&self, p: usize, rp: &mut RunProc<'_>, addr: u64, class: DataClass) {
-        let line = self.nodes[p].l2.line_of(addr);
+    fn wait_for_pending_write(&self, rp: &mut RunProc<'_>, addr: u64, class: DataClass) {
+        let line = addr & self.l2_line_mask;
         if let Some(&(_, complete)) = rp
             .wb
             .iter()
@@ -314,7 +340,7 @@ impl Machine {
         rp.retire_wb();
     }
 
-    fn push_wb(&self, p: usize, rp: &mut RunProc<'_>, addr: u64, service: u64, class: DataClass) {
+    fn push_wb(&self, rp: &mut RunProc<'_>, addr: u64, service: u64, class: DataClass) {
         rp.retire_wb();
         if rp.wb.len() >= self.cfg.write_buffer {
             // Overflow: stall until the oldest entry drains (the paper's
@@ -325,7 +351,7 @@ impl Machine {
             rp.charge_mem(class, wait);
             rp.retire_wb();
         }
-        let line = self.nodes[p].l2.line_of(addr);
+        let line = addr & self.l2_line_mask;
         let start = rp
             .wb
             .back()
@@ -348,14 +374,16 @@ impl Machine {
         if self.nodes[p].l1.lookup(addr).is_some() {
             return 0;
         }
-        let kind1 = self.nodes[p].l1.classify_miss(addr);
+        // `record_miss` classifies and marks the line seen in one probe; the
+        // fill below makes it resident, so the mark is never observed early.
+        let kind1 = self.nodes[p].l1.record_miss(addr);
         l1s.read_misses.add(class, kind1);
         l2s.read_accesses += 1;
         if let Some(state) = self.nodes[p].l2.lookup(addr) {
             self.fill_l1(p, addr, state);
             return self.cfg.lat.l2;
         }
-        let kind2 = self.nodes[p].l2.classify_miss(addr);
+        let kind2 = self.nodes[p].l2.record_miss(addr);
         l2s.read_misses.add(class, kind2);
         let (stall, state) = self.remote_read(p, addr);
         self.fill_l2(p, addr, state);
@@ -367,7 +395,7 @@ impl Machine {
     /// Returns the stall and the state to install (Exclusive for a sole
     /// MESI sharer, Shared otherwise).
     fn remote_read(&mut self, p: usize, addr: u64) -> (u64, LineState) {
-        let line = self.nodes[p].l2.line_of(addr);
+        let line = addr & self.l2_line_mask;
         let home = home_of(addr, self.cfg.nprocs);
         let entry = self.dir.entry(line);
         let lat = match entry.owner {
@@ -427,7 +455,7 @@ impl Machine {
                 // MESI: the first write to an Exclusive line completes
                 // silently; promote both levels to Modified.
                 if state == LineState::Exclusive {
-                    let line = self.nodes[p].l2.line_of(addr);
+                    let line = addr & self.l2_line_mask;
                     self.nodes[p].l2.set_state(line, LineState::Modified);
                     self.nodes[p].l1.set_state(addr, LineState::Modified);
                 }
@@ -437,7 +465,7 @@ impl Machine {
             None => l1s.write_misses += 1,
         }
         l2s.write_accesses += 1;
-        let line = self.nodes[p].l2.line_of(addr);
+        let line = addr & self.l2_line_mask;
         let home = home_of(addr, self.cfg.nprocs);
         let service = match self.nodes[p].l2.lookup(addr) {
             Some(LineState::Modified) => self.cfg.lat.l2,
@@ -449,7 +477,7 @@ impl Machine {
             Some(LineState::Shared) => {
                 // Upgrade: invalidate the other sharers through the home.
                 let inv = self.dir.record_write(line, p);
-                self.invalidate_nodes(&inv, line);
+                self.invalidate_nodes(inv, line);
                 if home == p {
                     self.cfg.lat.local
                 } else {
@@ -461,7 +489,7 @@ impl Machine {
                 let entry = self.dir.entry(line);
                 let had_remote_owner = matches!(entry.owner, Some(o) if o != p);
                 let inv = self.dir.record_write(line, p);
-                self.invalidate_nodes(&inv, line);
+                self.invalidate_nodes(inv, line);
                 if had_remote_owner {
                     if home == p {
                         self.cfg.lat.remote2
@@ -480,27 +508,29 @@ impl Machine {
         service
     }
 
-    fn invalidate_nodes(&mut self, nodes: &[usize], line: u64) {
-        let l1_line = self.cfg.l1.line;
-        let l2_line = self.cfg.l2.line;
-        for &q in nodes {
+    /// Invalidates `line` in every node set in `mask` (a bitmask from
+    /// [`Directory::record_write`]); nodes are independent, so bit order is
+    /// immaterial.
+    fn invalidate_nodes(&mut self, mask: u64, line: u64) {
+        let mut m = mask;
+        while m != 0 {
+            let q = m.trailing_zeros() as usize;
+            m &= m - 1;
             self.nodes[q].l2.invalidate(line);
             let mut a = line;
-            while a < line + l2_line {
+            while a < line + self.l2_line {
                 self.nodes[q].l1.invalidate(a);
-                a += l1_line;
+                a += self.l1_line;
             }
         }
     }
 
     fn downgrade(&mut self, owner: usize, line: u64) {
-        let l1_line = self.cfg.l1.line;
-        let l2_line = self.cfg.l2.line;
         self.nodes[owner].l2.downgrade(line);
         let mut a = line;
-        while a < line + l2_line {
+        while a < line + self.l2_line {
             self.nodes[owner].l1.downgrade(a);
-            a += l1_line;
+            a += self.l1_line;
         }
     }
 
@@ -509,12 +539,10 @@ impl Machine {
             // Inclusion: the victim's L1 lines leave too; the directory
             // forgets this node (dirty victims write back at no charged cost).
             self.dir.record_drop(victim, p);
-            let l1_line = self.cfg.l1.line;
-            let l2_line = self.cfg.l2.line;
             let mut a = victim;
-            while a < victim + l2_line {
+            while a < victim + self.l2_line {
                 self.nodes[p].l1.evict_for_inclusion(a);
-                a += l1_line;
+                a += self.l1_line;
             }
         }
     }
@@ -528,10 +556,9 @@ impl Machine {
     /// fetch the next N primary-cache lines into L1 (stopping at the 8 KB
     /// buffer-block boundary), in the background (no processor stall).
     fn prefetch_from(&mut self, p: usize, addr: u64) {
-        let l1_line = self.cfg.l1.line;
         let base = self.nodes[p].l1.line_of(addr);
         for i in 1..=self.cfg.prefetch_data_lines as u64 {
-            let pf = base + i * l1_line;
+            let pf = base + i * self.l1_line;
             if pf >> 13 != addr >> 13 {
                 break;
             }
@@ -544,7 +571,7 @@ impl Machine {
                 self.prefetches_filled += 1;
                 continue;
             }
-            let line = self.nodes[p].l2.line_of(pf);
+            let line = pf & self.l2_line_mask;
             let entry = self.dir.entry(line);
             if matches!(entry.owner, Some(o) if o != p) {
                 // Dirty elsewhere: the simple prefetcher skips it.

@@ -1,0 +1,190 @@
+//! A two-level paged flat map over the emulated address space.
+//!
+//! The simulator's per-line bookkeeping — miss-classification history in
+//! [`crate::Cache`], entries in [`crate::Directory`] — was originally
+//! hash-based (`HashSet`/`HashMap` keyed by line address), which put one to
+//! three hash probes on every simulated miss. [`PagedMap`] replaces the
+//! hashing with pure array indexing by exploiting the known layout of the
+//! emulated address space (see `dss_shmem`): everything below `PRIVATE_BASE`
+//! is one dense-from-the-bottom shared segment, and above it live at most
+//! [`MAX_PROCS`] private segments at a fixed power-of-two stride. An address
+//! therefore splits into `(segment, offset)` with two branch-free shifts, the
+//! offset shifts down by the map's granularity to a line index, and the index
+//! selects a slot inside a lazily allocated fixed-size page.
+//!
+//! Reads of untouched pages return `T::default()` without allocating; writes
+//! allocate at page granularity, so sparse traces stay cheap while hot lines
+//! cost exactly one indexed load or store.
+
+use dss_shmem::{MAX_PROCS, PRIVATE_BASE, PRIVATE_STRIDE};
+
+/// log2 of the slots per page (4096 slots).
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SLOTS: usize = 1 << PAGE_SHIFT;
+const STRIDE_SHIFT: u32 = PRIVATE_STRIDE.trailing_zeros();
+const _: () = assert!(PRIVATE_STRIDE.is_power_of_two());
+
+/// One segment's lazily allocated pages.
+#[derive(Clone, Debug)]
+struct Segment<T> {
+    pages: Vec<Option<Box<[T]>>>,
+}
+
+impl<T> Default for Segment<T> {
+    fn default() -> Self {
+        Segment { pages: Vec::new() }
+    }
+}
+
+/// A flat map from line-granular addresses to `T`, paged per segment.
+#[derive(Clone, Debug)]
+pub(crate) struct PagedMap<T> {
+    /// Granularity shift: slot index = segment offset >> `gran`.
+    gran: u32,
+    /// Segment 0 is everything below `PRIVATE_BASE`; segment 1 + p is
+    /// process p's private segment.
+    segments: Vec<Segment<T>>,
+}
+
+/// Splits an address into its segment index and in-segment offset.
+///
+/// # Panics
+///
+/// Panics if `addr` lies past the last private segment — such an address
+/// cannot come from the emulated allocators, so indexing it indicates a bug.
+#[inline]
+fn split(addr: u64) -> (usize, u64) {
+    if addr < PRIVATE_BASE {
+        (0, addr)
+    } else {
+        let d = addr - PRIVATE_BASE;
+        let seg = (d >> STRIDE_SHIFT) as usize;
+        assert!(
+            seg < MAX_PROCS,
+            "address {addr:#x} beyond the emulated address space"
+        );
+        (1 + seg, d & (PRIVATE_STRIDE - 1))
+    }
+}
+
+impl<T: Copy + Default> PagedMap<T> {
+    /// An empty map with the given granularity shift (e.g. log2 of the cache
+    /// line size).
+    pub(crate) fn new(gran: u32) -> Self {
+        PagedMap {
+            gran,
+            segments: Vec::new(),
+        }
+    }
+
+    #[inline]
+    fn locate(&self, addr: u64) -> (usize, usize, usize) {
+        let (seg, off) = split(addr);
+        let idx = off >> self.gran;
+        (
+            (idx >> PAGE_SHIFT) as usize,
+            idx as usize & (PAGE_SLOTS - 1),
+            seg,
+        )
+    }
+
+    /// The value at `addr` (`T::default()` if never written).
+    #[inline]
+    pub(crate) fn get(&self, addr: u64) -> T {
+        let (page, slot, seg) = self.locate(addr);
+        match self
+            .segments
+            .get(seg)
+            .and_then(|s| s.pages.get(page))
+            .and_then(Option::as_deref)
+        {
+            Some(p) => p[slot],
+            None => T::default(),
+        }
+    }
+
+    /// Mutable access to the slot for `addr`, allocating its page on demand.
+    #[inline]
+    pub(crate) fn get_mut(&mut self, addr: u64) -> &mut T {
+        let (page, slot, seg) = self.locate(addr);
+        if seg >= self.segments.len() {
+            self.segments.resize_with(seg + 1, Segment::default);
+        }
+        let pages = &mut self.segments[seg].pages;
+        if page >= pages.len() {
+            pages.resize_with(page + 1, || None);
+        }
+        let p =
+            pages[page].get_or_insert_with(|| vec![T::default(); PAGE_SLOTS].into_boxed_slice());
+        &mut p[slot]
+    }
+
+    /// Mutable access without allocating: `None` if the page was never
+    /// written (every slot in it still holds `T::default()`).
+    #[inline]
+    pub(crate) fn peek_mut(&mut self, addr: u64) -> Option<&mut T> {
+        let (page, slot, seg) = self.locate(addr);
+        self.segments
+            .get_mut(seg)?
+            .pages
+            .get_mut(page)?
+            .as_deref_mut()
+            .map(|p| &mut p[slot])
+    }
+
+    /// Stores `value` at `addr`.
+    #[inline]
+    pub(crate) fn set(&mut self, addr: u64, value: T) {
+        *self.get_mut(addr) = value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_shmem::{private_base, SHARED_BASE};
+
+    #[test]
+    fn default_until_written() {
+        let mut m: PagedMap<u8> = PagedMap::new(6);
+        assert_eq!(m.get(SHARED_BASE), 0);
+        m.set(SHARED_BASE, 7);
+        assert_eq!(m.get(SHARED_BASE), 7);
+        // Same 64-byte line, different byte: same slot.
+        assert_eq!(m.get(SHARED_BASE + 63), 7);
+        // Next line: untouched.
+        assert_eq!(m.get(SHARED_BASE + 64), 0);
+    }
+
+    #[test]
+    fn segments_are_independent() {
+        let mut m: PagedMap<u32> = PagedMap::new(6);
+        m.set(SHARED_BASE, 1);
+        m.set(private_base(0), 2);
+        m.set(private_base(3), 3);
+        assert_eq!(m.get(SHARED_BASE), 1);
+        assert_eq!(m.get(private_base(0)), 2);
+        assert_eq!(m.get(private_base(3)), 3);
+        // Low addresses (outside any allocator) still index cleanly.
+        assert_eq!(m.get(0x40), 0);
+        m.set(0x40, 9);
+        assert_eq!(m.get(0x40), 9);
+    }
+
+    #[test]
+    fn peek_mut_never_allocates() {
+        let mut m: PagedMap<u8> = PagedMap::new(6);
+        assert!(m.peek_mut(SHARED_BASE).is_none());
+        m.set(SHARED_BASE, 5);
+        assert_eq!(m.peek_mut(SHARED_BASE).copied(), Some(5));
+        // A different page of the same segment is still untouched.
+        assert!(m.peek_mut(SHARED_BASE + (1 << 30)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the emulated address space")]
+    fn rejects_addresses_past_the_last_segment() {
+        let m: PagedMap<u8> = PagedMap::new(6);
+        m.get(PRIVATE_BASE + MAX_PROCS as u64 * PRIVATE_STRIDE);
+    }
+}

@@ -8,6 +8,10 @@
 //! warm-up-then-measure wall-clock loop. No statistics, plots, or baselines:
 //! each benchmark prints one line with the mean iteration time (and
 //! throughput when declared).
+//!
+//! Like upstream criterion, `cargo bench -- --test` runs each benchmark in
+//! test mode — a single invocation, no timing report — so CI can smoke-test
+//! that every benchmark still executes without paying for measurement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,12 +48,14 @@ pub enum BatchSize {
 /// The benchmark driver handed to registered benchmark functions.
 pub struct Criterion {
     default_sample_size: usize,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
         Criterion {
             default_sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
         }
     }
 }
@@ -66,11 +72,13 @@ impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         let sample_size = self.default_sample_size;
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
             name: name.to_string(),
             sample_size,
             throughput: None,
+            test_mode,
         }
     }
 
@@ -78,11 +86,13 @@ impl Criterion {
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
         let name = id.to_string();
         let sample_size = self.default_sample_size;
+        let test_mode = self.test_mode;
         BenchmarkGroup {
             _criterion: self,
             name: String::new(),
             sample_size,
             throughput: None,
+            test_mode,
         }
         .bench_function(name, f);
         self
@@ -95,6 +105,7 @@ pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
+    test_mode: bool,
 }
 
 impl BenchmarkGroup<'_> {
@@ -126,6 +137,12 @@ impl BenchmarkGroup<'_> {
             iters: 0,
             elapsed: Duration::ZERO,
         };
+        if self.test_mode {
+            // Smoke-test: one invocation, no measurement.
+            f(&mut b);
+            println!("test bench {label} ... ok");
+            return self;
+        }
         // One warm-up pass, then the measured samples.
         f(&mut b);
         b.iters = 0;
