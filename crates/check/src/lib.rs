@@ -1,0 +1,31 @@
+//! Verification tooling for the DSS workbench.
+//!
+//! The reproduction's results all flow through hand-optimized simulator code
+//! (paged tables, packed directory entries, bitmask invalidations) and rest
+//! on an assumed property of the traced engine — that shared metadata is
+//! serialized by the `LockMgrLock`/`BufMgrLock` spinlocks. This crate makes
+//! both machine-checked, and adds a workspace lint so the optimizations and
+//! conventions the codebase relies on cannot silently regress:
+//!
+//! * [`invariants`] — runs the baseline suite and sweeps the directory
+//!   protocol's invariants over every touched line (with the
+//!   `check-invariants` feature, also after every transaction mid-run).
+//! * [`race`] — a vector-clock happens-before race detector over the query
+//!   traces, treating `LockAcquire`/`LockRelease` as release/acquire edges.
+//! * [`lint`] — std-only source scanning for the project's own rules:
+//!   no hashing or per-event allocation in the simulator hot loop, required
+//!   library headers, and panic-free converted crates.
+//!
+//! The `dss-check` binary runs any or all passes and exits non-zero on the
+//! first finding; CI gates on `dss-check all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod invariants;
+pub mod lint;
+pub mod race;
+
+pub use invariants::{check_baseline_suite, check_machine, InvariantFailure, RunSummary};
+pub use lint::{find_workspace_root, lint_workspace, Allowlist, Finding};
+pub use race::{detect_races, Access, Race, RaceAnalysisError, RaceReport};

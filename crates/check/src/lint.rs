@@ -1,0 +1,394 @@
+//! Custom workspace lint: project-specific rules no off-the-shelf linter
+//! encodes, implemented with nothing but `std::fs` line scanning.
+//!
+//! Three rule families:
+//!
+//! 1. **Hot-loop allocation ban** — the simulator's per-event path
+//!    (`crates/memsim`'s `machine`/`cache`/`directory`/`paged` modules) was
+//!    deliberately rewritten hash-free and allocation-free; `HashMap`,
+//!    `HashSet`, and `Vec::new()` reappearing there would silently regress
+//!    the rewrite, so their tokens are forbidden outside test modules.
+//! 2. **Library headers** — every library crate (workspace crates, the
+//!    vendored stand-ins, and the root crate) must open with
+//!    `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
+//! 3. **Panic-free library code** — crates already converted to `Result`
+//!    error paths must not reintroduce `unwrap()`/`expect()` outside tests.
+//!
+//! Grandfathered sites live in `crates/check/lint-allow.txt` (one `path
+//! substring :: line substring` entry per line); the scanner reports any
+//! allowlist entry that no longer matches so stale exceptions get removed.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose non-test library code must stay free of
+/// `unwrap()`/`expect()` (rule 3). Grows as crates are converted.
+const PANIC_FREE_CRATES: &[&str] = &["trace", "memsim", "shmem", "check"];
+
+/// Per-event simulator modules where allocation and hashing are banned
+/// (rule 1).
+const HOT_LOOP_FILES: &[&str] = &[
+    "crates/memsim/src/machine.rs",
+    "crates/memsim/src/cache.rs",
+    "crates/memsim/src/directory.rs",
+    "crates/memsim/src/paged.rs",
+];
+
+/// Tokens forbidden in hot-loop modules. Spelled with `concat!` so this
+/// file's own scan (rule 3 covers `dss-check` too) never matches the rule
+/// definitions themselves.
+const HOT_LOOP_TOKENS: &[&str] = &[
+    concat!("Hash", "Map"),
+    concat!("Hash", "Set"),
+    concat!("Vec::", "new()"),
+];
+
+/// Tokens forbidden by the panic-free rule.
+const PANIC_TOKENS: &[&str] = &[concat!(".unw", "rap()"), concat!(".exp", "ect(")];
+
+/// Headers every library crate root must declare.
+const REQUIRED_HEADERS: &[&str] = &["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
+
+/// One lint finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path of the offending file.
+    pub file: PathBuf,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: &'static str,
+    /// What was found.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(
+                f,
+                "{}: [{}] {}",
+                self.file.display(),
+                self.rule,
+                self.message
+            )
+        } else {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file.display(),
+                self.line,
+                self.rule,
+                self.message
+            )
+        }
+    }
+}
+
+/// Locates the workspace root by walking up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+///
+/// # Errors
+///
+/// Returns `NotFound` if no ancestor of `start` is a workspace root.
+pub fn find_workspace_root(start: &Path) -> io::Result<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() && fs::read_to_string(&manifest)?.contains("[workspace]") {
+            return Ok(dir);
+        }
+        if !dir.pop() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no workspace root above {}", start.display()),
+            ));
+        }
+    }
+}
+
+/// An allowlist of grandfathered findings.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    /// `(path substring, line substring)` pairs, with a hit count so stale
+    /// entries can be reported.
+    entries: Vec<(String, String, u64)>,
+}
+
+impl Allowlist {
+    /// Parses the `path substring :: line substring` format; `#` lines and
+    /// blank lines are comments.
+    pub fn parse(text: &str) -> Allowlist {
+        let mut entries = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some((path, pat)) = line.split_once("::") {
+                entries.push((path.trim().to_string(), pat.trim().to_string(), 0));
+            }
+        }
+        Allowlist { entries }
+    }
+
+    /// Loads `crates/check/lint-allow.txt` under `root` (empty if absent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors other than the file not existing.
+    pub fn load(root: &Path) -> io::Result<Allowlist> {
+        match fs::read_to_string(root.join("crates/check/lint-allow.txt")) {
+            Ok(text) => Ok(Allowlist::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Allowlist::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Whether `file`/`text` is grandfathered; counts the hit.
+    fn permits(&mut self, file: &Path, text: &str) -> bool {
+        let file = file.to_string_lossy();
+        for (path, pat, hits) in &mut self.entries {
+            if file.contains(path.as_str()) && text.contains(pat.as_str()) {
+                *hits += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Entries that never matched a finding — stale grandfathering.
+    pub fn unused(&self) -> Vec<String> {
+        self.entries
+            .iter()
+            .filter(|(_, _, hits)| *hits == 0)
+            .map(|(path, pat, _)| format!("{path} :: {pat}"))
+            .collect()
+    }
+}
+
+/// The code portion of a source line: everything before a `//` comment.
+fn code_of(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+/// Runs all lint rules over the workspace at `root`, consulting (and
+/// updating hit counts in) `allow`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors; findings are data, not errors.
+pub fn lint_workspace(root: &Path, allow: &mut Allowlist) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    lint_hot_loops(root, allow, &mut findings)?;
+    lint_headers(root, &mut findings)?;
+    lint_panic_free(root, allow, &mut findings)?;
+    Ok(findings)
+}
+
+/// Rule 1: no hashing or per-event allocation in the simulator hot loop.
+fn lint_hot_loops(
+    root: &Path,
+    allow: &mut Allowlist,
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    for rel in HOT_LOOP_FILES {
+        let path = root.join(rel);
+        let text = fs::read_to_string(&path)?;
+        scan_lines(
+            rel,
+            &text,
+            HOT_LOOP_TOKENS,
+            "hot-loop-alloc",
+            allow,
+            findings,
+        );
+    }
+    Ok(())
+}
+
+/// Rule 2: every library crate root carries both required headers.
+fn lint_headers(root: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
+    let mut roots: Vec<PathBuf> = vec![root.join("src/lib.rs")];
+    for dir in ["crates", "vendor"] {
+        for entry in fs::read_dir(root.join(dir))? {
+            let lib = entry?.path().join("src/lib.rs");
+            if lib.is_file() {
+                roots.push(lib);
+            }
+        }
+    }
+    for lib in roots {
+        let text = fs::read_to_string(&lib)?;
+        let rel = lib.strip_prefix(root).unwrap_or(&lib).to_path_buf();
+        for header in REQUIRED_HEADERS {
+            if !text.lines().any(|l| l.trim() == *header) {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: 0,
+                    rule: "missing-header",
+                    message: format!("library crate root lacks `{header}`"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Rule 3: converted crates stay `unwrap()`/`expect()`-free outside tests.
+fn lint_panic_free(
+    root: &Path,
+    allow: &mut Allowlist,
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    for krate in PANIC_FREE_CRATES {
+        let src = root.join("crates").join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files)?;
+        files.sort();
+        for path in files {
+            let text = fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy();
+            scan_lines(&rel, &text, PANIC_TOKENS, "no-panic", allow, findings);
+        }
+    }
+    Ok(())
+}
+
+/// Scans non-test, non-comment code lines of `text` for any of `tokens`.
+fn scan_lines(
+    rel: &str,
+    text: &str,
+    tokens: &[&str],
+    rule: &'static str,
+    allow: &mut Allowlist,
+    findings: &mut Vec<Finding>,
+) {
+    let rel_path = PathBuf::from(rel);
+    let mut in_tests = false;
+    for (i, line) in text.lines().enumerate() {
+        // Trailing test modules are exempt: the rules target shipped
+        // library code, and tests legitimately panic and allocate.
+        if line.trim_start().starts_with("#[cfg(test)]") {
+            in_tests = true;
+        }
+        if in_tests {
+            continue;
+        }
+        let code = code_of(line);
+        for token in tokens {
+            if code.contains(token) && !allow.permits(&rel_path, line) {
+                findings.push(Finding {
+                    file: rel_path.clone(),
+                    line: i + 1,
+                    rule,
+                    message: format!("forbidden `{token}` in `{}`", line.trim()),
+                });
+            }
+        }
+    }
+}
+
+/// Collects every `.rs` file under `dir`, recursively.
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_test_modules_are_exempt() {
+        let text = "\
+use std::collections::HashMap; // banned
+// a HashMap in a comment is fine
+fn f() { let v = Vec::new(); }
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+}
+";
+        let mut allow = Allowlist::default();
+        let mut findings = Vec::new();
+        scan_lines(
+            "x.rs",
+            text,
+            HOT_LOOP_TOKENS,
+            "hot-loop-alloc",
+            &mut allow,
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 2, "{findings:?}");
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 3);
+    }
+
+    #[test]
+    fn allowlist_grandfathers_and_reports_stale_entries() {
+        let mut allow = Allowlist::parse(
+            "# comment\n\
+             x.rs :: let v = Vec\n\
+             y.rs :: never matches\n",
+        );
+        let mut findings = Vec::new();
+        scan_lines(
+            "src/x.rs",
+            "fn f() { let v = Vec::new(); }\n",
+            HOT_LOOP_TOKENS,
+            "hot-loop-alloc",
+            &mut allow,
+            &mut findings,
+        );
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(allow.unused(), vec!["y.rs :: never matches".to_string()]);
+    }
+
+    #[test]
+    fn panic_tokens_match_real_calls_only() {
+        let text = "let a = x.unwrap_or(3);\nlet b = y.unwrap();\nlet c = z.expect(\"msg\");\n";
+        let mut allow = Allowlist::default();
+        let mut findings = Vec::new();
+        scan_lines(
+            "x.rs",
+            text,
+            PANIC_TOKENS,
+            "no-panic",
+            &mut allow,
+            &mut findings,
+        );
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn findings_render_with_location() {
+        let f = Finding {
+            file: PathBuf::from("crates/x/src/lib.rs"),
+            line: 7,
+            rule: "no-panic",
+            message: "bad".into(),
+        };
+        assert_eq!(f.to_string(), "crates/x/src/lib.rs:7: [no-panic] bad");
+    }
+
+    #[test]
+    fn workspace_root_is_found_from_this_crate() {
+        let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(&here).expect("workspace above dss-check");
+        assert!(root.join("crates/check").is_dir());
+    }
+}

@@ -1,0 +1,137 @@
+//! `dss-check` — the workbench's verification gate.
+//!
+//! ```text
+//! dss-check lint        # workspace lint rules
+//! dss-check races       # happens-before race detection over Q3/Q6/Q12
+//! dss-check invariants  # coherence invariants over the baseline suite
+//! dss-check all         # everything above
+//! ```
+//!
+//! Exits 0 when every requested pass is clean, 1 on any finding, 2 on usage
+//! or environment errors. Build with `--features check-invariants` to also
+//! arm the simulator's per-transaction observer during the invariants pass.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::process::ExitCode;
+
+use dss_check::{
+    check_baseline_suite, detect_races, find_workspace_root, lint_workspace, Allowlist,
+};
+use dss_core::{query_label, Workbench, STUDIED_QUERIES};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = args.first().map(String::as_str);
+    let (run_lint, run_races, run_invariants) = match mode {
+        Some("lint") => (true, false, false),
+        Some("races") => (false, true, false),
+        Some("invariants") => (false, false, true),
+        Some("all") => (true, true, true),
+        _ => {
+            eprintln!("usage: dss-check <lint|races|invariants|all>");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut findings = 0usize;
+    if run_lint {
+        match lint() {
+            Ok(n) => findings += n,
+            Err(e) => {
+                eprintln!("lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Both trace-driven passes share one workbench (the trace cache holds a
+    // query's traces across both).
+    if run_races || run_invariants {
+        let mut wb = Workbench::paper();
+        if run_races {
+            findings += races(&mut wb);
+        }
+        if run_invariants {
+            findings += invariants(&mut wb);
+        }
+    }
+    if findings > 0 {
+        eprintln!("dss-check: {findings} finding(s)");
+        ExitCode::from(1)
+    } else {
+        println!("dss-check: clean");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Runs the workspace lint; returns the number of findings.
+fn lint() -> std::io::Result<usize> {
+    let cwd = std::env::current_dir()?;
+    let root = find_workspace_root(&cwd)?;
+    let mut allow = Allowlist::load(&root)?;
+    let findings = lint_workspace(&root, &mut allow)?;
+    for f in &findings {
+        eprintln!("lint: {f}");
+    }
+    let stale = allow.unused();
+    for entry in &stale {
+        eprintln!("lint: stale allowlist entry `{entry}` no longer matches anything");
+    }
+    println!(
+        "lint: {} finding(s), {} stale allowlist entr(ies)",
+        findings.len(),
+        stale.len()
+    );
+    Ok(findings.len() + stale.len())
+}
+
+/// Runs the race detector over the studied queries; returns findings.
+fn races(wb: &mut Workbench) -> usize {
+    let mut findings = 0;
+    for query in STUDIED_QUERIES {
+        let traces = wb.traces(query, 0);
+        match detect_races(&traces) {
+            Ok(report) => {
+                for race in &report.races {
+                    eprintln!("races: {}: {race}", query_label(query));
+                }
+                println!(
+                    "races: {}: {} race(s) over {} shared accesses in {} classes",
+                    query_label(query),
+                    report.races.len(),
+                    report.total_checked(),
+                    report.checked.len()
+                );
+                findings += report.races.len();
+            }
+            Err(e) => {
+                eprintln!("races: {}: traces not analyzable: {e}", query_label(query));
+                findings += 1;
+            }
+        }
+    }
+    findings
+}
+
+/// Runs the coherence invariant suite; returns findings.
+fn invariants(wb: &mut Workbench) -> usize {
+    match check_baseline_suite(wb) {
+        Ok(summaries) => {
+            let observer = if cfg!(feature = "check-invariants") {
+                "per-transaction observer armed"
+            } else {
+                "post-run sweep only"
+            };
+            println!(
+                "invariants: {} run(s) verified ({observer})",
+                summaries.len()
+            );
+            0
+        }
+        Err(failure) => {
+            eprintln!("invariants: {failure}");
+            1
+        }
+    }
+}

@@ -141,6 +141,31 @@ impl Directory {
         }
     }
 
+    /// Visits every line that has ever held directory state with its current
+    /// entry, for post-run invariant sweeps. Cost is proportional to the
+    /// directory's allocated pages, not the address space.
+    pub fn for_each_entry(&self, mut f: impl FnMut(u64, DirEntry)) {
+        self.slots.for_each(|line, s| {
+            if s.touched {
+                f(
+                    line,
+                    DirEntry {
+                        sharers: s.sharers,
+                        owner: s.owner(),
+                    },
+                );
+            }
+        });
+    }
+
+    /// Overwrites the sharer mask of `line` without any protocol action —
+    /// deliberately desynchronizing the directory from the caches. Exists so
+    /// the coherence invariant checker's negative tests can prove a corrupted
+    /// sharer mask is detected; never call it from simulation code.
+    pub fn corrupt_sharers(&mut self, line: u64, sharers: u64) {
+        self.slot_mut(line).sharers = sharers;
+    }
+
     /// Number of lines that have ever held directory state.
     pub fn len(&self) -> usize {
         self.touched as usize
@@ -240,6 +265,43 @@ mod tests {
         assert_eq!(d.entry(0x1000).sharers, 1 << 0);
         assert_eq!(d.entry(0x1040).sharers, 1 << 1);
         assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn for_each_entry_reports_current_state() {
+        let mut d = Directory::with_line_size(64);
+        d.record_read(0x1000, 0);
+        d.record_write(0x1040, 2);
+        let mut seen = Vec::new();
+        d.for_each_entry(|line, e| seen.push((line, e)));
+        seen.sort_by_key(|(line, _)| *line);
+        assert_eq!(
+            seen,
+            vec![
+                (
+                    0x1000,
+                    DirEntry {
+                        sharers: 1,
+                        owner: None
+                    }
+                ),
+                (
+                    0x1040,
+                    DirEntry {
+                        sharers: 0,
+                        owner: Some(2)
+                    }
+                ),
+            ]
+        );
+    }
+
+    #[test]
+    fn corrupt_sharers_bypasses_the_protocol() {
+        let mut d = Directory::new();
+        d.record_read(0x100, 0);
+        d.corrupt_sharers(0x100, 0b1010);
+        assert_eq!(d.entry(0x100).sharers, 0b1010);
     }
 
     #[test]

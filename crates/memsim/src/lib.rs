@@ -33,12 +33,14 @@ mod directory;
 mod machine;
 mod paged;
 mod stats;
+mod verify;
 
 pub use cache::{Cache, LineState, MissKind, RemovalCause};
 pub use config::{CacheConfig, Latencies, MachineConfig, Protocol};
 pub use directory::{home_of, DirEntry, Directory};
 pub use machine::Machine;
 pub use stats::{LevelStats, MissMatrix, ProcStats, SimStats, TimeBreakdown};
+pub use verify::CoherenceViolation;
 
 // The parallel harness in `dss-core` moves machines and results across
 // threads; keep that guaranteed at compile time.

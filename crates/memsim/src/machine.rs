@@ -16,7 +16,7 @@
 //! from the directory.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 
 use dss_trace::{DataClass, Event, Trace};
 
@@ -25,9 +25,9 @@ use crate::config::{MachineConfig, Protocol};
 use crate::directory::{home_of, Directory};
 use crate::stats::{class_index, LevelStats, ProcStats, SimStats};
 
-struct Node {
-    l1: Cache,
-    l2: Cache,
+pub(crate) struct Node {
+    pub(crate) l1: Cache,
+    pub(crate) l2: Cache,
 }
 
 /// A machine whose cache and directory state persists across runs — warm one
@@ -51,15 +51,24 @@ struct Node {
 /// ```
 pub struct Machine {
     cfg: MachineConfig,
-    nodes: Vec<Node>,
-    dir: Directory,
-    locks: HashMap<u64, usize>,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) dir: Directory,
+    /// Held metalocks as `(lock word, holder)`. A handful of distinct lock
+    /// words exist (`LockMgrLock`, `BufMgrLock`, the odd metalock), so a
+    /// linear scan over a small vector beats hashing on the lock path and
+    /// keeps the hot loop free of hashed containers.
+    locks: Vec<(u64, usize)>,
     // Geometry hoisted out of the per-event paths.
-    l1_line: u64,
-    l2_line: u64,
-    l2_line_mask: u64,
+    pub(crate) l1_line: u64,
+    pub(crate) l2_line: u64,
+    pub(crate) l2_line_mask: u64,
     prefetches_issued: u64,
     prefetches_filled: u64,
+    /// First coherence-invariant violation observed by the per-transaction
+    /// hook (only compiled under `check-invariants`; boxed so the default
+    /// path never grows).
+    #[cfg(feature = "check-invariants")]
+    violation: Option<Box<crate::verify::CoherenceViolation>>,
 }
 
 struct RunProc<'a> {
@@ -112,14 +121,24 @@ impl Machine {
         Machine {
             nodes,
             dir: Directory::with_line_size(cfg.l2.line),
-            locks: HashMap::new(),
+            locks: Vec::new(),
             l1_line: cfg.l1.line,
             l2_line: cfg.l2.line,
             l2_line_mask: !(cfg.l2.line - 1),
             prefetches_issued: 0,
             prefetches_filled: 0,
+            #[cfg(feature = "check-invariants")]
+            violation: None,
             cfg,
         }
+    }
+
+    /// The holder of the metalock at `addr`, if any.
+    fn lock_holder(&self, addr: u64) -> Option<usize> {
+        self.locks
+            .iter()
+            .find(|&&(a, _)| a == addr)
+            .map(|&(_, holder)| holder)
     }
 
     /// The machine's configuration.
@@ -219,38 +238,15 @@ impl Machine {
 
     /// Verifies the structural invariants of the cache hierarchy and
     /// directory; intended for tests (cheap relative to a simulation run).
+    /// The non-panicking form is [`Machine::verify_coherence`].
     ///
     /// # Panics
     ///
-    /// Panics if L1/L2 inclusion is violated, a cache holds a line in an
-    /// owning state without matching directory ownership, or the directory
-    /// believes an absent node owns a line.
+    /// Panics if L1/L2 inclusion is violated, a line is writable in two
+    /// nodes, or cache line states disagree with the directory.
     pub fn check_invariants(&self) {
-        for (node_id, node) in self.nodes.iter().enumerate() {
-            for (l1_line, _) in node.l1.resident_lines() {
-                assert!(
-                    node.l2.contains(l1_line),
-                    "inclusion violated: node {node_id} holds {l1_line:#x} in L1 only"
-                );
-            }
-            for (l2_line, state) in node.l2.resident_lines() {
-                let entry = self.dir.entry(l2_line);
-                match state {
-                    LineState::Modified | LineState::Exclusive => {
-                        assert_eq!(
-                            entry.owner,
-                            Some(node_id),
-                            "node {node_id} holds {l2_line:#x} owned but directory says {entry:?}"
-                        );
-                    }
-                    LineState::Shared => {
-                        assert!(
-                            entry.sharers & (1u64 << node_id) != 0 || entry.owner == Some(node_id),
-                            "node {node_id} holds {l2_line:#x} shared but directory says {entry:?}"
-                        );
-                    }
-                }
-            }
+        if let Err(v) = self.verify_coherence() {
+            panic!("{v}");
         }
     }
 
@@ -287,8 +283,8 @@ impl Machine {
             }
             Event::LockAcquire(tok) => {
                 let class = tok.class.data_class();
-                match self.locks.get(&tok.addr) {
-                    Some(&holder) if holder != p => {
+                match self.lock_holder(tok.addr) {
+                    Some(holder) if holder != p => {
                         // Spin: poll the lock word, then back off. All time
                         // spent here is the paper's MSync.
                         let stall = self.read_access(p, tok.addr, class, l1s, l2s);
@@ -305,14 +301,20 @@ impl Machine {
                         rp.clock += 1 + service;
                         rp.stats.busy += 1;
                         rp.charge_mem(class, service);
-                        self.locks.insert(tok.addr, p);
+                        if self.lock_holder(tok.addr).is_none() {
+                            self.locks.push((tok.addr, p));
+                        }
                         rp.pos += 1;
                     }
                 }
             }
             Event::LockRelease(tok) => {
                 let class = tok.class.data_class();
-                let holder = self.locks.remove(&tok.addr);
+                let holder = self
+                    .locks
+                    .iter()
+                    .position(|&(a, _)| a == tok.addr)
+                    .map(|i| self.locks.swap_remove(i).1);
                 assert_eq!(holder, Some(p), "lock released by non-holder");
                 let service = self.write_service(p, tok.addr, class, l1s, l2s);
                 if service > 0 {
@@ -323,6 +325,43 @@ impl Machine {
                 rp.pos += 1;
             }
         }
+        // The observer hook: after every completed transaction, check the
+        // directory protocol's invariants on the line the event touched.
+        // Compiled out by default so the hot loop stays exactly as profiled.
+        #[cfg(feature = "check-invariants")]
+        self.observe(event, rp.clock);
+    }
+
+    /// Per-transaction invariant hook (see [`crate::verify`]): records the
+    /// first violation involving the line the event touched.
+    #[cfg(feature = "check-invariants")]
+    fn observe(&mut self, event: Event, clock: u64) {
+        if self.violation.is_some() {
+            return;
+        }
+        let addr = match event {
+            Event::Ref(r) => r.addr,
+            Event::LockAcquire(tok) | Event::LockRelease(tok) => tok.addr,
+            Event::Busy(_) => return,
+        };
+        if let Err(mut v) = self.verify_line(addr & self.l2_line_mask) {
+            v.clock = clock;
+            self.violation = Some(Box::new(v));
+        }
+    }
+
+    /// The first coherence violation seen by the per-transaction observer
+    /// hook, if any (only present under the `check-invariants` feature).
+    #[cfg(feature = "check-invariants")]
+    pub fn first_violation(&self) -> Option<&crate::verify::CoherenceViolation> {
+        self.violation.as_deref()
+    }
+
+    /// Takes (and clears) the first recorded coherence violation, so a
+    /// persistent machine can be checked run by run.
+    #[cfg(feature = "check-invariants")]
+    pub fn take_violation(&mut self) -> Option<crate::verify::CoherenceViolation> {
+        self.violation.take().map(|b| *b)
     }
 
     /// A read must wait for a pending write-buffer entry to the same line.
@@ -345,11 +384,12 @@ impl Machine {
         if rp.wb.len() >= self.cfg.write_buffer {
             // Overflow: stall until the oldest entry drains (the paper's
             // write-buffer-overflow component of Mem).
-            let (_, earliest) = rp.wb.front().copied().expect("nonempty");
-            let wait = earliest.saturating_sub(rp.clock);
-            rp.clock += wait;
-            rp.charge_mem(class, wait);
-            rp.retire_wb();
+            if let Some(&(_, earliest)) = rp.wb.front() {
+                let wait = earliest.saturating_sub(rp.clock);
+                rp.clock += wait;
+                rp.charge_mem(class, wait);
+                rp.retire_wb();
+            }
         }
         let line = addr & self.l2_line_mask;
         let start = rp

@@ -137,6 +137,31 @@ impl<T: Copy + Default> PagedMap<T> {
     pub(crate) fn set(&mut self, addr: u64, value: T) {
         *self.get_mut(addr) = value;
     }
+
+    /// Visits every slot of every allocated page as `(address, value)`, where
+    /// the address is the base of the slot's line. Untouched pages are never
+    /// visited; touched pages yield all their slots (including ones still at
+    /// `T::default()`), so callers that only care about live entries filter.
+    /// Cost is proportional to allocated pages — fine for post-run sweeps,
+    /// not for per-event paths.
+    pub(crate) fn for_each(&self, mut f: impl FnMut(u64, T)) {
+        for (seg_idx, seg) in self.segments.iter().enumerate() {
+            let base = if seg_idx == 0 {
+                0
+            } else {
+                PRIVATE_BASE + (seg_idx as u64 - 1) * PRIVATE_STRIDE
+            };
+            for (page_idx, page) in seg.pages.iter().enumerate() {
+                let Some(slots) = page.as_deref() else {
+                    continue;
+                };
+                for (slot_idx, value) in slots.iter().enumerate() {
+                    let line_idx = ((page_idx as u64) << PAGE_SHIFT) + slot_idx as u64;
+                    f(base + (line_idx << self.gran), *value);
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +204,24 @@ mod tests {
         assert_eq!(m.peek_mut(SHARED_BASE).copied(), Some(5));
         // A different page of the same segment is still untouched.
         assert!(m.peek_mut(SHARED_BASE + (1 << 30)).is_none());
+    }
+
+    #[test]
+    fn for_each_visits_touched_pages_with_reconstructed_addresses() {
+        let mut m: PagedMap<u32> = PagedMap::new(6);
+        m.set(SHARED_BASE + 128, 7);
+        m.set(private_base(2) + 64, 9);
+        let mut live = Vec::new();
+        m.for_each(|addr, v| {
+            if v != 0 {
+                live.push((addr, v));
+            }
+        });
+        live.sort_unstable();
+        assert_eq!(
+            live,
+            vec![(SHARED_BASE + 128, 7), (private_base(2) + 64, 9)]
+        );
     }
 
     #[test]

@@ -194,11 +194,10 @@ pub fn analyze(trace: &Trace, line_size: u64) -> TraceAnalysis {
         let Event::Ref(r) = event else { continue };
         let line = r.addr & mask;
         if seen.insert((r.class, line), ()).is_none() {
-            analysis
-                .classes
-                .get_mut(&r.class)
-                .expect("counted above")
-                .footprint_lines += 1;
+            // The entry exists: the counting pass above visited this event.
+            if let Some(entry) = analysis.classes.get_mut(&r.class) {
+                entry.footprint_lines += 1;
+            }
         }
     }
     analysis

@@ -3,10 +3,18 @@
 //! Traces run to millions of events; this fixed-width little-endian format
 //! lets a workload be traced once and re-simulated elsewhere (the same
 //! workflow as saving an execution-driven simulator's address trace). No
-//! external dependencies: the format is nine bytes of header plus 16 bytes
+//! external dependencies: the format is nine bytes of header plus 17 bytes
 //! per event.
+//!
+//! Failures never panic: malformed or truncated input comes back as an
+//! [`io::Error`] carrying the byte offset and event index where decoding
+//! stopped, and the [`read_trace_file`] / [`write_trace_file`] helpers
+//! prepend the file path, so a bad trace on disk is diagnosable from the
+//! error message alone.
 
-use std::io::{self, Read, Write};
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
 
 use crate::{DataClass, Event, LockClass, LockToken, MemRef, Trace};
 
@@ -39,52 +47,117 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
+/// Writes `trace` to the file at `path`, creating or truncating it.
+///
+/// # Errors
+///
+/// As [`write_trace`], with the file path prepended to the error message.
+pub fn write_trace_file(trace: &Trace, path: &Path) -> io::Result<()> {
+    let run = || -> io::Result<()> {
+        let mut w = BufWriter::new(File::create(path)?);
+        write_trace(trace, &mut w)?;
+        w.flush()
+    };
+    run().map_err(|e| at_path(e, path))
+}
+
+/// A reader that remembers how many bytes it has yielded, so decode errors
+/// can report where in the stream they happened.
+struct CountingReader<R> {
+    inner: R,
+    offset: u64,
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.offset += n as u64;
+        Ok(n)
+    }
+}
+
 /// Reads a trace written by [`write_trace`].
 ///
 /// # Errors
 ///
 /// Returns `InvalidData` for a bad magic number or malformed events, and
-/// propagates I/O errors from `r`.
-pub fn read_trace<R: Read>(mut r: R) -> io::Result<Trace> {
+/// propagates I/O errors from `r`. Every error names the byte offset the
+/// decoder had reached, and event-level errors also name the event index.
+pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
+    let mut r = CountingReader {
+        inner: r,
+        offset: 0,
+    };
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
+    r.read_exact(&mut magic)
+        .map_err(|e| at_offset(e, "trace header", 0))?;
     if &magic != MAGIC {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            "not a DSS trace file",
+            "not a DSS trace file (bad magic at byte offset 0)",
         ));
     }
-    let proc_id = read_u64(&mut r)? as usize;
-    let n = read_u64(&mut r)? as usize;
+    let header = |e| at_offset(e, "trace header", 8);
+    let proc_id = read_u64(&mut r).map_err(header)? as usize;
+    let n = read_u64(&mut r).map_err(header)? as usize;
     let mut events = Vec::with_capacity(n.min(1 << 24));
-    for _ in 0..n {
-        let mut tag = [0u8; 1];
-        r.read_exact(&mut tag)?;
-        let a = read_u64(&mut r)?;
-        let b = read_u64(&mut r)?;
-        let event = match tag[0] {
-            0 => Event::Busy(a as u32),
-            1 => {
-                let class = class_from(b as u8 & 0x7f)?;
-                Event::Ref(MemRef {
-                    addr: a,
-                    size: (b >> 8) as u16,
-                    write: b & 0x80 != 0,
-                    class,
-                })
-            }
-            2 => Event::LockAcquire(LockToken::new(a, lock_from(b as u8)?)),
-            3 => Event::LockRelease(LockToken::new(a, lock_from(b as u8)?)),
-            other => {
-                return Err(io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("unknown event tag {other}"),
-                ))
-            }
-        };
+    for i in 0..n {
+        let start = r.offset;
+        let event = read_event(&mut r).map_err(|e| {
+            let what = format!("event {i} of {n}");
+            at_offset(e, &what, start)
+        })?;
         events.push(event);
     }
     Ok(Trace { proc_id, events })
+}
+
+/// Reads the trace stored in the file at `path`.
+///
+/// # Errors
+///
+/// As [`read_trace`], with the file path prepended to the error message.
+pub fn read_trace_file(path: &Path) -> io::Result<Trace> {
+    let run = || read_trace(BufReader::new(File::open(path)?));
+    run().map_err(|e| at_path(e, path))
+}
+
+/// Decodes one 17-byte event record.
+fn read_event<R: Read>(r: &mut R) -> io::Result<Event> {
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)?;
+    let a = read_u64(r)?;
+    let b = read_u64(r)?;
+    Ok(match tag[0] {
+        0 => Event::Busy(a as u32),
+        1 => {
+            let class = class_from(b as u8 & 0x7f)?;
+            Event::Ref(MemRef {
+                addr: a,
+                size: (b >> 8) as u16,
+                write: b & 0x80 != 0,
+                class,
+            })
+        }
+        2 => Event::LockAcquire(LockToken::new(a, lock_from(b as u8)?)),
+        3 => Event::LockRelease(LockToken::new(a, lock_from(b as u8)?)),
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unknown event tag {other}"),
+            ))
+        }
+    })
+}
+
+/// Wraps `e` with what was being decoded and where the record began.
+fn at_offset(e: io::Error, what: &str, start: u64) -> io::Error {
+    io::Error::new(e.kind(), format!("{what} at byte offset {start}: {e}"))
+}
+
+/// Wraps `e` with the file it concerned.
+fn at_path(e: io::Error, path: &Path) -> io::Error {
+    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
 }
 
 fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
@@ -93,8 +166,22 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     Ok(u64::from_le_bytes(buf))
 }
 
+/// Wire code of a class: its position in [`DataClass::ALL`], spelled as an
+/// exhaustive match so the compiler — not a runtime `expect` — guarantees
+/// every class encodes.
 fn class_code(c: DataClass) -> u8 {
-    DataClass::ALL.iter().position(|x| *x == c).expect("listed") as u8
+    match c {
+        DataClass::PrivHeap => 0,
+        DataClass::Data => 1,
+        DataClass::Index => 2,
+        DataClass::BufDesc => 3,
+        DataClass::BufLookup => 4,
+        DataClass::LockHash => 5,
+        DataClass::XidHash => 6,
+        DataClass::LockMgrLock => 7,
+        DataClass::BufMgrLock => 8,
+        DataClass::SharedMisc => 9,
+    }
 }
 
 fn class_from(code: u8) -> io::Result<DataClass> {
@@ -166,18 +253,36 @@ mod tests {
     }
 
     #[test]
+    fn class_codes_match_declaration_order() {
+        for (i, class) in DataClass::ALL.iter().enumerate() {
+            assert_eq!(class_code(*class) as usize, i, "{class:?}");
+        }
+    }
+
+    #[test]
     fn bad_magic_is_rejected() {
         let err = read_trace(&b"NOTATRCE"[..]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]
-    fn truncated_input_is_an_error() {
+    fn truncated_input_reports_event_and_offset() {
         let trace = sample();
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_trace(buf.as_slice()).is_err());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        let msg = err.to_string();
+        let last = trace.events.len() - 1;
+        let start = 24 + 17 * last;
+        assert!(
+            msg.contains(&format!("event {last} of {}", trace.events.len())),
+            "message names the event: {msg}"
+        );
+        assert!(
+            msg.contains(&format!("byte offset {start}")),
+            "message names the record's offset: {msg}"
+        );
     }
 
     #[test]
@@ -188,7 +293,35 @@ mod tests {
         buf[16..24].copy_from_slice(&1u64.to_le_bytes());
         buf.extend_from_slice(&[9u8]);
         buf.extend_from_slice(&[0u8; 16]);
-        assert!(read_trace(buf.as_slice()).is_err());
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("unknown event tag 9"));
+    }
+
+    #[test]
+    fn truncated_header_is_located() {
+        let err = read_trace(&MAGIC[..]).unwrap_err();
+        assert!(err.to_string().contains("trace header at byte offset 8"));
+    }
+
+    #[test]
+    fn file_roundtrip_and_error_name_the_path() {
+        let dir = std::env::temp_dir().join("dss-trace-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("q.trace");
+        let trace = sample();
+        write_trace_file(&trace, &path).unwrap();
+        assert_eq!(read_trace_file(&path).unwrap(), trace);
+
+        std::fs::write(&path, b"NOTATRCE").unwrap();
+        let err = read_trace_file(&path).unwrap_err();
+        assert!(
+            err.to_string().contains("q.trace"),
+            "path appears in: {err}"
+        );
+        let missing = dir.join("does-not-exist.trace");
+        let err = read_trace_file(&missing).unwrap_err();
+        assert!(err.to_string().contains("does-not-exist.trace"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

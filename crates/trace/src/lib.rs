@@ -40,6 +40,7 @@
 mod analyze;
 mod class;
 mod cost;
+mod discipline;
 mod event;
 mod io;
 mod stats;
@@ -48,7 +49,8 @@ mod tracer;
 pub use analyze::{analyze, ClassLocality, ReuseHistogram, TraceAnalysis, REUSE_BUCKETS};
 pub use class::{DataClass, DataGroup};
 pub use cost::CostModel;
+pub use discipline::{check_lock_discipline, LockDisciplineError};
 pub use event::{Event, LockClass, LockToken, MemRef};
-pub use io::{read_trace, write_trace};
+pub use io::{read_trace, read_trace_file, write_trace, write_trace_file};
 pub use stats::TraceStats;
 pub use tracer::{Trace, Tracer};
