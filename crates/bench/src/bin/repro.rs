@@ -11,7 +11,8 @@
 //! (`ext`, or `ext-protocol`, `ext-prefetch`, `ext-updates`, `ext-intra`,
 //! `ext-streams`, `ext-procs`), `--jobs N` to set the number of worker
 //! threads the sweeps fan out over (default: available parallelism), and
-//! `--bench-json PATH` to write the per-experiment wall/compute timings as a
+//! `--bench-json PATH` to write the per-experiment wall/compute timings and
+//! heap-allocation counts (measured by a counting allocator) as a
 //! machine-readable JSON file (the CI benchmark artifact). Each experiment
 //! prints the paper-shaped chart plus its PASS/FAIL shape checks.
 //!
@@ -23,46 +24,69 @@ use std::time::{Duration, Instant};
 
 use dss_core::{experiments, paper, report, Workbench, STUDIED_QUERIES};
 
-/// Per-experiment timings, printed to stderr as they happen and optionally
-/// dumped as JSON at exit (`--bench-json`).
+// The counting allocator is a single shared source file (see its module doc
+// for why it is not a library export); this binary only reads the alloc-side
+// counters, so the unused dealloc-side ones are allowed to be dead here.
+#[allow(dead_code)]
+#[path = "../../../check/src/alloc.rs"]
+mod alloc;
+
+/// Counts every heap operation of the run, so each experiment's entry in the
+/// benchmark log can report its total allocation traffic (worker threads
+/// included — the counters are process-global).
+#[global_allocator]
+static COUNTING_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
+
+/// Per-experiment timings and heap traffic, printed to stderr as they happen
+/// and optionally dumped as JSON at exit (`--bench-json`).
 #[derive(Default)]
 struct BenchLog {
-    entries: Vec<(String, Duration, Duration)>,
+    entries: Vec<(String, Duration, Duration, alloc::AllocReport)>,
 }
 
 impl BenchLog {
-    /// Records one experiment's wall-clock and, when it simulated anything,
-    /// the aggregate single-thread compute it fanned out (their ratio is the
-    /// parallel speedup). Stderr, to keep stdout diffable.
-    fn record(&mut self, label: &str, wall: Duration, compute: Duration) {
+    /// Records one experiment's wall-clock, the aggregate single-thread
+    /// compute it fanned out (their ratio is the parallel speedup), and the
+    /// heap traffic its gate observed. Stderr, to keep stdout diffable.
+    fn record(&mut self, label: &str, wall: Duration, compute: Duration, heap: alloc::AllocReport) {
+        let mb = heap.bytes_allocated / 1_000_000;
         if compute.is_zero() {
-            eprintln!("  [{label}] wall {wall:.1?}");
+            eprintln!(
+                "  [{label}] wall {wall:.1?}; heap {} alloc(s), {mb} MB",
+                heap.allocs
+            );
         } else {
             let speedup = compute.as_secs_f64() / wall.as_secs_f64().max(1e-9);
             eprintln!(
-                "  [{label}] wall {wall:.1?}, sim compute {compute:.1?}, speedup {speedup:.2}x"
+                "  [{label}] wall {wall:.1?}, sim compute {compute:.1?}, speedup {speedup:.2}x; \
+                 heap {} alloc(s), {mb} MB",
+                heap.allocs
             );
         }
-        self.entries.push((label.to_string(), wall, compute));
+        self.entries.push((label.to_string(), wall, compute, heap));
     }
 
     /// The recorded timings as a self-describing JSON document. Labels are
-    /// experiment names from this binary (no escaping needed).
+    /// experiment names from this binary (no escaping needed). Schema v2
+    /// adds per-experiment allocation counts from the counting allocator.
     fn to_json(&self, jobs: usize, total_wall: Duration) -> String {
         let experiments: Vec<String> = self
             .entries
             .iter()
-            .map(|(name, wall, compute)| {
+            .map(|(name, wall, compute, heap)| {
                 format!(
-                    "    {{\"name\": \"{}\", \"wall_ns\": {}, \"sim_compute_ns\": {}}}",
+                    "    {{\"name\": \"{}\", \"wall_ns\": {}, \"sim_compute_ns\": {}, \
+                     \"allocs\": {}, \"alloc_bytes\": {}}}",
                     name,
                     wall.as_nanos(),
-                    compute.as_nanos()
+                    compute.as_nanos(),
+                    heap.allocs,
+                    heap.bytes_allocated
                 )
             })
             .collect();
         format!(
-            "{{\n  \"schema\": \"dss-bench-repro/v1\",\n  \"jobs\": {},\n  \
+            "{{\n  \"schema\": \"dss-bench-repro/v2\",\n  \"jobs\": {},\n  \
              \"total_wall_ns\": {},\n  \"experiments\": [\n{}\n  ]\n}}\n",
             jobs,
             total_wall.as_nanos(),
@@ -129,13 +153,15 @@ fn main() {
 
     if want("table1") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         let rows = experiments::table1(&wb.db);
         println!("{}", report::render_table1(&rows));
-        log.record("table1", t.elapsed(), wb.take_sim_compute());
+        log.record("table1", t.elapsed(), wb.take_sim_compute(), g.end());
     }
 
     if want("fig6") || want("fig7") || want("rates") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         let baselines = wb.baseline_suite(&STUDIED_QUERIES);
         if want("fig6") {
             println!("{}", report::render_fig6a(&baselines));
@@ -152,11 +178,17 @@ fn main() {
             let rates: Vec<_> = baselines.iter().map(experiments::miss_rates).collect();
             println!("{}", report::render_miss_rates(&rates));
         }
-        log.record("fig6/fig7/rates", t.elapsed(), wb.take_sim_compute());
+        log.record(
+            "fig6/fig7/rates",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+        );
     }
 
     if want("fig8") || want("fig9") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         for q in STUDIED_QUERIES {
             let points = wb.line_size_sweep(q);
             if want("fig8") {
@@ -168,11 +200,12 @@ fn main() {
                 println!("{}", paper::render_checks(&paper::check_fig9(q, &points)));
             }
         }
-        log.record("fig8/fig9", t.elapsed(), wb.take_sim_compute());
+        log.record("fig8/fig9", t.elapsed(), wb.take_sim_compute(), g.end());
     }
 
     if want("fig10") || want("fig11") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         for q in STUDIED_QUERIES {
             let points = wb.cache_size_sweep(q);
             if want("fig10") {
@@ -184,74 +217,82 @@ fn main() {
                 println!("{}", paper::render_checks(&paper::check_fig11(q, &points)));
             }
         }
-        log.record("fig10/fig11", t.elapsed(), wb.take_sim_compute());
+        log.record("fig10/fig11", t.elapsed(), wb.take_sim_compute(), g.end());
     }
 
     if want("fig12") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         let q3 = wb.reuse_experiment(3, 12);
         let q12 = wb.reuse_experiment(12, 3);
         println!("{}", report::render_fig12(&q3));
         println!("{}", report::render_fig12(&q12));
         println!("{}", paper::render_checks(&paper::check_fig12(&q3, &q12)));
-        log.record("fig12", t.elapsed(), wb.take_sim_compute());
+        log.record("fig12", t.elapsed(), wb.take_sim_compute(), g.end());
     }
 
     if want("fig13") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         let pairs: Vec<_> = STUDIED_QUERIES
             .iter()
             .map(|q| wb.prefetch_experiment(*q))
             .collect();
         println!("{}", report::render_fig13(&pairs));
         println!("{}", paper::render_checks(&paper::check_fig13(&pairs)));
-        log.record("fig13", t.elapsed(), wb.take_sim_compute());
+        log.record("fig13", t.elapsed(), wb.take_sim_compute(), g.end());
     }
 
     // Extension experiments (not in the paper): run with `ext` or by name.
     if want_ext("ext-protocol") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         let ablations: Vec<_> = STUDIED_QUERIES
             .iter()
             .map(|q| wb.protocol_ablation(*q))
             .collect();
         println!("{}", report::render_ext_protocol(&ablations));
-        log.record("ext-protocol", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-protocol", t.elapsed(), wb.take_sim_compute(), g.end());
     }
     if want_ext("ext-prefetch") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         for q in [6u8, 12] {
             let points = wb.prefetch_degree_sweep(q);
             println!("{}", report::render_ext_prefetch(q, &points));
         }
-        log.record("ext-prefetch", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-prefetch", t.elapsed(), wb.take_sim_compute(), g.end());
     }
     if want_ext("ext-updates") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         let runs = experiments::update_experiment(dss_tpcd::PAPER_SCALE);
         println!("{}", report::render_ext_updates(&runs));
-        log.record("ext-updates", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-updates", t.elapsed(), wb.take_sim_compute(), g.end());
     }
     if want_ext("ext-intra") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         let runs = experiments::intra_query_experiment(&mut wb);
         println!("{}", report::render_ext_intra(&runs));
-        log.record("ext-intra", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-intra", t.elapsed(), wb.take_sim_compute(), g.end());
     }
     if want_ext("ext-streams") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         let baselines = wb.baseline_suite(&STUDIED_QUERIES);
         let runs = experiments::stream_experiment(&mut wb, &[3, 6, 12]);
         println!("{}", report::render_ext_streams(&runs, &baselines));
-        log.record("ext-streams", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-streams", t.elapsed(), wb.take_sim_compute(), g.end());
     }
     if want_ext("ext-procs") {
         let t = Instant::now();
+        let g = alloc::AllocGate::begin();
         for q in STUDIED_QUERIES {
             let points = wb.processor_sweep(q);
             println!("{}", report::render_ext_procs(q, &points));
         }
-        log.record("ext-procs", t.elapsed(), wb.take_sim_compute());
+        log.record("ext-procs", t.elapsed(), wb.take_sim_compute(), g.end());
     }
 
     let total = start.elapsed();

@@ -15,15 +15,19 @@ use dss_tpcd::params;
 use dss_trace::{analyze, DataClass, REUSE_BUCKETS};
 
 fn main() {
-    let queries: Vec<u8> = std::env::args()
-        .skip(1)
-        .map(|a| a.parse().expect("query number 1..17"))
-        .collect();
-    let queries = if queries.is_empty() {
-        vec![3, 6, 12]
-    } else {
-        queries
-    };
+    let mut queries: Vec<u8> = Vec::new();
+    for a in std::env::args().skip(1) {
+        match a.parse() {
+            Ok(q) => queries.push(q),
+            Err(_) => {
+                eprintln!("traceinfo: `{a}` is not a query number (1..17)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if queries.is_empty() {
+        queries = vec![3, 6, 12];
+    }
 
     println!("building the paper-scale database...");
     let mut db = Database::build(&DbConfig::default());

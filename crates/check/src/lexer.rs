@@ -1,0 +1,398 @@
+//! A minimal hand-written Rust lexer for the workspace lint.
+//!
+//! The PR-3 lint matched rule tokens as substrings of source lines, which
+//! meant a `HashMap` mentioned in a comment or a `.unwrap()` inside a string
+//! literal tripped the gate. This lexer tokenizes just enough of Rust to fix
+//! that cleanly — comments and string/char literals become single tokens the
+//! rules can skip, identifiers and punctuation become matchable atoms — while
+//! staying std-only and a few hundred lines.
+//!
+//! Handled: line (`//`) and block (`/* */`, nested) comments, string /
+//! raw-string / byte-string literals (`"…"`, `r#"…"#`, `b"…"`, `br#"…"#`),
+//! char and byte-char literals, lifetimes, identifiers (keywords included —
+//! rules match on text), numbers, and single-character punctuation. Compound
+//! operators (`::`, `->`, `..`) appear as consecutive single-char `Punct`
+//! tokens, which keeps sequence matching trivial.
+//!
+//! Deliberately *not* handled: anything requiring semantic context. The
+//! lexer never fails — unexpected bytes become `Punct` tokens — so the lint
+//! degrades to noise, never to a crash, on source it does not understand.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`Vec`, `as`, `fn`, `r#type`).
+    Ident,
+    /// Numeric literal (`42`, `0xff_u64`, `1.5`).
+    Number,
+    /// String literal of any flavor, quotes included.
+    Str,
+    /// Char or byte-char literal, quotes included.
+    Char,
+    /// Lifetime (`'a`, `'_`, `'static`), leading `'` included.
+    Lifetime,
+    /// `//` comment, to end of line.
+    LineComment,
+    /// `/* */` comment, nesting respected.
+    BlockComment,
+    /// A single punctuation character (`::` is two `Punct` tokens).
+    Punct(char),
+}
+
+/// One lexeme: its kind, the exact source text, and its 1-based line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token<'a> {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The token's exact slice of the source.
+    pub text: &'a str,
+    /// 1-based line number of the token's first character.
+    pub line: usize,
+}
+
+impl Token<'_> {
+    /// True for an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == text
+    }
+
+    /// True for this punctuation character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. Whitespace is dropped; comments are kept as tokens so
+/// callers can choose to skip (lint rules) or inspect (doc checks) them.
+pub fn lex(src: &str) -> Vec<Token<'_>> {
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    out: Vec<Token<'a>>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        *self.bytes.get(self.pos + ahead).unwrap_or(&0)
+    }
+
+    /// Advances one byte, tracking line numbers.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: usize, line: usize) {
+        self.out.push(Token {
+            kind,
+            text: &self.src[start..self.pos],
+            line,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token<'a>> {
+        while self.pos < self.bytes.len() {
+            let (start, line) = (self.pos, self.line);
+            let b = self.peek(0);
+            match b {
+                _ if b.is_ascii_whitespace() => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.bytes.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.block_comment(start, line);
+                }
+                b'r' if self.peek(1) == b'"' || self.peek(1) == b'#' => {
+                    // `r"…"` / `r#"…"#` raw string, or just the ident `r`
+                    // followed by `#` (raw identifier `r#type` has no quote).
+                    if !self.try_raw_string(start, line, 1) {
+                        self.ident(start, line);
+                    }
+                }
+                b'b' if self.peek(1) == b'"' => {
+                    self.bump();
+                    self.quoted(b'"');
+                    self.emit(TokenKind::Str, start, line);
+                }
+                b'b' if self.peek(1) == b'\'' => {
+                    self.bump();
+                    self.quoted(b'\'');
+                    self.emit(TokenKind::Char, start, line);
+                }
+                b'b' if self.peek(1) == b'r' && (self.peek(2) == b'"' || self.peek(2) == b'#') => {
+                    if !self.try_raw_string(start, line, 2) {
+                        self.ident(start, line);
+                    }
+                }
+                _ if is_ident_start(b) => self.ident(start, line),
+                _ if b.is_ascii_digit() => {
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    // Simple floats: `1.5` but not `1.method()` or `0..n`.
+                    if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+                        self.bump();
+                        while is_ident_continue(self.peek(0)) {
+                            self.bump();
+                        }
+                    }
+                    self.emit(TokenKind::Number, start, line);
+                }
+                b'"' => {
+                    self.quoted(b'"');
+                    self.emit(TokenKind::Str, start, line);
+                }
+                b'\'' => self.char_or_lifetime(start, line),
+                _ => {
+                    // Consume a whole character so non-ASCII bytes (legal in
+                    // comments/strings, odd elsewhere) never split a slice.
+                    let ch = self.src[self.pos..].chars().next().unwrap_or('\u{fffd}');
+                    for _ in 0..ch.len_utf8() {
+                        self.bump();
+                    }
+                    self.emit(TokenKind::Punct(ch), start, line);
+                }
+            }
+        }
+        self.out
+    }
+
+    /// Consumes a `/* */` comment, honoring nesting. On entry `pos` is at
+    /// the opening `/`. An unterminated comment runs to end of input.
+    fn block_comment(&mut self, start: usize, line: usize) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                depth += 1;
+                self.bump();
+                self.bump();
+            } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                depth -= 1;
+                self.bump();
+                self.bump();
+            } else {
+                self.bump();
+            }
+        }
+        self.emit(TokenKind::BlockComment, start, line);
+    }
+
+    fn ident(&mut self, start: usize, line: usize) {
+        // Raw identifier prefix `r#` (already know a quote does not follow).
+        if self.peek(0) == b'r' && self.peek(1) == b'#' && is_ident_start(self.peek(2)) {
+            self.bump();
+            self.bump();
+        }
+        while is_ident_continue(self.peek(0)) {
+            self.bump();
+        }
+        self.emit(TokenKind::Ident, start, line);
+    }
+
+    /// Consumes a `"…"` or `'…'` body including both quotes, honoring `\`
+    /// escapes. On entry `pos` is at the opening quote.
+    fn quoted(&mut self, quote: u8) {
+        self.bump(); // opening quote
+        while self.pos < self.bytes.len() {
+            match self.peek(0) {
+                b'\\' => {
+                    self.bump();
+                    self.bump();
+                }
+                b if b == quote => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Attempts `r#*"…"#*` starting `hashes_at` bytes in (past `r` or `br`).
+    /// Returns false (consuming nothing) if no quote follows the hashes —
+    /// the caller then lexes an identifier instead.
+    fn try_raw_string(&mut self, start: usize, line: usize, hashes_at: usize) -> bool {
+        let mut n = 0;
+        while self.peek(hashes_at + n) == b'#' {
+            n += 1;
+        }
+        if self.peek(hashes_at + n) != b'"' {
+            return false;
+        }
+        for _ in 0..hashes_at + n + 1 {
+            self.bump();
+        }
+        'body: while self.pos < self.bytes.len() {
+            if self.peek(0) == b'"' {
+                for i in 0..n {
+                    if self.peek(1 + i) != b'#' {
+                        self.bump();
+                        continue 'body;
+                    }
+                }
+                for _ in 0..n + 1 {
+                    self.bump();
+                }
+                break;
+            }
+            self.bump();
+        }
+        self.emit(TokenKind::Str, start, line);
+        true
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) at an opening `'`.
+    fn char_or_lifetime(&mut self, start: usize, line: usize) {
+        let next = self.peek(1);
+        // `'\n'` — an escape is always a char literal. `'x'` — a closing
+        // quote right after one character is a char literal (this also
+        // classifies `'_'` correctly). Anything else (`'a,`, `'static`) is
+        // a lifetime.
+        if next == b'\\' || (next != b'\'' && self.peek(2) == b'\'') {
+            self.quoted(b'\'');
+            self.emit(TokenKind::Char, start, line);
+        } else {
+            self.bump(); // the `'`
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.emit(TokenKind::Lifetime, start, line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_numbers() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                (TokenKind::Ident, "let"),
+                (TokenKind::Ident, "x"),
+                (TokenKind::Punct('='), "="),
+                (TokenKind::Number, "42"),
+                (TokenKind::Punct(';'), ";"),
+            ]
+        );
+        assert_eq!(
+            kinds("v[i].f(1.5, 0xff_u64)")
+                .iter()
+                .filter(|(k, _)| *k == TokenKind::Number)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_are_single_tokens_with_lines() {
+        let toks = lex("a // HashMap here\n/* Vec::new()\n nested /* ok */ */ b");
+        assert_eq!(toks[0].text, "a");
+        assert_eq!(toks[1].kind, TokenKind::LineComment);
+        assert_eq!(toks[2].kind, TokenKind::BlockComment);
+        assert!(toks[2].text.contains("nested"));
+        let b = toks[3];
+        assert!(b.is_ident("b"));
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        let toks = lex(r#"let s = "a .unwrap() \" b"; t"#);
+        let s = toks.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert!(s.text.contains(".unwrap()"));
+        assert!(toks.last().unwrap().is_ident("t"));
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        let toks = lex(r###"r#"has "quotes" and # signs"# b"bytes" br"raw""###);
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            3,
+            "{toks:?}"
+        );
+        // `r` and `br` not followed by a quote stay identifiers.
+        let toks = lex("r#type br_aw r");
+        assert!(toks.iter().all(|t| t.kind == TokenKind::Ident));
+    }
+
+    #[test]
+    fn chars_vs_lifetimes() {
+        let toks = lex(r"'a' '\n' '_' 'static &'a mut b'x'");
+        let got: Vec<TokenKind> = toks.iter().map(|t| t.kind).collect();
+        assert_eq!(
+            got,
+            vec![
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Char,
+                TokenKind::Lifetime,
+                TokenKind::Punct('&'),
+                TokenKind::Lifetime,
+                TokenKind::Ident,
+                TokenKind::Char,
+            ],
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_every_token_form() {
+        let toks = lex("a\n\"s\n s\"\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn never_panics_on_junk() {
+        for src in [
+            "'",
+            "\"unterminated",
+            "r#\"open",
+            "/* open",
+            "\\ ` ~ \u{fe}",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

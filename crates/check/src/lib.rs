@@ -12,9 +12,15 @@
 //!   `check-invariants` feature, also after every transaction mid-run).
 //! * [`race`] — a vector-clock happens-before race detector over the query
 //!   traces, treating `LockAcquire`/`LockRelease` as release/acquire edges.
-//! * [`lint`] — std-only source scanning for the project's own rules:
-//!   no hashing or per-event allocation in the simulator hot loop, required
-//!   library headers, and panic-free converted crates.
+//! * [`lint`] — source analysis for the project's own rules, built on the
+//!   hand-written Rust lexer in [`lexer`]: no hashing or per-event
+//!   allocation in the simulator hot loop, required library headers,
+//!   panic-free converted crates, a panic-surface and truncating-cast audit
+//!   of the per-event modules, and `cfg`-hygiene for feature-gated hooks.
+//! * [`budget`] — the allocation-budget report `dss-check alloc` emits:
+//!   per-run warm-up and steady-state heap counters with ratchet-diff
+//!   semantics (the counting allocator itself lives in the binary, which may
+//!   use `unsafe`; this library must not).
 //!
 //! The `dss-check` binary runs any or all passes and exits non-zero on the
 //! first finding; CI gates on `dss-check all`.
@@ -22,10 +28,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod budget;
 pub mod invariants;
+pub mod lexer;
 pub mod lint;
 pub mod race;
 
+pub use budget::{AllocBudget, Counts, RunBudget};
 pub use invariants::{check_baseline_suite, check_machine, InvariantFailure, RunSummary};
+pub use lexer::{lex, Token, TokenKind};
 pub use lint::{find_workspace_root, lint_workspace, Allowlist, Finding};
 pub use race::{detect_races, Access, Race, RaceAnalysisError, RaceReport};

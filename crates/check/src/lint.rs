@@ -1,18 +1,30 @@
 //! Custom workspace lint: project-specific rules no off-the-shelf linter
-//! encodes, implemented with nothing but `std::fs` line scanning.
+//! encodes, built on the hand-written Rust lexer in [`crate::lexer`].
 //!
-//! Three rule families:
+//! Rules match *token sequences*, not line substrings, so a `HashMap`
+//! mentioned in a comment or a `.unwrap()` inside a string literal no longer
+//! trips the gate, and inline `#[cfg(test)]` modules are recognized wherever
+//! they appear (not just as a trailing suffix of the file). Rule families:
 //!
 //! 1. **Hot-loop allocation ban** — the simulator's per-event path
 //!    (`crates/memsim`'s `machine`/`cache`/`directory`/`paged` modules) was
 //!    deliberately rewritten hash-free and allocation-free; `HashMap`,
 //!    `HashSet`, and `Vec::new()` reappearing there would silently regress
-//!    the rewrite, so their tokens are forbidden outside test modules.
-//! 2. **Library headers** — every library crate (workspace crates, the
-//!    vendored stand-ins, and the root crate) must open with
+//!    the rewrite.
+//! 2. **Library headers** — every library crate root must open with
 //!    `#![forbid(unsafe_code)]` and `#![warn(missing_docs)]`.
 //! 3. **Panic-free library code** — crates already converted to `Result`
 //!    error paths must not reintroduce `unwrap()`/`expect()` outside tests.
+//!    Also applied to the workspace's binaries and examples.
+//! 4. **Panic surface** (hot-loop modules) — `panic!`-family macros are
+//!    findings, and slice-indexing sites are counted and ratcheted so new
+//!    unchecked indexing is a conscious decision.
+//! 5. **Truncating casts** (hot-loop modules) — `as` casts to integer types
+//!    narrower than the address/clock width, which silently drop bits.
+//! 6. **`cfg` hygiene** — identifiers belonging to feature-gated machinery
+//!    (the `check-invariants` observer, the `alloc-probe` test hook) must
+//!    only appear inside regions guarded by their feature, so the observer
+//!    can never leak into default builds.
 //!
 //! Grandfathered sites live in `crates/check/lint-allow.txt` (one `path
 //! substring :: line substring` entry per line); the scanner reports any
@@ -23,12 +35,18 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use crate::lexer::{lex, Token, TokenKind};
+
 /// Crates whose non-test library code must stay free of
 /// `unwrap()`/`expect()` (rule 3). Grows as crates are converted.
-const PANIC_FREE_CRATES: &[&str] = &["trace", "memsim", "shmem", "check"];
+const PANIC_FREE_CRATES: &[&str] = &["trace", "memsim", "shmem", "check", "sql", "query"];
+
+/// Binary and example roots also held to rule 3 (entry points should report
+/// errors, not abort), relative to the workspace root.
+const PANIC_FREE_DIRS: &[&str] = &["src/bin", "examples", "crates/bench/src/bin"];
 
 /// Per-event simulator modules where allocation and hashing are banned
-/// (rule 1).
+/// (rule 1) and the panic-surface / truncating-cast audits run (rules 4, 5).
 const HOT_LOOP_FILES: &[&str] = &[
     "crates/memsim/src/machine.rs",
     "crates/memsim/src/cache.rs",
@@ -36,20 +54,39 @@ const HOT_LOOP_FILES: &[&str] = &[
     "crates/memsim/src/paged.rs",
 ];
 
-/// Tokens forbidden in hot-loop modules. Spelled with `concat!` so this
-/// file's own scan (rule 3 covers `dss-check` too) never matches the rule
-/// definitions themselves.
-const HOT_LOOP_TOKENS: &[&str] = &[
-    concat!("Hash", "Map"),
-    concat!("Hash", "Set"),
-    concat!("Vec::", "new()"),
-];
+/// Macros that abort the process, banned from hot-loop modules (rule 4).
+/// `assert!` stays legal: the hot loop's asserts encode trace-wellformedness
+/// contracts the simulation cannot continue past.
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
 
-/// Tokens forbidden by the panic-free rule.
-const PANIC_TOKENS: &[&str] = &[concat!(".unw", "rap()"), concat!(".exp", "ect(")];
+/// Cast targets narrower than the 64-bit address/clock domain (rule 5).
+const NARROW_CASTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Feature-gated identifier families (rule 6): in `file`, each identifier
+/// may only appear inside a region guarded by `#[cfg(feature = "feature")]`.
+const CFG_HYGIENE: &[(&str, &str, &[&str])] = &[
+    (
+        "crates/memsim/src/machine.rs",
+        "check-invariants",
+        &["observe", "first_violation", "take_violation", "violation"],
+    ),
+    (
+        "crates/memsim/src/machine.rs",
+        "alloc-probe",
+        &["probe_allocs", "arm_alloc_probe"],
+    ),
+];
 
 /// Headers every library crate root must declare.
 const REQUIRED_HEADERS: &[&str] = &["#![forbid(unsafe_code)]", "#![warn(missing_docs)]"];
+
+/// Keywords that may legally precede `[` without it being an indexing site
+/// (array literals and the like), for rule 4's audit.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "break", "const", "continue", "crate", "dyn", "else", "enum", "extern", "fn", "for",
+    "if", "impl", "in", "let", "loop", "match", "mod", "move", "mut", "pub", "ref", "return",
+    "static", "struct", "trait", "type", "unsafe", "use", "where", "while",
+];
 
 /// One lint finding.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -169,12 +206,206 @@ impl Allowlist {
     }
 }
 
-/// The code portion of a source line: everything before a `//` comment.
-fn code_of(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
+/// A token-sequence pattern element.
+enum Pat<'p> {
+    /// An identifier with exactly this text.
+    I(&'p str),
+    /// This punctuation character.
+    P(char),
+    /// An identifier whose text is any of these.
+    AnyIdent(&'p [&'p str]),
+}
+
+/// One lexed source file, pre-masked for rule passes.
+struct FileTokens<'a> {
+    rel: PathBuf,
+    /// Source lines, for allowlist matching and finding messages.
+    lines: Vec<&'a str>,
+    /// Code tokens only — comments stripped, order preserved.
+    toks: Vec<Token<'a>>,
+    /// Per-token: inside a `#[cfg(test)]`-attributed item.
+    exempt: Vec<bool>,
+    /// Per-token: the feature name of the innermost `#[cfg(feature = "…"))]`
+    /// guard covering it, if any.
+    feature: Vec<Option<&'a str>>,
+}
+
+impl<'a> FileTokens<'a> {
+    fn new(rel: &str, text: &'a str) -> FileTokens<'a> {
+        let toks: Vec<Token<'a>> = lex(text).into_iter().filter(|t| !t.is_comment()).collect();
+        let exempt = attr_guard_mask_bool(&toks, match_cfg_test);
+        let feature = attr_guard_mask(&toks, match_cfg_feature);
+        FileTokens {
+            rel: PathBuf::from(rel),
+            lines: text.lines().collect(),
+            toks,
+            exempt,
+            feature,
+        }
     }
+
+    /// The source line a token sits on (empty if out of range).
+    fn line_text(&self, tok: &Token<'_>) -> &'a str {
+        self.lines.get(tok.line - 1).copied().unwrap_or("")
+    }
+
+    /// Does `pats` match the code tokens starting at `i`?
+    fn matches_at(&self, i: usize, pats: &[Pat<'_>]) -> bool {
+        if i + pats.len() > self.toks.len() {
+            return false;
+        }
+        pats.iter().zip(&self.toks[i..]).all(|(p, t)| match p {
+            Pat::I(text) => t.is_ident(text),
+            Pat::P(c) => t.is_punct(*c),
+            Pat::AnyIdent(set) => t.kind == TokenKind::Ident && set.contains(&t.text),
+        })
+    }
+
+    /// Reports every non-test match of `pats` as a finding under `rule`,
+    /// consulting the allowlist with the match's source line.
+    fn report_matches(
+        &self,
+        pats: &[Pat<'_>],
+        rule: &'static str,
+        what: &str,
+        allow: &mut Allowlist,
+        findings: &mut Vec<Finding>,
+    ) {
+        for i in 0..self.toks.len() {
+            if self.exempt[i] || !self.matches_at(i, pats) {
+                continue;
+            }
+            let tok = &self.toks[i];
+            let line = self.line_text(tok);
+            if !allow.permits(&self.rel, line) {
+                findings.push(Finding {
+                    file: self.rel.clone(),
+                    line: tok.line,
+                    rule,
+                    message: format!("forbidden {what} in `{}`", line.trim()),
+                });
+            }
+        }
+    }
+}
+
+/// Matches `# [ cfg ( test ) ]` at `i`.
+fn match_cfg_test(toks: &[Token<'_>], i: usize) -> bool {
+    let p = |j: usize, c: char| toks.get(i + j).is_some_and(|t| t.is_punct(c));
+    let id = |j: usize, s: &str| toks.get(i + j).is_some_and(|t| t.is_ident(s));
+    p(0, '#') && p(1, '[') && id(2, "cfg") && p(3, '(') && id(4, "test") && p(5, ')') && p(6, ']')
+}
+
+/// Matches `# [ cfg ( feature = "…" ) ]` at `i`; returns the feature name
+/// (quotes stripped).
+fn match_cfg_feature<'a>(toks: &[Token<'a>], i: usize) -> Option<&'a str> {
+    let p = |j: usize, c: char| toks.get(i + j).is_some_and(|t| t.is_punct(c));
+    let id = |j: usize, s: &str| toks.get(i + j).is_some_and(|t| t.is_ident(s));
+    if p(0, '#') && p(1, '[') && id(2, "cfg") && p(3, '(') && id(4, "feature") && p(5, '=') {
+        let t = toks.get(i + 6)?;
+        if t.kind == TokenKind::Str && p(7, ')') && p(8, ']') {
+            return Some(t.text.trim_matches('"'));
+        }
+    }
+    None
+}
+
+/// Index just past the `]` closing the attribute starting at `i` (which must
+/// be `#`); brackets are depth-matched.
+fn attr_end(toks: &[Token<'_>], i: usize) -> usize {
+    let mut j = i + 1; // at `[`
+    let mut depth = 0usize;
+    while j < toks.len() {
+        if toks[j].is_punct('[') {
+            depth += 1;
+        } else if toks[j].is_punct(']') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index just past the item starting at `j`: through the matching `}` of the
+/// first top-level `{`, or past a top-level `;` or `,` (attribute on a
+/// field, statement, or `use`).
+fn item_end(toks: &[Token<'_>], mut j: usize) -> usize {
+    let (mut paren, mut bracket) = (0i32, 0i32);
+    while j < toks.len() {
+        match toks[j].kind {
+            TokenKind::Punct('(') => paren += 1,
+            TokenKind::Punct(')') => paren -= 1,
+            TokenKind::Punct('[') => bracket += 1,
+            TokenKind::Punct(']') => bracket -= 1,
+            TokenKind::Punct('{') => {
+                let mut depth = 0i32;
+                while j < toks.len() {
+                    if toks[j].is_punct('{') {
+                        depth += 1;
+                    } else if toks[j].is_punct('}') {
+                        depth -= 1;
+                        if depth == 0 {
+                            return j + 1;
+                        }
+                    }
+                    j += 1;
+                }
+                return toks.len();
+            }
+            TokenKind::Punct(';') | TokenKind::Punct(',') if paren == 0 && bracket == 0 => {
+                return j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Generic guarded-region mask: wherever `matcher` recognizes an attribute
+/// at a `#` token, the attribute plus the item it decorates (skipping any
+/// further attributes in between) is marked with the matcher's value.
+fn attr_guard_mask<'a, V: Copy>(
+    toks: &[Token<'a>],
+    matcher: impl Fn(&[Token<'a>], usize) -> Option<V>,
+) -> Vec<Option<V>> {
+    let mut mask = vec![None; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        let Some(value) = matcher(toks, i) else {
+            i += 1;
+            continue;
+        };
+        let start = i;
+        let mut j = attr_end(toks, i);
+        // Skip further attributes between the guard and its item.
+        while j < toks.len()
+            && toks[j].is_punct('#')
+            && toks.get(j + 1).is_some_and(|t| t.is_punct('['))
+        {
+            j = attr_end(toks, j);
+        }
+        let end = item_end(toks, j);
+        for slot in &mut mask[start..end] {
+            *slot = Some(value);
+        }
+        i = end;
+    }
+    mask
+}
+
+/// Boolean wrapper over [`attr_guard_mask`] for `#[cfg(test)]`.
+fn attr_guard_mask_bool(
+    toks: &[Token<'_>],
+    matcher: impl Fn(&[Token<'_>], usize) -> bool,
+) -> Vec<bool> {
+    attr_guard_mask(toks, |t, i| matcher(t, i).then_some(()))
+        .into_iter()
+        .map(|g| g.is_some())
+        .collect()
 }
 
 /// Runs all lint rules over the workspace at `root`, consulting (and
@@ -185,31 +416,120 @@ fn code_of(line: &str) -> &str {
 /// Propagates filesystem errors; findings are data, not errors.
 pub fn lint_workspace(root: &Path, allow: &mut Allowlist) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
-    lint_hot_loops(root, allow, &mut findings)?;
+    for rel in HOT_LOOP_FILES {
+        let text = fs::read_to_string(root.join(rel))?;
+        let ft = FileTokens::new(rel, &text);
+        lint_hot_loop(&ft, allow, &mut findings);
+        lint_panic_surface(&ft, allow, &mut findings);
+        lint_trunc_casts(&ft, allow, &mut findings);
+        lint_cfg_hygiene(&ft, &mut findings);
+    }
     lint_headers(root, &mut findings)?;
     lint_panic_free(root, allow, &mut findings)?;
     Ok(findings)
 }
 
 /// Rule 1: no hashing or per-event allocation in the simulator hot loop.
-fn lint_hot_loops(
-    root: &Path,
-    allow: &mut Allowlist,
-    findings: &mut Vec<Finding>,
-) -> io::Result<()> {
-    for rel in HOT_LOOP_FILES {
-        let path = root.join(rel);
-        let text = fs::read_to_string(&path)?;
-        scan_lines(
-            rel,
-            &text,
-            HOT_LOOP_TOKENS,
-            "hot-loop-alloc",
-            allow,
-            findings,
-        );
+fn lint_hot_loop(ft: &FileTokens<'_>, allow: &mut Allowlist, findings: &mut Vec<Finding>) {
+    ft.report_matches(
+        &[Pat::AnyIdent(&["HashMap", "HashSet"])],
+        "hot-loop-alloc",
+        "hash container",
+        allow,
+        findings,
+    );
+    ft.report_matches(
+        &[
+            Pat::I("Vec"),
+            Pat::P(':'),
+            Pat::P(':'),
+            Pat::I("new"),
+            Pat::P('('),
+            Pat::P(')'),
+        ],
+        "hot-loop-alloc",
+        "`Vec::new()`",
+        allow,
+        findings,
+    );
+}
+
+/// Rule 4: `panic!`-family macros are findings; slice-indexing sites are
+/// counted per file and ratcheted through the allowlist (the count is the
+/// finding text, so any change — up or down — surfaces until the entry is
+/// updated).
+fn lint_panic_surface(ft: &FileTokens<'_>, allow: &mut Allowlist, findings: &mut Vec<Finding>) {
+    ft.report_matches(
+        &[Pat::AnyIdent(PANIC_MACROS), Pat::P('!')],
+        "panic-surface",
+        "panicking macro",
+        allow,
+        findings,
+    );
+    let mut sites = 0usize;
+    for i in 1..ft.toks.len() {
+        if ft.exempt[i] || !ft.toks[i].is_punct('[') {
+            continue;
+        }
+        let prev = &ft.toks[i - 1];
+        let indexes = match prev.kind {
+            TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text),
+            TokenKind::Punct(')') | TokenKind::Punct(']') => true,
+            _ => false,
+        };
+        if indexes {
+            sites += 1;
+        }
     }
-    Ok(())
+    let message = format!(
+        "{sites} slice-indexing site(s) in the per-event path; audit new sites, then update the ratchet entry"
+    );
+    if sites > 0 && !allow.permits(&ft.rel, &message) {
+        findings.push(Finding {
+            file: ft.rel.clone(),
+            line: 0,
+            rule: "panic-surface",
+            message,
+        });
+    }
+}
+
+/// Rule 5: no truncating `as` casts on the 64-bit address/clock domain.
+fn lint_trunc_casts(ft: &FileTokens<'_>, allow: &mut Allowlist, findings: &mut Vec<Finding>) {
+    ft.report_matches(
+        &[Pat::I("as"), Pat::AnyIdent(NARROW_CASTS)],
+        "trunc-cast",
+        "truncating cast",
+        allow,
+        findings,
+    );
+}
+
+/// Rule 6: feature-gated identifiers never appear outside their guard.
+fn lint_cfg_hygiene(ft: &FileTokens<'_>, findings: &mut Vec<Finding>) {
+    let rel = ft.rel.to_string_lossy();
+    for (file, feature, idents) in CFG_HYGIENE {
+        if !rel.ends_with(*file) {
+            continue;
+        }
+        for (i, tok) in ft.toks.iter().enumerate() {
+            if tok.kind != TokenKind::Ident || !idents.contains(&tok.text) || ft.exempt[i] {
+                continue;
+            }
+            if ft.feature[i] != Some(feature) {
+                findings.push(Finding {
+                    file: ft.rel.clone(),
+                    line: tok.line,
+                    rule: "cfg-hygiene",
+                    message: format!(
+                        "`{}` outside its `#[cfg(feature = \"{feature}\")]` guard in `{}`",
+                        tok.text,
+                        ft.line_text(tok).trim(),
+                    ),
+                });
+            }
+        }
+    }
 }
 
 /// Rule 2: every library crate root carries both required headers.
@@ -240,58 +560,44 @@ fn lint_headers(root: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
     Ok(())
 }
 
-/// Rule 3: converted crates stay `unwrap()`/`expect()`-free outside tests.
+/// Rule 3: converted crates, binaries, and examples stay
+/// `unwrap()`/`expect()`-free outside tests.
 fn lint_panic_free(
     root: &Path,
     allow: &mut Allowlist,
     findings: &mut Vec<Finding>,
 ) -> io::Result<()> {
+    let mut files = Vec::new();
     for krate in PANIC_FREE_CRATES {
-        let src = root.join("crates").join(krate).join("src");
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files)?;
-        files.sort();
-        for path in files {
-            let text = fs::read_to_string(&path)?;
-            let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy();
-            scan_lines(&rel, &text, PANIC_TOKENS, "no-panic", allow, findings);
+        collect_rs_files(&root.join("crates").join(krate).join("src"), &mut files)?;
+    }
+    for dir in PANIC_FREE_DIRS {
+        let dir = root.join(dir);
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
         }
+    }
+    files.sort();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy();
+        let ft = FileTokens::new(&rel, &text);
+        ft.report_matches(
+            &[Pat::P('.'), Pat::I("unwrap"), Pat::P('('), Pat::P(')')],
+            "no-panic",
+            "`.unwrap()`",
+            allow,
+            findings,
+        );
+        ft.report_matches(
+            &[Pat::P('.'), Pat::I("expect"), Pat::P('(')],
+            "no-panic",
+            "`.expect(…)`",
+            allow,
+            findings,
+        );
     }
     Ok(())
-}
-
-/// Scans non-test, non-comment code lines of `text` for any of `tokens`.
-fn scan_lines(
-    rel: &str,
-    text: &str,
-    tokens: &[&str],
-    rule: &'static str,
-    allow: &mut Allowlist,
-    findings: &mut Vec<Finding>,
-) {
-    let rel_path = PathBuf::from(rel);
-    let mut in_tests = false;
-    for (i, line) in text.lines().enumerate() {
-        // Trailing test modules are exempt: the rules target shipped
-        // library code, and tests legitimately panic and allocate.
-        if line.trim_start().starts_with("#[cfg(test)]") {
-            in_tests = true;
-        }
-        if in_tests {
-            continue;
-        }
-        let code = code_of(line);
-        for token in tokens {
-            if code.contains(token) && !allow.permits(&rel_path, line) {
-                findings.push(Finding {
-                    file: rel_path.clone(),
-                    line: i + 1,
-                    rule,
-                    message: format!("forbidden `{token}` in `{}`", line.trim()),
-                });
-            }
-        }
-    }
 }
 
 /// Collects every `.rs` file under `dir`, recursively.
@@ -311,30 +617,165 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 mod tests {
     use super::*;
 
+    fn hot_loop_findings(src: &str, allow: &mut Allowlist) -> Vec<Finding> {
+        let ft = FileTokens::new("x.rs", src);
+        let mut findings = Vec::new();
+        lint_hot_loop(&ft, allow, &mut findings);
+        findings
+    }
+
     #[test]
-    fn comments_and_test_modules_are_exempt() {
-        let text = "\
-use std::collections::HashMap; // banned
+    fn comments_and_strings_no_longer_trip_the_rules() {
+        let src = "\
 // a HashMap in a comment is fine
-fn f() { let v = Vec::new(); }
-#[cfg(test)]
-mod tests {
-    use std::collections::HashSet;
-}
+/* so is Vec::new() in a block comment */
+fn f() -> &'static str { \"HashMap and .unwrap() in a string\" }
 ";
         let mut allow = Allowlist::default();
+        assert!(hot_loop_findings(src, &mut allow).is_empty());
+        let ft = FileTokens::new("x.rs", src);
         let mut findings = Vec::new();
-        scan_lines(
-            "x.rs",
-            text,
-            HOT_LOOP_TOKENS,
-            "hot-loop-alloc",
+        ft.report_matches(
+            &[Pat::P('.'), Pat::I("unwrap"), Pat::P('('), Pat::P(')')],
+            "no-panic",
+            "`.unwrap()`",
             &mut allow,
             &mut findings,
         );
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn real_tokens_still_fire_with_locations() {
+        let src = "use std::collections::HashMap;\nfn f() { let v = Vec::new(); }\n";
+        let findings = hot_loop_findings(src, &mut Allowlist::default());
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 2], "{findings:?}");
+    }
+
+    #[test]
+    fn inline_test_modules_are_exempt_even_mid_file() {
+        // The old line scanner treated everything after the first
+        // `#[cfg(test)]` as tests; the lexer-based mask ends with the item,
+        // so code AFTER an inline test module is still scanned.
+        let src = "\
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    fn g() { x.unwrap(); }
+}
+fn f() { let v = Vec::new(); }
+";
+        let findings = hot_loop_findings(src, &mut Allowlist::default());
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 6);
+    }
+
+    #[test]
+    fn unwrap_or_and_method_names_do_not_match() {
+        let src = "let a = x.unwrap_or(3);\nlet b = y.unwrap();\nlet c = z.expect(\"m\");\n";
+        let ft = FileTokens::new("x.rs", src);
+        let mut allow = Allowlist::default();
+        let mut findings = Vec::new();
+        ft.report_matches(
+            &[Pat::P('.'), Pat::I("unwrap"), Pat::P('('), Pat::P(')')],
+            "no-panic",
+            "`.unwrap()`",
+            &mut allow,
+            &mut findings,
+        );
+        ft.report_matches(
+            &[Pat::P('.'), Pat::I("expect"), Pat::P('(')],
+            "no-panic",
+            "`.expect(…)`",
+            &mut allow,
+            &mut findings,
+        );
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn panic_surface_flags_macros_and_ratchets_indexing() {
+        let src = "\
+fn f(v: &[u64], i: usize) -> u64 {
+    if i > v.len() { panic!(\"oob\"); }
+    v[i] + v[i + 1]
+}
+";
+        let ft = FileTokens::new("x.rs", src);
+        let mut allow = Allowlist::default();
+        let mut findings = Vec::new();
+        lint_panic_surface(&ft, &mut allow, &mut findings);
         assert_eq!(findings.len(), 2, "{findings:?}");
-        assert_eq!(findings[0].line, 1);
-        assert_eq!(findings[1].line, 3);
+        assert_eq!(findings[0].rule, "panic-surface");
+        assert_eq!(findings[0].line, 2);
+        assert!(findings[1].message.contains("2 slice-indexing site(s)"));
+
+        // The ratchet entry keys on the exact count: it permits 2 sites…
+        let mut allow = Allowlist::parse("x.rs :: 2 slice-indexing site(s)\n");
+        let mut findings = Vec::new();
+        lint_panic_surface(&ft, &mut allow, &mut findings);
+        assert!(!findings.iter().any(|f| f.line == 0), "{findings:?}");
+        // …and a third site both fires and strands the stale entry.
+        let grown = src.replace("v[i + 1]", "v[i + 1] + v[0]");
+        let ft = FileTokens::new("x.rs", &grown);
+        let mut allow = Allowlist::parse("x.rs :: 2 slice-indexing site(s)\n");
+        let mut findings = Vec::new();
+        lint_panic_surface(&ft, &mut allow, &mut findings);
+        assert!(
+            findings
+                .iter()
+                .any(|f| f.message.contains("3 slice-indexing site(s)")),
+            "{findings:?}"
+        );
+        assert_eq!(allow.unused().len(), 1);
+    }
+
+    #[test]
+    fn array_types_and_attributes_are_not_indexing_sites() {
+        let src = "\
+#[derive(Clone)]
+struct S { a: [u64; 4] }
+fn f() -> [u8; 2] { [0; 2] }
+";
+        let ft = FileTokens::new("x.rs", src);
+        let mut allow = Allowlist::default();
+        let mut findings = Vec::new();
+        lint_panic_surface(&ft, &mut allow, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn trunc_casts_flag_narrow_targets_only() {
+        let src = "let a = x as u8;\nlet b = x as u64;\nlet c = y as usize;\n";
+        let ft = FileTokens::new("x.rs", src);
+        let mut allow = Allowlist::default();
+        let mut findings = Vec::new();
+        lint_trunc_casts(&ft, &mut allow, &mut findings);
+        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1], "{findings:?}");
+    }
+
+    #[test]
+    fn cfg_hygiene_requires_the_matching_guard() {
+        let src = "\
+struct M {
+    #[cfg(feature = \"check-invariants\")]
+    violation: Option<u8>,
+}
+impl M {
+    #[cfg(feature = \"check-invariants\")]
+    fn observe(&mut self) { self.violation = None; }
+    fn bad(&mut self) { self.observe(); }
+}
+";
+        let ft = FileTokens::new("crates/memsim/src/machine.rs", src);
+        let mut findings = Vec::new();
+        lint_cfg_hygiene(&ft, &mut findings);
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].line, 8);
+        assert!(findings[0].message.contains("`observe`"));
     }
 
     #[test]
@@ -344,34 +785,9 @@ mod tests {
              x.rs :: let v = Vec\n\
              y.rs :: never matches\n",
         );
-        let mut findings = Vec::new();
-        scan_lines(
-            "src/x.rs",
-            "fn f() { let v = Vec::new(); }\n",
-            HOT_LOOP_TOKENS,
-            "hot-loop-alloc",
-            &mut allow,
-            &mut findings,
-        );
+        let findings = hot_loop_findings("fn f() { let v = Vec::new(); }\n", &mut allow);
         assert!(findings.is_empty(), "{findings:?}");
         assert_eq!(allow.unused(), vec!["y.rs :: never matches".to_string()]);
-    }
-
-    #[test]
-    fn panic_tokens_match_real_calls_only() {
-        let text = "let a = x.unwrap_or(3);\nlet b = y.unwrap();\nlet c = z.expect(\"msg\");\n";
-        let mut allow = Allowlist::default();
-        let mut findings = Vec::new();
-        scan_lines(
-            "x.rs",
-            text,
-            PANIC_TOKENS,
-            "no-panic",
-            &mut allow,
-            &mut findings,
-        );
-        let lines: Vec<usize> = findings.iter().map(|f| f.line).collect();
-        assert_eq!(lines, vec![2, 3]);
     }
 
     #[test]

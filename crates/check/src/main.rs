@@ -1,39 +1,81 @@
 //! `dss-check` — the workbench's verification gate.
 //!
 //! ```text
-//! dss-check lint        # workspace lint rules
+//! dss-check lint        # workspace lint rules (lexer-based)
 //! dss-check races       # happens-before race detection over Q3/Q6/Q12
 //! dss-check invariants  # coherence invariants over the baseline suite
+//! dss-check alloc       # allocation audit of Machine::run (counting allocator)
 //! dss-check all         # everything above
 //! ```
+//!
+//! `alloc` options: `--report PATH` writes the measured budget JSON to
+//! `PATH`; `--update` regenerates the committed
+//! `crates/check/alloc-budget.json` instead of diffing against it.
 //!
 //! Exits 0 when every requested pass is clean, 1 on any finding, 2 on usage
 //! or environment errors. Build with `--features check-invariants` to also
 //! arm the simulator's per-transaction observer during the invariants pass.
+//!
+//! The binary installs a counting `#[global_allocator]` (see [`alloc`]); the
+//! library crate stays `#![forbid(unsafe_code)]`, so the allocator lives
+//! here, where `unsafe` is denied by default but granted to that one module.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+
+mod alloc;
 
 use std::process::ExitCode;
 
+use dss_check::budget::{AllocBudget, Counts, RunBudget};
 use dss_check::{
     check_baseline_suite, detect_races, find_workspace_root, lint_workspace, Allowlist,
 };
 use dss_core::{query_label, Workbench, STUDIED_QUERIES};
+use dss_memsim::{Machine, MachineConfig, Protocol, SimStats};
+
+use crate::alloc::{AllocGate, AllocReport, CountingAlloc};
+
+/// Counts every heap operation of the whole binary, so [`AllocGate`] scopes
+/// inside the `alloc` pass see exactly what `Machine::run` does.
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str);
-    let (run_lint, run_races, run_invariants) = match mode {
-        Some("lint") => (true, false, false),
-        Some("races") => (false, true, false),
-        Some("invariants") => (false, false, true),
-        Some("all") => (true, true, true),
+    let (run_lint, run_races, run_invariants, run_alloc) = match mode {
+        Some("lint") => (true, false, false, false),
+        Some("races") => (false, true, false, false),
+        Some("invariants") => (false, false, true, false),
+        Some("alloc") => (false, false, false, true),
+        Some("all") => (true, true, true, true),
         _ => {
-            eprintln!("usage: dss-check <lint|races|invariants|all>");
+            eprintln!(
+                "usage: dss-check <lint|races|invariants|alloc|all> [--report PATH] [--update]"
+            );
             return ExitCode::from(2);
         }
     };
+    let mut report_path: Option<String> = None;
+    let mut update = false;
+    let mut rest = args[1..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--report" => match rest.next() {
+                Some(p) => report_path = Some(p.clone()),
+                None => {
+                    eprintln!("--report requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update" => update = true,
+            other => {
+                eprintln!("unknown option `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     let mut findings = 0usize;
     if run_lint {
@@ -45,15 +87,24 @@ fn main() -> ExitCode {
             }
         }
     }
-    // Both trace-driven passes share one workbench (the trace cache holds a
-    // query's traces across both).
-    if run_races || run_invariants {
+    // The trace-driven passes share one workbench (the trace cache holds a
+    // query's traces across all of them).
+    if run_races || run_invariants || run_alloc {
         let mut wb = Workbench::paper();
         if run_races {
             findings += races(&mut wb);
         }
         if run_invariants {
             findings += invariants(&mut wb);
+        }
+        if run_alloc {
+            match alloc_audit(&mut wb, report_path.as_deref(), update) {
+                Ok(n) => findings += n,
+                Err(e) => {
+                    eprintln!("alloc: {e}");
+                    return ExitCode::from(2);
+                }
+            }
         }
     }
     if findings > 0 {
@@ -134,4 +185,132 @@ fn invariants(wb: &mut Workbench) -> usize {
             1
         }
     }
+}
+
+fn to_counts(r: AllocReport) -> Counts {
+    Counts {
+        allocs: r.allocs,
+        deallocs: r.deallocs,
+        reallocs: r.reallocs,
+        bytes_allocated: r.bytes_allocated,
+        peak_bytes: r.peak_bytes,
+    }
+}
+
+/// Measures the baseline suite under the counting allocator: for each run a
+/// warm-up phase (machine construction + first simulation, where buffers
+/// grow) and a steady-state phase (identical second simulation on the warmed
+/// machine, which must be heap-silent). The measurement itself must stay
+/// single-threaded — the counters are process-global — so everything that
+/// parallelizes (trace generation) happens before the first gate opens.
+pub fn measure_suite(wb: &mut Workbench) -> AllocBudget {
+    let configs: [(&str, MachineConfig); 2] = [
+        ("MSI baseline", MachineConfig::baseline()),
+        (
+            "MESI",
+            MachineConfig::baseline().with_protocol(Protocol::Mesi),
+        ),
+    ];
+    let mut measured = AllocBudget::default();
+    for query in STUDIED_QUERIES {
+        let traces = wb.traces(query, 0);
+        for (name, config) in &configs {
+            let run = format!("{} / {name}", query_label(query));
+            let mut stats = SimStats::default();
+
+            let gate = AllocGate::begin();
+            let mut machine = Machine::new(config.clone());
+            machine.run_into(&traces, &mut stats);
+            let warmup = gate.end();
+
+            let gate = AllocGate::begin();
+            machine.run_into(&traces, &mut stats);
+            let steady = gate.end();
+
+            measured.runs.push(RunBudget {
+                run,
+                warmup: to_counts(warmup),
+                steady: to_counts(steady),
+            });
+        }
+    }
+    measured
+}
+
+/// The allocation audit pass; returns the number of findings.
+///
+/// # Errors
+///
+/// Environment errors (unlocatable workspace root, unwritable report paths,
+/// unparsable committed budget); measurement findings are counted, not
+/// errors.
+fn alloc_audit(
+    wb: &mut Workbench,
+    report_path: Option<&str>,
+    update: bool,
+) -> Result<usize, String> {
+    let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
+    let root = find_workspace_root(&cwd).map_err(|e| e.to_string())?;
+    let budget_path = root.join("crates/check/alloc-budget.json");
+
+    let measured = measure_suite(wb);
+    for r in &measured.runs {
+        println!(
+            "alloc: {}: warm-up {}; steady {}",
+            r.run, r.warmup, r.steady
+        );
+    }
+    let json = measured.to_json();
+    if let Some(path) = report_path {
+        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+    }
+
+    let mut problems: Vec<String> = Vec::new();
+    if update {
+        std::fs::write(&budget_path, &json)
+            .map_err(|e| format!("writing {}: {e}", budget_path.display()))?;
+        println!("alloc: budget written to {}", budget_path.display());
+        // Even a freshly written budget must uphold the invariant the audit
+        // exists for: a warmed Machine::run never touches the heap.
+        for r in &measured.runs {
+            if !r.steady.is_heap_silent() {
+                problems.push(format!(
+                    "{}: steady-state heap activity ({}) — Machine::run must not allocate once warmed",
+                    r.run, r.steady
+                ));
+            }
+        }
+    } else {
+        match std::fs::read_to_string(&budget_path) {
+            Ok(text) => {
+                let committed = AllocBudget::parse(&text)
+                    .map_err(|e| format!("{}: {e}", budget_path.display()))?;
+                problems = committed.diff(&measured);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                problems.push(format!(
+                    "no committed budget at {} — run `dss-check alloc --update` and commit it",
+                    budget_path.display()
+                ));
+                for r in &measured.runs {
+                    if !r.steady.is_heap_silent() {
+                        problems.push(format!(
+                            "{}: steady-state heap activity ({})",
+                            r.run, r.steady
+                        ));
+                    }
+                }
+            }
+            Err(e) => return Err(format!("reading {}: {e}", budget_path.display())),
+        }
+    }
+    for p in &problems {
+        eprintln!("alloc: {p}");
+    }
+    println!(
+        "alloc: {} run(s) audited, {} problem(s)",
+        measured.runs.len(),
+        problems.len()
+    );
+    Ok(problems.len())
 }

@@ -1,0 +1,43 @@
+//! The allocation audit's zero-assert, as a plain integration test: a warmed
+//! [`Machine::run`] performs no heap operations at all. `dss-check alloc`
+//! proves this at the paper scale and ratchets the numbers; this test proves
+//! it at the small scale on every `cargo test`.
+//!
+//! It lives alone in this test binary on purpose: the counting allocator's
+//! counters are process-global, so a concurrently running test would pollute
+//! the measured delta and break the exact-zero assertion.
+
+#[path = "../src/alloc.rs"]
+mod alloc;
+
+use alloc::{AllocGate, AllocReport, CountingAlloc};
+use dss_core::Workbench;
+use dss_memsim::{Machine, MachineConfig, SimStats};
+
+#[global_allocator]
+static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
+
+#[test]
+fn warmed_machine_run_is_heap_silent() {
+    let mut wb = Workbench::small();
+    let traces = wb.traces(6, 0);
+    let mut machine = Machine::new(MachineConfig::baseline());
+    let mut stats = SimStats::default();
+    // Warm-up: buffers grow, the caches' paged tables see the trace's whole
+    // address footprint. Not measured — only the steady state is asserted.
+    machine.run_into(&traces, &mut stats);
+
+    let gate = AllocGate::begin();
+    machine.run_into(&traces, &mut stats);
+    let steady = gate.end();
+
+    assert!(
+        stats.exec_cycles() > 0,
+        "the measured run must actually simulate something"
+    );
+    assert_eq!(
+        steady,
+        AllocReport::default(),
+        "a warmed Machine::run touched the heap"
+    );
+}

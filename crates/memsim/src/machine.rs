@@ -58,6 +58,18 @@ pub struct Machine {
     /// linear scan over a small vector beats hashing on the lock path and
     /// keeps the hot loop free of hashed containers.
     locks: Vec<(u64, usize)>,
+    /// Reusable per-processor run state. Hoisted out of [`Machine::run`] so
+    /// that, once a run has grown these buffers, subsequent runs (through
+    /// [`Machine::run_into`]) never touch the heap — the steady-state
+    /// property `dss-check alloc` measures.
+    scratch: Vec<ProcScratch>,
+    /// Reusable scheduler heap (same rationale as `scratch`).
+    ready: BinaryHeap<Reverse<(u64, usize)>>,
+    /// When armed (test-only `alloc-probe` feature), every simulated event
+    /// performs one deliberate heap allocation so the allocation audit's
+    /// negative test can prove the gate fires.
+    #[cfg(feature = "alloc-probe")]
+    probe_allocs: bool,
     // Geometry hoisted out of the per-event paths.
     pub(crate) l1_line: u64,
     pub(crate) l2_line: u64,
@@ -71,10 +83,13 @@ pub struct Machine {
     violation: Option<Box<crate::verify::CoherenceViolation>>,
 }
 
-struct RunProc<'a> {
+/// Per-processor run state. Holds no reference to the trace it replays (the
+/// run loop passes the trace alongside), so the machine can keep these
+/// between runs and reuse their buffers.
+#[derive(Default)]
+struct ProcScratch {
     /// The node this trace executes on.
     node: usize,
-    trace: &'a Trace,
     pos: usize,
     clock: u64,
     /// Pending write-buffer entries: (L2 line, completion time), in issue
@@ -83,9 +98,14 @@ struct RunProc<'a> {
     stats: ProcStats,
 }
 
-impl<'a> RunProc<'a> {
-    fn done(&self) -> bool {
-        self.pos >= self.trace.events.len()
+impl ProcScratch {
+    /// Resets for a fresh run on node `node`, keeping buffer capacity.
+    fn reset(&mut self, node: usize) {
+        self.node = node;
+        self.pos = 0;
+        self.clock = 0;
+        self.wb.clear();
+        self.stats = ProcStats::default();
     }
 
     fn retire_wb(&mut self) {
@@ -121,7 +141,16 @@ impl Machine {
         Machine {
             nodes,
             dir: Directory::with_line_size(cfg.l2.line),
-            locks: Vec::new(),
+            // Lock acquisition follows a strict per-processor stack discipline
+            // (enforced by the trace layer's `check_lock_discipline`), so at
+            // most a few locks per processor are held at once. Reserving that
+            // bound up front keeps `run` heap-silent even when warm-cache
+            // timing overlaps more lock holds than the cold first run did.
+            locks: Vec::with_capacity(4 * cfg.nprocs),
+            scratch: Vec::new(),
+            ready: BinaryHeap::new(),
+            #[cfg(feature = "alloc-probe")]
+            probe_allocs: false,
             l1_line: cfg.l1.line,
             l2_line: cfg.l2.line,
             l2_line_mask: !(cfg.l2.line - 1),
@@ -156,84 +185,105 @@ impl Machine {
     /// Panics if more traces than processors are supplied, or if a lock
     /// release does not match its holder.
     pub fn run(&mut self, traces: &[Trace]) -> SimStats {
+        let mut stats = SimStats::default();
+        self.run_into(traces, &mut stats);
+        stats
+    }
+
+    /// [`Machine::run`] into a caller-owned [`SimStats`], overwriting it.
+    ///
+    /// This is the allocation-free form: all per-run state lives in buffers
+    /// the machine reuses between runs, so once one run has grown them (and
+    /// the caches' lazily paged tables have seen the trace's address
+    /// footprint), subsequent runs perform **zero** heap allocations —
+    /// `dss-check alloc` measures exactly this with a counting allocator.
+    /// [`Machine::run`] is a convenience wrapper that allocates one fresh
+    /// `SimStats` per call.
+    ///
+    /// # Panics
+    ///
+    /// As [`Machine::run`].
+    pub fn run_into(&mut self, traces: &[Trace], out: &mut SimStats) {
         assert!(
             traces.len() <= self.cfg.nprocs,
             "more traces than processors"
         );
         self.locks.clear();
-        let mut seen = vec![false; self.cfg.nprocs];
-        let mut procs: Vec<RunProc<'_>> = traces
-            .iter()
-            .map(|t| {
-                assert!(
-                    t.proc_id < self.cfg.nprocs,
-                    "trace for processor {} on a {}-processor machine",
-                    t.proc_id,
-                    self.cfg.nprocs
-                );
-                assert!(!seen[t.proc_id], "two traces for processor {}", t.proc_id);
-                seen[t.proc_id] = true;
-                RunProc {
-                    node: t.proc_id,
-                    trace: t,
-                    pos: 0,
-                    clock: 0,
-                    wb: VecDeque::new(),
-                    stats: ProcStats::default(),
-                }
-            })
-            .collect();
-        let mut l1s = LevelStats {
-            read_misses: crate::stats::MissMatrix::new(),
-            ..Default::default()
-        };
-        let mut l2s = LevelStats {
-            read_misses: crate::stats::MissMatrix::new(),
-            ..Default::default()
-        };
+        // Move the reusable buffers out of `self` so the run loop can borrow
+        // them mutably alongside `&mut self`; they go back at the end.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        while scratch.len() < traces.len() {
+            scratch.push(ProcScratch::default());
+        }
+        let mut seen: u128 = 0;
+        for (rp, t) in scratch.iter_mut().zip(traces) {
+            assert!(
+                t.proc_id < self.cfg.nprocs,
+                "trace for processor {} on a {}-processor machine",
+                t.proc_id,
+                self.cfg.nprocs
+            );
+            assert!(
+                seen & (1 << t.proc_id) == 0,
+                "two traces for processor {}",
+                t.proc_id
+            );
+            seen |= 1 << t.proc_id;
+            rp.reset(t.proc_id);
+            // The write buffer never holds more than `cfg.write_buffer`
+            // entries (overflow stalls instead), but warm-cache timing can
+            // fill it deeper than the cold first run did — reserve the full
+            // bound now so later runs never grow it mid-loop.
+            rp.wb.reserve(self.cfg.write_buffer);
+        }
+        let mut l1s = LevelStats::default();
+        let mut l2s = LevelStats::default();
 
         // Deterministic interleave: the unfinished processor with the
         // smallest clock (ties by position) executes its next event. Each
         // live processor has exactly one heap entry, re-keyed after its step,
         // so pop order reproduces the former full scan exactly. A lone trace
         // needs no arbitration at all.
-        if let [rp] = &mut procs[..] {
+        if let ([rp], [trace]) = (&mut scratch[..traces.len()], traces) {
             let node = rp.node;
-            while !rp.done() {
-                self.step(node, rp, &mut l1s, &mut l2s);
+            while rp.pos < trace.events.len() {
+                self.step(node, trace, rp, &mut l1s, &mut l2s);
             }
         } else {
-            let mut ready: BinaryHeap<Reverse<(u64, usize)>> = procs
-                .iter()
-                .enumerate()
-                .filter(|(_, rp)| !rp.done())
-                .map(|(i, rp)| Reverse((rp.clock, i)))
-                .collect();
-            while let Some(Reverse((_, i))) = ready.pop() {
-                let node = procs[i].node;
-                self.step(node, &mut procs[i], &mut l1s, &mut l2s);
-                if !procs[i].done() {
-                    ready.push(Reverse((procs[i].clock, i)));
+            let mut ready = std::mem::take(&mut self.ready);
+            ready.clear();
+            for (i, (rp, trace)) in scratch.iter().zip(traces).enumerate() {
+                if rp.pos < trace.events.len() {
+                    ready.push(Reverse((rp.clock, i)));
                 }
             }
+            while let Some(Reverse((_, i))) = ready.pop() {
+                let rp = &mut scratch[i];
+                let trace = &traces[i];
+                let node = rp.node;
+                self.step(node, trace, rp, &mut l1s, &mut l2s);
+                if rp.pos < trace.events.len() {
+                    ready.push(Reverse((rp.clock, i)));
+                }
+            }
+            self.ready = ready;
         }
 
-        let mut proc_stats = vec![ProcStats::default(); self.cfg.nprocs];
-        for rp in &mut procs {
+        out.procs.clear();
+        out.procs.resize(self.cfg.nprocs, ProcStats::default());
+        for rp in &mut scratch[..traces.len()] {
             // Drain the write buffer into the final time.
             if let Some(&(_, complete)) = rp.wb.back() {
                 rp.clock = rp.clock.max(complete);
             }
             rp.stats.cycles = rp.clock;
-            proc_stats[rp.node] = rp.stats.clone();
+            out.procs[rp.node] = rp.stats;
         }
-        SimStats {
-            procs: proc_stats,
-            l1: l1s,
-            l2: l2s,
-            prefetches_issued: std::mem::take(&mut self.prefetches_issued),
-            prefetches_filled: std::mem::take(&mut self.prefetches_filled),
-        }
+        out.l1 = l1s;
+        out.l2 = l2s;
+        out.prefetches_issued = std::mem::take(&mut self.prefetches_issued);
+        out.prefetches_filled = std::mem::take(&mut self.prefetches_filled);
+        self.scratch = scratch;
     }
 
     /// Verifies the structural invariants of the cache hierarchy and
@@ -250,8 +300,22 @@ impl Machine {
         }
     }
 
-    fn step(&mut self, p: usize, rp: &mut RunProc<'_>, l1s: &mut LevelStats, l2s: &mut LevelStats) {
-        let event = rp.trace.events[rp.pos];
+    fn step(
+        &mut self,
+        p: usize,
+        trace: &Trace,
+        rp: &mut ProcScratch,
+        l1s: &mut LevelStats,
+        l2s: &mut LevelStats,
+    ) {
+        // The deliberate allocation the audit's negative test injects; off
+        // (and compiled out) everywhere else.
+        #[cfg(feature = "alloc-probe")]
+        if self.probe_allocs {
+            let probe: Vec<u64> = Vec::with_capacity(1);
+            std::hint::black_box(&probe);
+        }
+        let event = trace.events[rp.pos];
         match event {
             Event::Busy(n) => {
                 rp.clock += n as u64;
@@ -364,8 +428,16 @@ impl Machine {
         self.violation.take().map(|b| *b)
     }
 
+    /// Arms a deliberate per-event heap allocation (test-only `alloc-probe`
+    /// feature), so the allocation audit's negative test can prove the
+    /// counting gate fires when the hot loop regresses.
+    #[cfg(feature = "alloc-probe")]
+    pub fn arm_alloc_probe(&mut self) {
+        self.probe_allocs = true;
+    }
+
     /// A read must wait for a pending write-buffer entry to the same line.
-    fn wait_for_pending_write(&self, rp: &mut RunProc<'_>, addr: u64, class: DataClass) {
+    fn wait_for_pending_write(&self, rp: &mut ProcScratch, addr: u64, class: DataClass) {
         let line = addr & self.l2_line_mask;
         if let Some(&(_, complete)) = rp
             .wb
@@ -379,7 +451,7 @@ impl Machine {
         rp.retire_wb();
     }
 
-    fn push_wb(&self, rp: &mut RunProc<'_>, addr: u64, service: u64, class: DataClass) {
+    fn push_wb(&self, rp: &mut ProcScratch, addr: u64, service: u64, class: DataClass) {
         rp.retire_wb();
         if rp.wb.len() >= self.cfg.write_buffer {
             // Overflow: stall until the oldest entry drains (the paper's

@@ -34,18 +34,17 @@ fn kind_index(k: MissKind) -> usize {
 }
 
 /// Per-class, per-kind miss counters for one cache level.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+///
+/// Stored inline as a fixed array (not a `Vec`): the counters are part of
+/// every [`SimStats`], and keeping them allocation-free lets a warmed
+/// [`crate::Machine`] fill a caller-owned `SimStats` without touching the
+/// heap (the property `dss-check alloc` measures).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MissMatrix {
-    counts: Vec<[u64; 3]>,
+    counts: [[u64; 3]; NCLASSES],
 }
 
 impl MissMatrix {
-    pub(crate) fn new() -> Self {
-        MissMatrix {
-            counts: vec![[0; 3]; NCLASSES],
-        }
-    }
-
     pub(crate) fn add(&mut self, class: DataClass, kind: MissKind) {
         self.counts[class_index(class)][kind_index(kind)] += 1;
     }
@@ -85,7 +84,7 @@ impl MissMatrix {
 
     /// Adds another matrix's counts into this one.
     pub fn merge(&mut self, other: &MissMatrix) {
-        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
             for (x, y) in a.iter_mut().zip(b) {
                 *x += y;
             }
@@ -127,7 +126,7 @@ impl LevelStats {
 
 /// Per-processor timing, with memory stall attributed per data class (the
 /// paper's Figure 6(b) decomposition).
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ProcStats {
     /// Final clock value.
     pub cycles: u64,
@@ -243,7 +242,7 @@ mod tests {
 
     #[test]
     fn miss_matrix_accumulates_and_groups() {
-        let mut m = MissMatrix::new();
+        let mut m = MissMatrix::default();
         m.add(DataClass::Data, MissKind::Cold);
         m.add(DataClass::Data, MissKind::Cold);
         m.add(DataClass::LockMgrLock, MissKind::Coherence);

@@ -8,7 +8,7 @@
 
 use dss_workbench::core::{report, Workbench};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("building the paper-scale database...");
     let mut wb = Workbench::paper();
 
@@ -21,23 +21,28 @@ fn main() {
     println!("{}", report::render_fig9(query, &points));
 
     // Summarize the trade-off the paper calls out.
-    let at = |line: u64| points.iter().find(|p| p.l2_line == line).expect("swept");
-    let d16 = at(16)
+    let at = |line: u64| {
+        points
+            .iter()
+            .find(|p| p.l2_line == line)
+            .ok_or(format!("line size {line} missing from the sweep"))
+    };
+    let d16 = at(16)?
         .stats
         .l2
         .read_misses
         .by_group(dss_workbench::trace::DataGroup::Data);
-    let d256 = at(256)
+    let d256 = at(256)?
         .stats
         .l2
         .read_misses
         .by_group(dss_workbench::trace::DataGroup::Data);
-    let p16 = at(16)
+    let p16 = at(16)?
         .stats
         .l1
         .read_misses
         .by_group(dss_workbench::trace::DataGroup::Priv);
-    let p256 = at(256)
+    let p256 = at(256)?
         .stats
         .l1
         .read_misses
@@ -49,4 +54,5 @@ fn main() {
         d16 as f64 / d256.max(1) as f64,
         p256 as f64 / p16.max(1) as f64,
     );
+    Ok(())
 }

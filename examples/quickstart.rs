@@ -10,7 +10,7 @@ use dss_workbench::memsim::{Machine, MachineConfig};
 use dss_workbench::query::{Database, DbConfig, Session};
 use dss_workbench::trace::TraceStats;
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build a small database (the paper's setup uses scale 0.01; this
     //    example uses 1/500 so it runs in a blink).
     let config = DbConfig {
@@ -31,12 +31,12 @@ fn main() {
                where o_orderdate >= date '1994-01-01' and o_orderdate < date '1995-01-01' \
                group by o_orderpriority \
                order by o_orderpriority";
-    let plan = db.plan_sql(sql).expect("valid query");
+    let plan = db.plan_sql(sql)?;
     println!("plan:\n{}", plan.explain());
 
     // 3. Execute it in a traced session (one session = one simulated CPU).
     let mut session = Session::new(0);
-    let out = db.run(sql, &mut session).expect("runs");
+    let out = db.run(sql, &mut session)?;
     println!("results:");
     for row in &out.rows {
         println!("  {} orders at priority {}", row[1], row[0]);
@@ -68,4 +68,5 @@ fn main() {
         100.0 * sim.l1.read_miss_rate(),
         100.0 * sim.l2_global_read_miss_rate()
     );
+    Ok(())
 }

@@ -9,7 +9,7 @@ use dss_workbench::query::{Database, DbConfig, Session};
 use dss_workbench::tpcd::params;
 use dss_workbench::trace::{analyze, read_trace, write_trace, DataClass};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = Database::build(&DbConfig {
         scale: 0.004,
         nbuffers: 2048,
@@ -19,18 +19,18 @@ fn main() {
     // Trace one Q6 instance.
     let mut session = Session::new(0);
     let sql = dss_workbench::query::sql_for(6, &params(6, 0));
-    db.run(&sql, &mut session).expect("Q6 runs");
+    db.run(&sql, &mut session)?;
     let trace = session.tracer.take();
 
     // Traces serialize compactly for offline analysis.
     let mut bytes = Vec::new();
-    write_trace(&trace, &mut bytes).expect("in-memory write");
+    write_trace(&trace, &mut bytes)?;
     println!(
         "trace: {} events, {:.1} MB serialized",
         trace.len(),
         bytes.len() as f64 / 1e6
     );
-    let trace = read_trace(bytes.as_slice()).expect("roundtrip");
+    let trace = read_trace(bytes.as_slice())?;
 
     // Locality at both of the paper's line granularities.
     for line in [32u64, 64] {
@@ -55,4 +55,5 @@ fn main() {
             100.0 * priv_heap.reuse.reused_within(256),
         );
     }
+    Ok(())
 }

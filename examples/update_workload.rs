@@ -13,7 +13,7 @@
 use dss_workbench::core::experiments;
 use dss_workbench::query::{Database, Datum, DbConfig, Session};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The harness runs the full experiment (build, UF1+UF2 on four
     // processors, simulate on the paper's baseline machine).
     println!("running UF1/UF2 on four processors at the paper scale...");
@@ -33,26 +33,27 @@ fn main() {
     db.execute(
         &dss_workbench::query::insert_orders_sql(&orders),
         &mut session,
-    )
-    .unwrap();
+    )?;
     db.execute(
         &dss_workbench::query::insert_lineitems_sql(&lineitems),
         &mut session,
-    )
-    .unwrap();
+    )?;
     let count = db
         .run(
             "select count(*) from orders where o_orderkey >= 5000000",
             &mut session,
-        )
-        .unwrap()
+        )?
         .rows[0][0]
         .clone();
     println!("UF1 inserted {count} new orders (visible through the o_orderkey index)");
     assert_eq!(count, Datum::Int(3));
 
     for sql in dss_workbench::query::uf2_sql(5_000_000, 5_000_002) {
-        let n = db.execute(&sql, &mut session).unwrap().affected().unwrap();
+        let n = db
+            .execute(&sql, &mut session)?
+            .affected()
+            .ok_or("UF2 statement reported no affected-row count")?;
         println!("UF2: `{}` removed {n} tuples", &sql[..40.min(sql.len())]);
     }
+    Ok(())
 }

@@ -23,10 +23,16 @@ use dss_workbench::query::{Database, Datum, DbConfig, Session, StatementOutput};
 use dss_workbench::trace::TraceStats;
 
 fn main() {
-    let scale: f64 = std::env::args()
-        .nth(1)
-        .map(|a| a.parse().expect("scale factor"))
-        .unwrap_or(dss_workbench::tpcd::PAPER_SCALE);
+    let scale: f64 = match std::env::args().nth(1) {
+        None => dss_workbench::tpcd::PAPER_SCALE,
+        Some(a) => match a.parse() {
+            Ok(s) => s,
+            Err(_) => {
+                eprintln!("dssql: `{a}` is not a scale factor (try 0.002)");
+                std::process::exit(2);
+            }
+        },
+    };
     eprint!("building TPC-D database at scale {scale}... ");
     let started = Instant::now();
     let mut db = Database::build(&DbConfig {
