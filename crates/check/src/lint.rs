@@ -39,7 +39,9 @@ use crate::lexer::{lex, Token, TokenKind};
 
 /// Crates whose non-test library code must stay free of
 /// `unwrap()`/`expect()` (rule 3). Grows as crates are converted.
-const PANIC_FREE_CRATES: &[&str] = &["trace", "memsim", "shmem", "check", "sql", "query"];
+const PANIC_FREE_CRATES: &[&str] = &[
+    "trace", "memsim", "shmem", "check", "sql", "query", "faultkit",
+];
 
 /// Binary and example roots also held to rule 3 (entry points should report
 /// errors, not abort), relative to the workspace root.

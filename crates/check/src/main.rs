@@ -5,12 +5,17 @@
 //! dss-check races       # happens-before race detection over Q3/Q6/Q12
 //! dss-check invariants  # coherence invariants over the baseline suite
 //! dss-check alloc       # allocation audit of Machine::run (counting allocator)
+//! dss-check fault       # fault-injection campaign: every fault detected
 //! dss-check all         # everything above
 //! ```
 //!
 //! `alloc` options: `--report PATH` writes the measured budget JSON to
 //! `PATH`; `--update` regenerates the committed
 //! `crates/check/alloc-budget.json` instead of diffing against it.
+//!
+//! `fault` options: `--seed N` replays the campaign's exact corruption
+//! schedule under seed `N` (default 1); same seed, same schedule, on any
+//! machine.
 //!
 //! Exits 0 when every requested pass is clean, 1 on any finding, 2 on usage
 //! or environment errors. Build with `--features check-invariants` to also
@@ -44,21 +49,24 @@ static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str);
-    let (run_lint, run_races, run_invariants, run_alloc) = match mode {
-        Some("lint") => (true, false, false, false),
-        Some("races") => (false, true, false, false),
-        Some("invariants") => (false, false, true, false),
-        Some("alloc") => (false, false, false, true),
-        Some("all") => (true, true, true, true),
+    let (run_lint, run_races, run_invariants, run_alloc, run_fault) = match mode {
+        Some("lint") => (true, false, false, false, false),
+        Some("races") => (false, true, false, false, false),
+        Some("invariants") => (false, false, true, false, false),
+        Some("alloc") => (false, false, false, true, false),
+        Some("fault") => (false, false, false, false, true),
+        Some("all") => (true, true, true, true, true),
         _ => {
             eprintln!(
-                "usage: dss-check <lint|races|invariants|alloc|all> [--report PATH] [--update]"
+                "usage: dss-check <lint|races|invariants|alloc|fault|all> \
+                 [--report PATH] [--update] [--seed N]"
             );
             return ExitCode::from(2);
         }
     };
     let mut report_path: Option<String> = None;
     let mut update = false;
+    let mut seed = 1u64;
     let mut rest = args[1..].iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -70,6 +78,13 @@ fn main() -> ExitCode {
                 }
             },
             "--update" => update = true,
+            "--seed" => match rest.next().map(|s| s.parse::<u64>()) {
+                Some(Ok(n)) => seed = n,
+                _ => {
+                    eprintln!("--seed requires an unsigned integer");
+                    return ExitCode::from(2);
+                }
+            },
             other => {
                 eprintln!("unknown option `{other}`");
                 return ExitCode::from(2);
@@ -78,6 +93,9 @@ fn main() -> ExitCode {
     }
 
     let mut findings = 0usize;
+    if run_fault {
+        findings += fault_campaign(seed);
+    }
     if run_lint {
         match lint() {
             Ok(n) => findings += n,
@@ -114,6 +132,35 @@ fn main() -> ExitCode {
         println!("dss-check: clean");
         ExitCode::SUCCESS
     }
+}
+
+/// Runs the fault-injection campaign: every registered site corrupts its
+/// layer's input under a seed-derived schedule, and any fault the layer
+/// absorbs (or any site that could not run) is a finding.
+fn fault_campaign(seed: u64) -> usize {
+    let reports = dss_faultkit::run_campaign(seed);
+    let mut findings = 0usize;
+    for r in &reports {
+        match &r.outcome {
+            dss_faultkit::Outcome::Detected { classification } => {
+                println!("fault: {}: detected, classified `{classification}`", r.site);
+            }
+            dss_faultkit::Outcome::Absorbed { detail } => {
+                eprintln!("fault: {}: ABSORBED — {detail}", r.site);
+                findings += 1;
+            }
+            dss_faultkit::Outcome::Skipped { reason } => {
+                eprintln!("fault: {}: skipped — {reason}", r.site);
+                findings += 1;
+            }
+        }
+    }
+    println!(
+        "fault: {} site(s) injected under seed {seed}, {} finding(s)",
+        reports.len(),
+        findings
+    );
+    findings
 }
 
 /// Runs the workspace lint; returns the number of findings.
@@ -262,13 +309,14 @@ fn alloc_audit(
     }
     let json = measured.to_json();
     if let Some(path) = report_path {
-        std::fs::write(path, &json).map_err(|e| format!("writing {path}: {e}"))?;
+        dss_core::write_atomic(std::path::Path::new(path), json.as_bytes())
+            .map_err(|e| format!("writing report: {e}"))?;
     }
 
     let mut problems: Vec<String> = Vec::new();
     if update {
-        std::fs::write(&budget_path, &json)
-            .map_err(|e| format!("writing {}: {e}", budget_path.display()))?;
+        dss_core::write_atomic(&budget_path, json.as_bytes())
+            .map_err(|e| format!("writing budget: {e}"))?;
         println!("alloc: budget written to {}", budget_path.display());
         // Even a freshly written budget must uphold the invariant the audit
         // exists for: a warmed Machine::run never touches the heap.

@@ -137,3 +137,36 @@ fn injected_per_event_allocation_is_caught() {
         report.allocs
     );
 }
+
+/// Sabotage for the race detector's well-formedness gate: a trace cut short
+/// (as a truncated trace file would be) leaves a lock held at end-of-trace,
+/// and the detector must refuse to analyze it rather than replay a schedule
+/// whose critical section never closes.
+#[test]
+fn truncated_trace_with_held_lock_is_rejected() {
+    use dss_check::RaceAnalysisError;
+    use dss_trace::LockDisciplineError;
+
+    let mut wb = workbench();
+    let traces = wb.traces(6, 0);
+    let mut traces: Vec<Trace> = traces.to_vec();
+    // Cut processor 1's trace right after its first lock acquire — the
+    // in-memory shape of a file that ended before the release was written.
+    let acquire_at = traces[1]
+        .events
+        .iter()
+        .position(|e| matches!(e, Event::LockAcquire(_)))
+        .expect("Q6 takes locks");
+    traces[1].events.truncate(acquire_at + 1);
+
+    match detect_races(&traces) {
+        Err(RaceAnalysisError::Discipline {
+            proc_id,
+            error: LockDisciplineError::HeldAtEnd { index, .. },
+        }) => {
+            assert_eq!(proc_id, 1, "the cut trace is named");
+            assert_eq!(index, acquire_at, "the unmatched acquire is named");
+        }
+        other => panic!("truncated trace not rejected as held-at-end: {other:?}"),
+    }
+}

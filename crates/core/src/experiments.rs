@@ -11,11 +11,17 @@
 //! The original free functions (`line_size_sweep(&mut wb, q)` and friends)
 //! remain as thin deprecated wrappers for one release.
 
+use std::panic::resume_unwind;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
 use dss_memsim::{Machine, MachineConfig, SimStats};
 use dss_query::{Database, PlanFeatures};
 use dss_tpcd::params;
 
-use crate::sim::run_tasks;
+use crate::degrade::PointError;
+use crate::sim::{run_point, run_soft, SoftFailure};
 use crate::workload::{TraceSet, Workbench};
 
 /// L2 line sizes swept by Figures 8 and 9 (L1 lines are half).
@@ -120,55 +126,138 @@ pub struct ProtocolAblation {
 }
 
 impl Workbench {
-    /// Fans `configs` over `traces` on this workbench's worker threads (see
-    /// [`Workbench::jobs`]), recording compute time for
+    /// Fans labeled `(config, trace set)` points across this workbench's
+    /// worker threads, recording compute time for
     /// [`Workbench::take_sim_compute`].
-    fn fan_out(&self, traces: &TraceSet, configs: &[MachineConfig]) -> Vec<SimStats> {
+    ///
+    /// Fail-hard (the default): a panicking point propagates, exactly as
+    /// [`crate::sim_points`] does, and every slot is `Some`. Fail-soft
+    /// ([`Workbench::set_fail_soft`]): each point runs under `catch_unwind`
+    /// with the optional point deadline, a failed point is recorded as a
+    /// [`PointError`] under its label and yields `None`, and the remaining
+    /// points still run. The sabotage hook ([`Workbench::set_sabotage`])
+    /// panics the matching point in either mode.
+    fn fan_out_labeled(
+        &mut self,
+        labels: &[String],
+        tasks: &[(MachineConfig, TraceSet)],
+        seed: u64,
+    ) -> Vec<Option<SimStats>> {
+        debug_assert_eq!(labels.len(), tasks.len());
+        let sabotage = self.sabotage.clone();
+        let clock = Arc::clone(&self.sim_nanos);
+        let points: Vec<_> = tasks
+            .iter()
+            .zip(labels)
+            .map(|((cfg, traces), label)| {
+                let sabotage = sabotage.as_deref();
+                let clock = &clock;
+                move || {
+                    if sabotage == Some(label.as_str()) {
+                        panic!("injected: sweep point {label} sabotaged");
+                    }
+                    let start = Instant::now();
+                    let stats = run_point(cfg, traces);
+                    clock.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    stats
+                }
+            })
+            .collect();
+        let deadline = if self.fail_soft {
+            self.point_deadline
+        } else {
+            None
+        };
+        let outcomes = run_soft(self.jobs(), &points, deadline);
+        drop(points);
+        outcomes
+            .into_iter()
+            .zip(labels)
+            .map(|(outcome, label)| match outcome {
+                Ok(stats) => Some(stats),
+                Err(failure) if self.fail_soft => {
+                    self.point_errors.push(PointError {
+                        site: label.clone(),
+                        cause: failure.cause,
+                        seed,
+                    });
+                    None
+                }
+                Err(SoftFailure {
+                    payload: Some(payload),
+                    ..
+                }) => resume_unwind(payload),
+                Err(failure) => panic!("sweep point {label} failed: {}", failure.cause),
+            })
+            .collect()
+    }
+
+    /// Fans `configs` over one shared trace set (the common sweep shape).
+    fn fan_out(
+        &mut self,
+        traces: &TraceSet,
+        configs: &[MachineConfig],
+        labels: &[String],
+    ) -> Vec<Option<SimStats>> {
         let tasks: Vec<(MachineConfig, TraceSet)> = configs
             .iter()
             .map(|c| (c.clone(), traces.clone()))
             .collect();
-        run_tasks(self.jobs(), &tasks, &self.sim_nanos)
-    }
-
-    /// Fans fully independent `(config, trace set)` pairs — experiments whose
-    /// points differ in workload, not just machine.
-    fn fan_out_tasks(&self, tasks: &[(MachineConfig, TraceSet)]) -> Vec<SimStats> {
-        run_tasks(self.jobs(), tasks, &self.sim_nanos)
+        self.fan_out_labeled(labels, &tasks, 0)
     }
 
     /// Runs the baseline architecture for one query.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the point fails — even in fail-soft mode, since there is no
+    /// partial result to return (the failure is still recorded first).
     pub fn baseline_run(&mut self, query: u8) -> QueryBaseline {
-        self.baseline_suite(&[query]).remove(0)
+        let mut suite = self.baseline_suite(&[query]);
+        assert!(
+            !suite.is_empty(),
+            "baseline point for Q{query} failed (see point errors)"
+        );
+        suite.remove(0)
     }
 
     /// Runs the baseline for a set of queries (default: the three studied
-    /// ones), one sweep point per query.
+    /// ones), one sweep point per query. In fail-soft mode, failed points
+    /// are skipped (and recorded as [`PointError`]s).
     pub fn baseline_suite(&mut self, queries: &[u8]) -> Vec<QueryBaseline> {
         let tasks: Vec<(MachineConfig, TraceSet)> = queries
             .iter()
             .map(|&q| (MachineConfig::baseline(), self.traces(q, 0)))
             .collect();
-        let stats = self.fan_out_tasks(&tasks);
+        let labels: Vec<String> = queries
+            .iter()
+            .map(|&q| format!("fig6/Q{q}/baseline"))
+            .collect();
+        let stats = self.fan_out_labeled(&labels, &tasks, 0);
         queries
             .iter()
             .zip(stats)
-            .map(|(&query, stats)| QueryBaseline { query, stats })
+            .filter_map(|(&query, stats)| stats.map(|stats| QueryBaseline { query, stats }))
             .collect()
     }
 
-    /// Figures 8 and 9: sweep the cache line size for one query.
+    /// Figures 8 and 9: sweep the cache line size for one query. In
+    /// fail-soft mode, failed points are skipped (and recorded).
     pub fn line_size_sweep(&mut self, query: u8) -> Vec<LinePoint> {
         let traces = self.traces(query, 0);
         let configs: Vec<MachineConfig> = LINE_SIZES
             .iter()
             .map(|&l| MachineConfig::baseline().with_line_size(l))
             .collect();
-        let stats = self.fan_out(&traces, &configs);
+        let labels: Vec<String> = LINE_SIZES
+            .iter()
+            .map(|&l| format!("fig8/Q{query}/l2_line={l}"))
+            .collect();
+        let stats = self.fan_out(&traces, &configs, &labels);
         LINE_SIZES
             .iter()
             .zip(stats)
-            .map(|(&l2_line, stats)| LinePoint { l2_line, stats })
+            .filter_map(|(&l2_line, stats)| stats.map(|stats| LinePoint { l2_line, stats }))
             .collect()
     }
 
@@ -180,28 +269,44 @@ impl Workbench {
             .iter()
             .map(|&(l1, l2)| MachineConfig::baseline().with_cache_sizes(l1 * 1024, l2 * 1024))
             .collect();
-        let stats = self.fan_out(&traces, &configs);
+        let labels: Vec<String> = CACHE_SIZES_KB
+            .iter()
+            .map(|&(l1, l2)| format!("fig10/Q{query}/l1_kb={l1}_l2_kb={l2}"))
+            .collect();
+        let stats = self.fan_out(&traces, &configs, &labels);
         CACHE_SIZES_KB
             .iter()
             .zip(stats)
-            .map(|(&(l1_kb, l2_kb), stats)| CachePoint {
-                l1_kb,
-                l2_kb,
-                stats,
+            .filter_map(|(&(l1_kb, l2_kb), stats)| {
+                stats.map(|stats| CachePoint {
+                    l1_kb,
+                    l2_kb,
+                    stats,
+                })
             })
             .collect()
     }
 
     /// Figure 13: the Section 6 prefetching experiment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either point fails — the pair is meaningless without both
+    /// (in fail-soft mode the failure is still recorded first).
     pub fn prefetch_experiment(&mut self, query: u8) -> PrefetchPair {
         let traces = self.traces(query, 0);
         let configs = [
             MachineConfig::baseline(),
             MachineConfig::baseline().with_data_prefetch(PREFETCH_LINES),
         ];
-        let mut stats = self.fan_out(&traces, &configs);
-        let opt = stats.pop().expect("two points");
-        let base = stats.pop().expect("two points");
+        let labels = vec![
+            format!("fig13/Q{query}/prefetch=0"),
+            format!("fig13/Q{query}/prefetch={PREFETCH_LINES}"),
+        ];
+        let mut stats = self.fan_out(&traces, &configs, &labels);
+        let lost = || panic!("fig13/Q{query} lost a sweep point (see point errors)");
+        let opt = stats.pop().flatten().unwrap_or_else(lost);
+        let base = stats.pop().flatten().unwrap_or_else(lost);
         PrefetchPair { query, base, opt }
     }
 
@@ -212,20 +317,39 @@ impl Workbench {
             .iter()
             .map(|&d| MachineConfig::baseline().with_data_prefetch(d))
             .collect();
-        let stats = self.fan_out(&traces, &configs);
-        PREFETCH_DEGREES.iter().copied().zip(stats).collect()
+        let labels: Vec<String> = PREFETCH_DEGREES
+            .iter()
+            .map(|&d| format!("prefetch-depth/Q{query}/degree={d}"))
+            .collect();
+        let stats = self.fan_out(&traces, &configs, &labels);
+        PREFETCH_DEGREES
+            .iter()
+            .copied()
+            .zip(stats)
+            .filter_map(|(d, stats)| stats.map(|stats| (d, stats)))
+            .collect()
     }
 
     /// Runs the MSI-vs-MESI ablation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either point fails — the ablation is meaningless without
+    /// both (in fail-soft mode the failure is still recorded first).
     pub fn protocol_ablation(&mut self, query: u8) -> ProtocolAblation {
         let traces = self.traces(query, 0);
         let configs = [
             MachineConfig::baseline(),
             MachineConfig::baseline().with_protocol(dss_memsim::Protocol::Mesi),
         ];
-        let mut stats = self.fan_out(&traces, &configs);
-        let mesi = stats.pop().expect("two points");
-        let msi = stats.pop().expect("two points");
+        let labels = vec![
+            format!("protocol/Q{query}/msi"),
+            format!("protocol/Q{query}/mesi"),
+        ];
+        let mut stats = self.fan_out(&traces, &configs, &labels);
+        let lost = || panic!("protocol/Q{query} lost a sweep point (see point errors)");
+        let mesi = stats.pop().flatten().unwrap_or_else(lost);
+        let msi = stats.pop().flatten().unwrap_or_else(lost);
         ProtocolAblation { query, msi, mesi }
     }
 
@@ -238,10 +362,19 @@ impl Workbench {
             .iter()
             .map(|&n| MachineConfig::baseline().with_processors(n))
             .collect();
+        let labels: Vec<String> = PROC_COUNTS
+            .iter()
+            .map(|&n| format!("scaling/Q{query}/nprocs={n}"))
+            .collect();
         // sim_points runs each config over the leading `nprocs` traces, which
         // is exactly the scaling subset.
-        let stats = self.fan_out(&traces, &configs);
-        PROC_COUNTS.iter().copied().zip(stats).collect()
+        let stats = self.fan_out(&traces, &configs, &labels);
+        PROC_COUNTS
+            .iter()
+            .copied()
+            .zip(stats)
+            .filter_map(|(n, stats)| stats.map(|stats| (n, stats)))
+            .collect()
     }
 
     /// Figure 12: inter-query temporal locality with very large caches.

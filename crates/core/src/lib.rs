@@ -16,6 +16,9 @@
 //!   free-function forms of the [`Workbench`] methods).
 //! * [`report`] — ASCII renderings in the paper's chart shapes.
 //! * [`paper`] — the paper's claims as executable shape checks.
+//! * [`PointError`] / [`write_atomic`] — graceful degradation: structured
+//!   records of failed sweep points (fail-soft mode) and atomic artifact
+//!   persistence for everything the workbench writes to disk.
 //!
 //! # Example
 //!
@@ -30,11 +33,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod degrade;
 pub mod experiments;
 pub mod paper;
+mod persist;
 pub mod report;
 mod sim;
 mod workload;
 
+pub use degrade::{PointCause, PointError};
+pub use persist::write_atomic;
 pub use sim::sim_points;
 pub use workload::{query_label, TraceSet, Workbench, STUDIED_QUERIES};

@@ -1,0 +1,92 @@
+//! Atomic artifact persistence.
+//!
+//! Every artifact the workbench writes — `repro --bench-json` timing logs,
+//! `dss-check alloc` budgets, `traceinfo` reports — is consumed by tools
+//! (CI diffs, ratchet gates) that assume the file is either the *old*
+//! complete document or the *new* complete document. A plain
+//! `File::create` + write gives a third state: a torn prefix left behind by
+//! a crash or `SIGKILL` mid-write, which then poisons the next run's diff.
+//! [`write_atomic`] closes that window with the classic
+//! write-temp-then-rename protocol: the bytes land in a temporary sibling
+//! file (same directory, so the rename cannot cross filesystems), are
+//! flushed and fsynced, and only then renamed over the destination — which
+//! POSIX guarantees is atomic.
+
+use std::fs::File;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Names a temporary sibling of `path` in the same directory. The process id
+/// keeps concurrent writers from clobbering each other's temp files.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// Writes `contents` to `path` atomically: after this returns, `path` holds
+/// either its previous contents or all of `contents` — never a torn prefix,
+/// even if the process is killed mid-call.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error (temp-file creation, write, fsync, or
+/// rename), with the destination path in the message. On error the
+/// temporary file is removed and the destination is untouched.
+pub fn write_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let result = (|| {
+        let mut f = File::create(&tmp)?;
+        f.write_all(contents)?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result.map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dss-persist-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_replaces_whole_documents() {
+        let dir = temp_dir("replace");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"{\"v\": 1}").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"{\"v\": 1}");
+        write_atomic(&path, b"{\"v\": 2, \"longer\": true}").unwrap();
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"{\"v\": 2, \"longer\": true}"
+        );
+        // No temp droppings left next to the artifact.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_leaves_destination_untouched() {
+        let dir = temp_dir("fail");
+        let path = dir.join("artifact.json");
+        write_atomic(&path, b"original").unwrap();
+        // Writing into a directory that does not exist fails before any
+        // rename can happen.
+        let bad = dir.join("missing-subdir").join("artifact.json");
+        let err = write_atomic(&bad, b"new").unwrap_err();
+        assert!(err.to_string().contains("artifact.json"));
+        assert_eq!(std::fs::read(&path).unwrap(), b"original");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

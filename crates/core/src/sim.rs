@@ -10,13 +10,16 @@
 //! replay studies do, and [`sim_points`] makes them embarrassingly parallel
 //! with no dependencies beyond `std::thread::scope`.
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dss_memsim::{Machine, MachineConfig, SimStats};
 use dss_trace::Trace;
 
+use crate::degrade::PointCause;
 use crate::workload::TraceSet;
 
 /// Runs one simulation per config over a shared trace set, on up to `jobs`
@@ -41,9 +44,137 @@ pub fn sim_points(traces: &TraceSet, configs: &[MachineConfig], jobs: usize) -> 
 }
 
 /// One simulation point: a fresh machine over the leading `nprocs` traces.
-fn run_point(cfg: &MachineConfig, traces: &[Trace]) -> SimStats {
+pub(crate) fn run_point(cfg: &MachineConfig, traces: &[Trace]) -> SimStats {
     let take = cfg.nprocs.min(traces.len());
     Machine::new(cfg.clone()).run(&traces[..take])
+}
+
+/// A point failure as the runner sees it: the public classification plus the
+/// original panic payload, so hard-mode callers can re-raise it unchanged.
+pub(crate) struct SoftFailure {
+    /// The classification exposed as [`crate::PointError`].
+    pub cause: PointCause,
+    /// The panic payload, when the cause was a panic.
+    pub payload: Option<Box<dyn Any + Send>>,
+}
+
+/// Renders a panic payload the way the default hook would.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `points` on up to `jobs` threads, preserving order, with each point
+/// under `catch_unwind` and an optional per-point `deadline`.
+///
+/// A panicking point yields `Err(SoftFailure)` carrying its payload; the
+/// remaining points still run (the scope is never poisoned). With a deadline
+/// set, a watchdog thread flags points that outrun it — the flagged point's
+/// result is *discarded* (classified [`PointCause::TimedOut`]) even if the
+/// computation eventually finishes, so outputs never depend on how late a
+/// slow point was. The watchdog classifies and warns; it cannot preempt a
+/// runaway simulation, so a wedged point still delays completion of the run
+/// (but no longer decides its outcome).
+///
+/// With no deadline and no panics this is behaviorally identical to
+/// [`run_tasks`]: bit-identical results at any job count.
+pub(crate) fn run_soft<T, F>(
+    jobs: usize,
+    points: &[F],
+    deadline: Option<Duration>,
+) -> Vec<Result<T, SoftFailure>>
+where
+    T: Send,
+    F: Fn() -> T + Sync,
+{
+    let classify = |started: Instant, flagged: bool, outcome: Result<T, Box<dyn Any + Send>>| {
+        let late = deadline.is_some_and(|d| flagged || started.elapsed() > d);
+        match outcome {
+            _ if late => Err(SoftFailure {
+                cause: PointCause::TimedOut {
+                    limit_ms: deadline.unwrap_or_default().as_millis() as u64,
+                },
+                payload: None,
+            }),
+            Ok(v) => Ok(v),
+            Err(payload) => Err(SoftFailure {
+                cause: PointCause::Panicked(panic_message(payload.as_ref())),
+                payload: Some(payload),
+            }),
+        }
+    };
+    if jobs <= 1 || points.len() <= 1 {
+        return points
+            .iter()
+            .map(|f| {
+                let started = Instant::now();
+                classify(started, false, catch_unwind(AssertUnwindSafe(f)))
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
+    // Per-point watchdog state: nanoseconds since `base` when the point
+    // started (0 = not started), and whether the watchdog flagged it.
+    let base = Instant::now();
+    let started_at: Vec<AtomicU64> = (0..points.len()).map(|_| AtomicU64::new(0)).collect();
+    let flagged: Vec<AtomicBool> = (0..points.len()).map(|_| AtomicBool::new(false)).collect();
+    let results: Mutex<Vec<Option<Result<T, SoftFailure>>>> =
+        Mutex::new((0..points.len()).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(points.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(f) = points.get(i) else {
+                    break;
+                };
+                let started = Instant::now();
+                started_at[i].store(base.elapsed().as_nanos().max(1) as u64, Ordering::Release);
+                let outcome = catch_unwind(AssertUnwindSafe(f));
+                // Mark the point finished before reading its flag, so the
+                // watchdog stops considering it.
+                started_at[i].store(u64::MAX, Ordering::Release);
+                done.fetch_add(1, Ordering::Release);
+                let slot = classify(started, flagged[i].load(Ordering::Acquire), outcome);
+                results.lock().expect("no poisoned workers")[i] = Some(slot);
+            });
+        }
+        if let Some(limit) = deadline {
+            let (done, started_at, flagged) = (&done, &started_at, &flagged);
+            scope.spawn(move || {
+                let tick = (limit / 4).clamp(Duration::from_millis(1), Duration::from_millis(50));
+                while done.load(Ordering::Acquire) < points.len() {
+                    std::thread::sleep(tick);
+                    let now = base.elapsed().as_nanos() as u64;
+                    for i in 0..points.len() {
+                        let at = started_at[i].load(Ordering::Acquire);
+                        if at != 0
+                            && at != u64::MAX
+                            && !flagged[i].load(Ordering::Acquire)
+                            && now.saturating_sub(at) > limit.as_nanos() as u64
+                        {
+                            flagged[i].store(true, Ordering::Release);
+                            eprintln!(
+                                "  watchdog: sweep point {i} exceeded its {limit:?} deadline — \
+                                 its result will be discarded"
+                            );
+                        }
+                    }
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|slot| slot.expect("every point ran"))
+        .collect()
 }
 
 /// Runs `(config, trace set)` tasks on up to `jobs` threads, preserving task
@@ -54,42 +185,29 @@ pub(crate) fn run_tasks(
     tasks: &[(MachineConfig, TraceSet)],
     clock: &AtomicU64,
 ) -> Vec<SimStats> {
-    let timed = |cfg: &MachineConfig, traces: &[Trace]| {
-        let start = Instant::now();
-        let stats = run_point(cfg, traces);
-        clock.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        stats
-    };
-    if jobs <= 1 || tasks.len() <= 1 {
-        return tasks
-            .iter()
-            .map(|(cfg, traces)| timed(cfg, traces))
-            .collect();
-    }
-    // Work-stealing by atomic ticket: threads claim the next unstarted point,
-    // so an expensive point (say, the 16-byte-line sweep entry) never strands
-    // the remaining work behind it. Results land in their task's slot, which
-    // keeps the output order — and therefore every rendered table —
-    // independent of the interleaving.
-    let next = AtomicUsize::new(0);
-    let results = Mutex::new(vec![None; tasks.len()]);
-    std::thread::scope(|scope| {
-        for _ in 0..jobs.min(tasks.len()) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((cfg, traces)) = tasks.get(i) else {
-                    break;
-                };
-                let stats = timed(cfg, traces);
-                results.lock().expect("no poisoned workers")[i] = Some(stats);
-            });
-        }
-    });
-    results
-        .into_inner()
-        .expect("workers joined")
+    let points: Vec<_> = tasks
+        .iter()
+        .map(|(cfg, traces)| {
+            move || {
+                let start = Instant::now();
+                let stats = run_point(cfg, traces);
+                clock.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                stats
+            }
+        })
+        .collect();
+    run_soft(jobs, &points, None)
         .into_iter()
-        .map(|slot| slot.expect("every point simulated"))
+        .map(|slot| match slot {
+            Ok(stats) => stats,
+            // Hard mode: re-raise the first failing point's panic unchanged
+            // (the remaining points already ran; no work is re-entered).
+            Err(SoftFailure {
+                payload: Some(payload),
+                ..
+            }) => resume_unwind(payload),
+            Err(failure) => panic!("sweep point failed: {}", failure.cause),
+        })
         .collect()
 }
 

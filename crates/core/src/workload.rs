@@ -9,6 +9,8 @@ use dss_query::{Database, DbConfig, Session};
 use dss_tpcd::params;
 use dss_trace::Trace;
 
+use crate::degrade::PointError;
+
 /// A shared, immutable set of per-processor traces.
 ///
 /// Trace *generation* needs `&mut` access to the database (buffer-cache and
@@ -68,6 +70,18 @@ pub struct Workbench {
     /// Cumulative per-point simulation compute time (nanoseconds), summed
     /// across worker threads; lets callers report parallel speedup.
     pub(crate) sim_nanos: Arc<AtomicU64>,
+    /// Fail-soft mode: sweep points run under `catch_unwind`, failures become
+    /// [`PointError`]s instead of aborting the sweep. Off by default (a
+    /// failing point panics the caller, exactly as before).
+    pub(crate) fail_soft: bool,
+    /// Optional per-point deadline enforced (in fail-soft mode) by the sweep
+    /// watchdog.
+    pub(crate) point_deadline: Option<Duration>,
+    /// Fault-injection hook: the label of one sweep point to sabotage (it
+    /// panics instead of simulating), for exercising the degradation path.
+    pub(crate) sabotage: Option<String>,
+    /// Point failures accumulated by fail-soft sweeps since the last drain.
+    pub(crate) point_errors: Vec<PointError>,
 }
 
 impl Workbench {
@@ -87,6 +101,10 @@ impl Workbench {
             cache: HashMap::new(),
             order: Vec::new(),
             sim_nanos: Arc::new(AtomicU64::new(0)),
+            fail_soft: false,
+            point_deadline: None,
+            sabotage: None,
+            point_errors: Vec::new(),
         }
     }
 
@@ -128,6 +146,47 @@ impl Workbench {
     pub fn with_jobs(mut self, jobs: usize) -> Self {
         self.set_jobs(jobs);
         self
+    }
+
+    /// Enables (or disables) fail-soft sweeps. In fail-soft mode each sweep
+    /// point runs under `catch_unwind` with the optional
+    /// [`Workbench::set_point_deadline`] watchdog; a failed point becomes a
+    /// [`PointError`] (drained with [`Workbench::take_point_errors`]) and the
+    /// remaining points still run. Off (the default) reproduces the original
+    /// fail-hard behavior: the first panicking point propagates.
+    ///
+    /// With no faults, fail-soft results are bit-identical to fail-hard ones
+    /// at any job count.
+    pub fn set_fail_soft(&mut self, on: bool) {
+        self.fail_soft = on;
+    }
+
+    /// Sets the per-point deadline for fail-soft sweeps (`None` disables the
+    /// watchdog). A point that outruns the deadline is classified
+    /// [`crate::PointCause::TimedOut`] and its result is discarded — the
+    /// watchdog cannot preempt a wedged simulation, so the run still waits
+    /// for it, but its outcome no longer depends on how late it finished.
+    pub fn set_point_deadline(&mut self, deadline: Option<Duration>) {
+        self.point_deadline = deadline;
+    }
+
+    /// Sabotages the sweep point whose label equals `label` (e.g.
+    /// `"fig8/Q6/l2_line=64"`): it panics instead of simulating. A
+    /// fault-injection hook for exercising the degradation path end to end;
+    /// `None` disables it.
+    pub fn set_sabotage(&mut self, label: Option<String>) {
+        self.sabotage = label;
+    }
+
+    /// Drains the point failures accumulated by fail-soft sweeps since the
+    /// last call, in sweep order.
+    pub fn take_point_errors(&mut self) -> Vec<PointError> {
+        std::mem::take(&mut self.point_errors)
+    }
+
+    /// Number of point failures accumulated and not yet drained.
+    pub fn point_error_count(&self) -> usize {
+        self.point_errors.len()
     }
 
     /// Number of trace sets currently cached (bounded by the cache's slot

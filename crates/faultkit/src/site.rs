@@ -1,0 +1,526 @@
+//! The fault-site registry: every injection the campaign performs, as a
+//! static table so coverage is enumerable (and `dss-check fault` can assert
+//! all of it ran).
+//!
+//! Each site is a pure function from a seeded RNG to an [`Outcome`]: it
+//! builds a healthy fixture, corrupts it in one specific seeded way, feeds
+//! it to the layer under test, and demands the layer reject it *with the
+//! right classification* — a rejection with the wrong label is
+//! [`Outcome::Absorbed`], because a mislabeled fault sends an operator
+//! hunting in the wrong layer.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use dss_memsim::{Machine, MachineConfig};
+use dss_tpcd::{from_tbl, table_def, ColType, TableDef};
+use dss_trace::{
+    check_lock_discipline, read_trace, write_trace, DataClass, LockClass, LockDisciplineError,
+    LockToken, Trace, Tracer,
+};
+
+use crate::Outcome;
+
+/// One named fault-injection site.
+pub struct Site {
+    /// Stable dotted name, `layer.component.fault` (e.g.
+    /// `"trace.io.bit-flip"`): the seed of the site's RNG stream and the key
+    /// campaign reports are compared by.
+    pub name: &'static str,
+    /// The layer under test, for grouping in reports.
+    pub layer: &'static str,
+    /// The classification the layer must produce for the fault.
+    pub expect: &'static str,
+    /// Injects the fault and reports what the layer did.
+    pub run: fn(&mut StdRng) -> Outcome,
+}
+
+/// Every registered site, in stable order. The cache-state site needs the
+/// per-transaction observer and is compiled in only with `check-invariants`.
+pub fn sites() -> &'static [Site] {
+    SITES
+}
+
+static SITES: &[Site] = &[
+    Site {
+        name: "trace.io.empty-file",
+        layer: "trace codec",
+        expect: "truncated",
+        run: empty_file,
+    },
+    Site {
+        name: "trace.io.bad-magic",
+        layer: "trace codec",
+        expect: "bad-magic",
+        run: bad_magic,
+    },
+    Site {
+        name: "trace.io.header-only",
+        layer: "trace codec",
+        expect: "truncated",
+        run: header_only,
+    },
+    Site {
+        name: "trace.io.truncated-event",
+        layer: "trace codec",
+        expect: "truncated",
+        run: truncated_event,
+    },
+    Site {
+        name: "trace.io.count-overrun",
+        layer: "trace codec",
+        expect: "truncated",
+        run: count_overrun,
+    },
+    Site {
+        name: "trace.io.bit-flip",
+        layer: "trace codec",
+        expect: "any classified error",
+        run: bit_flip,
+    },
+    Site {
+        name: "trace.io.bad-tag",
+        layer: "trace codec",
+        expect: "corrupt",
+        run: bad_tag,
+    },
+    Site {
+        name: "trace.io.bad-class",
+        layer: "trace codec",
+        expect: "corrupt",
+        run: bad_class,
+    },
+    Site {
+        name: "trace.io.bad-lock-class",
+        layer: "trace codec",
+        expect: "corrupt",
+        run: bad_lock_class,
+    },
+    Site {
+        name: "trace.check.lock-truncated",
+        layer: "trace semantics",
+        expect: "lock-held-at-end",
+        run: lock_truncated,
+    },
+    Site {
+        name: "trace.check.stray-release",
+        layer: "trace semantics",
+        expect: "release-unheld",
+        run: stray_release,
+    },
+    Site {
+        name: "tpcd.tbl.arity",
+        layer: "database loader",
+        expect: "field-count mismatch",
+        run: tbl_arity,
+    },
+    Site {
+        name: "tpcd.tbl.bad-int",
+        layer: "database loader",
+        expect: "bad integer",
+        run: tbl_bad_int,
+    },
+    Site {
+        name: "tpcd.tbl.bad-date",
+        layer: "database loader",
+        expect: "bad date",
+        run: tbl_bad_date,
+    },
+    Site {
+        name: "tpcd.tbl.bad-decimal",
+        layer: "database loader",
+        expect: "bad decimal",
+        run: tbl_bad_decimal,
+    },
+    Site {
+        name: "memsim.dir.sharer-mask",
+        layer: "coherence state",
+        expect: "invariant violation",
+        run: dir_sharer_mask,
+    },
+    Site {
+        name: "memsim.dir.stale-owner",
+        layer: "coherence state",
+        expect: "invariant violation",
+        run: dir_stale_owner,
+    },
+    #[cfg(feature = "check-invariants")]
+    Site {
+        name: "memsim.cache.state",
+        layer: "coherence state",
+        expect: "invariant violation",
+        run: cache_state,
+    },
+];
+
+// --- fixtures ---------------------------------------------------------------
+
+/// A small, representative trace: a data Ref first (the `bad-class` site
+/// targets its record), then a locked critical section and a busy spin.
+fn sample_trace(rng: &mut StdRng) -> Trace {
+    let t = Tracer::new(rng.gen_range(0..4usize));
+    let base = dss_shmem::SHARED_BASE + rng.gen_range(0..1024u64) * 64;
+    t.read(base, 8, DataClass::Data);
+    t.lock_acquire(LockToken::new(0x40, LockClass::LockMgr));
+    t.write(base + 64, 8, DataClass::Index);
+    t.lock_release(LockToken::new(0x40, LockClass::LockMgr));
+    t.busy(rng.gen_range(1..10_000u32));
+    t.take()
+}
+
+/// Serializes a trace; in-memory writes cannot fail, so a `None` here means
+/// the fixture itself is broken (reported as a skip by callers).
+fn encode(trace: &Trace) -> Option<Vec<u8>> {
+    let mut buf = Vec::new();
+    write_trace(trace, &mut buf).ok()?;
+    Some(buf)
+}
+
+fn skipped(reason: &str) -> Outcome {
+    Outcome::Skipped {
+        reason: reason.to_string(),
+    }
+}
+
+/// Feeds corrupted bytes to the decoder and demands error kind `want`.
+fn classify_read(bytes: &[u8], want: &str) -> Outcome {
+    match read_trace(bytes) {
+        Err(e) if e.kind() == want => Outcome::Detected {
+            classification: e.kind().to_string(),
+        },
+        Err(e) => Outcome::Absorbed {
+            detail: format!(
+                "detected, but classified {:?} where {want:?} was demanded: {e}",
+                e.kind()
+            ),
+        },
+        Ok(t) => Outcome::Absorbed {
+            detail: format!("decoded {} events from corrupt input", t.events.len()),
+        },
+    }
+}
+
+/// Feeds corrupted bytes to the decoder; any structured error counts (the
+/// bit-flip site cannot know which field a random bit lands in).
+fn classify_read_any(bytes: &[u8]) -> Outcome {
+    match read_trace(bytes) {
+        Err(e) => Outcome::Detected {
+            classification: e.kind().to_string(),
+        },
+        Ok(t) => Outcome::Absorbed {
+            detail: format!("decoded {} events from corrupt input", t.events.len()),
+        },
+    }
+}
+
+// --- trace codec sites ------------------------------------------------------
+
+/// A zero-byte trace file (created, never written).
+fn empty_file(_rng: &mut StdRng) -> Outcome {
+    classify_read(&[], "truncated")
+}
+
+/// One flipped bit inside the magic: the file is no longer a DSS trace.
+fn bad_magic(rng: &mut StdRng) -> Outcome {
+    let Some(mut buf) = encode(&sample_trace(rng)) else {
+        return skipped("trace fixture failed to encode");
+    };
+    let i = rng.gen_range(0..8usize);
+    buf[i] ^= 1u8 << rng.gen_range(0..8u32);
+    classify_read(&buf, "bad-magic")
+}
+
+/// Magic plus a partial header: the classic interrupted-write shape.
+fn header_only(rng: &mut StdRng) -> Outcome {
+    let Some(mut buf) = encode(&sample_trace(rng)) else {
+        return skipped("trace fixture failed to encode");
+    };
+    buf.truncate(8 + rng.gen_range(0..16usize));
+    classify_read(&buf, "truncated")
+}
+
+/// The stream cut somewhere inside the event section.
+fn truncated_event(rng: &mut StdRng) -> Outcome {
+    let Some(mut buf) = encode(&sample_trace(rng)) else {
+        return skipped("trace fixture failed to encode");
+    };
+    let body_end = buf.len() - 8;
+    buf.truncate(rng.gen_range(24..body_end));
+    classify_read(&buf, "truncated")
+}
+
+/// The header promises more events than the stream carries.
+fn count_overrun(rng: &mut StdRng) -> Outcome {
+    let Some(mut buf) = encode(&sample_trace(rng)) else {
+        return skipped("trace fixture failed to encode");
+    };
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&buf[16..24]);
+    let bumped = u64::from_le_bytes(word) + rng.gen_range(1..1000u64);
+    buf[16..24].copy_from_slice(&bumped.to_le_bytes());
+    classify_read(&buf, "truncated")
+}
+
+/// One flipped bit anywhere after the magic — header, any event field, or
+/// the checksum itself. Whatever it hits must surface as *some* error.
+fn bit_flip(rng: &mut StdRng) -> Outcome {
+    let Some(mut buf) = encode(&sample_trace(rng)) else {
+        return skipped("trace fixture failed to encode");
+    };
+    let pos = rng.gen_range(8..buf.len());
+    buf[pos] ^= 1u8 << rng.gen_range(0..8u32);
+    classify_read_any(&buf)
+}
+
+/// An impossible event tag in the first record.
+fn bad_tag(rng: &mut StdRng) -> Outcome {
+    let Some(mut buf) = encode(&sample_trace(rng)) else {
+        return skipped("trace fixture failed to encode");
+    };
+    buf[24] = rng.gen_range(4..=255u8);
+    classify_read(&buf, "corrupt")
+}
+
+/// An out-of-range data class in the first Ref record (the write bit is
+/// preserved so only the class is impossible).
+fn bad_class(rng: &mut StdRng) -> Outcome {
+    let Some(mut buf) = encode(&sample_trace(rng)) else {
+        return skipped("trace fixture failed to encode");
+    };
+    let class_byte = 24 + 9;
+    buf[class_byte] = (buf[class_byte] & 0x80) | rng.gen_range(10..=127u8);
+    classify_read(&buf, "corrupt")
+}
+
+/// An out-of-range lock class in the LockAcquire record (event 1).
+fn bad_lock_class(rng: &mut StdRng) -> Outcome {
+    let Some(mut buf) = encode(&sample_trace(rng)) else {
+        return skipped("trace fixture failed to encode");
+    };
+    buf[24 + 17 + 9] = rng.gen_range(3..=255u8);
+    classify_read(&buf, "corrupt")
+}
+
+// --- trace semantics sites --------------------------------------------------
+
+/// A trace that ends inside a critical section — what a truncated file looks
+/// like after the codec-level checks are bypassed (e.g. the cut happened to
+/// land on an event boundary of a checksum-less legacy trace).
+fn lock_truncated(rng: &mut StdRng) -> Outcome {
+    let t = Tracer::new(0);
+    let addr = 0x40 + rng.gen_range(0..64u64) * 8;
+    t.lock_acquire(LockToken::new(addr, LockClass::LockMgr));
+    t.read(dss_shmem::SHARED_BASE, 8, DataClass::LockHash);
+    // The release was lost with the tail of the file.
+    match check_lock_discipline(&t.take()) {
+        Err(LockDisciplineError::HeldAtEnd { .. }) => Outcome::Detected {
+            classification: "lock-held-at-end".to_string(),
+        },
+        Err(e) => Outcome::Absorbed {
+            detail: format!("detected, but classified as: {e}"),
+        },
+        Ok(()) => Outcome::Absorbed {
+            detail: "truncated critical section passed lock discipline".to_string(),
+        },
+    }
+}
+
+/// A release of a lock that was never acquired — the head-truncation dual of
+/// [`lock_truncated`].
+fn stray_release(rng: &mut StdRng) -> Outcome {
+    let t = Tracer::new(0);
+    let addr = 0x40 + rng.gen_range(0..64u64) * 8;
+    t.read(dss_shmem::SHARED_BASE, 8, DataClass::LockHash);
+    t.lock_release(LockToken::new(addr, LockClass::LockMgr));
+    match check_lock_discipline(&t.take()) {
+        Err(LockDisciplineError::ReleaseUnheld { .. }) => Outcome::Detected {
+            classification: "release-unheld".to_string(),
+        },
+        Err(e) => Outcome::Absorbed {
+            detail: format!("detected, but classified as: {e}"),
+        },
+        Ok(()) => Outcome::Absorbed {
+            detail: "stray release passed lock discipline".to_string(),
+        },
+    }
+}
+
+// --- database loader sites --------------------------------------------------
+
+/// A syntactically valid field for each column type.
+fn synth_row(def: &TableDef) -> Vec<String> {
+    def.columns
+        .iter()
+        .map(|c| match c.ty {
+            ColType::Int => "7".to_string(),
+            ColType::Dec => "7.50".to_string(),
+            ColType::Date => "1995-06-17".to_string(),
+            ColType::Str(_) => "x".to_string(),
+        })
+        .collect()
+}
+
+/// Renders fields as one dbgen-convention row (trailing delimiter).
+fn row_text(fields: &[String]) -> String {
+    let mut s = fields.join("|");
+    s.push('|');
+    s.push('\n');
+    s
+}
+
+/// Feeds a hostile row to the loader and demands a diagnostic mentioning
+/// `want` (the classification an operator would grep for).
+fn classify_tbl(def: &TableDef, text: &str, want: &str) -> Outcome {
+    match from_tbl(def, text) {
+        Err(e) if e.to_string().contains(want) => Outcome::Detected {
+            classification: format!("tbl: {want}"),
+        },
+        Err(e) => Outcome::Absorbed {
+            detail: format!("detected, but the diagnostic lacks {want:?}: {e}"),
+        },
+        Ok(rows) => Outcome::Absorbed {
+            detail: format!("loaded {} hostile rows", rows.len()),
+        },
+    }
+}
+
+/// A row with a field dropped or duplicated.
+fn tbl_arity(rng: &mut StdRng) -> Outcome {
+    let Some(def) = table_def("region") else {
+        return skipped("region schema missing");
+    };
+    let mut fields = synth_row(&def);
+    if rng.gen_bool(0.5) {
+        fields.pop();
+    } else {
+        fields.push("extra".to_string());
+    }
+    classify_tbl(&def, &row_text(&fields), "fields, found")
+}
+
+/// Junk in an integer column.
+fn tbl_bad_int(rng: &mut StdRng) -> Outcome {
+    let Some(def) = table_def("region") else {
+        return skipped("region schema missing");
+    };
+    let Some(col) = def.columns.iter().position(|c| c.ty == ColType::Int) else {
+        return skipped("region has no integer column");
+    };
+    let mut fields = synth_row(&def);
+    fields[col] = format!("{}x{}", rng.gen_range(0..100u32), rng.gen_range(0..100u32));
+    classify_tbl(&def, &row_text(&fields), "bad integer")
+}
+
+/// An impossible calendar date in a date column.
+fn tbl_bad_date(rng: &mut StdRng) -> Outcome {
+    let Some(def) = table_def("orders") else {
+        return skipped("orders schema missing");
+    };
+    let Some(col) = def.columns.iter().position(|c| c.ty == ColType::Date) else {
+        return skipped("orders has no date column");
+    };
+    let mut fields = synth_row(&def);
+    fields[col] = format!(
+        "1995-{}-{}",
+        rng.gen_range(13..99u32),
+        rng.gen_range(1..28u32)
+    );
+    classify_tbl(&def, &row_text(&fields), "bad date")
+}
+
+/// Junk in a decimal column.
+fn tbl_bad_decimal(rng: &mut StdRng) -> Outcome {
+    let Some(def) = table_def("orders") else {
+        return skipped("orders schema missing");
+    };
+    let Some(col) = def.columns.iter().position(|c| c.ty == ColType::Dec) else {
+        return skipped("orders has no decimal column");
+    };
+    let mut fields = synth_row(&def);
+    fields[col] = format!("x{}.00", rng.gen_range(0..100u32));
+    classify_tbl(&def, &row_text(&fields), "bad decimal")
+}
+
+// --- coherence state sites --------------------------------------------------
+
+/// A tiny two-node run with one read-shared line and one written line, so
+/// the directory holds both a sharer mask and an owner to corrupt.
+fn run_machine(rng: &mut StdRng) -> Machine {
+    let base = dss_shmem::SHARED_BASE + rng.gen_range(0..256u64) * 8192;
+    let t0 = Tracer::new(0);
+    t0.read(base, 8, DataClass::Data);
+    t0.write(base + 4096, 8, DataClass::LockHash);
+    let t1 = Tracer::new(1);
+    t1.busy(10_000);
+    t1.read(base, 8, DataClass::Data);
+    let mut m = Machine::new(MachineConfig::baseline());
+    m.run(&[t0.take(), t1.take()]);
+    m
+}
+
+/// Lines with live directory state, to pick a corruption target from.
+fn touched_lines(m: &Machine) -> Vec<u64> {
+    let mut lines = Vec::new();
+    m.for_each_directory_entry(|line, e| {
+        if e.sharers != 0 || e.owner.is_some() {
+            lines.push(line);
+        }
+    });
+    lines
+}
+
+fn classify_verify(m: &Machine) -> Outcome {
+    match m.verify_coherence() {
+        Err(v) => Outcome::Detected {
+            classification: v.rule.to_string(),
+        },
+        Ok(()) => Outcome::Absorbed {
+            detail: "corrupted state passed the invariant sweep".to_string(),
+        },
+    }
+}
+
+/// The sharer mask rewritten to list only a phantom node: the real cached
+/// copies vanish from the directory's view.
+fn dir_sharer_mask(rng: &mut StdRng) -> Outcome {
+    let mut m = run_machine(rng);
+    let lines = touched_lines(&m);
+    if lines.is_empty() {
+        return skipped("no directory state to corrupt");
+    }
+    let line = lines[rng.gen_range(0..lines.len())];
+    m.corrupt_directory_sharers(line, 1 << rng.gen_range(8..64u64));
+    classify_verify(&m)
+}
+
+/// The recorded owner swapped for a node that holds nothing.
+fn dir_stale_owner(rng: &mut StdRng) -> Outcome {
+    let mut m = run_machine(rng);
+    let lines = touched_lines(&m);
+    if lines.is_empty() {
+        return skipped("no directory state to corrupt");
+    }
+    let line = lines[rng.gen_range(0..lines.len())];
+    m.corrupt_directory_owner(line, Some(rng.gen_range(8..63usize)));
+    classify_verify(&m)
+}
+
+/// A shared L2 copy silently promoted to Modified — the cache now disagrees
+/// with the directory about who may write.
+#[cfg(feature = "check-invariants")]
+fn cache_state(rng: &mut StdRng) -> Outcome {
+    let mut m = run_machine(rng);
+    let mut shared = Vec::new();
+    m.for_each_directory_entry(|line, e| {
+        if e.sharers != 0 {
+            shared.push((line, e.sharers));
+        }
+    });
+    if shared.is_empty() {
+        return skipped("no shared line to corrupt");
+    }
+    let (line, sharers) = shared[rng.gen_range(0..shared.len())];
+    let node = sharers.trailing_zeros() as usize;
+    m.corrupt_cache_state(node, line, dss_memsim::LineState::Modified);
+    classify_verify(&m)
+}

@@ -166,6 +166,17 @@ impl Directory {
         self.slot_mut(line).sharers = sharers;
     }
 
+    /// Overwrites the recorded owner of `line` without any protocol action —
+    /// the stale-owner flavor of [`Directory::corrupt_sharers`], for the same
+    /// negative tests and fault-injection campaigns; never call it from
+    /// simulation code.
+    pub fn corrupt_owner(&mut self, line: u64, owner: Option<usize>) {
+        self.slot_mut(line).owner_plus1 = match owner {
+            Some(node) => u8::try_from(node + 1).unwrap_or(u8::MAX),
+            None => 0,
+        };
+    }
+
     /// Number of lines that have ever held directory state.
     pub fn len(&self) -> usize {
         self.touched as usize

@@ -214,6 +214,34 @@ impl Machine {
         let line = addr & self.l2_line_mask;
         self.dir.corrupt_sharers(line, sharers);
     }
+
+    /// Overwrites the directory's recorded owner for the line containing
+    /// `addr` without touching any cache — the stale-owner counterpart of
+    /// [`Machine::corrupt_directory_sharers`], for negative tests and the
+    /// fault-injection campaign. Never call this from simulation code.
+    pub fn corrupt_directory_owner(&mut self, addr: u64, owner: Option<usize>) {
+        let line = addr & self.l2_line_mask;
+        self.dir.corrupt_owner(line, owner);
+    }
+
+    /// Forces `node`'s L2 copy of the line containing `addr` into `state`
+    /// without any protocol action — cache-state corruption for the
+    /// fault-injection campaign, compiled only alongside the invariant
+    /// observer (`check-invariants`) that exists to catch it. Never call
+    /// this from simulation code.
+    ///
+    /// The line must be resident in that L2 (corrupting a non-resident line
+    /// is a no-op, so campaigns pick a line from
+    /// [`Cache::resident_lines`](crate::Cache::resident_lines)).
+    #[cfg(feature = "check-invariants")]
+    pub fn corrupt_cache_state(&mut self, node: usize, addr: u64, state: LineState) {
+        let line = addr & self.l2_line_mask;
+        if let Some(n) = self.nodes.get_mut(node) {
+            if n.l2.contains(line) {
+                n.l2.set_state(line, state);
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,72 @@
+//! Fuzz-style robustness tests for the SQL front end: arbitrary byte soup
+//! and mutated TPC-D query text must produce a [`ParseError`], never a
+//! panic — the parser sits on the workbench's input boundary.
+
+use proptest::collection;
+use proptest::prelude::*;
+
+use dss_sql::{parse, parse_statement, tokenize};
+
+/// Well-formed seeds in the workbench's dialect, mutated by the tests below.
+const SEEDS: &[&str] = &[
+    "select sum(l_extendedprice * l_discount) as revenue from lineitem \
+     where l_shipdate >= date '1994-01-01' and l_discount between 0.05 and 0.07 \
+     and l_quantity < 24",
+    "select l_orderkey, sum(l_extendedprice * (1 - l_discount)) as revenue \
+     from customer, orders, lineitem where c_custkey = o_custkey \
+     and l_orderkey = o_orderkey group by l_orderkey order by revenue desc",
+    "select count(*) from orders where o_orderdate < date '1995-03-15'",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary (lossily decoded) bytes never panic the tokenizer or either
+    /// parser entry point.
+    #[test]
+    fn byte_soup_never_panics(bytes in collection::vec(any::<u8>(), 0..256)) {
+        let input = String::from_utf8_lossy(&bytes);
+        let _ = tokenize(&input);
+        let _ = parse(&input);
+        let _ = parse_statement(&input);
+    }
+
+    /// Truncating a valid query at any char boundary and splicing in a junk
+    /// byte never panics (it may still parse: a cut can land on a smaller
+    /// well-formed query).
+    #[test]
+    fn mutated_queries_never_panic(
+        pick in 0usize..3,
+        cut in 0usize..300,
+        junk in any::<u8>(),
+    ) {
+        let seed = SEEDS[pick % SEEDS.len()];
+        let mut mutated: String = seed.chars().take(cut).collect();
+        mutated.push(junk as char);
+        mutated.extend(seed.chars().skip(cut + 1));
+        let _ = parse(&mutated);
+        let _ = parse_statement(&mutated);
+    }
+
+    /// Deleting an arbitrary slice from a valid query never panics.
+    #[test]
+    fn spliced_queries_never_panic(pick in 0usize..3, at in 0usize..300, len in 1usize..40) {
+        let seed = SEEDS[pick % SEEDS.len()];
+        let mutated: String = seed
+            .chars()
+            .take(at)
+            .chain(seed.chars().skip(at + len))
+            .collect();
+        let _ = parse(&mutated);
+        let _ = parse_statement(&mutated);
+    }
+}
+
+/// The unmutated seeds must parse — otherwise the mutation tests exercise
+/// nothing but the error path.
+#[test]
+fn the_seeds_are_actually_valid() {
+    for seed in SEEDS {
+        parse(seed).unwrap_or_else(|e| panic!("seed `{seed}` does not parse: {e}"));
+    }
+}

@@ -3,32 +3,204 @@
 //! Traces run to millions of events; this fixed-width little-endian format
 //! lets a workload be traced once and re-simulated elsewhere (the same
 //! workflow as saving an execution-driven simulator's address trace). No
-//! external dependencies: the format is nine bytes of header plus 17 bytes
-//! per event.
+//! external dependencies: the format is eight bytes of magic, sixteen bytes
+//! of header, 17 bytes per event, and a trailing FNV-1a checksum of
+//! everything after the magic — so a single flipped bit anywhere in the file
+//! is *detected* instead of silently replayed as a different workload.
 //!
-//! Failures never panic: malformed or truncated input comes back as an
-//! [`io::Error`] carrying the byte offset and event index where decoding
-//! stopped, and the [`read_trace_file`] / [`write_trace_file`] helpers
-//! prepend the file path, so a bad trace on disk is diagnosable from the
-//! error message alone.
+//! Failures never panic: malformed or truncated input comes back as a
+//! structured [`TraceError`] carrying the byte offset (and, for event-level
+//! failures, the event index) where decoding stopped, and the
+//! [`read_trace_file`] / [`write_trace_file`] helpers wrap the file path, so
+//! a bad trace on disk is diagnosable from the error alone. File writes go
+//! through a write-temp-then-rename protocol, so a killed writer never
+//! leaves a torn trace at the destination path.
 
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use crate::{DataClass, Event, LockClass, LockToken, MemRef, Trace};
 
-const MAGIC: &[u8; 8] = b"DSSTRC01";
+/// Format magic. `02` added the trailing whole-file checksum.
+const MAGIC: &[u8; 8] = b"DSSTRC02";
 
-/// Writes `trace` in the binary format.
+/// FNV-1a 64-bit offset basis / prime, the checksum of the trace body.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: u64, bytes: &[u8]) -> u64 {
+    let mut h = hash;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A failure while decoding (or, for [`TraceError::Io`], transporting) a
+/// serialized trace. Every variant pins down *where* in the stream decoding
+/// stopped and *what* was wrong, so fault-injection campaigns can assert a
+/// corrupted byte is classified, never absorbed.
+#[derive(Debug)]
+pub enum TraceError {
+    /// The stream is not a DSS trace: the leading magic did not match.
+    BadMagic {
+        /// The eight bytes found where the magic should be.
+        found: [u8; 8],
+    },
+    /// The stream ended before the structure it promised was complete —
+    /// an empty file, a header-only file, or a file cut mid-event.
+    Truncated {
+        /// Byte offset of the record the decoder was reading when the
+        /// stream ended.
+        offset: u64,
+        /// What the decoder was expecting to read there.
+        expected: &'static str,
+        /// `(index, total)` of the event being decoded, if the cut happened
+        /// inside the event section.
+        event: Option<(usize, usize)>,
+    },
+    /// A structurally complete record held an impossible value (unknown
+    /// event tag, out-of-range data class or lock class).
+    Corrupt {
+        /// Byte offset of the record holding the bad value.
+        offset: u64,
+        /// `(index, total)` of the offending event.
+        event: Option<(usize, usize)>,
+        /// What was wrong with the record.
+        what: String,
+    },
+    /// Every record decoded, but the trailing checksum does not match the
+    /// bytes read — some bit of the file changed since it was written.
+    ChecksumMismatch {
+        /// The checksum stored in the file.
+        stored: u64,
+        /// The checksum computed over the bytes actually read.
+        computed: u64,
+    },
+    /// An underlying transport error (not a format violation).
+    Io {
+        /// Byte offset reached when the error occurred.
+        offset: u64,
+        /// The I/O error itself.
+        source: io::Error,
+    },
+    /// An error wrapped with the file it concerned.
+    InFile {
+        /// The file being read.
+        path: PathBuf,
+        /// The underlying failure.
+        source: Box<TraceError>,
+    },
+}
+
+impl TraceError {
+    /// A short classification label (stable across messages), e.g.
+    /// `"truncated"` or `"checksum-mismatch"` — what a fault campaign
+    /// asserts against.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceError::BadMagic { .. } => "bad-magic",
+            TraceError::Truncated { .. } => "truncated",
+            TraceError::Corrupt { .. } => "corrupt",
+            TraceError::ChecksumMismatch { .. } => "checksum-mismatch",
+            TraceError::Io { .. } => "io",
+            TraceError::InFile { source, .. } => source.kind(),
+        }
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::BadMagic { found } => write!(
+                f,
+                "not a DSS trace file (bad magic at byte offset 0: {:?})",
+                String::from_utf8_lossy(found)
+            ),
+            TraceError::Truncated {
+                offset,
+                expected,
+                event: Some((i, n)),
+            } => write!(
+                f,
+                "truncated trace: event {i} of {n} at byte offset {offset}: \
+                 stream ended while reading {expected}"
+            ),
+            TraceError::Truncated {
+                offset,
+                expected,
+                event: None,
+            } => write!(
+                f,
+                "truncated trace: stream ended at byte offset {offset} \
+                 while reading {expected}"
+            ),
+            TraceError::Corrupt {
+                offset,
+                event: Some((i, n)),
+                what,
+            } => write!(f, "event {i} of {n} at byte offset {offset}: {what}"),
+            TraceError::Corrupt {
+                offset,
+                event: None,
+                what,
+            } => write!(f, "corrupt record at byte offset {offset}: {what}"),
+            TraceError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "trace checksum mismatch: file says {stored:#018x}, bytes hash to \
+                 {computed:#018x} — the trace was corrupted after it was written"
+            ),
+            TraceError::Io { offset, source } => {
+                write!(f, "I/O error at byte offset {offset}: {source}")
+            }
+            TraceError::InFile { path, source } => write!(f, "{}: {source}", path.display()),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io { source, .. } => Some(source),
+            TraceError::InFile { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<TraceError> for io::Error {
+    fn from(e: TraceError) -> io::Error {
+        let kind = match &e {
+            TraceError::Truncated { .. } => io::ErrorKind::UnexpectedEof,
+            TraceError::Io { source, .. } => source.kind(),
+            TraceError::InFile { source, .. } => match source.as_ref() {
+                TraceError::Truncated { .. } => io::ErrorKind::UnexpectedEof,
+                TraceError::Io { source, .. } => source.kind(),
+                _ => io::ErrorKind::InvalidData,
+            },
+            _ => io::ErrorKind::InvalidData,
+        };
+        io::Error::new(kind, e.to_string())
+    }
+}
+
+/// Writes `trace` in the binary format (magic, header, events, checksum).
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from `w`.
 pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    w.write_all(&(trace.proc_id as u64).to_le_bytes())?;
-    w.write_all(&(trace.events.len() as u64).to_le_bytes())?;
+    let mut hash = FNV_OFFSET;
+    let mut put = |w: &mut W, bytes: &[u8]| -> io::Result<()> {
+        hash = fnv1a(hash, bytes);
+        w.write_all(bytes)
+    };
+    put(&mut w, &(trace.proc_id as u64).to_le_bytes())?;
+    put(&mut w, &(trace.events.len() as u64).to_le_bytes())?;
     for event in &trace.events {
         let (tag, a, b): (u8, u64, u64) = match event {
             Event::Busy(n) => (0, *n as u64, 0),
@@ -40,39 +212,100 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
             Event::LockAcquire(tok) => (2, tok.addr, lock_code(tok.class) as u64),
             Event::LockRelease(tok) => (3, tok.addr, lock_code(tok.class) as u64),
         };
-        w.write_all(&[tag])?;
-        w.write_all(&a.to_le_bytes())?;
-        w.write_all(&b.to_le_bytes())?;
+        let mut record = [0u8; 17];
+        record[0] = tag;
+        record[1..9].copy_from_slice(&a.to_le_bytes());
+        record[9..17].copy_from_slice(&b.to_le_bytes());
+        put(&mut w, &record)?;
     }
-    Ok(())
+    w.write_all(&hash.to_le_bytes())
 }
 
-/// Writes `trace` to the file at `path`, creating or truncating it.
+/// Writes `trace` to the file at `path` atomically: the bytes land in a
+/// temporary sibling file which is renamed over `path` only once fully
+/// written and flushed, so a crash mid-write never leaves a torn trace.
 ///
 /// # Errors
 ///
 /// As [`write_trace`], with the file path prepended to the error message.
 pub fn write_trace_file(trace: &Trace, path: &Path) -> io::Result<()> {
     let run = || -> io::Result<()> {
-        let mut w = BufWriter::new(File::create(path)?);
-        write_trace(trace, &mut w)?;
-        w.flush()
+        let tmp = tmp_sibling(path);
+        let result = (|| {
+            let mut w = BufWriter::new(File::create(&tmp)?);
+            write_trace(trace, &mut w)?;
+            w.flush()?;
+            w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result
     };
-    run().map_err(|e| at_path(e, path))
+    run().map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", path.display())))
 }
 
-/// A reader that remembers how many bytes it has yielded, so decode errors
-/// can report where in the stream they happened.
+/// Names a temporary sibling of `path` in the same directory (renames across
+/// filesystems are not atomic, so the temp file must live next to its
+/// destination). The process id keeps concurrent writers apart.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_os_string())
+        .unwrap_or_default();
+    name.push(format!(".tmp.{}", std::process::id()));
+    path.with_file_name(name)
+}
+
+/// A reader that remembers how many bytes it has yielded and hashes them, so
+/// decode errors can report where in the stream they happened and the
+/// trailing checksum can be verified.
 struct CountingReader<R> {
     inner: R,
     offset: u64,
+    hash: u64,
+    hashing: bool,
 }
 
-impl<R: Read> Read for CountingReader<R> {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        let n = self.inner.read(buf)?;
-        self.offset += n as u64;
-        Ok(n)
+impl<R: Read> CountingReader<R> {
+    /// Reads exactly `buf.len()` bytes, classifying a short read as
+    /// [`TraceError::Truncated`] over `expected` at the offset where the
+    /// record began.
+    fn fill(
+        &mut self,
+        buf: &mut [u8],
+        expected: &'static str,
+        event: Option<(usize, usize)>,
+    ) -> Result<u64, TraceError> {
+        let start = self.offset;
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.inner.read(&mut buf[filled..]) {
+                Ok(0) => {
+                    return Err(TraceError::Truncated {
+                        offset: start,
+                        expected,
+                        event,
+                    })
+                }
+                Ok(n) => {
+                    filled += n;
+                    self.offset += n as u64;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(source) => {
+                    return Err(TraceError::Io {
+                        offset: self.offset,
+                        source,
+                    })
+                }
+            }
+        }
+        if self.hashing {
+            self.hash = fnv1a(self.hash, buf);
+        }
+        Ok(start)
     }
 }
 
@@ -80,34 +313,43 @@ impl<R: Read> Read for CountingReader<R> {
 ///
 /// # Errors
 ///
-/// Returns `InvalidData` for a bad magic number or malformed events, and
-/// propagates I/O errors from `r`. Every error names the byte offset the
-/// decoder had reached, and event-level errors also name the event index.
-pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
+/// Returns a structured [`TraceError`]: [`TraceError::BadMagic`] for a
+/// foreign file, [`TraceError::Truncated`] when the stream ends early
+/// (including empty and header-only inputs), [`TraceError::Corrupt`] for
+/// impossible record values, and [`TraceError::ChecksumMismatch`] when the
+/// decoded bytes do not hash to the stored checksum. Every error names the
+/// byte offset the decoder had reached, and event-level errors also name the
+/// event index.
+pub fn read_trace<R: Read>(r: R) -> Result<Trace, TraceError> {
     let mut r = CountingReader {
         inner: r,
         offset: 0,
+        hash: FNV_OFFSET,
+        hashing: false,
     };
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)
-        .map_err(|e| at_offset(e, "trace header", 0))?;
+    r.fill(&mut magic, "trace magic", None)?;
     if &magic != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a DSS trace file (bad magic at byte offset 0)",
-        ));
+        return Err(TraceError::BadMagic { found: magic });
     }
-    let header = |e| at_offset(e, "trace header", 8);
-    let proc_id = read_u64(&mut r).map_err(header)? as usize;
-    let n = read_u64(&mut r).map_err(header)? as usize;
+    r.hashing = true;
+    let mut word = [0u8; 8];
+    r.fill(&mut word, "trace header", None)?;
+    let proc_id = u64::from_le_bytes(word) as usize;
+    r.fill(&mut word, "trace header", None)?;
+    let n = u64::from_le_bytes(word) as usize;
     let mut events = Vec::with_capacity(n.min(1 << 24));
+    let mut record = [0u8; 17];
     for i in 0..n {
-        let start = r.offset;
-        let event = read_event(&mut r).map_err(|e| {
-            let what = format!("event {i} of {n}");
-            at_offset(e, &what, start)
-        })?;
-        events.push(event);
+        let start = r.fill(&mut record, "event record", Some((i, n)))?;
+        events.push(decode_event(&record, start, (i, n))?);
+    }
+    r.hashing = false;
+    let computed = r.hash;
+    r.fill(&mut word, "trace checksum", None)?;
+    let stored = u64::from_le_bytes(word);
+    if stored != computed {
+        return Err(TraceError::ChecksumMismatch { stored, computed });
     }
     Ok(Trace { proc_id, events })
 }
@@ -116,22 +358,40 @@ pub fn read_trace<R: Read>(r: R) -> io::Result<Trace> {
 ///
 /// # Errors
 ///
-/// As [`read_trace`], with the file path prepended to the error message.
-pub fn read_trace_file(path: &Path) -> io::Result<Trace> {
-    let run = || read_trace(BufReader::new(File::open(path)?));
-    run().map_err(|e| at_path(e, path))
+/// As [`read_trace`], wrapped in [`TraceError::InFile`] naming the path.
+pub fn read_trace_file(path: &Path) -> Result<Trace, TraceError> {
+    let run = || -> Result<Trace, TraceError> {
+        let file = File::open(path).map_err(|source| TraceError::Io { offset: 0, source })?;
+        read_trace(BufReader::new(file))
+    };
+    run().map_err(|e| TraceError::InFile {
+        path: path.to_path_buf(),
+        source: Box::new(e),
+    })
 }
 
-/// Decodes one 17-byte event record.
-fn read_event<R: Read>(r: &mut R) -> io::Result<Event> {
-    let mut tag = [0u8; 1];
-    r.read_exact(&mut tag)?;
-    let a = read_u64(r)?;
-    let b = read_u64(r)?;
-    Ok(match tag[0] {
+/// Decodes one 17-byte event record beginning at byte `offset`.
+fn decode_event(
+    record: &[u8; 17],
+    offset: u64,
+    event: (usize, usize),
+) -> Result<Event, TraceError> {
+    let corrupt = |what: String| TraceError::Corrupt {
+        offset,
+        event: Some(event),
+        what,
+    };
+    let a = u64::from_le_bytes([
+        record[1], record[2], record[3], record[4], record[5], record[6], record[7], record[8],
+    ]);
+    let b = u64::from_le_bytes([
+        record[9], record[10], record[11], record[12], record[13], record[14], record[15],
+        record[16],
+    ]);
+    Ok(match record[0] {
         0 => Event::Busy(a as u32),
         1 => {
-            let class = class_from(b as u8 & 0x7f)?;
+            let class = class_from(b as u8 & 0x7f).map_err(corrupt)?;
             Event::Ref(MemRef {
                 addr: a,
                 size: (b >> 8) as u16,
@@ -139,31 +399,10 @@ fn read_event<R: Read>(r: &mut R) -> io::Result<Event> {
                 class,
             })
         }
-        2 => Event::LockAcquire(LockToken::new(a, lock_from(b as u8)?)),
-        3 => Event::LockRelease(LockToken::new(a, lock_from(b as u8)?)),
-        other => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unknown event tag {other}"),
-            ))
-        }
+        2 => Event::LockAcquire(LockToken::new(a, lock_from(b as u8).map_err(corrupt)?)),
+        3 => Event::LockRelease(LockToken::new(a, lock_from(b as u8).map_err(corrupt)?)),
+        other => return Err(corrupt(format!("unknown event tag {other}"))),
     })
-}
-
-/// Wraps `e` with what was being decoded and where the record began.
-fn at_offset(e: io::Error, what: &str, start: u64) -> io::Error {
-    io::Error::new(e.kind(), format!("{what} at byte offset {start}: {e}"))
-}
-
-/// Wraps `e` with the file it concerned.
-fn at_path(e: io::Error, path: &Path) -> io::Error {
-    io::Error::new(e.kind(), format!("{}: {e}", path.display()))
-}
-
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(u64::from_le_bytes(buf))
 }
 
 /// Wire code of a class: its position in [`DataClass::ALL`], spelled as an
@@ -184,11 +423,11 @@ fn class_code(c: DataClass) -> u8 {
     }
 }
 
-fn class_from(code: u8) -> io::Result<DataClass> {
+fn class_from(code: u8) -> Result<DataClass, String> {
     DataClass::ALL
         .get(code as usize)
         .copied()
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, format!("bad class {code}")))
+        .ok_or_else(|| format!("bad class {code}"))
 }
 
 fn lock_code(c: LockClass) -> u8 {
@@ -199,17 +438,12 @@ fn lock_code(c: LockClass) -> u8 {
     }
 }
 
-fn lock_from(code: u8) -> io::Result<LockClass> {
+fn lock_from(code: u8) -> Result<LockClass, String> {
     Ok(match code {
         0 => LockClass::LockMgr,
         1 => LockClass::BufMgr,
         2 => LockClass::Other,
-        other => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad lock class {other}"),
-            ))
-        }
+        other => return Err(format!("bad lock class {other}")),
     })
 }
 
@@ -262,7 +496,45 @@ mod tests {
     #[test]
     fn bad_magic_is_rejected() {
         let err = read_trace(&b"NOTATRCE"[..]).unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, TraceError::BadMagic { .. }), "{err}");
+        assert_eq!(err.kind(), "bad-magic");
+        // An old-format (pre-checksum) trace is also refused up front.
+        let err = read_trace(&b"DSSTRC01"[..]).unwrap_err();
+        assert!(matches!(err, TraceError::BadMagic { .. }), "{err}");
+    }
+
+    #[test]
+    fn empty_input_reports_truncation_at_offset_zero() {
+        let err = read_trace(&b""[..]).unwrap_err();
+        match err {
+            TraceError::Truncated { offset, event, .. } => {
+                assert_eq!(offset, 0);
+                assert_eq!(event, None);
+            }
+            other => panic!("expected Truncated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn header_only_input_reports_truncation() {
+        // Magic plus a partial header: the classic "file created, write
+        // interrupted" shape.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&3u64.to_le_bytes()[..4]);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        match err {
+            TraceError::Truncated {
+                offset,
+                expected,
+                event,
+            } => {
+                assert_eq!(offset, 8);
+                assert_eq!(expected, "trace header");
+                assert_eq!(event, None);
+            }
+            other => panic!("expected Truncated, got {other}"),
+        }
     }
 
     #[test]
@@ -270,37 +542,78 @@ mod tests {
         let trace = sample();
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).unwrap();
-        buf.truncate(buf.len() - 3);
+        // Cut inside the final event record (past it sit 8 checksum bytes).
+        buf.truncate(buf.len() - 8 - 3);
         let err = read_trace(buf.as_slice()).unwrap_err();
-        let msg = err.to_string();
         let last = trace.events.len() - 1;
-        let start = 24 + 17 * last;
-        assert!(
-            msg.contains(&format!("event {last} of {}", trace.events.len())),
-            "message names the event: {msg}"
-        );
-        assert!(
-            msg.contains(&format!("byte offset {start}")),
-            "message names the record's offset: {msg}"
-        );
+        let start = (24 + 17 * last) as u64;
+        match err {
+            TraceError::Truncated { offset, event, .. } => {
+                assert_eq!(offset, start);
+                assert_eq!(event, Some((last, trace.events.len())));
+            }
+            other => panic!("expected Truncated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn missing_checksum_is_truncation() {
+        let mut buf = Vec::new();
+        write_trace(&sample(), &mut buf).unwrap();
+        buf.truncate(buf.len() - 8);
+        let err = read_trace(buf.as_slice()).unwrap_err();
+        match err {
+            TraceError::Truncated { expected, .. } => assert_eq!(expected, "trace checksum"),
+            other => panic!("expected Truncated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn any_flipped_payload_bit_is_detected() {
+        let trace = sample();
+        let mut clean = Vec::new();
+        write_trace(&trace, &mut clean).unwrap();
+        // Flip one bit at every byte position after the magic: each flip must
+        // surface as *some* classified error — never a silently different
+        // trace.
+        for pos in 8..clean.len() {
+            let mut buf = clean.clone();
+            buf[pos] ^= 1 << (pos % 8);
+            match read_trace(buf.as_slice()) {
+                Err(_) => {}
+                Ok(t) => panic!(
+                    "flip at byte {pos} silently decoded {} events",
+                    t.events.len()
+                ),
+            }
+        }
     }
 
     #[test]
     fn bad_event_tag_is_rejected() {
         let mut buf = Vec::new();
-        write_trace(&Trace::new(0), &mut buf).unwrap();
-        // Claim one event, then write garbage.
-        buf[16..24].copy_from_slice(&1u64.to_le_bytes());
-        buf.extend_from_slice(&[9u8]);
-        buf.extend_from_slice(&[0u8; 16]);
+        write_trace(&sample(), &mut buf).unwrap();
+        // Corrupt the first event's tag byte (offset 24).
+        buf[24] = 9;
         let err = read_trace(buf.as_slice()).unwrap_err();
-        assert!(err.to_string().contains("unknown event tag 9"));
+        // The tag error is reported before the checksum is reached.
+        match &err {
+            TraceError::Corrupt { what, event, .. } => {
+                assert!(what.contains("unknown event tag 9"), "{err}");
+                assert_eq!(*event, Some((0, sample().events.len())));
+            }
+            other => panic!("expected Corrupt, got {other}"),
+        }
     }
 
     #[test]
     fn truncated_header_is_located() {
         let err = read_trace(&MAGIC[..]).unwrap_err();
-        assert!(err.to_string().contains("trace header at byte offset 8"));
+        assert!(
+            err.to_string().contains("byte offset 8"),
+            "offset named: {err}"
+        );
+        assert_eq!(err.kind(), "truncated");
     }
 
     #[test]
@@ -311,6 +624,9 @@ mod tests {
         let trace = sample();
         write_trace_file(&trace, &path).unwrap();
         assert_eq!(read_trace_file(&path).unwrap(), trace);
+        // The atomic-write protocol leaves no temp droppings behind.
+        let siblings = std::fs::read_dir(&dir).unwrap().count();
+        assert_eq!(siblings, 1, "only the destination file remains");
 
         std::fs::write(&path, b"NOTATRCE").unwrap();
         let err = read_trace_file(&path).unwrap_err();
@@ -318,6 +634,7 @@ mod tests {
             err.to_string().contains("q.trace"),
             "path appears in: {err}"
         );
+        assert_eq!(err.kind(), "bad-magic", "wrapping preserves the kind");
         let missing = dir.join("does-not-exist.trace");
         let err = read_trace_file(&missing).unwrap_err();
         assert!(err.to_string().contains("does-not-exist.trace"));
@@ -325,10 +642,20 @@ mod tests {
     }
 
     #[test]
+    fn trace_errors_convert_to_io_errors() {
+        let err = read_trace(&b""[..]).unwrap_err();
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::UnexpectedEof);
+        let err = read_trace(&b"NOTATRCE"[..]).unwrap_err();
+        let io_err: io::Error = err.into();
+        assert_eq!(io_err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
     fn format_is_compact() {
         let trace = sample();
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).unwrap();
-        assert_eq!(buf.len(), 8 + 16 + trace.events.len() * 17);
+        assert_eq!(buf.len(), 8 + 16 + trace.events.len() * 17 + 8);
     }
 }

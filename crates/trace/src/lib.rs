@@ -51,6 +51,6 @@ pub use class::{DataClass, DataGroup};
 pub use cost::CostModel;
 pub use discipline::{check_lock_discipline, LockDisciplineError};
 pub use event::{Event, LockClass, LockToken, MemRef};
-pub use io::{read_trace, read_trace_file, write_trace, write_trace_file};
+pub use io::{read_trace, read_trace_file, write_trace, write_trace_file, TraceError};
 pub use stats::TraceStats;
 pub use tracer::{Trace, Tracer};

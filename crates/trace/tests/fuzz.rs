@@ -1,0 +1,78 @@
+//! Fuzz-style robustness tests for the trace codec: arbitrary byte soup,
+//! single-byte corruptions, and truncations of a valid trace must all come
+//! back as structured [`TraceError`]s — never a panic, and never garbage
+//! silently accepted as a healthy trace.
+
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+use dss_trace::{read_trace, write_trace, DataClass, LockClass, LockToken, Tracer};
+
+/// Encodes a small valid trace with every event kind represented.
+fn valid_trace_bytes() -> Vec<u8> {
+    let t = Tracer::new(1);
+    t.read(0x1000, 8, DataClass::Data);
+    t.lock_acquire(LockToken::new(0x40, LockClass::LockMgr));
+    t.write(0x1040, 8, DataClass::Index);
+    t.lock_release(LockToken::new(0x40, LockClass::LockMgr));
+    t.busy(123);
+    let mut bytes = Vec::new();
+    write_trace(&t.take(), &mut bytes).expect("in-memory write cannot fail");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary bytes never panic the decoder, and anything it accepts must
+    /// at least have carried the format magic.
+    #[test]
+    fn byte_soup_never_panics(bytes in collection::vec(any::<u8>(), 0..512)) {
+        match read_trace(&bytes[..]) {
+            Ok(_) => prop_assert!(bytes.len() >= 8 && &bytes[..8] == b"DSSTRC02"),
+            Err(e) => prop_assert!(!e.kind().is_empty()),
+        }
+    }
+
+    /// Flipping any single byte of a valid trace is always detected: the
+    /// magic check, the per-event validation, or the trailing checksum must
+    /// catch it — a one-byte corruption can never round-trip as healthy.
+    #[test]
+    fn single_byte_flip_is_always_detected(pos in 0usize..1000, flip in 1u8..=255) {
+        let mut bytes = valid_trace_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= flip;
+        let err = match read_trace(&bytes[..]) {
+            Ok(_) => return Err(TestCaseError::fail(format!(
+                "flip of byte {pos} by {flip:#04x} was silently absorbed"
+            ))),
+            Err(e) => e,
+        };
+        prop_assert!(
+            matches!(err.kind(), "bad-magic" | "truncated" | "corrupt" | "checksum-mismatch"),
+            "unexpected classification {} for flip at byte {}", err.kind(), pos
+        );
+    }
+
+    /// Every proper prefix of a valid trace is rejected (the trailing
+    /// checksum means even an event-aligned cut cannot look complete).
+    #[test]
+    fn every_truncation_is_rejected(cut in 0usize..1000) {
+        let bytes = valid_trace_bytes();
+        let cut = cut % bytes.len();
+        prop_assert!(
+            read_trace(&bytes[..cut]).is_err(),
+            "prefix of {cut}/{} bytes decoded as a complete trace", bytes.len()
+        );
+    }
+}
+
+/// The unmutated fixture itself must decode — otherwise the proptests above
+/// would be vacuously rejecting everything.
+#[test]
+fn the_fixture_is_actually_valid() {
+    let bytes = valid_trace_bytes();
+    let trace = read_trace(&bytes[..]).expect("fixture decodes");
+    assert_eq!(trace.len(), 5);
+}

@@ -126,7 +126,7 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(i16, i32, i64, u16, u32, u64, usize, isize);
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
 macro_rules! impl_tuple_strategy {
     ($(($($s:ident / $idx:tt),+))*) => {$(
@@ -168,7 +168,7 @@ macro_rules! impl_arbitrary_int {
     )*};
 }
 
-impl_arbitrary_int!(i16, i32, i64, u16, u32, u64, usize, isize);
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
 
 /// The whole-domain strategy for `T`.
 pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
