@@ -10,11 +10,16 @@
 //! `fig10`, `fig11`, `fig12`, `fig13`, `all` (default), the extensions
 //! (`ext`, or `ext-protocol`, `ext-prefetch`, `ext-updates`, `ext-intra`,
 //! `ext-streams`, `ext-procs`), `--jobs N` to set the number of worker
-//! threads the sweeps fan out over (default: available parallelism), and
-//! `--bench-json PATH` to write the per-experiment wall/compute timings and
-//! heap-allocation counts (measured by a counting allocator) as a
-//! machine-readable JSON file (the CI benchmark artifact). Each experiment
-//! prints the paper-shaped chart plus its PASS/FAIL shape checks.
+//! threads the sweeps fan out over (default: available parallelism),
+//! `--sf X` to override the database scale factor (default: the paper's
+//! 0.01), `--trace-mode streamed|materialized` to pick how traces reach the
+//! simulator (streamed records block files and replays them from disk, so
+//! peak memory stays bounded at any scale factor; stdout is identical either
+//! way), and `--bench-json PATH` to write the per-experiment wall/compute
+//! timings, heap-allocation counts (measured by a counting allocator), and
+//! peak RSS as a machine-readable JSON file (the CI benchmark artifact).
+//! Each experiment prints the paper-shaped chart plus its PASS/FAIL shape
+//! checks.
 //!
 //! The run degrades gracefully instead of aborting: every sweep point runs
 //! fail-soft (a panicking or deadline-blown point becomes a structured
@@ -37,7 +42,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
 use std::time::{Duration, Instant};
 
-use dss_core::{experiments, paper, query_label, report, PointError, Workbench, STUDIED_QUERIES};
+use dss_core::{
+    experiments, paper, query_label, report, PointError, TraceMode, Workbench, STUDIED_QUERIES,
+};
+use dss_query::DbConfig;
 
 // The counting allocator is a single shared source file (see its module doc
 // for why it is not a library export); this binary only reads the alloc-side
@@ -52,43 +60,89 @@ mod alloc;
 #[global_allocator]
 static COUNTING_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
+/// One recorded experiment: label, wall-clock, fanned-out compute, heap
+/// traffic, and the process's peak RSS (bytes) when the experiment ended.
+struct BenchEntry {
+    name: String,
+    wall: Duration,
+    compute: Duration,
+    heap: alloc::AllocReport,
+    peak_rss: u64,
+}
+
+/// The process's peak resident set size (`VmHWM`) in bytes, or 0 where
+/// `/proc/self/status` is unavailable. A high-water mark: monotone over the
+/// run, so an experiment's value bounds everything up to and including it.
+fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))
+        .and_then(|rest| {
+            rest.trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .ok()
+        })
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
+}
+
 /// Per-experiment timings and heap traffic, printed to stderr as they happen
 /// and optionally dumped as JSON at exit (`--bench-json`).
 #[derive(Default)]
 struct BenchLog {
-    entries: Vec<(String, Duration, Duration, alloc::AllocReport)>,
+    entries: Vec<BenchEntry>,
 }
 
 impl BenchLog {
     /// Records one experiment's wall-clock, the aggregate single-thread
-    /// compute it fanned out (their ratio is the parallel speedup), and the
-    /// heap traffic its gate observed. Stderr, to keep stdout diffable.
+    /// compute it fanned out (their ratio is the parallel speedup), the
+    /// heap traffic its gate observed, and the peak RSS so far. Stderr, to
+    /// keep stdout diffable.
     fn record(&mut self, label: &str, wall: Duration, compute: Duration, heap: alloc::AllocReport) {
+        let peak_rss = peak_rss_bytes();
         let mb = heap.bytes_allocated / 1_000_000;
+        let rss_mb = peak_rss / 1_000_000;
         if compute.is_zero() {
             eprintln!(
-                "  [{label}] wall {wall:.1?}; heap {} alloc(s), {mb} MB",
+                "  [{label}] wall {wall:.1?}; heap {} alloc(s), {mb} MB; peak rss {rss_mb} MB",
                 heap.allocs
             );
         } else {
             let speedup = compute.as_secs_f64() / wall.as_secs_f64().max(1e-9);
             eprintln!(
                 "  [{label}] wall {wall:.1?}, sim compute {compute:.1?}, speedup {speedup:.2}x; \
-                 heap {} alloc(s), {mb} MB",
+                 heap {} alloc(s), {mb} MB; peak rss {rss_mb} MB",
                 heap.allocs
             );
         }
-        self.entries.push((label.to_string(), wall, compute, heap));
+        self.entries.push(BenchEntry {
+            name: label.to_string(),
+            wall,
+            compute,
+            heap,
+            peak_rss,
+        });
     }
 
     /// The recorded timings as a self-describing JSON document. Labels are
-    /// experiment names from this binary (no escaping needed). Schema v3
-    /// adds the degradation record: every sweep point that failed soft
-    /// (`point_errors`) and every experiment block that was abandoned
-    /// (`failed_experiments`). Both arrays are empty on a healthy run.
+    /// experiment names from this binary (no escaping needed). Schema v4
+    /// adds the streaming pipeline's fields: the run's `trace_mode` and
+    /// `scale`, and each experiment's `peak_rss` (bytes, the process
+    /// high-water mark when the experiment ended — the bounded-memory
+    /// evidence for streamed runs). Schema v3 added the degradation record:
+    /// every sweep point that failed soft (`point_errors`) and every
+    /// experiment block that was abandoned (`failed_experiments`); both
+    /// arrays are empty on a healthy run.
     fn to_json(
         &self,
         jobs: usize,
+        trace_mode: TraceMode,
+        scale: f64,
         total_wall: Duration,
         point_errors: &[PointError],
         failed: &[String],
@@ -96,15 +150,16 @@ impl BenchLog {
         let experiments: Vec<String> = self
             .entries
             .iter()
-            .map(|(name, wall, compute, heap)| {
+            .map(|e| {
                 format!(
                     "    {{\"name\": \"{}\", \"wall_ns\": {}, \"sim_compute_ns\": {}, \
-                     \"allocs\": {}, \"alloc_bytes\": {}}}",
-                    name,
-                    wall.as_nanos(),
-                    compute.as_nanos(),
-                    heap.allocs,
-                    heap.bytes_allocated
+                     \"allocs\": {}, \"alloc_bytes\": {}, \"peak_rss\": {}}}",
+                    e.name,
+                    e.wall.as_nanos(),
+                    e.compute.as_nanos(),
+                    e.heap.allocs,
+                    e.heap.bytes_allocated,
+                    e.peak_rss
                 )
             })
             .collect();
@@ -113,11 +168,18 @@ impl BenchLog {
             .map(|e| format!("    {}", e.to_json()))
             .collect();
         let abandoned: Vec<String> = failed.iter().map(|f| format!("\"{f}\"")).collect();
+        let mode = match trace_mode {
+            TraceMode::Materialized => "materialized",
+            TraceMode::Streamed => "streamed",
+        };
         format!(
-            "{{\n  \"schema\": \"dss-bench-repro/v3\",\n  \"jobs\": {},\n  \
+            "{{\n  \"schema\": \"dss-bench-repro/v4\",\n  \"jobs\": {},\n  \
+             \"trace_mode\": \"{}\",\n  \"scale\": {},\n  \
              \"total_wall_ns\": {},\n  \"point_errors\": [{}],\n  \
              \"failed_experiments\": [{}],\n  \"experiments\": [\n{}\n  ]\n}}\n",
             jobs,
+            mode,
+            scale,
             total_wall.as_nanos(),
             if errors.is_empty() {
                 String::new()
@@ -156,9 +218,40 @@ fn main() {
     let mut bench_json: Option<String> = None;
     let mut inject: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
+    let mut sf: Option<f64> = None;
+    let mut trace_mode = TraceMode::Materialized;
     let mut names = BTreeSet::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
+        if arg == "--sf" || arg.starts_with("--sf=") {
+            let value = arg
+                .strip_prefix("--sf=")
+                .map(str::to_string)
+                .or_else(|| argv.next());
+            match value.as_deref().map(str::parse::<f64>) {
+                Some(Ok(s)) if s > 0.0 => sf = Some(s),
+                _ => {
+                    eprintln!("error: --sf needs a positive scale factor (e.g. --sf 0.05)");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
+        if arg == "--trace-mode" || arg.starts_with("--trace-mode=") {
+            let value = arg
+                .strip_prefix("--trace-mode=")
+                .map(str::to_string)
+                .or_else(|| argv.next());
+            match value.as_deref() {
+                Some("materialized") => trace_mode = TraceMode::Materialized,
+                Some("streamed") => trace_mode = TraceMode::Streamed,
+                _ => {
+                    eprintln!("error: --trace-mode must be `streamed` or `materialized`");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
         if arg == "--bench-json" {
             match argv.next() {
                 Some(path) => bench_json = Some(path),
@@ -225,10 +318,29 @@ fn main() {
     let want_ext = |name: &str| args.contains("ext") || args.contains(name);
 
     let start = Instant::now();
-    eprintln!("Building the paper-scale database (TPC-D at 1/100, memory resident)...");
-    let mut wb = Workbench::paper();
+    let mut config = DbConfig::default();
+    if let Some(s) = sf {
+        // The buffer pool must hold the whole database (it is memory
+        // resident), so it grows with the scale override.
+        config.nbuffers = (config.nbuffers as f64 * (s / config.scale).max(1.0)).ceil() as u32;
+        config.scale = s;
+    }
+    let scale = config.scale;
+    eprintln!("Building the database (TPC-D at scale {scale}, memory resident)...");
+    let mut wb = Workbench::new(&config, 4);
     if let Some(n) = jobs {
         wb.set_jobs(n);
+    }
+    let mut trace_dir = None;
+    if trace_mode == TraceMode::Streamed {
+        let dir = std::env::temp_dir().join(format!("dss-repro-traces-{}", std::process::id()));
+        eprintln!(
+            "trace mode: streamed (block files under {}, replayed from disk)",
+            dir.display()
+        );
+        wb.set_trace_dir(dir.clone());
+        wb.set_trace_mode(TraceMode::Streamed);
+        trace_dir = Some(dir);
     }
     wb.set_fail_soft(true);
     if let Some(label) = inject {
@@ -455,8 +567,11 @@ fn main() {
 
     let total = start.elapsed();
     eprintln!("total wall time: {total:.1?}");
+    if let Some(dir) = trace_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     if let Some(path) = bench_json {
-        let json = log.to_json(wb.jobs(), total, &point_errors, &failed);
+        let json = log.to_json(wb.jobs(), trace_mode, scale, total, &point_errors, &failed);
         if let Err(e) = dss_core::write_atomic(Path::new(&path), json.as_bytes()) {
             eprintln!("error: could not write {path}: {e}");
             std::process::exit(1);

@@ -38,4 +38,4 @@ pub use budget::{AllocBudget, Counts, RunBudget};
 pub use invariants::{check_baseline_suite, check_machine, InvariantFailure, RunSummary};
 pub use lexer::{lex, Token, TokenKind};
 pub use lint::{find_workspace_root, lint_workspace, Allowlist, Finding};
-pub use race::{detect_races, Access, Race, RaceAnalysisError, RaceReport};
+pub use race::{detect_races, detect_races_source, Access, Race, RaceAnalysisError, RaceReport};

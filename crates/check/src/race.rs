@@ -22,11 +22,21 @@
 //! Soundness precondition: every trace must use its locks in the balanced,
 //! nested discipline checked by [`check_lock_discipline`] — the detector
 //! validates that first and refuses to analyze ill-formed traces.
+//!
+//! Two entry points share the replay: [`detect_races`] over materialized
+//! traces (discipline pre-checked, trace by trace), and
+//! [`detect_races_source`] over any [`TraceSource`] — it holds one event
+//! block per processor and checks the discipline incrementally as events
+//! stream past, so block files are analyzable without ever materializing a
+//! trace. Both produce identical [`RaceReport`]s for the same events.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-use dss_trace::{check_lock_discipline, DataClass, Event, LockDisciplineError, Trace};
+use dss_trace::{
+    check_lock_discipline, DataClass, Event, EventStream, LockDisciplineError, Trace, TraceError,
+    TraceSource,
+};
 
 /// Access granularity of the detector: 8-byte words, matching the engine's
 /// field sizes (refcounts, pointers, hash buckets are all ≤ 8 bytes).
@@ -88,6 +98,10 @@ pub enum RaceAnalysisError {
     /// With discipline-checked traces this indicates cross-processor lock
     /// cycles, which the engine's two global spinlocks cannot produce.
     Deadlock,
+    /// A streamed source failed mid-analysis (truncated or corrupt block
+    /// file, I/O error). Carries the rendered [`TraceError`], which is not
+    /// itself comparable.
+    Stream(String),
 }
 
 impl fmt::Display for RaceAnalysisError {
@@ -99,12 +113,13 @@ impl fmt::Display for RaceAnalysisError {
             RaceAnalysisError::Deadlock => {
                 write!(f, "replay deadlocked on lock acquisition order")
             }
+            RaceAnalysisError::Stream(msg) => write!(f, "trace stream failed: {msg}"),
         }
     }
 }
 
 /// Result of a race analysis: the races found plus per-class coverage.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct RaceReport {
     /// All unordered conflicting pairs, in replay order (first per word pair).
     pub races: Vec<Race>,
@@ -264,6 +279,220 @@ pub fn detect_races(traces: &[Trace]) -> Result<RaceReport, RaceAnalysisError> {
     Ok(report)
 }
 
+/// One processor's replay cursor over a streamed trace: the current block,
+/// the stream it refills from, and the incremental lock-discipline stack.
+///
+/// `base + pos` is the event's index within the processor's whole trace, so
+/// races and discipline errors report the same indices as the materialized
+/// detector.
+struct Cursor<'a> {
+    stream: Box<dyn EventStream + 'a>,
+    buf: Vec<Event>,
+    /// Position of the current event within `buf`.
+    pos: usize,
+    /// Trace-wide index of `buf[0]`.
+    base: usize,
+    /// The stream returned its zero-count end-of-stream block.
+    done: bool,
+    /// Locks currently held: `(addr, trace-wide acquire index)`, innermost
+    /// last — the streaming equivalent of [`check_lock_discipline`]'s stack.
+    held: Vec<(u64, usize)>,
+}
+
+impl Cursor<'_> {
+    /// The current event, pulling the next block when this one is drained.
+    /// `Ok(None)` means the stream is exhausted.
+    fn current(&mut self) -> Result<Option<Event>, TraceError> {
+        while self.pos >= self.buf.len() {
+            if self.done {
+                return Ok(None);
+            }
+            self.base += self.buf.len();
+            self.pos = 0;
+            if self.stream.next_block(&mut self.buf)? == 0 {
+                self.done = true;
+                self.buf.clear();
+            }
+        }
+        Ok(Some(self.buf[self.pos]))
+    }
+
+    /// Trace-wide index of the current event.
+    fn index(&self) -> usize {
+        self.base + self.pos
+    }
+}
+
+/// Detects happens-before races over a streamed [`TraceSource`], holding one
+/// event block per processor — block files are analyzable at any trace
+/// length without materializing.
+///
+/// The replay, the synchronization model, and the produced [`RaceReport`]
+/// are identical to [`detect_races`] over the materialized equivalent. The
+/// lock discipline is checked *incrementally* as events stream past instead
+/// of up front, so when several violations exist the reported one is the
+/// first encountered in replay order (the materialized detector reports the
+/// first in processor order); a single violation is reported identically.
+///
+/// # Errors
+///
+/// [`RaceAnalysisError::Discipline`] and [`RaceAnalysisError::Deadlock`] as
+/// for [`detect_races`], plus [`RaceAnalysisError::Stream`] when the source
+/// fails mid-analysis (truncated or corrupt block files).
+pub fn detect_races_source<S>(src: &S) -> Result<RaceReport, RaceAnalysisError>
+where
+    S: TraceSource + ?Sized,
+{
+    let stream_err = |e: TraceError| RaceAnalysisError::Stream(e.to_string());
+    let streams = src.open().map_err(stream_err)?;
+    let n = streams.len();
+    let mut cursors: Vec<Cursor> = streams
+        .into_iter()
+        .map(|stream| Cursor {
+            stream,
+            buf: Vec::new(),
+            pos: 0,
+            base: 0,
+            done: false,
+            held: Vec::new(),
+        })
+        .collect();
+    let discipline = |c: &Cursor, error: LockDisciplineError| RaceAnalysisError::Discipline {
+        proc_id: c.stream.proc_id(),
+        error,
+    };
+
+    let mut report = RaceReport::default();
+    let mut clocks: Vec<VClock> = (0..n).map(|_| VClock::new(n)).collect();
+    for (p, c) in clocks.iter_mut().enumerate() {
+        c.0[p] = 1; // Epoch 0 means "no access recorded".
+    }
+    let mut time = vec![0u64; n];
+    let mut parked = vec![false; n];
+    let mut locks: BTreeMap<u64, LockState> = BTreeMap::new();
+    let mut words: BTreeMap<u64, WordState> = BTreeMap::new();
+
+    loop {
+        // Deterministic merge, exactly as in [`detect_races`]: the runnable
+        // processor with the least (time, id) steps next. A parked processor
+        // is unfinished by definition; an unparked one is runnable when its
+        // cursor still yields an event.
+        let mut next: Option<(usize, Event)> = None;
+        let mut unfinished = false;
+        for p in 0..n {
+            if parked[p] {
+                unfinished = true;
+                continue;
+            }
+            if let Some(event) = cursors[p].current().map_err(stream_err)? {
+                unfinished = true;
+                if next.is_none_or(|(b, _)| (time[p], p) < (time[b], b)) {
+                    next = Some((p, event));
+                }
+            }
+        }
+        let Some((p, event)) = next else {
+            if unfinished {
+                return Err(RaceAnalysisError::Deadlock);
+            }
+            break;
+        };
+        let index = cursors[p].index();
+        match event {
+            Event::Busy(cycles) => {
+                time[p] += cycles as u64;
+                cursors[p].pos += 1;
+            }
+            Event::Ref(r) => {
+                if r.class.is_shared() {
+                    check_ref(p, index, &r, &clocks[p], &mut words, &mut report);
+                    *report.checked.entry(r.class).or_insert(0) += 1;
+                }
+                time[p] += 1;
+                cursors[p].pos += 1;
+            }
+            Event::LockAcquire(tok) => {
+                if cursors[p].held.iter().any(|&(a, _)| a == tok.addr) {
+                    return Err(discipline(
+                        &cursors[p],
+                        LockDisciplineError::Reacquired {
+                            index,
+                            addr: tok.addr,
+                        },
+                    ));
+                }
+                let lock = locks.entry(tok.addr).or_default();
+                match lock.holder {
+                    Some(holder) if holder != p => {
+                        lock.waiters.push(p);
+                        parked[p] = true;
+                    }
+                    _ => {
+                        lock.holder = Some(p);
+                        let released = lock.released.clone();
+                        clocks[p].join(&released);
+                        cursors[p].held.push((tok.addr, index));
+                        time[p] += 1;
+                        cursors[p].pos += 1;
+                    }
+                }
+            }
+            Event::LockRelease(tok) => {
+                match cursors[p].held.last().copied() {
+                    Some((innermost, _)) if innermost == tok.addr => {
+                        cursors[p].held.pop();
+                    }
+                    Some((innermost, _)) => {
+                        let error = if cursors[p].held.iter().any(|&(a, _)| a == tok.addr) {
+                            LockDisciplineError::NotNested {
+                                index,
+                                addr: tok.addr,
+                                innermost,
+                            }
+                        } else {
+                            LockDisciplineError::ReleaseUnheld {
+                                index,
+                                addr: tok.addr,
+                            }
+                        };
+                        return Err(discipline(&cursors[p], error));
+                    }
+                    None => {
+                        return Err(discipline(
+                            &cursors[p],
+                            LockDisciplineError::ReleaseUnheld {
+                                index,
+                                addr: tok.addr,
+                            },
+                        ));
+                    }
+                }
+                let release_time = time[p] + 1;
+                let released = clocks[p].clone();
+                let lock = locks.entry(tok.addr).or_default();
+                lock.released = released;
+                lock.holder = None;
+                for w in lock.waiters.drain(..) {
+                    parked[w] = false;
+                    time[w] = time[w].max(release_time);
+                }
+                clocks[p].0[p] += 1;
+                time[p] = release_time;
+                cursors[p].pos += 1;
+            }
+        }
+    }
+    for c in &cursors {
+        if let Some(&(addr, index)) = c.held.first() {
+            return Err(discipline(
+                c,
+                LockDisciplineError::HeldAtEnd { index, addr },
+            ));
+        }
+    }
+    Ok(report)
+}
+
 /// Checks one shared reference against the per-word history and records it.
 fn check_ref(
     p: usize,
@@ -336,7 +565,7 @@ fn check_ref(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dss_trace::{LockClass, LockToken, Tracer};
+    use dss_trace::{write_trace_blocks, FileTraceSource, LockClass, LockToken, Tracer};
 
     const ADDR: u64 = 0x1_0000_0000;
 
@@ -431,6 +660,113 @@ mod tests {
             err,
             RaceAnalysisError::Discipline { proc_id: 0, .. }
         ));
+    }
+
+    /// A contended workload with locked sections, unlocked racy stores, and
+    /// enough events to span several small blocks.
+    fn contended_traces(nprocs: usize) -> Vec<Trace> {
+        (0..nprocs)
+            .map(|p| {
+                let t = Tracer::new(p);
+                t.busy(3 * (p as u32 + 1));
+                for i in 0..40u64 {
+                    t.lock_acquire(tok());
+                    t.read(ADDR + (i % 4) * 8, 8, DataClass::LockHash);
+                    t.write(ADDR + (i % 4) * 8, 8, DataClass::LockHash);
+                    t.lock_release(tok());
+                    t.busy((i % 7) as u32);
+                    // Unsynchronized shared store: a deliberate race.
+                    t.write(ADDR + 0x100, 8, DataClass::BufDesc);
+                }
+                t.take()
+            })
+            .collect()
+    }
+
+    fn block_files(traces: &[Trace], dir: &std::path::Path, block: usize) -> FileTraceSource {
+        std::fs::create_dir_all(dir).unwrap();
+        let paths = traces
+            .iter()
+            .map(|t| {
+                let path = FileTraceSource::proc_path(dir, "race", t.proc_id);
+                let mut bytes = Vec::new();
+                write_trace_blocks(t, &mut bytes, block).unwrap();
+                std::fs::write(&path, bytes).unwrap();
+                path
+            })
+            .collect();
+        FileTraceSource::new(paths)
+    }
+
+    #[test]
+    fn streamed_detection_matches_materialized() {
+        let traces = contended_traces(3);
+        let eager = detect_races(&traces).expect("analyzable");
+        assert!(!eager.races.is_empty(), "workload must exercise the races");
+
+        // The slice adapter and block files at several block sizes must all
+        // reproduce the materialized report exactly — indices included.
+        let via_slice = detect_races_source(&traces[..]).expect("analyzable");
+        assert_eq!(eager, via_slice);
+
+        let dir = std::env::temp_dir().join(format!("dss-race-src-{}", std::process::id()));
+        for block in [7, 64, 4096] {
+            let src = block_files(&traces, &dir, block);
+            let streamed = detect_races_source(&src).expect("analyzable");
+            assert_eq!(eager, streamed, "block_events={block}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streamed_discipline_violations_are_reported() {
+        // Held at the end of the stream.
+        let t = Tracer::new(0);
+        t.busy(5);
+        t.lock_acquire(tok());
+        let traces = [t.take()];
+        let err = detect_races_source(&traces[..]).unwrap_err();
+        assert_eq!(
+            err,
+            RaceAnalysisError::Discipline {
+                proc_id: 0,
+                error: dss_trace::LockDisciplineError::HeldAtEnd {
+                    index: 1,
+                    addr: 0x40
+                }
+            }
+        );
+        // Released while never held.
+        let t = Tracer::new(0);
+        t.lock_release(tok());
+        let traces = [t.take()];
+        let err = detect_races_source(&traces[..]).unwrap_err();
+        assert!(matches!(
+            err,
+            RaceAnalysisError::Discipline {
+                proc_id: 0,
+                error: dss_trace::LockDisciplineError::ReleaseUnheld { index: 0, .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn truncated_block_file_is_a_stream_error() {
+        let traces = contended_traces(2);
+        let dir = std::env::temp_dir().join(format!("dss-race-trunc-{}", std::process::id()));
+        let src = block_files(&traces, &dir, 16);
+        // Cut the second processor's file mid-block.
+        let victim = &src.paths()[1];
+        let bytes = std::fs::read(victim).unwrap();
+        std::fs::write(victim, &bytes[..bytes.len() - 9]).unwrap();
+        let err = detect_races_source(&src).unwrap_err();
+        match err {
+            RaceAnalysisError::Stream(msg) => {
+                assert!(msg.contains("race.p1.trb"), "names the file: {msg}")
+            }
+            other => panic!("expected a stream error, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

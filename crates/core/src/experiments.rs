@@ -8,8 +8,9 @@
 //! structs carry raw [`SimStats`]; rendering to the paper's chart shapes
 //! lives in [`crate::report`].
 //!
-//! The original free functions (`line_size_sweep(&mut wb, q)` and friends)
-//! remain as thin deprecated wrappers for one release.
+//! Every sweep consumes its traces through [`crate::SimSource`], so the same
+//! experiment code runs over materialized sets or streamed block files
+//! (see [`crate::TraceMode`]) with bit-identical results.
 
 use std::panic::resume_unwind;
 use std::sync::atomic::Ordering;
@@ -21,8 +22,8 @@ use dss_query::{Database, PlanFeatures};
 use dss_tpcd::params;
 
 use crate::degrade::PointError;
-use crate::sim::{run_point, run_soft, SoftFailure};
-use crate::workload::{TraceSet, Workbench};
+use crate::sim::{run_point_source, run_soft, SoftFailure};
+use crate::workload::{SimSource, Workbench};
 
 /// L2 line sizes swept by Figures 8 and 9 (L1 lines are half).
 pub const LINE_SIZES: [u64; 5] = [16, 32, 64, 128, 256];
@@ -126,7 +127,7 @@ pub struct ProtocolAblation {
 }
 
 impl Workbench {
-    /// Fans labeled `(config, trace set)` points across this workbench's
+    /// Fans labeled `(config, trace source)` points across this workbench's
     /// worker threads, recording compute time for
     /// [`Workbench::take_sim_compute`].
     ///
@@ -140,7 +141,7 @@ impl Workbench {
     fn fan_out_labeled(
         &mut self,
         labels: &[String],
-        tasks: &[(MachineConfig, TraceSet)],
+        tasks: &[(MachineConfig, SimSource)],
         seed: u64,
     ) -> Vec<Option<SimStats>> {
         debug_assert_eq!(labels.len(), tasks.len());
@@ -149,7 +150,7 @@ impl Workbench {
         let points: Vec<_> = tasks
             .iter()
             .zip(labels)
-            .map(|((cfg, traces), label)| {
+            .map(|((cfg, source), label)| {
                 let sabotage = sabotage.as_deref();
                 let clock = &clock;
                 move || {
@@ -157,7 +158,7 @@ impl Workbench {
                         panic!("injected: sweep point {label} sabotaged");
                     }
                     let start = Instant::now();
-                    let stats = run_point(cfg, traces);
+                    let stats = run_point_source(cfg, source);
                     clock.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     stats
                 }
@@ -192,16 +193,16 @@ impl Workbench {
             .collect()
     }
 
-    /// Fans `configs` over one shared trace set (the common sweep shape).
+    /// Fans `configs` over one shared trace source (the common sweep shape).
     fn fan_out(
         &mut self,
-        traces: &TraceSet,
+        source: &SimSource,
         configs: &[MachineConfig],
         labels: &[String],
     ) -> Vec<Option<SimStats>> {
-        let tasks: Vec<(MachineConfig, TraceSet)> = configs
+        let tasks: Vec<(MachineConfig, SimSource)> = configs
             .iter()
-            .map(|c| (c.clone(), traces.clone()))
+            .map(|c| (c.clone(), source.clone()))
             .collect();
         self.fan_out_labeled(labels, &tasks, 0)
     }
@@ -225,9 +226,9 @@ impl Workbench {
     /// ones), one sweep point per query. In fail-soft mode, failed points
     /// are skipped (and recorded as [`PointError`]s).
     pub fn baseline_suite(&mut self, queries: &[u8]) -> Vec<QueryBaseline> {
-        let tasks: Vec<(MachineConfig, TraceSet)> = queries
+        let tasks: Vec<(MachineConfig, SimSource)> = queries
             .iter()
-            .map(|&q| (MachineConfig::baseline(), self.traces(q, 0)))
+            .map(|&q| (MachineConfig::baseline(), self.source(q, 0)))
             .collect();
         let labels: Vec<String> = queries
             .iter()
@@ -244,7 +245,7 @@ impl Workbench {
     /// Figures 8 and 9: sweep the cache line size for one query. In
     /// fail-soft mode, failed points are skipped (and recorded).
     pub fn line_size_sweep(&mut self, query: u8) -> Vec<LinePoint> {
-        let traces = self.traces(query, 0);
+        let traces = self.source(query, 0);
         let configs: Vec<MachineConfig> = LINE_SIZES
             .iter()
             .map(|&l| MachineConfig::baseline().with_line_size(l))
@@ -264,7 +265,7 @@ impl Workbench {
     /// Figures 10 and 11: sweep the cache sizes for one query (64-byte L2
     /// lines, as the paper uses for its temporal-locality studies).
     pub fn cache_size_sweep(&mut self, query: u8) -> Vec<CachePoint> {
-        let traces = self.traces(query, 0);
+        let traces = self.source(query, 0);
         let configs: Vec<MachineConfig> = CACHE_SIZES_KB
             .iter()
             .map(|&(l1, l2)| MachineConfig::baseline().with_cache_sizes(l1 * 1024, l2 * 1024))
@@ -294,7 +295,7 @@ impl Workbench {
     /// Panics if either point fails — the pair is meaningless without both
     /// (in fail-soft mode the failure is still recorded first).
     pub fn prefetch_experiment(&mut self, query: u8) -> PrefetchPair {
-        let traces = self.traces(query, 0);
+        let traces = self.source(query, 0);
         let configs = [
             MachineConfig::baseline(),
             MachineConfig::baseline().with_data_prefetch(PREFETCH_LINES),
@@ -312,7 +313,7 @@ impl Workbench {
 
     /// Sweeps the sequential-prefetch degree (the paper fixes it at 4).
     pub fn prefetch_degree_sweep(&mut self, query: u8) -> Vec<(u32, SimStats)> {
-        let traces = self.traces(query, 0);
+        let traces = self.source(query, 0);
         let configs: Vec<MachineConfig> = PREFETCH_DEGREES
             .iter()
             .map(|&d| MachineConfig::baseline().with_data_prefetch(d))
@@ -337,7 +338,7 @@ impl Workbench {
     /// Panics if either point fails — the ablation is meaningless without
     /// both (in fail-soft mode the failure is still recorded first).
     pub fn protocol_ablation(&mut self, query: u8) -> ProtocolAblation {
-        let traces = self.traces(query, 0);
+        let traces = self.source(query, 0);
         let configs = [
             MachineConfig::baseline(),
             MachineConfig::baseline().with_protocol(dss_memsim::Protocol::Mesi),
@@ -357,7 +358,7 @@ impl Workbench {
     /// instance per processor (the paper's inter-query parallelism model).
     /// Each point reports how metalock spinning and coherence misses grow.
     pub fn processor_sweep(&mut self, query: u8) -> Vec<(usize, SimStats)> {
-        let traces = self.traces(query, 0);
+        let traces = self.source(query, 0);
         let configs: Vec<MachineConfig> = PROC_COUNTS
             .iter()
             .map(|&n| MachineConfig::baseline().with_processors(n))
@@ -379,32 +380,55 @@ impl Workbench {
 
     /// Figure 12: inter-query temporal locality with very large caches.
     ///
-    /// Inherently serial — the warm runs reuse one machine's cache contents —
-    /// so it runs on the calling thread at any job count.
+    /// Each arm warms (or doesn't) its *own* machine and then replays the
+    /// measured set on it, so the three arms are independent and fan across
+    /// up to [`Workbench::jobs`] workers; the within-arm warm→measured order
+    /// is what carries the cache-reuse effect and stays serial. The measured
+    /// set is generated once and replayed by every arm (generation is
+    /// history-independent, so this changes nothing but wall-clock and
+    /// allocations).
     pub fn reuse_experiment(&mut self, query: u8, other: u8) -> ReuseSet {
         let (l1_kb, l2_kb) = REUSE_CACHES_KB;
         let cfg = MachineConfig::baseline().with_cache_sizes(l1_kb * 1024, l2_kb * 1024);
-        let measured = self.traces(query, 0);
-
-        let cold = Machine::new(cfg.clone()).run(&measured);
-
-        let warm_same = {
-            let warm = self.traces(query, 1000);
-            let mut m = Machine::new(cfg.clone());
-            m.run(&warm);
-            drop(warm);
-            let measured = self.traces(query, 0);
-            m.run(&measured)
+        let replay = |m: &mut Machine, src: &SimSource| {
+            m.run_source(src)
+                .unwrap_or_else(|e| panic!("trace stream failed: {e}"))
         };
+        // Sources come first (trace generation needs `&mut self`); the sims
+        // then share them immutably across workers.
+        let measured = self.source(query, 0);
+        let warm_same_src = self.source(query, 1000);
+        let warm_other_src = self.source(other, 1000);
 
-        let warm_other = {
-            let warm = self.traces(other, 1000);
-            let mut m = Machine::new(cfg);
-            m.run(&warm);
-            drop(warm);
-            let measured = self.traces(query, 0);
-            m.run(&measured)
-        };
+        let arms: [Option<&SimSource>; 3] = [None, Some(&warm_same_src), Some(&warm_other_src)];
+        let points: Vec<_> = arms
+            .iter()
+            .map(|warm| {
+                let (cfg, measured) = (&cfg, &measured);
+                move || {
+                    let mut m = Machine::new(cfg.clone());
+                    if let Some(warm) = warm {
+                        replay(&mut m, warm);
+                    }
+                    replay(&mut m, measured)
+                }
+            })
+            .collect();
+        let mut stats = run_soft(self.jobs(), &points, None)
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(stats) => stats,
+                Err(SoftFailure {
+                    payload: Some(payload),
+                    ..
+                }) => resume_unwind(payload),
+                Err(failure) => panic!("reuse arm failed: {}", failure.cause),
+            });
+        let (cold, warm_same, warm_other) = (
+            stats.next().expect("cold arm"),
+            stats.next().expect("warm-same arm"),
+            stats.next().expect("warm-other arm"),
+        );
 
         ReuseSet {
             query,
@@ -414,60 +438,6 @@ impl Workbench {
             warm_other,
         }
     }
-}
-
-/// Runs the baseline architecture for one query.
-#[deprecated(since = "0.2.0", note = "use `wb.baseline_run(query)`")]
-pub fn baseline_run(wb: &mut Workbench, query: u8) -> QueryBaseline {
-    wb.baseline_run(query)
-}
-
-/// Runs the baseline for a set of queries (default: the three studied ones).
-#[deprecated(since = "0.2.0", note = "use `wb.baseline_suite(queries)`")]
-pub fn baseline_suite(wb: &mut Workbench, queries: &[u8]) -> Vec<QueryBaseline> {
-    wb.baseline_suite(queries)
-}
-
-/// Figures 8 and 9: sweep the cache line size for one query.
-#[deprecated(since = "0.2.0", note = "use `wb.line_size_sweep(query)`")]
-pub fn line_size_sweep(wb: &mut Workbench, query: u8) -> Vec<LinePoint> {
-    wb.line_size_sweep(query)
-}
-
-/// Figures 10 and 11: sweep the cache sizes for one query.
-#[deprecated(since = "0.2.0", note = "use `wb.cache_size_sweep(query)`")]
-pub fn cache_size_sweep(wb: &mut Workbench, query: u8) -> Vec<CachePoint> {
-    wb.cache_size_sweep(query)
-}
-
-/// Figure 12: inter-query temporal locality with very large caches.
-#[deprecated(since = "0.2.0", note = "use `wb.reuse_experiment(query, other)`")]
-pub fn reuse_experiment(wb: &mut Workbench, query: u8, other: u8) -> ReuseSet {
-    wb.reuse_experiment(query, other)
-}
-
-/// Figure 13: the Section 6 prefetching experiment.
-#[deprecated(since = "0.2.0", note = "use `wb.prefetch_experiment(query)`")]
-pub fn prefetch_experiment(wb: &mut Workbench, query: u8) -> PrefetchPair {
-    wb.prefetch_experiment(query)
-}
-
-/// Sweeps the sequential-prefetch degree (the paper fixes it at 4).
-#[deprecated(since = "0.2.0", note = "use `wb.prefetch_degree_sweep(query)`")]
-pub fn prefetch_degree_sweep(wb: &mut Workbench, query: u8) -> Vec<(u32, SimStats)> {
-    wb.prefetch_degree_sweep(query)
-}
-
-/// Runs the MSI-vs-MESI ablation.
-#[deprecated(since = "0.2.0", note = "use `wb.protocol_ablation(query)`")]
-pub fn protocol_ablation(wb: &mut Workbench, query: u8) -> ProtocolAblation {
-    wb.protocol_ablation(query)
-}
-
-/// Scales the machine from one to four processors.
-#[deprecated(since = "0.2.0", note = "use `wb.processor_sweep(query)`")]
-pub fn processor_sweep(wb: &mut Workbench, query: u8) -> Vec<(usize, SimStats)> {
-    wb.processor_sweep(query)
 }
 
 /// Table 1: the operator matrix of all seventeen read-only queries.

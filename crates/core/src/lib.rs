@@ -7,13 +7,16 @@
 //! into the CC-NUMA memory-hierarchy simulator under each experiment's
 //! machine configuration.
 //!
-//! * [`Workbench`] — database + trace cache (one [`TraceSet`] drives a whole
-//!   parameter sweep, since traces are machine-independent) and the
-//!   experiment methods, one per table/figure of the evaluation.
-//! * [`sim_points`] — the parallel harness: fan sweep points across worker
-//!   threads with results bit-identical to a serial run.
-//! * [`experiments`] — the experiments' result types (and deprecated
-//!   free-function forms of the [`Workbench`] methods).
+//! * [`Workbench`] — database + trace cache (one trace population drives a
+//!   whole parameter sweep, since traces are machine-independent) and the
+//!   experiment methods, one per table/figure of the evaluation. Under
+//!   [`TraceMode::Streamed`] the workbench records traces straight to block
+//!   files and replays them from disk, bounding peak memory at any scale.
+//! * [`sim_points`] / [`sim_points_source`] — the parallel harness: fan
+//!   sweep points across worker threads with results bit-identical to a
+//!   serial run, over a materialized [`TraceSet`] or any streaming
+//!   [`dss_trace::TraceSource`].
+//! * [`experiments`] — the experiments' result types.
 //! * [`report`] — ASCII renderings in the paper's chart shapes.
 //! * [`paper`] — the paper's claims as executable shape checks.
 //! * [`PointError`] / [`write_atomic`] — graceful degradation: structured
@@ -43,5 +46,5 @@ mod workload;
 
 pub use degrade::{PointCause, PointError};
 pub use persist::write_atomic;
-pub use sim::sim_points;
-pub use workload::{query_label, TraceSet, Workbench, STUDIED_QUERIES};
+pub use sim::{sim_points, sim_points_source};
+pub use workload::{query_label, SimSource, TraceMode, TraceSet, Workbench, STUDIED_QUERIES};

@@ -2,13 +2,18 @@
 //! scoped worker threads.
 //!
 //! Every sweep in [`crate::experiments`] has the same shape: one immutable
-//! [`TraceSet`] replayed through many [`Machine`]s, one per
+//! trace population replayed through many [`Machine`]s, one per
 //! [`MachineConfig`]. The points share no mutable state — each gets a fresh
 //! machine with cold caches — so they can run on any number of threads with
 //! bit-identical results to a serial run; only wall-clock changes. The paper
 //! itself never needed this (its evaluation ran once); re-parameterized
 //! replay studies do, and [`sim_points`] makes them embarrassingly parallel
 //! with no dependencies beyond `std::thread::scope`.
+//!
+//! Points consume their traces through the [`TraceSource`] streaming API, so
+//! the same harness replays a fully materialized [`TraceSet`] or block files
+//! on disk ([`dss_trace::FileTraceSource`]) with bit-identical results — the
+//! latter without ever holding a full trace in memory.
 
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -17,7 +22,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use dss_memsim::{Machine, MachineConfig, SimStats};
-use dss_trace::Trace;
+use dss_trace::{ProcPrefix, TraceSource};
 
 use crate::degrade::PointCause;
 use crate::workload::TraceSet;
@@ -31,22 +36,65 @@ use crate::workload::TraceSet;
 /// serial harness did. `jobs <= 1` runs everything on the calling thread;
 /// any job count produces identical [`SimStats`].
 ///
+/// This is the materialized-set convenience over [`sim_points_source`]: a
+/// `&[Trace]` is itself a [`TraceSource`].
+///
 /// # Panics
 ///
 /// Panics if a worker thread panics (the simulation itself panicking, e.g.
 /// on an invalid config).
 pub fn sim_points(traces: &TraceSet, configs: &[MachineConfig], jobs: usize) -> Vec<SimStats> {
-    let tasks: Vec<(MachineConfig, TraceSet)> = configs
-        .iter()
-        .map(|c| (c.clone(), traces.clone()))
-        .collect();
-    run_tasks(jobs, &tasks, &AtomicU64::new(0))
+    sim_points_source(&traces[..], configs, jobs)
 }
 
-/// One simulation point: a fresh machine over the leading `nprocs` traces.
-pub(crate) fn run_point(cfg: &MachineConfig, traces: &[Trace]) -> SimStats {
-    let take = cfg.nprocs.min(traces.len());
-    Machine::new(cfg.clone()).run(&traces[..take])
+/// Runs one simulation per config over any [`TraceSource`], on up to `jobs`
+/// worker threads, returning results in config order.
+///
+/// Each point opens its own streams from `src`, so peak memory per point is
+/// bounded by the source's block size, not the trace length — replaying
+/// block files keeps the whole sweep within a few event blocks per
+/// processor. Results are bit-identical to [`sim_points`] over the
+/// materialized equivalent, at any job count.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics, or if the source fails mid-stream
+/// (truncated or corrupt block files).
+pub fn sim_points_source<S>(src: &S, configs: &[MachineConfig], jobs: usize) -> Vec<SimStats>
+where
+    S: TraceSource + ?Sized,
+{
+    let points: Vec<_> = configs
+        .iter()
+        .map(|cfg| move || run_point_source(cfg, src))
+        .collect();
+    run_soft(jobs, &points, None)
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(stats) => stats,
+            // Hard mode: re-raise the first failing point's panic unchanged
+            // (the remaining points already ran; no work is re-entered).
+            Err(SoftFailure {
+                payload: Some(payload),
+                ..
+            }) => resume_unwind(payload),
+            Err(failure) => panic!("sweep point failed: {}", failure.cause),
+        })
+        .collect()
+}
+
+/// One streamed simulation point: a fresh machine fed block-by-block from
+/// the leading `nprocs` streams of `src`. Stream failures panic so the
+/// fail-soft runner classifies them like any other point failure.
+pub(crate) fn run_point_source<S>(cfg: &MachineConfig, src: &S) -> SimStats
+where
+    S: TraceSource + ?Sized,
+{
+    let take = cfg.nprocs.min(src.nprocs());
+    let prefix = ProcPrefix::new(src, take);
+    Machine::new(cfg.clone())
+        .run_source(&prefix)
+        .unwrap_or_else(|e| panic!("trace stream failed: {e}"))
 }
 
 /// A point failure as the runner sees it: the public classification plus the
@@ -82,7 +130,7 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 /// (but no longer decides its outcome).
 ///
 /// With no deadline and no panics this is behaviorally identical to
-/// [`run_tasks`]: bit-identical results at any job count.
+/// [`sim_points`]: bit-identical results at any job count.
 pub(crate) fn run_soft<T, F>(
     jobs: usize,
     points: &[F],
@@ -177,40 +225,6 @@ where
         .collect()
 }
 
-/// Runs `(config, trace set)` tasks on up to `jobs` threads, preserving task
-/// order in the results and adding each point's compute time to `clock`
-/// (nanoseconds) so callers can report speedup over a serial run.
-pub(crate) fn run_tasks(
-    jobs: usize,
-    tasks: &[(MachineConfig, TraceSet)],
-    clock: &AtomicU64,
-) -> Vec<SimStats> {
-    let points: Vec<_> = tasks
-        .iter()
-        .map(|(cfg, traces)| {
-            move || {
-                let start = Instant::now();
-                let stats = run_point(cfg, traces);
-                clock.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                stats
-            }
-        })
-        .collect();
-    run_soft(jobs, &points, None)
-        .into_iter()
-        .map(|slot| match slot {
-            Ok(stats) => stats,
-            // Hard mode: re-raise the first failing point's panic unchanged
-            // (the remaining points already ran; no work is re-entered).
-            Err(SoftFailure {
-                payload: Some(payload),
-                ..
-            }) => resume_unwind(payload),
-            Err(failure) => panic!("sweep point failed: {}", failure.cause),
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,16 +282,30 @@ mod tests {
     }
 
     #[test]
-    fn compute_clock_accumulates() {
-        let traces = synthetic_set(2);
-        let tasks = vec![(MachineConfig::baseline(), traces.clone()); 3];
-        let clock = AtomicU64::new(0);
-        let stats = run_tasks(2, &tasks, &clock);
-        assert_eq!(stats.len(), 3);
-        assert!(
-            clock.load(Ordering::Relaxed) > 0,
-            "per-point compute time recorded"
-        );
+    fn file_backed_source_matches_materialized_sweep() {
+        use dss_trace::FileTraceSource;
+
+        let traces = synthetic_set(3);
+        let dir = std::env::temp_dir().join(format!("dss-sim-src-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let paths: Vec<_> = traces
+            .iter()
+            .map(|t| {
+                let path = FileTraceSource::proc_path(&dir, "synthetic", t.proc_id);
+                let mut bytes = Vec::new();
+                dss_trace::write_trace_blocks(t, &mut bytes, 256).unwrap();
+                std::fs::write(&path, bytes).unwrap();
+                path
+            })
+            .collect();
+        let src = FileTraceSource::new(paths);
+        let configs: Vec<MachineConfig> = (1..=3)
+            .map(|n| MachineConfig::baseline().with_processors(n))
+            .collect();
+        let materialized = sim_points(&traces, &configs, 2);
+        let streamed = sim_points_source(&src, &configs, 2);
+        assert_eq!(materialized, streamed, "block files replay bit-identically");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

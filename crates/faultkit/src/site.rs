@@ -15,8 +15,8 @@ use rand::Rng;
 use dss_memsim::{Machine, MachineConfig};
 use dss_tpcd::{from_tbl, table_def, ColType, TableDef};
 use dss_trace::{
-    check_lock_discipline, read_trace, write_trace, DataClass, LockClass, LockDisciplineError,
-    LockToken, Trace, Tracer,
+    check_lock_discipline, read_trace, read_trace_blocks, write_trace, write_trace_blocks,
+    DataClass, LockClass, LockDisciplineError, LockToken, Trace, Tracer,
 };
 
 use crate::Outcome;
@@ -95,6 +95,18 @@ static SITES: &[Site] = &[
         layer: "trace codec",
         expect: "corrupt",
         run: bad_lock_class,
+    },
+    Site {
+        name: "trace.blocks.truncated-mid-block",
+        layer: "trace codec",
+        expect: "truncated",
+        run: block_truncated,
+    },
+    Site {
+        name: "trace.blocks.chunk-seed-mismatch",
+        layer: "trace codec",
+        expect: "corrupt",
+        run: block_chunk_swap,
     },
     Site {
         name: "trace.check.lock-truncated",
@@ -301,6 +313,94 @@ fn bad_lock_class(rng: &mut StdRng) -> Outcome {
     classify_read(&buf, "corrupt")
 }
 
+// --- block stream sites -----------------------------------------------------
+
+/// Events per block in the block-stream fixtures: small enough that the
+/// fixture spans several blocks, fixed so block byte offsets are computable.
+const BLOCK_EVENTS: usize = 16;
+/// Number of full blocks the fixture encodes.
+const BLOCKS: usize = 4;
+/// Stream header size: magic, processor id, header checksum.
+const BLOCK_HEADER: usize = 24;
+/// Byte size of one full block: count, chunk index, 17-byte records,
+/// checksum.
+const BLOCK_SIZE: usize = 8 + 8 + BLOCK_EVENTS * 17 + 8;
+
+/// A trace of exactly [`BLOCKS`]` × `[`BLOCK_EVENTS`] uniform events, so the
+/// chunked encoding is [`BLOCKS`] byte-interchangeable full blocks (every
+/// record is 17 bytes; only the chunk index distinguishes equal-count
+/// blocks) plus the end marker.
+fn block_trace(rng: &mut StdRng) -> Trace {
+    let t = Tracer::new(rng.gen_range(0..4usize));
+    let base = dss_shmem::SHARED_BASE + rng.gen_range(0..1024u64) * 64;
+    for i in 0..(BLOCKS * BLOCK_EVENTS) as u64 {
+        t.read(base + i * 8, 8, DataClass::Data);
+    }
+    t.take()
+}
+
+/// Serializes a trace in the chunked block format; in-memory writes cannot
+/// fail, so `None` means the fixture itself is broken.
+fn encode_blocks(trace: &Trace) -> Option<Vec<u8>> {
+    let mut buf = Vec::new();
+    write_trace_blocks(trace, &mut buf, BLOCK_EVENTS).ok()?;
+    Some(buf)
+}
+
+/// Feeds a corrupted block stream to the block decoder and demands error
+/// kind `want`.
+fn classify_read_blocks(bytes: &[u8], want: &str) -> Outcome {
+    match read_trace_blocks(bytes) {
+        Err(e) if e.kind() == want => Outcome::Detected {
+            classification: e.kind().to_string(),
+        },
+        Err(e) => Outcome::Absorbed {
+            detail: format!(
+                "detected, but classified {:?} where {want:?} was demanded: {e}",
+                e.kind()
+            ),
+        },
+        Ok(t) => Outcome::Absorbed {
+            detail: format!(
+                "decoded {} events from a corrupt block stream",
+                t.events.len()
+            ),
+        },
+    }
+}
+
+/// The block stream cut anywhere past its header — inside a block's records,
+/// its checksum, a block header, or the end marker. Every such cut is a torn
+/// write the reader must classify as truncation.
+fn block_truncated(rng: &mut StdRng) -> Outcome {
+    let Some(mut buf) = encode_blocks(&block_trace(rng)) else {
+        return skipped("block fixture failed to encode");
+    };
+    buf.truncate(rng.gen_range(BLOCK_HEADER..buf.len()));
+    classify_read_blocks(&buf, "truncated")
+}
+
+/// Two whole blocks swapped in place — the shape a mis-seeded or mis-ordered
+/// parallel producer would emit. Every per-block checksum still verifies, so
+/// only the sequential chunk-index check can reveal the damage.
+fn block_chunk_swap(rng: &mut StdRng) -> Outcome {
+    let Some(mut buf) = encode_blocks(&block_trace(rng)) else {
+        return skipped("block fixture failed to encode");
+    };
+    if buf.len() < BLOCK_HEADER + BLOCKS * BLOCK_SIZE {
+        return skipped("block fixture smaller than its declared layout");
+    }
+    let i = rng.gen_range(0..BLOCKS - 1);
+    let j = rng.gen_range(i + 1..BLOCKS);
+    for k in 0..BLOCK_SIZE {
+        buf.swap(
+            BLOCK_HEADER + i * BLOCK_SIZE + k,
+            BLOCK_HEADER + j * BLOCK_SIZE + k,
+        );
+    }
+    classify_read_blocks(&buf, "corrupt")
+}
+
 // --- trace semantics sites --------------------------------------------------
 
 /// A trace that ends inside a critical section — what a truncated file looks
@@ -389,13 +489,13 @@ fn tbl_arity(rng: &mut StdRng) -> Outcome {
     let Some(def) = table_def("region") else {
         return skipped("region schema missing");
     };
-    let mut fields = synth_row(&def);
+    let mut fields = synth_row(def);
     if rng.gen_bool(0.5) {
         fields.pop();
     } else {
         fields.push("extra".to_string());
     }
-    classify_tbl(&def, &row_text(&fields), "fields, found")
+    classify_tbl(def, &row_text(&fields), "fields, found")
 }
 
 /// Junk in an integer column.
@@ -406,9 +506,9 @@ fn tbl_bad_int(rng: &mut StdRng) -> Outcome {
     let Some(col) = def.columns.iter().position(|c| c.ty == ColType::Int) else {
         return skipped("region has no integer column");
     };
-    let mut fields = synth_row(&def);
+    let mut fields = synth_row(def);
     fields[col] = format!("{}x{}", rng.gen_range(0..100u32), rng.gen_range(0..100u32));
-    classify_tbl(&def, &row_text(&fields), "bad integer")
+    classify_tbl(def, &row_text(&fields), "bad integer")
 }
 
 /// An impossible calendar date in a date column.
@@ -419,13 +519,13 @@ fn tbl_bad_date(rng: &mut StdRng) -> Outcome {
     let Some(col) = def.columns.iter().position(|c| c.ty == ColType::Date) else {
         return skipped("orders has no date column");
     };
-    let mut fields = synth_row(&def);
+    let mut fields = synth_row(def);
     fields[col] = format!(
         "1995-{}-{}",
         rng.gen_range(13..99u32),
         rng.gen_range(1..28u32)
     );
-    classify_tbl(&def, &row_text(&fields), "bad date")
+    classify_tbl(def, &row_text(&fields), "bad date")
 }
 
 /// Junk in a decimal column.
@@ -436,9 +536,9 @@ fn tbl_bad_decimal(rng: &mut StdRng) -> Outcome {
     let Some(col) = def.columns.iter().position(|c| c.ty == ColType::Dec) else {
         return skipped("orders has no decimal column");
     };
-    let mut fields = synth_row(&def);
+    let mut fields = synth_row(def);
     fields[col] = format!("x{}.00", rng.gen_range(0..100u32));
-    classify_tbl(&def, &row_text(&fields), "bad decimal")
+    classify_tbl(def, &row_text(&fields), "bad decimal")
 }
 
 // --- coherence state sites --------------------------------------------------

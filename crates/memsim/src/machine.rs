@@ -18,7 +18,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
-use dss_trace::{DataClass, Event, Trace};
+use dss_trace::{DataClass, Event, Trace, TraceError, TraceSource};
 
 use crate::cache::{Cache, LineState};
 use crate::config::{MachineConfig, Protocol};
@@ -65,6 +65,11 @@ pub struct Machine {
     scratch: Vec<ProcScratch>,
     /// Reusable scheduler heap (same rationale as `scratch`).
     ready: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Reusable per-processor block buffers for [`Machine::run_source`]: the
+    /// streaming run replays one block per processor at a time, refilling
+    /// these in place, so peak memory stays bounded by the block size — not
+    /// the trace length — and steady-state streaming runs stay heap-quiet.
+    blocks: Vec<Trace>,
     /// When armed (test-only `alloc-probe` feature), every simulated event
     /// performs one deliberate heap allocation so the allocation audit's
     /// negative test can prove the gate fires.
@@ -149,6 +154,7 @@ impl Machine {
             locks: Vec::with_capacity(4 * cfg.nprocs),
             scratch: Vec::new(),
             ready: BinaryHeap::new(),
+            blocks: Vec::new(),
             #[cfg(feature = "alloc-probe")]
             probe_allocs: false,
             l1_line: cfg.l1.line,
@@ -284,6 +290,128 @@ impl Machine {
         out.prefetches_issued = std::mem::take(&mut self.prefetches_issued);
         out.prefetches_filled = std::mem::take(&mut self.prefetches_filled);
         self.scratch = scratch;
+    }
+
+    /// Runs a streaming [`TraceSource`] to completion: each processor's
+    /// events are consumed one block at a time, so peak memory is bounded by
+    /// the block size regardless of trace length. Identical in every
+    /// simulated respect to materializing the source and calling
+    /// [`Machine::run`] — block boundaries carry no timing — which the
+    /// equivalence tests pin bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`TraceError`] from the source (truncated or
+    /// corrupt block stream, I/O failure). Cache state reflects the events
+    /// already replayed; use a fresh machine after an error.
+    ///
+    /// # Panics
+    ///
+    /// As [`Machine::run`].
+    pub fn run_source(&mut self, src: &dyn TraceSource) -> Result<SimStats, TraceError> {
+        let mut stats = SimStats::default();
+        self.run_source_into(src, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// [`Machine::run_source`] into a caller-owned [`SimStats`], overwriting
+    /// it — the buffer-reusing form, like [`Machine::run_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Machine::run_source`].
+    ///
+    /// # Panics
+    ///
+    /// As [`Machine::run`].
+    pub fn run_source_into(
+        &mut self,
+        src: &dyn TraceSource,
+        out: &mut SimStats,
+    ) -> Result<(), TraceError> {
+        let mut streams = src.open()?;
+        let n = streams.len();
+        assert!(n <= self.cfg.nprocs, "more streams than processors");
+        self.locks.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        while scratch.len() < n {
+            scratch.push(ProcScratch::default());
+        }
+        let mut blocks = std::mem::take(&mut self.blocks);
+        while blocks.len() < n {
+            blocks.push(Trace::default());
+        }
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.clear();
+        let mut l1s = LevelStats::default();
+        let mut l2s = LevelStats::default();
+
+        // The replay loop proper, in a closure so an early stream error can
+        // still hand the reusable buffers back to the machine below.
+        let result = (|| -> Result<(), TraceError> {
+            let mut seen: u128 = 0;
+            for i in 0..n {
+                let proc_id = streams[i].proc_id();
+                assert!(
+                    proc_id < self.cfg.nprocs,
+                    "stream for processor {} on a {}-processor machine",
+                    proc_id,
+                    self.cfg.nprocs
+                );
+                assert!(
+                    seen & (1 << proc_id) == 0,
+                    "two streams for processor {proc_id}"
+                );
+                seen |= 1 << proc_id;
+                let rp = &mut scratch[i];
+                rp.reset(proc_id);
+                rp.wb.reserve(self.cfg.write_buffer);
+                blocks[i].proc_id = proc_id;
+                if streams[i].next_block(&mut blocks[i].events)? > 0 {
+                    ready.push(Reverse((rp.clock, i)));
+                }
+            }
+            // Same deterministic interleave as `run_into`: block boundaries
+            // only decide when a refill happens, never who steps next.
+            while let Some(Reverse((_, i))) = ready.pop() {
+                let rp = &mut scratch[i];
+                let node = rp.node;
+                self.step(node, &blocks[i], rp, &mut l1s, &mut l2s);
+                let rp = &mut scratch[i];
+                if rp.pos == blocks[i].events.len()
+                    && streams[i].next_block(&mut blocks[i].events)? > 0
+                {
+                    rp.pos = 0;
+                }
+                if rp.pos < blocks[i].events.len() {
+                    ready.push(Reverse((rp.clock, i)));
+                }
+            }
+            Ok(())
+        })();
+        ready.clear();
+        self.ready = ready;
+        self.blocks = blocks;
+        if result.is_err() {
+            self.scratch = scratch;
+            return result;
+        }
+
+        out.procs.clear();
+        out.procs.resize(self.cfg.nprocs, ProcStats::default());
+        for rp in &mut scratch[..n] {
+            if let Some(&(_, complete)) = rp.wb.back() {
+                rp.clock = rp.clock.max(complete);
+            }
+            rp.stats.cycles = rp.clock;
+            out.procs[rp.node] = rp.stats;
+        }
+        out.l1 = l1s;
+        out.l2 = l2s;
+        out.prefetches_issued = std::mem::take(&mut self.prefetches_issued);
+        out.prefetches_filled = std::mem::take(&mut self.prefetches_filled);
+        self.scratch = scratch;
+        Ok(())
     }
 
     /// Verifies the structural invariants of the cache hierarchy and
@@ -1000,5 +1128,147 @@ mod tests {
         assert_eq!(a.exec_cycles(), b.exec_cycles());
         assert_eq!(a.l1.read_misses, b.l1.read_misses);
         assert_eq!(a.l2.read_misses, b.l2.read_misses);
+    }
+
+    /// A materialized-source wrapper with a configurable block size, so the
+    /// streaming tests can exercise refills at awkward boundaries.
+    struct Chopped<'a> {
+        traces: &'a [Trace],
+        block: usize,
+    }
+
+    struct ChoppedStream<'a> {
+        trace: &'a Trace,
+        pos: usize,
+        block: usize,
+    }
+
+    impl dss_trace::EventStream for ChoppedStream<'_> {
+        fn proc_id(&self) -> usize {
+            self.trace.proc_id
+        }
+
+        fn next_block(&mut self, buf: &mut Vec<Event>) -> Result<usize, TraceError> {
+            buf.clear();
+            let n = (self.trace.events.len() - self.pos).min(self.block);
+            buf.extend_from_slice(&self.trace.events[self.pos..self.pos + n]);
+            self.pos += n;
+            Ok(n)
+        }
+    }
+
+    impl TraceSource for Chopped<'_> {
+        fn nprocs(&self) -> usize {
+            self.traces.len()
+        }
+
+        fn open(&self) -> Result<Vec<Box<dyn dss_trace::EventStream + '_>>, TraceError> {
+            Ok(self
+                .traces
+                .iter()
+                .map(|trace| {
+                    Box::new(ChoppedStream {
+                        trace,
+                        pos: 0,
+                        block: self.block,
+                    }) as Box<dyn dss_trace::EventStream>
+                })
+                .collect())
+        }
+    }
+
+    /// Contended traces: everyone hammers the same lock and lines, so the
+    /// interleave exercises parked processors across block refills.
+    fn contended_traces(nprocs: usize) -> Vec<Trace> {
+        let tok = LockToken::new(SHARED_BASE + 0x40, LockClass::LockMgr);
+        (0..nprocs)
+            .map(|p| {
+                let t = Tracer::new(p);
+                for i in 0..300u64 {
+                    t.busy((p as u32 + 1) * (i as u32 % 5));
+                    t.lock_acquire(tok);
+                    t.read(SHARED_BASE + (i % 64) * 8, 8, DataClass::LockHash);
+                    t.write(SHARED_BASE + (i % 64) * 8, 8, DataClass::LockHash);
+                    t.lock_release(tok);
+                    t.write(dss_shmem::private_base(p) + i * 24, 8, DataClass::PrivHeap);
+                }
+                t.take()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_source_matches_run_at_any_block_size() {
+        let traces = contended_traces(4);
+        let materialized = Machine::new(MachineConfig::baseline()).run(&traces);
+        // The default materialized adapter…
+        let streamed = Machine::new(MachineConfig::baseline())
+            .run_source(&&traces[..])
+            .expect("materialized source cannot fail");
+        assert_eq!(streamed, materialized);
+        // …and adversarial block sizes, including 1 (a refill per event) and
+        // sizes that split lock-acquire retries across block boundaries.
+        for block in [1, 2, 3, 7, 64, 100_000] {
+            let streamed = Machine::new(MachineConfig::baseline())
+                .run_source(&Chopped {
+                    traces: &traces,
+                    block,
+                })
+                .expect("in-memory source cannot fail");
+            assert_eq!(streamed, materialized, "block size {block}");
+        }
+    }
+
+    #[test]
+    fn run_source_reuses_buffers_and_matches_warm_run() {
+        // Warm-cache equivalence: the second run over the same machine must
+        // match run()'s second run, proving cache/directory state carries
+        // across streaming runs identically.
+        let traces = contended_traces(2);
+        let mut m_mat = Machine::new(MachineConfig::baseline());
+        let mut m_str = Machine::new(MachineConfig::baseline());
+        let first_mat = m_mat.run(&traces);
+        let first_str = m_str.run_source(&&traces[..]).unwrap();
+        assert_eq!(first_mat, first_str);
+        let second_mat = m_mat.run(&traces);
+        let second_str = m_str.run_source(&&traces[..]).unwrap();
+        assert_eq!(second_mat, second_str);
+        assert_ne!(first_mat, second_mat, "warm run differs from cold");
+    }
+
+    #[test]
+    fn run_source_surfaces_stream_errors() {
+        struct Broken;
+        struct BrokenStream;
+        impl dss_trace::EventStream for BrokenStream {
+            fn proc_id(&self) -> usize {
+                0
+            }
+            fn next_block(&mut self, _buf: &mut Vec<Event>) -> Result<usize, TraceError> {
+                Err(TraceError::Truncated {
+                    offset: 42,
+                    expected: "event record",
+                    event: None,
+                })
+            }
+        }
+        impl TraceSource for Broken {
+            fn nprocs(&self) -> usize {
+                1
+            }
+            fn open(&self) -> Result<Vec<Box<dyn dss_trace::EventStream + '_>>, TraceError> {
+                Ok(vec![Box::new(BrokenStream)])
+            }
+        }
+        let mut m = machine();
+        let err = m.run_source(&Broken).map(|_| ()).unwrap_err();
+        assert_eq!(err.kind(), "truncated");
+        // The machine is still usable for a fresh run afterwards.
+        let traces = contended_traces(1);
+        assert_eq!(
+            Machine::new(MachineConfig::baseline()).run(&traces),
+            m.run(&traces),
+            "post-error machine had cold caches (no events were replayed)"
+        );
     }
 }

@@ -329,7 +329,7 @@ mod tests {
     fn region_heap() -> (BufferPool, Heap) {
         let mut space = AddressSpace::new();
         let pool = BufferPool::new(&mut space, 64);
-        let heap = Heap::create(3, table_def("region").unwrap());
+        let heap = Heap::create(3, table_def("region").unwrap().clone());
         (pool, heap)
     }
 
@@ -383,7 +383,7 @@ mod tests {
 
     #[test]
     fn lineitem_rows_per_page_matches_paper_footprint() {
-        let heap = Heap::create(1, table_def("lineitem").unwrap());
+        let heap = Heap::create(1, table_def("lineitem").unwrap().clone());
         // 140-byte payload + 40-byte header => 45 tuples per 8 KB page, so
         // ~60k lineitems occupy ~1340 pages ≈ 11 MB, the paper's "about 12
         // Mbytes" for the scaled lineitem table.

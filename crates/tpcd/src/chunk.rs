@@ -1,0 +1,651 @@
+//! Chunked, parallel, allocation-lean `.tbl` generation.
+//!
+//! [`crate::Generator`] materializes the whole population in memory before a
+//! single byte reaches disk — fine at the paper's 100×-reduced scale, but the
+//! wrong shape for the streaming pipeline, which wants table data produced in
+//! bounded memory at any scale factor. This module instead defines the
+//! population as a sequence of independently seeded **units** — one row for
+//! the entity tables, one part's four `partsupp` rows, one order with its one
+//! to seven lineitems — where unit `u` of table `t` draws from
+//! `StdRng::seed_from_u64(seed ^ fnv1a(t, u))`. Any contiguous range of
+//! units can be rendered without generating its predecessors, so batch size
+//! and worker count are pure throughput knobs: the bytes written are
+//! identical for every [`ChunkedGenerator::batch_units`] and `jobs` choice
+//! (pinned by `tests/chunking.rs`).
+//!
+//! Rows are rendered straight into reused `String` buffers — no per-row
+//! `Vec<Value>`, no per-field allocation beyond the buffers themselves — and
+//! each table streams through a temp-then-rename writer, so a killed run
+//! never leaves a torn `.tbl` behind. Peak memory is one batch of text per
+//! worker regardless of scale factor.
+//!
+//! The unit streams are intentionally a *different* population from
+//! [`crate::Generator`], which draws each table from one sequential RNG; the
+//! golden artifacts pin the legacy generator, and the chunked generator pins
+//! its own bytes through the chunking property suite.
+
+use std::fmt::Write as _;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write as _};
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gen::{partsupp_suppkey, retail_price};
+use crate::schema::{scaled_cardinality, table_def};
+use crate::{text, Date};
+
+/// Default units per rendering batch: large enough to amortize dispatch,
+/// small enough that a worker's text buffer stays around a megabyte.
+pub const DEFAULT_BATCH_UNITS: usize = 4096;
+
+/// The seven independent generation tasks, in schema order. The `orders`
+/// task also produces `lineitem` (an order and its lineitems are one unit).
+const TASKS: [&str; 7] = [
+    "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
+];
+
+/// Row counts and output size from a [`ChunkedGenerator::write_dir`] run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenReport {
+    /// Rows written per table, in schema order (all eight tables).
+    pub rows: Vec<(&'static str, u64)>,
+    /// Total `.tbl` bytes written.
+    pub bytes: u64,
+}
+
+impl GenReport {
+    /// Rows written for `table`, if it was generated.
+    pub fn rows_for(&self, table: &str) -> Option<u64> {
+        self.rows.iter().find(|(t, _)| *t == table).map(|(_, n)| *n)
+    }
+}
+
+/// The chunked, parallel `.tbl` generator.
+///
+/// # Example
+///
+/// ```
+/// use dss_tpcd::ChunkedGenerator;
+///
+/// let g = ChunkedGenerator::new(0.001, 42);
+/// assert_eq!(g.unit_count("customer"), 150);
+///
+/// // Any batching yields the same bytes.
+/// let mut one = (String::new(), String::new());
+/// let mut many = (String::new(), String::new());
+/// g.render_units("orders", 0..g.unit_count("orders"), &mut one.0, &mut one.1);
+/// for u in 0..g.unit_count("orders") {
+///     g.render_units("orders", u..u + 1, &mut many.0, &mut many.1);
+/// }
+/// assert_eq!(one, many);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct ChunkedGenerator {
+    scale: f64,
+    seed: u64,
+    batch: usize,
+}
+
+/// Scaled cardinalities the order generator needs for foreign keys.
+#[derive(Clone, Copy)]
+struct Cards {
+    customers: i64,
+    parts: i64,
+    suppliers: i64,
+}
+
+impl ChunkedGenerator {
+    /// Creates a generator for the given scale factor and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not strictly positive.
+    pub fn new(scale: f64, seed: u64) -> Self {
+        assert!(scale > 0.0, "scale factor must be positive");
+        ChunkedGenerator {
+            scale,
+            seed,
+            batch: DEFAULT_BATCH_UNITS,
+        }
+    }
+
+    /// Sets the units rendered per batch (a pure throughput/memory knob).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is zero.
+    pub fn batch_units(mut self, units: usize) -> Self {
+        assert!(units > 0, "batch must hold at least one unit");
+        self.batch = units;
+        self
+    }
+
+    /// The configured scale factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The configured seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of generation units for `table` at this scale factor.
+    ///
+    /// A unit is one row, except `partsupp` (one part's four rows) and
+    /// `orders` (one order plus its lineitems). `lineitem` has no unit
+    /// stream of its own — it rides on `orders`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `lineitem` or an unknown table.
+    pub fn unit_count(&self, table: &str) -> u64 {
+        match table {
+            "region" | "nation" => table_def(table).expect("fixed table").base_cardinality,
+            "partsupp" => self.unit_count("part"),
+            "supplier" | "customer" | "part" | "orders" => scaled_cardinality(
+                table_def(table).expect("scaled table").base_cardinality,
+                self.scale,
+            ),
+            other => panic!("no unit stream for table {other:?} (lineitem rides on orders)"),
+        }
+    }
+
+    /// The per-unit RNG: `seed ^ fnv1a(table bytes, unit index)`. Every unit
+    /// is an independent stream, which is what makes chunk boundaries
+    /// invisible in the output.
+    fn unit_rng(&self, table: &str, unit: u64) -> StdRng {
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in table.bytes().chain(unit.to_le_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        StdRng::seed_from_u64(self.seed ^ h)
+    }
+
+    fn cards(&self) -> Cards {
+        Cards {
+            customers: self.unit_count("customer") as i64,
+            parts: self.unit_count("part") as i64,
+            suppliers: self.unit_count("supplier") as i64,
+        }
+    }
+
+    /// Appends the `.tbl` text of units `range` of `table` to `primary`
+    /// (and, for the `orders` task, lineitem rows to `secondary`), returning
+    /// `(primary, secondary)` row counts. Ranges past the unit count are
+    /// clamped; buffers are appended to, not cleared.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `lineitem` or an unknown table (see [`Self::unit_count`]).
+    pub fn render_units(
+        &self,
+        table: &str,
+        range: Range<u64>,
+        primary: &mut String,
+        secondary: &mut String,
+    ) -> (u64, u64) {
+        let end = range.end.min(self.unit_count(table));
+        let cards = self.cards();
+        let mut rows = (0u64, 0u64);
+        for unit in range.start..end {
+            let mut rng = self.unit_rng(table, unit);
+            match table {
+                "region" => rows.0 += region_unit(unit, &mut rng, primary),
+                "nation" => rows.0 += nation_unit(unit, &mut rng, primary),
+                "supplier" => rows.0 += supplier_unit(unit, &mut rng, primary),
+                "customer" => rows.0 += customer_unit(unit, &mut rng, primary),
+                "part" => rows.0 += part_unit(unit, &mut rng, primary),
+                "partsupp" => rows.0 += partsupp_unit(unit, &mut rng, cards, primary),
+                "orders" => {
+                    let (o, l) = order_unit(unit, &mut rng, cards, primary, secondary);
+                    rows.0 += o;
+                    rows.1 += l;
+                }
+                other => unreachable!("unit_count admitted {other:?}"),
+            }
+        }
+        rows
+    }
+
+    /// Generates all eight `.tbl` files under `dir` with up to `jobs` worker
+    /// threads (clamped to the seven independent tasks; zero means one).
+    ///
+    /// Each table streams through a temp-then-rename writer, so a crashed or
+    /// killed run leaves either no `.tbl` or a complete one. Output bytes
+    /// are identical for every `jobs` and batch size.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error from any writer.
+    pub fn write_dir(&self, dir: &Path, jobs: usize) -> io::Result<GenReport> {
+        fs::create_dir_all(dir)?;
+        let jobs = jobs.clamp(1, TASKS.len());
+        let next = AtomicUsize::new(0);
+        let outs = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut outs = Vec::new();
+                        let mut primary = String::new();
+                        let mut secondary = String::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(table) = TASKS.get(i) else { break };
+                            outs.push(self.run_task(dir, table, &mut primary, &mut secondary));
+                        }
+                        outs
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("generator worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        let mut per_table = Vec::new();
+        let mut bytes = 0;
+        for out in outs {
+            let (tables, b) = out?;
+            per_table.extend(tables);
+            bytes += b;
+        }
+        // Deterministic report order regardless of which worker ran what.
+        let mut rows = Vec::with_capacity(8);
+        for def in crate::schema::tpcd_schema() {
+            let n = per_table
+                .iter()
+                .find(|(t, _)| *t == def.name)
+                .map(|(_, n)| *n)
+                .expect("every table generated");
+            rows.push((def.name, n));
+        }
+        Ok(GenReport { rows, bytes })
+    }
+
+    /// Generates one task's file(s), batch by batch, through atomic writers.
+    fn run_task(
+        &self,
+        dir: &Path,
+        table: &'static str,
+        primary: &mut String,
+        secondary: &mut String,
+    ) -> io::Result<(Vec<(&'static str, u64)>, u64)> {
+        let mut main = AtomicFile::create(dir.join(format!("{table}.tbl")))?;
+        let mut side = match table {
+            "orders" => Some(AtomicFile::create(dir.join("lineitem.tbl"))?),
+            _ => None,
+        };
+        let units = self.unit_count(table);
+        let batch = self.batch as u64;
+        let mut rows = (0u64, 0u64);
+        let mut start = 0u64;
+        while start < units {
+            let end = (start + batch).min(units);
+            primary.clear();
+            secondary.clear();
+            let (p, l) = self.render_units(table, start..end, primary, secondary);
+            rows.0 += p;
+            rows.1 += l;
+            main.write(primary)?;
+            if let Some(f) = side.as_mut() {
+                f.write(secondary)?;
+            }
+            start = end;
+        }
+        let mut bytes = main.commit()?;
+        let mut tables = vec![(table, rows.0)];
+        if let Some(mut f) = side {
+            bytes += f.commit()?;
+            tables.push(("lineitem", rows.1));
+        }
+        Ok((tables, bytes))
+    }
+}
+
+/// A streaming temp-then-rename file: bytes land in a `.tmp.<pid>` sibling
+/// and only an explicit [`AtomicFile::commit`] renames them into place, so
+/// readers never observe a torn table. (The same protocol as the workbench's
+/// `write_atomic`, restated here because the generator streams its contents
+/// instead of holding them in memory.)
+struct AtomicFile {
+    out: BufWriter<File>,
+    tmp: PathBuf,
+    dest: PathBuf,
+    bytes: u64,
+    committed: bool,
+}
+
+impl AtomicFile {
+    fn create(dest: PathBuf) -> io::Result<AtomicFile> {
+        let mut name = dest
+            .file_name()
+            .map(|n| n.to_os_string())
+            .unwrap_or_default();
+        name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = dest.with_file_name(name);
+        let file = File::create(&tmp)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", tmp.display())))?;
+        Ok(AtomicFile {
+            out: BufWriter::new(file),
+            tmp,
+            dest,
+            bytes: 0,
+            committed: false,
+        })
+    }
+
+    fn write(&mut self, text: &str) -> io::Result<()> {
+        self.bytes += text.len() as u64;
+        self.out.write_all(text.as_bytes())
+    }
+
+    fn commit(&mut self) -> io::Result<u64> {
+        self.out.flush()?;
+        self.out.get_ref().sync_all()?;
+        fs::rename(&self.tmp, &self.dest)
+            .map_err(|e| io::Error::new(e.kind(), format!("{}: {e}", self.dest.display())))?;
+        self.committed = true;
+        Ok(self.bytes)
+    }
+}
+
+impl Drop for AtomicFile {
+    fn drop(&mut self) {
+        if !self.committed {
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+/// Appends `v` in hundredths as `.tbl` decimal text plus the delimiter.
+fn push_dec(out: &mut String, v: i64) {
+    let _ = write!(out, "{}.{:02}|", v / 100, (v % 100).abs());
+}
+
+fn region_unit(unit: u64, rng: &mut StdRng, out: &mut String) -> u64 {
+    let _ = write!(out, "{unit}|{}|", text::REGIONS[unit as usize]);
+    text::comment_into(rng, 30, out);
+    out.push_str("|\n");
+    1
+}
+
+fn nation_unit(unit: u64, rng: &mut StdRng, out: &mut String) -> u64 {
+    let (name, region) = text::NATIONS[unit as usize];
+    let _ = write!(out, "{unit}|{name}|{region}|");
+    text::comment_into(rng, 30, out);
+    out.push_str("|\n");
+    1
+}
+
+fn supplier_unit(unit: u64, rng: &mut StdRng, out: &mut String) -> u64 {
+    let key = unit as i64 + 1;
+    let nationkey: i64 = rng.gen_range(0..25);
+    let _ = write!(out, "{key}|Supplier#{key:09}|");
+    text::comment_into(rng, 24, out);
+    let _ = write!(out, "|{nationkey}|");
+    text::phone_into(rng, nationkey, out);
+    out.push('|');
+    push_dec(out, rng.gen_range(-99_999..=999_999));
+    text::comment_into(rng, 25, out);
+    out.push_str("|\n");
+    1
+}
+
+fn customer_unit(unit: u64, rng: &mut StdRng, out: &mut String) -> u64 {
+    let key = unit as i64 + 1;
+    let nationkey: i64 = rng.gen_range(0..25);
+    let _ = write!(out, "{key}|Customer#{key:09}|");
+    text::comment_into(rng, 24, out);
+    let _ = write!(out, "|{nationkey}|");
+    text::phone_into(rng, nationkey, out);
+    out.push('|');
+    push_dec(out, rng.gen_range(-99_999..=999_999));
+    let _ = write!(out, "{}|", text::pick(rng, &text::SEGMENTS));
+    text::comment_into(rng, 60, out);
+    out.push_str("|\n");
+    1
+}
+
+fn part_unit(unit: u64, rng: &mut StdRng, out: &mut String) -> u64 {
+    let key = unit as i64 + 1;
+    let mfgr: i64 = rng.gen_range(1..=5);
+    let brand = mfgr * 10 + rng.gen_range(1..=5);
+    let _ = write!(out, "{key}|");
+    for i in 0..5 {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(text::pick(rng, &text::PART_NAME_WORDS));
+    }
+    let _ = write!(
+        out,
+        "|Manufacturer#{mfgr}|Brand#{brand}|{} {} {}|{}|{} {}|",
+        text::pick(rng, &text::TYPE_SYL1),
+        text::pick(rng, &text::TYPE_SYL2),
+        text::pick(rng, &text::TYPE_SYL3),
+        rng.gen_range(1..=50),
+        text::pick(rng, &text::CONTAINER_SYL1),
+        text::pick(rng, &text::CONTAINER_SYL2),
+    );
+    push_dec(out, retail_price(key));
+    text::comment_into(rng, 14, out);
+    out.push_str("|\n");
+    1
+}
+
+fn partsupp_unit(unit: u64, rng: &mut StdRng, cards: Cards, out: &mut String) -> u64 {
+    let partkey = unit as i64 + 1;
+    for i in 0..4i64 {
+        let suppkey = partsupp_suppkey(partkey, i, cards.suppliers);
+        let _ = write!(out, "{partkey}|{suppkey}|{}|", rng.gen_range(1..=9999));
+        push_dec(out, rng.gen_range(100..=100_000));
+        text::comment_into(rng, 50, out);
+        out.push_str("|\n");
+    }
+    4
+}
+
+/// One order plus its lineitems, mirroring the spec distributions of
+/// [`crate::Generator`]'s `gen_order` (dates in the population window,
+/// one-to-seven lines, status flags from the fixed current date).
+fn order_unit(
+    unit: u64,
+    rng: &mut StdRng,
+    cards: Cards,
+    orders: &mut String,
+    lineitems: &mut String,
+) -> (u64, u64) {
+    let orderkey = unit as i64 + 1;
+    let order_window = Date::END.days_since(Date::START) - 151;
+    let custkey = rng.gen_range(1..=cards.customers);
+    let orderdate = Date::START.add_days(rng.gen_range(0..=order_window));
+    let lines: i64 = rng.gen_range(1..=7);
+    let mut totalprice = 0i64;
+    let mut shipped = 0;
+    for linenumber in 1..=lines {
+        let partkey = rng.gen_range(1..=cards.parts);
+        let quantity = rng.gen_range(1..=50) * 100;
+        let extendedprice = retail_price(partkey) * (quantity / 100);
+        let discount = rng.gen_range(0..=10);
+        let tax = rng.gen_range(0..=8);
+        let shipdate = orderdate.add_days(rng.gen_range(1..=121));
+        let commitdate = orderdate.add_days(rng.gen_range(30..=90));
+        let receiptdate = shipdate.add_days(rng.gen_range(1..=30));
+        let linestatus = if shipdate > Date::CURRENT { 'O' } else { 'F' };
+        let returnflag = if receiptdate <= Date::CURRENT {
+            if rng.gen_bool(0.5) {
+                'R'
+            } else {
+                'A'
+            }
+        } else {
+            'N'
+        };
+        if linestatus == 'F' {
+            shipped += 1;
+        }
+        totalprice += extendedprice * (100 - discount) / 100 * (100 + tax) / 100;
+        let suppkey = partsupp_suppkey(partkey, rng.gen_range(0..4), cards.suppliers);
+        let _ = write!(lineitems, "{orderkey}|{partkey}|{suppkey}|{linenumber}|");
+        push_dec(lineitems, quantity);
+        push_dec(lineitems, extendedprice);
+        push_dec(lineitems, discount);
+        push_dec(lineitems, tax);
+        let _ = write!(
+            lineitems,
+            "{returnflag}|{linestatus}|{shipdate}|{commitdate}|{receiptdate}|{}|{}|",
+            text::pick(rng, &text::SHIP_INSTRUCTS),
+            text::pick(rng, &text::SHIP_MODES),
+        );
+        text::comment_into(rng, 27, lineitems);
+        lineitems.push_str("|\n");
+    }
+    let orderstatus = if shipped == lines {
+        'F'
+    } else if shipped == 0 {
+        'O'
+    } else {
+        'P'
+    };
+    let _ = write!(orders, "{orderkey}|{custkey}|{orderstatus}|");
+    push_dec(orders, totalprice);
+    let _ = write!(
+        orders,
+        "{orderdate}|{}|Clerk#{:09}|0|",
+        text::pick(rng, &text::ORDER_PRIORITIES),
+        rng.gen_range(1..=1000),
+    );
+    text::comment_into(rng, 30, orders);
+    orders.push_str("|\n");
+    (1, lines as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{from_tbl, tpcd_schema};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dss-chunk-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn cardinalities_match_legacy_scaling() {
+        let g = ChunkedGenerator::new(0.001, 7);
+        assert_eq!(g.unit_count("region"), 5);
+        assert_eq!(g.unit_count("nation"), 25);
+        assert_eq!(g.unit_count("supplier"), 10);
+        assert_eq!(g.unit_count("customer"), 150);
+        assert_eq!(g.unit_count("part"), 200);
+        assert_eq!(g.unit_count("partsupp"), 200); // units of four rows
+        assert_eq!(g.unit_count("orders"), 1500);
+    }
+
+    #[test]
+    fn every_table_parses_against_the_schema() {
+        let g = ChunkedGenerator::new(0.001, 7);
+        let mut primary = String::new();
+        let mut secondary = String::new();
+        for def in tpcd_schema() {
+            if def.name == "lineitem" {
+                continue;
+            }
+            primary.clear();
+            secondary.clear();
+            let (rows, lines) = g.render_units(
+                def.name,
+                0..g.unit_count(def.name),
+                &mut primary,
+                &mut secondary,
+            );
+            let parsed = from_tbl(def, &primary).unwrap_or_else(|e| panic!("{e}"));
+            assert_eq!(parsed.len() as u64, rows, "{}", def.name);
+            if def.name == "orders" {
+                let li = table_def("lineitem").unwrap();
+                let parsed = from_tbl(li, &secondary).unwrap_or_else(|e| panic!("{e}"));
+                assert_eq!(parsed.len() as u64, lines);
+                assert!(lines >= rows && lines <= rows * 7);
+            }
+        }
+    }
+
+    #[test]
+    fn write_dir_is_invariant_to_jobs_and_batch() {
+        let base = temp_dir("base");
+        let wide = temp_dir("wide");
+        let a = ChunkedGenerator::new(0.001, 7)
+            .batch_units(10_000)
+            .write_dir(&base, 1)
+            .unwrap();
+        let b = ChunkedGenerator::new(0.001, 7)
+            .batch_units(17)
+            .write_dir(&wide, 7)
+            .unwrap();
+        assert_eq!(a, b);
+        for def in tpcd_schema() {
+            let x = fs::read(base.join(format!("{}.tbl", def.name))).unwrap();
+            let y = fs::read(wide.join(format!("{}.tbl", def.name))).unwrap();
+            assert_eq!(x, y, "{} differs across jobs/batch", def.name);
+            assert!(!x.is_empty());
+        }
+        let _ = fs::remove_dir_all(&base);
+        let _ = fs::remove_dir_all(&wide);
+    }
+
+    #[test]
+    fn report_counts_rows_in_schema_order() {
+        let dir = temp_dir("report");
+        let report = ChunkedGenerator::new(0.001, 7).write_dir(&dir, 4).unwrap();
+        let names: Vec<_> = report.rows.iter().map(|(t, _)| *t).collect();
+        assert_eq!(
+            names,
+            [
+                "region", "nation", "supplier", "customer", "part", "partsupp", "orders",
+                "lineitem"
+            ]
+        );
+        assert_eq!(report.rows_for("partsupp"), Some(800));
+        assert_eq!(report.rows_for("orders"), Some(1500));
+        let li = report.rows_for("lineitem").unwrap();
+        assert!((1500..=1500 * 7).contains(&li));
+        assert!(report.bytes > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seeds_produce_different_populations() {
+        let g7 = ChunkedGenerator::new(0.001, 7);
+        let g8 = ChunkedGenerator::new(0.001, 8);
+        let mut a = (String::new(), String::new());
+        let mut b = (String::new(), String::new());
+        g7.render_units("customer", 0..10, &mut a.0, &mut a.1);
+        g8.render_units("customer", 0..10, &mut b.0, &mut b.1);
+        assert_ne!(a.0, b.0);
+    }
+
+    #[test]
+    fn no_torn_tbl_left_behind_on_drop() {
+        let dir = temp_dir("torn");
+        let mut f = AtomicFile::create(dir.join("orders.tbl")).unwrap();
+        f.write("1|partial").unwrap();
+        drop(f);
+        assert!(fs::read_dir(&dir).unwrap().next().is_none(), "temp cleaned");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "lineitem rides on orders")]
+    fn lineitem_has_no_unit_stream() {
+        ChunkedGenerator::new(0.001, 7).unit_count("lineitem");
+    }
+}

@@ -398,7 +398,7 @@ impl Generator {
 
     fn cardinality_of(&self, table: &str) -> u64 {
         let def = tpcd_schema()
-            .into_iter()
+            .iter()
             .find(|t| t.name == table)
             .expect("known table");
         match table {
@@ -660,12 +660,12 @@ fn gen_order(
 
 /// The spec's retail price formula: `(90000 + ((partkey/10) % 20001) +
 /// 100 * (partkey % 1000)) / 100` dollars, kept in hundredths.
-fn retail_price(partkey: i64) -> i64 {
+pub(crate) fn retail_price(partkey: i64) -> i64 {
     90_000 + (partkey / 10) % 20_001 + 100 * (partkey % 1000)
 }
 
 /// The spec's partsupp supplier spreading formula.
-fn partsupp_suppkey(partkey: i64, i: i64, suppliers: i64) -> i64 {
+pub(crate) fn partsupp_suppkey(partkey: i64, i: i64, suppliers: i64) -> i64 {
     let s = suppliers;
     (partkey + i * (s / 4 + (partkey - 1) / s)) % s + 1
 }

@@ -12,6 +12,10 @@
 //!   lineitem-per-order fan-out.
 //! * [`params`] — per-query substitution parameters (clause 2.4), used to
 //!   give each simulated processor a different instance of the same query.
+//! * [`ChunkedGenerator`] — the bounded-memory path: independently seeded
+//!   generation units rendered straight to `.tbl` text in reused buffers, in
+//!   parallel across tables, with output invariant to batch size and worker
+//!   count.
 //!
 //! # Example
 //!
@@ -30,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chunk;
 mod date;
 mod gen;
 mod params;
@@ -37,6 +42,7 @@ mod schema;
 mod tbl;
 pub mod text;
 
+pub use chunk::{ChunkedGenerator, GenReport, DEFAULT_BATCH_UNITS};
 pub use date::Date;
 pub use gen::{
     Customer, DbData, Generator, Lineitem, Nation, Order, Part, PartSupp, Region, Supplier,

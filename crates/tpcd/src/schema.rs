@@ -1,6 +1,8 @@
 //! Logical schema of the eight TPC-D tables and the generic value type used
 //! to hand rows to a storage engine.
 
+use std::sync::OnceLock;
+
 use crate::Date;
 
 /// Column type in the TPC-D schema.
@@ -146,7 +148,17 @@ macro_rules! columns {
 }
 
 /// The eight TPC-D table definitions, in population order.
-pub fn tpcd_schema() -> Vec<TableDef> {
+///
+/// Built once and cached for the process: the schema is consulted on every
+/// row-format operation (`.tbl` rendering, heap layout, fault classification),
+/// and rebuilding eight `Vec<ColumnDef>`s per lookup dominated small-table
+/// allocation profiles.
+pub fn tpcd_schema() -> &'static [TableDef] {
+    static SCHEMA: OnceLock<Vec<TableDef>> = OnceLock::new();
+    SCHEMA.get_or_init(build_schema)
+}
+
+fn build_schema() -> Vec<TableDef> {
     use ColType::*;
     vec![
         TableDef {
@@ -263,8 +275,8 @@ pub fn tpcd_schema() -> Vec<TableDef> {
 }
 
 /// Looks up a table definition by name in [`tpcd_schema`].
-pub fn table_def(name: &str) -> Option<TableDef> {
-    tpcd_schema().into_iter().find(|t| t.name == name)
+pub fn table_def(name: &str) -> Option<&'static TableDef> {
+    tpcd_schema().iter().find(|t| t.name == name)
 }
 
 /// Rounds a base cardinality by the scale factor, with a floor of one row.

@@ -15,7 +15,11 @@ use crate::{Date, DbData};
 
 /// Renders one table's rows in `.tbl` format.
 pub fn to_tbl(def: &TableDef, rows: &[Vec<Value>]) -> String {
-    let mut out = String::new();
+    // Fixed-width row payload plus delimiters bounds the text length from
+    // above (variable-width strings render at most their declared width), so
+    // one reservation covers the whole table.
+    let mut out =
+        String::with_capacity(rows.len() * (def.row_width() as usize + def.columns.len() + 4));
     for row in rows {
         for value in row {
             match value {
@@ -44,7 +48,7 @@ pub fn to_tbl(def: &TableDef, rows: &[Vec<Value>]) -> String {
 ///
 /// Returns a descriptive error for arity mismatches or unparsable fields.
 pub fn from_tbl(def: &TableDef, text: &str) -> Result<Vec<Vec<Value>>, TblError> {
-    let mut rows = Vec::new();
+    let mut rows = Vec::with_capacity(text.len() / (def.row_width() as usize / 2).max(1));
     for (lineno, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
@@ -125,7 +129,7 @@ impl DbData {
     pub fn write_tbl(&self, dir: &Path) -> io::Result<()> {
         fs::create_dir_all(dir)?;
         for def in tpcd_schema() {
-            let text = to_tbl(&def, &self.rows(def.name));
+            let text = to_tbl(def, &self.rows(def.name));
             fs::write(dir.join(format!("{}.tbl", def.name)), text)?;
         }
         Ok(())
@@ -168,8 +172,8 @@ mod tests {
         let db = Generator::new(0.001, 4).generate();
         for def in tpcd_schema() {
             let rows = db.rows(def.name);
-            let text = to_tbl(&def, &rows);
-            let back = from_tbl(&def, &text).unwrap_or_else(|e| panic!("{e}"));
+            let text = to_tbl(def, &rows);
+            let back = from_tbl(def, &text).unwrap_or_else(|e| panic!("{e}"));
             assert_eq!(back, rows, "roundtrip of {}", def.name);
         }
     }
@@ -182,14 +186,14 @@ mod tests {
             Value::Str("AFRICA".into()),
             Value::Str("nice comment".into()),
         ]];
-        assert_eq!(to_tbl(&def, &rows), "0|AFRICA|nice comment|\n");
+        assert_eq!(to_tbl(def, &rows), "0|AFRICA|nice comment|\n");
     }
 
     #[test]
     fn decimals_and_dates_render_canonically() {
         let def = table_def("orders").unwrap();
         let db = Generator::new(0.001, 4).generate();
-        let text = to_tbl(&def, &db.rows("orders"));
+        let text = to_tbl(def, &db.rows("orders"));
         let first = text.lines().next().unwrap();
         let fields: Vec<&str> = first.split('|').collect();
         // o_totalprice has two decimals; o_orderdate is ISO.
@@ -211,17 +215,17 @@ mod tests {
             Value::Dec(-507), // -5.07
             Value::Str("c".into()),
         ];
-        let text = to_tbl(&def, std::slice::from_ref(&row));
+        let text = to_tbl(def, std::slice::from_ref(&row));
         assert!(text.contains("|-5.07|"));
-        assert_eq!(from_tbl(&def, &text).unwrap(), vec![row]);
+        assert_eq!(from_tbl(def, &text).unwrap(), vec![row]);
     }
 
     #[test]
     fn arity_and_type_errors_are_reported_with_position() {
         let def = table_def("region").unwrap();
-        let err = from_tbl(&def, "0|AFRICA|\n").unwrap_err();
+        let err = from_tbl(def, "0|AFRICA|\n").unwrap_err();
         assert!(err.to_string().contains("line 1"));
-        let err = from_tbl(&def, "zero|AFRICA|c|\n").unwrap_err();
+        let err = from_tbl(def, "zero|AFRICA|c|\n").unwrap_err();
         assert!(err.to_string().contains("r_regionkey"));
     }
 

@@ -1,0 +1,90 @@
+//! Chunk-boundary determinism for the chunked generator: any batch size
+//! yields byte-identical `.tbl` output versus the single-chunk path, and the
+//! rendered text survives a parse round-trip against the schema. This is the
+//! property that makes batch size and `--jobs` pure throughput knobs.
+
+use dss_tpcd::{from_tbl, table_def, tpcd_schema, ChunkedGenerator};
+use proptest::prelude::*;
+
+/// Renders all of `table` in batches of `batch` units, concatenated.
+fn render_batched(g: &ChunkedGenerator, table: &str, batch: u64) -> (String, String) {
+    let units = g.unit_count(table);
+    let mut primary = String::new();
+    let mut secondary = String::new();
+    let mut start = 0;
+    while start < units {
+        let end = (start + batch).min(units);
+        g.render_units(table, start..end, &mut primary, &mut secondary);
+        start = end;
+    }
+    (primary, secondary)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batch size never changes the bytes: rendering unit-at-a-time, in odd
+    /// batches, and in one giant chunk all agree.
+    #[test]
+    fn any_batch_size_is_byte_identical(batch in 1u64..64, seed in 0u64..1_000) {
+        let g = ChunkedGenerator::new(0.0005, seed);
+        for table in ["region", "nation", "supplier", "customer", "part", "partsupp", "orders"] {
+            let whole = render_batched(&g, table, u64::MAX);
+            let chunked = render_batched(&g, table, batch);
+            prop_assert_eq!(&whole, &chunked, "{} differs at batch {}", table, batch);
+        }
+    }
+
+    /// Any sub-range renders exactly the slice of the single-chunk text that
+    /// its neighbors leave for it (no hidden state crosses a unit boundary).
+    #[test]
+    fn ranges_compose(split in 1u64..200, seed in 0u64..1_000) {
+        let g = ChunkedGenerator::new(0.0005, seed);
+        let units = g.unit_count("orders");
+        let split = split.min(units - 1);
+        let whole = render_batched(&g, "orders", u64::MAX);
+        let mut left = (String::new(), String::new());
+        g.render_units("orders", 0..split, &mut left.0, &mut left.1);
+        // Continue into the same buffers from the split point.
+        g.render_units("orders", split..units, &mut left.0, &mut left.1);
+        prop_assert_eq!(whole, left);
+    }
+
+    /// Chunked output stays parseable row text with the schema's arity and
+    /// column types, at every seed.
+    #[test]
+    fn output_parses_against_schema(seed in 0u64..1_000) {
+        let g = ChunkedGenerator::new(0.0005, seed);
+        let (orders, lineitems) = render_batched(&g, "orders", 7);
+        let odef = table_def("orders").unwrap();
+        let ldef = table_def("lineitem").unwrap();
+        let orows = from_tbl(odef, &orders).unwrap();
+        let lrows = from_tbl(ldef, &lineitems).unwrap();
+        prop_assert_eq!(orows.len() as u64, g.unit_count("orders"));
+        prop_assert!(lrows.len() >= orows.len() && lrows.len() <= orows.len() * 7);
+    }
+}
+
+/// One full write_dir comparison on disk: serial big-batch versus parallel
+/// small-batch runs produce identical files for all eight tables.
+#[test]
+fn files_identical_across_jobs_and_batch() {
+    let base = std::env::temp_dir().join(format!("dss-chunking-a-{}", std::process::id()));
+    let wide = std::env::temp_dir().join(format!("dss-chunking-b-{}", std::process::id()));
+    let a = ChunkedGenerator::new(0.001, 42)
+        .batch_units(100_000)
+        .write_dir(&base, 1)
+        .unwrap();
+    let b = ChunkedGenerator::new(0.001, 42)
+        .batch_units(13)
+        .write_dir(&wide, 8)
+        .unwrap();
+    assert_eq!(a, b);
+    for def in tpcd_schema() {
+        let x = std::fs::read(base.join(format!("{}.tbl", def.name))).unwrap();
+        let y = std::fs::read(wide.join(format!("{}.tbl", def.name))).unwrap();
+        assert_eq!(x, y, "{} differs", def.name);
+    }
+    let _ = std::fs::remove_dir_all(&base);
+    let _ = std::fs::remove_dir_all(&wide);
+}

@@ -26,6 +26,11 @@ use crate::{DataClass, Event, LockClass, LockToken, MemRef, Trace};
 /// Format magic. `02` added the trailing whole-file checksum.
 const MAGIC: &[u8; 8] = b"DSSTRC02";
 
+/// Magic of the chunked block format: a stream header followed by
+/// independently checksummed event blocks, so a trace can be produced and
+/// consumed incrementally with bounded memory.
+const BLOCK_MAGIC: &[u8; 8] = b"DSSTRB01";
+
 /// FNV-1a 64-bit offset basis / prime, the checksum of the trace body.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -202,23 +207,27 @@ pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> io::Result<()> {
     put(&mut w, &(trace.proc_id as u64).to_le_bytes())?;
     put(&mut w, &(trace.events.len() as u64).to_le_bytes())?;
     for event in &trace.events {
-        let (tag, a, b): (u8, u64, u64) = match event {
-            Event::Busy(n) => (0, *n as u64, 0),
-            Event::Ref(r) => {
-                let meta =
-                    (r.size as u64) << 8 | (r.write as u64) << 7 | class_code(r.class) as u64;
-                (1, r.addr, meta)
-            }
-            Event::LockAcquire(tok) => (2, tok.addr, lock_code(tok.class) as u64),
-            Event::LockRelease(tok) => (3, tok.addr, lock_code(tok.class) as u64),
-        };
-        let mut record = [0u8; 17];
-        record[0] = tag;
-        record[1..9].copy_from_slice(&a.to_le_bytes());
-        record[9..17].copy_from_slice(&b.to_le_bytes());
-        put(&mut w, &record)?;
+        put(&mut w, &encode_event(event))?;
     }
     w.write_all(&hash.to_le_bytes())
+}
+
+/// Encodes one event as its 17-byte wire record.
+fn encode_event(event: &Event) -> [u8; 17] {
+    let (tag, a, b): (u8, u64, u64) = match event {
+        Event::Busy(n) => (0, *n as u64, 0),
+        Event::Ref(r) => {
+            let meta = (r.size as u64) << 8 | (r.write as u64) << 7 | class_code(r.class) as u64;
+            (1, r.addr, meta)
+        }
+        Event::LockAcquire(tok) => (2, tok.addr, lock_code(tok.class) as u64),
+        Event::LockRelease(tok) => (3, tok.addr, lock_code(tok.class) as u64),
+    };
+    let mut record = [0u8; 17];
+    record[0] = tag;
+    record[1..9].copy_from_slice(&a.to_le_bytes());
+    record[9..17].copy_from_slice(&b.to_le_bytes());
+    record
 }
 
 /// Writes `trace` to the file at `path` atomically: the bytes land in a
@@ -258,9 +267,262 @@ fn tmp_sibling(path: &Path) -> PathBuf {
     path.with_file_name(name)
 }
 
+/// An incremental writer for the chunked block format ([`BLOCK_MAGIC`]).
+///
+/// The stream is a header (magic, processor id, header checksum) followed by
+/// any number of blocks, each independently checksummed:
+///
+/// ```text
+/// count:u64  chunk:u64  count × 17-byte event records  fnv1a:u64
+/// ```
+///
+/// `chunk` numbers the blocks sequentially from zero, so a reader detects
+/// reordered, duplicated, or mis-seeded chunks (e.g. from a buggy parallel
+/// producer) as corruption instead of replaying a scrambled workload. A
+/// zero-count block terminates the stream; a stream cut before that marker
+/// is reported as truncated. Unlike [`write_trace`], nothing about the
+/// stream's total length is promised up front, so a producer can emit blocks
+/// as it generates them and never hold more than one block in memory.
+pub struct BlockWriter<W: Write> {
+    w: W,
+    next_chunk: u64,
+    finished: bool,
+}
+
+impl<W: Write> BlockWriter<W> {
+    /// Starts a block stream for `proc_id`, writing the stream header.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `w`.
+    pub fn new(mut w: W, proc_id: usize) -> io::Result<Self> {
+        w.write_all(BLOCK_MAGIC)?;
+        let id = (proc_id as u64).to_le_bytes();
+        w.write_all(&id)?;
+        w.write_all(&fnv1a(FNV_OFFSET, &id).to_le_bytes())?;
+        Ok(BlockWriter {
+            w,
+            next_chunk: 0,
+            finished: false,
+        })
+    }
+
+    /// Appends one block of events. Empty blocks are skipped (a zero count is
+    /// the end-of-stream marker).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`BlockWriter::finish`].
+    pub fn write_block(&mut self, events: &[Event]) -> io::Result<()> {
+        assert!(!self.finished, "write_block after finish");
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut hash = FNV_OFFSET;
+        let mut put = |w: &mut W, bytes: &[u8]| -> io::Result<()> {
+            hash = fnv1a(hash, bytes);
+            w.write_all(bytes)
+        };
+        put(&mut self.w, &(events.len() as u64).to_le_bytes())?;
+        put(&mut self.w, &self.next_chunk.to_le_bytes())?;
+        for event in events {
+            put(&mut self.w, &encode_event(event))?;
+        }
+        self.w.write_all(&hash.to_le_bytes())?;
+        self.next_chunk += 1;
+        Ok(())
+    }
+
+    /// Writes the end-of-stream marker and flushes. Must be called exactly
+    /// once; a stream without it reads back as truncated.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn finish(&mut self) -> io::Result<()> {
+        assert!(!self.finished, "finish called twice");
+        self.finished = true;
+        let mut hash = FNV_OFFSET;
+        let zero = 0u64.to_le_bytes();
+        let chunk = self.next_chunk.to_le_bytes();
+        hash = fnv1a(hash, &zero);
+        hash = fnv1a(hash, &chunk);
+        self.w.write_all(&zero)?;
+        self.w.write_all(&chunk)?;
+        self.w.write_all(&hash.to_le_bytes())?;
+        self.w.flush()
+    }
+
+    /// Number of blocks written so far.
+    pub fn blocks_written(&self) -> u64 {
+        self.next_chunk
+    }
+
+    /// Consumes the writer, returning the underlying sink (after `finish`).
+    pub fn into_inner(self) -> W {
+        self.w
+    }
+}
+
+/// A reader for the chunked block format, yielding one block of events at a
+/// time — the [`crate::EventStream`] counterpart of [`BlockWriter`].
+#[derive(Debug)]
+pub struct BlockReader<R> {
+    r: CountingReader<R>,
+    proc_id: usize,
+    next_chunk: u64,
+    done: bool,
+}
+
+impl<R: Read> BlockReader<R> {
+    /// Opens a block stream, validating the header.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::BadMagic`] for a foreign stream (including the
+    /// whole-trace [`write_trace`] format), [`TraceError::Truncated`] /
+    /// [`TraceError::Io`] when the header cannot be read, and
+    /// [`TraceError::ChecksumMismatch`] when the header checksum fails.
+    pub fn new(r: R) -> Result<Self, TraceError> {
+        let mut r = CountingReader {
+            inner: r,
+            offset: 0,
+            hash: FNV_OFFSET,
+            hashing: false,
+        };
+        let mut magic = [0u8; 8];
+        r.fill(&mut magic, "block stream magic", None)?;
+        if &magic != BLOCK_MAGIC {
+            return Err(TraceError::BadMagic { found: magic });
+        }
+        let mut word = [0u8; 8];
+        r.hashing = true;
+        r.hash = FNV_OFFSET;
+        r.fill(&mut word, "block stream header", None)?;
+        let proc_id = u64::from_le_bytes(word) as usize;
+        r.hashing = false;
+        let computed = r.hash;
+        r.fill(&mut word, "block stream header checksum", None)?;
+        let stored = u64::from_le_bytes(word);
+        if stored != computed {
+            return Err(TraceError::ChecksumMismatch { stored, computed });
+        }
+        Ok(BlockReader {
+            r,
+            proc_id,
+            next_chunk: 0,
+            done: false,
+        })
+    }
+
+    /// The processor id from the stream header.
+    pub fn proc_id(&self) -> usize {
+        self.proc_id
+    }
+
+    /// Reads the next block into `buf` (cleared first), returning the number
+    /// of events read. Zero means the stream's end marker was reached; later
+    /// calls keep returning zero.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Truncated`] when the stream ends mid-block or before the
+    /// end marker, [`TraceError::Corrupt`] for impossible record values or a
+    /// block whose chunk index breaks the expected sequence (a chunk-seed or
+    /// chunk-order mismatch from a bad producer), and
+    /// [`TraceError::ChecksumMismatch`] when a block's bytes do not hash to
+    /// its stored checksum.
+    pub fn next_block(&mut self, buf: &mut Vec<Event>) -> Result<usize, TraceError> {
+        buf.clear();
+        if self.done {
+            return Ok(0);
+        }
+        let r = &mut self.r;
+        r.hashing = true;
+        r.hash = FNV_OFFSET;
+        let mut word = [0u8; 8];
+        let header_at = r.fill(&mut word, "block header", None)?;
+        let n = u64::from_le_bytes(word) as usize;
+        r.fill(&mut word, "block header", None)?;
+        let chunk = u64::from_le_bytes(word);
+        if chunk != self.next_chunk {
+            return Err(TraceError::Corrupt {
+                offset: header_at,
+                event: None,
+                what: format!(
+                    "chunk-seed mismatch: block claims chunk {chunk} where chunk {} was \
+                     expected — the stream was produced or assembled out of order",
+                    self.next_chunk
+                ),
+            });
+        }
+        let mut record = [0u8; 17];
+        buf.reserve(n.min(1 << 24));
+        for i in 0..n {
+            let start = r.fill(&mut record, "event record", Some((i, n)))?;
+            buf.push(decode_event(&record, start, (i, n))?);
+        }
+        r.hashing = false;
+        let computed = r.hash;
+        r.fill(&mut word, "block checksum", None)?;
+        let stored = u64::from_le_bytes(word);
+        if stored != computed {
+            return Err(TraceError::ChecksumMismatch { stored, computed });
+        }
+        if n == 0 {
+            self.done = true;
+        } else {
+            self.next_chunk += 1;
+        }
+        Ok(n)
+    }
+}
+
+/// Writes `trace` as a block stream with at most `block_events` events per
+/// block — the streaming counterpart of [`write_trace`].
+///
+/// # Errors
+///
+/// Propagates I/O errors from `w`.
+///
+/// # Panics
+///
+/// Panics if `block_events` is zero.
+pub fn write_trace_blocks<W: Write>(trace: &Trace, w: W, block_events: usize) -> io::Result<()> {
+    assert!(block_events > 0, "block_events must be positive");
+    let mut bw = BlockWriter::new(w, trace.proc_id)?;
+    for chunk in trace.events.chunks(block_events) {
+        bw.write_block(chunk)?;
+    }
+    bw.finish()
+}
+
+/// Reads an entire block stream back into a materialized [`Trace`].
+///
+/// # Errors
+///
+/// As [`BlockReader::new`] and [`BlockReader::next_block`].
+pub fn read_trace_blocks<R: Read>(r: R) -> Result<Trace, TraceError> {
+    let mut br = BlockReader::new(r)?;
+    let mut events = Vec::new();
+    let mut block = Vec::new();
+    while br.next_block(&mut block)? > 0 {
+        events.extend_from_slice(&block);
+    }
+    Ok(Trace {
+        proc_id: br.proc_id(),
+        events,
+    })
+}
+
 /// A reader that remembers how many bytes it has yielded and hashes them, so
 /// decode errors can report where in the stream they happened and the
 /// trailing checksum can be verified.
+#[derive(Debug)]
 struct CountingReader<R> {
     inner: R,
     offset: u64,
@@ -657,5 +919,103 @@ mod tests {
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).unwrap();
         assert_eq!(buf.len(), 8 + 16 + trace.events.len() * 17 + 8);
+    }
+
+    #[test]
+    fn block_roundtrip_at_any_block_size() {
+        let trace = sample();
+        for block_events in 1..=trace.events.len() + 1 {
+            let mut buf = Vec::new();
+            write_trace_blocks(&trace, &mut buf, block_events).unwrap();
+            let back = read_trace_blocks(buf.as_slice())
+                .unwrap_or_else(|e| panic!("block_events={block_events}: {e}"));
+            assert_eq!(back, trace, "block_events={block_events}");
+        }
+    }
+
+    #[test]
+    fn block_reader_yields_written_block_boundaries() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace_blocks(&trace, &mut buf, 3).unwrap();
+        let mut br = BlockReader::new(buf.as_slice()).unwrap();
+        assert_eq!(br.proc_id(), trace.proc_id);
+        let mut block = Vec::new();
+        let mut sizes = Vec::new();
+        loop {
+            let n = br.next_block(&mut block).unwrap();
+            if n == 0 {
+                break;
+            }
+            sizes.push(n);
+        }
+        assert_eq!(sizes, vec![3, 3, 2], "8 events in blocks of 3");
+        // Exhausted streams keep reporting zero.
+        assert_eq!(br.next_block(&mut block).unwrap(), 0);
+    }
+
+    #[test]
+    fn block_stream_without_end_marker_is_truncated() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace_blocks(&trace, &mut buf, 4).unwrap();
+        buf.truncate(buf.len() - 24); // drop the end marker
+        let err = read_trace_blocks(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), "truncated", "{err}");
+    }
+
+    #[test]
+    fn block_cut_mid_event_is_truncated_with_event_context() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace_blocks(&trace, &mut buf, 4).unwrap();
+        // Cut inside the second block's first event record.
+        let second_block_events = 24 + (16 + 4 * 17 + 8) + 16;
+        buf.truncate(second_block_events + 9);
+        let err = read_trace_blocks(buf.as_slice()).unwrap_err();
+        match err {
+            TraceError::Truncated { event, .. } => assert_eq!(event, Some((0, 4))),
+            other => panic!("expected Truncated, got {other}"),
+        }
+    }
+
+    #[test]
+    fn reordered_blocks_are_a_chunk_mismatch() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace_blocks(&trace, &mut buf, 2).unwrap();
+        // Swap the first two (equal-sized) blocks: each is internally
+        // consistent, so only the chunk sequence can reveal the damage.
+        let block = 16 + 2 * 17 + 8;
+        let (start, mid) = (24, 24 + block);
+        for i in 0..block {
+            buf.swap(start + i, mid + i);
+        }
+        let err = read_trace_blocks(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), "corrupt", "{err}");
+        assert!(err.to_string().contains("chunk-seed mismatch"), "{err}");
+    }
+
+    #[test]
+    fn any_flipped_block_stream_bit_is_detected() {
+        let trace = sample();
+        let mut clean = Vec::new();
+        write_trace_blocks(&trace, &mut clean, 3).unwrap();
+        for pos in 0..clean.len() {
+            let mut buf = clean.clone();
+            buf[pos] ^= 1 << (pos % 8);
+            assert!(
+                read_trace_blocks(buf.as_slice()).is_err(),
+                "flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn whole_trace_magic_is_rejected_by_block_reader() {
+        let mut buf = Vec::new();
+        write_trace(&sample(), &mut buf).unwrap();
+        let err = BlockReader::new(buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), "bad-magic");
     }
 }

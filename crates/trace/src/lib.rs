@@ -14,6 +14,10 @@
 //! * [`CostModel`] — the per-operation busy-cycle charges that stand in for
 //!   the instructions Mint would have executed between references.
 //! * [`TraceStats`] — summary statistics over a recorded trace.
+//! * [`TraceSource`] / [`EventStream`] — the streaming contract: per-block
+//!   checksummed event chunks consumed one at a time, so trace generation
+//!   can fuse with simulation in bounded memory at any scale factor (see
+//!   [`BlockWriter`], [`BlockReader`], [`FileTraceSource`]).
 //!
 //! The paper's methodology applies one correction we reproduce here by
 //! construction: accesses to private *stack and static* data are assumed to
@@ -43,6 +47,7 @@ mod cost;
 mod discipline;
 mod event;
 mod io;
+mod source;
 mod stats;
 mod tracer;
 
@@ -51,6 +56,12 @@ pub use class::{DataClass, DataGroup};
 pub use cost::CostModel;
 pub use discipline::{check_lock_discipline, LockDisciplineError};
 pub use event::{Event, LockClass, LockToken, MemRef};
-pub use io::{read_trace, read_trace_file, write_trace, write_trace_file, TraceError};
+pub use io::{
+    read_trace, read_trace_blocks, read_trace_file, write_trace, write_trace_blocks,
+    write_trace_file, BlockReader, BlockWriter, TraceError,
+};
+pub use source::{
+    materialize, EventStream, FileTraceSource, ProcPrefix, TraceSource, DEFAULT_BLOCK_EVENTS,
+};
 pub use stats::TraceStats;
 pub use tracer::{Trace, Tracer};

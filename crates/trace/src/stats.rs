@@ -39,18 +39,30 @@ impl TraceStats {
     /// Computes statistics over `trace`.
     pub fn from_trace(trace: &Trace) -> Self {
         let mut s = TraceStats::default();
-        for event in trace {
+        s.accumulate(&trace.events);
+        s
+    }
+
+    /// Folds a block of events into the counters — the incremental form used
+    /// by streaming consumers, for which the whole trace never exists at
+    /// once. Accumulating a trace's blocks in order (at any block size)
+    /// equals [`TraceStats::from_trace`] over the materialized trace.
+    pub fn accumulate(&mut self, events: &[Event]) {
+        for event in events {
             match event {
                 Event::Ref(r) => {
-                    let map = if r.write { &mut s.writes } else { &mut s.reads };
+                    let map = if r.write {
+                        &mut self.writes
+                    } else {
+                        &mut self.reads
+                    };
                     *map.entry(r.class).or_insert(0) += 1;
                 }
-                Event::Busy(c) => s.busy_cycles += *c as u64,
-                Event::LockAcquire(_) => s.lock_acquires += 1,
-                Event::LockRelease(_) => s.lock_releases += 1,
+                Event::Busy(c) => self.busy_cycles += *c as u64,
+                Event::LockAcquire(_) => self.lock_acquires += 1,
+                Event::LockRelease(_) => self.lock_releases += 1,
             }
         }
-        s
     }
 
     /// Computes combined statistics over several traces.
@@ -166,5 +178,18 @@ mod tests {
         let merged = TraceStats::from_traces([&a, &b]);
         assert_eq!(merged.total_refs(), 8);
         assert_eq!(merged.busy_cycles, 200);
+    }
+
+    #[test]
+    fn accumulating_blocks_matches_from_trace_at_any_block_size() {
+        let trace = sample_trace();
+        let whole = TraceStats::from_trace(&trace);
+        for block in 1..=trace.events.len() {
+            let mut s = TraceStats::default();
+            for chunk in trace.events.chunks(block) {
+                s.accumulate(chunk);
+            }
+            assert_eq!(s, whole, "block size {block}");
+        }
     }
 }

@@ -1,8 +1,10 @@
 //! The recording handle threaded through the database engine.
 
 use std::cell::RefCell;
+use std::io::{self, Write};
 use std::rc::Rc;
 
+use crate::io::BlockWriter;
 use crate::{DataClass, Event, LockToken, MemRef};
 
 /// Maximum width of a single emitted reference; wider accesses are split.
@@ -50,6 +52,27 @@ impl<'a> IntoIterator for &'a Trace {
     }
 }
 
+/// A block sink draining the buffer to a [`BlockWriter`] as it fills, so a
+/// streaming tracer holds at most one block of events in memory.
+struct Sink {
+    writer: BlockWriter<Box<dyn Write>>,
+    block_events: usize,
+    events_emitted: u64,
+    /// First write failure, deferred: the engine's trace calls cannot carry
+    /// errors, so the failure surfaces at [`Tracer::finish_sink`].
+    error: Option<io::Error>,
+}
+
+impl std::fmt::Debug for Sink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Sink")
+            .field("block_events", &self.block_events)
+            .field("events_emitted", &self.events_emitted)
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
 #[derive(Debug, Default)]
 struct TraceBuffer {
     events: Vec<Event>,
@@ -57,14 +80,31 @@ struct TraceBuffer {
     /// keep traces compact.
     pending_busy: u64,
     enabled: bool,
+    sink: Option<Sink>,
 }
 
 impl TraceBuffer {
     fn flush_busy(&mut self) {
         while self.pending_busy > 0 {
             let chunk = self.pending_busy.min(u32::MAX as u64) as u32;
-            self.events.push(Event::Busy(chunk));
+            self.push(Event::Busy(chunk));
             self.pending_busy -= chunk as u64;
+        }
+    }
+
+    /// Appends one event, draining a full block to the sink when streaming.
+    fn push(&mut self, event: Event) {
+        self.events.push(event);
+        if let Some(sink) = &mut self.sink {
+            if self.events.len() >= sink.block_events {
+                if sink.error.is_none() {
+                    if let Err(e) = sink.writer.write_block(&self.events) {
+                        sink.error = Some(e);
+                    }
+                }
+                sink.events_emitted += self.events.len() as u64;
+                self.events.clear();
+            }
         }
     }
 }
@@ -104,6 +144,7 @@ impl Tracer {
                 events: Vec::new(),
                 pending_busy: 0,
                 enabled: true,
+                sink: None,
             })),
         }
     }
@@ -113,6 +154,62 @@ impl Tracer {
         let t = Tracer::new(usize::MAX);
         t.set_enabled(false);
         t
+    }
+
+    /// Creates a streaming tracer: recorded events drain to `w` as
+    /// [`crate::BlockWriter`] blocks of `block_events` events, so the tracer
+    /// holds at most one block in memory however long the recording runs.
+    /// The stream header is written immediately; call
+    /// [`Tracer::finish_sink`] when recording ends to flush the final
+    /// partial block and the end-of-stream marker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the header write failure. Later write failures are
+    /// deferred and surface at [`Tracer::finish_sink`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_events` is zero.
+    pub fn with_sink(proc_id: usize, block_events: usize, w: Box<dyn Write>) -> io::Result<Self> {
+        assert!(block_events > 0, "block_events must be positive");
+        let writer = BlockWriter::new(w, proc_id)?;
+        let t = Tracer::new(proc_id);
+        t.buf.borrow_mut().sink = Some(Sink {
+            writer,
+            block_events,
+            events_emitted: 0,
+            error: None,
+        });
+        Ok(t)
+    }
+
+    /// Ends a streaming recording: flushes pending busy cycles, the final
+    /// partial block, and the end-of-stream marker, returning the total
+    /// number of events emitted. The tracer reverts to plain in-memory
+    /// recording afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Surfaces the first deferred block-write failure, or the final
+    /// flush/marker failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tracer has no sink (not created by
+    /// [`Tracer::with_sink`], or already finished).
+    pub fn finish_sink(&self) -> io::Result<u64> {
+        let mut buf = self.buf.borrow_mut();
+        buf.flush_busy();
+        let mut sink = buf.sink.take().expect("finish_sink on a sinkless tracer");
+        if let Some(e) = sink.error.take() {
+            return Err(e);
+        }
+        sink.writer.write_block(&buf.events)?;
+        sink.events_emitted += buf.events.len() as u64;
+        buf.events.clear();
+        sink.writer.finish()?;
+        Ok(sink.events_emitted)
     }
 
     /// The simulated processor this tracer records for.
@@ -178,7 +275,7 @@ impl Tracer {
         let mut buf = self.buf.borrow_mut();
         if buf.enabled {
             buf.flush_busy();
-            buf.events.push(Event::LockAcquire(token));
+            buf.push(Event::LockAcquire(token));
         }
     }
 
@@ -187,7 +284,7 @@ impl Tracer {
         let mut buf = self.buf.borrow_mut();
         if buf.enabled {
             buf.flush_busy();
-            buf.events.push(Event::LockRelease(token));
+            buf.push(Event::LockRelease(token));
         }
     }
 
@@ -211,7 +308,7 @@ impl Tracer {
         let mut off = 0;
         while off < size {
             let chunk = (size - off).min(MAX_REF_BYTES);
-            buf.events.push(Event::Ref(MemRef {
+            buf.push(Event::Ref(MemRef {
                 addr: addr + off,
                 size: chunk as u16,
                 write,
@@ -328,6 +425,43 @@ mod tests {
         t2.read(0x200, 8, DataClass::Index);
         let trace = t.take();
         assert_eq!(trace.events.len(), 2);
+    }
+
+    #[test]
+    fn sinked_tracer_streams_blocks_and_bounds_memory() {
+        use crate::read_trace_blocks;
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        // A shared Vec<u8> sink (single-threaded, like the tracer itself).
+        #[derive(Clone, Default)]
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let out = Shared::default();
+        let t = Tracer::with_sink(2, 4, Box::new(out.clone())).unwrap();
+        let reference = Tracer::new(2);
+        for both in [&t, &reference] {
+            both.busy(10);
+            for i in 0..10u64 {
+                both.read(0x1000 + i * 8, 8, DataClass::Data);
+            }
+            both.busy(3);
+        }
+        // Full blocks drained as recording went: at most one block buffered.
+        assert!(t.len() < 4, "buffered events stay under one block");
+        assert_eq!(t.finish_sink().unwrap(), 12);
+        let streamed = read_trace_blocks(out.0.borrow().as_slice()).unwrap();
+        assert_eq!(streamed, reference.take(), "streaming changes no events");
+        assert_eq!(streamed.proc_id, 2);
     }
 
     #[test]
