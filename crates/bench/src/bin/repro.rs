@@ -11,15 +11,19 @@
 //! (`ext`, or `ext-protocol`, `ext-prefetch`, `ext-updates`, `ext-intra`,
 //! `ext-streams`, `ext-procs`), `--jobs N` to set the number of worker
 //! threads the sweeps fan out over (default: available parallelism),
-//! `--sf X` to override the database scale factor (default: the paper's
-//! 0.01), `--trace-mode streamed|materialized` to pick how traces reach the
-//! simulator (streamed records block files and replays them from disk, so
-//! peak memory stays bounded at any scale factor; stdout is identical either
-//! way), and `--bench-json PATH` to write the per-experiment wall/compute
-//! timings, heap-allocation counts (measured by a counting allocator), and
-//! peak RSS as a machine-readable JSON file (the CI benchmark artifact).
-//! Each experiment prints the paper-shaped chart plus its PASS/FAIL shape
-//! checks.
+//! `--gen-jobs N` to run each sweep point's trace production pipelined on
+//! `N` dedicated producer threads carved out of the `--jobs` budget
+//! (generation overlaps simulation; stdout stays byte-identical; 0, the
+//! default, keeps production inline), `--sf X` to override the database
+//! scale factor (default: the paper's 0.01), `--trace-mode
+//! streamed|materialized` to pick how traces reach the simulator (streamed
+//! records block files and replays them from disk, so peak memory stays
+//! bounded at any scale factor; stdout is identical either way), and
+//! `--bench-json PATH` to write the per-experiment wall/compute timings,
+//! heap-allocation counts (measured by a counting allocator), per-experiment
+//! peak RSS, and pipeline stall times as a machine-readable JSON file (the
+//! CI benchmark artifact). Each experiment prints the paper-shaped chart
+//! plus its PASS/FAIL shape checks.
 //!
 //! The run degrades gracefully instead of aborting: every sweep point runs
 //! fail-soft (a panicking or deadline-blown point becomes a structured
@@ -43,7 +47,8 @@ use std::path::Path;
 use std::time::{Duration, Instant};
 
 use dss_core::{
-    experiments, paper, query_label, report, PointError, TraceMode, Workbench, STUDIED_QUERIES,
+    experiments, paper, query_label, report, PipelineSnapshot, PointError, TraceMode, Workbench,
+    STUDIED_QUERIES,
 };
 use dss_query::DbConfig;
 
@@ -61,18 +66,21 @@ mod alloc;
 static COUNTING_ALLOC: alloc::CountingAlloc = alloc::CountingAlloc;
 
 /// One recorded experiment: label, wall-clock, fanned-out compute, heap
-/// traffic, and the process's peak RSS (bytes) when the experiment ended.
+/// traffic, pipeline utilization, and two RSS measures — this experiment's
+/// own peak (bytes) and the process-wide high-water mark so far.
 struct BenchEntry {
     name: String,
     wall: Duration,
     compute: Duration,
     heap: alloc::AllocReport,
+    pipe: PipelineSnapshot,
     peak_rss: u64,
+    peak_rss_cumulative: u64,
 }
 
 /// The process's peak resident set size (`VmHWM`) in bytes, or 0 where
-/// `/proc/self/status` is unavailable. A high-water mark: monotone over the
-/// run, so an experiment's value bounds everything up to and including it.
+/// `/proc/self/status` is unavailable. A high-water mark: monotone unless
+/// reset through `/proc/self/clear_refs` (see [`BenchLog::arm`]).
 fn peak_rss_bytes() -> u64 {
     let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
         return 0;
@@ -91,20 +99,60 @@ fn peak_rss_bytes() -> u64 {
         .unwrap_or(0)
 }
 
+/// Resets the process's `VmHWM` high-water mark to the current RSS, so the
+/// next reading measures only what happened since. Returns false where the
+/// kernel interface is unavailable.
+fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
 /// Per-experiment timings and heap traffic, printed to stderr as they happen
 /// and optionally dumped as JSON at exit (`--bench-json`).
 #[derive(Default)]
 struct BenchLog {
     entries: Vec<BenchEntry>,
+    /// Process-wide peak RSS observed across all measurements so far.
+    cumulative_rss: u64,
+    /// `VmHWM` when the current experiment was armed (the delta baseline
+    /// where the high-water mark cannot be reset).
+    armed_rss: u64,
+    /// Whether `/proc/self/clear_refs` resets worked at arm time.
+    armed_reset: bool,
 }
 
 impl BenchLog {
+    /// Marks the start of an experiment's RSS window: resets the kernel
+    /// high-water mark where possible so the next [`BenchLog::record`] reads
+    /// this experiment's own peak, falling back to delta-from-start
+    /// accounting where it is not.
+    fn arm(&mut self) {
+        self.cumulative_rss = self.cumulative_rss.max(peak_rss_bytes());
+        self.armed_reset = reset_peak_rss();
+        self.armed_rss = peak_rss_bytes();
+    }
+
     /// Records one experiment's wall-clock, the aggregate single-thread
     /// compute it fanned out (their ratio is the parallel speedup), the
-    /// heap traffic its gate observed, and the peak RSS so far. Stderr, to
-    /// keep stdout diffable.
-    fn record(&mut self, label: &str, wall: Duration, compute: Duration, heap: alloc::AllocReport) {
-        let peak_rss = peak_rss_bytes();
+    /// heap traffic its gate observed, pipeline utilization, and the peak
+    /// RSS of its own window. Stderr, to keep stdout diffable.
+    fn record(
+        &mut self,
+        label: &str,
+        wall: Duration,
+        compute: Duration,
+        heap: alloc::AllocReport,
+        pipe: PipelineSnapshot,
+    ) {
+        let hwm = peak_rss_bytes();
+        // With a working reset, `hwm` is this experiment's own peak; without
+        // one it is process-monotone, so report how much it grew instead.
+        let peak_rss = if self.armed_reset {
+            hwm
+        } else {
+            hwm.saturating_sub(self.armed_rss)
+        };
+        self.cumulative_rss = self.cumulative_rss.max(hwm);
+        let peak_rss_cumulative = self.cumulative_rss;
         let mb = heap.bytes_allocated / 1_000_000;
         let rss_mb = peak_rss / 1_000_000;
         if compute.is_zero() {
@@ -120,27 +168,46 @@ impl BenchLog {
                 heap.allocs
             );
         }
+        if pipe.blocks > 0 {
+            // Which side of the pipeline was the bottleneck: time each side
+            // spent blocked on the bounded channels.
+            eprintln!(
+                "  [{label}] pipeline: {} block(s); producer stalled {:.1?}, \
+                 consumer stalled {:.1?}",
+                pipe.blocks,
+                Duration::from_nanos(pipe.producer_stall_ns),
+                Duration::from_nanos(pipe.consumer_stall_ns),
+            );
+        }
         self.entries.push(BenchEntry {
             name: label.to_string(),
             wall,
             compute,
             heap,
+            pipe,
             peak_rss,
+            peak_rss_cumulative,
         });
     }
 
     /// The recorded timings as a self-describing JSON document. Labels are
-    /// experiment names from this binary (no escaping needed). Schema v4
-    /// adds the streaming pipeline's fields: the run's `trace_mode` and
-    /// `scale`, and each experiment's `peak_rss` (bytes, the process
-    /// high-water mark when the experiment ended — the bounded-memory
-    /// evidence for streamed runs). Schema v3 added the degradation record:
-    /// every sweep point that failed soft (`point_errors`) and every
-    /// experiment block that was abandoned (`failed_experiments`); both
-    /// arrays are empty on a healthy run.
+    /// experiment names from this binary (no escaping needed). Schema v5
+    /// makes `peak_rss` honest per experiment (the kernel high-water mark is
+    /// reset at the start of each one; where the reset interface is missing
+    /// the value degrades to delta-from-start), adds the monotone
+    /// `peak_rss_cumulative` that v4's `peak_rss` used to be, and adds the
+    /// pipeline fields: the run's `gen_jobs` and each experiment's
+    /// `producer_stall_ns` / `consumer_stall_ns` (time the trace producers
+    /// and the simulator spent blocked on the bounded channels — the
+    /// utilization evidence for pipelined runs; zero when `gen_jobs` is 0).
+    /// Schema v3 added the degradation record: every sweep point that failed
+    /// soft (`point_errors`) and every experiment block that was abandoned
+    /// (`failed_experiments`); both arrays are empty on a healthy run.
+    #[allow(clippy::too_many_arguments)]
     fn to_json(
         &self,
         jobs: usize,
+        gen_jobs: usize,
         trace_mode: TraceMode,
         scale: f64,
         total_wall: Duration,
@@ -153,13 +220,18 @@ impl BenchLog {
             .map(|e| {
                 format!(
                     "    {{\"name\": \"{}\", \"wall_ns\": {}, \"sim_compute_ns\": {}, \
-                     \"allocs\": {}, \"alloc_bytes\": {}, \"peak_rss\": {}}}",
+                     \"allocs\": {}, \"alloc_bytes\": {}, \"peak_rss\": {}, \
+                     \"peak_rss_cumulative\": {}, \"producer_stall_ns\": {}, \
+                     \"consumer_stall_ns\": {}}}",
                     e.name,
                     e.wall.as_nanos(),
                     e.compute.as_nanos(),
                     e.heap.allocs,
                     e.heap.bytes_allocated,
-                    e.peak_rss
+                    e.peak_rss,
+                    e.peak_rss_cumulative,
+                    e.pipe.producer_stall_ns,
+                    e.pipe.consumer_stall_ns
                 )
             })
             .collect();
@@ -173,11 +245,12 @@ impl BenchLog {
             TraceMode::Streamed => "streamed",
         };
         format!(
-            "{{\n  \"schema\": \"dss-bench-repro/v4\",\n  \"jobs\": {},\n  \
-             \"trace_mode\": \"{}\",\n  \"scale\": {},\n  \
+            "{{\n  \"schema\": \"dss-bench-repro/v5\",\n  \"jobs\": {},\n  \
+             \"gen_jobs\": {},\n  \"trace_mode\": \"{}\",\n  \"scale\": {},\n  \
              \"total_wall_ns\": {},\n  \"point_errors\": [{}],\n  \
              \"failed_experiments\": [{}],\n  \"experiments\": [\n{}\n  ]\n}}\n",
             jobs,
+            gen_jobs,
             mode,
             scale,
             total_wall.as_nanos(),
@@ -215,6 +288,7 @@ fn drain_point_errors(wb: &mut Workbench, sink: &mut Vec<PointError>) {
 
 fn main() {
     let mut jobs: Option<usize> = None;
+    let mut gen_jobs: Option<usize> = None;
     let mut bench_json: Option<String> = None;
     let mut inject: Option<String> = None;
     let mut deadline_ms: Option<u64> = None;
@@ -294,6 +368,20 @@ fn main() {
             }
             continue;
         }
+        if arg == "--gen-jobs" || arg.starts_with("--gen-jobs=") {
+            let value = arg
+                .strip_prefix("--gen-jobs=")
+                .map(str::to_string)
+                .or_else(|| argv.next());
+            match value.as_deref().map(str::parse) {
+                Some(Ok(n)) => gen_jobs = Some(n),
+                _ => {
+                    eprintln!("error: --gen-jobs needs a number (e.g. --gen-jobs 2)");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
         let value = if arg == "--jobs" {
             argv.next()
         } else if let Some(v) = arg.strip_prefix("--jobs=") {
@@ -331,6 +419,9 @@ fn main() {
     if let Some(n) = jobs {
         wb.set_jobs(n);
     }
+    if let Some(n) = gen_jobs {
+        wb.set_gen_jobs(n);
+    }
     let mut trace_dir = None;
     if trace_mode == TraceMode::Streamed {
         let dir = std::env::temp_dir().join(format!("dss-repro-traces-{}", std::process::id()));
@@ -350,29 +441,42 @@ fn main() {
     if let Some(ms) = deadline_ms {
         wb.set_point_deadline(Some(Duration::from_millis(ms)));
     }
+    let worker_note = if wb.gen_jobs() > 0 {
+        let (sim_jobs, producers) = dss_core::split_jobs(wb.jobs(), wb.gen_jobs());
+        format!("{sim_jobs} simulation worker(s), {producers} trace producer(s) per point")
+    } else {
+        format!("{} simulation worker(s)", wb.jobs())
+    };
     eprintln!(
-        "  built in {:.1?}: {} heap pages (~{} MB of data), {} shared MB mapped; {} simulation worker(s)\n",
+        "  built in {:.1?}: {} heap pages (~{} MB of data), {} shared MB mapped; {worker_note}\n",
         start.elapsed(),
         wb.db.catalog.total_heap_pages(),
         wb.db.catalog.total_heap_pages() * 8192 / 1_000_000,
         wb.db.space.mapped_bytes() / 1_000_000,
-        wb.jobs()
     );
 
     if want("table1") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("table1", &mut failed, || {
             let rows = experiments::table1(&wb.db);
             println!("{}", report::render_table1(&rows));
         });
-        log.record("table1", t.elapsed(), wb.take_sim_compute(), g.end());
+        log.record(
+            "table1",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+            wb.take_pipeline_stats(),
+        );
         drain_point_errors(&mut wb, &mut point_errors);
     }
 
     if want("fig6") || want("fig7") || want("rates") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("fig6/fig7/rates", &mut failed, || {
             let before = wb.point_error_count();
             let baselines = wb.baseline_suite(&STUDIED_QUERIES);
@@ -406,6 +510,7 @@ fn main() {
             t.elapsed(),
             wb.take_sim_compute(),
             g.end(),
+            wb.take_pipeline_stats(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -413,6 +518,7 @@ fn main() {
     if want("fig8") || want("fig9") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("fig8/fig9", &mut failed, || {
             for q in STUDIED_QUERIES {
                 let before = wb.point_error_count();
@@ -434,13 +540,20 @@ fn main() {
                 }
             }
         });
-        log.record("fig8/fig9", t.elapsed(), wb.take_sim_compute(), g.end());
+        log.record(
+            "fig8/fig9",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+            wb.take_pipeline_stats(),
+        );
         drain_point_errors(&mut wb, &mut point_errors);
     }
 
     if want("fig10") || want("fig11") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("fig10/fig11", &mut failed, || {
             for q in STUDIED_QUERIES {
                 let before = wb.point_error_count();
@@ -462,13 +575,20 @@ fn main() {
                 }
             }
         });
-        log.record("fig10/fig11", t.elapsed(), wb.take_sim_compute(), g.end());
+        log.record(
+            "fig10/fig11",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+            wb.take_pipeline_stats(),
+        );
         drain_point_errors(&mut wb, &mut point_errors);
     }
 
     if want("fig12") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("fig12", &mut failed, || {
             let q3 = wb.reuse_experiment(3, 12);
             let q12 = wb.reuse_experiment(12, 3);
@@ -476,13 +596,20 @@ fn main() {
             println!("{}", report::render_fig12(&q12));
             println!("{}", paper::render_checks(&paper::check_fig12(&q3, &q12)));
         });
-        log.record("fig12", t.elapsed(), wb.take_sim_compute(), g.end());
+        log.record(
+            "fig12",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+            wb.take_pipeline_stats(),
+        );
         drain_point_errors(&mut wb, &mut point_errors);
     }
 
     if want("fig13") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("fig13", &mut failed, || {
             let pairs: Vec<_> = STUDIED_QUERIES
                 .iter()
@@ -491,7 +618,13 @@ fn main() {
             println!("{}", report::render_fig13(&pairs));
             println!("{}", paper::render_checks(&paper::check_fig13(&pairs)));
         });
-        log.record("fig13", t.elapsed(), wb.take_sim_compute(), g.end());
+        log.record(
+            "fig13",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+            wb.take_pipeline_stats(),
+        );
         drain_point_errors(&mut wb, &mut point_errors);
     }
 
@@ -499,6 +632,7 @@ fn main() {
     if want_ext("ext-protocol") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("ext-protocol", &mut failed, || {
             let ablations: Vec<_> = STUDIED_QUERIES
                 .iter()
@@ -506,62 +640,103 @@ fn main() {
                 .collect();
             println!("{}", report::render_ext_protocol(&ablations));
         });
-        log.record("ext-protocol", t.elapsed(), wb.take_sim_compute(), g.end());
+        log.record(
+            "ext-protocol",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+            wb.take_pipeline_stats(),
+        );
         drain_point_errors(&mut wb, &mut point_errors);
     }
     if want_ext("ext-prefetch") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("ext-prefetch", &mut failed, || {
             for q in [6u8, 12] {
                 let points = wb.prefetch_degree_sweep(q);
                 println!("{}", report::render_ext_prefetch(q, &points));
             }
         });
-        log.record("ext-prefetch", t.elapsed(), wb.take_sim_compute(), g.end());
+        log.record(
+            "ext-prefetch",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+            wb.take_pipeline_stats(),
+        );
         drain_point_errors(&mut wb, &mut point_errors);
     }
     if want_ext("ext-updates") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("ext-updates", &mut failed, || {
             let runs = experiments::update_experiment(dss_tpcd::PAPER_SCALE);
             println!("{}", report::render_ext_updates(&runs));
         });
-        log.record("ext-updates", t.elapsed(), wb.take_sim_compute(), g.end());
+        log.record(
+            "ext-updates",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+            wb.take_pipeline_stats(),
+        );
         drain_point_errors(&mut wb, &mut point_errors);
     }
     if want_ext("ext-intra") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("ext-intra", &mut failed, || {
             let runs = experiments::intra_query_experiment(&mut wb);
             println!("{}", report::render_ext_intra(&runs));
         });
-        log.record("ext-intra", t.elapsed(), wb.take_sim_compute(), g.end());
+        log.record(
+            "ext-intra",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+            wb.take_pipeline_stats(),
+        );
         drain_point_errors(&mut wb, &mut point_errors);
     }
     if want_ext("ext-streams") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("ext-streams", &mut failed, || {
             let baselines = wb.baseline_suite(&STUDIED_QUERIES);
             let runs = experiments::stream_experiment(&mut wb, &[3, 6, 12]);
             println!("{}", report::render_ext_streams(&runs, &baselines));
         });
-        log.record("ext-streams", t.elapsed(), wb.take_sim_compute(), g.end());
+        log.record(
+            "ext-streams",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+            wb.take_pipeline_stats(),
+        );
         drain_point_errors(&mut wb, &mut point_errors);
     }
     if want_ext("ext-procs") {
         let t = Instant::now();
         let g = alloc::AllocGate::begin();
+        log.arm();
         guarded("ext-procs", &mut failed, || {
             for q in STUDIED_QUERIES {
                 let points = wb.processor_sweep(q);
                 println!("{}", report::render_ext_procs(q, &points));
             }
         });
-        log.record("ext-procs", t.elapsed(), wb.take_sim_compute(), g.end());
+        log.record(
+            "ext-procs",
+            t.elapsed(),
+            wb.take_sim_compute(),
+            g.end(),
+            wb.take_pipeline_stats(),
+        );
         drain_point_errors(&mut wb, &mut point_errors);
     }
 
@@ -571,7 +746,15 @@ fn main() {
         let _ = std::fs::remove_dir_all(&dir);
     }
     if let Some(path) = bench_json {
-        let json = log.to_json(wb.jobs(), trace_mode, scale, total, &point_errors, &failed);
+        let json = log.to_json(
+            wb.jobs(),
+            wb.gen_jobs(),
+            trace_mode,
+            scale,
+            total,
+            &point_errors,
+            &failed,
+        );
         if let Err(e) = dss_core::write_atomic(Path::new(&path), json.as_bytes()) {
             eprintln!("error: could not write {path}: {e}");
             std::process::exit(1);

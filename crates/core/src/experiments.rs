@@ -22,7 +22,7 @@ use dss_query::{Database, PlanFeatures};
 use dss_tpcd::params;
 
 use crate::degrade::PointError;
-use crate::sim::{run_point_source, run_soft, SoftFailure};
+use crate::sim::{run_point_pipelined, run_point_source, run_soft, split_jobs, SoftFailure};
 use crate::workload::{SimSource, Workbench};
 
 /// L2 line sizes swept by Figures 8 and 9 (L1 lines are half).
@@ -147,18 +147,25 @@ impl Workbench {
         debug_assert_eq!(labels.len(), tasks.len());
         let sabotage = self.sabotage.clone();
         let clock = Arc::clone(&self.sim_nanos);
+        let gen_jobs = self.gen_jobs;
+        let pipe = Arc::clone(&self.pipe_stats);
         let points: Vec<_> = tasks
             .iter()
             .zip(labels)
             .map(|((cfg, source), label)| {
                 let sabotage = sabotage.as_deref();
                 let clock = &clock;
+                let pipe = &pipe;
                 move || {
                     if sabotage == Some(label.as_str()) {
                         panic!("injected: sweep point {label} sabotaged");
                     }
                     let start = Instant::now();
-                    let stats = run_point_source(cfg, source);
+                    let stats = if gen_jobs > 0 {
+                        run_point_pipelined(cfg, source, gen_jobs, pipe)
+                    } else {
+                        run_point_source(cfg, source)
+                    };
                     clock.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                     stats
                 }
@@ -169,7 +176,8 @@ impl Workbench {
         } else {
             None
         };
-        let outcomes = run_soft(self.jobs(), &points, deadline);
+        let (sim_jobs, _) = split_jobs(self.jobs(), gen_jobs);
+        let outcomes = run_soft(sim_jobs, &points, deadline);
         drop(points);
         outcomes
             .into_iter()

@@ -45,6 +45,7 @@ mod sim;
 mod workload;
 
 pub use degrade::{PointCause, PointError};
+pub use dss_trace::{PipelineSnapshot, PipelineStats};
 pub use persist::write_atomic;
-pub use sim::{sim_points, sim_points_source};
+pub use sim::{sim_points, sim_points_pipelined, sim_points_source, split_jobs};
 pub use workload::{query_label, SimSource, TraceMode, TraceSet, Workbench, STUDIED_QUERIES};

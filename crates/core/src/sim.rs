@@ -18,11 +18,11 @@
 use std::any::Any;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use dss_memsim::{Machine, MachineConfig, SimStats};
-use dss_trace::{ProcPrefix, TraceSource};
+use dss_trace::{PipelineStats, PipelinedTraceSource, ProcPrefix, TraceSource};
 
 use crate::degrade::PointCause;
 use crate::workload::TraceSet;
@@ -83,6 +83,62 @@ where
         .collect()
 }
 
+/// Splits a total worker budget between simulation and trace production:
+/// with `gen_jobs` producer threads per in-flight point, simulation points
+/// get the remainder of `jobs` (at least one). `gen_jobs == 0` disables
+/// pipelining, so the whole budget goes to simulation workers — the serial
+/// producer path, bit-identical and thread-for-thread identical to before
+/// pipelining existed.
+pub fn split_jobs(jobs: usize, gen_jobs: usize) -> (usize, usize) {
+    (jobs.max(1).saturating_sub(gen_jobs).max(1), gen_jobs)
+}
+
+/// Runs one simulation per config over a *pipelined* source: each point
+/// spawns `gen_jobs` producer worker threads that generate/decode blocks
+/// while the point's machine simulates them, with bounded channels keeping
+/// memory within a few blocks per processor. Results are bit-identical to
+/// [`sim_points_source`] (pinned by tests); only wall-clock changes. The
+/// simulation fan-out uses the worker budget left by [`split_jobs`].
+///
+/// # Panics
+///
+/// Panics if a worker thread panics, or if the source fails mid-stream —
+/// including a producer-side panic, which surfaces as a classified
+/// `pipeline` [`dss_trace::TraceError`] instead of a hang.
+pub fn sim_points_pipelined<S>(
+    src: &S,
+    configs: &[MachineConfig],
+    jobs: usize,
+    gen_jobs: usize,
+) -> Vec<SimStats>
+where
+    S: TraceSource + Clone + Send + Sync + 'static,
+{
+    if gen_jobs == 0 {
+        return sim_points_source(src, configs, jobs);
+    }
+    let stats = PipelineStats::shared();
+    let (sim_jobs, gen_jobs) = split_jobs(jobs, gen_jobs);
+    let points: Vec<_> = configs
+        .iter()
+        .map(|cfg| {
+            let stats = &stats;
+            move || run_point_pipelined(cfg, src, gen_jobs, stats)
+        })
+        .collect();
+    run_soft(sim_jobs, &points, None)
+        .into_iter()
+        .map(|slot| match slot {
+            Ok(stats) => stats,
+            Err(SoftFailure {
+                payload: Some(payload),
+                ..
+            }) => resume_unwind(payload),
+            Err(failure) => panic!("sweep point failed: {}", failure.cause),
+        })
+        .collect()
+}
+
 /// One streamed simulation point: a fresh machine fed block-by-block from
 /// the leading `nprocs` streams of `src`. Stream failures panic so the
 /// fail-soft runner classifies them like any other point failure.
@@ -94,6 +150,29 @@ where
     let prefix = ProcPrefix::new(src, take);
     Machine::new(cfg.clone())
         .run_source(&prefix)
+        .unwrap_or_else(|e| panic!("trace stream failed: {e}"))
+}
+
+/// One *pipelined* simulation point: like [`run_point_source`], but block
+/// production runs on `gen_jobs` background workers behind bounded channels
+/// (see [`PipelinedTraceSource`]). The processor prefix is applied *inside*
+/// the pipeline so producers never pump streams the config won't simulate.
+/// Producer-side panics arrive in-band as `pipeline`-classified stream
+/// errors, so this panics (and fail-soft classifies) instead of hanging.
+pub(crate) fn run_point_pipelined<S>(
+    cfg: &MachineConfig,
+    src: &S,
+    gen_jobs: usize,
+    stats: &Arc<PipelineStats>,
+) -> SimStats
+where
+    S: TraceSource + Clone + Send + Sync + 'static,
+{
+    let take = cfg.nprocs.min(src.nprocs());
+    let piped = PipelinedTraceSource::new(ProcPrefix::new(src.clone(), take), gen_jobs)
+        .shared_stats(Arc::clone(stats));
+    Machine::new(cfg.clone())
+        .run_source(&piped)
         .unwrap_or_else(|e| panic!("trace stream failed: {e}"))
 }
 
@@ -312,5 +391,106 @@ mod tests {
     fn empty_config_list_is_fine() {
         let traces = synthetic_set(1);
         assert!(sim_points(&traces, &[], 4).is_empty());
+    }
+
+    #[test]
+    fn split_jobs_budget() {
+        assert_eq!(split_jobs(4, 0), (4, 0), "gen off: all workers simulate");
+        assert_eq!(split_jobs(4, 2), (2, 2));
+        assert_eq!(split_jobs(2, 2), (1, 2), "simulation always keeps a worker");
+        assert_eq!(split_jobs(0, 1), (1, 1), "zero budget still runs");
+    }
+
+    #[test]
+    fn pipelined_matches_serial_bit_for_bit() {
+        use crate::workload::SimSource;
+
+        let traces = synthetic_set(4);
+        let configs: Vec<MachineConfig> = [16u64, 64, 256]
+            .iter()
+            .map(|&l| MachineConfig::baseline().with_line_size(l))
+            .collect();
+        let serial = sim_points(&traces, &configs, 1);
+        let src = SimSource::Set(traces);
+        for (jobs, gen_jobs) in [(1, 1), (4, 2), (2, 4), (3, 0)] {
+            let piped = sim_points_pipelined(&src, &configs, jobs, gen_jobs);
+            assert_eq!(
+                serial, piped,
+                "jobs={jobs} gen_jobs={gen_jobs} must not change results"
+            );
+        }
+    }
+
+    /// A source whose processor-0 stream panics partway through: the shape
+    /// of any producer-side bug under pipelining.
+    #[derive(Clone)]
+    struct PanicySource;
+
+    struct PanicyStream {
+        left: usize,
+    }
+
+    impl dss_trace::EventStream for PanicyStream {
+        fn proc_id(&self) -> usize {
+            0
+        }
+
+        fn next_block(&mut self, buf: &mut Vec<dss_trace::Event>) -> Result<usize, TraceError> {
+            buf.clear();
+            if self.left == 0 {
+                panic!("synthetic producer failure");
+            }
+            self.left -= 1;
+            buf.push(dss_trace::Event::Busy(1));
+            Ok(1)
+        }
+    }
+
+    use dss_trace::TraceError;
+
+    impl TraceSource for PanicySource {
+        fn nprocs(&self) -> usize {
+            1
+        }
+
+        fn open(&self) -> Result<Vec<Box<dyn dss_trace::EventStream + '_>>, TraceError> {
+            Ok(vec![Box::new(PanicyStream { left: 2 })])
+        }
+    }
+
+    /// The tentpole's fail-soft guarantee: a producer panic on a pipeline
+    /// worker thread surfaces as a structured, `Panicked`-classified point
+    /// failure — promptly, with the watchdog armed, never as a deadlock.
+    #[test]
+    fn producer_panic_is_a_classified_point_failure_not_a_hang() {
+        let cfg = MachineConfig::baseline().with_processors(1);
+        let points = [|| run_point_pipelined(&cfg, &PanicySource, 2, &PipelineStats::shared())];
+        let started = Instant::now();
+        let outcomes = run_soft(2, &points, Some(Duration::from_secs(5)));
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "failure must surface without waiting out the watchdog"
+        );
+        let failure = match outcomes.into_iter().next() {
+            Some(Err(f)) => f,
+            _ => panic!("expected a point failure"),
+        };
+        match &failure.cause {
+            PointCause::Panicked(msg) => {
+                assert!(msg.contains("trace stream failed"), "{msg}");
+                assert!(
+                    msg.contains("pipeline") || msg.contains("panicked"),
+                    "{msg}"
+                );
+            }
+            other => panic!("expected Panicked, got {other}"),
+        }
+        // The classification is exactly what fail-soft sweeps expose.
+        let err = crate::degrade::PointError {
+            site: "test/pipeline".into(),
+            cause: failure.cause,
+            seed: 0,
+        };
+        assert!(err.to_string().contains("test/pipeline"));
     }
 }

@@ -16,7 +16,8 @@ use dss_memsim::{Machine, MachineConfig};
 use dss_tpcd::{from_tbl, table_def, ColType, TableDef};
 use dss_trace::{
     check_lock_discipline, read_trace, read_trace_blocks, write_trace, write_trace_blocks,
-    DataClass, LockClass, LockDisciplineError, LockToken, Trace, Tracer,
+    ChunkSequencer, DataClass, LockClass, LockDisciplineError, LockToken, Trace, TraceError,
+    Tracer,
 };
 
 use crate::Outcome;
@@ -107,6 +108,18 @@ static SITES: &[Site] = &[
         layer: "trace codec",
         expect: "corrupt",
         run: block_chunk_swap,
+    },
+    Site {
+        name: "trace.pipeline.dropped-block",
+        layer: "trace pipeline",
+        expect: "pipeline",
+        run: pipeline_dropped_block,
+    },
+    Site {
+        name: "trace.pipeline.replayed-chunk",
+        layer: "trace pipeline",
+        expect: "pipeline",
+        run: pipeline_replayed_chunk,
     },
     Site {
         name: "trace.check.lock-truncated",
@@ -399,6 +412,91 @@ fn block_chunk_swap(rng: &mut StdRng) -> Outcome {
         );
     }
     classify_read_blocks(&buf, "corrupt")
+}
+
+// --- trace pipeline sites ---------------------------------------------------
+
+/// Demands a pipeline fault with the in-order invariant intact: nothing past
+/// the gap at `lost` may have been released when the sequencer rejected.
+fn classify_pipeline(e: TraceError, released: u64, lost: u64) -> Outcome {
+    if e.kind() != "pipeline" {
+        return Outcome::Absorbed {
+            detail: format!(
+                "detected, but classified {:?} where \"pipeline\" was demanded: {e}",
+                e.kind()
+            ),
+        };
+    }
+    if released != lost {
+        return Outcome::Absorbed {
+            detail: format!(
+                "classified as a pipeline fault, but {released} chunk(s) were released \
+                 across the gap at chunk {lost}"
+            ),
+        };
+    }
+    Outcome::Detected {
+        classification: e.kind().to_string(),
+    }
+}
+
+/// A block lost in flight between a producer worker and the simulator: the
+/// chunk sequencer must hold every later block back and classify the gap as
+/// a pipeline fault — when its reorder window fills for a mid-stream loss,
+/// or at the producer's end-of-stream count for a tail loss.
+fn pipeline_dropped_block(rng: &mut StdRng) -> Outcome {
+    let chunks = rng.gen_range(4..32u64);
+    let lost = rng.gen_range(0..chunks);
+    let events = sample_trace(rng).events;
+    let mut seq = ChunkSequencer::new(rng.gen_range(0..4usize), 4);
+    for chunk in (0..chunks).filter(|&c| c != lost) {
+        if let Err(e) = seq.accept(chunk, events.clone()) {
+            return classify_pipeline(e, seq.released(), lost);
+        }
+        while seq.pop_ready().is_some() {}
+    }
+    match seq.finish(chunks) {
+        Err(e) => classify_pipeline(e, seq.released(), lost),
+        Ok(()) => Outcome::Absorbed {
+            detail: format!(
+                "sequencer finished having released {} of {chunks} chunks with \
+                 chunk {lost} missing",
+                seq.released()
+            ),
+        },
+    }
+}
+
+/// A block replayed with a chunk index the sequencer already released — a
+/// duplicated channel delivery. Accepting it would feed the simulator the
+/// same events twice, so the sequencer must reject it as a pipeline fault.
+fn pipeline_replayed_chunk(rng: &mut StdRng) -> Outcome {
+    let chunks = rng.gen_range(2..16u64);
+    let events = sample_trace(rng).events;
+    let mut seq = ChunkSequencer::new(rng.gen_range(0..4usize), 8);
+    for chunk in 0..chunks {
+        if seq.accept(chunk, events.clone()).is_err() {
+            return skipped("healthy in-order delivery was rejected");
+        }
+        while seq.pop_ready().is_some() {}
+    }
+    let replay = rng.gen_range(0..chunks);
+    match seq.accept(replay, events.clone()) {
+        Err(e) if e.kind() == "pipeline" => Outcome::Detected {
+            classification: e.kind().to_string(),
+        },
+        Err(e) => Outcome::Absorbed {
+            detail: format!(
+                "detected, but classified {:?} where \"pipeline\" was demanded: {e}",
+                e.kind()
+            ),
+        },
+        Ok(()) => Outcome::Absorbed {
+            detail: format!(
+                "replayed chunk {replay} was accepted after all {chunks} chunks released"
+            ),
+        },
+    }
 }
 
 // --- trace semantics sites --------------------------------------------------

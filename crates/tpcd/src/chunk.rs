@@ -24,12 +24,14 @@
 //! golden artifacts pin the legacy generator, and the chunked generator pins
 //! its own bytes through the chunking property suite.
 
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write as _};
 use std::ops::Range;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -215,46 +217,94 @@ impl ChunkedGenerator {
     }
 
     /// Generates all eight `.tbl` files under `dir` with up to `jobs` worker
-    /// threads (clamped to the seven independent tasks; zero means one).
+    /// threads (zero means one).
     ///
-    /// Each table streams through a temp-then-rename writer, so a crashed or
-    /// killed run leaves either no `.tbl` or a complete one. Output bytes
-    /// are identical for every `jobs` and batch size.
+    /// Parallelism is *batch*-grained, not table-grained: every batch of
+    /// every table is an independent work item (the per-unit RNG makes unit
+    /// ranges self-contained), so eight cores stay busy even though one
+    /// table — `orders`/`lineitem` — dominates the output. Workers pull
+    /// batches table-major off a shared queue and hand rendered text to a
+    /// per-table in-order merge that writes batch `k` only after batch
+    /// `k-1`, so the bytes on disk are identical for every `jobs` and batch
+    /// size. Each table streams through a temp-then-rename writer, so a
+    /// crashed or killed run leaves either no `.tbl` or a complete one.
     ///
     /// # Errors
     ///
-    /// Returns the first I/O error from any writer.
+    /// Returns the first I/O error from any writer, or an error if a worker
+    /// thread panicked (no file is committed in that case).
     pub fn write_dir(&self, dir: &Path, jobs: usize) -> io::Result<GenReport> {
         fs::create_dir_all(dir)?;
-        let jobs = jobs.clamp(1, TASKS.len());
+        // One merge (and output file) per task, created up front so an
+        // early failure never leaves a half-written table behind.
+        let mut merges = Vec::with_capacity(TASKS.len());
+        for table in TASKS {
+            let main = AtomicFile::create(dir.join(format!("{table}.tbl")))?;
+            let side = match table {
+                "orders" => Some(AtomicFile::create(dir.join("lineitem.tbl"))?),
+                _ => None,
+            };
+            merges.push(Mutex::new(Merge {
+                next: 0,
+                pending: BTreeMap::new(),
+                main,
+                side,
+                rows: (0, 0),
+                error: None,
+            }));
+        }
+        // The flat batch queue, table-major: workers near each other in the
+        // queue render neighboring batches, so each table's in-order merge
+        // holds at most about `jobs` pending batches.
+        let batch = self.batch as u64;
+        let mut tasks = Vec::new();
+        let mut total_batches = vec![0u64; TASKS.len()];
+        for (ti, table) in TASKS.iter().enumerate() {
+            let units = self.unit_count(table);
+            let mut start = 0u64;
+            while start < units {
+                let end = (start + batch).min(units);
+                tasks.push(BatchTask {
+                    ti,
+                    index: total_batches[ti],
+                    units: start..end,
+                });
+                total_batches[ti] += 1;
+                start = end;
+            }
+        }
+        let jobs = jobs.max(1).min(tasks.len().max(1));
         let next = AtomicUsize::new(0);
-        let outs = std::thread::scope(|s| {
+        let pool: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+        let clean = std::thread::scope(|s| {
             let handles: Vec<_> = (0..jobs)
-                .map(|_| {
-                    s.spawn(|| {
-                        let mut outs = Vec::new();
-                        let mut primary = String::new();
-                        let mut secondary = String::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            let Some(table) = TASKS.get(i) else { break };
-                            outs.push(self.run_task(dir, table, &mut primary, &mut secondary));
-                        }
-                        outs
-                    })
-                })
+                .map(|_| s.spawn(|| self.run_batches(&tasks, &next, &merges, &pool)))
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("generator worker panicked"))
-                .collect::<Vec<_>>()
+            handles.into_iter().all(|h| h.join().is_ok())
         });
-        let mut per_table = Vec::new();
+        if !clean {
+            return Err(io::Error::other("a generator worker thread panicked"));
+        }
+        // Commit in schema order; refuse to commit anything incomplete.
+        let mut per_table = Vec::with_capacity(8);
         let mut bytes = 0;
-        for out in outs {
-            let (tables, b) = out?;
-            per_table.extend(tables);
-            bytes += b;
+        for ((mutex, table), total) in merges.into_iter().zip(TASKS).zip(total_batches) {
+            let mut m = mutex.into_inner().unwrap_or_else(|e| e.into_inner());
+            if let Some(e) = m.error.take() {
+                return Err(e);
+            }
+            if m.next != total {
+                return Err(io::Error::other(format!(
+                    "table {table}: only {} of {total} batches were merged",
+                    m.next
+                )));
+            }
+            bytes += m.main.commit()?;
+            per_table.push((table, m.rows.0));
+            if let Some(mut f) = m.side.take() {
+                bytes += f.commit()?;
+                per_table.push(("lineitem", m.rows.1));
+            }
         }
         // Deterministic report order regardless of which worker ran what.
         let mut rows = Vec::with_capacity(8);
@@ -269,44 +319,104 @@ impl ChunkedGenerator {
         Ok(GenReport { rows, bytes })
     }
 
-    /// Generates one task's file(s), batch by batch, through atomic writers.
-    fn run_task(
+    /// One worker's loop: pull batches off the queue, render into pooled
+    /// buffers, hand the text to the owning table's in-order merge.
+    fn run_batches(
         &self,
-        dir: &Path,
-        table: &'static str,
-        primary: &mut String,
-        secondary: &mut String,
-    ) -> io::Result<(Vec<(&'static str, u64)>, u64)> {
-        let mut main = AtomicFile::create(dir.join(format!("{table}.tbl")))?;
-        let mut side = match table {
-            "orders" => Some(AtomicFile::create(dir.join("lineitem.tbl"))?),
-            _ => None,
-        };
-        let units = self.unit_count(table);
-        let batch = self.batch as u64;
-        let mut rows = (0u64, 0u64);
-        let mut start = 0u64;
-        while start < units {
-            let end = (start + batch).min(units);
+        tasks: &[BatchTask],
+        next: &AtomicUsize,
+        merges: &[Mutex<Merge>],
+        pool: &Mutex<Vec<(String, String)>>,
+    ) {
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(task) = tasks.get(i) else { break };
+            let Some(merge) = merges.get(task.ti) else {
+                break;
+            };
+            let Some(table) = TASKS.get(task.ti) else {
+                break;
+            };
+            // If this table already failed, don't waste cycles rendering
+            // batches that will be discarded.
+            if lock_clean(merge).error.is_some() {
+                continue;
+            }
+            let (mut primary, mut secondary) = lock_clean(pool).pop().unwrap_or_default();
             primary.clear();
             secondary.clear();
-            let (p, l) = self.render_units(table, start..end, primary, secondary);
-            rows.0 += p;
-            rows.1 += l;
-            main.write(primary)?;
-            if let Some(f) = side.as_mut() {
-                f.write(secondary)?;
+            let rows = self.render_units(table, task.units.clone(), &mut primary, &mut secondary);
+            let mut m = lock_clean(merge);
+            if m.error.is_some() {
+                drop(m);
+                lock_clean(pool).push((primary, secondary));
+                continue;
             }
-            start = end;
+            m.pending.insert(
+                task.index,
+                Rendered {
+                    primary,
+                    secondary,
+                    rows,
+                },
+            );
+            // Drain everything now in order — whichever worker completes the
+            // gap writes the whole run, so writes never wait on a scheduler.
+            loop {
+                let due = m.next;
+                let Some(r) = m.pending.remove(&due) else {
+                    break;
+                };
+                let mut wrote = m.main.write(&r.primary);
+                if let (Ok(()), Some(f)) = (&wrote, m.side.as_mut()) {
+                    wrote = f.write(&r.secondary);
+                }
+                if let Err(e) = wrote {
+                    m.error = Some(e);
+                    break;
+                }
+                m.rows.0 += r.rows.0;
+                m.rows.1 += r.rows.1;
+                m.next += 1;
+                lock_clean(pool).push((r.primary, r.secondary));
+            }
         }
-        let mut bytes = main.commit()?;
-        let mut tables = vec![(table, rows.0)];
-        if let Some(mut f) = side {
-            bytes += f.commit()?;
-            tables.push(("lineitem", rows.1));
-        }
-        Ok((tables, bytes))
     }
+}
+
+/// One unit range of one table, ready to render independently.
+struct BatchTask {
+    /// Index into [`TASKS`].
+    ti: usize,
+    /// Batch sequence number within the table (the merge key).
+    index: u64,
+    /// The unit range this batch renders.
+    units: Range<u64>,
+}
+
+/// Rendered batch text parked in a merge until its turn to be written.
+struct Rendered {
+    primary: String,
+    secondary: String,
+    rows: (u64, u64),
+}
+
+/// Per-table in-order merge state: batches may arrive in any order, but
+/// batch `k` reaches the file only after `k-1` has.
+struct Merge {
+    next: u64,
+    pending: BTreeMap<u64, Rendered>,
+    main: AtomicFile,
+    side: Option<AtomicFile>,
+    rows: (u64, u64),
+    error: Option<io::Error>,
+}
+
+/// Locks a mutex, treating poisoning (a panicked peer) as survivable — the
+/// guarded state is either discarded wholesale or checked for completeness
+/// before use.
+fn lock_clean<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// A streaming temp-then-rename file: bytes land in a `.tmp.<pid>` sibling
@@ -583,6 +693,7 @@ mod tests {
     fn write_dir_is_invariant_to_jobs_and_batch() {
         let base = temp_dir("base");
         let wide = temp_dir("wide");
+        let swarm = temp_dir("swarm");
         let a = ChunkedGenerator::new(0.001, 7)
             .batch_units(10_000)
             .write_dir(&base, 1)
@@ -591,15 +702,25 @@ mod tests {
             .batch_units(17)
             .write_dir(&wide, 7)
             .unwrap();
+        // More workers than tables and batches small enough that every
+        // table's in-order merge sees out-of-order arrivals.
+        let c = ChunkedGenerator::new(0.001, 7)
+            .batch_units(3)
+            .write_dir(&swarm, 16)
+            .unwrap();
         assert_eq!(a, b);
+        assert_eq!(a, c);
         for def in tpcd_schema() {
             let x = fs::read(base.join(format!("{}.tbl", def.name))).unwrap();
             let y = fs::read(wide.join(format!("{}.tbl", def.name))).unwrap();
+            let z = fs::read(swarm.join(format!("{}.tbl", def.name))).unwrap();
             assert_eq!(x, y, "{} differs across jobs/batch", def.name);
+            assert_eq!(x, z, "{} differs under batch-grain fan-out", def.name);
             assert!(!x.is_empty());
         }
         let _ = fs::remove_dir_all(&base);
         let _ = fs::remove_dir_all(&wide);
+        let _ = fs::remove_dir_all(&swarm);
     }
 
     #[test]

@@ -99,6 +99,16 @@ pub enum TraceError {
         /// The underlying failure.
         source: Box<TraceError>,
     },
+    /// The pipelined delivery path itself failed: a producer worker died,
+    /// disconnected mid-stream, or violated the in-order chunk contract
+    /// (dropped or replayed a block). Distinct from the codec errors above —
+    /// the bytes on disk may be fine; the hand-off between threads was not.
+    Pipeline {
+        /// The simulated processor whose stream the failure concerned.
+        proc_id: usize,
+        /// What the pipeline did wrong.
+        what: String,
+    },
 }
 
 impl TraceError {
@@ -113,6 +123,7 @@ impl TraceError {
             TraceError::ChecksumMismatch { .. } => "checksum-mismatch",
             TraceError::Io { .. } => "io",
             TraceError::InFile { source, .. } => source.kind(),
+            TraceError::Pipeline { .. } => "pipeline",
         }
     }
 }
@@ -162,6 +173,9 @@ impl fmt::Display for TraceError {
                 write!(f, "I/O error at byte offset {offset}: {source}")
             }
             TraceError::InFile { path, source } => write!(f, "{}: {source}", path.display()),
+            TraceError::Pipeline { proc_id, what } => {
+                write!(f, "trace pipeline failed for processor {proc_id}: {what}")
+            }
         }
     }
 }

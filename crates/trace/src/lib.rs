@@ -18,6 +18,10 @@
 //!   checksummed event chunks consumed one at a time, so trace generation
 //!   can fuse with simulation in bounded memory at any scale factor (see
 //!   [`BlockWriter`], [`BlockReader`], [`FileTraceSource`]).
+//! * [`PipelinedTraceSource`] — the same contract produced on background
+//!   worker threads through bounded channels, overlapping block production
+//!   with simulation while a [`ChunkSequencer`] keeps delivery strictly
+//!   in order (bit-identical to the serial path).
 //!
 //! The paper's methodology applies one correction we reproduce here by
 //! construction: accesses to private *stack and static* data are assumed to
@@ -47,6 +51,7 @@ mod cost;
 mod discipline;
 mod event;
 mod io;
+mod pipeline;
 mod source;
 mod stats;
 mod tracer;
@@ -59,6 +64,10 @@ pub use event::{Event, LockClass, LockToken, MemRef};
 pub use io::{
     read_trace, read_trace_blocks, read_trace_file, write_trace, write_trace_blocks,
     write_trace_file, BlockReader, BlockWriter, TraceError,
+};
+pub use pipeline::{
+    ChunkSequencer, PipelineSnapshot, PipelineStats, PipelinedTraceSource, DEFAULT_CHANNEL_BLOCKS,
+    DEFAULT_REORDER_WINDOW,
 };
 pub use source::{
     materialize, EventStream, FileTraceSource, ProcPrefix, TraceSource, DEFAULT_BLOCK_EVENTS,

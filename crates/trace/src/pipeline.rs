@@ -1,0 +1,723 @@
+//! Pipeline-parallel trace delivery: producer worker threads pump blocks
+//! through bounded channels while the simulator consumes them in strict
+//! chunk order.
+//!
+//! The streaming contract ([`TraceSource`]/[`EventStream`]) bounds *memory*,
+//! but a single thread still alternates between producing a block (decoding,
+//! checksumming, generating) and simulating it — the two phases never
+//! overlap. [`PipelinedTraceSource`] splits them: `open()` spawns up to
+//! `gen_jobs` producer workers, each of which reopens the inner source and
+//! pumps its share of processor lanes into per-processor bounded channels.
+//! The consumer side looks like any other [`EventStream`]; blocks arrive
+//! tagged with their chunk index and pass through a [`ChunkSequencer`] that
+//! releases them strictly in order, so simulated results are bit-identical
+//! to the serial path at any chunk size, channel capacity, or worker count.
+//!
+//! Three properties carry the design:
+//!
+//! * **Backpressure** — channels hold at most a few blocks per processor, so
+//!   peak memory stays `O(nprocs × capacity × block)` no matter how far the
+//!   producer could run ahead.
+//! * **No cross-lane blocking** — a worker pumping several lanes never parks
+//!   on one lane's full channel while the consumer starves on another; it
+//!   round-robins with `try_send`, holding at most one pending block per
+//!   lane, and only sleeps when *every* lane is full (the consumer has a
+//!   full buffer of work everywhere, so the nap costs nothing).
+//! * **Fail loud, never hang** — producer panics and stream errors are
+//!   forwarded in-band as [`TraceError::Pipeline`] / original codec errors;
+//!   a disconnect without the end-of-stream marker is itself an error, so
+//!   the consumer can always classify a dead producer instead of blocking
+//!   forever.
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{
+    channel, sync_channel, Receiver, Sender, SyncSender, TryRecvError, TrySendError,
+};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::source::{EventStream, TraceSource};
+use crate::{Event, TraceError};
+
+/// Default bounded-channel capacity, in blocks per processor lane. Deep
+/// enough to ride out consumer bursts, shallow enough that backpressure
+/// keeps peak memory within a few blocks of the serial path.
+pub const DEFAULT_CHANNEL_BLOCKS: usize = 4;
+
+/// Default reordering window of the consumer-side [`ChunkSequencer`]: how
+/// many out-of-order blocks it will buffer while waiting for the next
+/// expected chunk before declaring the stream broken.
+pub const DEFAULT_REORDER_WINDOW: usize = 64;
+
+/// How long a producer worker naps when every one of its lanes is full.
+const FULL_BACKOFF: Duration = Duration::from_micros(100);
+
+/// Shared pipeline utilization counters, updated by both sides of the
+/// channel and readable while a run is in flight.
+///
+/// "Stall" means time spent *blocked on the channel*: for the producer,
+/// napping because every lane it pumps is full (the consumer is the
+/// bottleneck); for the consumer, parked in `recv` because the next block
+/// has not arrived (the producer is the bottleneck). Comparing the two says
+/// which side of the pipeline to widen without reaching for a profiler.
+#[derive(Debug, Default)]
+pub struct PipelineStats {
+    producer_stall_ns: AtomicU64,
+    consumer_stall_ns: AtomicU64,
+    blocks: AtomicU64,
+}
+
+/// A point-in-time copy of [`PipelineStats`], as returned by
+/// [`PipelineStats::take`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineSnapshot {
+    /// Total nanoseconds producer workers spent napping on full lanes.
+    pub producer_stall_ns: u64,
+    /// Total nanoseconds consumers spent parked waiting for a block.
+    pub consumer_stall_ns: u64,
+    /// Blocks successfully handed across the channel.
+    pub blocks: u64,
+}
+
+impl PipelineStats {
+    /// Fresh zeroed counters behind an [`Arc`], ready to share with a
+    /// [`PipelinedTraceSource::shared_stats`].
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Nanoseconds producer workers have spent blocked so far.
+    pub fn producer_stall_ns(&self) -> u64 {
+        self.producer_stall_ns.load(Ordering::Relaxed)
+    }
+
+    /// Nanoseconds consumers have spent blocked so far.
+    pub fn consumer_stall_ns(&self) -> u64 {
+        self.consumer_stall_ns.load(Ordering::Relaxed)
+    }
+
+    /// Blocks delivered across the channel so far.
+    pub fn blocks(&self) -> u64 {
+        self.blocks.load(Ordering::Relaxed)
+    }
+
+    /// Reads and zeroes all counters — one experiment's worth of pipeline
+    /// accounting when the same stats are shared across a sweep.
+    pub fn take(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            producer_stall_ns: self.producer_stall_ns.swap(0, Ordering::Relaxed),
+            consumer_stall_ns: self.consumer_stall_ns.swap(0, Ordering::Relaxed),
+            blocks: self.blocks.swap(0, Ordering::Relaxed),
+        }
+    }
+
+    fn add_producer_stall(&self, d: Duration) {
+        self.producer_stall_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn add_consumer_stall(&self, d: Duration) {
+        self.consumer_stall_ns
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn add_block(&self) {
+        self.blocks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Consumer-side in-order release of chunk-indexed blocks.
+///
+/// Blocks may arrive tagged with any chunk index; the sequencer buffers a
+/// bounded window of early arrivals and releases blocks strictly in index
+/// order, so the event stream the simulator sees is identical to the serial
+/// one. A chunk index that goes *backwards* (a replay) or a gap that never
+/// closes (a drop) is a structural pipeline failure, reported as
+/// [`TraceError::Pipeline`] — never silently reordered work.
+#[derive(Debug)]
+pub struct ChunkSequencer {
+    proc_id: usize,
+    next: u64,
+    window: usize,
+    pending: BTreeMap<u64, Vec<Event>>,
+}
+
+impl ChunkSequencer {
+    /// A sequencer for processor `proc_id` expecting chunks from zero,
+    /// buffering at most `window` early blocks (at least one).
+    pub fn new(proc_id: usize, window: usize) -> Self {
+        ChunkSequencer {
+            proc_id,
+            next: 0,
+            window: window.max(1),
+            pending: BTreeMap::new(),
+        }
+    }
+
+    fn fail(&self, what: String) -> TraceError {
+        TraceError::Pipeline {
+            proc_id: self.proc_id,
+            what,
+        }
+    }
+
+    /// Accepts one block tagged with its chunk index.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Pipeline`] if the index was already released or already
+    /// buffered (a replayed chunk), or if the reorder window fills without
+    /// the next expected chunk arriving (a dropped chunk).
+    pub fn accept(&mut self, chunk: u64, events: Vec<Event>) -> Result<(), TraceError> {
+        if chunk < self.next {
+            return Err(self.fail(format!(
+                "chunk {chunk} replayed: chunks up to {} were already released in order",
+                self.next
+            )));
+        }
+        if self.pending.insert(chunk, events).is_some() {
+            return Err(self.fail(format!(
+                "chunk {chunk} replayed: a block with the same index is already buffered"
+            )));
+        }
+        if !self.pending.contains_key(&self.next) && self.pending.len() >= self.window {
+            return Err(self.fail(format!(
+                "chunk {} dropped in transit: {} later blocks arrived without it \
+                 (reorder window {})",
+                self.next,
+                self.pending.len(),
+                self.window
+            )));
+        }
+        Ok(())
+    }
+
+    /// Releases the next in-order block, if it has arrived.
+    pub fn pop_ready(&mut self) -> Option<Vec<Event>> {
+        let events = self.pending.remove(&self.next)?;
+        self.next += 1;
+        Some(events)
+    }
+
+    /// Number of chunks released in order so far.
+    pub fn released(&self) -> u64 {
+        self.next
+    }
+
+    /// Verifies the stream is complete once the producer announces its
+    /// total chunk count.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Pipeline`] if a chunk never arrived, if more chunks
+    /// were released than the producer claims to have sent, or if blocks
+    /// are still buffered past the announced end.
+    pub fn finish(&mut self, chunks: u64) -> Result<(), TraceError> {
+        if self.next < chunks {
+            return Err(self.fail(format!(
+                "chunk {} of {chunks} dropped in transit: the stream ended without it",
+                self.next
+            )));
+        }
+        if self.next > chunks {
+            return Err(self.fail(format!(
+                "producer announced {chunks} chunks but {} were delivered",
+                self.next
+            )));
+        }
+        if let Some((&k, _)) = self.pending.iter().next() {
+            return Err(self.fail(format!(
+                "chunk {k} arrived beyond the announced end of {chunks} chunks"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// What travels over a processor lane.
+enum Msg {
+    /// One block of events, tagged with its chunk index.
+    Block { chunk: u64, events: Vec<Event> },
+    /// End of stream after exactly `chunks` blocks.
+    End { chunks: u64 },
+    /// The producer failed; the consumer must surface this error.
+    Fail(TraceError),
+}
+
+/// The producer-side half of one processor lane.
+struct Lane {
+    proc: usize,
+    tx: SyncSender<Msg>,
+    spares: Receiver<Vec<Event>>,
+}
+
+/// A [`TraceSource`] adapter that produces blocks on background worker
+/// threads and delivers them through bounded per-processor channels.
+///
+/// Every `open()` spawns a fresh set of producer workers (threads exit when
+/// their lanes are done or the consumer hangs up), so the source remains
+/// reopenable and shareable across simulation points like any other.
+/// Consumed through [`crate::materialize`] or `Machine::run_source`, the
+/// event sequence is bit-identical to opening `inner` directly.
+pub struct PipelinedTraceSource<S> {
+    inner: Arc<S>,
+    gen_jobs: usize,
+    capacity: usize,
+    window: usize,
+    stats: Arc<PipelineStats>,
+}
+
+impl<S: TraceSource + Send + Sync + 'static> PipelinedTraceSource<S> {
+    /// Wraps `inner`, producing on up to `gen_jobs` worker threads (at
+    /// least one; capped at the processor count on open).
+    pub fn new(inner: S, gen_jobs: usize) -> Self {
+        PipelinedTraceSource {
+            inner: Arc::new(inner),
+            gen_jobs: gen_jobs.max(1),
+            capacity: DEFAULT_CHANNEL_BLOCKS,
+            window: DEFAULT_REORDER_WINDOW,
+            stats: PipelineStats::shared(),
+        }
+    }
+
+    /// Sets the bounded-channel capacity in blocks per processor lane
+    /// (at least one).
+    pub fn channel_blocks(mut self, blocks: usize) -> Self {
+        self.capacity = blocks.max(1);
+        self
+    }
+
+    /// Shares `stats` so a caller holding the other end can read pipeline
+    /// utilization while runs are in flight.
+    pub fn shared_stats(mut self, stats: Arc<PipelineStats>) -> Self {
+        self.stats = stats;
+        self
+    }
+
+    /// The utilization counters this source updates.
+    pub fn stats(&self) -> Arc<PipelineStats> {
+        Arc::clone(&self.stats)
+    }
+}
+
+impl<S: TraceSource + Send + Sync + 'static> TraceSource for PipelinedTraceSource<S> {
+    fn nprocs(&self) -> usize {
+        self.inner.nprocs()
+    }
+
+    fn open(&self) -> Result<Vec<Box<dyn EventStream + '_>>, TraceError> {
+        // Open the inner source once on the calling thread: a failing open
+        // surfaces here with its original error kind (exactly as the serial
+        // path would report it), and the per-processor ids are known before
+        // any worker starts.
+        let proc_ids: Vec<usize> = self
+            .inner
+            .open()?
+            .iter()
+            .map(|stream| stream.proc_id())
+            .collect();
+        let nprocs = proc_ids.len();
+        if nprocs == 0 {
+            return Ok(Vec::new());
+        }
+        let workers = self.gen_jobs.min(nprocs).max(1);
+        let mut assignments: Vec<Vec<Lane>> = (0..workers).map(|_| Vec::new()).collect();
+        let mut streams: Vec<Box<dyn EventStream + '_>> = Vec::with_capacity(nprocs);
+        for (idx, proc_id) in proc_ids.into_iter().enumerate() {
+            let (tx, rx) = sync_channel(self.capacity);
+            let (spare_tx, spare_rx) = channel();
+            if let Some(worker) = assignments.get_mut(idx % workers) {
+                worker.push(Lane {
+                    proc: idx,
+                    tx,
+                    spares: spare_rx,
+                });
+            }
+            streams.push(Box::new(PipelinedStream {
+                proc_id,
+                rx,
+                spares: spare_tx,
+                seq: ChunkSequencer::new(idx, self.window),
+                end: None,
+                done: false,
+                stats: Arc::clone(&self.stats),
+            }));
+        }
+        for lanes in assignments {
+            let inner = Arc::clone(&self.inner);
+            let stats = Arc::clone(&self.stats);
+            std::thread::spawn(move || produce(inner, lanes, stats));
+        }
+        Ok(streams)
+    }
+}
+
+/// Extracts a human-readable message from a panic payload.
+fn panic_what(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Producer worker entry point: pump all assigned lanes, converting a panic
+/// anywhere in the inner source into an in-band [`TraceError::Pipeline`] on
+/// every still-open lane so the consumer fails loudly instead of hanging.
+fn produce<S: TraceSource>(inner: Arc<S>, lanes: Vec<Lane>, stats: Arc<PipelineStats>) {
+    let outcome = catch_unwind(AssertUnwindSafe(|| pump(&*inner, &lanes, &stats)));
+    if let Err(payload) = outcome {
+        let what = panic_what(payload.as_ref());
+        for lane in &lanes {
+            // `send` (not `try_send`) so the failure is not lost behind a
+            // full lane; a consumer that already hung up disconnects the
+            // channel and the send simply errors out.
+            let _ = lane.tx.send(Msg::Fail(TraceError::Pipeline {
+                proc_id: lane.proc,
+                what: format!("producer worker panicked: {what}"),
+            }));
+        }
+    }
+}
+
+/// Per-lane producer state: the stream being pumped plus the one block that
+/// may be waiting for channel space.
+struct LaneRun<'a> {
+    stream: Box<dyn EventStream + 'a>,
+    chunk: u64,
+    ready: Option<Msg>,
+    live: bool,
+}
+
+/// Pumps every assigned lane round-robin with `try_send`, napping only when
+/// *all* live lanes are blocked on a full channel.
+fn pump(inner: &dyn TraceSource, lanes: &[Lane], stats: &PipelineStats) {
+    let mut streams: Vec<Option<Box<dyn EventStream + '_>>> = match inner.open() {
+        Ok(s) => s.into_iter().map(Some).collect(),
+        Err(e) => {
+            // The calling thread validated open() once already, so this is
+            // a rare race (e.g. a file removed since); wrap it per lane.
+            let what = format!("reopening the inner source failed: {e}");
+            for lane in lanes {
+                let _ = lane.tx.send(Msg::Fail(TraceError::Pipeline {
+                    proc_id: lane.proc,
+                    what: what.clone(),
+                }));
+            }
+            return;
+        }
+    };
+    let mut runs: Vec<LaneRun<'_>> = Vec::with_capacity(lanes.len());
+    for lane in lanes {
+        match streams.get_mut(lane.proc).and_then(Option::take) {
+            Some(stream) => runs.push(LaneRun {
+                stream,
+                chunk: 0,
+                ready: None,
+                live: true,
+            }),
+            None => {
+                let _ = lane.tx.send(Msg::Fail(TraceError::Pipeline {
+                    proc_id: lane.proc,
+                    what: format!("inner source yielded no stream for processor {}", lane.proc),
+                }));
+                runs.push(LaneRun {
+                    stream: Box::new(Exhausted),
+                    chunk: 0,
+                    ready: None,
+                    live: false,
+                });
+            }
+        }
+    }
+    drop(streams);
+    loop {
+        let mut progressed = false;
+        let mut any_live = false;
+        for (run, lane) in runs.iter_mut().zip(lanes) {
+            if !run.live {
+                continue;
+            }
+            any_live = true;
+            if run.ready.is_none() {
+                let mut buf = lane.spares.try_recv().unwrap_or_default();
+                run.ready = Some(match run.stream.next_block(&mut buf) {
+                    Ok(0) => Msg::End { chunks: run.chunk },
+                    Ok(_) => {
+                        let chunk = run.chunk;
+                        run.chunk += 1;
+                        Msg::Block { chunk, events: buf }
+                    }
+                    Err(e) => Msg::Fail(e),
+                });
+            }
+            let Some(msg) = run.ready.take() else {
+                continue;
+            };
+            let terminal = !matches!(msg, Msg::Block { .. });
+            match lane.tx.try_send(msg) {
+                Ok(()) => {
+                    progressed = true;
+                    if terminal {
+                        run.live = false;
+                    } else {
+                        stats.add_block();
+                    }
+                }
+                Err(TrySendError::Full(msg)) => run.ready = Some(msg),
+                Err(TrySendError::Disconnected(_)) => run.live = false,
+            }
+        }
+        if !any_live {
+            return;
+        }
+        if !progressed {
+            let napped = Instant::now();
+            std::thread::sleep(FULL_BACKOFF);
+            stats.add_producer_stall(napped.elapsed());
+        }
+    }
+}
+
+/// A permanently-empty stand-in stream for a lane whose inner stream was
+/// missing (the error already went over the channel).
+struct Exhausted;
+
+impl EventStream for Exhausted {
+    fn proc_id(&self) -> usize {
+        usize::MAX
+    }
+
+    fn next_block(&mut self, buf: &mut Vec<Event>) -> Result<usize, TraceError> {
+        buf.clear();
+        Ok(0)
+    }
+}
+
+/// The consumer-side half of one processor lane.
+struct PipelinedStream {
+    proc_id: usize,
+    rx: Receiver<Msg>,
+    spares: Sender<Vec<Event>>,
+    seq: ChunkSequencer,
+    end: Option<u64>,
+    done: bool,
+    stats: Arc<PipelineStats>,
+}
+
+impl PipelinedStream {
+    fn disconnected(&self) -> TraceError {
+        TraceError::Pipeline {
+            proc_id: self.proc_id,
+            what: "producer disconnected before the end-of-stream marker \
+                   (worker thread died)"
+                .to_string(),
+        }
+    }
+}
+
+impl EventStream for PipelinedStream {
+    fn proc_id(&self) -> usize {
+        self.proc_id
+    }
+
+    fn next_block(&mut self, buf: &mut Vec<Event>) -> Result<usize, TraceError> {
+        buf.clear();
+        if self.done {
+            return Ok(0);
+        }
+        loop {
+            if let Some(mut block) = self.seq.pop_ready() {
+                // Swap the caller's buffer with the delivered block and
+                // recycle the old allocation back to the producer, so block
+                // buffers circulate instead of being reallocated per block.
+                std::mem::swap(buf, &mut block);
+                block.clear();
+                let _ = self.spares.send(block);
+                return Ok(buf.len());
+            }
+            if let Some(chunks) = self.end {
+                self.seq.finish(chunks)?;
+                self.done = true;
+                return Ok(0);
+            }
+            let msg = match self.rx.try_recv() {
+                Ok(msg) => msg,
+                Err(TryRecvError::Empty) => {
+                    let parked = Instant::now();
+                    let recv = self.rx.recv();
+                    self.stats.add_consumer_stall(parked.elapsed());
+                    match recv {
+                        Ok(msg) => msg,
+                        Err(_) => return Err(self.disconnected()),
+                    }
+                }
+                Err(TryRecvError::Disconnected) => return Err(self.disconnected()),
+            };
+            match msg {
+                Msg::Block { chunk, events } => self.seq.accept(chunk, events)?,
+                Msg::End { chunks } => self.end = Some(chunks),
+                Msg::Fail(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{materialize, DataClass, Trace, Tracer};
+
+    fn sample(nprocs: usize, events_per_proc: usize) -> Vec<Trace> {
+        (0..nprocs)
+            .map(|p| {
+                let t = Tracer::new(p);
+                for i in 0..events_per_proc as u64 {
+                    t.read(
+                        0x2_0000_0000 | ((p as u64) << 20) | (i * 8),
+                        8,
+                        DataClass::Data,
+                    );
+                    t.busy(3);
+                }
+                t.take()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_matches_serial() {
+        let traces = sample(4, 1000);
+        let serial = materialize(&traces[..]).unwrap();
+        for gen_jobs in [1, 2, 3, 8] {
+            let piped = PipelinedTraceSource::new(traces.clone(), gen_jobs).channel_blocks(2);
+            assert_eq!(materialize(&piped).unwrap(), serial, "gen_jobs={gen_jobs}");
+            // Reopenable: a second materialize sees the same events.
+            assert_eq!(materialize(&piped).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn exhausted_stream_stays_exhausted() {
+        let traces = sample(1, 10);
+        let piped = PipelinedTraceSource::new(traces, 1);
+        let mut streams = piped.open().unwrap();
+        let mut buf = Vec::new();
+        let mut total = 0;
+        loop {
+            let n = streams[0].next_block(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        assert_eq!(total, 20);
+        assert_eq!(streams[0].next_block(&mut buf).unwrap(), 0);
+        assert_eq!(streams[0].next_block(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn stats_account_for_delivered_blocks() {
+        let traces = sample(2, 100);
+        let stats = PipelineStats::shared();
+        let piped = PipelinedTraceSource::new(traces, 2).shared_stats(Arc::clone(&stats));
+        materialize(&piped).unwrap();
+        let snap = stats.take();
+        assert!(snap.blocks >= 2, "at least one block per processor");
+        assert_eq!(stats.take(), PipelineSnapshot::default(), "take drains");
+    }
+
+    /// A source whose streams panic after a few blocks.
+    struct PanicSource;
+
+    struct PanicStream {
+        left: usize,
+    }
+
+    impl EventStream for PanicStream {
+        fn proc_id(&self) -> usize {
+            0
+        }
+
+        fn next_block(&mut self, buf: &mut Vec<Event>) -> Result<usize, TraceError> {
+            buf.clear();
+            if self.left == 0 {
+                panic!("synthetic producer failure");
+            }
+            self.left -= 1;
+            buf.push(Event::Busy(1));
+            Ok(1)
+        }
+    }
+
+    impl TraceSource for PanicSource {
+        fn nprocs(&self) -> usize {
+            1
+        }
+
+        fn open(&self) -> Result<Vec<Box<dyn EventStream + '_>>, TraceError> {
+            Ok(vec![Box::new(PanicStream { left: 3 })])
+        }
+    }
+
+    #[test]
+    fn producer_panic_surfaces_as_pipeline_error() {
+        let piped = PipelinedTraceSource::new(PanicSource, 2);
+        let err = match materialize(&piped) {
+            Err(e) => e,
+            Ok(_) => panic!("a panicking producer must fail the stream"),
+        };
+        assert_eq!(err.kind(), "pipeline");
+        assert!(
+            err.to_string().contains("synthetic producer failure"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn sequencer_heals_bounded_reorder() {
+        let mut seq = ChunkSequencer::new(0, 8);
+        seq.accept(1, vec![Event::Busy(1)]).unwrap();
+        assert!(seq.pop_ready().is_none(), "chunk 0 still missing");
+        seq.accept(0, vec![Event::Busy(0)]).unwrap();
+        assert_eq!(seq.pop_ready(), Some(vec![Event::Busy(0)]));
+        assert_eq!(seq.pop_ready(), Some(vec![Event::Busy(1)]));
+        assert!(seq.pop_ready().is_none());
+        seq.finish(2).unwrap();
+    }
+
+    #[test]
+    fn sequencer_rejects_replayed_chunk() {
+        let mut seq = ChunkSequencer::new(3, 8);
+        seq.accept(0, vec![Event::Busy(0)]).unwrap();
+        assert!(seq.pop_ready().is_some());
+        let err = seq.accept(0, vec![Event::Busy(0)]).unwrap_err();
+        assert_eq!(err.kind(), "pipeline");
+        assert!(err.to_string().contains("replayed"), "{err}");
+        assert!(err.to_string().contains("processor 3"), "{err}");
+    }
+
+    #[test]
+    fn sequencer_rejects_dropped_chunk_at_finish() {
+        let mut seq = ChunkSequencer::new(0, 8);
+        seq.accept(0, vec![Event::Busy(0)]).unwrap();
+        assert!(seq.pop_ready().is_some());
+        // Chunk 1 never arrives.
+        let err = seq.finish(3).unwrap_err();
+        assert_eq!(err.kind(), "pipeline");
+        assert!(err.to_string().contains("dropped"), "{err}");
+    }
+
+    #[test]
+    fn sequencer_window_overflow_is_a_drop() {
+        let mut seq = ChunkSequencer::new(0, 2);
+        seq.accept(1, vec![]).unwrap();
+        let err = seq.accept(2, vec![]).unwrap_err();
+        assert_eq!(err.kind(), "pipeline");
+        assert!(err.to_string().contains("dropped"), "{err}");
+    }
+}

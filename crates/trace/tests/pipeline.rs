@@ -1,0 +1,204 @@
+//! Bit-identity of the pipelined trace path: for arbitrary processor
+//! counts, event counts, producer block sizes, channel capacities, and
+//! worker counts, `PipelinedTraceSource` delivers exactly the event
+//! sequence of the serial source — plus negative coverage that a producer
+//! failure surfaces as a classified `pipeline` error instead of a hang.
+
+use dss_trace::{
+    materialize, DataClass, Event, EventStream, LockClass, LockToken, PipelineStats,
+    PipelinedTraceSource, Trace, TraceError, TraceSource, Tracer,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A deterministic trace mixing every event shape, sized per processor.
+fn sample(nprocs: usize, events_per_proc: usize) -> Vec<Trace> {
+    (0..nprocs)
+        .map(|p| {
+            let t = Tracer::new(p);
+            for i in 0..events_per_proc as u64 {
+                let addr = 0x3_0000_0000 | ((p as u64) << 24) | (i * 8);
+                match i % 5 {
+                    0 => t.busy(1 + (i % 7) as u32),
+                    1 => t.read(addr, 8, DataClass::Data),
+                    2 => t.write(addr, 8, DataClass::PrivHeap),
+                    3 => {
+                        let tok = LockToken::new(0x100 + (i % 3) * 8, LockClass::Other);
+                        t.lock_acquire(tok);
+                        t.lock_release(tok);
+                    }
+                    _ => t.read(addr, 4, DataClass::Index),
+                }
+            }
+            t.take()
+        })
+        .collect()
+}
+
+/// Re-blocks a trace set at an arbitrary block size, so the pipeline's
+/// chunk boundaries can land anywhere.
+struct Chopped {
+    traces: Vec<Trace>,
+    block: usize,
+}
+
+struct ChoppedStream<'a> {
+    trace: &'a Trace,
+    pos: usize,
+    block: usize,
+}
+
+impl EventStream for ChoppedStream<'_> {
+    fn proc_id(&self) -> usize {
+        self.trace.proc_id
+    }
+
+    fn next_block(&mut self, buf: &mut Vec<Event>) -> Result<usize, TraceError> {
+        buf.clear();
+        let n = (self.trace.events.len() - self.pos).min(self.block);
+        buf.extend_from_slice(&self.trace.events[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl TraceSource for Chopped {
+    fn nprocs(&self) -> usize {
+        self.traces.len()
+    }
+
+    fn open(&self) -> Result<Vec<Box<dyn EventStream + '_>>, TraceError> {
+        Ok(self
+            .traces
+            .iter()
+            .map(|trace| {
+                Box::new(ChoppedStream {
+                    trace,
+                    pos: 0,
+                    block: self.block,
+                }) as Box<dyn EventStream>
+            })
+            .collect())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole invariant: pipelined delivery is bit-identical to the
+    /// serial stream for any (nprocs, events, block, capacity, gen_jobs).
+    #[test]
+    fn pipelined_is_bit_identical_to_serial(
+        nprocs in 1usize..5,
+        events in 0usize..400,
+        block in 1usize..97,
+        capacity in 1usize..5,
+        gen_jobs in 1usize..7,
+    ) {
+        let traces = sample(nprocs, events);
+        let serial = materialize(&traces[..]).unwrap();
+        let chopped = Chopped { traces, block };
+        prop_assert_eq!(&materialize(&chopped).unwrap(), &serial, "chopping is inert");
+        let piped = PipelinedTraceSource::new(chopped, gen_jobs).channel_blocks(capacity);
+        prop_assert_eq!(&materialize(&piped).unwrap(), &serial, "pipelined differs");
+    }
+}
+
+/// A source whose stream panics mid-flight on one processor.
+struct PanicMidway {
+    nprocs: usize,
+    panic_proc: usize,
+}
+
+struct PanicMidwayStream {
+    proc: usize,
+    panics: bool,
+    left: usize,
+}
+
+impl EventStream for PanicMidwayStream {
+    fn proc_id(&self) -> usize {
+        self.proc
+    }
+
+    fn next_block(&mut self, buf: &mut Vec<Event>) -> Result<usize, TraceError> {
+        buf.clear();
+        if self.left == 0 {
+            if self.panics {
+                panic!("injected producer fault on processor {}", self.proc);
+            }
+            return Ok(0);
+        }
+        self.left -= 1;
+        buf.push(Event::Busy(2));
+        Ok(1)
+    }
+}
+
+impl TraceSource for PanicMidway {
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn open(&self) -> Result<Vec<Box<dyn EventStream + '_>>, TraceError> {
+        Ok((0..self.nprocs)
+            .map(|proc| {
+                Box::new(PanicMidwayStream {
+                    proc,
+                    panics: proc == self.panic_proc,
+                    left: 4,
+                }) as Box<dyn EventStream>
+            })
+            .collect())
+    }
+}
+
+/// A panic on any producer worker becomes a classified in-band error on
+/// that processor's stream — the consumer never hangs on a dead producer.
+#[test]
+fn producer_panic_is_classified_not_a_hang() {
+    for gen_jobs in [1, 2, 4] {
+        let piped = PipelinedTraceSource::new(
+            PanicMidway {
+                nprocs: 3,
+                panic_proc: 1,
+            },
+            gen_jobs,
+        );
+        let err = match materialize(&piped) {
+            Err(e) => e,
+            Ok(_) => panic!("stream with a panicking producer must fail"),
+        };
+        assert_eq!(err.kind(), "pipeline", "gen_jobs={gen_jobs}: {err}");
+        assert!(err.to_string().contains("injected producer fault"), "{err}");
+    }
+}
+
+/// Stall counters move: with a slow consumer the producer stalls (bounded
+/// channels exert backpressure), and blocks are counted.
+#[test]
+fn backpressure_is_observable_in_stats() {
+    let traces = sample(1, 3000);
+    let total_events = traces[0].events.len();
+    let stats = PipelineStats::shared();
+    let piped = PipelinedTraceSource::new(Chopped { traces, block: 16 }, 1)
+        .channel_blocks(1)
+        .shared_stats(Arc::clone(&stats));
+    let mut streams = piped.open().unwrap();
+    let mut buf = Vec::new();
+    // Drain slowly so the producer hits the full channel at least once.
+    loop {
+        let n = streams[0].next_block(&mut buf).unwrap();
+        if n == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(300));
+    }
+    drop(streams);
+    let snap = stats.take();
+    assert_eq!(snap.blocks as usize, total_events.div_ceil(16));
+    assert!(
+        snap.producer_stall_ns > 0,
+        "a slow consumer must register producer stall ({snap:?})"
+    );
+}

@@ -3,17 +3,28 @@
 //!
 //! ```text
 //! cargo run --release --bin dbgen -- --scale 0.01 --seed 42 --dir /tmp/tpcd
+//! cargo run --release --bin dbgen -- --chunked --jobs 8 --scale 0.1 --dir /tmp/tpcd
 //! ```
+//!
+//! The default path materializes the whole population in memory (the legacy
+//! generator pinned by the golden artifacts). `--chunked` switches to the
+//! bounded-memory batch-parallel generator, which fans independently seeded
+//! unit batches across `--jobs` worker threads and merges them in canonical
+//! order — same bytes at any `--jobs`/`--batch`, a different population
+//! from the legacy generator (see `dss_tpcd::ChunkedGenerator`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dss_workbench::tpcd::Generator;
+use dss_workbench::tpcd::{ChunkedGenerator, Generator};
 
 fn main() -> ExitCode {
     let mut scale = dss_workbench::tpcd::PAPER_SCALE;
     let mut seed = 42u64;
     let mut dir = PathBuf::from("tpcd-data");
+    let mut chunked = false;
+    let mut jobs = 1usize;
+    let mut batch: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -39,8 +50,26 @@ fn main() -> ExitCode {
                 }
             },
             "--dir" => dir = PathBuf::from(value("--dir")),
+            "--chunked" => chunked = true,
+            "--jobs" => match value("--jobs").parse() {
+                Ok(v) if v >= 1 => jobs = v,
+                _ => {
+                    eprintln!("--jobs must be a positive integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--batch" => match value("--batch").parse() {
+                Ok(v) if v >= 1 => batch = Some(v),
+                _ => {
+                    eprintln!("--batch must be a positive integer (units per batch)");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: dbgen [--scale F] [--seed N] [--dir PATH]");
+                println!(
+                    "usage: dbgen [--scale F] [--seed N] [--dir PATH] \
+                     [--chunked [--jobs N] [--batch UNITS]]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -49,8 +78,34 @@ fn main() -> ExitCode {
             }
         }
     }
+    if (jobs != 1 || batch.is_some()) && !chunked {
+        eprintln!("--jobs/--batch only apply to the --chunked generator");
+        return ExitCode::from(2);
+    }
 
     let started = std::time::Instant::now();
+    if chunked {
+        let mut g = ChunkedGenerator::new(scale, seed);
+        if let Some(units) = batch {
+            g = g.batch_units(units);
+        }
+        let report = match g.write_dir(&dir, jobs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("failed to write {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let total: u64 = report.rows.iter().map(|(_, n)| *n).sum();
+        println!(
+            "wrote {total} rows ({} bytes) across 8 tables to {} in {:.1?} \
+             (chunked, scale {scale}, seed {seed}, jobs {jobs})",
+            report.bytes,
+            dir.display(),
+            started.elapsed()
+        );
+        return ExitCode::SUCCESS;
+    }
     let data = Generator::new(scale, seed).generate();
     if let Err(e) = data.write_tbl(&dir) {
         eprintln!("failed to write {}: {e}", dir.display());
