@@ -203,6 +203,8 @@ impl BenchLog {
     /// Schema v3 added the degradation record: every sweep point that failed
     /// soft (`point_errors`) and every experiment block that was abandoned
     /// (`failed_experiments`); both arrays are empty on a healthy run.
+    // The report serializes every top-level measurement as its own scalar;
+    // the arity is the schema's, not an API anyone else calls.
     #[allow(clippy::too_many_arguments)]
     fn to_json(
         &self,

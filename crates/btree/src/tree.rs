@@ -282,6 +282,8 @@ impl BTree {
 
     /// Splits the full node `block` (found via `path`) and inserts
     /// `(key, payload)` into the appropriate half, propagating upward.
+    // The split carries pool, tracer, path, separators, and both halves'
+    // coordinates; they are one operation's state, not a reusable bundle.
     #[allow(clippy::too_many_arguments)]
     fn split_and_insert(
         &mut self,

@@ -25,6 +25,8 @@
 //! single-threaded code: `dss-check alloc` generates traces (the parallel
 //! part) before opening its gates, and the zero-assert integration test
 //! lives alone in its own test binary.
+// GlobalAlloc is an unsafe trait; a counting allocator cannot exist without
+// it. This module is the audited exception to the workspace-wide forbid.
 #![allow(unsafe_code)]
 
 use std::alloc::{GlobalAlloc, Layout, System};

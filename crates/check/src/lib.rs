@@ -21,6 +21,12 @@
 //!   per-run warm-up and steady-state heap counters with ratchet-diff
 //!   semantics (the counting allocator itself lives in the binary, which may
 //!   use `unsafe`; this library must not).
+//! * [`model`] — exhaustive BFS reachability over the coherence-protocol
+//!   transition kernel (`dss_memsim::protocol`) across {MSI, MESI} × 2–4
+//!   processors × 1–2 lines, checking SWMR, directory–cache agreement, the
+//!   data-value invariant, and quiescence at every reachable state, plus a
+//!   litmus suite of pinned transaction shapes; violations come back as
+//!   minimal replayable event sequences.
 //!
 //! The `dss-check` binary runs any or all passes and exits non-zero on the
 //! first finding; CI gates on `dss-check all`.
@@ -32,10 +38,12 @@ pub mod budget;
 pub mod invariants;
 pub mod lexer;
 pub mod lint;
+pub mod model;
 pub mod race;
 
 pub use budget::{AllocBudget, Counts, RunBudget};
 pub use invariants::{check_baseline_suite, check_machine, InvariantFailure, RunSummary};
 pub use lexer::{lex, Token, TokenKind};
 pub use lint::{find_workspace_root, lint_workspace, Allowlist, Finding};
+pub use model::{check_model, render_counterexample, LitmusOutcome, ModelReport, ModelRun};
 pub use race::{detect_races, detect_races_source, Access, Race, RaceAnalysisError, RaceReport};

@@ -25,6 +25,11 @@
 //!    (the `check-invariants` observer, the `alloc-probe` test hook) must
 //!    only appear inside regions guarded by their feature, so the observer
 //!    can never leak into default builds.
+//! 7. **Allow justification** — every `#[allow(…)]`/`#![allow(…)]` in the
+//!    workspace's own source must carry an adjacent plain `//` comment
+//!    saying *why* the lint is suppressed; an unexplained suppression is how
+//!    real warnings get buried. Doc comments don't count — they document
+//!    the item, not the exception.
 //!
 //! Grandfathered sites live in `crates/check/lint-allow.txt` (one `path
 //! substring :: line substring` entry per line); the scanner reports any
@@ -428,6 +433,7 @@ pub fn lint_workspace(root: &Path, allow: &mut Allowlist) -> io::Result<Vec<Find
     }
     lint_headers(root, &mut findings)?;
     lint_panic_free(root, allow, &mut findings)?;
+    lint_allow_justification(root, allow, &mut findings)?;
     Ok(findings)
 }
 
@@ -600,6 +606,93 @@ fn lint_panic_free(
         );
     }
     Ok(())
+}
+
+/// Rule 7: every `#[allow(…)]`/`#![allow(…)]` must carry an adjacent plain
+/// `//`-comment justification — ending on the attribute's line or the line
+/// directly above it, or trailing after the attribute on the same line.
+/// Applies to the workspace root's `src/` and every crate's `src/` tree
+/// (vendored code is exempt). Grandfathered sites ratchet through the
+/// allowlist like every other rule.
+fn lint_allow_justification(
+    root: &Path,
+    allow: &mut Allowlist,
+    findings: &mut Vec<Finding>,
+) -> io::Result<()> {
+    let mut files = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect_rs_files(&src, &mut files)?;
+    }
+    for entry in fs::read_dir(root.join("crates"))? {
+        let dir = entry?.path().join("src");
+        if dir.is_dir() {
+            collect_rs_files(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    for path in files {
+        let text = fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        scan_allow_attrs(&rel, &text, allow, findings);
+    }
+    Ok(())
+}
+
+/// A comment that can justify an `allow` attribute: either comment kind,
+/// minus the doc flavors (`///`, `//!`, `/**`, `/*!`), which attach to the
+/// item rather than explain the suppression.
+fn is_justification_comment(tok: &Token<'_>) -> bool {
+    tok.is_comment()
+        && !tok.text.starts_with("///")
+        && !tok.text.starts_with("//!")
+        && !tok.text.starts_with("/**")
+        && !tok.text.starts_with("/*!")
+}
+
+/// Scans one file's raw token stream (comments retained — [`FileTokens`]
+/// strips them, so rule 7 lexes for itself) for unjustified `allow`
+/// attributes.
+fn scan_allow_attrs(rel: &Path, text: &str, allow: &mut Allowlist, findings: &mut Vec<Finding>) {
+    let toks = lex(text);
+    let lines: Vec<&str> = text.lines().collect();
+    let p = |i: usize, c: char| toks.get(i).is_some_and(|t| t.is_punct(c));
+    let id = |i: usize, s: &str| toks.get(i).is_some_and(|t| t.is_ident(s));
+    for i in 0..toks.len() {
+        // `# [ allow` (outer) or `# ! [ allow` (inner). `cfg_attr`-wrapped
+        // allows put `cfg_attr` after the bracket, so they don't match.
+        let outer = p(i, '#') && p(i + 1, '[') && id(i + 2, "allow");
+        let inner = p(i, '#') && p(i + 1, '!') && p(i + 2, '[') && id(i + 3, "allow");
+        if !(outer || inner) {
+            continue;
+        }
+        let attr_line = toks[i].line;
+        // A justifying comment either ends on the attribute's line or the
+        // line directly above it (comment end = start line + embedded
+        // newlines), or trails the attribute on the same line.
+        let above = toks[..i].iter().any(|t| {
+            is_justification_comment(t) && t.line + t.text.matches('\n').count() + 1 >= attr_line
+        });
+        let trailing = toks[i + 1..]
+            .iter()
+            .take_while(|t| t.line == attr_line)
+            .any(is_justification_comment);
+        if above || trailing {
+            continue;
+        }
+        let line_text = lines.get(attr_line - 1).copied().unwrap_or("");
+        if !allow.permits(rel, line_text) {
+            findings.push(Finding {
+                file: rel.to_path_buf(),
+                line: attr_line,
+                rule: "allow-justification",
+                message: format!(
+                    "`{}` lacks an adjacent `//` justification comment",
+                    line_text.trim()
+                ),
+            });
+        }
+    }
 }
 
 /// Collects every `.rs` file under `dir`, recursively.
@@ -808,5 +901,62 @@ impl M {
         let here = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
         let root = find_workspace_root(&here).expect("workspace above dss-check");
         assert!(root.join("crates/check").is_dir());
+    }
+
+    fn allow_findings(src: &str, allow: &mut Allowlist) -> Vec<Finding> {
+        let mut findings = Vec::new();
+        scan_allow_attrs(Path::new("crates/x/src/lib.rs"), src, allow, &mut findings);
+        findings
+    }
+
+    #[test]
+    fn bare_allow_attributes_are_findings() {
+        let src = "#[allow(dead_code)]\nfn f() {}\n\n#![allow(unsafe_code)]\n";
+        let findings = allow_findings(src, &mut Allowlist::default());
+        assert_eq!(findings.len(), 2);
+        assert_eq!(findings[0].rule, "allow-justification");
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[1].line, 4);
+    }
+
+    #[test]
+    fn adjacent_plain_comments_justify_allows() {
+        let above =
+            "// the trait demands the arity\n#[allow(clippy::too_many_arguments)]\nfn f() {}\n";
+        let trailing = "#[allow(dead_code)] // kept for schema v2 readers\nfn f() {}\n";
+        let block = "/* generated table */ #[allow(missing_docs)]\npub struct S;\n";
+        for src in [above, trailing, block] {
+            assert!(
+                allow_findings(src, &mut Allowlist::default()).is_empty(),
+                "false positive on {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn doc_comments_and_distance_do_not_justify_allows() {
+        let doc = "/// Documents the item, not the allow.\n#[allow(dead_code)]\nfn f() {}\n";
+        let far = "// too far away\n\n\n#[allow(dead_code)]\nfn f() {}\n";
+        for src in [doc, far] {
+            assert_eq!(
+                allow_findings(src, &mut Allowlist::default()).len(),
+                1,
+                "missed finding in {src:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn cfg_attr_wrapped_allows_are_not_matched() {
+        let src = "#[cfg_attr(test, allow(dead_code))]\nfn f() {}\n";
+        assert!(allow_findings(src, &mut Allowlist::default()).is_empty());
+    }
+
+    #[test]
+    fn allowlist_grandfathers_allow_attributes() {
+        let src = "#[allow(dead_code)]\nfn f() {}\n";
+        let mut allow = Allowlist::parse("crates/x/src :: allow(dead_code)\n");
+        assert!(allow_findings(src, &mut allow).is_empty());
+        assert!(allow.unused().is_empty(), "entry should count as used");
     }
 }

@@ -6,6 +6,7 @@
 //! dss-check invariants  # coherence invariants over the baseline suite
 //! dss-check alloc       # allocation audit of Machine::run (counting allocator)
 //! dss-check fault       # fault-injection campaign: every fault detected
+//! dss-check model       # exhaustive coherence-protocol model checking
 //! dss-check all         # everything above
 //! ```
 //!
@@ -16,6 +17,18 @@
 //! `fault` options: `--seed N` replays the campaign's exact corruption
 //! schedule under seed `N` (default 1); same seed, same schedule, on any
 //! machine.
+//!
+//! `--json` emits one machine-readable document (schema `dss-check/v1`)
+//! covering every pass that ran — per-site fault outcomes, lint findings,
+//! per-query race summaries, the allocation budget, and the model pass's
+//! state/transition counts — so CI archives one artifact instead of
+//! scraping stderr. With `--json`, `--report PATH` names that combined
+//! document (the allocation budget is embedded as its own section);
+//! without `--report` it prints to stdout after the human-readable output.
+//!
+//! A model-pass violation additionally writes its minimal replayable
+//! counterexample to `model-counterexample.txt` in the current directory,
+//! for CI to upload on failure.
 //!
 //! Exits 0 when every requested pass is clean, 1 on any finding, 2 on usage
 //! or environment errors. Build with `--features check-invariants` to also
@@ -50,17 +63,18 @@ static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str);
-    let (run_lint, run_races, run_invariants, run_alloc, run_fault) = match mode {
-        Some("lint") => (true, false, false, false, false),
-        Some("races") => (false, true, false, false, false),
-        Some("invariants") => (false, false, true, false, false),
-        Some("alloc") => (false, false, false, true, false),
-        Some("fault") => (false, false, false, false, true),
-        Some("all") => (true, true, true, true, true),
+    let (run_lint, run_races, run_invariants, run_alloc, run_fault, run_model) = match mode {
+        Some("lint") => (true, false, false, false, false, false),
+        Some("races") => (false, true, false, false, false, false),
+        Some("invariants") => (false, false, true, false, false, false),
+        Some("alloc") => (false, false, false, true, false, false),
+        Some("fault") => (false, false, false, false, true, false),
+        Some("model") => (false, false, false, false, false, true),
+        Some("all") => (true, true, true, true, true, true),
         _ => {
             eprintln!(
-                "usage: dss-check <lint|races|invariants|alloc|fault|all> \
-                 [--report PATH] [--update] [--seed N]"
+                "usage: dss-check <lint|races|invariants|alloc|fault|model|all> \
+                 [--report PATH] [--update] [--seed N] [--json]"
             );
             return ExitCode::from(2);
         }
@@ -68,6 +82,7 @@ fn main() -> ExitCode {
     let mut report_path: Option<String> = None;
     let mut update = false;
     let mut seed = 1u64;
+    let mut json = false;
     let mut rest = args[1..].iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -86,6 +101,7 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--json" => json = true,
             other => {
                 eprintln!("unknown option `{other}`");
                 return ExitCode::from(2);
@@ -93,37 +109,82 @@ fn main() -> ExitCode {
         }
     }
 
+    // Each pass reports its findings count plus a JSON fragment for the
+    // combined `--json` document.
     let mut findings = 0usize;
+    let mut sections: Vec<(&'static str, String)> = Vec::new();
     if run_fault {
-        findings += fault_campaign(seed);
+        let (n, frag) = fault_campaign(seed);
+        findings += n;
+        sections.push(("fault", frag));
     }
     if run_lint {
         match lint() {
-            Ok(n) => findings += n,
+            Ok((n, frag)) => {
+                findings += n;
+                sections.push(("lint", frag));
+            }
             Err(e) => {
                 eprintln!("lint: {e}");
                 return ExitCode::from(2);
             }
         }
     }
+    if run_model {
+        let (n, frag) = model();
+        findings += n;
+        sections.push(("model", frag));
+    }
     // The trace-driven passes share one workbench (the trace cache holds a
     // query's traces across all of them).
     if run_races || run_invariants || run_alloc {
         let mut wb = Workbench::paper();
         if run_races {
-            findings += races(&mut wb);
+            let (n, frag) = races(&mut wb);
+            findings += n;
+            sections.push(("races", frag));
         }
         if run_invariants {
-            findings += invariants(&mut wb);
+            let (n, frag) = invariants(&mut wb);
+            findings += n;
+            sections.push(("invariants", frag));
         }
         if run_alloc {
-            match alloc_audit(&mut wb, report_path.as_deref(), update) {
-                Ok(n) => findings += n,
+            // With `--json`, `--report` names the combined document instead
+            // of the standalone budget report.
+            let budget_report = if json { None } else { report_path.as_deref() };
+            match alloc_audit(&mut wb, budget_report, update) {
+                Ok((n, frag)) => {
+                    findings += n;
+                    sections.push(("alloc", frag));
+                }
                 Err(e) => {
                     eprintln!("alloc: {e}");
                     return ExitCode::from(2);
                 }
             }
+        }
+    }
+    if json {
+        let passes: Vec<String> = sections
+            .iter()
+            .map(|(name, frag)| format!("\"{name}\": {frag}"))
+            .collect();
+        let doc = format!(
+            "{{\n  \"schema\": \"dss-check/v1\",\n  \"findings\": {findings},\n  \
+             \"clean\": {},\n  \"passes\": {{{}}}\n}}\n",
+            findings == 0,
+            passes.join(", ")
+        );
+        match report_path.as_deref() {
+            Some(path) => {
+                if let Err(e) = dss_core::write_atomic(std::path::Path::new(path), doc.as_bytes()) {
+                    eprintln!("--report: writing {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                println!("json: report written to {path}");
+            }
+            None => print!("{doc}"),
         }
     }
     if findings > 0 {
@@ -135,23 +196,59 @@ fn main() -> ExitCode {
     }
 }
 
+/// Escapes `s` for embedding in a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Runs the fault-injection campaign: every registered site corrupts its
 /// layer's input under a seed-derived schedule, and any fault the layer
 /// absorbs (or any site that could not run) is a finding.
-fn fault_campaign(seed: u64) -> usize {
+fn fault_campaign(seed: u64) -> (usize, String) {
     let reports = dss_faultkit::run_campaign(seed);
     let mut findings = 0usize;
+    let mut sites = Vec::new();
     for r in &reports {
         match &r.outcome {
             dss_faultkit::Outcome::Detected { classification } => {
                 println!("fault: {}: detected, classified `{classification}`", r.site);
+                sites.push(format!(
+                    "{{\"site\": \"{}\", \"outcome\": \"detected\", \"classification\": \"{}\"}}",
+                    esc(r.site),
+                    esc(classification)
+                ));
             }
             dss_faultkit::Outcome::Absorbed { detail } => {
                 eprintln!("fault: {}: ABSORBED — {detail}", r.site);
+                sites.push(format!(
+                    "{{\"site\": \"{}\", \"outcome\": \"absorbed\", \"detail\": \"{}\"}}",
+                    esc(r.site),
+                    esc(detail)
+                ));
                 findings += 1;
             }
             dss_faultkit::Outcome::Skipped { reason } => {
                 eprintln!("fault: {}: skipped — {reason}", r.site);
+                sites.push(format!(
+                    "{{\"site\": \"{}\", \"outcome\": \"skipped\", \"reason\": \"{}\"}}",
+                    esc(r.site),
+                    esc(reason)
+                ));
                 findings += 1;
             }
         }
@@ -161,17 +258,101 @@ fn fault_campaign(seed: u64) -> usize {
         reports.len(),
         findings
     );
-    findings
+    let frag = format!(
+        "{{\"seed\": {seed}, \"findings\": {findings}, \"sites\": [{}]}}",
+        sites.join(", ")
+    );
+    (findings, frag)
+}
+
+/// Runs the exhaustive coherence-protocol model pass: the kernel's full
+/// reachable state space over {MSI, MESI} × 2–4 processors × 1–2 lines plus
+/// the litmus suite. A violation also writes its minimal replayable
+/// counterexample to `model-counterexample.txt` for CI to archive.
+fn model() -> (usize, String) {
+    let report = dss_check::check_model();
+    let mut runs = Vec::new();
+    for run in &report.runs {
+        let status = match (&run.violation, run.complete) {
+            (Some(v), _) => format!("VIOLATION: {}", v.rule),
+            (None, false) => "INCOMPLETE (state cap hit)".to_string(),
+            (None, true) => "exhausted, clean".to_string(),
+        };
+        println!(
+            "model: {} {}p ×{}L: {} states, {} transitions, {status}",
+            dss_check::model::protocol_name(run.protocol),
+            run.nprocs,
+            run.nlines,
+            run.states,
+            run.transitions
+        );
+        runs.push(format!(
+            "{{\"protocol\": \"{}\", \"procs\": {}, \"lines\": {}, \"states\": {}, \
+             \"transitions\": {}, \"complete\": {}, \"violation\": {}}}",
+            dss_check::model::protocol_name(run.protocol),
+            run.nprocs,
+            run.nlines,
+            run.states,
+            run.transitions,
+            run.complete,
+            match &run.violation {
+                Some(v) => format!("\"{}\"", esc(v.rule)),
+                None => "null".to_string(),
+            }
+        ));
+    }
+    let mut litmus = Vec::new();
+    for l in &report.litmus {
+        match &l.failure {
+            Some(why) => eprintln!("model: litmus {}: FAILED — {why}", l.name),
+            None => println!("model: litmus {}: ok", l.name),
+        }
+        litmus.push(format!(
+            "{{\"name\": \"{}\", \"passed\": {}}}",
+            esc(l.name),
+            l.failure.is_none()
+        ));
+    }
+    if let Some(run) = report.first_violation() {
+        let text = dss_check::render_counterexample(run);
+        eprint!("model: counterexample:\n{text}");
+        let path = std::path::Path::new("model-counterexample.txt");
+        match dss_core::write_atomic(path, text.as_bytes()) {
+            Ok(()) => eprintln!("model: counterexample written to {}", path.display()),
+            Err(e) => eprintln!("model: writing {}: {e}", path.display()),
+        }
+    }
+    let findings = report.findings();
+    println!(
+        "model: {} exploration(s), {} litmus test(s), {} finding(s)",
+        report.runs.len(),
+        report.litmus.len(),
+        findings
+    );
+    let frag = format!(
+        "{{\"findings\": {findings}, \"explorations\": [{}], \"litmus\": [{}]}}",
+        runs.join(", "),
+        litmus.join(", ")
+    );
+    (findings, frag)
 }
 
 /// Runs the workspace lint; returns the number of findings.
-fn lint() -> std::io::Result<usize> {
+fn lint() -> std::io::Result<(usize, String)> {
     let cwd = std::env::current_dir()?;
     let root = find_workspace_root(&cwd)?;
     let mut allow = Allowlist::load(&root)?;
     let findings = lint_workspace(&root, &mut allow)?;
+    let mut items = Vec::new();
     for f in &findings {
         eprintln!("lint: {f}");
+        items.push(format!(
+            "{{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}",
+            esc(&f.file.display().to_string()),
+            f.line,
+            esc(f.rule),
+            esc(&f.message)
+        ));
     }
     let stale = allow.unused();
     for entry in &stale {
@@ -182,7 +363,13 @@ fn lint() -> std::io::Result<usize> {
         findings.len(),
         stale.len()
     );
-    Ok(findings.len() + stale.len())
+    let stale_json: Vec<String> = stale.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+    let frag = format!(
+        "{{\"findings\": [{}], \"stale_allowlist\": [{}]}}",
+        items.join(", "),
+        stale_json.join(", ")
+    );
+    Ok((findings.len() + stale.len(), frag))
 }
 
 /// Runs the race detector over the studied queries; returns findings.
@@ -191,8 +378,9 @@ fn lint() -> std::io::Result<usize> {
 /// with the streaming detector over block files written from the same events.
 /// The two reports must agree exactly — a divergence means the block codec or
 /// the streamed replay changed the analyzed workload, and is a finding.
-fn races(wb: &mut Workbench) -> usize {
+fn races(wb: &mut Workbench) -> (usize, String) {
     let mut findings = 0;
+    let mut queries = Vec::new();
     let dir = std::env::temp_dir().join(format!("dss-check-races-{}", std::process::id()));
     for query in STUDIED_QUERIES {
         let traces = wb.traces(query, 0);
@@ -225,15 +413,33 @@ fn races(wb: &mut Workbench) -> usize {
                     report.checked.len()
                 );
                 findings += report.races.len();
+                queries.push(format!(
+                    "{{\"query\": \"{}\", \"races\": {}, \"checked\": {}, \"classes\": {}, \
+                     \"streamed\": \"{}\"}}",
+                    esc(&query_label(query)),
+                    report.races.len(),
+                    report.total_checked(),
+                    report.checked.len(),
+                    esc(agreement)
+                ));
             }
             Err(e) => {
                 eprintln!("races: {}: traces not analyzable: {e}", query_label(query));
                 findings += 1;
+                queries.push(format!(
+                    "{{\"query\": \"{}\", \"error\": \"{}\"}}",
+                    esc(&query_label(query)),
+                    esc(&e.to_string())
+                ));
             }
         }
     }
     std::fs::remove_dir_all(&dir).ok();
-    findings
+    let frag = format!(
+        "{{\"findings\": {findings}, \"queries\": [{}]}}",
+        queries.join(", ")
+    );
+    (findings, frag)
 }
 
 /// Writes `traces` as block files under `dir` and re-runs the analysis with
@@ -261,23 +467,33 @@ fn streamed_report(
 }
 
 /// Runs the coherence invariant suite; returns findings.
-fn invariants(wb: &mut Workbench) -> usize {
+fn invariants(wb: &mut Workbench) -> (usize, String) {
+    let observer = if cfg!(feature = "check-invariants") {
+        "per-transaction observer armed"
+    } else {
+        "post-run sweep only"
+    };
     match check_baseline_suite(wb) {
         Ok(summaries) => {
-            let observer = if cfg!(feature = "check-invariants") {
-                "per-transaction observer armed"
-            } else {
-                "post-run sweep only"
-            };
             println!(
                 "invariants: {} run(s) verified ({observer})",
                 summaries.len()
             );
-            0
+            let frag = format!(
+                "{{\"runs\": {}, \"observer\": \"{}\", \"failure\": null}}",
+                summaries.len(),
+                esc(observer)
+            );
+            (0, frag)
         }
         Err(failure) => {
             eprintln!("invariants: {failure}");
-            1
+            let frag = format!(
+                "{{\"observer\": \"{}\", \"failure\": \"{}\"}}",
+                esc(observer),
+                esc(&failure.to_string())
+            );
+            (1, frag)
         }
     }
 }
@@ -343,7 +559,7 @@ fn alloc_audit(
     wb: &mut Workbench,
     report_path: Option<&str>,
     update: bool,
-) -> Result<usize, String> {
+) -> Result<(usize, String), String> {
     let cwd = std::env::current_dir().map_err(|e| e.to_string())?;
     let root = find_workspace_root(&cwd).map_err(|e| e.to_string())?;
     let budget_path = root.join("crates/check/alloc-budget.json");
@@ -408,5 +624,12 @@ fn alloc_audit(
         measured.runs.len(),
         problems.len()
     );
-    Ok(problems.len())
+    let problem_json: Vec<String> = problems.iter().map(|p| format!("\"{}\"", esc(p))).collect();
+    // The measured budget is itself JSON; embed it verbatim as a section.
+    let frag = format!(
+        "{{\"updated\": {update}, \"problems\": [{}], \"budget\": {}}}",
+        problem_json.join(", "),
+        json.trim_end()
+    );
+    Ok((problems.len(), frag))
 }

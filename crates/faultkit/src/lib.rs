@@ -25,7 +25,12 @@
 //! * **database loader** (`tpcd.tbl.*`) — hostile rows against
 //!   [`dss_tpcd::from_tbl`];
 //! * **coherence state** (`memsim.*`) — directory and cache corruption
-//!   against the invariant checker.
+//!   against the invariant checker;
+//! * **protocol kernel** (`protocol.kernel.*`) — deliberate bugs compiled
+//!   into the transition kernel's tables
+//!   ([`dss_memsim::protocol::KernelFault`]), which the exhaustive model
+//!   exploration (`dss-check model`) must find and classify by the exact
+//!   invariant rule they break.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -163,7 +168,8 @@ mod tests {
             assert!(
                 name.starts_with("trace.")
                     || name.starts_with("tpcd.")
-                    || name.starts_with("memsim."),
+                    || name.starts_with("memsim.")
+                    || name.starts_with("protocol."),
                 "unnamespaced site {name}"
             );
         }

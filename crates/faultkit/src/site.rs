@@ -12,7 +12,8 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use dss_memsim::{Machine, MachineConfig};
+use dss_memsim::protocol::{self, ExploreConfig, Kernel, KernelFault};
+use dss_memsim::{Machine, MachineConfig, Protocol};
 use dss_tpcd::{from_tbl, table_def, ColType, TableDef};
 use dss_trace::{
     check_lock_discipline, read_trace, read_trace_blocks, write_trace, write_trace_blocks,
@@ -168,6 +169,18 @@ static SITES: &[Site] = &[
         layer: "coherence state",
         expect: "invariant violation",
         run: dir_stale_owner,
+    },
+    Site {
+        name: "protocol.kernel.silent-upgrade-msi",
+        layer: "protocol kernel",
+        expect: protocol::RULE_WRITABLE_NOT_OWNER,
+        run: kernel_silent_upgrade_msi,
+    },
+    Site {
+        name: "protocol.kernel.stale-owner",
+        layer: "protocol kernel",
+        expect: protocol::RULE_OWNER_NO_COPY,
+        run: kernel_stale_owner,
     },
     #[cfg(feature = "check-invariants")]
     Site {
@@ -701,6 +714,52 @@ fn dir_stale_owner(rng: &mut StdRng) -> Outcome {
     let line = lines[rng.gen_range(0..lines.len())];
     m.corrupt_directory_owner(line, Some(rng.gen_range(8..63usize)));
     classify_verify(&m)
+}
+
+/// Exhausts the model state space under a faulted kernel and demands a
+/// violation classified by exactly `expect` — the rule the injected bug
+/// breaks. A clean exhaustion or a wrong classification is an absorption:
+/// the model pass would let this kernel bug ship.
+fn classify_explore(kernel: &Kernel, nprocs: usize, expect: &'static str) -> Outcome {
+    let ex = protocol::explore(kernel, &ExploreConfig::new(nprocs, 1));
+    match ex.violation {
+        Some(v) if v.rule == expect => Outcome::Detected {
+            classification: v.rule.to_string(),
+        },
+        Some(v) => Outcome::Absorbed {
+            detail: format!(
+                "detected, but classified {:?} where {expect:?} was demanded (replay {:?})",
+                v.rule, v.path
+            ),
+        },
+        None => Outcome::Absorbed {
+            detail: format!("exhausted {} states without a violation", ex.states),
+        },
+    }
+}
+
+/// An MSI kernel that grants write permission on a shared hit without a
+/// directory transaction — the classic "silent upgrade" bug MESI earns with
+/// its Exclusive state and MSI must pay an invalidation round for.
+fn kernel_silent_upgrade_msi(rng: &mut StdRng) -> Outcome {
+    let kernel = Kernel::with_fault(Protocol::Msi, KernelFault::SilentUpgradeMsi);
+    classify_explore(
+        &kernel,
+        rng.gen_range(2..=4),
+        protocol::RULE_WRITABLE_NOT_OWNER,
+    )
+}
+
+/// A kernel whose eviction path writes the data back but forgets to clear
+/// the directory's owner field, leaving a registered owner with no copy.
+fn kernel_stale_owner(rng: &mut StdRng) -> Outcome {
+    let p = if rng.gen_range(0..2) == 0 {
+        Protocol::Msi
+    } else {
+        Protocol::Mesi
+    };
+    let kernel = Kernel::with_fault(p, KernelFault::StaleOwner);
+    classify_explore(&kernel, rng.gen_range(2..=4), protocol::RULE_OWNER_NO_COPY)
 }
 
 /// A shared L2 copy silently promoted to Modified — the cache now disagrees

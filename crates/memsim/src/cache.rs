@@ -12,7 +12,7 @@ use crate::config::CacheConfig;
 use crate::paged::PagedMap;
 
 /// MSI coherence state of a resident line.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum LineState {
     /// Shared (clean, possibly in other caches).
     Shared,

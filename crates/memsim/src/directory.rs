@@ -10,9 +10,10 @@
 use dss_shmem::{segment_of, Segment};
 
 use crate::paged::PagedMap;
+use crate::protocol;
 
 /// Directory entry for one (L2-granularity) memory line.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct DirEntry {
     /// Bitmask of sharers.
     pub sharers: u64,
@@ -35,6 +36,23 @@ impl DirSlot {
     #[inline]
     fn owner(&self) -> Option<usize> {
         self.owner_plus1.checked_sub(1).map(usize::from)
+    }
+
+    #[inline]
+    fn entry(&self) -> DirEntry {
+        DirEntry {
+            sharers: self.sharers,
+            owner: self.owner(),
+        }
+    }
+
+    #[inline]
+    fn store(&mut self, e: DirEntry) {
+        self.sharers = e.sharers;
+        self.owner_plus1 = match e.owner {
+            Some(node) => node as u8 + 1,
+            None => 0,
+        };
     }
 }
 
@@ -94,33 +112,27 @@ impl Directory {
     }
 
     /// Records a read by `node`: adds it to the sharers and clears a dirty
-    /// owner (who is downgraded to sharer by the caller).
+    /// owner (who is downgraded to sharer by the caller). The transition
+    /// itself is [`crate::protocol::dir_read`].
     pub fn record_read(&mut self, line: u64, node: usize) {
         let e = self.slot_mut(line);
-        if let Some(owner) = e.owner() {
-            e.sharers |= 1 << owner;
-            e.owner_plus1 = 0;
-        }
-        e.sharers |= 1 << node;
+        e.store(protocol::dir_read(e.entry(), node));
     }
 
     /// Records a write by `node`: returns the bitmask of nodes whose copies
-    /// must be invalidated; the entry becomes exclusively owned.
+    /// must be invalidated; the entry becomes exclusively owned. The
+    /// transition itself is [`crate::protocol::dir_write`].
     pub fn record_write(&mut self, line: u64, node: usize) -> u64 {
         let e = self.slot_mut(line);
-        let mut invalidate = e.sharers;
-        if let Some(owner) = e.owner() {
-            invalidate |= 1 << owner;
-        }
-        invalidate &= !(1u64 << node);
-        e.sharers = 0;
-        e.owner_plus1 = node as u8 + 1;
+        let (next, invalidate) = protocol::dir_write(e.entry(), node);
+        e.store(next);
         invalidate
     }
 
     /// Records an exclusive-clean installation by `node` (MESI): the node
     /// becomes owner without any invalidations (the caller has verified the
-    /// line was uncached).
+    /// line was uncached). The transition itself is
+    /// [`crate::protocol::dir_exclusive`].
     pub fn record_exclusive(&mut self, line: u64, node: usize) {
         let e = self.slot_mut(line);
         debug_assert_eq!(
@@ -128,16 +140,14 @@ impl Directory {
             (0, None),
             "exclusive grant to a cached line"
         );
-        e.owner_plus1 = node as u8 + 1;
+        e.store(protocol::dir_exclusive(e.entry(), node));
     }
 
-    /// Records that `node` dropped the line (eviction or invalidation).
+    /// Records that `node` dropped the line (eviction or invalidation). The
+    /// transition itself is [`crate::protocol::dir_drop`].
     pub fn record_drop(&mut self, line: u64, node: usize) {
         if let Some(e) = self.slots.peek_mut(line) {
-            e.sharers &= !(1u64 << node);
-            if e.owner() == Some(node) {
-                e.owner_plus1 = 0;
-            }
+            e.store(protocol::dir_drop(e.entry(), node));
         }
     }
 

@@ -32,6 +32,7 @@ mod config;
 mod directory;
 mod machine;
 mod paged;
+pub mod protocol;
 mod stats;
 mod verify;
 

@@ -21,8 +21,9 @@ use std::collections::{BinaryHeap, VecDeque};
 use dss_trace::{DataClass, Event, Trace, TraceError, TraceSource};
 
 use crate::cache::{Cache, LineState};
-use crate::config::{MachineConfig, Protocol};
+use crate::config::MachineConfig;
 use crate::directory::{home_of, Directory};
+use crate::protocol::Kernel;
 use crate::stats::{class_index, LevelStats, ProcStats, SimStats};
 
 pub(crate) struct Node {
@@ -51,6 +52,10 @@ pub(crate) struct Node {
 /// ```
 pub struct Machine {
     cfg: MachineConfig,
+    /// The pure transition kernel deciding every coherence transaction
+    /// (`crate::protocol`) — the same kernel `dss-check model` explores
+    /// exhaustively, so the simulator cannot drift from the checked protocol.
+    kernel: Kernel,
     pub(crate) nodes: Vec<Node>,
     pub(crate) dir: Directory,
     /// Held metalocks as `(lock word, holder)`. A handful of distinct lock
@@ -145,6 +150,7 @@ impl Machine {
             .collect();
         Machine {
             nodes,
+            kernel: Kernel::new(cfg.protocol),
             dir: Directory::with_line_size(cfg.l2.line),
             // Lock acquisition follows a strict per-processor stack discipline
             // (enforced by the trace layer's `check_lock_discipline`), so at
@@ -632,50 +638,44 @@ impl Machine {
     }
 
     /// Directory transaction for a load that missed both private caches.
-    /// Returns the stall and the state to install (Exclusive for a sole
-    /// MESI sharer, Shared otherwise).
+    /// The kernel decides the transaction shape (downgrade target, dirty
+    /// forwarding, install state); this method applies it and prices the
+    /// hops. Returns the stall and the state to install.
     fn remote_read(&mut self, p: usize, addr: u64) -> (u64, LineState) {
         let line = addr & self.l2_line_mask;
         let home = home_of(addr, self.cfg.nprocs);
         let entry = self.dir.entry(line);
-        let lat = match entry.owner {
-            Some(owner) if owner != p => {
-                // Owned elsewhere: dirty copies are forwarded (3-hop when the
-                // home is a third node); MESI exclusive-clean copies just
-                // downgrade, with the home supplying the data.
-                let was_dirty = self.nodes[owner]
-                    .l2
-                    .peek_state(line)
-                    .map(LineState::dirty)
-                    .unwrap_or(false);
-                self.downgrade(owner, line);
-                if was_dirty {
-                    if home == p {
-                        self.cfg.lat.remote2
-                    } else {
-                        self.cfg.lat.remote3
-                    }
-                } else if home == p {
-                    self.cfg.lat.local
-                } else {
-                    self.cfg.lat.remote2
-                }
-            }
-            _ => {
-                if home == p {
-                    self.cfg.lat.local
-                } else {
-                    self.cfg.lat.remote2
-                }
-            }
+        let owner_dirty = match entry.owner {
+            Some(owner) if owner != p => self.nodes[owner]
+                .l2
+                .peek_state(line)
+                .map(LineState::dirty)
+                .unwrap_or(false),
+            _ => false,
         };
-        if self.cfg.protocol == Protocol::Mesi && entry.owner.is_none() && entry.sharers == 0 {
+        let rm = self.kernel.read_miss(entry, p, owner_dirty);
+        if let Some(owner) = rm.downgrade {
+            self.downgrade(owner, line);
+        }
+        // Dirty copies are forwarded (3-hop when the home is a third node);
+        // clean owners just downgrade, with the home supplying the data.
+        let lat = if rm.dirty_forward {
+            if home == p {
+                self.cfg.lat.remote2
+            } else {
+                self.cfg.lat.remote3
+            }
+        } else if home == p {
+            self.cfg.lat.local
+        } else {
+            self.cfg.lat.remote2
+        };
+        if rm.install == LineState::Exclusive {
             self.dir.record_exclusive(line, p);
-            (lat, LineState::Exclusive)
         } else {
             self.dir.record_read(line, p);
-            (lat, LineState::Shared)
         }
+        (lat, rm.install)
     }
 
     /// Resolves a store: returns the write-buffer service latency
@@ -727,10 +727,11 @@ impl Machine {
             None => {
                 l2s.write_misses += 1;
                 let entry = self.dir.entry(line);
-                let had_remote_owner = matches!(entry.owner, Some(o) if o != p);
+                let wt = self.kernel.write_transaction(entry, p);
                 let inv = self.dir.record_write(line, p);
+                debug_assert_eq!(inv, wt.invalidate, "directory and kernel disagree");
                 self.invalidate_nodes(inv, line);
-                if had_remote_owner {
+                if wt.remote_owner {
                     if home == p {
                         self.cfg.lat.remote2
                     } else {

@@ -16,6 +16,12 @@
 //! * **inclusion** — every resident L1 line is backed by its L2 line, and an
 //!   L1 copy is never more privileged than the L2 line containing it.
 //!
+//! The directory-protocol rules themselves (everything except inclusion,
+//! which concerns the machine's two physical cache levels) are defined once,
+//! in [`crate::protocol::check_line`] — the same function the exhaustive
+//! `dss-check model` pass evaluates over the kernel's whole reachable state
+//! space, so the runtime observer and the model checker cannot drift.
+//!
 //! [`Machine::verify_line`] checks one line (allocation-free on the success
 //! path, so the per-transaction observer hook compiled in by the
 //! `check-invariants` feature can call it after every transaction without
@@ -100,36 +106,23 @@ impl Machine {
     /// Returns the first violated invariant, with per-node state attached.
     pub fn verify_line(&self, line: u64) -> Result<(), CoherenceViolation> {
         let entry = self.dir.entry(line);
-        let mut writable_holder: Option<usize> = None;
-        let mut copies = 0u64;
+        // The directory-protocol rules are the kernel's
+        // ([`crate::protocol::check_line`]): one definition serves this
+        // runtime observer and the exhaustive `dss-check model` pass, so the
+        // two can never drift.
+        let mut caches = [None; 64];
         for (id, node) in self.nodes.iter().enumerate() {
-            let l2 = node.l2.peek_state(line);
-            if l2.is_some() {
-                copies |= 1 << id;
-            }
-            if let Some(LineState::Exclusive | LineState::Modified) = l2 {
-                if writable_holder.is_some() {
-                    return Err(self.violation(line, "two nodes hold the line writable"));
-                }
-                writable_holder = Some(id);
-                if entry.owner != Some(id) {
-                    return Err(self.violation(
-                        line,
-                        "a node holds the line writable without directory ownership",
-                    ));
-                }
-            }
-            if l2 == Some(LineState::Shared)
-                && entry.sharers & (1 << id) == 0
-                && entry.owner != Some(id)
-            {
-                return Err(self.violation(
-                    line,
-                    "a cached shared copy is missing from the directory sharer mask",
-                ));
-            }
-            // Inclusion: every resident L1 sub-line is backed by the L2 line
-            // and never more privileged than it.
+            caches[id] = node.l2.peek_state(line);
+        }
+        let nprocs = self.nodes.len();
+        if let Err(rule) = crate::protocol::check_line(&caches[..nprocs], entry) {
+            return Err(self.violation(line, rule));
+        }
+        // Inclusion is a property of the machine's two physical cache levels,
+        // not of the protocol, so its rules stay here: every resident L1
+        // sub-line is backed by the L2 line and never more privileged.
+        for (id, node) in self.nodes.iter().enumerate() {
+            let l2 = caches[id];
             let mut a = line;
             while a < line + self.l2_line {
                 if let Some(l1) = node.l1.peek_state(a) {
@@ -150,26 +143,23 @@ impl Machine {
                 a += self.l1_line;
             }
         }
-        if let Some(owner) = entry.owner {
-            if writable_holder.is_none() && copies & (1 << owner) == 0 {
-                // The recorded owner evicted or never held the line; a stale
-                // owner would silently absorb writes that should invalidate.
-                return Err(self.violation(line, "directory owner holds no copy of the line"));
-            }
-        }
-        // Evictions inform the directory (record_drop), so the mask is exact:
-        // a stray sharer bit means an invalidation went to — or a write will
-        // wait on — a node that holds nothing.
-        if entry.sharers & !copies != 0 {
-            return Err(self.violation(
-                line,
-                "directory lists a sharer that caches no copy of the line",
-            ));
-        }
-        if writable_holder.is_some() && copies.count_ones() > 1 {
-            return Err(self.violation(line, "a writable copy coexists with other cached copies"));
-        }
         Ok(())
+    }
+
+    /// Snapshot of the line containing `addr` as the transition kernel sees
+    /// it: the directory entry plus every node's L2 state. This is the
+    /// machine-side image of a [`crate::protocol::ProtocolState`], exposed so
+    /// conformance tests can check that every transition the full machine
+    /// takes is in the kernel's relation.
+    pub fn observe_protocol_state(&self, addr: u64) -> (crate::DirEntry, Vec<Option<LineState>>) {
+        let line = addr & self.l2_line_mask;
+        let entry = self.dir.entry(line);
+        let caches = self
+            .nodes
+            .iter()
+            .map(|node| node.l2.peek_state(line))
+            .collect();
+        (entry, caches)
     }
 
     /// Sweeps every line the directory or any cache has ever touched through

@@ -46,6 +46,8 @@ impl SlotSource for HeapSrc<'_> {
 /// Projects the given attributes of a heap tuple into a private output slot,
 /// emitting the shared-to-private word copies (the paper: a selected tuple's
 /// attributes are "read again and copied to private storage").
+// The per-tuple path threads its context as scalars; bundling them into a
+// struct would add a construction per tuple on the hot path.
 #[allow(clippy::too_many_arguments)]
 fn project_tuple(
     heap: &Heap,
@@ -233,6 +235,8 @@ pub struct IndexScanExec {
 }
 
 impl IndexScanExec {
+    // The planner hands every scan parameter individually; a builder for the
+    // one caller would be churn without clarity.
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cat: &Catalog,

@@ -429,6 +429,8 @@ impl<'a> Planner<'a> {
         }
     }
 
+    // Mirrors IndexScanExec::new's parameter list one-to-one; grouping them
+    // here would just move the argument count into a throwaway struct.
     #[allow(clippy::too_many_arguments)]
     fn index_scan(
         &self,

@@ -78,6 +78,8 @@ impl fmt::Display for Token {
 
 /// Reserved words of the dialect.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+// The variant names are the SQL keywords themselves; per-variant docs would
+// repeat each name with no added information.
 #[allow(missing_docs)]
 pub enum Keyword {
     Select,
