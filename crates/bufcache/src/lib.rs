@@ -343,6 +343,38 @@ impl BufferPool {
     }
 }
 
+/// Deliberate lock-order bug behind the `lock-order-drill` feature gate.
+///
+/// The two fns below bracket `BufMgrLock` and `LockMgrLock` in *opposite*
+/// orders — the canonical AB/BA deadlock. The feature is never enabled by a
+/// build; the site exists so the fault campaign's
+/// `check.locks.inverted-pair` drill can arm the gate *statically* (the
+/// lock pass analyzes feature-gated source with the gate open) and prove
+/// `dss-check locks` reports the cycle with its exact rule string.
+#[cfg(feature = "lock-order-drill")]
+pub mod lock_order_drill {
+    use dss_trace::{LockClass, LockToken, Tracer};
+
+    const BUF_LOCK: u64 = 0x100;
+    const LCK_LOCK: u64 = 0x140;
+
+    /// Takes `BufMgrLock` then `LockMgrLock` — one half of the inversion.
+    pub fn pin_then_lock(t: &Tracer) {
+        t.lock_acquire(LockToken::new(BUF_LOCK, LockClass::BufMgr));
+        t.lock_acquire(LockToken::new(LCK_LOCK, LockClass::LockMgr));
+        t.lock_release(LockToken::new(LCK_LOCK, LockClass::LockMgr));
+        t.lock_release(LockToken::new(BUF_LOCK, LockClass::BufMgr));
+    }
+
+    /// Takes `LockMgrLock` then `BufMgrLock` — the inverted half.
+    pub fn lock_then_pin(t: &Tracer) {
+        t.lock_acquire(LockToken::new(LCK_LOCK, LockClass::LockMgr));
+        t.lock_acquire(LockToken::new(BUF_LOCK, LockClass::BufMgr));
+        t.lock_release(LockToken::new(BUF_LOCK, LockClass::BufMgr));
+        t.lock_release(LockToken::new(LCK_LOCK, LockClass::LockMgr));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

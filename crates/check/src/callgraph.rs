@@ -1,0 +1,357 @@
+//! Workspace call graph over the syntactic parser ([`crate::parse`]).
+//!
+//! Nodes are every function the parser recognizes in the workspace's own
+//! source (`src/` plus each `crates/*/src/` tree — vendored stand-ins are
+//! not our determinism surface and are excluded). Edges are resolved by
+//! *name*, deliberately over-approximating:
+//!
+//! * `recv.m(…)` links to every workspace fn named `m` — the parser does not
+//!   type receivers.
+//! * `Type::f(…)` links to fns named `f` on a workspace type named `Type`;
+//!   if the type is foreign (`Instant::now`), there is no edge — foreign
+//!   calls are matched by the passes' own source patterns instead.
+//! * `f(…)` links to every workspace fn named `f`.
+//!
+//! Extra edges can only create false paths, which the allowlists absorb;
+//! missing edges would hide real ones. The one systematic miss — values
+//! returned upward and passed sideways into a sink by a common caller — is
+//! handled by the determinism pass treating a source *inside* a sink fn as
+//! reaching it (see DESIGN.md §5i for the full approximation inventory).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::ops::Range;
+use std::path::{Path, PathBuf};
+
+use crate::parse::{parse_file, Call, CallKind, ParseError};
+
+/// One workspace source file, loaded whole so passes can re-lex it.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub rel: PathBuf,
+    /// Full file contents.
+    pub text: String,
+}
+
+/// Loads every `.rs` file the passes analyze: the workspace root's `src/`
+/// tree and each `crates/*/src/` tree, in sorted order. `vendor/` is
+/// excluded — the stand-ins there are not this project's determinism
+/// surface.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut paths = Vec::new();
+    let src = root.join("src");
+    if src.is_dir() {
+        collect_rs(&src, &mut paths)?;
+    }
+    for entry in fs::read_dir(root.join("crates"))? {
+        let dir = entry?.path().join("src");
+        if dir.is_dir() {
+            collect_rs(&dir, &mut paths)?;
+        }
+    }
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        files.push(SourceFile { rel, text });
+    }
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// One function node in the graph (owned — source text is not retained).
+#[derive(Clone, Debug)]
+pub struct FnNode {
+    /// Index into the file list the graph was built from.
+    pub file: usize,
+    /// Module-qualified name within its file.
+    pub qpath: String,
+    /// Bare name.
+    pub name: String,
+    /// Enclosing `impl`/`trait` type, if any.
+    pub self_ty: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token range of the body in the file's comment-stripped token stream
+    /// (re-derivable by re-parsing the file — parsing is deterministic).
+    pub body: Range<usize>,
+    /// Gated behind `#[cfg(test)]`.
+    pub cfg_test: bool,
+    /// Gated behind `#[cfg(feature = "…")]`.
+    pub cfg_feature: Option<String>,
+    /// The body's calls and macro uses, in token order.
+    pub calls: Vec<Call>,
+}
+
+/// The workspace call graph.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// All nodes; indices are stable identifiers.
+    pub nodes: Vec<FnNode>,
+    /// Per-file node indices, in parse order — the i-th fn that
+    /// [`parse_file`] yields for file f is `by_file[f][i]`.
+    pub by_file: Vec<Vec<usize>>,
+    /// Resolved call edges (caller → callees), deduplicated.
+    pub edges: Vec<Vec<usize>>,
+    /// Files the parser could not follow, with their structured errors.
+    pub parse_errors: Vec<(usize, ParseError)>,
+}
+
+impl CallGraph {
+    /// Parses every file and resolves name-based call edges.
+    pub fn build(files: &[SourceFile]) -> CallGraph {
+        let mut graph = CallGraph {
+            by_file: vec![Vec::new(); files.len()],
+            ..CallGraph::default()
+        };
+        for (fi, file) in files.iter().enumerate() {
+            match parse_file(&file.text) {
+                Ok(parsed) => {
+                    for f in parsed.fns {
+                        let idx = graph.nodes.len();
+                        graph.by_file[fi].push(idx);
+                        graph.nodes.push(FnNode {
+                            file: fi,
+                            qpath: f.qpath,
+                            name: f.name,
+                            self_ty: f.self_ty,
+                            line: f.line,
+                            body: f.body,
+                            cfg_test: f.cfg_test,
+                            cfg_feature: f.cfg_feature,
+                            calls: f.calls,
+                        });
+                    }
+                }
+                Err(e) => graph.parse_errors.push((fi, e)),
+            }
+        }
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut by_type_method: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (i, n) in graph.nodes.iter().enumerate() {
+            by_name.entry(&n.name).or_default().push(i);
+            if let Some(ty) = &n.self_ty {
+                by_type_method
+                    .entry((ty.as_str(), &n.name))
+                    .or_default()
+                    .push(i);
+            }
+        }
+        graph.edges = graph
+            .nodes
+            .iter()
+            .map(|n| {
+                let mut callees = Vec::new();
+                for call in &n.calls {
+                    resolve(call, &by_name, &by_type_method, &mut callees);
+                }
+                callees.sort_unstable();
+                callees.dedup();
+                callees
+            })
+            .collect();
+        graph
+    }
+
+    /// Whether node `i` participates under the given enabled feature set:
+    /// test-gated fns never do, feature-gated fns only when armed.
+    pub fn enabled(&self, i: usize, features: &[&str]) -> bool {
+        let n = &self.nodes[i];
+        !n.cfg_test
+            && match n.cfg_feature.as_deref() {
+                None => true,
+                Some(f) => features.contains(&f),
+            }
+    }
+
+    /// Forward BFS from `roots` over call edges, restricted to enabled
+    /// nodes. Returns per-node BFS parents: `None` for unreached nodes,
+    /// `Some(self)` for roots, `Some(caller)` otherwise — enough to replay
+    /// the shortest call path from a root to any reached node.
+    pub fn reach_from(&self, roots: &[usize], features: &[&str]) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        for &r in roots {
+            if self.enabled(r, features) && parent[r].is_none() {
+                parent[r] = Some(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(i) = queue.pop_front() {
+            for &j in &self.edges[i] {
+                if parent[j].is_none() && self.enabled(j, features) {
+                    parent[j] = Some(i);
+                    queue.push_back(j);
+                }
+            }
+        }
+        parent
+    }
+
+    /// The shortest root→`target` call chain recorded by [`Self::reach_from`],
+    /// as node indices (root first). Empty if `target` was not reached.
+    pub fn chain(&self, parents: &[Option<usize>], target: usize) -> Vec<usize> {
+        let mut chain = Vec::new();
+        let mut at = target;
+        loop {
+            match parents.get(at).copied().flatten() {
+                None => return Vec::new(),
+                Some(p) => {
+                    chain.push(at);
+                    if p == at {
+                        break; // reached a root
+                    }
+                    at = p;
+                }
+            }
+            if chain.len() > self.nodes.len() {
+                return Vec::new(); // cycle in parents: malformed input
+            }
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// Renders a call chain as `a -> b -> c` using qualified names.
+    pub fn render_chain(&self, chain: &[usize]) -> String {
+        let names: Vec<&str> = chain
+            .iter()
+            .map(|&i| self.nodes[i].qpath.as_str())
+            .collect();
+        names.join(" -> ")
+    }
+}
+
+/// Resolves one call to workspace node candidates (see module docs for the
+/// over-approximation rules).
+fn resolve(
+    call: &Call,
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    by_type_method: &BTreeMap<(&str, &str), Vec<usize>>,
+    out: &mut Vec<usize>,
+) {
+    match call.kind {
+        CallKind::Macro => {}
+        CallKind::Method => {
+            if let Some(c) = by_name.get(call.name()) {
+                out.extend_from_slice(c);
+            }
+        }
+        CallKind::Path => {
+            if call.path.len() >= 2 {
+                let ty = &call.path[call.path.len() - 2];
+                if ty.chars().next().is_some_and(char::is_uppercase) {
+                    // `Type::f` — resolve against the type when we know it;
+                    // a foreign type yields no edge (correct: its body is
+                    // not workspace code).
+                    if let Some(c) = by_type_method.get(&(ty.as_str(), call.name())) {
+                        out.extend_from_slice(c);
+                    }
+                    return;
+                }
+            }
+            if let Some(c) = by_name.get(call.name()) {
+                out.extend_from_slice(c);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_of(srcs: &[&str]) -> CallGraph {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| SourceFile {
+                rel: PathBuf::from(format!("crates/x/src/f{i}.rs")),
+                text: (*s).to_string(),
+            })
+            .collect();
+        CallGraph::build(&files)
+    }
+
+    fn idx(g: &CallGraph, name: &str) -> usize {
+        match g.nodes.iter().position(|n| n.name == name) {
+            Some(i) => i,
+            None => panic!("node {name} missing"),
+        }
+    }
+
+    #[test]
+    fn edges_resolve_across_files_by_name_and_type() {
+        let g = graph_of(&[
+            "pub fn entry() { helper(); Pool::pin(); x.walk(); }",
+            "pub fn helper() {}\npub struct Pool;\nimpl Pool { pub fn pin() { probe(); } }\nfn probe() {}\nimpl Pool { fn walk(&self) {} }",
+        ]);
+        let e = idx(&g, "entry");
+        let callees: Vec<&str> = g.edges[e]
+            .iter()
+            .map(|&i| g.nodes[i].name.as_str())
+            .collect();
+        assert_eq!(callees, vec!["helper", "pin", "walk"]);
+        // Foreign `Type::f` resolves to nothing.
+        let g2 = graph_of(&["fn f() { Instant::now(); }"]);
+        assert!(g2.edges[idx(&g2, "f")].is_empty());
+    }
+
+    #[test]
+    fn reachability_skips_tests_and_closed_feature_gates() {
+        let g = graph_of(&["fn root() { mid(); }
+             fn mid() { leaf(); gated(); }
+             fn leaf() {}
+             #[cfg(feature = \"drill\")]
+             fn gated() { leaf2(); }
+             fn leaf2() {}
+             #[cfg(test)]
+             fn test_only() { leaf(); }"]);
+        let root = idx(&g, "root");
+        let parents = g.reach_from(&[root], &[]);
+        assert!(parents[idx(&g, "leaf")].is_some());
+        assert!(parents[idx(&g, "gated")].is_none(), "gate closed");
+        assert!(parents[idx(&g, "test_only")].is_none());
+        let armed = g.reach_from(&[root], &["drill"]);
+        assert!(armed[idx(&g, "gated")].is_some());
+        assert!(armed[idx(&g, "leaf2")].is_some());
+    }
+
+    #[test]
+    fn chains_replay_shortest_paths() {
+        let g = graph_of(&["fn a() { b(); } fn b() { c(); } fn c() {}"]);
+        let parents = g.reach_from(&[idx(&g, "a")], &[]);
+        let chain = g.chain(&parents, idx(&g, "c"));
+        assert_eq!(g.render_chain(&chain), "a -> b -> c");
+        assert!(g.chain(&parents, idx(&g, "a")).len() == 1);
+        // Unreached target → empty chain.
+        let g2 = graph_of(&["fn a() {} fn z() {}"]);
+        let p2 = g2.reach_from(&[idx(&g2, "a")], &[]);
+        assert!(g2.chain(&p2, idx(&g2, "z")).is_empty());
+    }
+
+    #[test]
+    fn parse_errors_are_collected_not_fatal() {
+        let g = graph_of(&["fn ok() {}", "fn broken() { let x = "]);
+        assert_eq!(g.nodes.len(), 1);
+        assert_eq!(g.parse_errors.len(), 1);
+    }
+}

@@ -1,0 +1,174 @@
+//! Fault-injection sites for the static-analysis passes.
+//!
+//! The campaign's rule is that every defense must demonstrably fire, and
+//! the new whole-program passes are defenses like any other. They cannot be
+//! rows of faultkit's static site table — faultkit sits *below* `dss-check`
+//! in the crate graph — so they register through
+//! [`dss_faultkit::run_campaign_with_extra`], drawing per-site RNG streams
+//! from the same seeded plan:
+//!
+//! * `check.determinism.hash-order-leak` — synthesizes a small workspace
+//!   where a `HashMap` iteration reaches the stdout sink through a
+//!   seed-varied call chain, and demands the determinism pass classify it
+//!   with exactly [`crate::determinism::RULE_HASH_ORDER`].
+//! * `check.locks.inverted-pair` — analyzes the *real* workspace with the
+//!   `lock-order-drill` feature gate armed, exposing the deliberately
+//!   inverted `LockMgr`→`BufMgr` pair committed (dormant) in `bufcache`,
+//!   and demands [`crate::locks::RULE_CYCLE`].
+
+use std::path::PathBuf;
+
+use dss_faultkit::{Outcome, Site};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::callgraph::SourceFile;
+use crate::determinism::{analyze_determinism, RULE_HASH_ORDER};
+use crate::lint::{find_workspace_root, Allowlist};
+use crate::locks::{analyze_locks, RULE_CYCLE};
+
+/// The feature gate hiding the inverted lock pair in `bufcache`.
+pub const LOCK_DRILL_FEATURE: &str = "lock-order-drill";
+
+/// The extra sites `dss-check fault` appends to the campaign.
+pub fn sites() -> &'static [Site] {
+    &[
+        Site {
+            name: "check.determinism.hash-order-leak",
+            layer: "static analysis",
+            expect: RULE_HASH_ORDER,
+            run: hash_order_leak,
+        },
+        Site {
+            name: "check.locks.inverted-pair",
+            layer: "static analysis",
+            expect: RULE_CYCLE,
+            run: inverted_pair,
+        },
+    ]
+}
+
+/// Names the drill varies the leaking container over — the pass must catch
+/// the pattern, not a particular identifier.
+const FIELD_NAMES: &[&str] = &["groups", "cache", "seen", "index"];
+
+fn hash_order_leak(rng: &mut StdRng) -> Outcome {
+    let depth = rng.gen_range(1..=3usize);
+    let field = FIELD_NAMES[rng.gen_range(0..FIELD_NAMES.len())];
+
+    let mut files = vec![SourceFile {
+        rel: PathBuf::from("crates/bench/src/bin/repro.rs"),
+        text: "fn main() { println!(\"{}\", 0); hop0(); }".to_string(),
+    }];
+    let mut chain = String::new();
+    for d in 0..depth {
+        if d + 1 < depth {
+            chain.push_str(&format!("fn hop{d}() {{ hop{}(); }}\n", d + 1));
+        } else {
+            chain.push_str(&format!(
+                "struct Agg {{ {field}: HashMap<u64, u64> }}
+                 impl Agg {{
+                     fn emit(&self) {{ for (k, v) in self.{field}.iter() {{ show(k, v); }} }}
+                 }}
+                 fn hop{d}() {{ Agg::default().emit(); }}
+                 fn show(_: &u64, _: &u64) {{}}\n"
+            ));
+        }
+    }
+    files.push(SourceFile {
+        rel: PathBuf::from("crates/query/src/agg.rs"),
+        text: chain,
+    });
+
+    let mut allow = Allowlist::default();
+    let report = analyze_determinism(&files, &mut allow, &[]);
+    match report.findings.iter().find(|f| f.rule == RULE_HASH_ORDER) {
+        Some(f) if report.findings.iter().all(|f| f.rule == RULE_HASH_ORDER) => Outcome::Detected {
+            classification: f.rule.to_string(),
+        },
+        Some(_) => Outcome::Absorbed {
+            detail: format!(
+                "leak found but with extra misclassified findings: {:?}",
+                report.findings
+            ),
+        },
+        None => Outcome::Absorbed {
+            detail: format!(
+                "depth-{depth} hash leak via `{field}` not classified ({} findings)",
+                report.findings.len()
+            ),
+        },
+    }
+}
+
+fn inverted_pair(_rng: &mut StdRng) -> Outcome {
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            return Outcome::Skipped {
+                reason: format!("no working directory: {e}"),
+            }
+        }
+    };
+    let root = match find_workspace_root(&cwd) {
+        Ok(r) => r,
+        Err(e) => {
+            return Outcome::Skipped {
+                reason: format!("workspace root not found: {e}"),
+            }
+        }
+    };
+    let files = match crate::callgraph::load_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            return Outcome::Skipped {
+                reason: format!("workspace unreadable: {e}"),
+            }
+        }
+    };
+
+    // Sanity: with the gate closed the workspace order graph must be clean,
+    // otherwise "armed finds a cycle" proves nothing.
+    let closed = analyze_locks(&files, &[]);
+    if !closed.findings.is_empty() {
+        return Outcome::Absorbed {
+            detail: format!("order graph dirty before arming: {}", closed.findings[0]),
+        };
+    }
+    let armed = analyze_locks(&files, &[LOCK_DRILL_FEATURE]);
+    match armed.findings.iter().find(|f| f.rule == RULE_CYCLE) {
+        Some(f) if f.detail.contains("bufcache") => Outcome::Detected {
+            classification: f.rule.to_string(),
+        },
+        Some(f) => Outcome::Absorbed {
+            detail: format!("cycle found but not at the drill site: {f}"),
+        },
+        None => Outcome::Absorbed {
+            detail: "armed inverted pair produced no cycle finding".to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dss_faultkit::run_campaign_with_extra;
+
+    #[test]
+    fn drill_sites_detect_for_replay_seeds() {
+        for seed in [0u64, 1, 0xD55] {
+            let reports = run_campaign_with_extra(seed, sites());
+            for site in sites() {
+                let Some(r) = reports.iter().find(|r| r.site == site.name) else {
+                    panic!("site {} missing from campaign", site.name);
+                };
+                match &r.outcome {
+                    Outcome::Detected { classification } => {
+                        assert_eq!(classification, site.expect, "seed {seed}, {}", site.name);
+                    }
+                    other => panic!("seed {seed}, {}: {other:?}", site.name),
+                }
+            }
+        }
+    }
+}

@@ -229,7 +229,12 @@ impl<'a> Lexer<'a> {
             match self.peek(0) {
                 b'\\' => {
                     self.bump();
-                    self.bump();
+                    // The escaped byte may be missing entirely (input
+                    // truncated right after the `\`); bumping past the end
+                    // would make `emit` slice out of bounds.
+                    if self.pos < self.bytes.len() {
+                        self.bump();
+                    }
                 }
                 b if b == quote => {
                     self.bump();
@@ -391,6 +396,11 @@ mod tests {
             "r#\"open",
             "/* open",
             "\\ ` ~ \u{fe}",
+            // Truncated mid-escape: the `\` is the final byte (found by the
+            // parse_fuzz corpus-truncation property).
+            "\"ends with \\",
+            "'\\",
+            "b\"x\\",
         ] {
             let _ = lex(src);
         }

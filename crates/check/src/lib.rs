@@ -27,6 +27,19 @@
 //!   data-value invariant, and quiescence at every reachable state, plus a
 //!   litmus suite of pinned transaction shapes; violations come back as
 //!   minimal replayable event sequences.
+//! * [`parse`] + [`callgraph`] — a lightweight syntactic Rust parser over
+//!   [`lexer`] (items, fn signatures, call/method expressions — no full
+//!   expression grammar) feeding a workspace call graph, the substrate for
+//!   the two whole-program passes:
+//! * [`determinism`] — source→sink taint: classifies nondeterminism sources
+//!   (wall-clock reads, hash-order iteration, thread identity, env reads,
+//!   address casts) and reports any that sit inside the call tree of a
+//!   byte-diffable sink (`repro` stdout/bench-json, trace codec writers),
+//!   ratcheted by `determinism-allow.txt`.
+//! * [`locks`] — static lock-order analysis: which fns acquire which
+//!   `LockClass` while holding which, cycle detection over the order graph,
+//!   cross-checked against the nesting the race detector's Q3/Q6/Q12
+//!   replays actually observe.
 //!
 //! The `dss-check` binary runs any or all passes and exits non-zero on the
 //! first finding; CI gates on `dss-check all`.
@@ -35,15 +48,24 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod callgraph;
+pub mod determinism;
+pub mod drill;
 pub mod invariants;
 pub mod lexer;
 pub mod lint;
+pub mod locks;
 pub mod model;
+pub mod parse;
 pub mod race;
 
 pub use budget::{AllocBudget, Counts, RunBudget};
+pub use callgraph::{load_workspace, CallGraph, FnNode, SourceFile};
+pub use determinism::{analyze_determinism, check_determinism, DetFinding, DetReport};
 pub use invariants::{check_baseline_suite, check_machine, InvariantFailure, RunSummary};
 pub use lexer::{lex, Token, TokenKind};
 pub use lint::{find_workspace_root, lint_workspace, Allowlist, Finding};
+pub use locks::{analyze_locks, check_locks, LockFinding, LockReport};
 pub use model::{check_model, render_counterexample, LitmusOutcome, ModelReport, ModelRun};
+pub use parse::{parse_file, Call, CallKind, FnDef, ParseError, ParsedFile};
 pub use race::{detect_races, detect_races_source, Access, Race, RaceAnalysisError, RaceReport};

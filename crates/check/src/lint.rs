@@ -30,6 +30,10 @@
 //!    saying *why* the lint is suppressed; an unexplained suppression is how
 //!    real warnings get buried. Doc comments don't count — they document
 //!    the item, not the exception.
+//! 8. **Coherence-rule dedup** — the rule strings in `memsim::rules` are
+//!    matched verbatim by the fault drills and the model/verify
+//!    cross-checks; a string literal duplicating one of them anywhere else
+//!    in memsim source is drift waiting to happen and is flagged.
 //!
 //! Grandfathered sites live in `crates/check/lint-allow.txt` (one `path
 //! substring :: line substring` entry per line); the scanner reports any
@@ -184,7 +188,17 @@ impl Allowlist {
     ///
     /// Propagates read errors other than the file not existing.
     pub fn load(root: &Path) -> io::Result<Allowlist> {
-        match fs::read_to_string(root.join("crates/check/lint-allow.txt")) {
+        Allowlist::load_at(root, "crates/check/lint-allow.txt")
+    }
+
+    /// Loads an allowlist from `rel` under `root`; a missing file is empty,
+    /// other ratchets (`determinism-allow.txt`) share the format.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read errors other than the file not existing.
+    pub fn load_at(root: &Path, rel: &str) -> io::Result<Allowlist> {
+        match fs::read_to_string(root.join(rel)) {
             Ok(text) => Ok(Allowlist::parse(&text)),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Allowlist::default()),
             Err(e) => Err(e),
@@ -192,7 +206,7 @@ impl Allowlist {
     }
 
     /// Whether `file`/`text` is grandfathered; counts the hit.
-    fn permits(&mut self, file: &Path, text: &str) -> bool {
+    pub fn permits(&mut self, file: &Path, text: &str) -> bool {
         let file = file.to_string_lossy();
         for (path, pat, hits) in &mut self.entries {
             if file.contains(path.as_str()) && text.contains(pat.as_str()) {
@@ -211,6 +225,32 @@ impl Allowlist {
             .map(|(path, pat, _)| format!("{path} :: {pat}"))
             .collect()
     }
+}
+
+/// Rewrites allowlist text without the entries in `stale` (rendered
+/// `path :: pattern`, exactly as [`Allowlist::unused`] returns them).
+/// Comments, blank lines, and live entries keep their bytes and order —
+/// `dss-check lint --prune` writes the result back.
+pub fn prune_allowlist_text(text: &str, stale: &[String]) -> String {
+    text.lines()
+        .filter(|line| {
+            let t = line.trim();
+            if t.is_empty() || t.starts_with('#') {
+                return true;
+            }
+            match t.split_once("::") {
+                Some((p, pat)) => {
+                    let rendered = format!("{} :: {}", p.trim(), pat.trim());
+                    !stale.contains(&rendered)
+                }
+                None => true,
+            }
+        })
+        .fold(String::with_capacity(text.len()), |mut out, line| {
+            out.push_str(line);
+            out.push('\n');
+            out
+        })
 }
 
 /// A token-sequence pattern element.
@@ -434,7 +474,48 @@ pub fn lint_workspace(root: &Path, allow: &mut Allowlist) -> io::Result<Vec<Find
     lint_headers(root, &mut findings)?;
     lint_panic_free(root, allow, &mut findings)?;
     lint_allow_justification(root, allow, &mut findings)?;
+    lint_rule_dedup(root, &mut findings)?;
     Ok(findings)
+}
+
+/// Rule 8: every coherence rule string is defined exactly once, in
+/// `memsim::rules`. The drill sites and the model/verify cross-checks match
+/// the strings verbatim, so a re-typed copy elsewhere in memsim source would
+/// silently decouple them; no allowlist — move the literal, don't excuse it.
+fn lint_rule_dedup(root: &Path, findings: &mut Vec<Finding>) -> io::Result<()> {
+    let mut files = Vec::new();
+    let src = root.join("crates").join("memsim").join("src");
+    if src.is_dir() {
+        collect_rs_files(&src, &mut files)?;
+    }
+    files.sort();
+    for path in files {
+        if path.file_name().is_some_and(|f| f == "rules.rs") {
+            continue;
+        }
+        let text = fs::read_to_string(&path)?;
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        for tok in lex(&text) {
+            if tok.kind != TokenKind::Str {
+                continue;
+            }
+            if dss_memsim::rules::ALL
+                .iter()
+                .any(|r| tok.text == format!("\"{r}\""))
+            {
+                findings.push(Finding {
+                    file: rel.clone(),
+                    line: tok.line,
+                    rule: "rule-string-dedup",
+                    message: format!(
+                        "coherence rule literal duplicated outside memsim::rules: {}",
+                        tok.text
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Rule 1: no hashing or per-event allocation in the simulator hot loop.
@@ -717,6 +798,48 @@ mod tests {
         let mut findings = Vec::new();
         lint_hot_loop(&ft, allow, &mut findings);
         findings
+    }
+
+    #[test]
+    fn prune_drops_exactly_the_stale_lines() {
+        let text = "\
+# explanation that must survive the prune
+crates/foo.rs :: bar(
+
+crates/baz.rs :: never_matches
+";
+        let mut allow = Allowlist::parse(text);
+        // Only the foo entry gets a hit; baz goes stale.
+        assert!(allow.permits(Path::new("crates/foo.rs"), "x = bar(1);"));
+        let stale = allow.unused();
+        assert_eq!(stale, vec!["crates/baz.rs :: never_matches".to_string()]);
+        let pruned = prune_allowlist_text(text, &stale);
+        assert_eq!(
+            pruned,
+            "# explanation that must survive the prune\ncrates/foo.rs :: bar(\n\n"
+        );
+        // Pruning again with nothing stale is byte-identical.
+        assert_eq!(prune_allowlist_text(&pruned, &[]), pruned);
+    }
+
+    #[test]
+    fn rule_dedup_flags_stray_copies_of_rule_strings() {
+        let root = std::env::temp_dir().join(format!("dss-lint-dedup-{}", std::process::id()));
+        let src = root.join("crates").join("memsim").join("src");
+        std::fs::create_dir_all(&src).unwrap();
+        let dup = format!(
+            "fn f() -> &'static str {{ \"{}\" }}\n",
+            dss_memsim::rules::RULE_TWO_WRITERS
+        );
+        std::fs::write(src.join("stray.rs"), &dup).unwrap();
+        // rules.rs is the one home and is exempt.
+        std::fs::write(src.join("rules.rs"), &dup).unwrap();
+        let mut findings = Vec::new();
+        lint_rule_dedup(&root, &mut findings).unwrap();
+        std::fs::remove_dir_all(&root).ok();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].rule, "rule-string-dedup");
+        assert!(findings[0].file.ends_with("stray.rs"), "{findings:?}");
     }
 
     #[test]

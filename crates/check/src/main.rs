@@ -1,22 +1,29 @@
 //! `dss-check` — the workbench's verification gate.
 //!
 //! ```text
-//! dss-check lint        # workspace lint rules (lexer-based)
-//! dss-check races       # happens-before race detection over Q3/Q6/Q12
-//! dss-check invariants  # coherence invariants over the baseline suite
-//! dss-check alloc       # allocation audit of Machine::run (counting allocator)
-//! dss-check fault       # fault-injection campaign: every fault detected
-//! dss-check model       # exhaustive coherence-protocol model checking
-//! dss-check all         # everything above
+//! dss-check lint         # workspace lint rules (lexer-based)
+//! dss-check races        # happens-before race detection over Q3/Q6/Q12
+//! dss-check invariants   # coherence invariants over the baseline suite
+//! dss-check alloc        # allocation audit of Machine::run (counting allocator)
+//! dss-check fault        # fault-injection campaign: every fault detected
+//! dss-check model        # exhaustive coherence-protocol model checking
+//! dss-check determinism  # source→sink nondeterminism taint over the call graph
+//! dss-check locks        # static lock-order graph + dynamic nesting cross-check
+//! dss-check all          # everything above
 //! ```
 //!
 //! `alloc` options: `--report PATH` writes the measured budget JSON to
 //! `PATH`; `--update` regenerates the committed
 //! `crates/check/alloc-budget.json` instead of diffing against it.
 //!
+//! `lint` options: `--prune` rewrites `crates/check/lint-allow.txt` without
+//! its stale entries (which otherwise count as findings), mirroring the
+//! alloc ratchet's `--update` UX.
+//!
 //! `fault` options: `--seed N` replays the campaign's exact corruption
 //! schedule under seed `N` (default 1); same seed, same schedule, on any
-//! machine.
+//! machine. `--site NAME` runs (and gates on) a single site — CI's
+//! standalone drill steps use it.
 //!
 //! `--json` emits one machine-readable document (schema `dss-check/v1`)
 //! covering every pass that ran — per-site fault outcomes, lint findings,
@@ -63,25 +70,35 @@ static COUNTING_ALLOC: CountingAlloc = CountingAlloc;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mode = args.first().map(String::as_str);
-    let (run_lint, run_races, run_invariants, run_alloc, run_fault, run_model) = match mode {
-        Some("lint") => (true, false, false, false, false, false),
-        Some("races") => (false, true, false, false, false, false),
-        Some("invariants") => (false, false, true, false, false, false),
-        Some("alloc") => (false, false, false, true, false, false),
-        Some("fault") => (false, false, false, false, true, false),
-        Some("model") => (false, false, false, false, false, true),
-        Some("all") => (true, true, true, true, true, true),
-        _ => {
-            eprintln!(
-                "usage: dss-check <lint|races|invariants|alloc|fault|model|all> \
-                 [--report PATH] [--update] [--seed N] [--json]"
-            );
-            return ExitCode::from(2);
-        }
-    };
+    let all = mode == Some("all");
+    let run_lint = all || mode == Some("lint");
+    let run_races = all || mode == Some("races");
+    let run_invariants = all || mode == Some("invariants");
+    let run_alloc = all || mode == Some("alloc");
+    let run_fault = all || mode == Some("fault");
+    let run_model = all || mode == Some("model");
+    let run_determinism = all || mode == Some("determinism");
+    let run_locks = all || mode == Some("locks");
+    if !(run_lint
+        || run_races
+        || run_invariants
+        || run_alloc
+        || run_fault
+        || run_model
+        || run_determinism
+        || run_locks)
+    {
+        eprintln!(
+            "usage: dss-check <lint|races|invariants|alloc|fault|model|determinism|locks|all> \
+             [--report PATH] [--update] [--prune] [--seed N] [--site NAME] [--json]"
+        );
+        return ExitCode::from(2);
+    }
     let mut report_path: Option<String> = None;
     let mut update = false;
+    let mut prune = false;
     let mut seed = 1u64;
+    let mut site: Option<String> = None;
     let mut json = false;
     let mut rest = args[1..].iter();
     while let Some(arg) = rest.next() {
@@ -94,10 +111,18 @@ fn main() -> ExitCode {
                 }
             },
             "--update" => update = true,
+            "--prune" => prune = true,
             "--seed" => match rest.next().map(|s| s.parse::<u64>()) {
                 Some(Ok(n)) => seed = n,
                 _ => {
                     eprintln!("--seed requires an unsigned integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--site" => match rest.next() {
+                Some(s) => site = Some(s.clone()),
+                None => {
+                    eprintln!("--site requires a site name");
                     return ExitCode::from(2);
                 }
             },
@@ -114,12 +139,19 @@ fn main() -> ExitCode {
     let mut findings = 0usize;
     let mut sections: Vec<(&'static str, String)> = Vec::new();
     if run_fault {
-        let (n, frag) = fault_campaign(seed);
-        findings += n;
-        sections.push(("fault", frag));
+        match fault_campaign(seed, site.as_deref()) {
+            Ok((n, frag)) => {
+                findings += n;
+                sections.push(("fault", frag));
+            }
+            Err(e) => {
+                eprintln!("fault: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
     if run_lint {
-        match lint() {
+        match lint(prune) {
             Ok((n, frag)) => {
                 findings += n;
                 sections.push(("lint", frag));
@@ -135,14 +167,38 @@ fn main() -> ExitCode {
         findings += n;
         sections.push(("model", frag));
     }
+    if run_determinism {
+        match determinism() {
+            Ok((n, frag)) => {
+                findings += n;
+                sections.push(("determinism", frag));
+            }
+            Err(e) => {
+                eprintln!("determinism: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     // The trace-driven passes share one workbench (the trace cache holds a
     // query's traces across all of them).
-    if run_races || run_invariants || run_alloc {
+    if run_races || run_invariants || run_alloc || run_locks {
         let mut wb = Workbench::paper();
         if run_races {
             let (n, frag) = races(&mut wb);
             findings += n;
             sections.push(("races", frag));
+        }
+        if run_locks {
+            match locks(&mut wb) {
+                Ok((n, frag)) => {
+                    findings += n;
+                    sections.push(("locks", frag));
+                }
+                Err(e) => {
+                    eprintln!("locks: {e}");
+                    return ExitCode::from(2);
+                }
+            }
         }
         if run_invariants {
             let (n, frag) = invariants(&mut wb);
@@ -218,9 +274,21 @@ fn esc(s: &str) -> String {
 
 /// Runs the fault-injection campaign: every registered site corrupts its
 /// layer's input under a seed-derived schedule, and any fault the layer
-/// absorbs (or any site that could not run) is a finding.
-fn fault_campaign(seed: u64) -> (usize, String) {
-    let reports = dss_faultkit::run_campaign(seed);
+/// absorbs (or any site that could not run) is a finding. The static-
+/// analysis drill sites from [`dss_check::drill`] join faultkit's table;
+/// `only` (from `--site`) restricts the run to one named site.
+///
+/// # Errors
+///
+/// An `only` name matching no site is an environment error, not a clean run.
+fn fault_campaign(seed: u64, only: Option<&str>) -> Result<(usize, String), String> {
+    let mut reports = dss_faultkit::run_campaign_with_extra(seed, dss_check::drill::sites());
+    if let Some(name) = only {
+        reports.retain(|r| r.site == name);
+        if reports.is_empty() {
+            return Err(format!("--site {name}: no such fault site"));
+        }
+    }
     let mut findings = 0usize;
     let mut sites = Vec::new();
     for r in &reports {
@@ -262,7 +330,7 @@ fn fault_campaign(seed: u64) -> (usize, String) {
         "{{\"seed\": {seed}, \"findings\": {findings}, \"sites\": [{}]}}",
         sites.join(", ")
     );
-    (findings, frag)
+    Ok((findings, frag))
 }
 
 /// Runs the exhaustive coherence-protocol model pass: the kernel's full
@@ -337,8 +405,125 @@ fn model() -> (usize, String) {
     (findings, frag)
 }
 
-/// Runs the workspace lint; returns the number of findings.
-fn lint() -> std::io::Result<(usize, String)> {
+/// Runs the determinism taint pass: nondeterminism sources reachable from a
+/// byte-diffable sink through the workspace call graph are findings, less
+/// the committed `determinism-allow.txt` ratchet (whose stale entries are
+/// findings too).
+///
+/// # Errors
+///
+/// Environment errors (unlocatable workspace root, unreadable sources).
+fn determinism() -> std::io::Result<(usize, String)> {
+    let cwd = std::env::current_dir()?;
+    let root = find_workspace_root(&cwd)?;
+    let (report, _allow) = dss_check::check_determinism(&root)?;
+    let mut items = Vec::new();
+    for f in &report.findings {
+        eprintln!("determinism: {f}");
+        items.push(format!(
+            "{{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"what\": \"{}\", \
+             \"chain\": \"{}\"}}",
+            esc(&f.file.display().to_string()),
+            f.line,
+            esc(f.rule),
+            esc(&f.what),
+            esc(&f.chain)
+        ));
+    }
+    for entry in &report.stale {
+        eprintln!("determinism: stale allowlist entry `{entry}` no longer matches anything");
+    }
+    println!(
+        "determinism: {} fn(s), {} sink root(s), {} source site(s) seen, \
+         {} finding(s), {} stale allowlist entr(ies)",
+        report.fns,
+        report.sink_roots,
+        report.sources_seen,
+        report.findings.len(),
+        report.stale.len()
+    );
+    let stale_json: Vec<String> = report
+        .stale
+        .iter()
+        .map(|s| format!("\"{}\"", esc(s)))
+        .collect();
+    let frag = format!(
+        "{{\"fns\": {}, \"sink_roots\": {}, \"sources_seen\": {}, \"findings\": [{}], \
+         \"stale_allowlist\": [{}]}}",
+        report.fns,
+        report.sink_roots,
+        report.sources_seen,
+        items.join(", "),
+        stale_json.join(", ")
+    );
+    Ok((report.findings.len() + report.stale.len(), frag))
+}
+
+/// Runs the lock-order pass: the static acquisition graph must be acyclic,
+/// and every nesting pair the Q3/Q6/Q12 replays perform must be derivable
+/// from it (else the extractor is blind to an acquisition site).
+///
+/// # Errors
+///
+/// Environment errors (unlocatable workspace root, unreadable sources).
+fn locks(wb: &mut Workbench) -> std::io::Result<(usize, String)> {
+    let cwd = std::env::current_dir()?;
+    let root = find_workspace_root(&cwd)?;
+    let mut report = dss_check::check_locks(&root)?;
+    let mut dynamic = std::collections::BTreeSet::new();
+    for query in STUDIED_QUERIES {
+        let traces = wb.traces(query, 0);
+        dynamic.extend(dss_check::locks::dynamic_nesting(&traces));
+    }
+    dss_check::locks::cross_check(&mut report, &dynamic);
+    let mut items = Vec::new();
+    for f in &report.findings {
+        eprintln!("locks: {f}");
+        items.push(format!(
+            "{{\"rule\": \"{}\", \"detail\": \"{}\"}}",
+            esc(f.rule),
+            esc(&f.detail)
+        ));
+    }
+    let edges: Vec<String> = report
+        .edges
+        .iter()
+        .map(|e| {
+            format!(
+                "{{\"held\": \"{}\", \"acquired\": \"{}\", \"at\": \"{}:{}\", \"in\": \"{}\"}}",
+                esc(&e.held),
+                esc(&e.acquired),
+                esc(&e.file.display().to_string()),
+                e.line,
+                esc(&e.in_fn)
+            )
+        })
+        .collect();
+    println!(
+        "locks: {} lock(s), {} fn(s) acquiring, {} order edge(s), {} dynamic \
+         pair(s) cross-checked, {} finding(s)",
+        report.locks.len(),
+        report.fns_with_locks,
+        report.edges.len(),
+        report.dynamic_pairs,
+        report.findings.len()
+    );
+    let frag = format!(
+        "{{\"locks\": {}, \"fns_with_locks\": {}, \"dynamic_pairs\": {}, \"edges\": [{}], \
+         \"findings\": [{}]}}",
+        report.locks.len(),
+        report.fns_with_locks,
+        report.dynamic_pairs,
+        edges.join(", "),
+        items.join(", ")
+    );
+    Ok((report.findings.len(), frag))
+}
+
+/// Runs the workspace lint; returns the number of findings. With `prune`,
+/// stale `lint-allow.txt` entries are removed from the committed file
+/// instead of counting as findings.
+fn lint(prune: bool) -> std::io::Result<(usize, String)> {
     let cwd = std::env::current_dir()?;
     let root = find_workspace_root(&cwd)?;
     let mut allow = Allowlist::load(&root)?;
@@ -355,8 +540,22 @@ fn lint() -> std::io::Result<(usize, String)> {
         ));
     }
     let stale = allow.unused();
-    for entry in &stale {
-        eprintln!("lint: stale allowlist entry `{entry}` no longer matches anything");
+    let mut pruned = false;
+    if prune && !stale.is_empty() {
+        let path = root.join("crates/check/lint-allow.txt");
+        let text = std::fs::read_to_string(&path)?;
+        let kept = dss_check::lint::prune_allowlist_text(&text, &stale);
+        dss_core::write_atomic(&path, kept.as_bytes())?;
+        println!(
+            "lint: pruned {} stale entr(ies) from {}",
+            stale.len(),
+            path.display()
+        );
+        pruned = true;
+    } else {
+        for entry in &stale {
+            eprintln!("lint: stale allowlist entry `{entry}` no longer matches anything");
+        }
     }
     println!(
         "lint: {} finding(s), {} stale allowlist entr(ies)",
@@ -365,11 +564,12 @@ fn lint() -> std::io::Result<(usize, String)> {
     );
     let stale_json: Vec<String> = stale.iter().map(|s| format!("\"{}\"", esc(s))).collect();
     let frag = format!(
-        "{{\"findings\": [{}], \"stale_allowlist\": [{}]}}",
+        "{{\"findings\": [{}], \"stale_allowlist\": [{}], \"pruned\": {pruned}}}",
         items.join(", "),
         stale_json.join(", ")
     );
-    Ok((findings.len() + stale.len(), frag))
+    let stale_findings = if pruned { 0 } else { stale.len() };
+    Ok((findings.len() + stale_findings, frag))
 }
 
 /// Runs the race detector over the studied queries; returns findings.

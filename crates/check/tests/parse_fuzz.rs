@@ -1,0 +1,149 @@
+//! Fuzzing the syntactic parser: whatever bytes arrive, `parse_file` must
+//! return — `Ok` or a structured [`dss_check::ParseError`] — never panic.
+//! The static passes run over every workspace file on every CI run, so a
+//! panic here would take the whole gate down with it.
+//!
+//! Two input families: token soup assembled from the parser's own alphabet
+//! (keywords, idents, punctuation, literals), and real workspace sources
+//! mutated by truncation and word deletion — the mutations that unbalance
+//! the brace tracking and attribute scanning the parser leans on.
+
+use std::path::Path;
+
+use dss_check::{load_workspace, parse_file};
+use proptest::prelude::*;
+
+/// Fragments the soup is assembled from: everything the grammar subset
+/// reacts to, plus noise it must skip.
+const FRAGMENTS: &[&str] = &[
+    "fn",
+    "impl",
+    "mod",
+    "struct",
+    "enum",
+    "trait",
+    "use",
+    "pub",
+    "let",
+    "for",
+    "in",
+    "match",
+    "self",
+    "Self",
+    "crate",
+    "where",
+    "unsafe",
+    "async",
+    "#",
+    "!",
+    "[",
+    "]",
+    "(",
+    ")",
+    "{",
+    "}",
+    "<",
+    ">",
+    ",",
+    ";",
+    ":",
+    "::",
+    "->",
+    "=>",
+    "=",
+    ".",
+    "&",
+    "'a",
+    "cfg",
+    "test",
+    "feature",
+    "allow",
+    "derive",
+    "foo",
+    "Bar",
+    "baz_qux",
+    "HashMap",
+    "x",
+    "0xff",
+    "12",
+    "\"str lit\"",
+    "'c'",
+    "// comment\n",
+    "/* block */",
+];
+
+fn soup() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..FRAGMENTS.len(), 0..200).prop_map(|ids| {
+        ids.iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+fn bytes() -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..400)
+        .prop_map(|b| String::from_utf8_lossy(&b).into_owned())
+}
+
+/// The real workspace sources, loaded once per case; the seed corpus.
+fn corpus() -> Vec<String> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    load_workspace(&root)
+        .expect("workspace sources load")
+        .into_iter()
+        .map(|f| f.text)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn token_soup_never_panics(src in soup()) {
+        // Ok or Err both fine; escaping panics are the only failure.
+        let _ = parse_file(&src);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(src in bytes()) {
+        let _ = parse_file(&src);
+    }
+}
+
+proptest! {
+    // Mutated real files are big; fewer, heavier cases.
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn truncated_workspace_files_never_panic(
+        file in any::<usize>(),
+        cut in any::<usize>(),
+    ) {
+        let corpus = corpus();
+        let src = &corpus[file % corpus.len()];
+        let chars: Vec<char> = src.chars().collect();
+        let truncated: String = chars[..cut % (chars.len() + 1)].iter().collect();
+        let _ = parse_file(&truncated);
+    }
+
+    #[test]
+    fn word_deleted_workspace_files_never_panic(
+        file in any::<usize>(),
+        start in any::<usize>(),
+        len in 1usize..40,
+    ) {
+        let corpus = corpus();
+        let src = &corpus[file % corpus.len()];
+        // Delete a whitespace-delimited word span: cheap stand-in for token
+        // deletion that reliably unbalances braces and splits attributes.
+        let words: Vec<&str> = src.split_inclusive(char::is_whitespace).collect();
+        if words.is_empty() {
+            return Ok(());
+        }
+        let s = start % words.len();
+        let e = (s + len).min(words.len());
+        let mutated: String = words[..s].iter().chain(&words[e..]).copied().collect();
+        let _ = parse_file(&mutated);
+    }
+}

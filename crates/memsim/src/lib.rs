@@ -33,6 +33,7 @@ mod directory;
 mod machine;
 mod paged;
 pub mod protocol;
+pub mod rules;
 mod stats;
 mod verify;
 

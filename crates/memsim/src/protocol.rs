@@ -41,30 +41,13 @@ use std::fmt;
 use crate::cache::LineState;
 use crate::config::Protocol;
 use crate::directory::DirEntry;
-
-/// Invariant: at most one node holds a line writable.
-pub const RULE_TWO_WRITERS: &str = "two nodes hold the line writable";
-/// Invariant: a writable copy is recorded as the directory owner.
-pub const RULE_WRITABLE_NOT_OWNER: &str =
-    "a node holds the line writable without directory ownership";
-/// Invariant: every cached Shared copy appears in the sharer mask (or is the
-/// recorded owner mid-downgrade).
-pub const RULE_SHARED_NOT_IN_MASK: &str =
-    "a cached shared copy is missing from the directory sharer mask";
-/// Invariant: a recorded owner actually caches the line.
-pub const RULE_OWNER_NO_COPY: &str = "directory owner holds no copy of the line";
-/// Invariant: the sharer mask lists only nodes that cache the line.
-pub const RULE_STRAY_SHARER: &str = "directory lists a sharer that caches no copy of the line";
-/// Invariant: a writable copy never coexists with other cached copies.
-pub const RULE_WRITABLE_COEXISTS: &str = "a writable copy coexists with other cached copies";
-/// Data-value invariant: every cached copy holds the latest written value.
-pub const RULE_STALE_COPY: &str = "a cached copy does not hold the latest written value";
-/// Data-value invariant: memory is current unless a Modified copy exists.
-pub const RULE_STALE_MEMORY: &str = "memory is stale with no modified copy to supply the value";
-/// Quiescence: evicting every cached copy must reach the stable uncached
-/// state (empty directory entry, memory current).
-pub const RULE_NO_QUIESCENCE: &str =
-    "draining every cached copy does not reach the stable uncached state";
+// Rule strings live in `crate::rules` (the one home for every coherence
+// rule literal); re-exported here so `protocol::RULE_*` paths keep working.
+pub use crate::rules::{
+    RULE_NO_QUIESCENCE, RULE_OWNER_NO_COPY, RULE_SHARED_NOT_IN_MASK, RULE_STALE_COPY,
+    RULE_STALE_MEMORY, RULE_STRAY_SHARER, RULE_TWO_WRITERS, RULE_WRITABLE_COEXISTS,
+    RULE_WRITABLE_NOT_OWNER,
+};
 
 // --- directory transforms ----------------------------------------------------
 

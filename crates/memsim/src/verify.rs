@@ -128,13 +128,11 @@ impl Machine {
                 if let Some(l1) = node.l1.peek_state(a) {
                     match l2 {
                         None => {
-                            return Err(
-                                self.violation(line, "L1 holds a line its L2 does not (inclusion)")
-                            )
+                            return Err(self.violation(line, crate::rules::RULE_INCLUSION_MISSING))
                         }
                         Some(l2s) if l1.writable() && !l2s.writable() => {
                             return Err(
-                                self.violation(line, "L1 copy is more privileged than its L2 line")
+                                self.violation(line, crate::rules::RULE_INCLUSION_PRIVILEGE)
                             );
                         }
                         Some(_) => {}
