@@ -25,6 +25,18 @@
 //! CI benchmark artifact). Each experiment prints the paper-shaped chart
 //! plus its PASS/FAIL shape checks.
 //!
+//! The run is crash-safe when given a state directory: `--state-dir PATH`
+//! keeps a checkpoint manifest (`PATH/manifest.ckpt`) journaling every
+//! completed sweep point as it finishes, plus the streamed-mode block files
+//! (`PATH/traces/`). After a crash — power loss included; the journal is
+//! fsynced record by record — rerunning with `--resume` replays the journal,
+//! skips completed points, salvages partial block files down to their last
+//! checksum-valid block, and regenerates only what is missing; stdout is
+//! byte-identical to an uninterrupted run. The manifest carries a
+//! fingerprint of the configuration (scale, seed, buffer pool, processor
+//! count), so resuming under different parameters safely starts fresh.
+//! `--resume` without `--state-dir` is a usage error.
+//!
 //! The run degrades gracefully instead of aborting: every sweep point runs
 //! fail-soft (a panicking or deadline-blown point becomes a structured
 //! `PointError` and the rest of the sweep completes), and every experiment
@@ -43,12 +55,12 @@
 
 use std::collections::BTreeSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use dss_core::{
-    experiments, paper, query_label, report, PipelineSnapshot, PointError, TraceMode, Workbench,
-    STUDIED_QUERIES,
+    config_fingerprint, experiments, paper, query_label, report, CheckpointJournal,
+    PipelineSnapshot, PointError, TraceMode, Workbench, STUDIED_QUERIES,
 };
 use dss_query::DbConfig;
 
@@ -76,6 +88,10 @@ struct BenchEntry {
     pipe: PipelineSnapshot,
     peak_rss: u64,
     peak_rss_cumulative: u64,
+    /// Sweep points served from the checkpoint journal (resume provenance).
+    points_loaded: u64,
+    /// Sweep points actually simulated by this experiment.
+    points_computed: u64,
 }
 
 /// The process's peak resident set size (`VmHWM`) in bytes, or 0 where
@@ -142,7 +158,9 @@ impl BenchLog {
         compute: Duration,
         heap: alloc::AllocReport,
         pipe: PipelineSnapshot,
+        ckpt: (u64, u64),
     ) {
+        let (points_loaded, points_computed) = ckpt;
         let hwm = peak_rss_bytes();
         // With a working reset, `hwm` is this experiment's own peak; without
         // one it is process-monotone, so report how much it grew instead.
@@ -179,6 +197,9 @@ impl BenchLog {
                 Duration::from_nanos(pipe.consumer_stall_ns),
             );
         }
+        if points_loaded > 0 {
+            eprintln!("  [{label}] {points_loaded} point(s) served from the checkpoint journal");
+        }
         self.entries.push(BenchEntry {
             name: label.to_string(),
             wall,
@@ -187,22 +208,26 @@ impl BenchLog {
             pipe,
             peak_rss,
             peak_rss_cumulative,
+            points_loaded,
+            points_computed,
         });
     }
 
     /// The recorded timings as a self-describing JSON document. Labels are
-    /// experiment names from this binary (no escaping needed). Schema v5
-    /// makes `peak_rss` honest per experiment (the kernel high-water mark is
-    /// reset at the start of each one; where the reset interface is missing
-    /// the value degrades to delta-from-start), adds the monotone
-    /// `peak_rss_cumulative` that v4's `peak_rss` used to be, and adds the
-    /// pipeline fields: the run's `gen_jobs` and each experiment's
-    /// `producer_stall_ns` / `consumer_stall_ns` (time the trace producers
-    /// and the simulator spent blocked on the bounded channels — the
-    /// utilization evidence for pipelined runs; zero when `gen_jobs` is 0).
-    /// Schema v3 added the degradation record: every sweep point that failed
-    /// soft (`point_errors`) and every experiment block that was abandoned
-    /// (`failed_experiments`); both arrays are empty on a healthy run.
+    /// experiment names from this binary (no escaping needed). Schema v6
+    /// adds the crash-safety provenance: a top-level `resume` object
+    /// (`mode`: `"fresh"` or `"resumed"`, `crash_site`: the armed
+    /// crash-injection site or `null`, and the run's total
+    /// `points_loaded` / `points_computed`), plus per-experiment
+    /// `points_loaded`, `points_computed`, and `retries` (points this
+    /// experiment had to recompute in a resumed run — work the crash
+    /// destroyed; always 0 in a fresh run). Schema v5 made `peak_rss` honest
+    /// per experiment (the kernel high-water mark is reset at the start of
+    /// each one; where the reset interface is missing the value degrades to
+    /// delta-from-start), added the monotone `peak_rss_cumulative`, and the
+    /// pipeline fields (`gen_jobs`, `producer_stall_ns` /
+    /// `consumer_stall_ns`). Schema v3 added the degradation record:
+    /// `point_errors` and `failed_experiments`, both empty on a healthy run.
     // The report serializes every top-level measurement as its own scalar;
     // the arity is the schema's, not an API anyone else calls.
     #[allow(clippy::too_many_arguments)]
@@ -215,7 +240,10 @@ impl BenchLog {
         total_wall: Duration,
         point_errors: &[PointError],
         failed: &[String],
+        resume_mode: &str,
+        crash_site: Option<&str>,
     ) -> String {
+        let resumed = resume_mode == "resumed";
         let experiments: Vec<String> = self
             .entries
             .iter()
@@ -224,7 +252,8 @@ impl BenchLog {
                     "    {{\"name\": \"{}\", \"wall_ns\": {}, \"sim_compute_ns\": {}, \
                      \"allocs\": {}, \"alloc_bytes\": {}, \"peak_rss\": {}, \
                      \"peak_rss_cumulative\": {}, \"producer_stall_ns\": {}, \
-                     \"consumer_stall_ns\": {}}}",
+                     \"consumer_stall_ns\": {}, \"points_loaded\": {}, \
+                     \"points_computed\": {}, \"retries\": {}}}",
                     e.name,
                     e.wall.as_nanos(),
                     e.compute.as_nanos(),
@@ -233,7 +262,10 @@ impl BenchLog {
                     e.peak_rss,
                     e.peak_rss_cumulative,
                     e.pipe.producer_stall_ns,
-                    e.pipe.consumer_stall_ns
+                    e.pipe.consumer_stall_ns,
+                    e.points_loaded,
+                    e.points_computed,
+                    if resumed { e.points_computed } else { 0 }
                 )
             })
             .collect();
@@ -246,15 +278,27 @@ impl BenchLog {
             TraceMode::Materialized => "materialized",
             TraceMode::Streamed => "streamed",
         };
+        let loaded: u64 = self.entries.iter().map(|e| e.points_loaded).sum();
+        let computed: u64 = self.entries.iter().map(|e| e.points_computed).sum();
+        let site = match crash_site {
+            Some(s) => format!("\"{s}\""),
+            None => "null".to_string(),
+        };
         format!(
-            "{{\n  \"schema\": \"dss-bench-repro/v5\",\n  \"jobs\": {},\n  \
+            "{{\n  \"schema\": \"dss-bench-repro/v6\",\n  \"jobs\": {},\n  \
              \"gen_jobs\": {},\n  \"trace_mode\": \"{}\",\n  \"scale\": {},\n  \
+             \"resume\": {{\"mode\": \"{}\", \"crash_site\": {}, \
+             \"points_loaded\": {}, \"points_computed\": {}}},\n  \
              \"total_wall_ns\": {},\n  \"point_errors\": [{}],\n  \
              \"failed_experiments\": [{}],\n  \"experiments\": [\n{}\n  ]\n}}\n",
             jobs,
             gen_jobs,
             mode,
             scale,
+            resume_mode,
+            site,
+            loaded,
+            computed,
             total_wall.as_nanos(),
             if errors.is_empty() {
                 String::new()
@@ -296,9 +340,29 @@ fn main() {
     let mut deadline_ms: Option<u64> = None;
     let mut sf: Option<f64> = None;
     let mut trace_mode = TraceMode::Materialized;
+    let mut resume = false;
+    let mut state_dir: Option<String> = None;
     let mut names = BTreeSet::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
+        if arg == "--resume" {
+            resume = true;
+            continue;
+        }
+        if arg == "--state-dir" {
+            match argv.next() {
+                Some(path) => state_dir = Some(path),
+                None => {
+                    eprintln!("error: --state-dir needs a path");
+                    std::process::exit(2);
+                }
+            }
+            continue;
+        }
+        if let Some(path) = arg.strip_prefix("--state-dir=") {
+            state_dir = Some(path.to_string());
+            continue;
+        }
         if arg == "--sf" || arg.starts_with("--sf=") {
             let value = arg
                 .strip_prefix("--sf=")
@@ -400,6 +464,10 @@ fn main() {
             }
         }
     }
+    if resume && state_dir.is_none() {
+        eprintln!("error: --resume needs --state-dir (the journal and trace files to resume from)");
+        std::process::exit(2);
+    }
     let args = names;
     let mut log = BenchLog::default();
     let mut point_errors: Vec<PointError> = Vec::new();
@@ -424,8 +492,10 @@ fn main() {
     if let Some(n) = gen_jobs {
         wb.set_gen_jobs(n);
     }
+    // Scratch trace dir, deleted at exit. With `--state-dir` the block files
+    // are durable resume state instead and live under the state dir.
     let mut trace_dir = None;
-    if trace_mode == TraceMode::Streamed {
+    if trace_mode == TraceMode::Streamed && state_dir.is_none() {
         let dir = std::env::temp_dir().join(format!("dss-repro-traces-{}", std::process::id()));
         eprintln!(
             "trace mode: streamed (block files under {}, replayed from disk)",
@@ -434,6 +504,61 @@ fn main() {
         wb.set_trace_dir(dir.clone());
         wb.set_trace_mode(TraceMode::Streamed);
         trace_dir = Some(dir);
+    }
+    let mut resume_mode = "fresh";
+    if let Some(dir) = &state_dir {
+        let dir = PathBuf::from(dir);
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("error: could not create state dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        let manifest = dir.join("manifest.ckpt");
+        let traces = dir.join("traces");
+        let fingerprint = config_fingerprint(&config, wb.nprocs());
+        let journal = if resume {
+            match CheckpointJournal::resume(&manifest, fingerprint) {
+                Ok(j) => {
+                    if let Some(reason) = j.fresh_reason() {
+                        // The old state answers a different experiment (or
+                        // does not exist); its trace files are stale too.
+                        eprintln!("resume: starting fresh — {reason}");
+                        let _ = std::fs::remove_dir_all(&traces);
+                    } else {
+                        eprintln!(
+                            "resume: {} completed point(s) journaled in {}",
+                            j.replayed(),
+                            manifest.display()
+                        );
+                        wb.set_resume(true);
+                        resume_mode = "resumed";
+                    }
+                    j
+                }
+                Err(e) => {
+                    eprintln!("error: could not resume {}: {e}", manifest.display());
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            // A fresh run owns the state dir outright: discard any leftovers.
+            let _ = std::fs::remove_dir_all(&traces);
+            match CheckpointJournal::create(&manifest, fingerprint) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("error: could not create {}: {e}", manifest.display());
+                    std::process::exit(1);
+                }
+            }
+        };
+        wb.set_checkpoint(journal);
+        if trace_mode == TraceMode::Streamed {
+            eprintln!(
+                "trace mode: streamed (durable block files under {}, replayed from disk)",
+                traces.display()
+            );
+            wb.set_trace_dir(traces);
+            wb.set_trace_mode(TraceMode::Streamed);
+        }
     }
     wb.set_fail_soft(true);
     if let Some(label) = inject {
@@ -471,6 +596,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -513,6 +639,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -548,6 +675,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -583,6 +711,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -604,6 +733,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -626,6 +756,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -648,6 +779,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -667,6 +799,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -684,6 +817,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -701,6 +835,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -719,6 +854,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -738,6 +874,7 @@ fn main() {
             wb.take_sim_compute(),
             g.end(),
             wb.take_pipeline_stats(),
+            wb.take_checkpoint_counts(),
         );
         drain_point_errors(&mut wb, &mut point_errors);
     }
@@ -748,6 +885,11 @@ fn main() {
         let _ = std::fs::remove_dir_all(&dir);
     }
     if let Some(path) = bench_json {
+        // Provenance for the crash campaign: which site (if any) was armed
+        // to kill this very process partway through.
+        let crash_site = std::env::var(dss_faultkit::crash::ENV_SITE)
+            .ok()
+            .filter(|s| !s.is_empty());
         let json = log.to_json(
             wb.jobs(),
             wb.gen_jobs(),
@@ -756,6 +898,8 @@ fn main() {
             total,
             &point_errors,
             &failed,
+            resume_mode,
+            crash_site.as_deref(),
         );
         if let Err(e) = dss_core::write_atomic(Path::new(&path), json.as_bytes()) {
             eprintln!("error: could not write {path}: {e}");

@@ -40,6 +40,11 @@
 //!   `LockClass` while holding which, cycle detection over the order graph,
 //!   cross-checked against the nesting the race detector's Q3/Q6/Q12
 //!   replays actually observe.
+//! * [`crash`] — the crash-recovery campaign (`dss-check crash`): spawns
+//!   `repro` as a child with each `dss_faultkit::crash` site armed, requires
+//!   the abort to kill it, resumes with `--resume`, and requires stdout
+//!   byte-identical to an uninterrupted baseline. Not part of `all`: it
+//!   needs the `repro` binary on disk and runs whole child sweeps.
 //!
 //! The `dss-check` binary runs any or all passes and exits non-zero on the
 //! first finding; CI gates on `dss-check all`.
@@ -49,6 +54,7 @@
 
 pub mod budget;
 pub mod callgraph;
+pub mod crash;
 pub mod determinism;
 pub mod drill;
 pub mod invariants;

@@ -79,6 +79,9 @@ fn main() -> ExitCode {
     let run_model = all || mode == Some("model");
     let run_determinism = all || mode == Some("determinism");
     let run_locks = all || mode == Some("locks");
+    // Deliberately not in `all`: it needs the `repro` binary built and runs
+    // whole child sweeps, so CI invokes it as a dedicated step.
+    let run_crash = mode == Some("crash");
     if !(run_lint
         || run_races
         || run_invariants
@@ -86,11 +89,12 @@ fn main() -> ExitCode {
         || run_fault
         || run_model
         || run_determinism
-        || run_locks)
+        || run_locks
+        || run_crash)
     {
         eprintln!(
-            "usage: dss-check <lint|races|invariants|alloc|fault|model|determinism|locks|all> \
-             [--report PATH] [--update] [--prune] [--seed N] [--site NAME] [--json]"
+            "usage: dss-check <lint|races|invariants|alloc|fault|model|determinism|locks|crash|\
+             all> [--report PATH] [--update] [--prune] [--seed N] [--site NAME] [--json]"
         );
         return ExitCode::from(2);
     }
@@ -146,6 +150,18 @@ fn main() -> ExitCode {
             }
             Err(e) => {
                 eprintln!("fault: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if run_crash {
+        match crash_campaign(seed, site.as_deref()) {
+            Ok((n, frag)) => {
+                findings += n;
+                sections.push(("crash", frag));
+            }
+            Err(e) => {
+                eprintln!("crash: {e}");
                 return ExitCode::from(2);
             }
         }
@@ -326,6 +342,63 @@ fn fault_campaign(seed: u64, only: Option<&str>) -> Result<(usize, String), Stri
         reports.len(),
         findings
     );
+    let frag = format!(
+        "{{\"seed\": {seed}, \"findings\": {findings}, \"sites\": [{}]}}",
+        sites.join(", ")
+    );
+    Ok((findings, frag))
+}
+
+/// Runs the crash-recovery campaign (`dss-check crash`): kills a child
+/// `repro` sweep at each registered crash site at a seed-chosen hit, resumes
+/// it, and requires stdout byte-identical to an uninterrupted baseline plus
+/// an equal normalized benchmark report. `only` (from `--site`) restricts
+/// the run to one site. Work directories of failed sites are kept under the
+/// reported path for post-mortem (CI uploads them as artifacts).
+///
+/// # Errors
+///
+/// A missing `repro` binary, a failing baseline run, or an unknown `only`
+/// site is an environment error; a site that fails to recover is a finding.
+fn crash_campaign(seed: u64, only: Option<&str>) -> Result<(usize, String), String> {
+    let repro = dss_check::crash::find_repro()?;
+    let work = std::env::temp_dir().join(format!("dss-crash-campaign-{}", std::process::id()));
+    println!(
+        "crash: driving {} under seed {seed} (work dir {})",
+        repro.display(),
+        work.display()
+    );
+    let report = dss_check::crash::run_crash_campaign(&repro, &work, seed, only)?;
+    let mut sites = Vec::new();
+    for o in &report.outcomes {
+        if o.recovered {
+            println!("crash: {}: recovered — {}", o.site, o.detail);
+        } else {
+            eprintln!("crash: {}: NOT RECOVERED — {}", o.site, o.detail);
+        }
+        sites.push(format!(
+            "{{\"site\": \"{}\", \"layer\": \"{}\", \"hit\": {}, \"outcome\": \"{}\", \
+             \"detail\": \"{}\"}}",
+            esc(o.site),
+            esc(o.layer),
+            o.hit,
+            if o.recovered {
+                "recovered"
+            } else {
+                "not-recovered"
+            },
+            esc(&o.detail)
+        ));
+    }
+    let findings = report.findings();
+    println!(
+        "crash: {} site(s) killed and resumed under seed {seed}, {} finding(s)",
+        report.outcomes.len(),
+        findings
+    );
+    for kept in &report.kept {
+        eprintln!("crash: evidence kept at {}", kept.display());
+    }
     let frag = format!(
         "{{\"seed\": {seed}, \"findings\": {findings}, \"sites\": [{}]}}",
         sites.join(", ")

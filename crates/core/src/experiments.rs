@@ -17,6 +17,7 @@ use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
+use dss_faultkit::crash::crash_point;
 use dss_memsim::{Machine, MachineConfig, SimStats};
 use dss_query::{Database, PlanFeatures};
 use dss_tpcd::params;
@@ -138,6 +139,13 @@ impl Workbench {
     /// [`PointError`] under its label and yields `None`, and the remaining
     /// points still run. The sabotage hook ([`Workbench::set_sabotage`])
     /// panics the matching point in either mode.
+    ///
+    /// With a checkpoint journal attached ([`Workbench::set_checkpoint`]),
+    /// points the journal already holds are served from it — no simulation,
+    /// no sabotage, no compute time — and each newly computed point is
+    /// durably appended the moment its worker finishes it, so an interrupted
+    /// sweep resumes from the last completed point, not the last completed
+    /// experiment.
     fn fan_out_labeled(
         &mut self,
         labels: &[String],
@@ -149,14 +157,37 @@ impl Workbench {
         let clock = Arc::clone(&self.sim_nanos);
         let gen_jobs = self.gen_jobs;
         let pipe = Arc::clone(&self.pipe_stats);
+        let checkpoint = self.checkpoint.clone();
+        let computed_ctr = Arc::clone(&self.ckpt_computed);
+        // Journal lookups happen up front on this thread; workers then see a
+        // plain preloaded slot and skip the simulation entirely.
+        let preloaded: Vec<Option<SimStats>> = labels
+            .iter()
+            .map(|label| {
+                checkpoint.as_ref().and_then(|j| {
+                    j.lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .lookup(label, seed)
+                        .cloned()
+                })
+            })
+            .collect();
+        let nloaded = preloaded.iter().filter(|p| p.is_some()).count() as u64;
+        self.ckpt_loaded.fetch_add(nloaded, Ordering::Relaxed);
         let points: Vec<_> = tasks
             .iter()
             .zip(labels)
-            .map(|((cfg, source), label)| {
+            .zip(&preloaded)
+            .map(|(((cfg, source), label), pre)| {
                 let sabotage = sabotage.as_deref();
                 let clock = &clock;
                 let pipe = &pipe;
+                let checkpoint = checkpoint.as_ref();
+                let computed_ctr = &computed_ctr;
                 move || {
+                    if let Some(stats) = pre {
+                        return stats.clone();
+                    }
                     if sabotage == Some(label.as_str()) {
                         panic!("injected: sweep point {label} sabotaged");
                     }
@@ -167,6 +198,18 @@ impl Workbench {
                         run_point_source(cfg, source)
                     };
                     clock.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                    if let Some(journal) = checkpoint {
+                        crash_point("crash.point.pre-journal");
+                        let mut journal = journal.lock().unwrap_or_else(|p| p.into_inner());
+                        if let Err(e) = journal.append(label, seed, &stats) {
+                            // A journal that stops persisting degrades resume,
+                            // not correctness: the sweep carries on.
+                            eprintln!("checkpoint append failed for {label}: {e}");
+                        }
+                        drop(journal);
+                        crash_point("crash.point.post-journal");
+                    }
+                    computed_ctr.fetch_add(1, Ordering::Relaxed);
                     stats
                 }
             })
@@ -396,6 +439,38 @@ impl Workbench {
     /// history-independent, so this changes nothing but wall-clock and
     /// allocations).
     pub fn reuse_experiment(&mut self, query: u8, other: u8) -> ReuseSet {
+        let labels = [
+            format!("fig12/Q{query}v{other}/cold"),
+            format!("fig12/Q{query}v{other}/warm_same"),
+            format!("fig12/Q{query}v{other}/warm_other"),
+        ];
+        let checkpoint = self.checkpoint.clone();
+        let computed_ctr = Arc::clone(&self.ckpt_computed);
+        let preloaded: Vec<Option<SimStats>> = labels
+            .iter()
+            .map(|label| {
+                checkpoint.as_ref().and_then(|j| {
+                    j.lock()
+                        .unwrap_or_else(|p| p.into_inner())
+                        .lookup(label, 0)
+                        .cloned()
+                })
+            })
+            .collect();
+        let nloaded = preloaded.iter().filter(|p| p.is_some()).count() as u64;
+        self.ckpt_loaded.fetch_add(nloaded, Ordering::Relaxed);
+        // All three arms journaled: skip trace generation outright — a
+        // resumed run that already finished fig12 touches nothing.
+        if let [Some(cold), Some(warm_same), Some(warm_other)] = &preloaded[..] {
+            return ReuseSet {
+                query,
+                other,
+                cold: cold.clone(),
+                warm_same: warm_same.clone(),
+                warm_other: warm_other.clone(),
+            };
+        }
+
         let (l1_kb, l2_kb) = REUSE_CACHES_KB;
         let cfg = MachineConfig::baseline().with_cache_sizes(l1_kb * 1024, l2_kb * 1024);
         let replay = |m: &mut Machine, src: &SimSource| {
@@ -411,14 +486,32 @@ impl Workbench {
         let arms: [Option<&SimSource>; 3] = [None, Some(&warm_same_src), Some(&warm_other_src)];
         let points: Vec<_> = arms
             .iter()
-            .map(|warm| {
+            .zip(&labels)
+            .zip(&preloaded)
+            .map(|((warm, label), pre)| {
                 let (cfg, measured) = (&cfg, &measured);
+                let checkpoint = checkpoint.as_ref();
+                let computed_ctr = &computed_ctr;
                 move || {
+                    if let Some(stats) = pre {
+                        return stats.clone();
+                    }
                     let mut m = Machine::new(cfg.clone());
                     if let Some(warm) = warm {
                         replay(&mut m, warm);
                     }
-                    replay(&mut m, measured)
+                    let stats = replay(&mut m, measured);
+                    if let Some(journal) = checkpoint {
+                        crash_point("crash.point.pre-journal");
+                        let mut journal = journal.lock().unwrap_or_else(|p| p.into_inner());
+                        if let Err(e) = journal.append(label, 0, &stats) {
+                            eprintln!("checkpoint append failed for {label}: {e}");
+                        }
+                        drop(journal);
+                        crash_point("crash.point.post-journal");
+                    }
+                    computed_ctr.fetch_add(1, Ordering::Relaxed);
+                    stats
                 }
             })
             .collect();

@@ -22,6 +22,10 @@
 //! * [`PointError`] / [`write_atomic`] — graceful degradation: structured
 //!   records of failed sweep points (fail-soft mode) and atomic artifact
 //!   persistence for everything the workbench writes to disk.
+//! * [`CheckpointJournal`] / [`config_fingerprint`] — crash safety: a
+//!   checksummed, fsynced journal of completed sweep points. A resumed run
+//!   replays it, salvages partial streamed trace files, recomputes only
+//!   what is missing, and renders output byte-identical to a fresh run.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod degrade;
 pub mod experiments;
 pub mod paper;
@@ -44,8 +49,9 @@ pub mod report;
 mod sim;
 mod workload;
 
+pub use checkpoint::{config_fingerprint, CheckpointJournal};
 pub use degrade::{PointCause, PointError};
 pub use dss_trace::{PipelineSnapshot, PipelineStats};
-pub use persist::write_atomic;
+pub use persist::{fsync_dir, write_atomic};
 pub use sim::{sim_points, sim_points_pipelined, sim_points_source, split_jobs};
 pub use workload::{query_label, SimSource, TraceMode, TraceSet, Workbench, STUDIED_QUERIES};

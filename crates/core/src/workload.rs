@@ -1,20 +1,23 @@
 //! The workbench: a built database plus cached per-processor traces.
 
 use std::collections::HashMap;
-use std::io::BufWriter;
-use std::path::PathBuf;
+use std::io::{BufWriter, Seek, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use dss_faultkit::crash::crash_point;
 use dss_query::{Database, DbConfig, Session};
 use dss_tpcd::params;
 use dss_trace::{
-    EventStream, FileTraceSource, PipelineSnapshot, PipelineStats, Trace, TraceError, TraceSource,
-    Tracer, DEFAULT_BLOCK_EVENTS,
+    salvage_scan_file, EventStream, FileTraceSource, PipelineSnapshot, PipelineStats, Trace,
+    TraceError, TraceSource, Tracer, DEFAULT_BLOCK_EVENTS,
 };
 
+use crate::checkpoint::CheckpointJournal;
 use crate::degrade::PointError;
+use crate::persist::fsync_dir;
 
 /// A shared, immutable set of per-processor traces.
 ///
@@ -146,6 +149,18 @@ pub struct Workbench {
     pub(crate) gen_jobs: usize,
     /// Pipeline utilization counters shared with every pipelined point.
     pub(crate) pipe_stats: Arc<PipelineStats>,
+    /// The crash-safety journal: completed sweep points are served from it
+    /// and newly computed points are appended (durably) as they finish.
+    pub(crate) checkpoint: Option<Arc<Mutex<CheckpointJournal>>>,
+    /// Resume mode: salvage partial streamed block files left by an
+    /// interrupted run instead of regenerating them from scratch. Only safe
+    /// when the caller has verified (via the journal fingerprint) that the
+    /// files on disk belong to this exact configuration.
+    pub(crate) resume: bool,
+    /// Sweep points served from the journal since the last drain.
+    pub(crate) ckpt_loaded: Arc<AtomicU64>,
+    /// Sweep points actually simulated since the last drain.
+    pub(crate) ckpt_computed: Arc<AtomicU64>,
 }
 
 impl Workbench {
@@ -174,6 +189,10 @@ impl Workbench {
             point_errors: Vec::new(),
             gen_jobs: 0,
             pipe_stats: PipelineStats::shared(),
+            checkpoint: None,
+            resume: false,
+            ckpt_loaded: Arc::new(AtomicU64::new(0)),
+            ckpt_computed: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -364,6 +383,32 @@ impl Workbench {
         self.trace_dir = Some(dir);
     }
 
+    /// Attaches a checkpoint journal: experiment sweeps serve completed
+    /// points from it (skipping the simulation entirely) and durably append
+    /// each newly computed point the moment it finishes.
+    pub fn set_checkpoint(&mut self, journal: CheckpointJournal) {
+        self.checkpoint = Some(Arc::new(Mutex::new(journal)));
+    }
+
+    /// Enables resume mode: streamed block files already on disk are
+    /// salvaged — complete files reused, partial files truncated to their
+    /// last checksum-valid block and completed in place — instead of being
+    /// regenerated from scratch. Enable only when the on-disk state is known
+    /// to belong to this exact configuration; the checkpoint journal's
+    /// fingerprint ([`crate::config_fingerprint`]) is the proof.
+    pub fn set_resume(&mut self, resume: bool) {
+        self.resume = resume;
+    }
+
+    /// Drains the checkpoint counters: `(loaded, computed)` — sweep points
+    /// served from the journal vs. actually simulated since the last call.
+    pub fn take_checkpoint_counts(&self) -> (u64, u64) {
+        (
+            self.ckpt_loaded.swap(0, Ordering::Relaxed),
+            self.ckpt_computed.swap(0, Ordering::Relaxed),
+        )
+    }
+
     /// Returns the trace population for `query` in this workbench's
     /// [`TraceMode`]: a cheap clone of the materialized set, or a handle to
     /// per-processor block files (recorded on first request).
@@ -385,8 +430,15 @@ impl Workbench {
     /// Each processor's query runs with a sinked [`Tracer`] draining event
     /// blocks straight to disk, so recording holds at most one block per
     /// processor in memory — this is the generation half of the
-    /// bounded-memory pipeline. Files are written to a temp sibling and
-    /// renamed into place, so a crash never leaves a torn `.trb` behind.
+    /// bounded-memory pipeline. Files are written directly to their final
+    /// path and fsynced on completion: the stream's end marker, not a
+    /// rename, is the completion indicator, so a crash mid-write leaves a
+    /// file the next run's salvage scan can recognize as partial. In resume
+    /// mode ([`Workbench::set_resume`]) such leftovers are salvaged:
+    /// complete files are reused outright, partial ones are truncated to
+    /// their last checksum-valid block and completed in place by replaying
+    /// the (deterministic) generation and discarding the already-written
+    /// blocks.
     ///
     /// # Panics
     ///
@@ -409,24 +461,70 @@ impl Workbench {
         for p in 0..self.nprocs {
             let seed = seed_base + p as u64;
             let path = FileTraceSource::proc_path(&dir, &stem, p);
-            let tmp = path.with_extension(format!("trb.tmp.{}", std::process::id()));
-            let file = std::fs::File::create(&tmp)
-                .unwrap_or_else(|e| panic!("create {}: {e}", tmp.display()));
-            let tracer = Tracer::with_sink(p, DEFAULT_BLOCK_EVENTS, Box::new(BufWriter::new(file)))
-                .unwrap_or_else(|e| panic!("trace sink {}: {e}", tmp.display()));
+            let salvage = if self.resume {
+                salvage_state(&path, p)
+            } else {
+                None
+            };
+            if matches!(salvage, Some((_, true))) {
+                // A complete stream from the interrupted run: reuse as-is.
+                paths.push(path);
+                continue;
+            }
+            let (file, tracer) = match salvage {
+                Some((scan, _)) => {
+                    // Partial stream: truncate to the last checksum-valid
+                    // block and complete it in place. The regenerated query
+                    // reproduces the salvaged blocks bit for bit (generation
+                    // is history-independent, pinned by a test below); the
+                    // resumed sink discards them and appends the rest.
+                    let mut file = std::fs::OpenOptions::new()
+                        .read(true)
+                        .write(true)
+                        .open(&path)
+                        .unwrap_or_else(|e| panic!("reopen {}: {e}", path.display()));
+                    file.set_len(scan.valid_len)
+                        .unwrap_or_else(|e| panic!("truncate {}: {e}", path.display()));
+                    file.seek(std::io::SeekFrom::End(0))
+                        .unwrap_or_else(|e| panic!("seek {}: {e}", path.display()));
+                    let sync = file
+                        .try_clone()
+                        .unwrap_or_else(|e| panic!("clone handle {}: {e}", path.display()));
+                    let sink = Box::new(BufWriter::new(CrashFile(file)));
+                    let tracer =
+                        Tracer::with_sink_resume(p, DEFAULT_BLOCK_EVENTS, sink, scan.blocks);
+                    (sync, tracer)
+                }
+                None => {
+                    let file = std::fs::File::create(&path)
+                        .unwrap_or_else(|e| panic!("create {}: {e}", path.display()));
+                    let sync = file
+                        .try_clone()
+                        .unwrap_or_else(|e| panic!("clone handle {}: {e}", path.display()));
+                    let sink = Box::new(BufWriter::new(CrashFile(file)));
+                    let tracer = Tracer::with_sink(p, DEFAULT_BLOCK_EVENTS, sink)
+                        .unwrap_or_else(|e| panic!("trace sink {}: {e}", path.display()));
+                    (sync, tracer)
+                }
+            };
             let mut session = Session::new(p);
             session.tracer = tracer.clone();
             let sql = dss_query::sql_for(query, &params(query, seed));
             self.db
                 .run(&sql, &mut session)
                 .unwrap_or_else(|e| panic!("Q{query} (seed {seed}) failed: {e}"));
+            crash_point("crash.trace.pre-finish");
             tracer
                 .finish_sink()
-                .unwrap_or_else(|e| panic!("finish {}: {e}", tmp.display()));
-            std::fs::rename(&tmp, &path)
-                .unwrap_or_else(|e| panic!("rename {}: {e}", path.display()));
+                .unwrap_or_else(|e| panic!("finish {}: {e}", path.display()));
+            // The end marker is on disk (buffered writer flushed by
+            // `finish_sink`); make it durable before anything records this
+            // file as usable.
+            file.sync_all()
+                .unwrap_or_else(|e| panic!("fsync {}: {e}", path.display()));
             paths.push(path);
         }
+        fsync_dir(Some(&dir)).unwrap_or_else(|e| panic!("fsync dir {}: {e}", dir.display()));
         let src = FileTraceSource::new(paths);
         self.stream_cache.insert(key, src.clone());
         src
@@ -453,6 +551,36 @@ impl Workbench {
             traces.push(session.tracer.take());
         }
         traces
+    }
+}
+
+/// What resume mode found at `path`: the salvage scan plus whether the
+/// stream is complete. `None` means "regenerate from scratch" — no file, a
+/// damaged header, or a file recorded for a different processor.
+fn salvage_state(path: &Path, proc_id: usize) -> Option<(dss_trace::SalvageScan, bool)> {
+    match salvage_scan_file(path) {
+        Ok(scan) if scan.proc_id == proc_id => {
+            let complete = scan.complete;
+            Some((scan, complete))
+        }
+        _ => None,
+    }
+}
+
+/// A [`Write`] wrapper arming the `crash.trace.block-write` crash site on
+/// every write syscall reaching the trace file (beneath the sink's
+/// [`BufWriter`]) — the crash campaign's way of dying inside a block flush.
+/// Unarmed, the crash point is one relaxed atomic load per flush.
+struct CrashFile(std::fs::File);
+
+impl Write for CrashFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        crash_point("crash.trace.block-write");
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.0.flush()
     }
 }
 
@@ -570,6 +698,79 @@ mod tests {
             SimSource::Set(_) => panic!("streamed mode yields files"),
         };
         assert_eq!(files.paths(), again.paths());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_salvages_partial_and_reuses_complete_files() {
+        let config = DbConfig {
+            scale: 0.001,
+            nbuffers: 1024,
+            ..DbConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!("dss-wb-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wb = Workbench::new(&config, 2);
+        wb.set_trace_dir(dir.clone());
+        wb.set_trace_mode(TraceMode::Streamed);
+        let files = wb.trace_files(6, 0);
+        let paths = files.paths().to_vec();
+        let whole: Vec<Vec<u8>> = paths.iter().map(|p| std::fs::read(p).unwrap()).collect();
+        // Tear proc 0's file mid-block, as a crash inside a block write
+        // would; tag proc 1's (complete) file past its end marker, where no
+        // reader looks — if resume rewrote the file the tag would vanish.
+        std::fs::write(&paths[0], &whole[0][..whole[0].len() - 9]).unwrap();
+        let mut p1 = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&paths[1])
+            .unwrap();
+        p1.write_all(b"JUNK").unwrap();
+        drop(p1);
+
+        let mut wb2 = Workbench::new(&config, 2);
+        wb2.set_trace_dir(dir.clone());
+        wb2.set_trace_mode(TraceMode::Streamed);
+        wb2.set_resume(true);
+        let _ = wb2.trace_files(6, 0);
+        assert_eq!(
+            std::fs::read(&paths[0]).unwrap(),
+            whole[0],
+            "partial file salvaged and completed to the original bytes"
+        );
+        let back = std::fs::read(&paths[1]).unwrap();
+        assert_eq!(&back[..whole[1].len()], &whole[1][..]);
+        assert!(
+            back.ends_with(b"JUNK"),
+            "complete file reused, not rewritten"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn without_resume_leftover_files_are_rewritten() {
+        let config = DbConfig {
+            scale: 0.001,
+            nbuffers: 1024,
+            ..DbConfig::default()
+        };
+        let dir = std::env::temp_dir().join(format!("dss-wb-noresume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut wb = Workbench::new(&config, 2);
+        wb.set_trace_dir(dir.clone());
+        wb.set_trace_mode(TraceMode::Streamed);
+        let paths = wb.trace_files(6, 0).paths().to_vec();
+        let whole = std::fs::read(&paths[0]).unwrap();
+        std::fs::write(&paths[0], b"stale bytes from some other run").unwrap();
+
+        let mut wb2 = Workbench::new(&config, 2);
+        wb2.set_trace_dir(dir.clone());
+        wb2.set_trace_mode(TraceMode::Streamed);
+        let _ = wb2.trace_files(6, 0);
+        assert_eq!(
+            std::fs::read(&paths[0]).unwrap(),
+            whole,
+            "fresh mode regenerates from scratch"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -14,7 +14,9 @@
 //! `campaign seed ⊕ FNV-1a(site name)`, so `dss-check fault --seed N` re-runs
 //! the exact corruption schedule of any earlier report, and adding a site
 //! never perturbs the draws of the others. Nothing here reads the clock, the
-//! filesystem, or the environment.
+//! filesystem, or the environment — except the [`crash`] module's
+//! explicitly env-armed process-fatal sites, which exist to be triggered
+//! from *outside* the process (see its docs).
 //!
 //! The sites span the workbench's three trust boundaries:
 //!
@@ -38,6 +40,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+pub mod crash;
 mod site;
 
 pub use site::{sites, Site};

@@ -223,6 +223,86 @@ impl SimStats {
             self.l2.read_misses.total() as f64 / self.l1.read_accesses as f64
         }
     }
+
+    /// Serializes every counter into a compact, whitespace-free record for
+    /// the experiment checkpoint journal: the processor count, a `;`, then
+    /// all `u64` counters comma-separated in a fixed field order. The
+    /// matching [`SimStats::from_record`] restores an exactly equal value
+    /// (`==` is field-by-field), which is what lets a resumed sweep re-render
+    /// byte-identical output from journaled results.
+    pub fn to_record(&self) -> String {
+        let mut vals: Vec<u64> = Vec::new();
+        for p in &self.procs {
+            vals.extend([p.cycles, p.busy, p.mem_stall, p.msync]);
+            vals.extend(p.stall_by_class);
+        }
+        for level in [&self.l1, &self.l2] {
+            vals.extend([
+                level.read_accesses,
+                level.write_accesses,
+                level.write_misses,
+            ]);
+            for row in &level.read_misses.counts {
+                vals.extend(row);
+            }
+        }
+        vals.extend([self.prefetches_issued, self.prefetches_filled]);
+        let body: Vec<String> = vals.iter().map(|v| v.to_string()).collect();
+        format!("{};{}", self.procs.len(), body.join(","))
+    }
+
+    /// Parses a record produced by [`SimStats::to_record`]. Returns `None`
+    /// for anything malformed — wrong field count, non-numeric values, an
+    /// impossible processor count — so a torn or hand-edited journal line is
+    /// rejected rather than replayed as different results.
+    pub fn from_record(record: &str) -> Option<SimStats> {
+        let (nprocs, body) = record.split_once(';')?;
+        let nprocs: usize = nprocs.parse().ok()?;
+        // One sweep point simulates at most a machine's worth of processors;
+        // a huge count here is corruption, not data.
+        if nprocs > 1 << 16 {
+            return None;
+        }
+        let per_proc = 4 + NCLASSES;
+        let per_level = 3 + NCLASSES * 3;
+        let expected = nprocs * per_proc + 2 * per_level + 2;
+        let mut vals = Vec::with_capacity(expected);
+        for field in body.split(',') {
+            vals.push(field.parse::<u64>().ok()?);
+        }
+        if vals.len() != expected {
+            return None;
+        }
+        let mut it = vals.into_iter();
+        let mut next = || it.next().unwrap_or(0);
+        let mut stats = SimStats::default();
+        for _ in 0..nprocs {
+            let mut p = ProcStats {
+                cycles: next(),
+                busy: next(),
+                mem_stall: next(),
+                msync: next(),
+                ..Default::default()
+            };
+            for slot in &mut p.stall_by_class {
+                *slot = next();
+            }
+            stats.procs.push(p);
+        }
+        for level in [&mut stats.l1, &mut stats.l2] {
+            level.read_accesses = next();
+            level.write_accesses = next();
+            level.write_misses = next();
+            for row in &mut level.read_misses.counts {
+                for cell in row {
+                    *cell = next();
+                }
+            }
+        }
+        stats.prefetches_issued = next();
+        stats.prefetches_filled = next();
+        Some(stats)
+    }
 }
 
 /// Fractions of total processor time (sums to ~1.0).
@@ -300,5 +380,68 @@ mod tests {
         assert_eq!(l.read_miss_rate(), 0.0);
         let s = SimStats::default();
         assert_eq!(s.l2_global_read_miss_rate(), 0.0);
+    }
+
+    fn nontrivial_stats() -> SimStats {
+        let mut stats = SimStats {
+            prefetches_issued: 17,
+            prefetches_filled: 11,
+            ..Default::default()
+        };
+        for i in 0..3u64 {
+            let mut p = ProcStats {
+                cycles: 1000 + i,
+                busy: 600 + i,
+                mem_stall: 300,
+                msync: 100,
+                ..Default::default()
+            };
+            for (c, slot) in p.stall_by_class.iter_mut().enumerate() {
+                *slot = i * 100 + c as u64;
+            }
+            stats.procs.push(p);
+        }
+        stats.l1.read_accesses = 123_456;
+        stats.l1.write_accesses = 7_890;
+        stats.l1.write_misses = 42;
+        stats.l2.read_accesses = 9_876;
+        for class in DataClass::ALL {
+            stats.l1.read_misses.add(class, MissKind::Cold);
+            stats.l2.read_misses.add(class, MissKind::Conflict);
+            stats.l2.read_misses.add(class, MissKind::Coherence);
+        }
+        stats
+    }
+
+    #[test]
+    fn record_roundtrip_is_exact() {
+        for stats in [SimStats::default(), nontrivial_stats()] {
+            let record = stats.to_record();
+            assert!(
+                !record.contains(char::is_whitespace),
+                "journal records must be whitespace-free: {record:?}"
+            );
+            assert_eq!(SimStats::from_record(&record), Some(stats));
+        }
+    }
+
+    #[test]
+    fn malformed_records_are_rejected_not_misread() {
+        let good = nontrivial_stats().to_record();
+        let torn = &good[..good.len() / 2];
+        let extra = format!("{good},5");
+        let junk = format!("{good}x");
+        for bad in [
+            "",
+            ";",
+            "3",
+            "not-a-number;1,2,3",
+            "99999999999999999999;1",
+            torn,
+            extra.as_str(),
+            junk.as_str(),
+        ] {
+            assert_eq!(SimStats::from_record(bad), None, "accepted {bad:?}");
+        }
     }
 }

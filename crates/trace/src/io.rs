@@ -371,6 +371,19 @@ impl<W: Write> BlockWriter<W> {
         self.w.flush()
     }
 
+    /// Resumes a block stream whose header and first `next_chunk` blocks are
+    /// already durable in `w` — the crash-recovery counterpart of
+    /// [`BlockWriter::new`]. No header is written; the caller must have
+    /// positioned `w` exactly at the end of a prefix validated by
+    /// [`salvage_scan`] (so the next block's chunk index is `next_chunk`).
+    pub fn resume(w: W, next_chunk: u64) -> Self {
+        BlockWriter {
+            w,
+            next_chunk,
+            finished: false,
+        }
+    }
+
     /// Number of blocks written so far.
     pub fn blocks_written(&self) -> u64 {
         self.next_chunk
@@ -530,6 +543,84 @@ pub fn read_trace_blocks<R: Read>(r: R) -> Result<Trace, TraceError> {
     Ok(Trace {
         proc_id: br.proc_id(),
         events,
+    })
+}
+
+/// What [`salvage_scan`] found in a (possibly torn) block stream: the length
+/// of the longest checksum-valid prefix and whether the end marker was seen.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SalvageScan {
+    /// The processor id from the stream header.
+    pub proc_id: usize,
+    /// Number of checksum-valid event blocks in the prefix (the chunk index
+    /// the next appended block must carry).
+    pub blocks: u64,
+    /// Number of events in those blocks.
+    pub events: u64,
+    /// Byte length of the valid prefix: header plus whole valid blocks, and
+    /// the end marker when `complete`. Truncating the file to this length
+    /// yields a stream a resumed writer can append to.
+    pub valid_len: u64,
+    /// Whether the end-of-stream marker was reached — i.e. the stream is a
+    /// whole trace, not a crashed writer's prefix.
+    pub complete: bool,
+}
+
+/// Scans a block stream for crash recovery: reads forward block by block and
+/// stops at the first damage (truncation, corruption, checksum mismatch)
+/// instead of failing, reporting the longest valid prefix. A writer killed
+/// mid-stream leaves a file this scan salvages down to the last
+/// checksum-valid block; [`BlockWriter::resume`] can then append the rest.
+///
+/// # Errors
+///
+/// Header damage is not salvageable — there is nothing valid to keep — so
+/// [`TraceError::BadMagic`], a truncated header, or a header checksum
+/// mismatch is returned as the error it is. [`TraceError::Io`] transport
+/// errors also propagate: a failing disk is not a decidable salvage. Damage
+/// *after* the header is never an error; it just ends the valid prefix.
+pub fn salvage_scan<R: Read>(r: R) -> Result<SalvageScan, TraceError> {
+    let mut br = BlockReader::new(r)?;
+    let mut scan = SalvageScan {
+        proc_id: br.proc_id(),
+        blocks: 0,
+        events: 0,
+        valid_len: br.r.offset,
+        complete: false,
+    };
+    let mut buf = Vec::new();
+    loop {
+        match br.next_block(&mut buf) {
+            Ok(0) => {
+                scan.complete = true;
+                scan.valid_len = br.r.offset;
+                return Ok(scan);
+            }
+            Ok(n) => {
+                scan.blocks += 1;
+                scan.events += n as u64;
+                scan.valid_len = br.r.offset;
+            }
+            Err(e @ TraceError::Io { .. }) => return Err(e),
+            Err(_) => return Ok(scan),
+        }
+    }
+}
+
+/// Runs [`salvage_scan`] over the file at `path`.
+///
+/// # Errors
+///
+/// As [`salvage_scan`] (plus the file-open error), wrapped in
+/// [`TraceError::InFile`] naming the path.
+pub fn salvage_scan_file(path: &Path) -> Result<SalvageScan, TraceError> {
+    let run = || -> Result<SalvageScan, TraceError> {
+        let file = File::open(path).map_err(|source| TraceError::Io { offset: 0, source })?;
+        salvage_scan(BufReader::new(file))
+    };
+    run().map_err(|e| TraceError::InFile {
+        path: path.to_path_buf(),
+        source: Box::new(e),
     })
 }
 
@@ -1031,5 +1122,84 @@ mod tests {
         write_trace(&sample(), &mut buf).unwrap();
         let err = BlockReader::new(buf.as_slice()).unwrap_err();
         assert_eq!(err.kind(), "bad-magic");
+    }
+
+    #[test]
+    fn salvage_scan_reports_complete_streams() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace_blocks(&trace, &mut buf, 3).unwrap();
+        let scan = salvage_scan(buf.as_slice()).unwrap();
+        assert_eq!(scan.proc_id, trace.proc_id);
+        assert_eq!(scan.blocks, 3, "8 events in blocks of 3");
+        assert_eq!(scan.events, trace.events.len() as u64);
+        assert_eq!(scan.valid_len, buf.len() as u64);
+        assert!(scan.complete);
+    }
+
+    #[test]
+    fn salvage_scan_stops_at_the_last_valid_block() {
+        let trace = sample();
+        let mut buf = Vec::new();
+        write_trace_blocks(&trace, &mut buf, 3).unwrap();
+        let block = |n: usize| 16 + n * 17 + 8;
+        // Cut inside the second block: only the first survives.
+        let first_end = 24 + block(3);
+        let mut torn = buf.clone();
+        torn.truncate(first_end + 20);
+        let scan = salvage_scan(torn.as_slice()).unwrap();
+        assert_eq!(
+            (scan.blocks, scan.events, scan.valid_len, scan.complete),
+            (1, 3, first_end as u64, false)
+        );
+        // A flipped bit in the second block ends the prefix at the same place.
+        let mut flipped = buf.clone();
+        flipped[first_end + 20] ^= 0x40;
+        let scan = salvage_scan(flipped.as_slice()).unwrap();
+        assert_eq!((scan.blocks, scan.valid_len), (1, first_end as u64));
+        // A stream cut right before the end marker keeps every block but is
+        // not complete.
+        let mut unfinished = buf.clone();
+        unfinished.truncate(buf.len() - 24);
+        let scan = salvage_scan(unfinished.as_slice()).unwrap();
+        assert_eq!((scan.blocks, scan.complete), (3, false));
+        assert_eq!(scan.valid_len, (buf.len() - 24) as u64);
+    }
+
+    #[test]
+    fn salvage_scan_rejects_damaged_headers() {
+        // Nothing before a valid header is salvageable.
+        assert_eq!(salvage_scan(&b""[..]).unwrap_err().kind(), "truncated");
+        assert_eq!(
+            salvage_scan(&b"NOTATRCE"[..]).unwrap_err().kind(),
+            "bad-magic"
+        );
+        let mut buf = Vec::new();
+        write_trace_blocks(&sample(), &mut buf, 3).unwrap();
+        buf.truncate(20); // mid-header
+        assert_eq!(
+            salvage_scan(buf.as_slice()).unwrap_err().kind(),
+            "truncated"
+        );
+    }
+
+    #[test]
+    fn resumed_writer_completes_a_salvaged_prefix() {
+        let trace = sample();
+        let mut whole = Vec::new();
+        write_trace_blocks(&trace, &mut whole, 3).unwrap();
+        // Crash after two blocks: keep the valid prefix, then append the
+        // remaining blocks through a resumed writer.
+        let mut torn = whole.clone();
+        torn.truncate(24 + 2 * (16 + 3 * 17 + 8) + 5);
+        let scan = salvage_scan(torn.as_slice()).unwrap();
+        assert_eq!(scan.blocks, 2);
+        let mut buf = torn[..scan.valid_len as usize].to_vec();
+        let mut bw = BlockWriter::resume(&mut buf, scan.blocks);
+        bw.write_block(&trace.events[scan.events as usize..])
+            .unwrap();
+        bw.finish().unwrap();
+        assert_eq!(buf, whole, "salvage + resume reproduces the whole stream");
+        assert_eq!(read_trace_blocks(buf.as_slice()).unwrap(), trace);
     }
 }

@@ -62,8 +62,8 @@ pub use cost::CostModel;
 pub use discipline::{check_lock_discipline, LockDisciplineError};
 pub use event::{Event, LockClass, LockToken, MemRef};
 pub use io::{
-    read_trace, read_trace_blocks, read_trace_file, write_trace, write_trace_blocks,
-    write_trace_file, BlockReader, BlockWriter, TraceError,
+    read_trace, read_trace_blocks, read_trace_file, salvage_scan, salvage_scan_file, write_trace,
+    write_trace_blocks, write_trace_file, BlockReader, BlockWriter, SalvageScan, TraceError,
 };
 pub use pipeline::{
     ChunkSequencer, PipelineSnapshot, PipelineStats, PipelinedTraceSource, DEFAULT_CHANNEL_BLOCKS,

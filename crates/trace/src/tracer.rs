@@ -58,6 +58,11 @@ struct Sink {
     writer: BlockWriter<Box<dyn Write>>,
     block_events: usize,
     events_emitted: u64,
+    /// Blocks still to *discard* instead of write: a resumed recording
+    /// ([`Tracer::with_sink_resume`]) replays generation from the start, and
+    /// the first `skip_blocks` blocks are already durable in the salvaged
+    /// file prefix. Zero for a fresh recording.
+    skip_blocks: u64,
     /// First write failure, deferred: the engine's trace calls cannot carry
     /// errors, so the failure surfaces at [`Tracer::finish_sink`].
     error: Option<io::Error>,
@@ -68,6 +73,7 @@ impl std::fmt::Debug for Sink {
         f.debug_struct("Sink")
             .field("block_events", &self.block_events)
             .field("events_emitted", &self.events_emitted)
+            .field("skip_blocks", &self.skip_blocks)
             .field("error", &self.error)
             .finish_non_exhaustive()
     }
@@ -97,7 +103,10 @@ impl TraceBuffer {
         self.events.push(event);
         if let Some(sink) = &mut self.sink {
             if self.events.len() >= sink.block_events {
-                if sink.error.is_none() {
+                if sink.skip_blocks > 0 {
+                    // Already durable in the salvaged prefix; discard.
+                    sink.skip_blocks -= 1;
+                } else if sink.error.is_none() {
                     if let Err(e) = sink.writer.write_block(&self.events) {
                         sink.error = Some(e);
                     }
@@ -179,9 +188,43 @@ impl Tracer {
             writer,
             block_events,
             events_emitted: 0,
+            skip_blocks: 0,
             error: None,
         });
         Ok(t)
+    }
+
+    /// Creates a streaming tracer that *resumes* a crashed recording: `w`
+    /// must be positioned at the end of a salvaged prefix already holding the
+    /// stream header and `salvaged_blocks` checksum-valid blocks (see
+    /// `dss_trace::salvage_scan`). Because generation is deterministic, the
+    /// caller replays it from the start; the first `salvaged_blocks` blocks
+    /// are discarded instead of rewritten, and everything after them is
+    /// appended with the correct chunk sequence. No header is written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block_events` is zero. The block size must match the one
+    /// the salvaged prefix was recorded with, or the chunk boundaries — and
+    /// with them the skip accounting — would drift; the caller owns that
+    /// invariant (a mismatch surfaces at [`Tracer::finish_sink`] or as a
+    /// chunk-sequence error on read-back).
+    pub fn with_sink_resume(
+        proc_id: usize,
+        block_events: usize,
+        w: Box<dyn Write>,
+        salvaged_blocks: u64,
+    ) -> Self {
+        assert!(block_events > 0, "block_events must be positive");
+        let t = Tracer::new(proc_id);
+        t.buf.borrow_mut().sink = Some(Sink {
+            writer: BlockWriter::resume(w, salvaged_blocks),
+            block_events,
+            events_emitted: 0,
+            skip_blocks: salvaged_blocks,
+            error: None,
+        });
+        t
     }
 
     /// Ends a streaming recording: flushes pending busy cycles, the final
@@ -205,7 +248,27 @@ impl Tracer {
         if let Some(e) = sink.error.take() {
             return Err(e);
         }
-        sink.writer.write_block(&buf.events)?;
+        if sink.skip_blocks > 0 {
+            // A resumed recording with skips left at finish: the crash must
+            // have landed between the final partial block and the end
+            // marker, so that partial block is already durable and the
+            // regenerated copy is discarded. Anything else means the
+            // salvaged prefix holds blocks this deterministic regeneration
+            // never produced — refuse rather than write a scrambled stream.
+            if sink.skip_blocks > 1 || buf.events.is_empty() {
+                buf.events.clear();
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "salvaged prefix holds {} block(s) beyond the regenerated stream",
+                        sink.skip_blocks
+                    ),
+                ));
+            }
+            sink.skip_blocks -= 1;
+        } else {
+            sink.writer.write_block(&buf.events)?;
+        }
         sink.events_emitted += buf.events.len() as u64;
         buf.events.clear();
         sink.writer.finish()?;
@@ -462,6 +525,65 @@ mod tests {
         let streamed = read_trace_blocks(out.0.borrow().as_slice()).unwrap();
         assert_eq!(streamed, reference.take(), "streaming changes no events");
         assert_eq!(streamed.proc_id, 2);
+    }
+
+    #[test]
+    fn resumed_sink_completes_a_salvaged_recording() {
+        use crate::{read_trace_blocks, salvage_scan};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Clone, Default)]
+        struct Shared(Rc<RefCell<Vec<u8>>>);
+        impl std::io::Write for Shared {
+            fn write(&mut self, b: &[u8]) -> std::io::Result<usize> {
+                self.0.borrow_mut().extend_from_slice(b);
+                Ok(b.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        // 11 refs + 11 busy events = 22: five full 4-event blocks plus a
+        // final partial block, so the cut sweep exercises both the
+        // full-block skip path and the salvaged-partial-block path.
+        let record = |t: &Tracer| {
+            for i in 0..11u64 {
+                t.read(0x1000 + i * 8, 8, DataClass::Data);
+                t.busy(2);
+            }
+        };
+        // The uninterrupted recording, for byte comparison.
+        let whole = Shared::default();
+        let t = Tracer::with_sink(1, 4, Box::new(whole.clone())).unwrap();
+        record(&t);
+        let total = t.finish_sink().unwrap();
+        let whole = whole.0.borrow().clone();
+
+        // Crash the recording at every possible byte length, salvage, and
+        // resume: the result must be byte-identical to the whole stream.
+        for cut in 24..whole.len() {
+            let torn = &whole[..cut];
+            let scan = salvage_scan(torn).unwrap();
+            let out = Shared(Rc::new(RefCell::new(
+                torn[..scan.valid_len as usize].to_vec(),
+            )));
+            let t = Tracer::with_sink_resume(1, 4, Box::new(out.clone()), scan.blocks);
+            record(&t);
+            assert_eq!(t.finish_sink().unwrap(), total, "cut at {cut}");
+            assert_eq!(*out.0.borrow(), whole, "cut at {cut}");
+        }
+        read_trace_blocks(whole.as_slice()).unwrap();
+    }
+
+    #[test]
+    fn resumed_sink_refuses_an_impossible_prefix() {
+        let t = Tracer::with_sink_resume(0, 4, Box::new(Vec::new()), 3);
+        t.read(0x100, 8, DataClass::Data);
+        let err = t.finish_sink().unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("salvaged prefix"), "{err}");
     }
 
     #[test]
